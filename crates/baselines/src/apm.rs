@@ -1,0 +1,150 @@
+//! APM — Anchor-Point calibration + DTW (Su et al., SIGMOD 2013
+//! "Calibrating trajectory data for similarity-based analysis" — paper
+//! ref. [34]).
+//!
+//! APM transforms heterogeneously sampled trajectories into a *unified
+//! sampling strategy* before comparing them: each trajectory is rewritten
+//! onto a fixed set of anchor points at a fixed time step, and the
+//! calibrated sequences are compared with DTW — exactly the pipeline the
+//! paper uses ("we divide the space into grids, and use the centrals of
+//! grids as the anchor points for calibration. DTW is used as the
+//! similarity metric after calibration", §VI-A).
+//!
+//! Reconstruction: the geometry-based calibration of the APM paper —
+//! resample the trajectory's linear interpolation at the unified time
+//! step, snapping every resampled position to the nearest anchor (grid
+//! center). The calibration is *universal* (same anchors, same step for
+//! everyone), which is what the STS-F ablation contrasts with the
+//! personalized model.
+
+use crate::dtw::dtw_points;
+use crate::{DistanceMeasure, DistanceSimilarity, SimilarityMeasure};
+use sts_geo::{Grid, Point};
+use sts_traj::{Path, Trajectory};
+
+/// APM distance: anchor calibration followed by DTW.
+#[derive(Debug, Clone)]
+pub struct ApmDistance {
+    grid: Grid,
+    time_step: f64,
+}
+
+impl ApmDistance {
+    /// Creates the calibrator with the anchor grid and unified sampling
+    /// period (seconds).
+    pub fn new(grid: Grid, time_step: f64) -> Self {
+        assert!(time_step > 0.0, "time step must be positive");
+        ApmDistance { grid, time_step }
+    }
+
+    /// Calibrates a trajectory to the anchor lattice: resample every
+    /// `time_step` seconds on the linear interpolation, snap to the
+    /// nearest anchor (grid center).
+    pub fn calibrate(&self, traj: &Trajectory) -> Vec<Point> {
+        let path = Path::from(traj.clone());
+        let mut anchors = Vec::new();
+        let mut t = path.start_time();
+        let end = path.end_time();
+        loop {
+            let p = path.position_at(t);
+            anchors.push(self.grid.center(self.grid.cell_at_clamped(p)));
+            if t >= end {
+                break;
+            }
+            t = (t + self.time_step).min(end);
+        }
+        anchors
+    }
+}
+
+impl DistanceMeasure for ApmDistance {
+    fn name(&self) -> &'static str {
+        "APM"
+    }
+
+    fn distance(&self, a: &Trajectory, b: &Trajectory) -> f64 {
+        dtw_points(&self.calibrate(a), &self.calibrate(b))
+    }
+}
+
+/// APM as a similarity measure (`1/(1+d)`).
+pub struct Apm(DistanceSimilarity<ApmDistance>);
+
+impl Apm {
+    /// Creates the measure with the anchor grid and unified time step.
+    pub fn new(grid: Grid, time_step: f64) -> Self {
+        Apm(DistanceSimilarity(ApmDistance::new(grid, time_step)))
+    }
+}
+
+impl SimilarityMeasure for Apm {
+    fn name(&self) -> &'static str {
+        "APM"
+    }
+
+    fn similarity(&self, a: &Trajectory, b: &Trajectory) -> f64 {
+        self.0.similarity(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{assert_ranking, line};
+    use sts_geo::BoundingBox;
+    use sts_traj::sampling::every_kth;
+
+    fn grid() -> Grid {
+        Grid::new(
+            BoundingBox::new(Point::new(-10.0, -10.0), Point::new(600.0, 600.0)),
+            10.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_is_zero() {
+        let apm = ApmDistance::new(grid(), 5.0);
+        let a = line(0.0, 1.0, 12, 5.0, 0.0);
+        assert_eq!(apm.distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn ranking_contract() {
+        assert_ranking(&Apm::new(grid(), 5.0));
+    }
+
+    #[test]
+    fn calibration_unifies_sampling_rates() {
+        let apm = ApmDistance::new(grid(), 5.0);
+        let dense = line(0.0, 1.0, 21, 5.0, 0.0);
+        let sparse = every_kth(&dense, 4);
+        // After calibration both have the same number of anchors.
+        assert_eq!(
+            apm.calibrate(&dense).len(),
+            apm.calibrate(&sparse).len()
+        );
+        // And the calibrated distance between them is zero (same path).
+        assert_eq!(apm.distance(&dense, &sparse), 0.0);
+    }
+
+    #[test]
+    fn anchors_are_grid_centers() {
+        let g = grid();
+        let apm = ApmDistance::new(g.clone(), 5.0);
+        let a = line(0.0, 1.0, 10, 5.0, 0.0);
+        for anchor in apm.calibrate(&a) {
+            let cell = g.cell_at_clamped(anchor);
+            assert_eq!(g.center(cell), anchor);
+        }
+    }
+
+    #[test]
+    fn calibration_covers_whole_duration() {
+        let apm = ApmDistance::new(grid(), 7.0);
+        let a = line(0.0, 1.0, 10, 5.0, 0.0); // 45 s duration
+        let n = apm.calibrate(&a).len();
+        // ceil(45 / 7) + 1 = 8 anchor times (including the clamped end).
+        assert_eq!(n, 8);
+    }
+}

@@ -1,0 +1,124 @@
+//! CATS — Clue-Aware Trajectory Similarity (Hung, Peng & Lee, VLDB J.
+//! 2015 — paper ref. [21]).
+//!
+//! CATS "aims to couple as many spatially and temporally co-located data
+//! points between two trajectories" and "relies on two manually defined
+//! parameters" (§VI-A): a spatial tolerance ε and a temporal window τ.
+//!
+//! Reconstruction (the original is research Python): each point `p` of
+//! one trajectory collects a *clue* from the other trajectory — the best
+//! spatial closeness `max(0, 1 − d/ε)` among that trajectory's points
+//! within `τ` seconds of `p`. The directed score is the mean clue over
+//! the querying trajectory's points; CATS is the symmetric average.
+//! This preserves the published behaviour the evaluation depends on:
+//! strong when many points pair up within both tolerances, degrading as
+//! sampling gets sparser or noisier than the fixed thresholds allow.
+
+use crate::SimilarityMeasure;
+use sts_traj::{TrajPoint, Trajectory};
+
+/// CATS similarity with spatial tolerance `epsilon` (meters) and temporal
+/// window `tau` (seconds).
+#[derive(Debug, Clone, Copy)]
+pub struct Cats {
+    epsilon: f64,
+    tau: f64,
+}
+
+impl Cats {
+    /// Creates the measure; both parameters must be positive.
+    pub fn new(epsilon: f64, tau: f64) -> Self {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        assert!(tau > 0.0, "tau must be positive");
+        Cats { epsilon, tau }
+    }
+
+    /// The best clue point `p` obtains from `other` — linear spatial
+    /// decay within the temporal window.
+    fn clue(&self, p: &TrajPoint, other: &Trajectory) -> f64 {
+        // Binary search to the temporal window [p.t - tau, p.t + tau].
+        let pts = other.points();
+        let start = pts.partition_point(|q| q.t < p.t - self.tau);
+        let mut best = 0.0f64;
+        for q in &pts[start..] {
+            if q.t > p.t + self.tau {
+                break;
+            }
+            let s = 1.0 - p.loc.distance(&q.loc) / self.epsilon;
+            best = best.max(s);
+        }
+        best.max(0.0)
+    }
+
+    fn directed(&self, from: &Trajectory, to: &Trajectory) -> f64 {
+        let total: f64 = from.points().iter().map(|p| self.clue(p, to)).sum();
+        total / from.len() as f64
+    }
+}
+
+impl SimilarityMeasure for Cats {
+    fn name(&self) -> &'static str {
+        "CATS"
+    }
+
+    fn similarity(&self, a: &Trajectory, b: &Trajectory) -> f64 {
+        0.5 * (self.directed(a, b) + self.directed(b, a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{assert_ranking, line};
+
+    fn cats() -> Cats {
+        Cats::new(10.0, 15.0)
+    }
+
+    #[test]
+    fn identical_is_one() {
+        let a = line(0.0, 1.0, 12, 5.0, 0.0);
+        assert!((cats().similarity(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranking_contract() {
+        assert_ranking(&cats());
+    }
+
+    #[test]
+    fn outside_temporal_window_scores_zero() {
+        let a = line(0.0, 1.0, 10, 5.0, 0.0);
+        let late = line(0.0, 1.0, 10, 5.0, 10_000.0);
+        assert_eq!(cats().similarity(&a, &late), 0.0);
+    }
+
+    #[test]
+    fn outside_spatial_tolerance_scores_zero() {
+        let a = line(0.0, 1.0, 10, 5.0, 0.0);
+        let far = line(50.0, 1.0, 10, 5.0, 0.0);
+        assert_eq!(cats().similarity(&a, &far), 0.0);
+    }
+
+    #[test]
+    fn clue_decays_linearly_with_distance() {
+        let a = line(0.0, 1.0, 10, 5.0, 0.0);
+        let near = line(2.0, 1.0, 10, 5.0, 0.0);
+        let farther = line(6.0, 1.0, 10, 5.0, 0.0);
+        let s_near = cats().similarity(&a, &near);
+        let s_far = cats().similarity(&a, &farther);
+        assert!((s_near - 0.8).abs() < 1e-9, "{s_near}");
+        assert!((s_far - 0.4).abs() < 1e-9, "{s_far}");
+    }
+
+    #[test]
+    fn sparser_counterpart_lowers_directed_score() {
+        // The asymmetry CATS smooths over: a has 20 points, b only 4 —
+        // many of a's points find no temporally close clue.
+        let a = line(0.0, 1.0, 20, 5.0, 0.0);
+        let b = line(0.0, 1.0, 4, 25.0, 0.0);
+        let s = cats().similarity(&a, &b);
+        assert!(s < 1.0);
+        assert!(s > 0.0);
+    }
+}

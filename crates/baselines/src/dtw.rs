@@ -1,0 +1,128 @@
+//! Dynamic Time Warping (Yi, Jagadish & Faloutsos, ICDE 1998 — paper
+//! ref. [13]).
+//!
+//! The classic elastic alignment: every point of one trajectory is
+//! matched to at least one point of the other, in order, minimizing the
+//! summed pointwise distance. Purely spatial — timestamps are ignored —
+//! which is exactly the limitation §II calls out. Besides serving as a
+//! reference measure, DTW is the post-calibration metric of the APM and
+//! KF baselines (§VI-A).
+
+use crate::{DistanceMeasure, DistanceSimilarity, SimilarityMeasure};
+use sts_geo::Point;
+use sts_traj::Trajectory;
+
+/// DTW distance over point sequences.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DtwDistance;
+
+/// Computes DTW over raw point slices (shared with APM/KF which align
+/// derived point sequences rather than trajectories).
+pub fn dtw_points(a: &[Point], b: &[Point]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "DTW needs non-empty inputs");
+    let m = b.len();
+    // Rolling single-row DP; O(n·m) time, O(m) space.
+    let mut prev = vec![f64::INFINITY; m + 1];
+    let mut curr = vec![f64::INFINITY; m + 1];
+    prev[0] = 0.0;
+    for pa in a {
+        curr[0] = f64::INFINITY;
+        for (j, pb) in b.iter().enumerate() {
+            let cost = pa.distance(pb);
+            curr[j + 1] = cost + prev[j].min(prev[j + 1]).min(curr[j]);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m]
+}
+
+impl DistanceMeasure for DtwDistance {
+    fn name(&self) -> &'static str {
+        "DTW"
+    }
+
+    fn distance(&self, a: &Trajectory, b: &Trajectory) -> f64 {
+        let pa: Vec<Point> = a.locations().collect();
+        let pb: Vec<Point> = b.locations().collect();
+        dtw_points(&pa, &pb)
+    }
+}
+
+/// DTW as a similarity measure (`1/(1+d)`).
+pub struct Dtw(DistanceSimilarity<DtwDistance>);
+
+impl Dtw {
+    /// Creates the measure.
+    pub fn new() -> Self {
+        Dtw(DistanceSimilarity(DtwDistance))
+    }
+}
+
+impl Default for Dtw {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimilarityMeasure for Dtw {
+    fn name(&self) -> &'static str {
+        "DTW"
+    }
+
+    fn similarity(&self, a: &Trajectory, b: &Trajectory) -> f64 {
+        self.0.similarity(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{assert_ranking, line};
+
+    #[test]
+    fn identical_trajectories_have_zero_distance() {
+        let a = line(0.0, 1.0, 10, 5.0, 0.0);
+        assert_eq!(DtwDistance.distance(&a, &a), 0.0);
+        assert_eq!(Dtw::new().similarity(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn ranking_contract() {
+        assert_ranking(&Dtw::new());
+    }
+
+    #[test]
+    fn known_small_case() {
+        // a = (0,0), (1,0); b = (0,0), (2,0).
+        // Optimal alignment: (a1,b1) + (a2,b2) = 0 + 1 = 1.
+        let a = Trajectory::from_xyt(&[(0.0, 0.0, 0.0), (1.0, 0.0, 1.0)]).unwrap();
+        let b = Trajectory::from_xyt(&[(0.0, 0.0, 0.0), (2.0, 0.0, 1.0)]).unwrap();
+        assert!((DtwDistance.distance(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn handles_unequal_lengths() {
+        // Same 20 m of line, sampled with 5 vs 17 points.
+        let a = line(0.0, 1.0, 5, 5.0, 0.0);
+        let b = line(0.0, 1.0, 17, 1.25, 0.0);
+        let d = DtwDistance.distance(&a, &b);
+        assert!(d.is_finite());
+        // Many-to-one matches absorb the density difference cheaply.
+        assert!(d < 50.0, "got {d}");
+    }
+
+    #[test]
+    fn ignores_time_shifts_entirely() {
+        // Same spatial footprint, wildly different timestamps: DTW can't
+        // tell them apart — the weakness STS addresses.
+        let a = line(0.0, 1.0, 10, 5.0, 0.0);
+        let b = line(0.0, 1.0, 10, 5.0, 100_000.0);
+        assert_eq!(DtwDistance.distance(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn dtw_points_single_elements() {
+        let d = dtw_points(&[Point::new(0.0, 0.0)], &[Point::new(3.0, 4.0)]);
+        assert!((d - 5.0).abs() < 1e-12);
+    }
+}

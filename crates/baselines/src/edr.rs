@@ -1,0 +1,110 @@
+//! Edit Distance on Real sequence (Chen, Özsu & Oria, SIGMOD 2005 —
+//! paper ref. [14]).
+//!
+//! Edit distance where substituting two points costs 0 when they match
+//! (within `epsilon` meters) and 1 otherwise; insertions and deletions
+//! cost 1. Normalized by the longer length so values are comparable
+//! across trajectory sizes.
+
+use crate::{DistanceMeasure, DistanceSimilarity, SimilarityMeasure};
+use sts_traj::Trajectory;
+
+/// EDR distance with spatial match threshold `epsilon` (meters).
+#[derive(Debug, Clone, Copy)]
+pub struct EdrDistance {
+    epsilon: f64,
+}
+
+impl EdrDistance {
+    /// Creates the distance; `epsilon` must be positive.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        EdrDistance { epsilon }
+    }
+}
+
+impl DistanceMeasure for EdrDistance {
+    fn name(&self) -> &'static str {
+        "EDR"
+    }
+
+    fn distance(&self, a: &Trajectory, b: &Trajectory) -> f64 {
+        let pa = a.points();
+        let pb = b.points();
+        let m = pb.len();
+        let mut prev: Vec<usize> = (0..=m).collect();
+        let mut curr = vec![0usize; m + 1];
+        for (i, p) in pa.iter().enumerate() {
+            curr[0] = i + 1;
+            for (j, q) in pb.iter().enumerate() {
+                let subst = usize::from(p.loc.distance(&q.loc) > self.epsilon);
+                curr[j + 1] = (prev[j] + subst)
+                    .min(prev[j + 1] + 1)
+                    .min(curr[j] + 1);
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        prev[m] as f64 / pa.len().max(pb.len()) as f64
+    }
+}
+
+/// EDR as a similarity measure (`1/(1+d)`).
+pub struct Edr(DistanceSimilarity<EdrDistance>);
+
+impl Edr {
+    /// Creates the measure with the given spatial threshold.
+    pub fn new(epsilon: f64) -> Self {
+        Edr(DistanceSimilarity(EdrDistance::new(epsilon)))
+    }
+}
+
+impl SimilarityMeasure for Edr {
+    fn name(&self) -> &'static str {
+        "EDR"
+    }
+
+    fn similarity(&self, a: &Trajectory, b: &Trajectory) -> f64 {
+        self.0.similarity(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{assert_ranking, line};
+
+    #[test]
+    fn identical_is_zero_distance() {
+        let a = line(0.0, 1.0, 12, 5.0, 0.0);
+        assert_eq!(EdrDistance::new(1.0).distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn ranking_contract() {
+        assert_ranking(&Edr::new(5.0));
+    }
+
+    #[test]
+    fn completely_different_is_normalized_max() {
+        let a = line(0.0, 1.0, 10, 5.0, 0.0);
+        let b = line(1000.0, 1.0, 10, 5.0, 0.0);
+        // Every position must be substituted: distance n / n = 1.
+        assert!((EdrDistance::new(5.0).distance(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn insertion_cost_counts() {
+        let a = line(0.0, 1.0, 10, 5.0, 0.0);
+        let b = line(0.0, 1.0, 5, 5.0, 0.0); // prefix of a
+        // 5 deletions over max length 10.
+        assert!((EdrDistance::new(1.0).distance(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epsilon_tolerance() {
+        let a = line(0.0, 1.0, 10, 5.0, 0.0);
+        let b = line(3.0, 1.0, 10, 5.0, 0.0);
+        assert_eq!(EdrDistance::new(4.0).distance(&a, &b), 0.0);
+        assert!(EdrDistance::new(2.0).distance(&a, &b) > 0.9);
+    }
+}

@@ -1,0 +1,181 @@
+//! EDwP — Edit Distance with Projections (Ranu et al., ICDE 2015 —
+//! paper ref. [15]).
+//!
+//! EDwP matches trajectories under inconsistent, variable sampling rates
+//! by *projecting* points onto the other trajectory's segments (linear
+//! interpolation of the in-between movement) instead of forcing
+//! point-to-point alignment. Costs are weighted by *coverage* (the
+//! amount of trajectory length a matching explains) so that dense and
+//! sparse regions contribute proportionally.
+//!
+//! Reconstruction of the published recursion (the reference
+//! implementation is the authors' Java): projection-aware elastic
+//! matching. The DP aligns the two point sequences in order; besides the
+//! point-to-point *replacement* `d(aᵢ, bⱼ)`, a point left unmatched by
+//! the other sequence is charged its distance to the other trajectory's
+//! *interpolated movement* — its projection on the adjacent segments —
+//! which is EDwP's *insert* operation (insert the projection, match
+//! against it). On-path refinements are therefore free, which is the
+//! property that makes EDwP robust to inconsistent sampling rates.
+//! EDwP's coverage factor rescales costs by local trajectory length; it
+//! is omitted here as it does not change which trajectory wins a
+//! matching task (rank-preserving at the dataset scales we evaluate).
+//! Timestamps are ignored — EDwP is spatial, which is why it cannot
+//! separate co-located-at-different-times objects (§II).
+
+use crate::{DistanceMeasure, DistanceSimilarity, SimilarityMeasure};
+use sts_geo::{Point, Segment};
+use sts_traj::Trajectory;
+
+/// EDwP distance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EdwpDistance;
+
+impl EdwpDistance {
+    /// Distance from `p` to the interpolated movement of the other
+    /// trajectory around index `j` (its two adjacent segments).
+    fn projection_cost(p: &Point, pts: &[Point], j: usize) -> f64 {
+        let mut best = p.distance(&pts[j]);
+        if j + 1 < pts.len() {
+            best = best.min(Segment::new(pts[j], pts[j + 1]).distance_to_point(p));
+        }
+        if j > 0 {
+            best = best.min(Segment::new(pts[j - 1], pts[j]).distance_to_point(p));
+        }
+        best
+    }
+}
+
+impl DistanceMeasure for EdwpDistance {
+    fn name(&self) -> &'static str {
+        "EDwP"
+    }
+
+    fn distance(&self, a: &Trajectory, b: &Trajectory) -> f64 {
+        let pa: Vec<Point> = a.locations().collect();
+        let pb: Vec<Point> = b.locations().collect();
+        let (n, m) = (pa.len(), pb.len());
+        // dp[j] = cost of matching pa[..=i] with pb[..=j].
+        let mut prev = vec![f64::INFINITY; m];
+        let mut curr = vec![f64::INFINITY; m];
+        for i in 0..n {
+            for j in 0..m {
+                let rep = pa[i].distance(&pb[j]);
+                let best_prev = if i == 0 && j == 0 {
+                    // Anchor: first points matched directly.
+                    rep
+                } else {
+                    let diag = if i > 0 && j > 0 {
+                        prev[j - 1] + rep
+                    } else {
+                        f64::INFINITY
+                    };
+                    // Insert a_i: matched against b's interpolated
+                    // movement around j, b_j stays matched to a_{i-1}.
+                    let ins_a = if i > 0 {
+                        prev[j] + Self::projection_cost(&pa[i], &pb, j)
+                    } else {
+                        f64::INFINITY
+                    };
+                    // Insert b_j symmetrically.
+                    let ins_b = if j > 0 {
+                        curr[j - 1] + Self::projection_cost(&pb[j], &pa, i)
+                    } else {
+                        f64::INFINITY
+                    };
+                    diag.min(ins_a).min(ins_b)
+                };
+                curr[j] = best_prev;
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        prev[m - 1]
+    }
+}
+
+/// EDwP as a similarity measure (`1/(1+d)`).
+pub struct Edwp(DistanceSimilarity<EdwpDistance>);
+
+impl Edwp {
+    /// Creates the measure.
+    pub fn new() -> Self {
+        Edwp(DistanceSimilarity(EdwpDistance))
+    }
+}
+
+impl Default for Edwp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimilarityMeasure for Edwp {
+    fn name(&self) -> &'static str {
+        "EDwP"
+    }
+
+    fn similarity(&self, a: &Trajectory, b: &Trajectory) -> f64 {
+        self.0.similarity(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{assert_ranking, line};
+    use sts_traj::sampling::every_kth;
+
+    #[test]
+    fn identical_is_zero() {
+        let a = line(0.0, 1.0, 12, 5.0, 0.0);
+        assert_eq!(EdwpDistance.distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn ranking_contract() {
+        assert_ranking(&Edwp::new());
+    }
+
+    #[test]
+    fn robust_to_resampling() {
+        // The same path observed at half the rate should stay much
+        // closer (under EDwP) than a genuinely different path — the
+        // design goal of the projections.
+        let a = line(0.0, 1.0, 21, 5.0, 0.0);
+        let sparse = every_kth(&a, 2);
+        let other = line(40.0, 1.0, 21, 5.0, 0.0);
+        let d_resampled = EdwpDistance.distance(&a, &sparse);
+        let d_other = EdwpDistance.distance(&a, &other);
+        assert!(
+            d_resampled < d_other / 5.0,
+            "resampled {d_resampled} vs other {d_other}"
+        );
+    }
+
+    #[test]
+    fn projection_explains_midpoints_cheaply() {
+        // b has an extra midpoint exactly on a's segment: near-zero cost.
+        let a = Trajectory::from_xyt(&[(0.0, 0.0, 0.0), (10.0, 0.0, 10.0)]).unwrap();
+        let b = Trajectory::from_xyt(&[(0.0, 0.0, 0.0), (5.0, 0.0, 5.0), (10.0, 0.0, 10.0)])
+            .unwrap();
+        let d = EdwpDistance.distance(&a, &b);
+        assert!(d < 1e-6, "on-path refinement should be free, got {d}");
+    }
+
+    #[test]
+    fn degenerate_single_point_inputs() {
+        let single = Trajectory::from_xyt(&[(3.0, 4.0, 0.0)]).unwrap();
+        let a = line(0.0, 1.0, 10, 5.0, 0.0);
+        let d = EdwpDistance.distance(&single, &a);
+        assert!(d.is_finite());
+        assert!(d >= 0.0);
+        assert_eq!(EdwpDistance.distance(&single, &single), 0.0);
+    }
+
+    #[test]
+    fn spatial_only_ignores_time() {
+        let a = line(0.0, 1.0, 10, 5.0, 0.0);
+        let shifted = line(0.0, 1.0, 10, 5.0, 99_999.0);
+        assert_eq!(EdwpDistance.distance(&a, &shifted), 0.0);
+    }
+}

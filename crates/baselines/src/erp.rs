@@ -1,0 +1,123 @@
+//! Edit distance with Real Penalty (Chen & Ng, VLDB 2004 — paper
+//! ref. [28]).
+//!
+//! Unlike EDR's constant edit cost, ERP charges the real distance to a
+//! fixed *gap point* `g` for unmatched positions, making it a metric
+//! (triangle inequality holds). `g` is conventionally the origin of the
+//! data space or its centroid.
+
+use crate::{DistanceMeasure, DistanceSimilarity, SimilarityMeasure};
+use sts_geo::Point;
+use sts_traj::Trajectory;
+
+/// ERP distance with gap point `g`.
+#[derive(Debug, Clone, Copy)]
+pub struct ErpDistance {
+    gap: Point,
+}
+
+impl ErpDistance {
+    /// Creates the distance with the given gap point.
+    pub fn new(gap: Point) -> Self {
+        ErpDistance { gap }
+    }
+}
+
+impl DistanceMeasure for ErpDistance {
+    fn name(&self) -> &'static str {
+        "ERP"
+    }
+
+    fn distance(&self, a: &Trajectory, b: &Trajectory) -> f64 {
+        let pa: Vec<Point> = a.locations().collect();
+        let pb: Vec<Point> = b.locations().collect();
+        let m = pb.len();
+        let mut prev = vec![0.0f64; m + 1];
+        let mut curr = vec![0.0f64; m + 1];
+        // First row: delete all of b against gaps.
+        for j in 0..m {
+            prev[j + 1] = prev[j] + pb[j].distance(&self.gap);
+        }
+        for p in &pa {
+            curr[0] = prev[0] + p.distance(&self.gap);
+            for (j, q) in pb.iter().enumerate() {
+                let subst = prev[j] + p.distance(q);
+                let del_a = prev[j + 1] + p.distance(&self.gap);
+                let del_b = curr[j] + q.distance(&self.gap);
+                curr[j + 1] = subst.min(del_a).min(del_b);
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        prev[m]
+    }
+}
+
+/// ERP as a similarity measure (`1/(1+d)`).
+pub struct Erp(DistanceSimilarity<ErpDistance>);
+
+impl Erp {
+    /// Creates the measure with the given gap point.
+    pub fn new(gap: Point) -> Self {
+        Erp(DistanceSimilarity(ErpDistance::new(gap)))
+    }
+}
+
+impl SimilarityMeasure for Erp {
+    fn name(&self) -> &'static str {
+        "ERP"
+    }
+
+    fn similarity(&self, a: &Trajectory, b: &Trajectory) -> f64 {
+        self.0.similarity(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{assert_ranking, line};
+
+    fn erp() -> ErpDistance {
+        ErpDistance::new(Point::ORIGIN)
+    }
+
+    #[test]
+    fn identical_is_zero() {
+        let a = line(0.0, 1.0, 10, 5.0, 0.0);
+        assert_eq!(erp().distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn ranking_contract() {
+        assert_ranking(&Erp::new(Point::ORIGIN));
+    }
+
+    #[test]
+    fn gap_penalty_for_extra_points() {
+        // b is a plus one extra point at distance 7 from the gap point.
+        let a = Trajectory::from_xyt(&[(1.0, 0.0, 0.0), (2.0, 0.0, 1.0)]).unwrap();
+        let b = Trajectory::from_xyt(&[(1.0, 0.0, 0.0), (2.0, 0.0, 1.0), (7.0, 0.0, 2.0)])
+            .unwrap();
+        let d = erp().distance(&a, &b);
+        assert!((d - 7.0).abs() < 1e-12, "got {d}");
+    }
+
+    #[test]
+    fn triangle_inequality_samples() {
+        let xs = [
+            line(0.0, 1.0, 8, 5.0, 0.0),
+            line(10.0, 1.2, 10, 5.0, 0.0),
+            line(-5.0, 0.8, 6, 5.0, 0.0),
+        ];
+        let e = erp();
+        for x in &xs {
+            for y in &xs {
+                for z in &xs {
+                    assert!(
+                        e.distance(x, z) <= e.distance(x, y) + e.distance(y, z) + 1e-9
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Discrete Fréchet distance (Eiter & Mannila's coupling of Fréchet's
+//! curve distance — paper ref. [30]).
+//!
+//! The minimal, over all order-preserving couplings, of the maximal
+//! pointwise distance ("dog-leash distance"). §II notes its sensitivity
+//! to noise and sporadic sampling: a single noisy outlier sets the whole
+//! distance.
+
+use crate::{DistanceMeasure, DistanceSimilarity, SimilarityMeasure};
+use sts_geo::Point;
+use sts_traj::Trajectory;
+
+/// Discrete Fréchet distance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FrechetDistance;
+
+impl DistanceMeasure for FrechetDistance {
+    fn name(&self) -> &'static str {
+        "Frechet"
+    }
+
+    fn distance(&self, a: &Trajectory, b: &Trajectory) -> f64 {
+        let pa: Vec<Point> = a.locations().collect();
+        let pb: Vec<Point> = b.locations().collect();
+        let m = pb.len();
+        let mut prev = vec![f64::INFINITY; m];
+        let mut curr = vec![f64::INFINITY; m];
+        for (i, p) in pa.iter().enumerate() {
+            for (j, q) in pb.iter().enumerate() {
+                let d = p.distance(q);
+                let reach = if i == 0 && j == 0 {
+                    d
+                } else if i == 0 {
+                    curr[j - 1].max(d)
+                } else if j == 0 {
+                    prev[0].max(d)
+                } else {
+                    prev[j - 1].min(prev[j]).min(curr[j - 1]).max(d)
+                };
+                curr[j] = reach;
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        prev[m - 1]
+    }
+}
+
+/// Discrete Fréchet as a similarity measure (`1/(1+d)`).
+pub struct DiscreteFrechet(DistanceSimilarity<FrechetDistance>);
+
+impl DiscreteFrechet {
+    /// Creates the measure.
+    pub fn new() -> Self {
+        DiscreteFrechet(DistanceSimilarity(FrechetDistance))
+    }
+}
+
+impl Default for DiscreteFrechet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimilarityMeasure for DiscreteFrechet {
+    fn name(&self) -> &'static str {
+        "Frechet"
+    }
+
+    fn similarity(&self, a: &Trajectory, b: &Trajectory) -> f64 {
+        self.0.similarity(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{assert_ranking, line};
+
+    #[test]
+    fn identical_is_zero() {
+        let a = line(0.0, 1.0, 10, 5.0, 0.0);
+        assert_eq!(FrechetDistance.distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn ranking_contract() {
+        assert_ranking(&DiscreteFrechet::new());
+    }
+
+    #[test]
+    fn parallel_lines_distance_is_offset() {
+        let a = line(0.0, 1.0, 10, 5.0, 0.0);
+        let b = line(7.0, 1.0, 10, 5.0, 0.0);
+        assert!((FrechetDistance.distance(&a, &b) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_outlier_dominates() {
+        // The noise sensitivity §II describes: one far point sets the
+        // whole distance.
+        let a = line(0.0, 1.0, 10, 5.0, 0.0);
+        let mut pts: Vec<(f64, f64, f64)> = (0..10)
+            .map(|i| (5.0 * i as f64, 0.0, 5.0 * i as f64))
+            .collect();
+        pts[5].1 = 50.0; // one outlier 50 m off
+        let noisy = Trajectory::from_xyt(&pts).unwrap();
+        let d = FrechetDistance.distance(&a, &noisy);
+        assert!(d >= 49.0, "outlier should dominate, got {d}");
+    }
+
+    #[test]
+    fn monotone_coupling_beats_pointwise_max() {
+        // Frechet <= max pointwise distance of the identity coupling.
+        let a = line(0.0, 1.0, 10, 5.0, 0.0);
+        let b = line(3.0, 1.1, 10, 5.0, 0.0);
+        let ident_max = a
+            .points()
+            .iter()
+            .zip(b.points())
+            .map(|(p, q)| p.loc.distance(&q.loc))
+            .fold(0.0f64, f64::max);
+        assert!(FrechetDistance.distance(&a, &b) <= ident_max + 1e-12);
+    }
+}

@@ -1,0 +1,152 @@
+//! FTL-style linking compatibility (Wu et al., ICDE 2016 — paper
+//! ref. [1]; the same mechanism underlies ST-Link [22] and SLIM [23]).
+//!
+//! "FTL merges two trajectories and defines the compatibility of a
+//! mutual segment based on a predefined threshold for velocity. In FTL,
+//! a global velocity threshold is used for all objects" (§II). ST-Link
+//! and SLIM additionally restrict matching to events within a time
+//! window.
+//!
+//! Reconstruction: the two trajectories are merged by timestamp; every
+//! *mutual* segment (consecutive points contributed by different
+//! trajectories, within the optional time window) is compatible when
+//! its implied speed `dis/Δt` does not exceed the global threshold.
+//! The score is the fraction of compatible mutual segments — 1.0 when
+//! the merged movement is everywhere explainable by one object moving
+//! at most at `v_max`. This is exactly the "strong assumption of a
+//! fixed known speed" the paper criticizes, and the ablation point for
+//! STS's personalized speed model.
+
+use crate::SimilarityMeasure;
+use sts_traj::{TrajPoint, Trajectory};
+
+/// FTL linking compatibility with a global speed threshold.
+#[derive(Debug, Clone, Copy)]
+pub struct Ftl {
+    /// Global maximum speed, m/s.
+    v_max: f64,
+    /// Optional window: mutual segments longer than this (seconds) are
+    /// ignored rather than scored (the ST-Link/SLIM restriction).
+    time_window: Option<f64>,
+}
+
+impl Ftl {
+    /// Creates the measure; `v_max` must be positive.
+    pub fn new(v_max: f64, time_window: Option<f64>) -> Self {
+        assert!(v_max > 0.0, "speed threshold must be positive");
+        if let Some(w) = time_window {
+            assert!(w > 0.0, "time window must be positive");
+        }
+        Ftl { v_max, time_window }
+    }
+}
+
+impl SimilarityMeasure for Ftl {
+    fn name(&self) -> &'static str {
+        "FTL"
+    }
+
+    fn similarity(&self, a: &Trajectory, b: &Trajectory) -> f64 {
+        // Merge by timestamp, tagging the source trajectory.
+        let mut merged: Vec<(TrajPoint, u8)> = a
+            .points()
+            .iter()
+            .map(|&p| (p, 0u8))
+            .chain(b.points().iter().map(|&p| (p, 1u8)))
+            .collect();
+        merged.sort_by(|x, y| x.0.t.partial_cmp(&y.0.t).expect("finite timestamps"));
+        let mut mutual = 0usize;
+        let mut compatible = 0usize;
+        for w in merged.windows(2) {
+            let ((p, sp), (q, sq)) = (w[0], w[1]);
+            if sp == sq {
+                continue; // same source: not a mutual segment
+            }
+            let dt = q.t - p.t;
+            if let Some(window) = self.time_window {
+                if dt > window {
+                    continue;
+                }
+            }
+            mutual += 1;
+            if dt <= 0.0 {
+                // Simultaneous observations: compatible only if (nearly)
+                // co-located.
+                if p.loc.distance(&q.loc) < 1e-9 {
+                    compatible += 1;
+                }
+                continue;
+            }
+            if p.loc.distance(&q.loc) / dt <= self.v_max {
+                compatible += 1;
+            }
+        }
+        if mutual == 0 {
+            return 0.0; // nothing links the two trajectories
+        }
+        compatible as f64 / mutual as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{assert_ranking, line};
+
+    #[test]
+    fn same_object_halves_are_fully_compatible() {
+        // A 1 m/s walker split into interleaved halves: every mutual
+        // segment implies ~1 m/s.
+        let full = line(0.0, 1.0, 20, 5.0, 0.0);
+        let (h1, h2) = sts_traj::sampling::alternate_split(&full).unwrap();
+        let ftl = Ftl::new(2.0, None);
+        assert_eq!(ftl.similarity(&h1, &h2), 1.0);
+    }
+
+    #[test]
+    fn ranking_contract() {
+        assert_ranking(&Ftl::new(5.0, None));
+    }
+
+    #[test]
+    fn teleporting_pairs_are_incompatible() {
+        let a = line(0.0, 1.0, 10, 5.0, 0.0);
+        let far = line(10_000.0, 1.0, 10, 5.0, 2.5); // 10 km away, interleaved times
+        let ftl = Ftl::new(10.0, None);
+        assert_eq!(ftl.similarity(&a, &far), 0.0);
+    }
+
+    #[test]
+    fn threshold_choice_is_decisive() {
+        // The fragility the paper criticizes: a fast object is judged
+        // incompatible by a threshold tuned for slow ones.
+        let fast = line(0.0, 20.0, 10, 5.0, 0.0); // 20 m/s
+        let (h1, h2) = sts_traj::sampling::alternate_split(&fast).unwrap();
+        let pedestrian_ftl = Ftl::new(2.0, None);
+        let highway_ftl = Ftl::new(40.0, None);
+        assert_eq!(pedestrian_ftl.similarity(&h1, &h2), 0.0);
+        assert_eq!(highway_ftl.similarity(&h1, &h2), 1.0);
+    }
+
+    #[test]
+    fn time_window_excludes_distant_events() {
+        let a = line(0.0, 1.0, 5, 100.0, 0.0); // sparse: 100 s gaps
+        let b = line(0.0, 1.0, 5, 100.0, 50.0);
+        let windowed = Ftl::new(2.0, Some(10.0));
+        // All mutual gaps are 50 s > 10 s: no scored segments.
+        assert_eq!(windowed.similarity(&a, &b), 0.0);
+        let open = Ftl::new(2.0, None);
+        assert!(open.similarity(&a, &b) > 0.9);
+    }
+
+    #[test]
+    fn disjoint_time_spans_still_score_edge_segment() {
+        let a = line(0.0, 1.0, 5, 5.0, 0.0); // ends t=20
+        let b = line(0.0, 1.0, 5, 5.0, 100.0); // starts t=100
+        // One mutual segment (t=20 -> t=100), speed tiny: compatible.
+        let ftl = Ftl::new(2.0, None);
+        assert_eq!(ftl.similarity(&a, &b), 1.0);
+        // With a window it is excluded and the score collapses to 0.
+        assert_eq!(Ftl::new(2.0, Some(30.0)).similarity(&a, &b), 0.0);
+    }
+}

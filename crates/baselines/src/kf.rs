@@ -1,0 +1,158 @@
+//! KF — Kalman-filter location estimation + DTW (§VI-A).
+//!
+//! "Kalman filter (KF) is an algorithm to estimate unknown variables
+//! that tend to be more accurate than those based on a single
+//! measurement. It is used to estimate the object location at a given
+//! time in our experiments. After the locations are estimated, we use
+//! DTW for similarity comparison."
+//!
+//! Implementation: each trajectory is RTS-smoothed with the 2-D
+//! constant-velocity filter of `sts-stats`, then both are resampled at a
+//! unified time step over their own spans; DTW compares the estimated
+//! position sequences.
+
+use crate::dtw::dtw_points;
+use crate::{DistanceMeasure, DistanceSimilarity, SimilarityMeasure};
+use sts_geo::Point;
+use sts_stats::{KalmanConfig, KalmanFilter2D};
+use sts_traj::Trajectory;
+
+/// KF distance: Kalman smoothing + uniform resampling + DTW.
+#[derive(Debug, Clone)]
+pub struct KalmanDtwDistance {
+    filter: KalmanFilter2D,
+    time_step: f64,
+}
+
+impl KalmanDtwDistance {
+    /// Creates the measure with the filter configuration and the
+    /// resampling period (seconds).
+    pub fn new(config: KalmanConfig, time_step: f64) -> Self {
+        assert!(time_step > 0.0, "time step must be positive");
+        KalmanDtwDistance {
+            filter: KalmanFilter2D::new(config),
+            time_step,
+        }
+    }
+
+    /// Smooths and resamples one trajectory to estimated positions at the
+    /// unified time lattice over its span.
+    pub fn estimate(&self, traj: &Trajectory) -> Vec<Point> {
+        let obs: Vec<(Point, f64)> = traj.points().iter().map(|p| (p.loc, p.t)).collect();
+        let states = self.filter.smooth(&obs);
+        let mut out = Vec::new();
+        let mut t = traj.start_time();
+        let end = traj.end_time();
+        loop {
+            out.push(KalmanFilter2D::position_at(&states, t));
+            if t >= end {
+                break;
+            }
+            t = (t + self.time_step).min(end);
+        }
+        out
+    }
+}
+
+impl DistanceMeasure for KalmanDtwDistance {
+    fn name(&self) -> &'static str {
+        "KF"
+    }
+
+    fn distance(&self, a: &Trajectory, b: &Trajectory) -> f64 {
+        dtw_points(&self.estimate(a), &self.estimate(b))
+    }
+}
+
+/// KF as a similarity measure (`1/(1+d)`).
+pub struct KalmanDtw(DistanceSimilarity<KalmanDtwDistance>);
+
+impl KalmanDtw {
+    /// Creates the measure.
+    pub fn new(config: KalmanConfig, time_step: f64) -> Self {
+        KalmanDtw(DistanceSimilarity(KalmanDtwDistance::new(config, time_step)))
+    }
+}
+
+impl SimilarityMeasure for KalmanDtw {
+    fn name(&self) -> &'static str {
+        "KF"
+    }
+
+    fn similarity(&self, a: &Trajectory, b: &Trajectory) -> f64 {
+        self.0.similarity(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{assert_ranking, line};
+
+    fn kf() -> KalmanDtwDistance {
+        KalmanDtwDistance::new(
+            KalmanConfig {
+                process_noise: 0.5,
+                measurement_std: 3.0,
+                initial_velocity_var: 25.0,
+            },
+            5.0,
+        )
+    }
+
+    #[test]
+    fn identical_is_zero() {
+        let a = line(0.0, 1.0, 12, 5.0, 0.0);
+        assert!(kf().distance(&a, &a) < 1e-9);
+    }
+
+    #[test]
+    fn ranking_contract() {
+        assert_ranking(&KalmanDtw::new(
+            KalmanConfig {
+                process_noise: 0.5,
+                measurement_std: 3.0,
+                initial_velocity_var: 25.0,
+            },
+            5.0,
+        ));
+    }
+
+    #[test]
+    fn estimate_lattice_covers_span() {
+        let a = line(0.0, 1.0, 10, 5.0, 0.0); // 45 s
+        let est = kf().estimate(&a);
+        assert_eq!(est.len(), 10); // ceil(45/5) + 1
+        for p in est {
+            assert!(p.is_finite());
+        }
+    }
+
+    #[test]
+    fn smoothing_attenuates_noise() {
+        use rand::SeedableRng;
+        use sts_traj::noise::add_gaussian_noise;
+        let clean = line(0.0, 1.0, 40, 5.0, 0.0);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let noisy = add_gaussian_noise(&clean, 5.0, &mut rng);
+        // DTW on raw noisy points vs DTW on KF-estimated points, against
+        // the clean reference.
+        let raw: Vec<Point> = noisy.locations().collect();
+        let clean_pts: Vec<Point> = clean.locations().collect();
+        let d_raw = dtw_points(&raw, &clean_pts);
+        let est = kf().estimate(&noisy);
+        let clean_est = kf().estimate(&clean);
+        let d_est = dtw_points(&est, &clean_est);
+        assert!(
+            d_est < d_raw,
+            "KF should denoise: est {d_est} vs raw {d_raw}"
+        );
+    }
+
+    #[test]
+    fn single_point_trajectory_is_handled() {
+        let single = Trajectory::from_xyt(&[(5.0, 5.0, 0.0)]).unwrap();
+        let a = line(0.0, 1.0, 10, 5.0, 0.0);
+        assert!(kf().distance(&single, &a).is_finite());
+    }
+}

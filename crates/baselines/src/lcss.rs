@@ -1,0 +1,116 @@
+//! Longest Common SubSequence similarity (Vlachos, Kollios & Gunopulos,
+//! ICDE 2002 — paper ref. [18]).
+//!
+//! Two points *match* when they are within `epsilon` meters and (when a
+//! temporal window is set) within `delta` seconds; LCSS is the longest
+//! in-order chain of matches, normalized by the shorter trajectory's
+//! length. The manually defined thresholds are exactly the brittleness
+//! §II criticizes ("use manually defined thresholds to match positions").
+
+use crate::SimilarityMeasure;
+use sts_traj::Trajectory;
+
+/// LCSS similarity with spatial threshold `epsilon` (meters) and an
+/// optional temporal window `delta` (seconds; `None` = spatial only).
+#[derive(Debug, Clone, Copy)]
+pub struct Lcss {
+    epsilon: f64,
+    delta: Option<f64>,
+}
+
+impl Lcss {
+    /// Creates the measure. `epsilon` must be positive.
+    pub fn new(epsilon: f64, delta: Option<f64>) -> Self {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        if let Some(d) = delta {
+            assert!(d >= 0.0, "delta must be non-negative");
+        }
+        Lcss { epsilon, delta }
+    }
+
+    fn matches(&self, a: &sts_traj::TrajPoint, b: &sts_traj::TrajPoint) -> bool {
+        if a.loc.distance(&b.loc) > self.epsilon {
+            return false;
+        }
+        match self.delta {
+            Some(d) => (a.t - b.t).abs() <= d,
+            None => true,
+        }
+    }
+}
+
+impl SimilarityMeasure for Lcss {
+    fn name(&self) -> &'static str {
+        "LCSS"
+    }
+
+    fn similarity(&self, a: &Trajectory, b: &Trajectory) -> f64 {
+        let pa = a.points();
+        let pb = b.points();
+        let m = pb.len();
+        let mut prev = vec![0usize; m + 1];
+        let mut curr = vec![0usize; m + 1];
+        for p in pa {
+            for (j, q) in pb.iter().enumerate() {
+                curr[j + 1] = if self.matches(p, q) {
+                    prev[j] + 1
+                } else {
+                    prev[j + 1].max(curr[j])
+                };
+            }
+            std::mem::swap(&mut prev, &mut curr);
+            curr[0] = 0;
+        }
+        prev[m] as f64 / pa.len().min(pb.len()) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{assert_ranking, line};
+
+    #[test]
+    fn identical_is_one() {
+        let a = line(0.0, 1.0, 15, 5.0, 0.0);
+        let m = Lcss::new(1.0, None);
+        assert_eq!(m.similarity(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn ranking_contract() {
+        assert_ranking(&Lcss::new(5.0, None));
+    }
+
+    #[test]
+    fn far_apart_is_zero() {
+        let a = line(0.0, 1.0, 10, 5.0, 0.0);
+        let b = line(100.0, 1.0, 10, 5.0, 0.0);
+        assert_eq!(Lcss::new(5.0, None).similarity(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn temporal_window_excludes_asynchronous_matches() {
+        let a = line(0.0, 1.0, 10, 5.0, 0.0);
+        let shifted = line(0.0, 1.0, 10, 5.0, 1000.0); // same shape, late
+        let spatial_only = Lcss::new(1.0, None);
+        let temporal = Lcss::new(1.0, Some(10.0));
+        assert_eq!(spatial_only.similarity(&a, &shifted), 1.0);
+        assert_eq!(temporal.similarity(&a, &shifted), 0.0);
+    }
+
+    #[test]
+    fn epsilon_controls_tolerance() {
+        let a = line(0.0, 1.0, 10, 5.0, 0.0);
+        let b = line(3.0, 1.0, 10, 5.0, 0.0); // 3 m offset
+        assert_eq!(Lcss::new(2.0, None).similarity(&a, &b), 0.0);
+        assert_eq!(Lcss::new(4.0, None).similarity(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn normalizes_by_shorter_length() {
+        let a = line(0.0, 1.0, 5, 5.0, 0.0);
+        let b = line(0.0, 1.0, 10, 5.0, 0.0); // superset of a's points
+        assert_eq!(Lcss::new(1.0, None).similarity(&a, &b), 1.0);
+    }
+}

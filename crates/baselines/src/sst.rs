@@ -1,0 +1,139 @@
+//! SST — Synchronized Spatial-Temporal trajectory similarity (Zhao et
+//! al., GeoInformatica 2020 — paper ref. [32]).
+//!
+//! "SST measures the similarity by synchronously matching the spatial
+//! distance against temporal distance. It matches points of two
+//! trajectories using the strategy of minimal point-to-segment
+//! similarity and maximal point-to-point similarity" (§VI-A / §II).
+//!
+//! Reconstruction: each point `p` of one trajectory is matched against
+//! the other trajectory's *segments*. For a segment `(q_j, q_{j+1})` the
+//! spatial distance is the point-to-segment distance (the "minimal
+//! point-to-segment" rule: interpolate the in-between movement) and the
+//! temporal distance is `p.t`'s gap to the segment's time interval. Each
+//! candidate combines both with exponential decays; `p` takes its best
+//! candidate (the "maximal point-to-point similarity" rule). SST is the
+//! symmetric mean over points. The decay scales are the parameter
+//! sensitivity §II attributes to SST.
+
+use crate::SimilarityMeasure;
+use sts_geo::Segment;
+use sts_traj::{TrajPoint, Trajectory};
+
+/// SST similarity.
+#[derive(Debug, Clone, Copy)]
+pub struct Sst {
+    /// Spatial decay scale (meters).
+    spatial_scale: f64,
+    /// Temporal decay scale (seconds).
+    temporal_scale: f64,
+}
+
+impl Sst {
+    /// Creates the measure.
+    pub fn new(spatial_scale: f64, temporal_scale: f64) -> Self {
+        assert!(spatial_scale > 0.0, "spatial scale must be positive");
+        assert!(temporal_scale > 0.0, "temporal scale must be positive");
+        Sst {
+            spatial_scale,
+            temporal_scale,
+        }
+    }
+
+    fn best_match(&self, p: &TrajPoint, other: &Trajectory) -> f64 {
+        let pts = other.points();
+        if pts.len() == 1 {
+            let q = pts[0];
+            let s = (-p.loc.distance(&q.loc) / self.spatial_scale).exp();
+            let tau = (-(p.t - q.t).abs() / self.temporal_scale).exp();
+            return s * tau;
+        }
+        let mut best = 0.0f64;
+        for w in pts.windows(2) {
+            let seg = Segment::new(w[0].loc, w[1].loc);
+            let d_space = seg.distance_to_point(&p.loc);
+            let d_time = if p.t < w[0].t {
+                w[0].t - p.t
+            } else if p.t > w[1].t {
+                p.t - w[1].t
+            } else {
+                0.0
+            };
+            let s = (-d_space / self.spatial_scale).exp();
+            let tau = (-d_time / self.temporal_scale).exp();
+            best = best.max(s * tau);
+        }
+        best
+    }
+
+    fn directed(&self, from: &Trajectory, to: &Trajectory) -> f64 {
+        let total: f64 = from.points().iter().map(|p| self.best_match(p, to)).sum();
+        total / from.len() as f64
+    }
+}
+
+impl SimilarityMeasure for Sst {
+    fn name(&self) -> &'static str {
+        "SST"
+    }
+
+    fn similarity(&self, a: &Trajectory, b: &Trajectory) -> f64 {
+        0.5 * (self.directed(a, b) + self.directed(b, a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{assert_ranking, line};
+    use sts_traj::sampling::every_kth;
+
+    fn sst() -> Sst {
+        Sst::new(10.0, 60.0)
+    }
+
+    #[test]
+    fn identical_is_one() {
+        let a = line(0.0, 1.0, 10, 5.0, 0.0);
+        assert!((sst().similarity(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranking_contract() {
+        assert_ranking(&sst());
+    }
+
+    #[test]
+    fn segment_interpolation_handles_sparser_sampling() {
+        let a = line(0.0, 1.0, 21, 5.0, 0.0);
+        let sparse = every_kth(&a, 4);
+        // Sparse points still lie on the dense trajectory's segments and
+        // within its time intervals: similarity stays near 1.
+        let s = sst().similarity(&a, &sparse);
+        assert!(s > 0.95, "{s}");
+    }
+
+    #[test]
+    fn temporal_gap_decays_similarity() {
+        let a = line(0.0, 1.0, 10, 5.0, 0.0);
+        let late = line(0.0, 1.0, 10, 5.0, 600.0);
+        let s_late = sst().similarity(&a, &late);
+        assert!(s_late < 0.01, "10-minute offset should decay: {s_late}");
+    }
+
+    #[test]
+    fn spatial_gap_decays_similarity() {
+        let a = line(0.0, 1.0, 10, 5.0, 0.0);
+        let near = line(5.0, 1.0, 10, 5.0, 0.0);
+        let far = line(30.0, 1.0, 10, 5.0, 0.0);
+        assert!(sst().similarity(&a, &near) > sst().similarity(&a, &far));
+    }
+
+    #[test]
+    fn single_point_other_trajectory() {
+        let a = line(0.0, 1.0, 10, 5.0, 0.0);
+        let single = Trajectory::from_xyt(&[(0.0, 0.0, 0.0)]).unwrap();
+        let s = sst().similarity(&a, &single);
+        assert!(s.is_finite() && s > 0.0);
+    }
+}

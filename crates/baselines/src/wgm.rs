@@ -1,0 +1,131 @@
+//! WGM — Weighted Geometric Mean similarity (Ketabi, Alipour & Helmy,
+//! SIGSPATIAL 2018 — paper ref. [19]).
+//!
+//! "WGM measures similarity as the arithmetic mean of point-wise
+//! distances (e.g., origin vs. origin and destination vs. destination),
+//! each achieved through the weighted geometric mean of Euclidean
+//! similarity (spatial) and their temporal similarity" (§VI-A). The
+//! original assumes equal-length trajectories (§II criticizes exactly
+//! that); unequal lengths are handled by index-proportional alignment,
+//! the standard workaround.
+//!
+//! Per aligned pair `(p, q)`:
+//! `sim = s(p,q)^w · τ(p,q)^(1−w)` with the exponential-decay
+//! similarities `s = exp(−d_space/λ_s)` and `τ = exp(−d_time/λ_t)`;
+//! WGM is the arithmetic mean over pairs.
+
+use crate::SimilarityMeasure;
+use sts_traj::Trajectory;
+
+/// WGM similarity.
+#[derive(Debug, Clone, Copy)]
+pub struct Wgm {
+    /// Spatial decay scale λ_s (meters).
+    spatial_scale: f64,
+    /// Temporal decay scale λ_t (seconds).
+    temporal_scale: f64,
+    /// Spatial weight `w ∈ [0, 1]` of the geometric mean.
+    spatial_weight: f64,
+}
+
+impl Wgm {
+    /// Creates the measure.
+    pub fn new(spatial_scale: f64, temporal_scale: f64, spatial_weight: f64) -> Self {
+        assert!(spatial_scale > 0.0, "spatial scale must be positive");
+        assert!(temporal_scale > 0.0, "temporal scale must be positive");
+        assert!(
+            (0.0..=1.0).contains(&spatial_weight),
+            "spatial weight must be in [0, 1]"
+        );
+        Wgm {
+            spatial_scale,
+            temporal_scale,
+            spatial_weight,
+        }
+    }
+}
+
+impl SimilarityMeasure for Wgm {
+    fn name(&self) -> &'static str {
+        "WGM"
+    }
+
+    fn similarity(&self, a: &Trajectory, b: &Trajectory) -> f64 {
+        // Index-proportional alignment over k pairs, k = min(|a|, |b|):
+        // pair i maps a[round(i·(n−1)/(k−1))] to b[round(i·(m−1)/(k−1))],
+        // so origins align with origins and destinations with
+        // destinations as the published description requires.
+        let k = a.len().min(b.len());
+        let idx = |len: usize, i: usize| -> usize {
+            if k == 1 {
+                0
+            } else {
+                ((i as f64) * (len - 1) as f64 / (k - 1) as f64).round() as usize
+            }
+        };
+        let mut total = 0.0;
+        for i in 0..k {
+            let p = a.get(idx(a.len(), i));
+            let q = b.get(idx(b.len(), i));
+            let s = (-p.loc.distance(&q.loc) / self.spatial_scale).exp();
+            let tau = (-(p.t - q.t).abs() / self.temporal_scale).exp();
+            total += s.powf(self.spatial_weight) * tau.powf(1.0 - self.spatial_weight);
+        }
+        total / k as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{assert_ranking, line};
+
+    fn wgm() -> Wgm {
+        Wgm::new(20.0, 60.0, 0.5)
+    }
+
+    #[test]
+    fn identical_is_one() {
+        let a = line(0.0, 1.0, 10, 5.0, 0.0);
+        assert!((wgm().similarity(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranking_contract() {
+        assert_ranking(&wgm());
+    }
+
+    #[test]
+    fn temporal_mismatch_lowers_similarity() {
+        let a = line(0.0, 1.0, 10, 5.0, 0.0);
+        let synced = line(0.0, 1.0, 10, 5.0, 0.0);
+        let late = line(0.0, 1.0, 10, 5.0, 300.0);
+        assert!(wgm().similarity(&a, &synced) > wgm().similarity(&a, &late));
+    }
+
+    #[test]
+    fn spatial_weight_extremes() {
+        let a = line(0.0, 1.0, 10, 5.0, 0.0);
+        let offset = line(20.0, 1.0, 10, 5.0, 0.0); // spatial offset only
+        let all_spatial = Wgm::new(20.0, 60.0, 1.0);
+        let all_temporal = Wgm::new(20.0, 60.0, 0.0);
+        // A purely temporal WGM ignores the spatial offset entirely.
+        assert!((all_temporal.similarity(&a, &offset) - 1.0).abs() < 1e-12);
+        assert!(all_spatial.similarity(&a, &offset) < 0.5);
+    }
+
+    #[test]
+    fn unequal_lengths_align_endpoints() {
+        let a = line(0.0, 1.0, 5, 5.0, 0.0);
+        let b = line(0.0, 1.0, 9, 2.5, 0.0); // same path, double density
+        let s = wgm().similarity(&a, &b);
+        assert!(s > 0.9, "same endpoints and route should score high: {s}");
+    }
+
+    #[test]
+    fn single_point_trajectories() {
+        let p = Trajectory::from_xyt(&[(0.0, 0.0, 0.0)]).unwrap();
+        let q = Trajectory::from_xyt(&[(0.0, 0.0, 0.0)]).unwrap();
+        assert!((wgm().similarity(&p, &q) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,35 @@
+//! Fig. 12 as a Criterion bench: STS similarity cost versus grid cell
+//! size ("a small grid size means a larger number of grids, leading to
+//! a better probability approximation but higher time cost", §VI-E).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use sts_bench::{bench_mall, bench_taxi};
+use sts_core::{Sts, StsConfig};
+
+fn grid_size_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grid_size");
+    group.sample_size(10);
+    for (scenario, label) in [(bench_mall(4), "mall"), (bench_taxi(4), "taxi")] {
+        let a = scenario.pairs.d1[0].clone();
+        let b = scenario.pairs.d2[0].clone();
+        for cell in scenario.scale.grid_sizes {
+            let sts = Sts::new(
+                StsConfig {
+                    noise_sigma: scenario.scale.noise_sigma,
+                    ..StsConfig::default()
+                },
+                scenario.grid(cell),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("{cell}m")),
+                &cell,
+                |bch, _| bch.iter(|| black_box(sts.similarity(&a, &b).unwrap())),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, grid_size_sweep);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! The full trajectory-matching task (the workload behind Figs. 4–10):
+//! an n × n similarity matrix plus ranking, for STS and the two
+//! strongest baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sts_bench::bench_mall;
+use sts_eval::matching::matching_ranks;
+use sts_eval::measures::{measure_set, MeasureKind};
+
+fn matching_task(c: &mut Criterion) {
+    let scenario = bench_mall(5);
+    let measures = measure_set(
+        &[MeasureKind::Sts, MeasureKind::Cats, MeasureKind::Sst],
+        &scenario,
+        &scenario.pairs,
+    );
+    let mut group = c.benchmark_group("matching_5x5");
+    group.sample_size(10);
+    for (name, measure) in &measures {
+        group.bench_function(*name, |bch| {
+            bch.iter(|| black_box(matching_ranks(measure.as_ref(), &scenario.pairs)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, matching_task);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Per-pair similarity kernels: STS versus every baseline on one
+//! mall-scale trajectory pair. The relative costs contextualize the
+//! complexity analysis of paper §V-C.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sts_bench::bench_mall;
+use sts_eval::measures::{make_measure, MeasureKind};
+
+fn similarity_kernels(c: &mut Criterion) {
+    let scenario = bench_mall(6);
+    let a = scenario.pairs.d1[0].clone();
+    let b = scenario.pairs.d2[0].clone();
+    let corpus: Vec<_> = scenario.dataset.trajectories().to_vec();
+    let mut group = c.benchmark_group("similarity_pair");
+    group.sample_size(10);
+    for kind in [
+        MeasureKind::Sts,
+        MeasureKind::Cats,
+        MeasureKind::Sst,
+        MeasureKind::Wgm,
+        MeasureKind::Apm,
+        MeasureKind::Edwp,
+        MeasureKind::Kf,
+        MeasureKind::Dtw,
+        MeasureKind::Lcss,
+        MeasureKind::Edr,
+        MeasureKind::Erp,
+        MeasureKind::Frechet,
+    ] {
+        let measure = make_measure(kind, &scenario, &corpus, scenario.scale.grid_size);
+        group.bench_function(kind.name(), |bch| {
+            bch.iter(|| black_box(measure.pair(black_box(&a), black_box(&b))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, similarity_kernels);
+criterion_main!(benches);

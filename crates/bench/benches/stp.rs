@@ -1,0 +1,36 @@
+//! Dense versus truncated S-T probability estimation — the ablation of
+//! the sparse-computation design choice (`DESIGN.md` §5). The dense
+//! path is the paper's faithful `O(|R|²)` computation (§V-C); the
+//! truncated path is the default.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sts_bench::bench_mall;
+use sts_core::noise::GaussianNoise;
+use sts_core::transition::SpeedKdeTransition;
+use sts_core::StpEstimator;
+use sts_stats::Kernel;
+
+fn stp_dense_vs_sparse(c: &mut Criterion) {
+    let scenario = bench_mall(4);
+    let grid = scenario.default_grid();
+    let traj = scenario.pairs.d1[0].clone();
+    let noise = GaussianNoise::new(scenario.scale.noise_sigma);
+    let transition = SpeedKdeTransition::from_trajectory(&traj, Kernel::Gaussian)
+        .unwrap()
+        .with_position_uncertainty(grid.cell_size() / 2.0);
+    let est = StpEstimator::new(&grid, &noise, &transition, &traj);
+    // A mid-bridge timestamp (strictly between two observations).
+    let t = (traj.get(0).t + traj.get(1).t) / 2.0;
+
+    let mut group = c.benchmark_group("stp");
+    group.sample_size(20);
+    group.bench_function("sparse", |bch| bch.iter(|| black_box(est.stp(black_box(t)))));
+    group.bench_function("dense", |bch| {
+        bch.iter(|| black_box(est.stp_dense(black_box(t))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, stp_dense_vs_sparse);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Substrate primitives: the KDE speed model (Eq. 6–7), the grid range
+//! query behind the truncation, and the Kalman smoother of the KF
+//! baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sts_geo::{BoundingBox, Grid, Point};
+use sts_stats::{KalmanConfig, KalmanFilter2D, Kde, Kernel};
+
+fn kde_bench(c: &mut Criterion) {
+    let samples: Vec<f64> = (0..200).map(|i| 1.0 + (i % 17) as f64 * 0.05).collect();
+    let kde = Kde::new(samples, Kernel::Gaussian).unwrap();
+    c.bench_function("kde_scaled_density_200", |b| {
+        b.iter(|| black_box(kde.scaled_density(black_box(1.3))))
+    });
+}
+
+fn grid_bench(c: &mut Criterion) {
+    let grid = Grid::new(
+        BoundingBox::new(Point::ORIGIN, Point::new(10_000.0, 10_000.0)),
+        100.0,
+    )
+    .unwrap();
+    c.bench_function("grid_cells_within_500m", |b| {
+        b.iter(|| black_box(grid.cells_within(black_box(Point::new(5000.0, 5000.0)), 500.0)))
+    });
+}
+
+fn kalman_bench(c: &mut Criterion) {
+    let obs: Vec<(Point, f64)> = (0..100)
+        .map(|i| (Point::new(i as f64 * 2.0, (i % 7) as f64), i as f64))
+        .collect();
+    let kf = KalmanFilter2D::new(KalmanConfig::default());
+    c.bench_function("kalman_smooth_100", |b| {
+        b.iter(|| black_box(kf.smooth(black_box(&obs))))
+    });
+}
+
+criterion_group!(benches, kde_bench, grid_bench, kalman_bench);
+criterion_main!(benches);

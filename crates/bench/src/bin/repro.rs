@@ -1,0 +1,65 @@
+//! Regenerates the paper's evaluation figures as text tables.
+//!
+//! ```text
+//! repro <experiment id | all> [--n N] [--seed S] [--full]
+//! ```
+//!
+//! Experiment ids: fig4 … fig14, headline (see `DESIGN.md` §4 for the
+//! per-figure index). `--full` runs the paper-density sweeps (slower);
+//! the default is a single-core-friendly quick configuration.
+
+use std::process::ExitCode;
+use sts_eval::experiments::{self, ExperimentConfig};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: repro <experiment id | all> [--n N] [--seed S] [--full]");
+    eprintln!("experiments: {}", experiments::experiment_ids().join(", "));
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(id) = args.first().cloned() else {
+        return usage();
+    };
+    let mut cfg = ExperimentConfig::default();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => {
+                cfg.full = true;
+                i += 1;
+            }
+            "--n" => {
+                let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                cfg.n_objects = v;
+                i += 2;
+            }
+            "--seed" => {
+                let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                cfg.seed = v;
+                i += 2;
+            }
+            _ => return usage(),
+        }
+    }
+    eprintln!(
+        "# repro {} (n_objects={}, seed={}, full={})",
+        id, cfg.n_objects, cfg.seed, cfg.full
+    );
+    let start = std::time::Instant::now();
+    match experiments::run(&id, &cfg) {
+        Some(tables) => {
+            for t in &tables {
+                println!("{}", t.render());
+            }
+            eprintln!("# done in {:.1}s", start.elapsed().as_secs_f64());
+            ExitCode::SUCCESS
+        }
+        None => usage(),
+    }
+}

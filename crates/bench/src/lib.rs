@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! # sts-bench — benchmark harness
+//!
+//! Two entry points:
+//!
+//! * the `repro` binary (`cargo run -p sts-bench --release --bin repro
+//!   -- <experiment id | all> [--n N] [--full] [--seed S]`) regenerates
+//!   the series behind every evaluation figure of the paper (Figs.
+//!   4–14 plus the headline-improvement aggregate) and prints them as
+//!   text tables;
+//! * the Criterion benches (`cargo bench -p sts-bench`) time the
+//!   measure kernels (`similarity`), the grid-size/running-time
+//!   trade-off of Fig. 12 (`grid_size`), the matching task
+//!   (`matching`), the dense-vs-sparse STP ablation (`stp`) and the
+//!   substrate primitives (`substrates`).
+
+pub use sts_eval::experiments::{run, ExperimentConfig};
+use sts_eval::scenario::ScenarioKind;
+
+/// Shared fixture: a small deterministic mall scenario for benches.
+pub fn bench_mall(n_objects: usize) -> sts_eval::Scenario {
+    sts_eval::Scenario::build(sts_eval::ScenarioConfig {
+        kind: ScenarioKind::Mall,
+        n_objects,
+        seed: 0xBE7C,
+    })
+}
+
+/// Shared fixture: a small deterministic taxi scenario for benches.
+pub fn bench_taxi(n_objects: usize) -> sts_eval::Scenario {
+    sts_eval::Scenario::build(sts_eval::ScenarioConfig {
+        kind: ScenarioKind::Taxi,
+        n_objects,
+        seed: 0xBE7C,
+    })
+}

@@ -1,0 +1,203 @@
+//! Sparse probability distributions over grid cells.
+//!
+//! The spatial-temporal probability `STP(r, t, Tra)` of the paper is a
+//! distribution over all grid cells `R`, but outside a neighborhood of
+//! the observations virtually all mass is zero. We therefore represent
+//! cell distributions sparsely as sorted `(cell, probability)` pairs,
+//! which makes the co-location inner product (Eq. 9) a linear merge.
+
+use sts_geo::CellId;
+
+/// A sparse non-negative measure over grid cells, sorted by cell id.
+/// After [`SparseDistribution::normalize`] it is a probability
+/// distribution (sums to 1), matching the normalization step of
+/// Algorithm 1.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SparseDistribution {
+    entries: Vec<(CellId, f64)>,
+}
+
+impl SparseDistribution {
+    /// The empty (all-zero) measure — the `STP = 0` case of Eq. 5 when
+    /// `t` is outside the trajectory's time span.
+    pub fn empty() -> Self {
+        SparseDistribution::default()
+    }
+
+    /// Builds from unsorted weights; duplicate cells are summed, NaN and
+    /// non-positive weights dropped. `+∞` is kept — it encodes a Dirac
+    /// mass (e.g. a pinned Brownian-bridge endpoint) that
+    /// [`SparseDistribution::normalize`] resolves.
+    pub fn from_weights(mut weights: Vec<(CellId, f64)>) -> Self {
+        weights.retain(|(_, w)| !w.is_nan() && *w > 0.0);
+        weights.sort_by_key(|(c, _)| *c);
+        let mut entries: Vec<(CellId, f64)> = Vec::with_capacity(weights.len());
+        for (c, w) in weights {
+            match entries.last_mut() {
+                Some((last, acc)) if *last == c => *acc += w,
+                _ => entries.push((c, w)),
+            }
+        }
+        SparseDistribution { entries }
+    }
+
+    /// The entries, sorted by cell id.
+    #[inline]
+    pub fn entries(&self) -> &[(CellId, f64)] {
+        &self.entries
+    }
+
+    /// Number of cells with nonzero mass.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the measure is identically zero.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total mass.
+    pub fn total(&self) -> f64 {
+        self.entries.iter().map(|(_, w)| w).sum()
+    }
+
+    /// Mass at a specific cell (zero when absent).
+    pub fn get(&self, cell: CellId) -> f64 {
+        self.entries
+            .binary_search_by_key(&cell, |(c, _)| *c)
+            .map(|i| self.entries[i].1)
+            .unwrap_or(0.0)
+    }
+
+    /// Normalizes the measure to sum to 1 (Algorithm 1's normalization).
+    /// A zero measure stays zero.
+    pub fn normalize(mut self) -> Self {
+        let total = self.total();
+        if total > 0.0 && total.is_finite() {
+            for (_, w) in &mut self.entries {
+                *w /= total;
+            }
+        } else if !total.is_finite() {
+            // Infinite mass concentrates on the infinite entries (a Dirac
+            // delta from e.g. a pinned Brownian bridge end).
+            let n_inf = self.entries.iter().filter(|(_, w)| w.is_infinite()).count();
+            for (_, w) in &mut self.entries {
+                *w = if w.is_infinite() {
+                    1.0 / n_inf as f64
+                } else {
+                    0.0
+                };
+            }
+            self.entries.retain(|(_, w)| *w > 0.0);
+        }
+        self
+    }
+
+    /// Inner product `Σ_r p(r)·q(r)` — the co-location probability of
+    /// Eq. 9 once both sides are normalized. Linear merge over the two
+    /// sorted entry lists.
+    pub fn dot(&self, other: &SparseDistribution) -> f64 {
+        let mut i = 0;
+        let mut j = 0;
+        let mut acc = 0.0;
+        while i < self.entries.len() && j < other.entries.len() {
+            let (ca, wa) = self.entries[i];
+            let (cb, wb) = other.entries[j];
+            match ca.cmp(&cb) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += wa * wb;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist(pairs: &[(u32, f64)]) -> SparseDistribution {
+        SparseDistribution::from_weights(pairs.iter().map(|&(c, w)| (CellId(c), w)).collect())
+    }
+
+    #[test]
+    fn from_weights_sorts_dedups_and_filters() {
+        let d = dist(&[(3, 1.0), (1, 2.0), (3, 0.5), (2, 0.0), (4, -1.0), (5, f64::NAN)]);
+        assert_eq!(
+            d.entries(),
+            &[(CellId(1), 2.0), (CellId(3), 1.5)]
+        );
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let e = SparseDistribution::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.total(), 0.0);
+        assert_eq!(e.normalize().total(), 0.0);
+        let d = dist(&[(0, 1.0)]);
+        assert_eq!(d.dot(&SparseDistribution::empty()), 0.0);
+    }
+
+    #[test]
+    fn get_present_and_absent() {
+        let d = dist(&[(2, 0.5), (7, 1.5)]);
+        assert_eq!(d.get(CellId(2)), 0.5);
+        assert_eq!(d.get(CellId(7)), 1.5);
+        assert_eq!(d.get(CellId(3)), 0.0);
+    }
+
+    #[test]
+    fn normalize_sums_to_one() {
+        let d = dist(&[(0, 1.0), (1, 3.0)]).normalize();
+        assert!((d.total() - 1.0).abs() < 1e-12);
+        assert!((d.get(CellId(0)) - 0.25).abs() < 1e-12);
+        assert!((d.get(CellId(1)) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_handles_infinite_mass() {
+        let d = dist(&[(0, f64::INFINITY), (1, 3.0)]).normalize();
+        assert_eq!(d.get(CellId(0)), 1.0);
+        assert_eq!(d.get(CellId(1)), 0.0);
+        assert!((d.total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_matches_manual_sum() {
+        let a = dist(&[(0, 0.5), (1, 0.25), (3, 0.25)]);
+        let b = dist(&[(1, 0.4), (2, 0.3), (3, 0.3)]);
+        let expected = 0.25 * 0.4 + 0.25 * 0.3;
+        assert!((a.dot(&b) - expected).abs() < 1e-12);
+        assert!((a.dot(&b) - b.dot(&a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_of_identical_point_masses_is_one() {
+        let a = dist(&[(5, 2.0)]).normalize();
+        assert!((a.dot(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_disjoint_is_zero() {
+        let a = dist(&[(0, 1.0), (1, 1.0)]).normalize();
+        let b = dist(&[(2, 1.0), (3, 1.0)]).normalize();
+        assert_eq!(a.dot(&b), 0.0);
+    }
+
+    #[test]
+    fn dot_bounded_by_one_for_distributions() {
+        let a = dist(&[(0, 0.2), (1, 0.8)]).normalize();
+        let b = dist(&[(0, 0.5), (1, 0.5)]).normalize();
+        assert!(a.dot(&b) <= 1.0 + 1e-12);
+    }
+}

@@ -1,0 +1,608 @@
+//! The STS measure (paper §V-B, Eq. 10) and its ablation variants.
+//!
+//! `STS(Tra, Tra')` is the average co-location probability over all
+//! timestamps of both trajectories (the merged trajectory of §III-B).
+//! Averaging — rather than summing — removes the dependence on trajectory
+//! length, which varies freely under sporadic sampling.
+
+use crate::colocation::colocation_of;
+use crate::dist::SparseDistribution;
+use crate::noise::{DeterministicNoise, GaussianNoise, NoiseModel};
+use crate::stprob::StpEstimator;
+use crate::transition::{
+    BrownianTransition, FrequencyTransition, SpeedKdeTransition, TransitionModel,
+};
+use crate::StsError;
+use std::sync::Arc;
+use sts_geo::Grid;
+use sts_stats::Kernel;
+use sts_traj::Trajectory;
+
+/// Tuning knobs of the measure. The grid is passed separately (it is
+/// dataset-scale, not a tuning constant).
+#[derive(Debug, Clone)]
+pub struct StsConfig {
+    /// Location-noise standard deviation σ of Eq. 3, meters. The paper
+    /// suggests setting the grid size to the localization error; σ plays
+    /// that role here.
+    pub noise_sigma: f64,
+    /// KDE kernel for the personalized speed model (paper: Gaussian).
+    pub kernel: Kernel,
+    /// Gaussian-noise truncation multiple (`None` = evaluate every cell:
+    /// the faithful dense computation).
+    pub truncation_k: Option<f64>,
+}
+
+impl Default for StsConfig {
+    fn default() -> Self {
+        StsConfig {
+            noise_sigma: 3.0,
+            kernel: Kernel::Gaussian,
+            truncation_k: Some(GaussianNoise::DEFAULT_TRUNCATION_K),
+        }
+    }
+}
+
+/// The ablation variants of §VI-C ("Effectiveness of each component").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StsVariant {
+    /// Full STS: Gaussian location noise + personalized speed KDE.
+    #[default]
+    Full,
+    /// `STS-N`: locations are deterministic points (no noise model).
+    NoNoise,
+    /// `STS-G`: one global speed distribution pooled over all objects.
+    GlobalSpeed,
+    /// `STS-F`: frequency-based grid transition learned from all objects.
+    FrequencyBased,
+}
+
+impl StsVariant {
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StsVariant::Full => "STS",
+            StsVariant::NoNoise => "STS-N",
+            StsVariant::GlobalSpeed => "STS-G",
+            StsVariant::FrequencyBased => "STS-F",
+        }
+    }
+}
+
+/// How the transition model is obtained for a trajectory.
+enum TransitionSource {
+    /// Build a personalized speed KDE from the trajectory itself (§IV-B).
+    Personalized { kernel: Kernel },
+    /// One shared model for every object (`STS-G`, `STS-F`, Brownian).
+    Shared(Arc<dyn TransitionModel>),
+}
+
+/// A trajectory with its per-trajectory model state precomputed: the
+/// transition model and the noise distribution of each observation.
+/// Preparing once and reusing across pairs is what makes `n × n`
+/// similarity matrices affordable.
+pub struct PreparedTrajectory {
+    traj: Trajectory,
+    transition: Arc<dyn TransitionModel>,
+    obs_dists: Vec<SparseDistribution>,
+}
+
+impl PreparedTrajectory {
+    /// The underlying trajectory.
+    #[inline]
+    pub fn trajectory(&self) -> &Trajectory {
+        &self.traj
+    }
+}
+
+/// The STS spatial-temporal similarity measure.
+pub struct Sts {
+    grid: Grid,
+    noise: Arc<dyn NoiseModel>,
+    transition: TransitionSource,
+}
+
+impl Sts {
+    /// Full STS (Gaussian noise + personalized speed model).
+    pub fn new(config: StsConfig, grid: Grid) -> Self {
+        Sts {
+            grid,
+            noise: Arc::new(GaussianNoise::with_truncation(
+                config.noise_sigma,
+                config.truncation_k,
+            )),
+            transition: TransitionSource::Personalized {
+                kernel: config.kernel,
+            },
+        }
+    }
+
+    /// Builds one of the paper's variants. `corpus` provides the
+    /// "historical data of all objects" that the non-personalized
+    /// variants (`STS-G`, `STS-F`) learn from; `Full` and `NoNoise`
+    /// ignore it.
+    pub fn variant(
+        config: StsConfig,
+        grid: Grid,
+        variant: StsVariant,
+        corpus: &[Trajectory],
+    ) -> Result<Self, StsError> {
+        let gaussian: Arc<dyn NoiseModel> = Arc::new(GaussianNoise::with_truncation(
+            config.noise_sigma,
+            config.truncation_k,
+        ));
+        Ok(match variant {
+            StsVariant::Full => Sts::new(config, grid),
+            StsVariant::NoNoise => Sts {
+                grid,
+                noise: Arc::new(DeterministicNoise),
+                transition: TransitionSource::Personalized {
+                    kernel: config.kernel,
+                },
+            },
+            StsVariant::GlobalSpeed => {
+                let global =
+                    SpeedKdeTransition::global_from_trajectories(corpus.iter(), config.kernel)?
+                        .with_position_uncertainty(grid.cell_size() / 2.0);
+                Sts {
+                    grid,
+                    noise: gaussian,
+                    transition: TransitionSource::Shared(Arc::new(global)),
+                }
+            }
+            StsVariant::FrequencyBased => {
+                let freq =
+                    FrequencyTransition::from_trajectories(grid.clone(), corpus.iter(), 0.1);
+                Sts {
+                    grid,
+                    noise: gaussian,
+                    transition: TransitionSource::Shared(Arc::new(freq)),
+                }
+            }
+        })
+    }
+
+    /// STS with an arbitrary noise model (the "any arbitrary probability
+    /// distribution" claim of §IV-A).
+    pub fn with_noise_model(grid: Grid, noise: Arc<dyn NoiseModel>, kernel: Kernel) -> Self {
+        Sts {
+            grid,
+            noise,
+            transition: TransitionSource::Personalized { kernel },
+        }
+    }
+
+    /// STS with a shared transition model for all objects (e.g. the
+    /// Brownian-motion model of the related-work comparison).
+    pub fn with_shared_transition(
+        config: StsConfig,
+        grid: Grid,
+        transition: Arc<dyn TransitionModel>,
+    ) -> Self {
+        Sts {
+            grid,
+            noise: Arc::new(GaussianNoise::with_truncation(
+                config.noise_sigma,
+                config.truncation_k,
+            )),
+            transition: TransitionSource::Shared(transition),
+        }
+    }
+
+    /// Convenience: the Brownian special case (§II) — Gaussian noise plus
+    /// a Gaussian random-walk transition with the given diffusion.
+    pub fn brownian(config: StsConfig, grid: Grid, diffusion: f64) -> Self {
+        let b = BrownianTransition::new(diffusion);
+        Self::with_shared_transition(config, grid, Arc::new(b))
+    }
+
+    /// The grid partition in use.
+    #[inline]
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Precomputes the per-trajectory model state. Fails when the
+    /// personalized speed model cannot be built (trajectory shorter than
+    /// 2 points).
+    pub fn prepare(&self, traj: &Trajectory) -> Result<PreparedTrajectory, StsError> {
+        let transition: Arc<dyn TransitionModel> = match &self.transition {
+            TransitionSource::Personalized { kernel } => Arc::new(
+                SpeedKdeTransition::from_trajectory(traj, *kernel)?
+                    // Transitions are evaluated between cell centers;
+                    // account for that quantization (see the
+                    // `SpeedKdeTransition` docs).
+                    .with_position_uncertainty(self.grid.cell_size() / 2.0),
+            ),
+            TransitionSource::Shared(model) => Arc::clone(model),
+        };
+        let obs_dists =
+            StpEstimator::observation_distributions(&self.grid, self.noise.as_ref(), traj);
+        Ok(PreparedTrajectory {
+            traj: traj.clone(),
+            transition,
+            obs_dists,
+        })
+    }
+
+    fn estimator<'a>(&'a self, p: &'a PreparedTrajectory) -> StpEstimator<'a> {
+        StpEstimator::with_observation_distributions(
+            &self.grid,
+            self.noise.as_ref(),
+            p.transition.as_ref(),
+            &p.traj,
+            &p.obs_dists,
+        )
+    }
+
+    /// `STS(Tra, Tra')` (Eq. 10): the average co-location probability
+    /// over the merged timestamps of the two prepared trajectories.
+    pub fn similarity_prepared(&self, a: &PreparedTrajectory, b: &PreparedTrajectory) -> f64 {
+        let ea = self.estimator(a);
+        let eb = self.estimator(b);
+        let ts = a.traj.merged_timestamps(&b.traj);
+        debug_assert!(!ts.is_empty());
+        // Timestamps outside the overlap of the two spans contribute 0
+        // (Eq. 5) but still count in the average's denominator.
+        let lo = a.traj.start_time().max(b.traj.start_time());
+        let hi = a.traj.end_time().min(b.traj.end_time());
+        let mut sum = 0.0;
+        let mut i = 0;
+        while i < ts.len() {
+            let t = ts[i];
+            // Duplicate timestamps (one per trajectory) contribute the
+            // same CP value; compute once, weight by multiplicity.
+            let mut mult = 1;
+            while i + mult < ts.len() && ts[i + mult] == t {
+                mult += 1;
+            }
+            if t >= lo && t <= hi {
+                let cp = colocation_of(&ea.stp(t), &eb.stp(t));
+                sum += cp * mult as f64;
+            }
+            i += mult;
+        }
+        sum / ts.len() as f64
+    }
+
+    /// The co-location probability at every merged timestamp, in time
+    /// order — the trace Eq. 10 averages. Applications that need *when*
+    /// and *for how long* two objects met (contact tracing, §I) consume
+    /// this directly; see [`exposure_duration`].
+    pub fn colocation_profile(
+        &self,
+        a: &PreparedTrajectory,
+        b: &PreparedTrajectory,
+    ) -> Vec<(f64, f64)> {
+        let ea = self.estimator(a);
+        let eb = self.estimator(b);
+        a.traj
+            .merged_timestamps(&b.traj)
+            .into_iter()
+            .map(|t| (t, colocation_of(&ea.stp(t), &eb.stp(t))))
+            .collect()
+    }
+
+    /// `STS(Tra, Tra')` from raw trajectories (prepares both first).
+    pub fn similarity(&self, a: &Trajectory, b: &Trajectory) -> Result<f64, StsError> {
+        let pa = self.prepare(a)?;
+        let pb = self.prepare(b)?;
+        Ok(self.similarity_prepared(&pa, &pb))
+    }
+
+    /// The full `queries × candidates` similarity matrix, computed with
+    /// scoped threads (one stripe of query rows per thread). Row `i`,
+    /// column `j` holds `STS(queries[i], candidates[j])`.
+    pub fn similarity_matrix(
+        &self,
+        queries: &[Trajectory],
+        candidates: &[Trajectory],
+    ) -> Result<Vec<Vec<f64>>, StsError> {
+        let prepared_q: Vec<PreparedTrajectory> = queries
+            .iter()
+            .map(|t| self.prepare(t))
+            .collect::<Result<_, _>>()?;
+        let prepared_c: Vec<PreparedTrajectory> = candidates
+            .iter()
+            .map(|t| self.prepare(t))
+            .collect::<Result<_, _>>()?;
+        let n_threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(prepared_q.len().max(1));
+        let mut rows: Vec<Vec<f64>> = vec![Vec::new(); prepared_q.len()];
+        let chunk = prepared_q.len().div_ceil(n_threads).max(1);
+        crossbeam::thread::scope(|scope| {
+            for (q_chunk, out_chunk) in prepared_q.chunks(chunk).zip(rows.chunks_mut(chunk)) {
+                let prepared_c = &prepared_c;
+                scope.spawn(move |_| {
+                    for (q, out) in q_chunk.iter().zip(out_chunk.iter_mut()) {
+                        *out = prepared_c
+                            .iter()
+                            .map(|c| self.similarity_prepared(q, c))
+                            .collect();
+                    }
+                });
+            }
+        })
+        .expect("similarity workers do not panic");
+        Ok(rows)
+    }
+
+    /// The `k` most similar candidates to `query`, best first, as
+    /// `(candidate index, similarity)`.
+    pub fn top_k(
+        &self,
+        query: &Trajectory,
+        candidates: &[Trajectory],
+        k: usize,
+    ) -> Result<Vec<(usize, f64)>, StsError> {
+        let q = self.prepare(query)?;
+        let mut scored: Vec<(usize, f64)> = candidates
+            .iter()
+            .enumerate()
+            .map(|(i, c)| Ok((i, self.similarity_prepared(&q, &self.prepare(c)?))))
+            .collect::<Result<_, StsError>>()?;
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite similarities"));
+        scored.truncate(k);
+        Ok(scored)
+    }
+}
+
+/// Total time (seconds) during which a co-location profile (from
+/// [`Sts::colocation_profile`]) stays at or above `threshold`,
+/// integrated by the trapezoid-free "interval owned by its left sample"
+/// rule over consecutive profile timestamps.
+pub fn exposure_duration(profile: &[(f64, f64)], threshold: f64) -> f64 {
+    profile
+        .windows(2)
+        .filter(|w| w[0].1 >= threshold)
+        .map(|w| w[1].0 - w[0].0)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sts_geo::{BoundingBox, Point};
+
+    fn grid() -> Grid {
+        Grid::new(
+            BoundingBox::new(Point::ORIGIN, Point::new(200.0, 50.0)),
+            5.0,
+        )
+        .unwrap()
+    }
+
+    fn config() -> StsConfig {
+        StsConfig {
+            noise_sigma: 3.0,
+            ..StsConfig::default()
+        }
+    }
+
+    /// Straight walker along y = `y`, 2 m/s, one fix every 10 s, shifted
+    /// in phase by `phase` seconds.
+    fn walker(y: f64, phase: f64, n: usize) -> Trajectory {
+        Trajectory::new(
+            (0..n)
+                .map(|i| {
+                    let t = phase + 10.0 * i as f64;
+                    sts_traj::TrajPoint::from_xy(2.0 * t, y, t)
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn same_object_scores_higher_than_different() {
+        let sts = Sts::new(config(), grid());
+        let a = walker(25.0, 0.0, 8);
+        let same = walker(25.0, 5.0, 8); // same path, asynchronous
+        let other = walker(5.0, 5.0, 8); // 20 m away in parallel
+        let s_same = sts.similarity(&a, &same).unwrap();
+        let s_other = sts.similarity(&a, &other).unwrap();
+        assert!(s_same > s_other, "same {s_same} <= other {s_other}");
+        assert!(s_same > 0.0);
+    }
+
+    #[test]
+    fn similarity_is_symmetric() {
+        let sts = Sts::new(config(), grid());
+        let a = walker(25.0, 0.0, 6);
+        let b = walker(20.0, 3.0, 7);
+        let ab = sts.similarity(&a, &b).unwrap();
+        let ba = sts.similarity(&b, &a).unwrap();
+        assert!((ab - ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn similarity_bounded_in_unit_interval() {
+        let sts = Sts::new(config(), grid());
+        let a = walker(25.0, 0.0, 6);
+        let b = walker(25.0, 1.0, 6);
+        let s = sts.similarity(&a, &b).unwrap();
+        assert!((0.0..=1.0).contains(&s), "similarity {s}");
+        let s_self = sts.similarity(&a, &a).unwrap();
+        assert!((0.0..=1.0).contains(&s_self));
+        assert!(s_self >= s);
+    }
+
+    #[test]
+    fn disjoint_time_spans_score_zero() {
+        let sts = Sts::new(config(), grid());
+        let a = walker(25.0, 0.0, 5);
+        let b = walker(25.0, 1000.0, 5);
+        assert_eq!(sts.similarity(&a, &b).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn too_short_trajectory_errors() {
+        let sts = Sts::new(config(), grid());
+        let a = walker(25.0, 0.0, 5);
+        let single = Trajectory::from_xyt(&[(10.0, 25.0, 0.0)]).unwrap();
+        assert!(matches!(
+            sts.similarity(&a, &single),
+            Err(StsError::TrajectoryTooShort { len: 1 })
+        ));
+    }
+
+    #[test]
+    fn variants_construct_and_rank_consistently() {
+        let g = grid();
+        let corpus: Vec<Trajectory> = vec![walker(25.0, 0.0, 8), walker(5.0, 0.0, 8)];
+        for v in [
+            StsVariant::Full,
+            StsVariant::NoNoise,
+            StsVariant::GlobalSpeed,
+            StsVariant::FrequencyBased,
+        ] {
+            let sts = Sts::variant(config(), g.clone(), v, &corpus).unwrap();
+            let a = walker(25.0, 0.0, 8);
+            let same = walker(25.0, 5.0, 8);
+            let other = walker(5.0, 5.0, 8);
+            let s_same = sts.similarity(&a, &same).unwrap();
+            let s_other = sts.similarity(&a, &other).unwrap();
+            assert!(
+                s_same >= s_other,
+                "{}: same {s_same} < other {s_other}",
+                v.name()
+            );
+        }
+    }
+
+    #[test]
+    fn variant_names() {
+        assert_eq!(StsVariant::Full.name(), "STS");
+        assert_eq!(StsVariant::NoNoise.name(), "STS-N");
+        assert_eq!(StsVariant::GlobalSpeed.name(), "STS-G");
+        assert_eq!(StsVariant::FrequencyBased.name(), "STS-F");
+        assert_eq!(StsVariant::default(), StsVariant::Full);
+    }
+
+    #[test]
+    fn matrix_matches_pairwise_calls() {
+        let sts = Sts::new(config(), grid());
+        let queries = vec![walker(25.0, 0.0, 6), walker(5.0, 0.0, 6)];
+        let candidates = vec![
+            walker(25.0, 5.0, 6),
+            walker(5.0, 5.0, 6),
+            walker(45.0, 5.0, 6),
+        ];
+        let m = sts.similarity_matrix(&queries, &candidates).unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].len(), 3);
+        for (i, q) in queries.iter().enumerate() {
+            for (j, c) in candidates.iter().enumerate() {
+                let s = sts.similarity(q, c).unwrap();
+                assert!((m[i][j] - s).abs() < 1e-12, "({i},{j})");
+            }
+        }
+        // The diagonal structure: query 0 matches candidate 0, query 1
+        // matches candidate 1.
+        assert!(m[0][0] > m[0][1]);
+        assert!(m[1][1] > m[1][0]);
+    }
+
+    #[test]
+    fn top_k_orders_by_similarity() {
+        let sts = Sts::new(config(), grid());
+        let q = walker(25.0, 0.0, 6);
+        let candidates = vec![
+            walker(45.0, 5.0, 6),
+            walker(25.0, 5.0, 6),
+            walker(5.0, 5.0, 6),
+        ];
+        let top = sts.top_k(&q, &candidates, 2).unwrap();
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, 1, "closest candidate should rank first");
+        assert!(top[0].1 >= top[1].1);
+    }
+
+    #[test]
+    fn brownian_special_case_behaves_like_gaussian_speed_sts() {
+        // §II: the Brownian bridge is STS's estimator with a Gaussian
+        // speed assumption. Both should therefore produce the same
+        // *ranking* on a clean separation task.
+        let g = grid();
+        let sts_kde = Sts::new(config(), g.clone());
+        let sts_brown = Sts::brownian(config(), g, 4.0);
+        let a = walker(25.0, 0.0, 8);
+        let same = walker(25.0, 5.0, 8);
+        let other = walker(5.0, 5.0, 8);
+        for sts in [&sts_kde, &sts_brown] {
+            let s1 = sts.similarity(&a, &same).unwrap();
+            let s2 = sts.similarity(&a, &other).unwrap();
+            assert!(s1 > s2);
+        }
+    }
+
+    #[test]
+    fn colocation_profile_averages_to_similarity() {
+        let sts = Sts::new(config(), grid());
+        let a = walker(25.0, 0.0, 6);
+        let b = walker(25.0, 4.0, 6);
+        let pa = sts.prepare(&a).unwrap();
+        let pb = sts.prepare(&b).unwrap();
+        let profile = sts.colocation_profile(&pa, &pb);
+        assert_eq!(profile.len(), a.len() + b.len());
+        let avg = profile.iter().map(|&(_, cp)| cp).sum::<f64>() / profile.len() as f64;
+        let s = sts.similarity_prepared(&pa, &pb);
+        assert!((avg - s).abs() < 1e-12, "profile avg {avg} vs STS {s}");
+        // Profile timestamps are sorted.
+        for w in profile.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+    }
+
+    #[test]
+    fn exposure_duration_thresholds() {
+        let profile = vec![(0.0, 0.9), (10.0, 0.9), (20.0, 0.1), (30.0, 0.8)];
+        // Intervals owned by samples >= 0.5: [0,10) and [10,20) and [30, ..) has
+        // no right neighbor.
+        assert_eq!(exposure_duration(&profile, 0.5), 20.0);
+        assert_eq!(exposure_duration(&profile, 0.95), 0.0);
+        assert_eq!(exposure_duration(&profile, 0.0), 30.0);
+        assert_eq!(exposure_duration(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn co_movers_have_long_exposure() {
+        let sts = Sts::new(config(), grid());
+        let a = walker(25.0, 0.0, 8);
+        let together = walker(25.0, 5.0, 8);
+        let apart = walker(5.0, 5.0, 8);
+        let pa = sts.prepare(&a).unwrap();
+        let e_together = exposure_duration(
+            &sts.colocation_profile(&pa, &sts.prepare(&together).unwrap()),
+            0.05,
+        );
+        let e_apart = exposure_duration(
+            &sts.colocation_profile(&pa, &sts.prepare(&apart).unwrap()),
+            0.05,
+        );
+        assert!(
+            e_together > e_apart,
+            "together {e_together}s vs apart {e_apart}s"
+        );
+    }
+
+    #[test]
+    fn dense_and_truncated_agree() {
+        let dense_cfg = StsConfig {
+            noise_sigma: 3.0,
+            truncation_k: None,
+            ..StsConfig::default()
+        };
+        let sparse_cfg = config();
+        let a = walker(25.0, 0.0, 5);
+        let b = walker(25.0, 5.0, 5);
+        let s_dense = Sts::new(dense_cfg, grid()).similarity(&a, &b).unwrap();
+        let s_sparse = Sts::new(sparse_cfg, grid()).similarity(&a, &b).unwrap();
+        assert!(
+            (s_dense - s_sparse).abs() < 1e-3,
+            "dense {s_dense} vs sparse {s_sparse}"
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Fig. 10 — effectiveness of each STS component.
+//!
+//! STS is compared against its own ablations (STS-N, STS-G, STS-F) on
+//! both datasets with a fixed location noise (6 m mall, 20 m taxi —
+//! §VI-C "Effectiveness of each component"). As in the noise sweep, a
+//! fixed 0.3 sampling rate recreates the confusable regime the paper's
+//! dataset sizes provide naturally (see `EXPERIMENTS.md`).
+
+use super::noise::distort_pairs;
+use super::ExperimentConfig;
+use crate::matching::matching_ranks;
+use crate::measures::{measure_set, MeasureKind};
+use crate::metrics::{mean_rank, precision};
+use crate::report::{Series, Table};
+
+/// Runs Fig. 10: one precision table and one mean-rank table, x = the
+/// dataset index (0 = mall, 1 = taxi), one series per variant — the
+/// text form of the paper's grouped bars.
+pub fn run(cfg: &ExperimentConfig) -> Vec<Table> {
+    run_with(cfg, MeasureKind::ablation_set())
+}
+
+/// Like [`run`] with a custom variant subset (used by tests).
+pub fn run_with(cfg: &ExperimentConfig, kinds: &[MeasureKind]) -> Vec<Table> {
+    let mut prec = Table::new(
+        "fig10a",
+        "Ablation precision (x: 0 = mall, 1 = taxi)",
+        "dataset",
+        "precision",
+    );
+    let mut rank = Table::new(
+        "fig10b",
+        "Ablation mean rank (x: 0 = mall, 1 = taxi)",
+        "dataset",
+        "mean rank",
+    );
+    for kind in kinds {
+        prec.series.push(Series::new(kind.name()));
+        rank.series.push(Series::new(kind.name()));
+    }
+    for (x, scenario) in cfg.scenarios().iter().enumerate() {
+        let stressed =
+            super::sampling::downsample_pairs(cfg, &scenario.pairs, 0.3, "ablation-stress");
+        let pairs = distort_pairs(
+            cfg,
+            &stressed,
+            scenario.scale.ablation_noise,
+            "ablation",
+        );
+        let measures = measure_set(kinds, scenario, &pairs);
+        for (i, (_, measure)) in measures.iter().enumerate() {
+            let ranks = matching_ranks(measure.as_ref(), &pairs);
+            prec.series[i].push(x as f64, precision(&ranks));
+            rank.series[i].push(x as f64, mean_rank(&ranks));
+        }
+    }
+    vec![prec, rank]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_have_one_point_per_dataset() {
+        let cfg = ExperimentConfig {
+            n_objects: 4,
+            ..Default::default()
+        };
+        // Cheap subset: a single non-STS measure keeps the test fast
+        // while validating the table plumbing.
+        let tables = run_with(&cfg, &[MeasureKind::Cats]);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].id, "fig10a");
+        assert_eq!(tables[0].series[0].points.len(), 2);
+        assert_eq!(tables[1].series[0].points.len(), 2);
+    }
+}

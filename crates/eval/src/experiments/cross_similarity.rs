@@ -1,0 +1,141 @@
+//! Fig. 11 — cross-similarity deviation versus heterogeneous sampling.
+//!
+//! "We randomly selected 1000 pair of trajectories (Tra1, Tra2) from a
+//! dataset. For each Tra2, we down-sampled 9 sub-trajectories from it
+//! with a different sampling rate α" (§VI-D). The deviation (Eq. 13)
+//! says how well a measure preserves a pair's similarity under
+//! resampling; lower is better. Only STS, CATS, WGM and SST are
+//! compared (the paper drops EDwP/APM/KF here for their poor matching
+//! performance).
+
+use super::ExperimentConfig;
+use crate::measures::{make_measure, MeasureKind};
+use crate::metrics::cross_similarity_deviation;
+use crate::report::{Series, Table};
+use crate::scenario::Scenario;
+use rand::Rng;
+use sts_traj::sampling::downsample_fraction;
+use sts_traj::Trajectory;
+
+/// Number of random pairs at the default (quick) size.
+const QUICK_PAIRS: usize = 30;
+/// Number of random pairs with `full: true` (the paper used 1000).
+const FULL_PAIRS: usize = 200;
+
+/// Runs the sweep for one scenario.
+pub fn run_scenario(
+    cfg: &ExperimentConfig,
+    scenario: &Scenario,
+    kinds: &[MeasureKind],
+    suffix: &str,
+) -> Table {
+    let mut table = Table::new(
+        format!("fig11{suffix}"),
+        format!(
+            "Cross-similarity deviation vs sampling rate ({})",
+            scenario.name()
+        ),
+        "rate",
+        "deviation",
+    );
+    let trajectories = scenario.dataset.trajectories();
+    let n_pairs = if cfg.full { FULL_PAIRS } else { QUICK_PAIRS };
+    // Random distinct pairs (Tra1, Tra2).
+    let mut rng = cfg.rng("cross-sim-pairs", 0);
+    let pairs: Vec<(usize, usize)> = (0..n_pairs)
+        .map(|_| {
+            let i = rng.random_range(0..trajectories.len());
+            let j = loop {
+                let j = rng.random_range(0..trajectories.len());
+                if j != i {
+                    break j;
+                }
+            };
+            (i, j)
+        })
+        .collect();
+    let corpus: Vec<Trajectory> = trajectories.to_vec();
+    for &kind in kinds {
+        let measure = make_measure(kind, scenario, &corpus, scenario.scale.grid_size);
+        let mut series = Series::new(kind.name());
+        for rate in cfg.rates() {
+            let mut sum = 0.0;
+            let mut count = 0usize;
+            for (pi, &(i, j)) in pairs.iter().enumerate() {
+                let t1 = &trajectories[i];
+                let t2 = &trajectories[j];
+                let reference = measure.pair(t1, t2);
+                // Eq. 13 is a *relative* deviation: with similarity
+                // measures, pairs that share (almost) no
+                // spatio-temporal region have reference ≈ 0 and the
+                // ratio is meaningless noise. Only pairs with a
+                // resolvable reference similarity are evaluated.
+                if reference < 1e-6 {
+                    continue;
+                }
+                let mut ds_rng = cfg.rng("cross-sim-down", (pi as u64) << 16 | (rate * 1000.0) as u64);
+                let t2_down = downsample_fraction(t2, rate, &mut ds_rng);
+                let down = measure.pair(t1, &t2_down);
+                if let Some(dev) = cross_similarity_deviation(reference, down) {
+                    sum += dev;
+                    count += 1;
+                }
+            }
+            let avg = if count == 0 { 0.0 } else { sum / count as f64 };
+            series.push(rate, avg);
+        }
+        table.series.push(series);
+    }
+    table
+}
+
+/// Runs Fig. 11 on both scenarios.
+pub fn run(cfg: &ExperimentConfig) -> Vec<Table> {
+    cfg.scenarios()
+        .iter()
+        .zip(["a", "b"])
+        .map(|(s, suffix)| run_scenario(cfg, s, MeasureKind::cross_similarity_set(), suffix))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{ScenarioConfig, ScenarioKind};
+
+    #[test]
+    fn deviation_table_shape() {
+        let cfg = ExperimentConfig {
+            n_objects: 5,
+            ..Default::default()
+        };
+        let s = Scenario::build(ScenarioConfig {
+            n_objects: 5,
+            ..ScenarioConfig::new(ScenarioKind::Mall)
+        });
+        let t = run_scenario(&cfg, &s, &[MeasureKind::Wgm], "a");
+        assert_eq!(t.id, "fig11a");
+        assert_eq!(t.series.len(), 1);
+        assert_eq!(t.series[0].points.len(), cfg.rates().len());
+        for &(_, dev) in &t.series[0].points {
+            assert!(dev >= 0.0 && dev.is_finite());
+        }
+    }
+
+    #[test]
+    fn high_rate_deviation_small_for_smooth_measure() {
+        // At rate 0.9 the down-sampled trajectory barely changes; a
+        // smooth measure like WGM must deviate little.
+        let cfg = ExperimentConfig {
+            n_objects: 6,
+            ..Default::default()
+        };
+        let s = Scenario::build(ScenarioConfig {
+            n_objects: 6,
+            ..ScenarioConfig::new(ScenarioKind::Mall)
+        });
+        let t = run_scenario(&cfg, &s, &[MeasureKind::Wgm], "a");
+        let last = t.series[0].points.last().unwrap();
+        assert!(last.1 < 0.5, "deviation at rate 0.9 is {}", last.1);
+    }
+}

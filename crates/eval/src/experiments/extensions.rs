@@ -1,0 +1,169 @@
+//! Beyond-paper ablations (`DESIGN.md` §5).
+//!
+//! * `kernels` — the paper fixes the Gaussian kernel for the speed KDE
+//!   (§IV-B); this sweep swaps in the other classic kernels and re-runs
+//!   the stressed matching task.
+//! * `stp` — dense (`O(|R|²)`, §V-C) versus truncated S-T probability
+//!   computation: matching quality must be indistinguishable while the
+//!   truncated path is much faster.
+//! * `linking` — STS against the velocity-threshold linking family
+//!   (FTL [1] / ST-Link [22] / SLIM [23], §II) and the interpolation
+//!   baseline STED [33], on the cross-system matching task.
+
+use super::noise::distort_pairs;
+use super::sampling::downsample_pairs;
+use super::ExperimentConfig;
+use crate::matching::{matching_ranks, MatrixMeasure, StsMatrix};
+use crate::metrics::{mean_rank, precision};
+use crate::report::{Series, Table};
+use std::time::Instant;
+use sts_baselines::{Ftl, Sted};
+use sts_core::{Sts, StsConfig};
+use sts_stats::kernel::ALL_KERNELS;
+
+/// Kernel-choice ablation: precision/mean-rank of STS per kernel on the
+/// stressed mall task (x = kernel index in `ALL_KERNELS` order:
+/// 0 gaussian, 1 epanechnikov, 2 uniform, 3 triangular).
+pub fn kernels(cfg: &ExperimentConfig) -> Vec<Table> {
+    let mut table = Table::new(
+        "ext-kernels",
+        "STS kernel ablation (x: 0 gaussian, 1 epanechnikov, 2 uniform, 3 triangular)",
+        "kernel",
+        "metric",
+    );
+    let mut s_prec = Series::new("precision");
+    let mut s_rank = Series::new("mean-rank");
+    let scenarios = cfg.scenarios();
+    let scenario = &scenarios[0]; // mall
+    let stressed = downsample_pairs(cfg, &scenario.pairs, 0.5, "kernels");
+    let stressed = distort_pairs(cfg, &stressed, scenario.scale.ablation_noise, "kernels");
+    for (i, kernel) in ALL_KERNELS.into_iter().enumerate() {
+        let sts = StsMatrix(Sts::new(
+            StsConfig {
+                noise_sigma: scenario.scale.noise_sigma,
+                kernel,
+                ..StsConfig::default()
+            },
+            scenario.default_grid(),
+        ));
+        let ranks = matching_ranks(&sts, &stressed);
+        s_prec.push(i as f64, precision(&ranks));
+        s_rank.push(i as f64, mean_rank(&ranks));
+    }
+    table.series = vec![s_prec, s_rank];
+    vec![table]
+}
+
+/// Dense-vs-truncated STP ablation on the mall task: matching quality
+/// and wall-clock for both computation modes (x: 0 = truncated,
+/// 1 = dense).
+pub fn stp_modes(cfg: &ExperimentConfig) -> Vec<Table> {
+    let mut table = Table::new(
+        "ext-stp",
+        "Dense vs truncated STP (x: 0 = truncated 4-sigma, 1 = dense)",
+        "mode",
+        "metric",
+    );
+    let mut s_prec = Series::new("precision");
+    let mut s_rank = Series::new("mean-rank");
+    let mut s_time = Series::new("time (s)");
+    // The dense mode is O(|R|²) per bridge by design; a small population
+    // suffices to demonstrate the equivalence and the cost gap.
+    let scenarios = cfg.scenarios_sized(cfg.n_objects.min(4));
+    let scenario = &scenarios[0]; // mall
+    for (x, truncation_k) in [(0.0, Some(4.0)), (1.0, None)] {
+        let sts = StsMatrix(Sts::new(
+            StsConfig {
+                noise_sigma: scenario.scale.noise_sigma,
+                truncation_k,
+                ..StsConfig::default()
+            },
+            scenario.default_grid(),
+        ));
+        let start = Instant::now();
+        let ranks = matching_ranks(&sts, &scenario.pairs);
+        s_time.push(x, start.elapsed().as_secs_f64());
+        s_prec.push(x, precision(&ranks));
+        s_rank.push(x, mean_rank(&ranks));
+    }
+    table.series = vec![s_prec, s_rank, s_time];
+    vec![table]
+}
+
+/// STS versus the linking family (FTL with a pedestrian/vehicle global
+/// speed threshold) and STED, under heterogeneous down-sampling (x =
+/// rate α, mall then taxi tables).
+pub fn linking(cfg: &ExperimentConfig) -> Vec<Table> {
+    let mut out = Vec::new();
+    for (scenario, suffix) in cfg.scenarios().iter().zip(["a", "b"]) {
+        let mut table = Table::new(
+            format!("ext-linking{suffix}"),
+            format!("STS vs linking family, precision vs alpha ({})", scenario.name()),
+            "alpha",
+            "precision",
+        );
+        // Global speed thresholds "known" per scenario — generous bounds.
+        let v_max = match scenario.config.kind {
+            crate::scenario::ScenarioKind::Mall => 2.5,
+            crate::scenario::ScenarioKind::Taxi => 30.0,
+        };
+        let measures: Vec<(&str, Box<dyn MatrixMeasure>)> = vec![
+            (
+                "STS",
+                Box::new(StsMatrix(Sts::new(
+                    StsConfig {
+                        noise_sigma: scenario.scale.noise_sigma,
+                        ..StsConfig::default()
+                    },
+                    scenario.default_grid(),
+                ))),
+            ),
+            (
+                "FTL",
+                Box::new(Ftl::new(v_max, Some(scenario.scale.temporal_window))),
+            ),
+            (
+                "STED",
+                Box::new(Sted::new(scenario.scale.time_step / 4.0, 1e9)),
+            ),
+        ];
+        for (name, _) in &measures {
+            table.series.push(Series::new(*name));
+        }
+        for alpha in cfg.rates() {
+            let pairs =
+                super::heterogeneous::downsample_d2(cfg, &scenario.pairs, alpha, "ext-linking");
+            for (i, (_, m)) in measures.iter().enumerate() {
+                let ranks = matching_ranks(m.as_ref(), &pairs);
+                table.series[i].push(alpha, precision(&ranks));
+            }
+        }
+        out.push(table);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentConfig {
+        ExperimentConfig {
+            n_objects: 4,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn kernel_table_covers_all_kernels() {
+        let t = kernels(&tiny());
+        assert_eq!(t[0].series[0].points.len(), ALL_KERNELS.len());
+    }
+
+    #[test]
+    fn stp_modes_agree_on_quality() {
+        let t = stp_modes(&tiny());
+        let prec = &t[0].series[0].points;
+        assert!((prec[0].1 - prec[1].1).abs() < 0.26, "modes diverge: {prec:?}");
+    }
+}

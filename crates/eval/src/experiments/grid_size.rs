@@ -1,0 +1,123 @@
+//! Figs. 12, 13 & 14 — impact of grid size on STS's efficiency and
+//! effectiveness (§VI-E).
+//!
+//! "A small grid size means a larger number of grids, leading to a
+//! better probability approximation but higher time cost." The sweep
+//! reruns the STS matching task at each grid size, recording wall-clock
+//! running time (Fig. 12), precision (Fig. 13) and mean rank (Fig. 14).
+
+use super::ExperimentConfig;
+use crate::matching::{matching_ranks, StsMatrix};
+use crate::metrics::{mean_rank, precision};
+use crate::report::{Series, Table};
+use crate::scenario::Scenario;
+use std::time::Instant;
+use sts_core::{Sts, StsConfig};
+
+/// Runs the sweep for one scenario; returns (time, precision, mean-rank)
+/// series. Like the noise sweep, the matching task runs at a fixed 0.3
+/// sampling rate + the ablation noise so that grid-size effects on
+/// *quality* are visible at small population sizes (see
+/// `EXPERIMENTS.md`); the *runtime* series is what it is either way.
+pub fn run_scenario(
+    cfg: &ExperimentConfig,
+    scenario: &Scenario,
+    suffix: &str,
+) -> (Table, Table, Table) {
+    let mut time = Table::new(
+        format!("fig12{suffix}"),
+        format!("STS running time vs grid size ({})", scenario.name()),
+        "grid (m)",
+        "time (s)",
+    );
+    let mut prec = Table::new(
+        format!("fig13{suffix}"),
+        format!("STS precision vs grid size ({})", scenario.name()),
+        "grid (m)",
+        "precision",
+    );
+    let mut rank = Table::new(
+        format!("fig14{suffix}"),
+        format!("STS mean rank vs grid size ({})", scenario.name()),
+        "grid (m)",
+        "mean rank",
+    );
+    let mut s_time = Series::new("STS");
+    let mut s_prec = Series::new("STS");
+    let mut s_rank = Series::new("STS");
+    let stressed = super::sampling::downsample_pairs(cfg, &scenario.pairs, 0.3, "grid-stress");
+    let stressed = super::noise::distort_pairs(
+        cfg,
+        &stressed,
+        scenario.scale.ablation_noise,
+        "grid-stress",
+    );
+    for cell in scenario.scale.grid_sizes {
+        let sts = StsMatrix(Sts::new(
+            StsConfig {
+                noise_sigma: scenario.scale.noise_sigma,
+                ..StsConfig::default()
+            },
+            scenario.grid(cell),
+        ));
+        let start = Instant::now();
+        let ranks = matching_ranks(&sts, &stressed);
+        let elapsed = start.elapsed().as_secs_f64();
+        s_time.push(cell, elapsed);
+        s_prec.push(cell, precision(&ranks));
+        s_rank.push(cell, mean_rank(&ranks));
+    }
+    time.series.push(s_time);
+    prec.series.push(s_prec);
+    rank.series.push(s_rank);
+    (time, prec, rank)
+}
+
+/// Runs Figs. 12–14 on both scenarios. The population is capped (the
+/// per-point cost is quadratic in it and the fine-grid points are the
+/// expensive end by design — that steepness *is* Fig. 12's message).
+pub fn run(cfg: &ExperimentConfig) -> (Vec<Table>, Vec<Table>, Vec<Table>) {
+    let cap = if cfg.full { 12 } else { 8 };
+    let mut f12 = Vec::new();
+    let mut f13 = Vec::new();
+    let mut f14 = Vec::new();
+    for (scenario, suffix) in cfg
+        .scenarios_sized(cfg.n_objects.min(cap))
+        .iter()
+        .zip(["a", "b"])
+    {
+        let (t, p, r) = run_scenario(cfg, scenario, suffix);
+        f12.push(t);
+        f13.push(p);
+        f14.push(r);
+    }
+    (f12, f13, f14)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{ScenarioConfig, ScenarioKind};
+
+    #[test]
+    fn sweep_covers_all_grid_sizes() {
+        let cfg = ExperimentConfig {
+            n_objects: 3,
+            ..Default::default()
+        };
+        let s = Scenario::build(ScenarioConfig {
+            n_objects: 3,
+            ..ScenarioConfig::new(ScenarioKind::Mall)
+        });
+        let (time, prec, rank) = run_scenario(&cfg, &s, "a");
+        assert_eq!(time.xs(), s.scale.grid_sizes.to_vec());
+        assert_eq!(prec.xs(), s.scale.grid_sizes.to_vec());
+        assert_eq!(rank.xs(), s.scale.grid_sizes.to_vec());
+        for &(_, t) in &time.series[0].points {
+            assert!(t > 0.0);
+        }
+        for &(_, p) in &prec.series[0].points {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! The headline claim — "an improvement of 63% on precision and 85% on
+//! mean rank" (abstract / §VI).
+//!
+//! The paper's aggregate improvements come from the stressed regimes
+//! where the baselines break down. This driver reproduces the
+//! aggregation: at a stressed setting (low sampling rate + the
+//! ablation-level location noise) it measures precision and mean rank
+//! for every comparison measure and reports STS's relative improvement
+//! over the *best* baseline:
+//!
+//! * precision improvement = (P_STS − P_best) / P_best
+//! * mean-rank improvement = (MR_best − MR_STS) / MR_best
+//!   (mean rank improves downward)
+
+use super::noise::distort_pairs;
+use super::sampling::downsample_pairs;
+use super::ExperimentConfig;
+use crate::matching::matching_ranks;
+use crate::measures::{measure_set, MeasureKind};
+use crate::metrics::{mean_rank, precision};
+use crate::report::{Series, Table};
+
+/// The stressed sampling rate.
+const STRESS_RATE: f64 = 0.3;
+
+/// Runs the headline aggregation. Output table: x = dataset index
+/// (0 = mall, 1 = taxi); series: STS precision/mean-rank, best-baseline
+/// precision/mean-rank, and the two relative improvements.
+pub fn run(cfg: &ExperimentConfig) -> Vec<Table> {
+    run_with(cfg, MeasureKind::comparison_set())
+}
+
+/// Like [`run`] with a custom measure subset (first entry must be STS
+/// for the improvement computation; tests use cheap subsets).
+pub fn run_with(cfg: &ExperimentConfig, kinds: &[MeasureKind]) -> Vec<Table> {
+    let mut table = Table::new(
+        "headline",
+        format!("Headline improvement at rate {STRESS_RATE} + ablation noise (x: 0 = mall, 1 = taxi)"),
+        "dataset",
+        "metric",
+    );
+    let mut s_sts_p = Series::new("STS-P");
+    let mut s_best_p = Series::new("best-P");
+    let mut s_imp_p = Series::new("impr-P");
+    let mut s_sts_r = Series::new("STS-MR");
+    let mut s_best_r = Series::new("best-MR");
+    let mut s_imp_r = Series::new("impr-MR");
+    for (x, scenario) in cfg.scenarios().iter().enumerate() {
+        let stressed = downsample_pairs(cfg, &scenario.pairs, STRESS_RATE, "headline");
+        let stressed = distort_pairs(cfg, &stressed, scenario.scale.ablation_noise, "headline");
+        let measures = measure_set(kinds, scenario, &stressed);
+        let mut sts_p = 0.0;
+        let mut sts_r = f64::INFINITY;
+        let mut best_p: f64 = 0.0;
+        let mut best_r = f64::INFINITY;
+        for (name, measure) in &measures {
+            let ranks = matching_ranks(measure.as_ref(), &stressed);
+            let p = precision(&ranks);
+            let r = mean_rank(&ranks);
+            if *name == "STS" {
+                sts_p = p;
+                sts_r = r;
+            } else {
+                best_p = best_p.max(p);
+                best_r = best_r.min(r);
+            }
+        }
+        let x = x as f64;
+        s_sts_p.push(x, sts_p);
+        s_best_p.push(x, best_p);
+        s_imp_p.push(x, if best_p > 0.0 { (sts_p - best_p) / best_p } else { 0.0 });
+        s_sts_r.push(x, sts_r);
+        s_best_r.push(x, best_r);
+        s_imp_r.push(
+            x,
+            if best_r.is_finite() && best_r > 0.0 {
+                (best_r - sts_r) / best_r
+            } else {
+                0.0
+            },
+        );
+    }
+    table.series = vec![s_sts_p, s_best_p, s_imp_p, s_sts_r, s_best_r, s_imp_r];
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_table_shape() {
+        let cfg = ExperimentConfig {
+            n_objects: 4,
+            ..Default::default()
+        };
+        // Cheap subset: two baselines, no STS — improvements are then
+        // relative to best-of-two with STS metrics at their defaults.
+        let tables = run_with(&cfg, &[MeasureKind::Cats, MeasureKind::Wgm]);
+        assert_eq!(tables.len(), 1);
+        let t = &tables[0];
+        assert_eq!(t.series.len(), 6);
+        for s in &t.series {
+            assert_eq!(s.points.len(), 2, "series {}", s.name);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Figs. 6 & 7 — precision / mean rank versus heterogeneous sampling
+//! rate α.
+//!
+//! "For each trajectory in D(2), we sample a sub-trajectory with a
+//! sampling rate α and compute the similarity between the
+//! sub-trajectories and trajectories in D(1). A smaller α indicates a
+//! larger difference between two trajectories in the sampling rate"
+//! (§VI-C). Only D(2) is down-sampled — the two sensing systems now
+//! disagree in rate, the asynchrony STS is built for.
+
+use super::ExperimentConfig;
+use crate::matching::matching_ranks;
+use crate::measures::{measure_set, MeasureKind};
+use crate::metrics::{mean_rank, precision};
+use crate::report::{Series, Table};
+use crate::scenario::Scenario;
+use sts_traj::sampling::downsample_fraction;
+use sts_traj::MatchingPairs;
+
+/// Down-samples only the D(2) side at rate `alpha`.
+pub fn downsample_d2(
+    cfg: &ExperimentConfig,
+    pairs: &MatchingPairs,
+    alpha: f64,
+    tag: &str,
+) -> MatchingPairs {
+    let mut rng = cfg.rng(tag, (alpha * 1000.0) as u64);
+    pairs.transform(
+        |t| Some(t.clone()),
+        |t| Some(downsample_fraction(t, alpha, &mut rng)),
+    )
+}
+
+/// Runs the sweep for one scenario.
+pub fn run_scenario(
+    cfg: &ExperimentConfig,
+    scenario: &Scenario,
+    kinds: &[MeasureKind],
+    suffix: &str,
+) -> (Table, Table) {
+    let mut prec = Table::new(
+        format!("fig6{suffix}"),
+        format!(
+            "Precision vs heterogeneous sampling rate ({})",
+            scenario.name()
+        ),
+        "alpha",
+        "precision",
+    );
+    let mut rank = Table::new(
+        format!("fig7{suffix}"),
+        format!(
+            "Mean rank vs heterogeneous sampling rate ({})",
+            scenario.name()
+        ),
+        "alpha",
+        "mean rank",
+    );
+    for kind in kinds {
+        prec.series.push(Series::new(kind.name()));
+        rank.series.push(Series::new(kind.name()));
+    }
+    for alpha in cfg.rates() {
+        let pairs = downsample_d2(cfg, &scenario.pairs, alpha, "heterogeneous");
+        let measures = measure_set(kinds, scenario, &pairs);
+        for (i, (_, measure)) in measures.iter().enumerate() {
+            let ranks = matching_ranks(measure.as_ref(), &pairs);
+            prec.series[i].push(alpha, precision(&ranks));
+            rank.series[i].push(alpha, mean_rank(&ranks));
+        }
+    }
+    (prec, rank)
+}
+
+/// Runs Figs. 6 & 7 on both scenarios.
+pub fn run(cfg: &ExperimentConfig) -> (Vec<Table>, Vec<Table>) {
+    let mut fig6 = Vec::new();
+    let mut fig7 = Vec::new();
+    for (scenario, suffix) in cfg.scenarios().iter().zip(["a", "b"]) {
+        let (p, r) = run_scenario(cfg, scenario, MeasureKind::comparison_set(), suffix);
+        fig6.push(p);
+        fig7.push(r);
+    }
+    (fig6, fig7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{ScenarioConfig, ScenarioKind};
+
+    #[test]
+    fn only_d2_is_downsampled() {
+        let cfg = ExperimentConfig {
+            n_objects: 5,
+            ..Default::default()
+        };
+        let s = Scenario::build(ScenarioConfig {
+            n_objects: 5,
+            ..ScenarioConfig::new(ScenarioKind::Mall)
+        });
+        let pairs = downsample_d2(&cfg, &s.pairs, 0.4, "t");
+        for (orig, kept) in s.pairs.d1.iter().zip(&pairs.d1) {
+            assert_eq!(orig, kept);
+        }
+        for (orig, small) in s.pairs.d2.iter().zip(&pairs.d2) {
+            assert!(small.len() < orig.len());
+        }
+    }
+
+    #[test]
+    fn sweep_shape_with_cheap_measure() {
+        let cfg = ExperimentConfig {
+            n_objects: 4,
+            ..Default::default()
+        };
+        let s = Scenario::build(ScenarioConfig {
+            n_objects: 4,
+            ..ScenarioConfig::new(ScenarioKind::Mall)
+        });
+        let (prec, rank) = run_scenario(&cfg, &s, &[MeasureKind::Wgm], "a");
+        assert_eq!(prec.id, "fig6a");
+        assert_eq!(rank.id, "fig7a");
+        assert_eq!(prec.series[0].points.len(), cfg.rates().len());
+    }
+}

@@ -1,0 +1,202 @@
+//! Per-figure experiment drivers (paper §VI-C/D/E).
+//!
+//! Every evaluation figure of the paper has a driver that regenerates
+//! its series (paper-vs-measured shapes are recorded in
+//! `EXPERIMENTS.md`):
+//!
+//! | id        | paper figure | driver |
+//! |-----------|--------------|--------|
+//! | `fig4`    | Fig. 4(a,b)  | [`sampling`] (precision) |
+//! | `fig5`    | Fig. 5(a,b)  | [`sampling`] (mean rank) |
+//! | `fig6`    | Fig. 6(a,b)  | [`heterogeneous`] (precision) |
+//! | `fig7`    | Fig. 7(a,b)  | [`heterogeneous`] (mean rank) |
+//! | `fig8`    | Fig. 8(a,b)  | [`noise`] (precision) |
+//! | `fig9`    | Fig. 9(a,b)  | [`noise`] (mean rank) |
+//! | `fig10`   | Fig. 10(a,b) | [`ablation`] |
+//! | `fig11`   | Fig. 11(a,b) | [`cross_similarity`] |
+//! | `fig12`   | Fig. 12(a,b) | [`grid_size`] (running time) |
+//! | `fig13`   | Fig. 13(a,b) | [`grid_size`] (precision) |
+//! | `fig14`   | Fig. 14(a,b) | [`grid_size`] (mean rank) |
+//! | `headline`| §VI summary  | [`headline`] |
+
+pub mod ablation;
+pub mod cross_similarity;
+pub mod extensions;
+pub mod grid_size;
+pub mod headline;
+pub mod heterogeneous;
+pub mod noise;
+pub mod sampling;
+
+use crate::report::Table;
+use crate::scenario::{Scenario, ScenarioConfig, ScenarioKind};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Shared experiment parameters. The defaults are sized for a
+/// single-core machine; `full: true` runs the paper's denser sweeps and
+/// larger populations.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Objects per scenario.
+    pub n_objects: usize,
+    /// Master seed; every derived RNG is a pure function of it.
+    pub seed: u64,
+    /// Dense sweeps (all of 0.1..=0.9 etc.) instead of the quick ones.
+    pub full: bool,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            n_objects: 20,
+            seed: 7,
+            full: false,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// The sampling-rate sweep (Figs. 4–7, 11).
+    pub fn rates(&self) -> Vec<f64> {
+        if self.full {
+            (1..=9).map(|i| i as f64 / 10.0).collect()
+        } else {
+            vec![0.1, 0.3, 0.5, 0.7, 0.9]
+        }
+    }
+
+    /// Builds both scenarios at this config's size.
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        self.scenarios_sized(self.n_objects)
+    }
+
+    /// Builds both scenarios at an explicit size (used by sweeps whose
+    /// per-point cost is quadratic in the population, e.g. the
+    /// fine-grid end of Figs. 12–14).
+    pub fn scenarios_sized(&self, n_objects: usize) -> Vec<Scenario> {
+        ScenarioKind::both()
+            .into_iter()
+            .map(|kind| {
+                Scenario::build(ScenarioConfig {
+                    kind,
+                    n_objects,
+                    seed: self.seed,
+                })
+            })
+            .collect()
+    }
+
+    /// Deterministic RNG for a named experiment step.
+    pub fn rng(&self, tag: &str, salt: u64) -> ChaCha8Rng {
+        let mut h: u64 = self.seed ^ 0x9e37_79b9_7f4a_7c15;
+        for b in tag.bytes() {
+            h = h.wrapping_mul(0x100_0000_01b3).wrapping_add(b as u64);
+        }
+        ChaCha8Rng::seed_from_u64(h.wrapping_add(salt.wrapping_mul(0x2545_F491_4F6C_DD1D)))
+    }
+}
+
+/// All experiment ids, in paper order.
+pub fn experiment_ids() -> &'static [&'static str] {
+    &[
+        "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+        "fig14", "headline", "ext-kernels", "ext-stp", "ext-linking",
+    ]
+}
+
+/// Runs one experiment by id (`"all"` runs everything in paper order).
+/// Returns `None` for an unknown id.
+pub fn run(id: &str, cfg: &ExperimentConfig) -> Option<Vec<Table>> {
+    match id {
+        "fig4" => Some(sampling::run(cfg).0),
+        "fig5" => Some(sampling::run(cfg).1),
+        "fig6" => Some(heterogeneous::run(cfg).0),
+        "fig7" => Some(heterogeneous::run(cfg).1),
+        "fig8" => Some(noise::run(cfg).0),
+        "fig9" => Some(noise::run(cfg).1),
+        "fig10" => Some(ablation::run(cfg)),
+        "fig11" => Some(cross_similarity::run(cfg)),
+        "fig12" | "fig13" | "fig14" => {
+            let (t12, t13, t14) = grid_size::run(cfg);
+            Some(match id {
+                "fig12" => t12,
+                "fig13" => t13,
+                _ => t14,
+            })
+        }
+        "headline" => Some(headline::run(cfg)),
+        "ext-kernels" => Some(extensions::kernels(cfg)),
+        "ext-stp" => Some(extensions::stp_modes(cfg)),
+        "ext-linking" => Some(extensions::linking(cfg)),
+        "all" => {
+            let mut out = Vec::new();
+            let (f4, f5) = sampling::run(cfg);
+            let (f6, f7) = heterogeneous::run(cfg);
+            let (f8, f9) = noise::run(cfg);
+            let (f12, f13, f14) = grid_size::run(cfg);
+            out.extend(f4);
+            out.extend(f5);
+            out.extend(f6);
+            out.extend(f7);
+            out.extend(f8);
+            out.extend(f9);
+            out.extend(ablation::run(cfg));
+            out.extend(cross_similarity::run(cfg));
+            out.extend(f12);
+            out.extend(f13);
+            out.extend(f14);
+            out.extend(headline::run(cfg));
+            out.extend(extensions::kernels(cfg));
+            out.extend(extensions::stp_modes(cfg));
+            out.extend(extensions::linking(cfg));
+            Some(out)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_sweeps() {
+        let quick = ExperimentConfig::default();
+        assert_eq!(quick.rates(), vec![0.1, 0.3, 0.5, 0.7, 0.9]);
+        let full = ExperimentConfig {
+            full: true,
+            ..Default::default()
+        };
+        assert_eq!(full.rates().len(), 9);
+    }
+
+    #[test]
+    fn rng_is_deterministic_and_tag_sensitive() {
+        use rand::RngCore;
+        let cfg = ExperimentConfig::default();
+        let a = cfg.rng("x", 1).next_u64();
+        let b = cfg.rng("x", 1).next_u64();
+        let c = cfg.rng("y", 1).next_u64();
+        let d = cfg.rng("x", 2).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn unknown_experiment_is_none() {
+        assert!(run("fig99", &ExperimentConfig::default()).is_none());
+    }
+
+    #[test]
+    fn experiment_ids_cover_every_figure() {
+        let ids = experiment_ids();
+        assert_eq!(ids.len(), 15);
+        for fig in 4..=14 {
+            assert!(ids.contains(&format!("fig{fig}").as_str()));
+        }
+        assert!(ids.contains(&"headline"));
+        assert!(ids.iter().filter(|i| i.starts_with("ext-")).count() == 3);
+    }
+}

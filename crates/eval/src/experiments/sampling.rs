@@ -1,0 +1,127 @@
+//! Figs. 4 & 5 — precision / mean rank versus (low) data sampling rate.
+//!
+//! "For each trajectory in D(1) and D(2), we sample a sub-trajectory
+//! with a sampling rate, which is set to be 0.1 ∼ 0.9" (§VI-C). Both
+//! sides are down-sampled, so the whole matching task gets sparser as
+//! the rate drops.
+
+use super::ExperimentConfig;
+use crate::matching::matching_ranks;
+use crate::measures::{measure_set, MeasureKind};
+use crate::metrics::{mean_rank, precision};
+use crate::report::{Series, Table};
+use crate::scenario::Scenario;
+use sts_traj::sampling::downsample_fraction;
+use sts_traj::MatchingPairs;
+
+/// Down-samples both sides of the pairs at `rate` with a deterministic
+/// per-rate RNG.
+pub fn downsample_pairs(
+    cfg: &ExperimentConfig,
+    pairs: &MatchingPairs,
+    rate: f64,
+    tag: &str,
+) -> MatchingPairs {
+    let mut rng = cfg.rng(tag, (rate * 1000.0) as u64);
+    pairs.transform_both(|t| Some(downsample_fraction(t, rate, &mut rng)))
+}
+
+/// Runs the sweep for one scenario; returns (precision, mean-rank)
+/// tables. `kinds` is exposed so tests can run cheap subsets.
+pub fn run_scenario(
+    cfg: &ExperimentConfig,
+    scenario: &Scenario,
+    kinds: &[MeasureKind],
+    suffix: &str,
+) -> (Table, Table) {
+    let mut prec = Table::new(
+        format!("fig4{suffix}"),
+        format!("Precision vs data sampling rate ({})", scenario.name()),
+        "rate",
+        "precision",
+    );
+    let mut rank = Table::new(
+        format!("fig5{suffix}"),
+        format!("Mean rank vs data sampling rate ({})", scenario.name()),
+        "rate",
+        "mean rank",
+    );
+    for kind in kinds {
+        prec.series.push(Series::new(kind.name()));
+        rank.series.push(Series::new(kind.name()));
+    }
+    for rate in cfg.rates() {
+        let pairs = downsample_pairs(cfg, &scenario.pairs, rate, "sampling");
+        let measures = measure_set(kinds, scenario, &pairs);
+        for (i, (_, measure)) in measures.iter().enumerate() {
+            let ranks = matching_ranks(measure.as_ref(), &pairs);
+            prec.series[i].push(rate, precision(&ranks));
+            rank.series[i].push(rate, mean_rank(&ranks));
+        }
+    }
+    (prec, rank)
+}
+
+/// Runs Figs. 4 & 5 on both scenarios.
+pub fn run(cfg: &ExperimentConfig) -> (Vec<Table>, Vec<Table>) {
+    let mut fig4 = Vec::new();
+    let mut fig5 = Vec::new();
+    for (scenario, suffix) in cfg.scenarios().iter().zip(["a", "b"]) {
+        let (p, r) = run_scenario(cfg, scenario, MeasureKind::comparison_set(), suffix);
+        fig4.push(p);
+        fig5.push(r);
+    }
+    (fig4, fig5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{ScenarioConfig, ScenarioKind};
+
+    fn tiny() -> (ExperimentConfig, Scenario) {
+        let cfg = ExperimentConfig {
+            n_objects: 5,
+            ..Default::default()
+        };
+        let s = Scenario::build(ScenarioConfig {
+            n_objects: 5,
+            ..ScenarioConfig::new(ScenarioKind::Mall)
+        });
+        (cfg, s)
+    }
+
+    #[test]
+    fn downsampling_shrinks_both_sides() {
+        let (cfg, s) = tiny();
+        let pairs = downsample_pairs(&cfg, &s.pairs, 0.5, "t");
+        assert_eq!(pairs.len(), s.pairs.len());
+        for (orig, small) in s.pairs.d1.iter().zip(&pairs.d1) {
+            assert_eq!(small.len(), ((orig.len() as f64 * 0.5).round() as usize).max(1));
+        }
+    }
+
+    #[test]
+    fn downsampling_is_deterministic() {
+        let (cfg, s) = tiny();
+        let a = downsample_pairs(&cfg, &s.pairs, 0.3, "t");
+        let b = downsample_pairs(&cfg, &s.pairs, 0.3, "t");
+        assert_eq!(a.d1, b.d1);
+        assert_eq!(a.d2, b.d2);
+    }
+
+    #[test]
+    fn sweep_produces_full_tables_with_cheap_measure() {
+        let (cfg, s) = tiny();
+        let (prec, rank) = run_scenario(&cfg, &s, &[MeasureKind::Cats], "a");
+        assert_eq!(prec.series.len(), 1);
+        assert_eq!(prec.series[0].points.len(), cfg.rates().len());
+        assert_eq!(rank.series[0].points.len(), cfg.rates().len());
+        for &(_, p) in &prec.series[0].points {
+            assert!((0.0..=1.0).contains(&p));
+        }
+        for &(_, r) in &rank.series[0].points {
+            assert!(r >= 1.0);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! # sts-eval — evaluation harness
+//!
+//! Everything §VI of the paper does, as a library:
+//!
+//! * [`metrics`] — precision (Eq. 11), mean rank (Eq. 12) and
+//!   cross-similarity deviation (Eq. 13);
+//! * [`matching`] — the trajectory-matching task over paired datasets
+//!   `D(1)`/`D(2)`;
+//! * [`measures`] — the measure zoo (STS, its ablation variants, and
+//!   every baseline) instantiated with per-dataset parameters;
+//! * [`scenario`] — the two evaluation scenarios (taxi / shopping mall)
+//!   built from the seeded synthetic workloads;
+//! * [`experiments`] — one driver per evaluation figure (Figs. 4–14)
+//!   plus the headline-improvement summary;
+//! * [`report`] — plain-text tables shaped like the paper's figures.
+//!
+//! The `repro` binary in `sts-bench` is a thin CLI over
+//! [`experiments`].
+
+pub mod experiments;
+pub mod matching;
+pub mod measures;
+pub mod metrics;
+pub mod report;
+pub mod scenario;
+
+pub use matching::{matching_ranks, MatrixMeasure};
+pub use measures::{measure_set, MeasureKind};
+pub use report::{Series, Table};
+pub use scenario::{Scenario, ScenarioConfig};

@@ -1,0 +1,178 @@
+//! The trajectory-matching task (paper §VI-B/C).
+//!
+//! Given paired datasets `D(1)`/`D(2)` where `d1[i]` and `d2[i]` belong
+//! to the same object, a measure is evaluated by ranking, for each
+//! `d1[i]`, all of `D(2)` by similarity and recording where `d2[i]`
+//! lands.
+
+use crate::metrics::ranks_of_true_matches;
+use sts_baselines::SimilarityMeasure;
+use sts_core::Sts;
+use sts_traj::{MatchingPairs, Trajectory};
+
+/// Anything that can produce a full query × candidate similarity matrix.
+/// Separating this from [`SimilarityMeasure`] lets STS amortize its
+/// per-trajectory preparation (speed KDE, noise distributions) across a
+/// whole matrix instead of redoing it per pair.
+pub trait MatrixMeasure: Send + Sync {
+    /// Display name for reports.
+    fn name(&self) -> &'static str;
+
+    /// `matrix[i][j]` = similarity of `queries[i]` and `candidates[j]`.
+    fn matrix(&self, queries: &[Trajectory], candidates: &[Trajectory]) -> Vec<Vec<f64>>;
+
+    /// Similarity of a single pair (defaults to a 1×1 matrix).
+    fn pair(&self, a: &Trajectory, b: &Trajectory) -> f64 {
+        self.matrix(std::slice::from_ref(a), std::slice::from_ref(b))[0][0]
+    }
+}
+
+/// Baselines compute the matrix pair-by-pair with scoped threads.
+impl<M: SimilarityMeasure> MatrixMeasure for M {
+    fn name(&self) -> &'static str {
+        SimilarityMeasure::name(self)
+    }
+
+    fn matrix(&self, queries: &[Trajectory], candidates: &[Trajectory]) -> Vec<Vec<f64>> {
+        let n_threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(queries.len().max(1));
+        let chunk = queries.len().div_ceil(n_threads).max(1);
+        let mut rows: Vec<Vec<f64>> = vec![Vec::new(); queries.len()];
+        crossbeam::thread::scope(|scope| {
+            for (q_chunk, out_chunk) in queries.chunks(chunk).zip(rows.chunks_mut(chunk)) {
+                scope.spawn(move |_| {
+                    for (q, out) in q_chunk.iter().zip(out_chunk.iter_mut()) {
+                        *out = candidates.iter().map(|c| self.similarity(q, c)).collect();
+                    }
+                });
+            }
+        })
+        .expect("matrix workers do not panic");
+        rows
+    }
+}
+
+/// STS amortizes preparation via its own matrix path. Pairs that cannot
+/// be prepared (e.g. a 1-point trajectory after aggressive
+/// down-sampling) score 0 — an unmeasurable pair is maximally
+/// dissimilar, never an error that aborts an experiment.
+pub struct StsMatrix(pub Sts);
+
+impl MatrixMeasure for StsMatrix {
+    fn name(&self) -> &'static str {
+        "STS"
+    }
+
+    fn matrix(&self, queries: &[Trajectory], candidates: &[Trajectory]) -> Vec<Vec<f64>> {
+        match self.0.similarity_matrix(queries, candidates) {
+            Ok(m) => m,
+            Err(_) => {
+                // Some trajectory was unpreparable: fall back pairwise so
+                // only the offending pairs score 0.
+                queries
+                    .iter()
+                    .map(|q| {
+                        candidates
+                            .iter()
+                            .map(|c| self.0.similarity(q, c).unwrap_or(0.0))
+                            .collect()
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    fn pair(&self, a: &Trajectory, b: &Trajectory) -> f64 {
+        self.0.similarity(a, b).unwrap_or(0.0)
+    }
+}
+
+/// Runs the matching task: ranks of the true matches of every pair.
+pub fn matching_ranks(measure: &dyn MatrixMeasure, pairs: &MatchingPairs) -> Vec<usize> {
+    let matrix = measure.matrix(&pairs.d1, &pairs.d2);
+    ranks_of_true_matches(&matrix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{mean_rank, precision};
+    use sts_baselines::Cats;
+    use sts_core::StsConfig;
+    use sts_geo::{BoundingBox, Grid, Point};
+    use sts_traj::{Dataset, TrajPoint};
+
+    fn walkers(n: usize) -> Dataset {
+        // n well-separated straight-line walkers.
+        (0..n)
+            .map(|k| {
+                let y = 20.0 * k as f64 + 5.0;
+                Trajectory::new(
+                    (0..12)
+                        .map(|i| TrajPoint::from_xy(5.0 * i as f64, y, 5.0 * i as f64))
+                        .collect(),
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn baseline_matrix_matches_pairwise() {
+        let ds = walkers(3);
+        let pairs = sts_traj::MatchingPairs::from_dataset(&ds);
+        let cats = Cats::new(10.0, 20.0);
+        let m = MatrixMeasure::matrix(&cats, &pairs.d1, &pairs.d2);
+        for (i, row) in m.iter().enumerate() {
+            for (j, got) in row.iter().enumerate() {
+                let s = cats.similarity(&pairs.d1[i], &pairs.d2[j]);
+                assert!((got - s).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn well_separated_walkers_match_perfectly() {
+        let ds = walkers(4);
+        let pairs = sts_traj::MatchingPairs::from_dataset(&ds);
+        let grid = Grid::new(
+            BoundingBox::new(Point::new(-5.0, -5.0), Point::new(100.0, 100.0)),
+            4.0,
+        )
+        .unwrap();
+        let sts = StsMatrix(Sts::new(
+            StsConfig {
+                noise_sigma: 3.0,
+                ..StsConfig::default()
+            },
+            grid,
+        ));
+        let ranks = matching_ranks(&sts, &pairs);
+        assert_eq!(precision(&ranks), 1.0, "ranks {ranks:?}");
+        assert_eq!(mean_rank(&ranks), 1.0);
+    }
+
+    #[test]
+    fn sts_matrix_scores_unpreparable_pairs_zero() {
+        let good = Trajectory::from_xyt(&[(0.0, 0.0, 0.0), (5.0, 0.0, 5.0), (10.0, 0.0, 10.0)])
+            .unwrap();
+        let single = Trajectory::from_xyt(&[(0.0, 0.0, 0.0)]).unwrap();
+        let grid = Grid::new(
+            BoundingBox::new(Point::new(-5.0, -5.0), Point::new(20.0, 20.0)),
+            2.0,
+        )
+        .unwrap();
+        let sts = StsMatrix(Sts::new(StsConfig::default(), grid));
+        let m = sts.matrix(
+            &[good.clone(), single.clone()],
+            &[good.clone(), single.clone()],
+        );
+        assert!(m[0][0] > 0.0);
+        assert_eq!(m[0][1], 0.0);
+        assert_eq!(m[1][0], 0.0);
+        assert_eq!(m[1][1], 0.0);
+        assert_eq!(sts.pair(&good, &single), 0.0);
+    }
+}

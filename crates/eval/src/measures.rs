@@ -1,0 +1,265 @@
+//! The measure zoo: STS, its ablation variants and every baseline,
+//! instantiated with a scenario's scale parameters (paper §VI-A: "The
+//! experiment settings for baseline approaches are adopted as introduced
+//! in prior works" — here: scaled to each dataset's spatial/temporal
+//! regime).
+
+use crate::matching::{MatrixMeasure, StsMatrix};
+use crate::scenario::Scenario;
+use sts_baselines::{
+    Apm, Cats, DiscreteFrechet, Dtw, Edr, Edwp, Erp, KalmanDtw, Lcss, Sst, Wgm,
+};
+use sts_core::{Sts, StsConfig, StsVariant};
+use sts_stats::KalmanConfig;
+use sts_traj::{MatchingPairs, Trajectory};
+
+/// Every measure the harness can evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MeasureKind {
+    /// Full STS (the paper's contribution).
+    Sts,
+    /// STS without the noise model (ablation).
+    StsN,
+    /// STS with a global speed distribution (ablation).
+    StsG,
+    /// STS with frequency-based transitions (ablation).
+    StsF,
+    /// CATS [21].
+    Cats,
+    /// SST [32].
+    Sst,
+    /// WGM [19].
+    Wgm,
+    /// APM [34] (+ DTW).
+    Apm,
+    /// EDwP [15].
+    Edwp,
+    /// Kalman filter + DTW.
+    Kf,
+    /// Classic DTW [13].
+    Dtw,
+    /// Classic LCSS [18].
+    Lcss,
+    /// Classic EDR [14].
+    Edr,
+    /// Classic ERP [28].
+    Erp,
+    /// Discrete Fréchet [30].
+    Frechet,
+}
+
+impl MeasureKind {
+    /// Display name (matches the paper's legends).
+    pub fn name(&self) -> &'static str {
+        match self {
+            MeasureKind::Sts => "STS",
+            MeasureKind::StsN => "STS-N",
+            MeasureKind::StsG => "STS-G",
+            MeasureKind::StsF => "STS-F",
+            MeasureKind::Cats => "CATS",
+            MeasureKind::Sst => "SST",
+            MeasureKind::Wgm => "WGM",
+            MeasureKind::Apm => "APM",
+            MeasureKind::Edwp => "EDwP",
+            MeasureKind::Kf => "KF",
+            MeasureKind::Dtw => "DTW",
+            MeasureKind::Lcss => "LCSS",
+            MeasureKind::Edr => "EDR",
+            MeasureKind::Erp => "ERP",
+            MeasureKind::Frechet => "Frechet",
+        }
+    }
+
+    /// The measure line-up of the main comparison figures (Figs. 4–9).
+    pub fn comparison_set() -> &'static [MeasureKind] {
+        &[
+            MeasureKind::Sts,
+            MeasureKind::Cats,
+            MeasureKind::Sst,
+            MeasureKind::Wgm,
+            MeasureKind::Apm,
+            MeasureKind::Edwp,
+            MeasureKind::Kf,
+        ]
+    }
+
+    /// The ablation line-up of Fig. 10.
+    pub fn ablation_set() -> &'static [MeasureKind] {
+        &[
+            MeasureKind::Sts,
+            MeasureKind::StsN,
+            MeasureKind::StsG,
+            MeasureKind::StsF,
+        ]
+    }
+
+    /// The cross-similarity line-up of Fig. 11.
+    pub fn cross_similarity_set() -> &'static [MeasureKind] {
+        &[
+            MeasureKind::Sts,
+            MeasureKind::Cats,
+            MeasureKind::Wgm,
+            MeasureKind::Sst,
+        ]
+    }
+}
+
+/// Builds one measure for a scenario at a given grid size. `corpus`
+/// provides the historical data the non-personalized STS variants
+/// learn from — pass the (possibly transformed) evaluation trajectories
+/// themselves, exactly as the paper's universal baselines would.
+pub fn make_measure(
+    kind: MeasureKind,
+    scenario: &Scenario,
+    corpus: &[Trajectory],
+    grid_size: f64,
+) -> Box<dyn MatrixMeasure> {
+    let scale = scenario.scale;
+    let grid = scenario.grid(grid_size);
+    let sts_config = StsConfig {
+        noise_sigma: scale.noise_sigma,
+        ..StsConfig::default()
+    };
+    match kind {
+        MeasureKind::Sts => Box::new(StsMatrix(Sts::new(sts_config, grid))),
+        MeasureKind::StsN | MeasureKind::StsG | MeasureKind::StsF => {
+            let variant = match kind {
+                MeasureKind::StsN => StsVariant::NoNoise,
+                MeasureKind::StsG => StsVariant::GlobalSpeed,
+                _ => StsVariant::FrequencyBased,
+            };
+            let sts = Sts::variant(sts_config, grid, variant, corpus)
+                .expect("corpus trajectories have >= 2 points");
+            Box::new(NamedSts {
+                inner: StsMatrix(sts),
+                name: kind.name(),
+            })
+        }
+        MeasureKind::Cats => Box::new(Cats::new(scale.spatial_eps, scale.temporal_window)),
+        MeasureKind::Sst => Box::new(Sst::new(scale.spatial_scale, scale.temporal_scale)),
+        MeasureKind::Wgm => Box::new(Wgm::new(scale.spatial_scale, scale.temporal_scale, 0.5)),
+        MeasureKind::Apm => Box::new(Apm::new(grid, scale.time_step)),
+        MeasureKind::Edwp => Box::new(Edwp::new()),
+        MeasureKind::Kf => Box::new(KalmanDtw::new(
+            KalmanConfig {
+                process_noise: scale.kf_process_noise,
+                measurement_std: scale.kf_measurement_std,
+                initial_velocity_var: 100.0,
+            },
+            scale.time_step,
+        )),
+        MeasureKind::Dtw => Box::new(Dtw::new()),
+        MeasureKind::Lcss => Box::new(Lcss::new(
+            scale.spatial_eps,
+            Some(scale.temporal_window),
+        )),
+        MeasureKind::Edr => Box::new(Edr::new(scale.spatial_eps)),
+        MeasureKind::Erp => Box::new(Erp::new(scenario.area.center())),
+        MeasureKind::Frechet => Box::new(DiscreteFrechet::new()),
+    }
+}
+
+/// Builds the whole set for a figure at the scenario's default grid.
+pub fn measure_set(
+    kinds: &[MeasureKind],
+    scenario: &Scenario,
+    pairs: &MatchingPairs,
+) -> Vec<(&'static str, Box<dyn MatrixMeasure>)> {
+    let corpus: Vec<Trajectory> = pairs
+        .d1
+        .iter()
+        .chain(&pairs.d2)
+        .filter(|t| t.len() >= 2)
+        .cloned()
+        .collect();
+    kinds
+        .iter()
+        .map(|&k| {
+            (
+                k.name(),
+                make_measure(k, scenario, &corpus, scenario.scale.grid_size),
+            )
+        })
+        .collect()
+}
+
+/// Wraps an STS variant so its report name says which variant it is.
+struct NamedSts {
+    inner: StsMatrix,
+    name: &'static str,
+}
+
+impl MatrixMeasure for NamedSts {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn matrix(&self, q: &[Trajectory], c: &[Trajectory]) -> Vec<Vec<f64>> {
+        self.inner.matrix(q, c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{ScenarioConfig, ScenarioKind};
+
+    fn scenario() -> Scenario {
+        Scenario::build(ScenarioConfig {
+            n_objects: 5,
+            ..ScenarioConfig::new(ScenarioKind::Mall)
+        })
+    }
+
+    #[test]
+    fn every_measure_constructs_and_scores() {
+        let s = scenario();
+        let all = [
+            MeasureKind::Sts,
+            MeasureKind::StsN,
+            MeasureKind::StsG,
+            MeasureKind::StsF,
+            MeasureKind::Cats,
+            MeasureKind::Sst,
+            MeasureKind::Wgm,
+            MeasureKind::Apm,
+            MeasureKind::Edwp,
+            MeasureKind::Kf,
+            MeasureKind::Dtw,
+            MeasureKind::Lcss,
+            MeasureKind::Edr,
+            MeasureKind::Erp,
+            MeasureKind::Frechet,
+        ];
+        let a = &s.pairs.d1[0];
+        let b = &s.pairs.d2[0];
+        let c = &s.pairs.d2[1 % s.pairs.len()];
+        let set = measure_set(&all, &s, &s.pairs);
+        assert_eq!(set.len(), all.len());
+        for (name, m) in &set {
+            let s_true = m.pair(a, b);
+            let s_other = m.pair(a, c);
+            assert!(s_true.is_finite(), "{name} not finite");
+            assert!(s_other.is_finite(), "{name} not finite");
+        }
+    }
+
+    #[test]
+    fn line_ups_match_paper() {
+        assert_eq!(MeasureKind::comparison_set().len(), 7);
+        assert_eq!(MeasureKind::ablation_set().len(), 4);
+        assert_eq!(MeasureKind::cross_similarity_set().len(), 4);
+        assert_eq!(MeasureKind::comparison_set()[0].name(), "STS");
+    }
+
+    #[test]
+    fn variant_names_propagate() {
+        let s = scenario();
+        let set = measure_set(MeasureKind::ablation_set(), &s, &s.pairs);
+        let names: Vec<&str> = set.iter().map(|(n, m)| {
+            assert_eq!(*n, m.name());
+            m.name()
+        }).collect();
+        assert_eq!(names, vec!["STS", "STS-N", "STS-G", "STS-F"]);
+    }
+}

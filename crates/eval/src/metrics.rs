@@ -1,0 +1,104 @@
+//! Evaluation metrics (paper §VI-B).
+
+/// The rank of each query's true match given a similarity matrix:
+/// `ranks[i]` is the 1-based position of candidate `i` when the
+/// candidates are sorted by decreasing similarity to query `i` (the
+/// ground truth is the diagonal, as in the §VI-C construction).
+///
+/// Ties are scored pessimistically (the true match ranks below every
+/// candidate with an equal score): a measure that collapses everything
+/// to the same value must not look accurate.
+pub fn ranks_of_true_matches(similarity: &[Vec<f64>]) -> Vec<usize> {
+    similarity
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let own = row[i];
+            1 + row
+                .iter()
+                .enumerate()
+                .filter(|&(j, &s)| j != i && s >= own)
+                .count()
+        })
+        .collect()
+}
+
+/// Precision (Eq. 11): the fraction of queries whose true match ranks
+/// first.
+pub fn precision(ranks: &[usize]) -> f64 {
+    if ranks.is_empty() {
+        return 0.0;
+    }
+    ranks.iter().filter(|&&r| r == 1).count() as f64 / ranks.len() as f64
+}
+
+/// Mean rank (Eq. 12): the average rank of the true matches.
+pub fn mean_rank(ranks: &[usize]) -> f64 {
+    if ranks.is_empty() {
+        return 0.0;
+    }
+    ranks.iter().sum::<usize>() as f64 / ranks.len() as f64
+}
+
+/// Cross-similarity deviation (Eq. 13) for one trajectory triple:
+/// `|d(T1, T2') − d(T1, T2)| / |d(T1, T2)|`, where `T2'` is a
+/// down-sampled version of `T2`. Works on similarities just as well as
+/// on distances — it is a relative deviation. Returns `None` when the
+/// reference value is zero (the deviation is undefined).
+pub fn cross_similarity_deviation(reference: f64, downsampled: f64) -> Option<f64> {
+    if reference == 0.0 {
+        return None;
+    }
+    Some((downsampled - reference).abs() / reference.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_on_perfect_diagonal() {
+        let sim = vec![
+            vec![0.9, 0.1, 0.2],
+            vec![0.0, 0.8, 0.3],
+            vec![0.2, 0.1, 0.7],
+        ];
+        assert_eq!(ranks_of_true_matches(&sim), vec![1, 1, 1]);
+        assert_eq!(precision(&[1, 1, 1]), 1.0);
+        assert_eq!(mean_rank(&[1, 1, 1]), 1.0);
+    }
+
+    #[test]
+    fn ranks_count_better_candidates() {
+        let sim = vec![
+            vec![0.5, 0.9, 0.7], // true match third
+            vec![0.0, 0.8, 0.3], // first
+        ];
+        assert_eq!(ranks_of_true_matches(&sim), vec![3, 1]);
+        assert_eq!(precision(&[3, 1]), 0.5);
+        assert_eq!(mean_rank(&[3, 1]), 2.0);
+    }
+
+    #[test]
+    fn ties_are_pessimistic() {
+        // All-equal scores: the true match cannot be distinguished.
+        let sim = vec![vec![0.5, 0.5], vec![0.5, 0.5]];
+        assert_eq!(ranks_of_true_matches(&sim), vec![2, 2]);
+        assert_eq!(precision(&[2, 2]), 0.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(precision(&[]), 0.0);
+        assert_eq!(mean_rank(&[]), 0.0);
+        assert!(ranks_of_true_matches(&[]).is_empty());
+    }
+
+    #[test]
+    fn deviation_basics() {
+        assert_eq!(cross_similarity_deviation(1.0, 1.0), Some(0.0));
+        assert!((cross_similarity_deviation(0.5, 0.4).unwrap() - 0.2).abs() < 1e-12);
+        assert!((cross_similarity_deviation(0.5, 0.6).unwrap() - 0.2).abs() < 1e-12);
+        assert_eq!(cross_similarity_deviation(0.0, 0.3), None);
+    }
+}

@@ -1,0 +1,158 @@
+//! Plain-text result tables shaped like the paper's figures.
+//!
+//! Each evaluation figure is a family of series (one per measure) over
+//! a swept x-axis; [`Table`] holds that structure and renders it as an
+//! aligned text table — the series the paper plots, as rows of numbers.
+
+use std::fmt::Write as _;
+
+/// One plotted line: a measure's metric over the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend name (e.g. `"STS"`, `"CATS"`).
+    pub name: String,
+    /// `(x, y)` points in sweep order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+}
+
+/// A figure reproduction: an id like `fig4a`, axis labels and series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Identifier tying the table to the paper (e.g. `"fig4a"`).
+    pub id: String,
+    /// Human title (e.g. `"Precision vs sampling rate (mall)"`).
+    pub title: String,
+    /// x-axis label.
+    pub x_label: String,
+    /// y-axis label.
+    pub y_label: String,
+    /// One series per measure.
+    pub series: Vec<Series>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// The series with the given name, if present.
+    pub fn series(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// All x values, taken from the first series (all series share the
+    /// sweep).
+    pub fn xs(&self) -> Vec<f64> {
+        self.series
+            .first()
+            .map(|s| s.points.iter().map(|&(x, _)| x).collect())
+            .unwrap_or_default()
+    }
+
+    /// Renders the aligned text table: header row of series names, one
+    /// row per x value.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {} [{}]", self.title, self.id);
+        let _ = writeln!(out, "   ({} vs {})", self.y_label, self.x_label);
+        let col = 10usize;
+        let _ = write!(out, "{:>col$}", self.x_label.chars().take(col).collect::<String>());
+        for s in &self.series {
+            let _ = write!(out, "{:>col$}", s.name);
+        }
+        let _ = writeln!(out);
+        for (i, x) in self.xs().iter().enumerate() {
+            let _ = write!(out, "{x:>col$.3}");
+            for s in &self.series {
+                match s.points.get(i) {
+                    Some(&(_, y)) => {
+                        let _ = write!(out, "{y:>col$.4}");
+                    }
+                    None => {
+                        let _ = write!(out, "{:>col$}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut t = Table::new("fig4a", "Precision vs rate (mall)", "rate", "precision");
+        let mut s1 = Series::new("STS");
+        s1.push(0.1, 0.8);
+        s1.push(0.5, 0.95);
+        let mut s2 = Series::new("CATS");
+        s2.push(0.1, 0.6);
+        s2.push(0.5, 0.9);
+        t.series.push(s1);
+        t.series.push(s2);
+        t
+    }
+
+    #[test]
+    fn accessors() {
+        let t = table();
+        assert_eq!(t.xs(), vec![0.1, 0.5]);
+        assert_eq!(t.series("STS").unwrap().points[1].1, 0.95);
+        assert!(t.series("nope").is_none());
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let r = table().render();
+        assert!(r.contains("fig4a"));
+        assert!(r.contains("STS"));
+        assert!(r.contains("CATS"));
+        assert!(r.contains("0.9500"));
+        assert!(r.contains("0.100"));
+    }
+
+    #[test]
+    fn render_handles_missing_points() {
+        let mut t = table();
+        t.series[1].points.truncate(1);
+        let r = t.render();
+        assert!(r.contains('-'));
+    }
+
+    #[test]
+    fn empty_table_renders() {
+        let t = Table::new("x", "t", "x", "y");
+        assert!(t.xs().is_empty());
+        assert!(!t.render().is_empty());
+    }
+}

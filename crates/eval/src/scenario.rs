@@ -1,0 +1,267 @@
+//! The two evaluation scenarios (paper §VI-A).
+//!
+//! The paper evaluates on an outdoor taxi dataset (Porto) and an indoor
+//! shopping-mall WiFi dataset; we rebuild both regimes with the seeded
+//! synthetic generators of `sts-traj` (substitution rationale in
+//! `DESIGN.md` §2). A scenario bundles the generated data, the paired
+//! matching datasets of Fig. 3, and every scale-dependent parameter
+//! (grid size, noise σ, baseline tolerances) so experiments and
+//! measures stay scale-agnostic.
+
+use sts_geo::{BoundingBox, Grid, Point};
+use sts_traj::generators::{mall, taxi};
+use sts_traj::{Dataset, MatchingPairs, MIN_EVAL_LEN};
+
+/// Which of the paper's two datasets a scenario mirrors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScenarioKind {
+    /// Indoor pedestrian workload (shopping-mall WiFi substitute).
+    Mall,
+    /// Outdoor vehicle workload (Porto taxi substitute).
+    Taxi,
+}
+
+impl ScenarioKind {
+    /// Display name matching the paper's figure captions.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScenarioKind::Mall => "Shopping mall",
+            ScenarioKind::Taxi => "Taxi",
+        }
+    }
+
+    /// Both scenarios, mall first (the paper's sub-figure order).
+    pub fn both() -> [ScenarioKind; 2] {
+        [ScenarioKind::Mall, ScenarioKind::Taxi]
+    }
+}
+
+/// Scenario construction parameters.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Which workload to generate.
+    pub kind: ScenarioKind,
+    /// Number of objects to generate (before the ≥ 20-point filter).
+    pub n_objects: usize,
+    /// Workload seed — scenarios are pure functions of their config.
+    pub seed: u64,
+}
+
+impl ScenarioConfig {
+    /// A scenario of the given kind with default size and seed.
+    pub fn new(kind: ScenarioKind) -> Self {
+        ScenarioConfig {
+            kind,
+            n_objects: 20,
+            seed: 0x5757,
+        }
+    }
+}
+
+/// Scale-dependent parameters handed to the measures.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioScale {
+    /// Default grid cell size, meters (paper §VI-A: 3 m mall, 100 m
+    /// taxi).
+    pub grid_size: f64,
+    /// STS location-noise σ, meters.
+    pub noise_sigma: f64,
+    /// Spatial tolerance ε for CATS/LCSS/EDR, meters.
+    pub spatial_eps: f64,
+    /// Temporal window τ for CATS/LCSS, seconds.
+    pub temporal_window: f64,
+    /// Spatial decay scale for WGM/SST, meters.
+    pub spatial_scale: f64,
+    /// Temporal decay scale for WGM/SST, seconds.
+    pub temporal_scale: f64,
+    /// Unified resampling period for APM/KF, seconds.
+    pub time_step: f64,
+    /// KF measurement noise std, meters.
+    pub kf_measurement_std: f64,
+    /// KF process noise spectral density, m²/s³.
+    pub kf_process_noise: f64,
+    /// Noise sweep of Figs. 8–9, meters (β values).
+    pub noise_levels: [f64; 5],
+    /// Grid-size sweep of Figs. 12–14, meters.
+    pub grid_sizes: [f64; 5],
+    /// Fixed noise for the Fig. 10 ablation, meters (6 m mall, 20 m
+    /// taxi).
+    pub ablation_noise: f64,
+}
+
+/// A fully built evaluation scenario.
+pub struct Scenario {
+    /// Construction parameters.
+    pub config: ScenarioConfig,
+    /// Generated trajectories surviving the ≥ 20-point filter (§VI-A).
+    pub dataset: Dataset,
+    /// The paired D(1)/D(2) matching datasets (Fig. 3 split).
+    pub pairs: MatchingPairs,
+    /// The spatial area of interest the generators used.
+    pub area: BoundingBox,
+    /// Scale parameters.
+    pub scale: ScenarioScale,
+}
+
+impl Scenario {
+    /// Generates the scenario described by `config`.
+    pub fn build(config: ScenarioConfig) -> Scenario {
+        let (dataset, area, scale) = match config.kind {
+            ScenarioKind::Mall => {
+                let gen_cfg = mall::MallConfig {
+                    n_pedestrians: config.n_objects,
+                    seed: config.seed,
+                    ..mall::MallConfig::default()
+                };
+                let area = BoundingBox::new(
+                    Point::ORIGIN,
+                    Point::new(gen_cfg.width, gen_cfg.height),
+                );
+                let ds = mall::generate(&gen_cfg).dataset();
+                (
+                    ds,
+                    area,
+                    ScenarioScale {
+                        grid_size: 3.0,
+                        noise_sigma: 3.0,
+                        spatial_eps: 6.0,
+                        temporal_window: 60.0,
+                        spatial_scale: 6.0,
+                        temporal_scale: 60.0,
+                        time_step: 20.0,
+                        kf_measurement_std: 3.0,
+                        kf_process_noise: 0.2,
+                        noise_levels: [0.0, 2.0, 4.0, 6.0, 8.0],
+                        grid_sizes: [1.0, 2.0, 3.0, 4.5, 6.0],
+                        ablation_noise: 6.0,
+                    },
+                )
+            }
+            ScenarioKind::Taxi => {
+                let gen_cfg = taxi::TaxiConfig {
+                    n_taxis: config.n_objects,
+                    seed: config.seed,
+                    ..taxi::TaxiConfig::default()
+                };
+                let area = BoundingBox::new(
+                    Point::ORIGIN,
+                    Point::new(gen_cfg.city_size, gen_cfg.city_size),
+                );
+                let ds = taxi::generate(&gen_cfg).dataset();
+                (
+                    ds,
+                    area,
+                    ScenarioScale {
+                        grid_size: 100.0,
+                        noise_sigma: 50.0,
+                        spatial_eps: 200.0,
+                        temporal_window: 90.0,
+                        spatial_scale: 100.0,
+                        temporal_scale: 120.0,
+                        time_step: 30.0,
+                        kf_measurement_std: 30.0,
+                        kf_process_noise: 2.0,
+                        noise_levels: [0.0, 20.0, 40.0, 60.0, 100.0],
+                        grid_sizes: [50.0, 100.0, 150.0, 200.0, 250.0],
+                        ablation_noise: 20.0,
+                    },
+                )
+            }
+        };
+        let dataset = dataset.filter_min_len(MIN_EVAL_LEN);
+        let pairs = MatchingPairs::from_dataset(&dataset);
+        Scenario {
+            config,
+            dataset,
+            pairs,
+            area,
+            scale,
+        }
+    }
+
+    /// The scenario's display name.
+    pub fn name(&self) -> &'static str {
+        self.config.kind.name()
+    }
+
+    /// A grid over the scenario's area with the given cell size. The
+    /// area is inflated by a cell so that noise-displaced observations
+    /// remain snappable.
+    pub fn grid(&self, cell_size: f64) -> Grid {
+        Grid::new(self.area.inflated(cell_size), cell_size)
+            .expect("scenario areas produce valid grids")
+    }
+
+    /// The grid at the paper's default cell size for this dataset.
+    pub fn default_grid(&self) -> Grid {
+        self.grid(self.scale.grid_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mall_scenario_builds() {
+        let s = Scenario::build(ScenarioConfig {
+            n_objects: 8,
+            ..ScenarioConfig::new(ScenarioKind::Mall)
+        });
+        assert!(!s.pairs.is_empty());
+        assert_eq!(s.pairs.d1.len(), s.pairs.d2.len());
+        for t in s.dataset.trajectories() {
+            assert!(t.len() >= MIN_EVAL_LEN);
+        }
+        assert_eq!(s.name(), "Shopping mall");
+    }
+
+    #[test]
+    fn taxi_scenario_builds() {
+        let s = Scenario::build(ScenarioConfig {
+            n_objects: 8,
+            ..ScenarioConfig::new(ScenarioKind::Taxi)
+        });
+        assert!(!s.pairs.is_empty());
+        assert_eq!(s.scale.grid_size, 100.0);
+        assert_eq!(s.name(), "Taxi");
+    }
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        let cfg = ScenarioConfig {
+            n_objects: 5,
+            ..ScenarioConfig::new(ScenarioKind::Mall)
+        };
+        let a = Scenario::build(cfg.clone());
+        let b = Scenario::build(cfg);
+        assert_eq!(a.dataset.trajectories(), b.dataset.trajectories());
+    }
+
+    #[test]
+    fn grids_cover_area() {
+        let s = Scenario::build(ScenarioConfig {
+            n_objects: 5,
+            ..ScenarioConfig::new(ScenarioKind::Mall)
+        });
+        let g = s.default_grid();
+        for t in s.dataset.trajectories() {
+            for p in t.points() {
+                assert!(g.cell_at(p.loc).is_some(), "point outside grid");
+            }
+        }
+    }
+
+    #[test]
+    fn pairs_halves_belong_to_same_object() {
+        let s = Scenario::build(ScenarioConfig {
+            n_objects: 6,
+            ..ScenarioConfig::new(ScenarioKind::Mall)
+        });
+        for (a, b) in s.pairs.d1.iter().zip(&s.pairs.d2) {
+            // Interleaved timestamps: a starts before b; spans overlap.
+            assert!(a.start_time() < b.start_time());
+            assert!(a.end_time() >= b.start_time());
+        }
+    }
+}

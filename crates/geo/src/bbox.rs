@@ -1,0 +1,156 @@
+//! Axis-aligned bounding boxes.
+
+use crate::Point;
+
+/// An axis-aligned rectangle `[min.x, max.x] × [min.y, max.y]` in the local
+/// metric frame. Used to describe the spatial area of interest that the
+/// grid partitions (a city, a mall floor, …).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundingBox {
+    min: Point,
+    max: Point,
+}
+
+impl BoundingBox {
+    /// Creates a bounding box from two opposite corners, in any order.
+    pub fn new(a: Point, b: Point) -> Self {
+        BoundingBox {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// The smallest box containing all `points`; `None` for an empty slice.
+    pub fn from_points<'a, I: IntoIterator<Item = &'a Point>>(points: I) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = *it.next()?;
+        let mut bb = BoundingBox::new(first, first);
+        for p in it {
+            bb.expand(p);
+        }
+        Some(bb)
+    }
+
+    /// Lower-left corner.
+    #[inline]
+    pub fn min(&self) -> Point {
+        self.min
+    }
+
+    /// Upper-right corner.
+    #[inline]
+    pub fn max(&self) -> Point {
+        self.max
+    }
+
+    /// Extent along x, in meters.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Extent along y, in meters.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Geometric center of the box.
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.min.midpoint(&self.max)
+    }
+
+    /// Area in square meters.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// `true` when `p` lies inside the box or on its boundary.
+    #[inline]
+    pub fn contains(&self, p: &Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Grows the box (in place) to include `p`.
+    pub fn expand(&mut self, p: &Point) {
+        self.min.x = self.min.x.min(p.x);
+        self.min.y = self.min.y.min(p.y);
+        self.max.x = self.max.x.max(p.x);
+        self.max.y = self.max.y.max(p.y);
+    }
+
+    /// Returns the box grown by `margin` meters on every side.
+    pub fn inflated(&self, margin: f64) -> BoundingBox {
+        let m = Point::new(margin, margin);
+        BoundingBox::new(self.min - m, self.max + m)
+    }
+
+    /// Clamps `p` to the closest point inside the box.
+    pub fn clamp(&self, p: &Point) -> Point {
+        Point::new(
+            p.x.clamp(self.min.x, self.max.x),
+            p.y.clamp(self.min.y, self.max.y),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn corners_are_normalized() {
+        let bb = BoundingBox::new(Point::new(5.0, -1.0), Point::new(-2.0, 4.0));
+        assert_eq!(bb.min(), Point::new(-2.0, -1.0));
+        assert_eq!(bb.max(), Point::new(5.0, 4.0));
+        assert!(approx_eq(bb.width(), 7.0));
+        assert!(approx_eq(bb.height(), 5.0));
+        assert!(approx_eq(bb.area(), 35.0));
+    }
+
+    #[test]
+    fn from_points_covers_all() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 7.0),
+            Point::new(-1.0, 2.0),
+        ];
+        let bb = BoundingBox::from_points(&pts).unwrap();
+        for p in &pts {
+            assert!(bb.contains(p));
+        }
+        assert_eq!(bb.min(), Point::new(-1.0, 0.0));
+        assert_eq!(bb.max(), Point::new(3.0, 7.0));
+        assert!(BoundingBox::from_points(&[]).is_none());
+    }
+
+    #[test]
+    fn contains_boundary_and_outside() {
+        let bb = BoundingBox::new(Point::ORIGIN, Point::new(10.0, 10.0));
+        assert!(bb.contains(&Point::new(0.0, 0.0)));
+        assert!(bb.contains(&Point::new(10.0, 10.0)));
+        assert!(bb.contains(&Point::new(5.0, 5.0)));
+        assert!(!bb.contains(&Point::new(10.001, 5.0)));
+        assert!(!bb.contains(&Point::new(5.0, -0.001)));
+    }
+
+    #[test]
+    fn inflate_and_clamp() {
+        let bb = BoundingBox::new(Point::ORIGIN, Point::new(10.0, 10.0));
+        let big = bb.inflated(2.0);
+        assert_eq!(big.min(), Point::new(-2.0, -2.0));
+        assert_eq!(big.max(), Point::new(12.0, 12.0));
+        assert_eq!(bb.clamp(&Point::new(-5.0, 4.0)), Point::new(0.0, 4.0));
+        assert_eq!(bb.clamp(&Point::new(20.0, 30.0)), Point::new(10.0, 10.0));
+        assert_eq!(bb.clamp(&Point::new(3.0, 3.0)), Point::new(3.0, 3.0));
+    }
+
+    #[test]
+    fn center_is_midpoint() {
+        let bb = BoundingBox::new(Point::new(0.0, 0.0), Point::new(4.0, 8.0));
+        assert_eq!(bb.center(), Point::new(2.0, 4.0));
+    }
+}

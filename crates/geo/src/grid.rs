@@ -1,0 +1,383 @@
+//! Uniform grid partition of the spatial area of interest (paper §IV-A).
+//!
+//! The paper partitions the space into `n` disjoint equal-sized grids
+//! `R = {r1 … rn}` and uses the cell centers as their locations. The grid
+//! also provides the range query used to truncate probability mass to
+//! cells near an observation (`cells_within`), which turns the dense
+//! `O(|R|)` per-location scans into `O(k)` local ones without changing
+//! results beyond a configurable tail threshold.
+
+use crate::{BoundingBox, Point};
+use std::fmt;
+
+/// Identifier of a grid cell: a dense index in `0 .. grid.len()`.
+///
+/// Row-major: `id = row * cols + col` with rows growing along +y and
+/// columns along +x.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId(pub u32);
+
+impl CellId {
+    /// The dense index as `usize`, for direct vector indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Errors constructing a [`Grid`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum GridError {
+    /// The requested cell size was zero, negative or non-finite.
+    InvalidCellSize(f64),
+    /// The area was degenerate (zero width or height).
+    DegenerateArea,
+    /// The area/cell-size combination would produce more cells than fit in
+    /// a `u32` index (or an absurd amount of memory).
+    TooManyCells {
+        /// Requested number of columns.
+        cols: usize,
+        /// Requested number of rows.
+        rows: usize,
+    },
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::InvalidCellSize(s) => write!(f, "invalid grid cell size: {s}"),
+            GridError::DegenerateArea => write!(f, "grid area has zero width or height"),
+            GridError::TooManyCells { cols, rows } => {
+                write!(f, "grid of {cols} x {rows} cells exceeds the supported size")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+/// A uniform partition of a rectangular area into square cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid {
+    area: BoundingBox,
+    cell_size: f64,
+    cols: u32,
+    rows: u32,
+}
+
+impl Grid {
+    /// Maximum number of cells a grid may hold; large enough for a city at
+    /// fine resolution, small enough to catch runaway configurations.
+    pub const MAX_CELLS: usize = 64_000_000;
+
+    /// Creates a grid covering `area` with square cells of side
+    /// `cell_size` meters. The last row/column may extend past the area so
+    /// that the whole area is covered.
+    pub fn new(area: BoundingBox, cell_size: f64) -> Result<Self, GridError> {
+        if !cell_size.is_finite() || cell_size <= 0.0 {
+            return Err(GridError::InvalidCellSize(cell_size));
+        }
+        if area.width() <= 0.0 || area.height() <= 0.0 {
+            return Err(GridError::DegenerateArea);
+        }
+        let cols = (area.width() / cell_size).ceil().max(1.0) as usize;
+        let rows = (area.height() / cell_size).ceil().max(1.0) as usize;
+        let total = cols.saturating_mul(rows);
+        if total > Self::MAX_CELLS || cols > u32::MAX as usize || rows > u32::MAX as usize {
+            return Err(GridError::TooManyCells { cols, rows });
+        }
+        Ok(Grid {
+            area,
+            cell_size,
+            cols: cols as u32,
+            rows: rows as u32,
+        })
+    }
+
+    /// The covered area as given at construction.
+    #[inline]
+    pub fn area(&self) -> BoundingBox {
+        self.area
+    }
+
+    /// Cell side length in meters.
+    #[inline]
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    /// Number of columns (x direction).
+    #[inline]
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Number of rows (y direction).
+    #[inline]
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Total number of cells `|R|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cols as usize * self.rows as usize
+    }
+
+    /// `true` when the grid has no cells (never true for a constructed
+    /// grid; present for API completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The cell containing `p`, or `None` when `p` lies outside the grid.
+    /// Points exactly on the max boundary are clamped into the last cell.
+    pub fn cell_at(&self, p: Point) -> Option<CellId> {
+        if !self.area.contains(&p) {
+            return None;
+        }
+        Some(self.cell_at_clamped(p))
+    }
+
+    /// The cell containing `p`, snapping points outside the grid to the
+    /// nearest boundary cell. Useful when noise pushes observations
+    /// slightly out of the area of interest.
+    pub fn cell_at_clamped(&self, p: Point) -> CellId {
+        let q = self.area.clamp(&p);
+        let col = (((q.x - self.area.min().x) / self.cell_size) as u32).min(self.cols - 1);
+        let row = (((q.y - self.area.min().y) / self.cell_size) as u32).min(self.rows - 1);
+        CellId(row * self.cols + col)
+    }
+
+    /// Center of cell `id` (the paper uses centers as cell locations).
+    pub fn center(&self, id: CellId) -> Point {
+        let (col, row) = self.col_row(id);
+        Point::new(
+            self.area.min().x + (col as f64 + 0.5) * self.cell_size,
+            self.area.min().y + (row as f64 + 0.5) * self.cell_size,
+        )
+    }
+
+    /// Column/row coordinates of a cell.
+    #[inline]
+    pub fn col_row(&self, id: CellId) -> (u32, u32) {
+        (id.0 % self.cols, id.0 / self.cols)
+    }
+
+    /// Cell id from column/row coordinates; `None` when out of range.
+    pub fn cell_from_col_row(&self, col: u32, row: u32) -> Option<CellId> {
+        if col < self.cols && row < self.rows {
+            Some(CellId(row * self.cols + col))
+        } else {
+            None
+        }
+    }
+
+    /// Iterates over all cell ids in dense order.
+    pub fn cells(&self) -> impl Iterator<Item = CellId> + '_ {
+        (0..self.len() as u32).map(CellId)
+    }
+
+    /// All cells whose **center** lies within `radius` meters of `p`.
+    ///
+    /// This is the truncation primitive behind the sparse STP computation:
+    /// probability mass of a Gaussian beyond a few σ is negligible, so only
+    /// cells near the observation need to be scanned. The returned ids are
+    /// in dense order.
+    pub fn cells_within(&self, p: Point, radius: f64) -> Vec<CellId> {
+        let mut out = Vec::new();
+        if !(radius.is_finite() && radius >= 0.0) {
+            return out;
+        }
+        let min = self.area.min();
+        let lo_col = (((p.x - radius - min.x) / self.cell_size).floor()).max(0.0) as i64;
+        let hi_col = (((p.x + radius - min.x) / self.cell_size).floor()) as i64;
+        let lo_row = (((p.y - radius - min.y) / self.cell_size).floor()).max(0.0) as i64;
+        let hi_row = (((p.y + radius - min.y) / self.cell_size).floor()) as i64;
+        let r2 = radius * radius;
+        for row in lo_row..=hi_row.min(self.rows as i64 - 1) {
+            for col in lo_col..=hi_col.min(self.cols as i64 - 1) {
+                let id = CellId(row as u32 * self.cols + col as u32);
+                if self.center(id).distance_sq(&p) <= r2 {
+                    out.push(id);
+                }
+            }
+        }
+        out
+    }
+
+    /// The 4- or 8-neighborhood of a cell (here: 8, clipped at borders).
+    pub fn neighbors(&self, id: CellId) -> Vec<CellId> {
+        let (col, row) = self.col_row(id);
+        let mut out = Vec::with_capacity(8);
+        for dr in -1i64..=1 {
+            for dc in -1i64..=1 {
+                if dr == 0 && dc == 0 {
+                    continue;
+                }
+                let r = row as i64 + dr;
+                let c = col as i64 + dc;
+                if r >= 0 && c >= 0 {
+                    if let Some(n) = self.cell_from_col_row(c as u32, r as u32) {
+                        out.push(n);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn grid_10x5() -> Grid {
+        Grid::new(
+            BoundingBox::new(Point::ORIGIN, Point::new(100.0, 50.0)),
+            10.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dimensions() {
+        let g = grid_10x5();
+        assert_eq!(g.cols(), 10);
+        assert_eq!(g.rows(), 5);
+        assert_eq!(g.len(), 50);
+        assert!(!g.is_empty());
+        assert!(approx_eq(g.cell_size(), 10.0));
+    }
+
+    #[test]
+    fn construction_errors() {
+        let area = BoundingBox::new(Point::ORIGIN, Point::new(100.0, 50.0));
+        assert!(matches!(
+            Grid::new(area, 0.0),
+            Err(GridError::InvalidCellSize(_))
+        ));
+        assert!(matches!(
+            Grid::new(area, -1.0),
+            Err(GridError::InvalidCellSize(_))
+        ));
+        assert!(matches!(
+            Grid::new(area, f64::NAN),
+            Err(GridError::InvalidCellSize(_))
+        ));
+        let line = BoundingBox::new(Point::ORIGIN, Point::new(100.0, 0.0));
+        assert!(matches!(Grid::new(line, 1.0), Err(GridError::DegenerateArea)));
+        let huge = BoundingBox::new(Point::ORIGIN, Point::new(1e9, 1e9));
+        assert!(matches!(
+            Grid::new(huge, 0.1),
+            Err(GridError::TooManyCells { .. })
+        ));
+    }
+
+    #[test]
+    fn cell_lookup_roundtrip() {
+        let g = grid_10x5();
+        for id in g.cells() {
+            let c = g.center(id);
+            assert_eq!(g.cell_at(c), Some(id));
+            let (col, row) = g.col_row(id);
+            assert_eq!(g.cell_from_col_row(col, row), Some(id));
+        }
+    }
+
+    #[test]
+    fn cell_at_boundaries() {
+        let g = grid_10x5();
+        // Max corner belongs to the last cell (clamped).
+        assert_eq!(g.cell_at(Point::new(100.0, 50.0)), Some(CellId(49)));
+        assert_eq!(g.cell_at(Point::new(0.0, 0.0)), Some(CellId(0)));
+        assert_eq!(g.cell_at(Point::new(150.0, 25.0)), None);
+        assert_eq!(g.cell_at_clamped(Point::new(150.0, 25.0)), g.cell_at(Point::new(100.0, 25.0)).unwrap());
+        assert_eq!(
+            g.cell_at_clamped(Point::new(-10.0, -10.0)),
+            CellId(0)
+        );
+    }
+
+    #[test]
+    fn ragged_last_column_is_covered() {
+        // 95 m wide with 10 m cells -> 10 columns, last one hangs over.
+        let g = Grid::new(
+            BoundingBox::new(Point::ORIGIN, Point::new(95.0, 20.0)),
+            10.0,
+        )
+        .unwrap();
+        assert_eq!(g.cols(), 10);
+        assert!(g.cell_at(Point::new(94.9, 10.0)).is_some());
+    }
+
+    #[test]
+    fn cells_within_radius() {
+        let g = grid_10x5();
+        let p = Point::new(55.0, 25.0); // a cell center
+        let near = g.cells_within(p, 0.5);
+        assert_eq!(near, vec![g.cell_at(p).unwrap()]);
+
+        let r = 15.0;
+        let within = g.cells_within(p, r);
+        // Compare against a brute-force scan.
+        let brute: Vec<CellId> = g
+            .cells()
+            .filter(|id| g.center(*id).distance(&p) <= r)
+            .collect();
+        assert_eq!(within, brute);
+        assert!(within.len() > 1);
+    }
+
+    #[test]
+    fn cells_within_degenerate_radius() {
+        let g = grid_10x5();
+        assert!(g.cells_within(Point::new(5.0, 5.0), f64::NAN).is_empty());
+        assert!(g.cells_within(Point::new(5.0, 5.0), -1.0).is_empty());
+        // Radius 0 on a center yields exactly that cell.
+        let c = g.center(CellId(0));
+        assert_eq!(g.cells_within(c, 0.0), vec![CellId(0)]);
+    }
+
+    #[test]
+    fn cells_within_offgrid_point() {
+        let g = grid_10x5();
+        let far = Point::new(-100.0, -100.0);
+        assert!(g.cells_within(far, 10.0).is_empty());
+        // Large radius from outside still finds cells.
+        assert!(!g.cells_within(far, 200.0).is_empty());
+    }
+
+    #[test]
+    fn neighbors_counts() {
+        let g = grid_10x5();
+        // Corner cell has 3 neighbors.
+        assert_eq!(g.neighbors(CellId(0)).len(), 3);
+        // Edge cell has 5.
+        assert_eq!(g.neighbors(CellId(1)).len(), 5);
+        // Interior cell has 8.
+        let interior = g.cell_from_col_row(5, 2).unwrap();
+        assert_eq!(g.neighbors(interior).len(), 8);
+    }
+
+    #[test]
+    fn centers_are_inside_cells() {
+        let g = Grid::new(
+            BoundingBox::new(Point::new(-50.0, -20.0), Point::new(33.0, 47.0)),
+            7.0,
+        )
+        .unwrap();
+        for id in g.cells() {
+            let c = g.center(id);
+            assert_eq!(g.cell_at_clamped(c), id);
+        }
+    }
+}

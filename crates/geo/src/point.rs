@@ -1,0 +1,226 @@
+//! Planar points in a local metric frame.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A point (or free vector) in the local planar frame, in meters.
+///
+/// `Point` doubles as a 2-D vector: subtraction of two points yields the
+/// displacement vector between them and the usual scalar operations apply.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Easting component in meters.
+    pub x: f64,
+    /// Northing component in meters.
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin of the local frame.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point from its coordinates in meters.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other` in meters.
+    #[inline]
+    pub fn distance(&self, other: &Point) -> f64 {
+        (*self - *other).norm()
+    }
+
+    /// Squared Euclidean distance to `other`; avoids the square root when
+    /// only comparisons are needed (hot path of the grid truncation).
+    #[inline]
+    pub fn distance_sq(&self, other: &Point) -> f64 {
+        let d = *self - *other;
+        d.x * d.x + d.y * d.y
+    }
+
+    /// Euclidean norm of the point interpreted as a vector.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Dot product with `other` interpreted as vectors.
+    #[inline]
+    pub fn dot(&self, other: &Point) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Z component of the cross product with `other` (signed parallelogram
+    /// area); used for orientation tests.
+    #[inline]
+    pub fn cross(&self, other: &Point) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Linear interpolation between `self` (at `s = 0`) and `other`
+    /// (at `s = 1`). `s` outside `[0, 1]` extrapolates.
+    #[inline]
+    pub fn lerp(&self, other: &Point, s: f64) -> Point {
+        Point::new(
+            self.x + (other.x - self.x) * s,
+            self.y + (other.y - self.y) * s,
+        )
+    }
+
+    /// Midpoint between `self` and `other`.
+    #[inline]
+    pub fn midpoint(&self, other: &Point) -> Point {
+        self.lerp(other, 0.5)
+    }
+
+    /// Returns the unit vector pointing from `self` toward `target`, or
+    /// `None` when the two points coincide.
+    pub fn direction_to(&self, target: &Point) -> Option<Point> {
+        let d = *target - *self;
+        let n = d.norm();
+        if n == 0.0 {
+            None
+        } else {
+            Some(d / n)
+        }
+    }
+
+    /// `true` when both coordinates are finite (neither NaN nor infinite).
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Div<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn div(self, rhs: f64) -> Point {
+        Point::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Point {
+    type Output = Point;
+    #[inline]
+    fn neg(self) -> Point {
+        Point::new(-self.x, -self.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!(approx_eq(a.distance(&b), 5.0));
+        assert!(approx_eq(a.distance_sq(&b), 25.0));
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = Point::new(-1.5, 2.25);
+        let b = Point::new(10.0, -3.0);
+        assert!(approx_eq(a.distance(&b), b.distance(&a)));
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn vector_arithmetic() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, -1.0);
+        assert_eq!(a + b, Point::new(4.0, 1.0));
+        assert_eq!(b - a, Point::new(2.0, -3.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+        assert_eq!(b / 2.0, Point::new(1.5, -0.5));
+        assert_eq!(-a, Point::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        let a = Point::new(1.0, 0.0);
+        let b = Point::new(0.0, 1.0);
+        assert_eq!(a.dot(&b), 0.0);
+        assert_eq!(a.cross(&b), 1.0);
+        assert_eq!(b.cross(&a), -1.0);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_middle() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 20.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        assert_eq!(a.lerp(&b, 0.5), Point::new(5.0, 10.0));
+        assert_eq!(a.midpoint(&b), Point::new(5.0, 10.0));
+    }
+
+    #[test]
+    fn direction_to_unit_vector() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(0.0, 7.0);
+        let d = a.direction_to(&b).unwrap();
+        assert!(approx_eq(d.norm(), 1.0));
+        assert!(approx_eq(d.y, 1.0));
+        assert!(a.direction_to(&a).is_none());
+    }
+
+    #[test]
+    fn finite_check() {
+        assert!(Point::new(1.0, 2.0).is_finite());
+        assert!(!Point::new(f64::NAN, 0.0).is_finite());
+        assert!(!Point::new(0.0, f64::INFINITY).is_finite());
+    }
+
+    #[test]
+    fn triangle_inequality_samples() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 1.0),
+            Point::new(-2.0, 8.0),
+            Point::new(100.0, -40.0),
+        ];
+        for a in &pts {
+            for b in &pts {
+                for c in &pts {
+                    assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Polylines: piecewise-linear curves through a sequence of points.
+//!
+//! The continuous *path* of a moving object (paper Definition 1) is modeled
+//! as a polyline traversed at given times; this module provides the purely
+//! spatial operations (length, interpolation by arc length, resampling).
+
+use crate::{Point, Segment};
+
+/// A piecewise-linear curve through at least one point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polyline {
+    points: Vec<Point>,
+    /// Cumulative arc length up to each vertex; `cum[0] == 0`.
+    cum: Vec<f64>,
+}
+
+impl Polyline {
+    /// Builds a polyline from its vertices. Returns `None` for an empty
+    /// vertex list.
+    pub fn new(points: Vec<Point>) -> Option<Self> {
+        if points.is_empty() {
+            return None;
+        }
+        let mut cum = Vec::with_capacity(points.len());
+        cum.push(0.0);
+        for w in points.windows(2) {
+            let last = *cum.last().expect("cum is never empty");
+            cum.push(last + w[0].distance(&w[1]));
+        }
+        Some(Polyline { points, cum })
+    }
+
+    /// The vertices.
+    #[inline]
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when the polyline has exactly one vertex (zero length).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false // a constructed polyline always has >= 1 vertex
+    }
+
+    /// Total arc length in meters.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        *self.cum.last().expect("cum is never empty")
+    }
+
+    /// Iterates over the segments between consecutive vertices.
+    pub fn segments(&self) -> impl Iterator<Item = Segment> + '_ {
+        self.points.windows(2).map(|w| Segment::new(w[0], w[1]))
+    }
+
+    /// The point at arc length `s` from the start, clamped to the curve.
+    pub fn point_at_length(&self, s: f64) -> Point {
+        if self.points.len() == 1 || s <= 0.0 {
+            return self.points[0];
+        }
+        let total = self.length();
+        if s >= total {
+            return *self.points.last().expect("non-empty");
+        }
+        // Binary search for the segment containing arc length s.
+        let idx = match self
+            .cum
+            .binary_search_by(|c| c.partial_cmp(&s).expect("finite arc lengths"))
+        {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let idx = idx.min(self.points.len() - 2);
+        let seg_len = self.cum[idx + 1] - self.cum[idx];
+        if seg_len == 0.0 {
+            return self.points[idx];
+        }
+        let t = (s - self.cum[idx]) / seg_len;
+        self.points[idx].lerp(&self.points[idx + 1], t)
+    }
+
+    /// Resamples the polyline into `n >= 2` points equally spaced by arc
+    /// length (including both endpoints).
+    pub fn resample(&self, n: usize) -> Vec<Point> {
+        assert!(n >= 2, "resample needs at least 2 points");
+        let total = self.length();
+        (0..n)
+            .map(|i| self.point_at_length(total * i as f64 / (n - 1) as f64))
+            .collect()
+    }
+
+    /// Minimum distance from `p` to the polyline.
+    pub fn distance_to_point(&self, p: &Point) -> f64 {
+        if self.points.len() == 1 {
+            return self.points[0].distance(p);
+        }
+        self.segments()
+            .map(|s| s.distance_to_point(p))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn l_shape() -> Polyline {
+        Polyline::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 10.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_is_rejected() {
+        assert!(Polyline::new(vec![]).is_none());
+    }
+
+    #[test]
+    fn single_point() {
+        let p = Polyline::new(vec![Point::new(1.0, 2.0)]).unwrap();
+        assert_eq!(p.length(), 0.0);
+        assert_eq!(p.point_at_length(5.0), Point::new(1.0, 2.0));
+        assert!(approx_eq(
+            p.distance_to_point(&Point::new(4.0, 6.0)),
+            5.0
+        ));
+    }
+
+    #[test]
+    fn length_is_sum_of_segments() {
+        let p = l_shape();
+        assert!(approx_eq(p.length(), 20.0));
+        assert_eq!(p.segments().count(), 2);
+    }
+
+    #[test]
+    fn point_at_length_walks_the_curve() {
+        let p = l_shape();
+        assert_eq!(p.point_at_length(0.0), Point::new(0.0, 0.0));
+        assert_eq!(p.point_at_length(5.0), Point::new(5.0, 0.0));
+        assert_eq!(p.point_at_length(10.0), Point::new(10.0, 0.0));
+        assert_eq!(p.point_at_length(15.0), Point::new(10.0, 5.0));
+        assert_eq!(p.point_at_length(20.0), Point::new(10.0, 10.0));
+        // Clamped beyond the ends.
+        assert_eq!(p.point_at_length(-3.0), Point::new(0.0, 0.0));
+        assert_eq!(p.point_at_length(99.0), Point::new(10.0, 10.0));
+    }
+
+    #[test]
+    fn resample_endpoints_and_spacing() {
+        let p = l_shape();
+        let r = p.resample(5);
+        assert_eq!(r.len(), 5);
+        assert_eq!(r[0], Point::new(0.0, 0.0));
+        assert_eq!(r[4], Point::new(10.0, 10.0));
+        // Equal arc-length spacing of 5 m.
+        assert_eq!(r[1], Point::new(5.0, 0.0));
+        assert_eq!(r[2], Point::new(10.0, 0.0));
+        assert_eq!(r[3], Point::new(10.0, 5.0));
+    }
+
+    #[test]
+    fn distance_to_point() {
+        let p = l_shape();
+        assert!(approx_eq(p.distance_to_point(&Point::new(5.0, 3.0)), 3.0));
+        assert!(approx_eq(p.distance_to_point(&Point::new(12.0, 5.0)), 2.0));
+        assert!(p.distance_to_point(&Point::new(10.0, 0.0)) < 1e-12);
+    }
+
+    #[test]
+    fn repeated_vertices_do_not_break_interpolation() {
+        let p = Polyline::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+        ])
+        .unwrap();
+        assert!(approx_eq(p.length(), 10.0));
+        assert_eq!(p.point_at_length(5.0), Point::new(5.0, 0.0));
+    }
+}

@@ -1,0 +1,118 @@
+//! Line segments: projection and point–segment distance.
+//!
+//! These primitives back the interpolation-based baselines: EDwP projects
+//! points onto trajectory segments and SST matches points to the closest
+//! segment of the other trajectory.
+
+use crate::Point;
+
+/// A directed line segment from `a` to `b`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Start point.
+    pub a: Point,
+    /// End point.
+    pub b: Point,
+}
+
+impl Segment {
+    /// Creates a segment between two points.
+    #[inline]
+    pub const fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// Length of the segment in meters.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.a.distance(&self.b)
+    }
+
+    /// Point at parameter `s ∈ [0, 1]` along the segment.
+    #[inline]
+    pub fn point_at(&self, s: f64) -> Point {
+        self.a.lerp(&self.b, s)
+    }
+
+    /// Parameter `s ∈ [0, 1]` of the point on the segment closest to `p`
+    /// (the clamped orthogonal projection). Degenerate segments return 0.
+    pub fn project_param(&self, p: &Point) -> f64 {
+        let d = self.b - self.a;
+        let len2 = d.dot(&d);
+        if len2 == 0.0 {
+            return 0.0;
+        }
+        ((*p - self.a).dot(&d) / len2).clamp(0.0, 1.0)
+    }
+
+    /// The point on the segment closest to `p`.
+    pub fn project(&self, p: &Point) -> Point {
+        self.point_at(self.project_param(p))
+    }
+
+    /// Euclidean distance from `p` to the segment.
+    pub fn distance_to_point(&self, p: &Point) -> f64 {
+        self.project(p).distance(p)
+    }
+
+    /// Midpoint of the segment.
+    #[inline]
+    pub fn midpoint(&self) -> Point {
+        self.a.midpoint(&self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn length_and_midpoint() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(6.0, 8.0));
+        assert!(approx_eq(s.length(), 10.0));
+        assert_eq!(s.midpoint(), Point::new(3.0, 4.0));
+    }
+
+    #[test]
+    fn projection_inside() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        let p = Point::new(4.0, 3.0);
+        assert!(approx_eq(s.project_param(&p), 0.4));
+        assert_eq!(s.project(&p), Point::new(4.0, 0.0));
+        assert!(approx_eq(s.distance_to_point(&p), 3.0));
+    }
+
+    #[test]
+    fn projection_clamps_to_endpoints() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        assert!(approx_eq(s.project_param(&Point::new(-5.0, 2.0)), 0.0));
+        assert!(approx_eq(s.project_param(&Point::new(15.0, 2.0)), 1.0));
+        assert!(approx_eq(
+            s.distance_to_point(&Point::new(13.0, 4.0)),
+            5.0
+        ));
+    }
+
+    #[test]
+    fn degenerate_segment() {
+        let s = Segment::new(Point::new(2.0, 2.0), Point::new(2.0, 2.0));
+        assert_eq!(s.length(), 0.0);
+        assert_eq!(s.project_param(&Point::new(5.0, 5.0)), 0.0);
+        assert_eq!(s.project(&Point::new(5.0, 5.0)), Point::new(2.0, 2.0));
+    }
+
+    #[test]
+    fn point_at_endpoints() {
+        let s = Segment::new(Point::new(1.0, 1.0), Point::new(3.0, 5.0));
+        assert_eq!(s.point_at(0.0), s.a);
+        assert_eq!(s.point_at(1.0), s.b);
+    }
+
+    #[test]
+    fn distance_to_point_on_segment_is_zero() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+        let on = s.point_at(0.3);
+        assert!(s.distance_to_point(&on) < 1e-9);
+    }
+}

@@ -1,0 +1,161 @@
+//! Brownian-bridge location model.
+//!
+//! Between two fixes `(a, t_a)` and `(b, t_b)`, a Brownian bridge models
+//! the in-between position at time `t` as an isotropic Gaussian centered
+//! on the linear interpolation with variance
+//!
+//! ```text
+//! σ²(t) = σ_m² · (t − t_a)(t_b − t) / (t_b − t_a)
+//! ```
+//!
+//! where `σ_m²` is the diffusion coefficient (m²/s). The paper (§II) notes
+//! Brownian bridges [36], [37] are the special case of STS's transition
+//! estimator when the speed distribution is assumed Gaussian; we implement
+//! the bridge both to demonstrate that relationship (see the tests in
+//! `sts-core`) and as an alternative `TransitionModel`.
+
+use crate::gaussian::SQRT_2PI;
+use sts_geo::Point;
+
+/// A Brownian bridge pinned at two timestamped fixes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BrownianBridge {
+    /// Start fix.
+    pub a: Point,
+    /// Start time (s).
+    pub t_a: f64,
+    /// End fix.
+    pub b: Point,
+    /// End time (s); must be strictly greater than `t_a`.
+    pub t_b: f64,
+    /// Diffusion coefficient σ_m², in m²/s.
+    pub diffusion: f64,
+}
+
+impl BrownianBridge {
+    /// Creates a bridge. Panics when `t_b <= t_a` or diffusion is not
+    /// strictly positive.
+    pub fn new(a: Point, t_a: f64, b: Point, t_b: f64, diffusion: f64) -> Self {
+        assert!(t_b > t_a, "bridge needs t_b > t_a (got {t_a}..{t_b})");
+        assert!(
+            diffusion > 0.0 && diffusion.is_finite(),
+            "diffusion must be positive"
+        );
+        BrownianBridge {
+            a,
+            t_a,
+            b,
+            t_b,
+            diffusion,
+        }
+    }
+
+    /// Mean position at `t` (clamped to the bridge's time span): the
+    /// linear interpolation between the fixes.
+    pub fn mean_at(&self, t: f64) -> Point {
+        let s = ((t - self.t_a) / (self.t_b - self.t_a)).clamp(0.0, 1.0);
+        self.a.lerp(&self.b, s)
+    }
+
+    /// Positional variance (per axis) at `t`; zero at the pinned ends.
+    pub fn variance_at(&self, t: f64) -> f64 {
+        let t = t.clamp(self.t_a, self.t_b);
+        self.diffusion * (t - self.t_a) * (self.t_b - t) / (self.t_b - self.t_a)
+    }
+
+    /// Isotropic 2-D Gaussian density of the bridge position at `p`,
+    /// time `t`. At the pinned endpoints (zero variance) the density is a
+    /// Dirac delta; we return `+∞` at the exact pin and `0` elsewhere.
+    pub fn density_at(&self, p: Point, t: f64) -> f64 {
+        let var = self.variance_at(t);
+        let mean = self.mean_at(t);
+        if var == 0.0 {
+            return if p.distance(&mean) == 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            };
+        }
+        let d2 = p.distance_sq(&mean);
+        (-(d2) / (2.0 * var)).exp() / (var * SQRT_2PI * SQRT_2PI)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bridge() -> BrownianBridge {
+        BrownianBridge::new(
+            Point::new(0.0, 0.0),
+            0.0,
+            Point::new(10.0, 0.0),
+            10.0,
+            2.0,
+        )
+    }
+
+    #[test]
+    fn mean_is_linear_interpolation() {
+        let b = bridge();
+        assert_eq!(b.mean_at(0.0), Point::new(0.0, 0.0));
+        assert_eq!(b.mean_at(5.0), Point::new(5.0, 0.0));
+        assert_eq!(b.mean_at(10.0), Point::new(10.0, 0.0));
+        // Clamped outside.
+        assert_eq!(b.mean_at(-3.0), Point::new(0.0, 0.0));
+        assert_eq!(b.mean_at(13.0), Point::new(10.0, 0.0));
+    }
+
+    #[test]
+    fn variance_vanishes_at_pins_and_peaks_in_middle() {
+        let b = bridge();
+        assert_eq!(b.variance_at(0.0), 0.0);
+        assert_eq!(b.variance_at(10.0), 0.0);
+        let mid = b.variance_at(5.0);
+        assert!((mid - 2.0 * 5.0 * 5.0 / 10.0).abs() < 1e-12); // σ_m²·t(T−t)/T = 5
+        assert!(b.variance_at(2.0) < mid);
+        assert!(b.variance_at(8.0) < mid);
+        // Symmetric in time.
+        assert!((b.variance_at(2.0) - b.variance_at(8.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_peaks_on_the_line() {
+        let b = bridge();
+        let on = b.density_at(Point::new(5.0, 0.0), 5.0);
+        let off = b.density_at(Point::new(5.0, 3.0), 5.0);
+        assert!(on > off);
+        assert!(off > 0.0);
+    }
+
+    #[test]
+    fn density_integrates_to_one_mid_bridge() {
+        let b = bridge();
+        let t = 5.0;
+        let step = 0.2;
+        let mut sum = 0.0;
+        let mut x = -20.0;
+        while x < 30.0 {
+            let mut y = -25.0;
+            while y < 25.0 {
+                sum += b.density_at(Point::new(x, y), t) * step * step;
+                y += step;
+            }
+            x += step;
+        }
+        assert!((sum - 1.0).abs() < 1e-2, "integral {sum}");
+    }
+
+    #[test]
+    fn pinned_endpoint_density_is_delta() {
+        let b = bridge();
+        assert_eq!(b.density_at(Point::new(0.0, 0.0), 0.0), f64::INFINITY);
+        assert_eq!(b.density_at(Point::new(1.0, 0.0), 0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_times_panic() {
+        let _ = BrownianBridge::new(Point::ORIGIN, 5.0, Point::ORIGIN, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Univariate normal distribution and the error function.
+
+use std::f64::consts::PI;
+
+/// `sqrt(2π)`, the normalization constant of the Gaussian pdf.
+pub const SQRT_2PI: f64 = 2.5066282746310002;
+
+/// Error function `erf(x)`, Abramowitz & Stegun 7.1.26 rational
+/// approximation (max absolute error ≈ 1.5e-7, ample for cdf use here).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// A univariate normal distribution `N(mean, std²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gaussian {
+    mean: f64,
+    std: f64,
+}
+
+impl Gaussian {
+    /// The standard normal `N(0, 1)`.
+    pub const STANDARD: Gaussian = Gaussian { mean: 0.0, std: 1.0 };
+
+    /// Creates `N(mean, std²)`. Panics if `std` is not strictly positive
+    /// and finite — a zero-variance "Gaussian" is a Dirac delta, which
+    /// callers must handle explicitly.
+    pub fn new(mean: f64, std: f64) -> Self {
+        assert!(
+            std.is_finite() && std > 0.0,
+            "Gaussian std must be positive and finite, got {std}"
+        );
+        Gaussian { mean, std }
+    }
+
+    /// Mean of the distribution.
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Standard deviation of the distribution.
+    #[inline]
+    pub fn std(&self) -> f64 {
+        self.std
+    }
+
+    /// Probability density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.std;
+        (-0.5 * z * z).exp() / (self.std * SQRT_2PI)
+    }
+
+    /// Natural log of the density at `x`.
+    pub fn log_pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.std;
+        -0.5 * z * z - (self.std * SQRT_2PI).ln()
+    }
+
+    /// Cumulative distribution function at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / (self.std * std::f64::consts::SQRT_2);
+        0.5 * (1.0 + erf(z))
+    }
+
+    /// The unnormalized Gaussian weight `exp(-d² / (2σ²))` used by the
+    /// paper's Eq. 3 location-noise kernel (the `1/(σ√2π)` factor cancels
+    /// under the per-timestamp normalization of Algorithm 1).
+    pub fn unnormalized_weight(distance: f64, sigma: f64) -> f64 {
+        debug_assert!(sigma > 0.0);
+        (-(distance * distance) / (2.0 * sigma * sigma)).exp()
+    }
+}
+
+/// Density of the standard normal at `x` — the Gaussian *kernel* `K(u)` of
+/// the paper's KDE (Eq. 6).
+#[inline]
+pub fn standard_normal_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * PI).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_known_values() {
+        assert!(erf(0.0).abs() < 1e-7);
+        assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6);
+        assert!((erf(2.0) - 0.9953222650).abs() < 1e-6);
+        assert!(erf(6.0) > 0.999999);
+    }
+
+    #[test]
+    fn pdf_peak_and_symmetry() {
+        let g = Gaussian::new(2.0, 3.0);
+        let peak = g.pdf(2.0);
+        assert!((peak - 1.0 / (3.0 * SQRT_2PI)).abs() < 1e-12);
+        assert!((g.pdf(2.0 + 1.5) - g.pdf(2.0 - 1.5)).abs() < 1e-12);
+        assert!(g.pdf(2.0 + 1.0) < peak);
+    }
+
+    #[test]
+    fn log_pdf_consistent_with_pdf() {
+        let g = Gaussian::new(-1.0, 0.5);
+        for x in [-3.0, -1.0, 0.0, 2.0] {
+            assert!((g.log_pdf(x) - g.pdf(x).ln()).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn cdf_properties() {
+        let g = Gaussian::STANDARD;
+        assert!((g.cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!(g.cdf(-5.0) < 1e-5);
+        assert!(g.cdf(5.0) > 1.0 - 1e-5);
+        // ~68% within one sigma.
+        let within = g.cdf(1.0) - g.cdf(-1.0);
+        assert!((within - 0.6827).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cdf_monotone() {
+        let g = Gaussian::new(1.0, 2.0);
+        let mut prev = 0.0;
+        for i in -50..=50 {
+            let x = i as f64 / 5.0;
+            let c = g.cdf(x);
+            assert!(c >= prev - 1e-12);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let g = Gaussian::new(0.0, 1.7);
+        let mut sum = 0.0;
+        let dx = 0.01;
+        let mut x = -20.0;
+        while x < 20.0 {
+            sum += g.pdf(x) * dx;
+            x += dx;
+        }
+        assert!((sum - 1.0).abs() < 1e-3, "integral {sum}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_std_panics() {
+        let _ = Gaussian::new(0.0, 0.0);
+    }
+
+    #[test]
+    fn unnormalized_weight_behaviour() {
+        assert!((Gaussian::unnormalized_weight(0.0, 5.0) - 1.0).abs() < 1e-12);
+        let near = Gaussian::unnormalized_weight(1.0, 5.0);
+        let far = Gaussian::unnormalized_weight(10.0, 5.0);
+        assert!(near > far);
+        assert!(far > 0.0);
+        // Matches exp(-d^2 / 2σ²) exactly: d = σ gives exp(-1/2).
+        assert!(
+            (Gaussian::unnormalized_weight(5.0, 5.0) - (-0.5f64).exp()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn standard_kernel_matches_standard_gaussian() {
+        for x in [-2.0, -0.3, 0.0, 1.1, 3.0] {
+            assert!((standard_normal_pdf(x) - Gaussian::STANDARD.pdf(x)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,500 @@
+//! 2-D constant-velocity Kalman filter (the `KF` baseline, §VI-A).
+//!
+//! State `x = [px, py, vx, vy]ᵀ` with transition
+//!
+//! ```text
+//! F(Δt) = | I₂  Δt·I₂ |      z = H x + v,  H = [I₂ 0]
+//!         | 0   I₂    |
+//! ```
+//!
+//! process noise from a white-acceleration model with spectral density
+//! `q`, and isotropic measurement noise `r²·I₂`. A Rauch–Tung–Striebel
+//! smoother refines the forward pass; positions at arbitrary times are
+//! produced by constant-velocity prediction from the bracketing state
+//! (matching the paper's use of KF to "estimate the object location at a
+//! given time").
+
+use sts_geo::Point;
+
+type Mat4 = [[f64; 4]; 4];
+type Vec4 = [f64; 4];
+
+fn mat_mul(a: &Mat4, b: &Mat4) -> Mat4 {
+    let mut c = [[0.0; 4]; 4];
+    for i in 0..4 {
+        for k in 0..4 {
+            let aik = a[i][k];
+            if aik == 0.0 {
+                continue;
+            }
+            for j in 0..4 {
+                c[i][j] += aik * b[k][j];
+            }
+        }
+    }
+    c
+}
+
+fn mat_vec(a: &Mat4, v: &Vec4) -> Vec4 {
+    let mut out = [0.0; 4];
+    for i in 0..4 {
+        for j in 0..4 {
+            out[i] += a[i][j] * v[j];
+        }
+    }
+    out
+}
+
+fn mat_add(a: &Mat4, b: &Mat4) -> Mat4 {
+    let mut c = [[0.0; 4]; 4];
+    for i in 0..4 {
+        for j in 0..4 {
+            c[i][j] = a[i][j] + b[i][j];
+        }
+    }
+    c
+}
+
+fn mat_sub(a: &Mat4, b: &Mat4) -> Mat4 {
+    let mut c = [[0.0; 4]; 4];
+    for i in 0..4 {
+        for j in 0..4 {
+            c[i][j] = a[i][j] - b[i][j];
+        }
+    }
+    c
+}
+
+fn mat_transpose(a: &Mat4) -> Mat4 {
+    let mut c = [[0.0; 4]; 4];
+    for i in 0..4 {
+        for j in 0..4 {
+            c[i][j] = a[j][i];
+        }
+    }
+    c
+}
+
+fn identity() -> Mat4 {
+    let mut m = [[0.0; 4]; 4];
+    for (i, row) in m.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    m
+}
+
+/// Inverts a 4×4 matrix by Gauss–Jordan elimination with partial
+/// pivoting. Returns `None` for (numerically) singular matrices.
+fn mat_inverse(a: &Mat4) -> Option<Mat4> {
+    let mut aug = [[0.0; 8]; 4];
+    for i in 0..4 {
+        aug[i][..4].copy_from_slice(&a[i]);
+        aug[i][4 + i] = 1.0;
+    }
+    for col in 0..4 {
+        let pivot_row = (col..4)
+            .max_by(|&r1, &r2| {
+                aug[r1][col]
+                    .abs()
+                    .partial_cmp(&aug[r2][col].abs())
+                    .expect("finite matrix entries")
+            })
+            .expect("non-empty range");
+        if aug[pivot_row][col].abs() < 1e-12 {
+            return None;
+        }
+        aug.swap(col, pivot_row);
+        let pivot = aug[col][col];
+        for v in aug[col].iter_mut() {
+            *v /= pivot;
+        }
+        for row in 0..4 {
+            if row == col {
+                continue;
+            }
+            let factor = aug[row][col];
+            if factor == 0.0 {
+                continue;
+            }
+            let pivot_row_vals = aug[col];
+            for (v, pv) in aug[row].iter_mut().zip(pivot_row_vals.iter()) {
+                *v -= factor * pv;
+            }
+        }
+    }
+    let mut inv = [[0.0; 4]; 4];
+    for i in 0..4 {
+        inv[i].copy_from_slice(&aug[i][4..]);
+    }
+    Some(inv)
+}
+
+/// Noise parameters of the filter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KalmanConfig {
+    /// Spectral density of the white-acceleration process noise, in
+    /// m²/s³. Larger values let the filter track maneuvering objects.
+    pub process_noise: f64,
+    /// Standard deviation of the position measurements, in meters.
+    pub measurement_std: f64,
+    /// Initial velocity variance, in (m/s)².
+    pub initial_velocity_var: f64,
+}
+
+impl Default for KalmanConfig {
+    fn default() -> Self {
+        KalmanConfig {
+            process_noise: 1.0,
+            measurement_std: 10.0,
+            initial_velocity_var: 100.0,
+        }
+    }
+}
+
+/// A filtered/smoothed state estimate at a point in time.
+#[derive(Debug, Clone, Copy)]
+pub struct KalmanState {
+    /// Time of the estimate, seconds.
+    pub t: f64,
+    /// State mean `[px, py, vx, vy]`.
+    pub x: Vec4,
+    /// State covariance.
+    pub p: Mat4,
+}
+
+impl KalmanState {
+    /// Estimated position.
+    #[inline]
+    pub fn position(&self) -> Point {
+        Point::new(self.x[0], self.x[1])
+    }
+
+    /// Estimated velocity vector (m/s).
+    #[inline]
+    pub fn velocity(&self) -> Point {
+        Point::new(self.x[2], self.x[3])
+    }
+}
+
+/// 2-D constant-velocity Kalman filter over timestamped position fixes.
+#[derive(Debug, Clone)]
+pub struct KalmanFilter2D {
+    config: KalmanConfig,
+}
+
+impl KalmanFilter2D {
+    /// Creates a filter with the given noise configuration.
+    pub fn new(config: KalmanConfig) -> Self {
+        assert!(
+            config.process_noise > 0.0 && config.measurement_std > 0.0,
+            "Kalman noise parameters must be positive"
+        );
+        KalmanFilter2D { config }
+    }
+
+    fn transition(dt: f64) -> Mat4 {
+        let mut f = identity();
+        f[0][2] = dt;
+        f[1][3] = dt;
+        f
+    }
+
+    fn process_cov(&self, dt: f64) -> Mat4 {
+        // Discretized white-acceleration noise (per axis):
+        // Q = q * [dt³/3  dt²/2; dt²/2  dt]
+        let q = self.config.process_noise;
+        let dt2 = dt * dt;
+        let dt3 = dt2 * dt;
+        let mut m = [[0.0; 4]; 4];
+        m[0][0] = q * dt3 / 3.0;
+        m[1][1] = q * dt3 / 3.0;
+        m[0][2] = q * dt2 / 2.0;
+        m[2][0] = q * dt2 / 2.0;
+        m[1][3] = q * dt2 / 2.0;
+        m[3][1] = q * dt2 / 2.0;
+        m[2][2] = q * dt;
+        m[3][3] = q * dt;
+        m
+    }
+
+    /// Runs the forward filter over timestamped observations (must be in
+    /// nondecreasing time order) and returns the filtered state at each
+    /// observation time. Panics on an empty slice.
+    pub fn filter(&self, observations: &[(Point, f64)]) -> Vec<KalmanState> {
+        assert!(!observations.is_empty(), "Kalman filter needs observations");
+        let r2 = self.config.measurement_std * self.config.measurement_std;
+        let (z0, t0) = observations[0];
+        let mut x: Vec4 = [z0.x, z0.y, 0.0, 0.0];
+        let mut p: Mat4 = [[0.0; 4]; 4];
+        p[0][0] = r2;
+        p[1][1] = r2;
+        p[2][2] = self.config.initial_velocity_var;
+        p[3][3] = self.config.initial_velocity_var;
+        let mut states = Vec::with_capacity(observations.len());
+        states.push(KalmanState { t: t0, x, p });
+
+        for &(z, t) in &observations[1..] {
+            let dt = (t - states.last().expect("non-empty").t).max(0.0);
+            // Predict.
+            let f = Self::transition(dt);
+            x = mat_vec(&f, &x);
+            p = mat_add(&mat_mul(&mat_mul(&f, &p), &mat_transpose(&f)), &self.process_cov(dt));
+            // Update with measurement z (H = [I2 0]).
+            let y = [z.x - x[0], z.y - x[1]];
+            // S = HPHᵀ + R (2x2), K = PHᵀ S⁻¹ (4x2).
+            let s00 = p[0][0] + r2;
+            let s01 = p[0][1];
+            let s10 = p[1][0];
+            let s11 = p[1][1] + r2;
+            let det = s00 * s11 - s01 * s10;
+            if det.abs() > 1e-12 {
+                let inv = [[s11 / det, -s01 / det], [-s10 / det, s00 / det]];
+                let mut k = [[0.0; 2]; 4];
+                for i in 0..4 {
+                    // PHᵀ column j is p[i][j] for j in 0..2.
+                    for j in 0..2 {
+                        k[i][j] = p[i][0] * inv[0][j] + p[i][1] * inv[1][j];
+                    }
+                }
+                for i in 0..4 {
+                    x[i] += k[i][0] * y[0] + k[i][1] * y[1];
+                }
+                // P = (I − K H) P ; KH only touches the first two columns.
+                let mut kh = [[0.0; 4]; 4];
+                for i in 0..4 {
+                    kh[i][0] = k[i][0];
+                    kh[i][1] = k[i][1];
+                }
+                p = mat_mul(&mat_sub(&identity(), &kh), &p);
+            }
+            states.push(KalmanState { t, x, p });
+        }
+        states
+    }
+
+    /// Rauch–Tung–Striebel smoother over the forward-filtered states.
+    /// Falls back to the filtered estimate where the predicted covariance
+    /// is singular (e.g. repeated timestamps).
+    pub fn smooth(&self, observations: &[(Point, f64)]) -> Vec<KalmanState> {
+        let filtered = self.filter(observations);
+        let n = filtered.len();
+        if n <= 1 {
+            return filtered;
+        }
+        let mut smoothed = filtered.clone();
+        for i in (0..n - 1).rev() {
+            let dt = (filtered[i + 1].t - filtered[i].t).max(0.0);
+            let f = Self::transition(dt);
+            // Predicted state/cov from i to i+1.
+            let x_pred = mat_vec(&f, &filtered[i].x);
+            let p_pred = mat_add(
+                &mat_mul(&mat_mul(&f, &filtered[i].p), &mat_transpose(&f)),
+                &self.process_cov(dt),
+            );
+            let Some(p_pred_inv) = mat_inverse(&p_pred) else {
+                continue;
+            };
+            // Smoother gain G = P_i Fᵀ P_pred⁻¹.
+            let g = mat_mul(&mat_mul(&filtered[i].p, &mat_transpose(&f)), &p_pred_inv);
+            let dx = [
+                smoothed[i + 1].x[0] - x_pred[0],
+                smoothed[i + 1].x[1] - x_pred[1],
+                smoothed[i + 1].x[2] - x_pred[2],
+                smoothed[i + 1].x[3] - x_pred[3],
+            ];
+            let corr = mat_vec(&g, &dx);
+            for (j, c) in corr.iter().enumerate() {
+                smoothed[i].x[j] = filtered[i].x[j] + c;
+            }
+            let dp = mat_sub(&smoothed[i + 1].p, &p_pred);
+            smoothed[i].p = mat_add(
+                &filtered[i].p,
+                &mat_mul(&mat_mul(&g, &dp), &mat_transpose(&g)),
+            );
+        }
+        smoothed
+    }
+
+    /// Position estimate at an arbitrary time `t`, by constant-velocity
+    /// prediction from the nearest earlier state (or backward from the
+    /// first state when `t` precedes the track).
+    pub fn position_at(states: &[KalmanState], t: f64) -> Point {
+        assert!(!states.is_empty(), "no states to interpolate");
+        // Find the last state with state.t <= t.
+        let idx = match states
+            .binary_search_by(|s| s.t.partial_cmp(&t).expect("finite times"))
+        {
+            Ok(i) => i,
+            Err(0) => {
+                let s = &states[0];
+                let dt = t - s.t; // negative: predict backwards
+                return s.position() + s.velocity() * dt;
+            }
+            Err(i) => i - 1,
+        };
+        let s = &states[idx];
+        let dt = t - s.t;
+        s.position() + s.velocity() * dt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn straight_track(noise: f64, seed: u64) -> Vec<(Point, f64)> {
+        // Deterministic pseudo-noise via a tiny LCG so the test does not
+        // depend on rand.
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            // Map to roughly [-1, 1].
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        (0..50)
+            .map(|i| {
+                let t = i as f64;
+                let p = Point::new(2.0 * t + noise * next(), 1.0 * t + noise * next());
+                (p, t)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn filter_tracks_constant_velocity() {
+        let obs = straight_track(0.0, 1);
+        let kf = KalmanFilter2D::new(KalmanConfig {
+            process_noise: 0.1,
+            measurement_std: 1.0,
+            initial_velocity_var: 25.0,
+        });
+        let states = kf.filter(&obs);
+        let last = states.last().unwrap();
+        assert!((last.position().x - 98.0).abs() < 0.5);
+        assert!((last.position().y - 49.0).abs() < 0.5);
+        assert!((last.velocity().x - 2.0).abs() < 0.1);
+        assert!((last.velocity().y - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn filter_reduces_noise() {
+        let clean = straight_track(0.0, 1);
+        let noisy = straight_track(5.0, 42);
+        let kf = KalmanFilter2D::new(KalmanConfig {
+            process_noise: 0.05,
+            measurement_std: 5.0,
+            initial_velocity_var: 25.0,
+        });
+        let states = kf.filter(&noisy);
+        // After convergence, filtered error should beat raw measurement
+        // error on average (skip the first 10 warm-up steps).
+        let mut raw_err = 0.0;
+        let mut filt_err = 0.0;
+        for i in 10..noisy.len() {
+            raw_err += noisy[i].0.distance(&clean[i].0);
+            filt_err += states[i].position().distance(&clean[i].0);
+        }
+        assert!(
+            filt_err < raw_err,
+            "filtered {filt_err} not better than raw {raw_err}"
+        );
+    }
+
+    #[test]
+    fn smoother_not_worse_than_filter() {
+        let clean = straight_track(0.0, 1);
+        let noisy = straight_track(5.0, 7);
+        let kf = KalmanFilter2D::new(KalmanConfig {
+            process_noise: 0.05,
+            measurement_std: 5.0,
+            initial_velocity_var: 25.0,
+        });
+        let filt = kf.filter(&noisy);
+        let smooth = kf.smooth(&noisy);
+        let err = |states: &[KalmanState]| -> f64 {
+            states
+                .iter()
+                .zip(&clean)
+                .map(|(s, (c, _))| s.position().distance(c))
+                .sum::<f64>()
+        };
+        assert!(err(&smooth) <= err(&filt) * 1.05);
+    }
+
+    #[test]
+    fn position_at_interpolates_and_extrapolates() {
+        let obs = straight_track(0.0, 1);
+        let kf = KalmanFilter2D::new(KalmanConfig::default());
+        let states = kf.smooth(&obs);
+        // Midpoint between t=20 and t=21 should be close to (41, 20.5).
+        let mid = KalmanFilter2D::position_at(&states, 20.5);
+        assert!((mid.x - 41.0).abs() < 1.0, "{mid}");
+        assert!((mid.y - 20.5).abs() < 1.0, "{mid}");
+        // Before the first observation: backward prediction stays finite.
+        let before = KalmanFilter2D::position_at(&states, -1.0);
+        assert!(before.is_finite());
+        // After the last: forward prediction continues the motion.
+        let after = KalmanFilter2D::position_at(&states, 60.0);
+        assert!((after.x - 120.0).abs() < 5.0, "{after}");
+    }
+
+    #[test]
+    fn single_observation() {
+        let kf = KalmanFilter2D::new(KalmanConfig::default());
+        let states = kf.smooth(&[(Point::new(3.0, 4.0), 10.0)]);
+        assert_eq!(states.len(), 1);
+        assert_eq!(states[0].position(), Point::new(3.0, 4.0));
+        let p = KalmanFilter2D::position_at(&states, 12.0);
+        assert!(p.is_finite());
+    }
+
+    #[test]
+    fn repeated_timestamps_do_not_crash() {
+        let obs = vec![
+            (Point::new(0.0, 0.0), 0.0),
+            (Point::new(1.0, 0.0), 0.0),
+            (Point::new(2.0, 0.0), 1.0),
+        ];
+        let kf = KalmanFilter2D::new(KalmanConfig::default());
+        let states = kf.smooth(&obs);
+        assert_eq!(states.len(), 3);
+        for s in &states {
+            assert!(s.position().is_finite());
+        }
+    }
+
+    #[test]
+    fn mat_inverse_identity_and_known() {
+        let i = identity();
+        let inv = mat_inverse(&i).unwrap();
+        for r in 0..4 {
+            for c in 0..4 {
+                assert!((inv[r][c] - i[r][c]).abs() < 1e-12);
+            }
+        }
+        // A diagonal matrix inverts elementwise.
+        let mut d = [[0.0; 4]; 4];
+        d[0][0] = 2.0;
+        d[1][1] = 4.0;
+        d[2][2] = 0.5;
+        d[3][3] = 10.0;
+        let dinv = mat_inverse(&d).unwrap();
+        assert!((dinv[0][0] - 0.5).abs() < 1e-12);
+        assert!((dinv[1][1] - 0.25).abs() < 1e-12);
+        assert!((dinv[2][2] - 2.0).abs() < 1e-12);
+        assert!((dinv[3][3] - 0.1).abs() < 1e-12);
+        // Singular matrix returns None.
+        let z = [[0.0; 4]; 4];
+        assert!(mat_inverse(&z).is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_config_panics() {
+        let _ = KalmanFilter2D::new(KalmanConfig {
+            process_noise: 0.0,
+            measurement_std: 1.0,
+            initial_velocity_var: 1.0,
+        });
+    }
+}

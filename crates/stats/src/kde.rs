@@ -1,0 +1,290 @@
+//! Kernel density estimation (paper §IV-B, Eq. 6–7).
+//!
+//! Given speed samples `S` drawn from an unknown density `Q`, the
+//! estimator is
+//!
+//! ```text
+//! Q̂(v) = 1/(h|S|) Σ_{v'∈S} K((v − v') / h)
+//! ```
+//!
+//! with the Gaussian kernel and Silverman's rule-of-thumb bandwidth
+//! `h = (4σ̂⁵ / (3|S|))^{1/5}` (the paper's "optimal bandwidth" [40]).
+//!
+//! The paper's transition probability (Eq. 7) is the *bandwidth-scaled*
+//! density `h·Q̂(v) = (1/|S|) Σ K((v−v')/h)`, which is conveniently
+//! bounded in `[0, K(0)]`; [`Kde::scaled_density`] computes it directly.
+
+use crate::kernel::Kernel;
+use crate::summary;
+use std::fmt;
+
+/// Errors constructing a [`Kde`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum KdeError {
+    /// No samples were provided.
+    NoSamples,
+    /// A sample was NaN or infinite.
+    NonFiniteSample(f64),
+    /// An explicit bandwidth was zero, negative or non-finite.
+    InvalidBandwidth(f64),
+}
+
+impl fmt::Display for KdeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KdeError::NoSamples => write!(f, "KDE requires at least one sample"),
+            KdeError::NonFiniteSample(s) => write!(f, "non-finite KDE sample: {s}"),
+            KdeError::InvalidBandwidth(h) => write!(f, "invalid KDE bandwidth: {h}"),
+        }
+    }
+}
+
+impl std::error::Error for KdeError {}
+
+/// A univariate kernel density estimator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kde {
+    samples: Vec<f64>,
+    bandwidth: f64,
+    kernel: Kernel,
+}
+
+impl Kde {
+    /// Bandwidth floor used when Silverman's rule degenerates (all samples
+    /// identical ⇒ σ̂ = 0 ⇒ h = 0, which would make the estimator a sum of
+    /// Dirac deltas). The floor keeps the estimator a proper density. The
+    /// value is in the units of the samples (m/s for speed models); 0.05
+    /// is far below any walking/driving speed scale of interest.
+    pub const BANDWIDTH_FLOOR: f64 = 0.05;
+
+    /// Builds an estimator with Silverman's rule-of-thumb bandwidth.
+    pub fn new(samples: Vec<f64>, kernel: Kernel) -> Result<Self, KdeError> {
+        let h = Self::silverman_bandwidth(&samples)?;
+        Self::with_bandwidth(samples, kernel, h)
+    }
+
+    /// Builds an estimator with an explicit bandwidth.
+    pub fn with_bandwidth(
+        samples: Vec<f64>,
+        kernel: Kernel,
+        bandwidth: f64,
+    ) -> Result<Self, KdeError> {
+        if samples.is_empty() {
+            return Err(KdeError::NoSamples);
+        }
+        if let Some(&bad) = samples.iter().find(|s| !s.is_finite()) {
+            return Err(KdeError::NonFiniteSample(bad));
+        }
+        if !bandwidth.is_finite() || bandwidth <= 0.0 {
+            return Err(KdeError::InvalidBandwidth(bandwidth));
+        }
+        Ok(Kde {
+            samples,
+            bandwidth,
+            kernel,
+        })
+    }
+
+    /// Silverman's rule-of-thumb bandwidth `(4σ̂⁵ / (3n))^{1/5}` as used by
+    /// the paper, with the degenerate case floored to
+    /// [`Kde::BANDWIDTH_FLOOR`].
+    pub fn silverman_bandwidth(samples: &[f64]) -> Result<f64, KdeError> {
+        if samples.is_empty() {
+            return Err(KdeError::NoSamples);
+        }
+        if let Some(&bad) = samples.iter().find(|s| !s.is_finite()) {
+            return Err(KdeError::NonFiniteSample(bad));
+        }
+        let sigma = summary::std_dev(samples).expect("non-empty");
+        let n = samples.len() as f64;
+        let h = (4.0 * sigma.powi(5) / (3.0 * n)).powf(0.2);
+        Ok(if h.is_finite() && h > Self::BANDWIDTH_FLOOR {
+            h
+        } else {
+            Self::BANDWIDTH_FLOOR
+        })
+    }
+
+    /// The samples the estimator was built from.
+    #[inline]
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// The bandwidth `h`.
+    #[inline]
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// The kernel in use.
+    #[inline]
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// The density estimate `Q̂(x)` (Eq. 6). Integrates to 1 over ℝ.
+    pub fn density(&self, x: f64) -> f64 {
+        self.scaled_density(x) / self.bandwidth
+    }
+
+    /// The bandwidth-scaled density `h·Q̂(x) = (1/n) Σ K((x−xᵢ)/h)`
+    /// (Eq. 7) — the paper's transition probability form, bounded in
+    /// `[0, K(0)]`.
+    pub fn scaled_density(&self, x: f64) -> f64 {
+        self.scaled_density_with_bandwidth(x, self.bandwidth)
+    }
+
+    /// [`Kde::scaled_density`] evaluated with an explicit bandwidth
+    /// (≥ the estimator's own): `(1/n) Σ K((x−xᵢ)/h')`. Used to fold an
+    /// additional smoothing term (e.g. grid-quantization uncertainty)
+    /// into the evaluation without rebuilding the estimator.
+    pub fn scaled_density_with_bandwidth(&self, x: f64, bandwidth: f64) -> f64 {
+        debug_assert!(bandwidth > 0.0);
+        let n = self.samples.len() as f64;
+        let support = self.kernel.support_radius() * bandwidth;
+        let mut acc = 0.0;
+        for &s in &self.samples {
+            let d = x - s;
+            if d.abs() <= support {
+                acc += self.kernel.evaluate(d / bandwidth);
+            }
+        }
+        acc / n
+    }
+
+    /// Approximate CDF by numerically integrating the density on
+    /// `(-∞, x]`; used in tests and sanity checks only.
+    pub fn cdf_numeric(&self, x: f64, step: f64) -> f64 {
+        let lo = summary::min(&self.samples).expect("non-empty")
+            - self.kernel.support_radius() * self.bandwidth;
+        let mut acc = 0.0;
+        let mut t = lo;
+        while t < x {
+            acc += self.density(t) * step;
+            t += step;
+        }
+        acc.min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_errors() {
+        assert_eq!(Kde::new(vec![], Kernel::Gaussian), Err(KdeError::NoSamples));
+        assert!(matches!(
+            Kde::new(vec![1.0, f64::NAN], Kernel::Gaussian),
+            Err(KdeError::NonFiniteSample(_))
+        ));
+        assert!(matches!(
+            Kde::with_bandwidth(vec![1.0], Kernel::Gaussian, 0.0),
+            Err(KdeError::InvalidBandwidth(_))
+        ));
+        assert!(matches!(
+            Kde::with_bandwidth(vec![1.0], Kernel::Gaussian, -1.0),
+            Err(KdeError::InvalidBandwidth(_))
+        ));
+    }
+
+    #[test]
+    fn silverman_matches_formula() {
+        let samples = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let sigma = crate::summary::std_dev(&samples).unwrap();
+        let expect = (4.0 * sigma.powi(5) / (3.0 * 5.0)).powf(0.2);
+        let h = Kde::silverman_bandwidth(&samples).unwrap();
+        assert!((h - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_samples_get_floor_bandwidth() {
+        let h = Kde::silverman_bandwidth(&[2.0, 2.0, 2.0]).unwrap();
+        assert_eq!(h, Kde::BANDWIDTH_FLOOR);
+        let kde = Kde::new(vec![2.0, 2.0, 2.0], Kernel::Gaussian).unwrap();
+        assert!(kde.density(2.0).is_finite());
+        assert!(kde.density(2.0) > 0.0);
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        for kernel in crate::kernel::ALL_KERNELS {
+            let kde = Kde::new(vec![0.5, 1.0, 1.5, 2.2, 3.0, 1.1], kernel).unwrap();
+            let step = 1e-3;
+            let mut sum = 0.0;
+            let mut x = -10.0;
+            while x < 15.0 {
+                sum += kde.density(x) * step;
+                x += step;
+            }
+            assert!((sum - 1.0).abs() < 5e-3, "{kernel:?} integral {sum}");
+        }
+    }
+
+    #[test]
+    fn density_peaks_near_sample_mass() {
+        let kde = Kde::new(vec![1.0, 1.1, 0.9, 1.05, 5.0], Kernel::Gaussian).unwrap();
+        assert!(kde.density(1.0) > kde.density(3.0));
+        assert!(kde.density(5.0) > kde.density(8.0));
+    }
+
+    #[test]
+    fn scaled_density_is_bandwidth_times_density() {
+        let kde = Kde::new(vec![0.0, 1.0, 2.0], Kernel::Gaussian).unwrap();
+        for x in [-1.0, 0.0, 0.7, 2.5] {
+            let a = kde.scaled_density(x);
+            let b = kde.density(x) * kde.bandwidth();
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn scaled_density_bounded_by_kernel_peak() {
+        for kernel in crate::kernel::ALL_KERNELS {
+            let kde = Kde::new(vec![1.0, 1.0, 1.0, 1.0], kernel).unwrap();
+            let peak = kernel.evaluate(0.0);
+            for i in 0..100 {
+                let x = i as f64 * 0.05;
+                assert!(kde.scaled_density(x) <= peak + 1e-12);
+            }
+            // At the common sample value, the scaled density is exactly K(0).
+            assert!((kde.scaled_density(1.0) - peak).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn truncation_does_not_change_gaussian_results() {
+        // A sample far away contributes ~0; the support truncation must
+        // agree with the brute-force sum.
+        let samples = vec![0.0, 100.0];
+        let kde = Kde::with_bandwidth(samples.clone(), Kernel::Gaussian, 1.0).unwrap();
+        let brute = |x: f64| -> f64 {
+            samples
+                .iter()
+                .map(|s| Kernel::Gaussian.evaluate(x - s))
+                .sum::<f64>()
+                / samples.len() as f64
+        };
+        for x in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert!((kde.scaled_density(x) - brute(x)).abs() < 1e-12, "x={x}");
+        }
+    }
+
+    #[test]
+    fn cdf_numeric_reaches_one() {
+        let kde = Kde::new(vec![1.0, 2.0, 3.0], Kernel::Epanechnikov).unwrap();
+        let c = kde.cdf_numeric(10.0, 1e-3);
+        assert!((c - 1.0).abs() < 5e-3, "cdf {c}");
+        assert!(kde.cdf_numeric(-10.0, 1e-3) < 1e-6);
+    }
+
+    #[test]
+    fn more_samples_tighter_bandwidth() {
+        let few: Vec<f64> = (0..10).map(|i| i as f64 * 0.1).collect();
+        let many: Vec<f64> = (0..1000).map(|i| (i % 10) as f64 * 0.1).collect();
+        let h_few = Kde::silverman_bandwidth(&few).unwrap();
+        let h_many = Kde::silverman_bandwidth(&many).unwrap();
+        assert!(h_many < h_few);
+    }
+}

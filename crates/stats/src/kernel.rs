@@ -1,0 +1,146 @@
+//! Smoothing kernels for kernel density estimation.
+//!
+//! The paper uses "the most popular normal kernel" (§IV-B); we additionally
+//! expose the other classic kernels so the kernel choice can be ablated
+//! (see `DESIGN.md` §5). Every kernel is a symmetric, non-negative function
+//! integrating to one.
+
+use crate::gaussian::standard_normal_pdf;
+
+/// A smoothing kernel `K(u)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Kernel {
+    /// The Gaussian kernel `φ(u)` — the paper's choice.
+    #[default]
+    Gaussian,
+    /// Epanechnikov kernel `¾(1 − u²)` on `[-1, 1]` (MSE-optimal).
+    Epanechnikov,
+    /// Uniform (box) kernel `½` on `[-1, 1]`.
+    Uniform,
+    /// Triangular kernel `1 − |u|` on `[-1, 1]`.
+    Triangular,
+}
+
+impl Kernel {
+    /// Evaluates the kernel at `u`.
+    pub fn evaluate(&self, u: f64) -> f64 {
+        match self {
+            Kernel::Gaussian => standard_normal_pdf(u),
+            Kernel::Epanechnikov => {
+                if u.abs() <= 1.0 {
+                    0.75 * (1.0 - u * u)
+                } else {
+                    0.0
+                }
+            }
+            Kernel::Uniform => {
+                if u.abs() <= 1.0 {
+                    0.5
+                } else {
+                    0.0
+                }
+            }
+            Kernel::Triangular => {
+                let a = u.abs();
+                if a <= 1.0 {
+                    1.0 - a
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Radius beyond which the kernel is treated as zero, in units of
+    /// `u`. Used to truncate KDE sums and displacement bounds. The
+    /// Gaussian is unbounded; at 6σ the density is below 7·10⁻⁹ of the
+    /// peak — far under anything the similarity measure can resolve —
+    /// so 6 bounds the practical support.
+    pub fn support_radius(&self) -> f64 {
+        match self {
+            Kernel::Gaussian => 6.0,
+            _ => 1.0,
+        }
+    }
+
+    /// Human-readable name (used in experiment reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Kernel::Gaussian => "gaussian",
+            Kernel::Epanechnikov => "epanechnikov",
+            Kernel::Uniform => "uniform",
+            Kernel::Triangular => "triangular",
+        }
+    }
+}
+
+/// All kernels, for sweeps/ablations.
+pub const ALL_KERNELS: [Kernel; 4] = [
+    Kernel::Gaussian,
+    Kernel::Epanechnikov,
+    Kernel::Uniform,
+    Kernel::Triangular,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_are_symmetric_nonnegative() {
+        for k in ALL_KERNELS {
+            for i in 0..100 {
+                let u = i as f64 / 20.0;
+                let a = k.evaluate(u);
+                let b = k.evaluate(-u);
+                assert!(a >= 0.0, "{k:?} at {u}");
+                assert!((a - b).abs() < 1e-12, "{k:?} asymmetric at {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_integrate_to_one() {
+        for k in ALL_KERNELS {
+            let du = 1e-3;
+            let mut sum = 0.0;
+            let mut u = -12.0;
+            while u < 12.0 {
+                sum += k.evaluate(u) * du;
+                u += du;
+            }
+            assert!((sum - 1.0).abs() < 2e-3, "{k:?} integral {sum}");
+        }
+    }
+
+    #[test]
+    fn compact_kernels_vanish_outside_support() {
+        for k in [Kernel::Epanechnikov, Kernel::Uniform, Kernel::Triangular] {
+            assert_eq!(k.evaluate(1.0001), 0.0);
+            assert_eq!(k.evaluate(-5.0), 0.0);
+            assert_eq!(k.support_radius(), 1.0);
+        }
+        assert!(Kernel::Gaussian.evaluate(3.0) > 0.0);
+        assert!(Kernel::Gaussian.evaluate(Kernel::Gaussian.support_radius()) < 1e-8);
+    }
+
+    #[test]
+    fn known_values_at_zero() {
+        assert!((Kernel::Gaussian.evaluate(0.0) - 0.3989422804).abs() < 1e-9);
+        assert_eq!(Kernel::Epanechnikov.evaluate(0.0), 0.75);
+        assert_eq!(Kernel::Uniform.evaluate(0.0), 0.5);
+        assert_eq!(Kernel::Triangular.evaluate(0.0), 1.0);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::HashSet<_> =
+            ALL_KERNELS.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), ALL_KERNELS.len());
+    }
+
+    #[test]
+    fn default_is_gaussian() {
+        assert_eq!(Kernel::default(), Kernel::Gaussian);
+    }
+}

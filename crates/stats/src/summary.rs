@@ -1,0 +1,122 @@
+//! Descriptive statistics over `f64` samples.
+
+/// Arithmetic mean; `None` for an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Population variance (divide by `n`); `None` for an empty slice.
+///
+/// Silverman's rule as written in the paper uses the plain standard
+/// deviation of the speed samples, so the population form is the default
+/// here; [`sample_variance`] provides the `n−1` form.
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Sample variance (divide by `n−1`); `None` when fewer than 2 samples.
+pub fn sample_variance(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs).expect("non-empty");
+    Some(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64)
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// Minimum (ignoring NaN ordering issues by folding); `None` when empty.
+pub fn min(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().copied().fold(f64::INFINITY, f64::min))
+    }
+}
+
+/// Maximum; `None` when empty.
+pub fn max(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+    }
+}
+
+/// Linear-interpolated quantile `q ∈ [0, 1]` of the samples; `None` when
+/// empty or `q` out of range. Sorts a copy — fine for evaluation-sized data.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in quantile input"));
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(v[lo] + (v[hi] - v[lo]) * frac)
+}
+
+/// Median (the 0.5 quantile).
+pub fn median(xs: &[f64]) -> Option<f64> {
+    quantile(xs, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const XS: [f64; 5] = [2.0, 4.0, 4.0, 4.0, 6.0];
+
+    #[test]
+    fn mean_variance_std() {
+        assert_eq!(mean(&XS), Some(4.0));
+        assert!((variance(&XS).unwrap() - 1.6).abs() < 1e-12);
+        assert!((std_dev(&XS).unwrap() - 1.6f64.sqrt()).abs() < 1e-12);
+        assert!((sample_variance(&XS).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(variance(&[]), None);
+        assert_eq!(std_dev(&[]), None);
+        assert_eq!(min(&[]), None);
+        assert_eq!(max(&[]), None);
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(sample_variance(&[1.0]), None);
+    }
+
+    #[test]
+    fn single_sample() {
+        assert_eq!(mean(&[7.0]), Some(7.0));
+        assert_eq!(variance(&[7.0]), Some(0.0));
+        assert_eq!(median(&[7.0]), Some(7.0));
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(min(&XS), Some(2.0));
+        assert_eq!(max(&XS), Some(6.0));
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 1.0), Some(4.0));
+        assert_eq!(median(&xs), Some(2.5));
+        assert_eq!(quantile(&xs, 2.0), None);
+        // Order-independence.
+        let shuffled = [3.0, 1.0, 4.0, 2.0];
+        assert_eq!(median(&shuffled), Some(2.5));
+    }
+}

@@ -1,0 +1,227 @@
+//! Datasets and the paired-dataset construction for trajectory matching
+//! (paper §VI-C, Fig. 3).
+
+use crate::sampling::alternate_split;
+use crate::Trajectory;
+
+/// A collection of trajectories from one sensing system.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    trajectories: Vec<Trajectory>,
+}
+
+impl Dataset {
+    /// Wraps a list of trajectories.
+    pub fn new(trajectories: Vec<Trajectory>) -> Self {
+        Dataset { trajectories }
+    }
+
+    /// The trajectories.
+    #[inline]
+    pub fn trajectories(&self) -> &[Trajectory] {
+        &self.trajectories
+    }
+
+    /// Number of trajectories.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.trajectories.len()
+    }
+
+    /// `true` when the dataset holds no trajectories.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.trajectories.is_empty()
+    }
+
+    /// Adds a trajectory.
+    pub fn push(&mut self, t: Trajectory) {
+        self.trajectories.push(t);
+    }
+
+    /// Retains only trajectories with at least `min_len` points —
+    /// the paper removes trajectories shorter than 20 (§VI-A).
+    pub fn filter_min_len(mut self, min_len: usize) -> Self {
+        self.trajectories.retain(|t| t.len() >= min_len);
+        self
+    }
+
+    /// Applies a fallible transformation to every trajectory, dropping
+    /// those for which it returns `None`.
+    pub fn filter_map<F: FnMut(&Trajectory) -> Option<Trajectory>>(&self, f: F) -> Dataset {
+        Dataset::new(self.trajectories.iter().filter_map(f).collect())
+    }
+}
+
+impl FromIterator<Trajectory> for Dataset {
+    fn from_iter<I: IntoIterator<Item = Trajectory>>(iter: I) -> Self {
+        Dataset::new(iter.into_iter().collect())
+    }
+}
+
+/// The paired datasets `D(1)`/`D(2)` of §VI-C: `d1[i]` and `d2[i]` are
+/// sub-trajectories of the same object, obtained by alternately taking
+/// points from the raw trajectory (Fig. 3). A similarity measure solves
+/// the matching task when, for each `d1[i]`, the most similar trajectory
+/// in `d2` is `d2[i]`.
+#[derive(Debug, Clone)]
+pub struct MatchingPairs {
+    /// First sensing system's view of each object.
+    pub d1: Vec<Trajectory>,
+    /// Second sensing system's view; index-aligned with `d1`.
+    pub d2: Vec<Trajectory>,
+}
+
+impl MatchingPairs {
+    /// Builds the pairs from a dataset by the Fig. 3 alternate split.
+    /// Trajectories that cannot be split (fewer than 2 points) are
+    /// skipped.
+    pub fn from_dataset(ds: &Dataset) -> Self {
+        let mut d1 = Vec::with_capacity(ds.len());
+        let mut d2 = Vec::with_capacity(ds.len());
+        for t in ds.trajectories() {
+            if let Some((a, b)) = alternate_split(t) {
+                d1.push(a);
+                d2.push(b);
+            }
+        }
+        MatchingPairs { d1, d2 }
+    }
+
+    /// Number of pairs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.d1.len()
+    }
+
+    /// `true` when there are no pairs.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.d1.is_empty()
+    }
+
+    /// Transforms both sides with independent closures (e.g. noise on
+    /// both, down-sampling on one). Pairs where either side maps to
+    /// `None` are dropped — keeping the index alignment.
+    pub fn transform<F, G>(&self, mut f1: F, mut f2: G) -> MatchingPairs
+    where
+        F: FnMut(&Trajectory) -> Option<Trajectory>,
+        G: FnMut(&Trajectory) -> Option<Trajectory>,
+    {
+        let mut d1 = Vec::with_capacity(self.len());
+        let mut d2 = Vec::with_capacity(self.len());
+        for (a, b) in self.d1.iter().zip(&self.d2) {
+            if let (Some(a2), Some(b2)) = (f1(a), f2(b)) {
+                d1.push(a2);
+                d2.push(b2);
+            }
+        }
+        MatchingPairs { d1, d2 }
+    }
+
+    /// Applies one transformation to both sides (e.g. the same noise or
+    /// down-sampling process drawing from one RNG). D(1) sides are
+    /// transformed before their paired D(2) sides.
+    pub fn transform_both<F>(&self, mut f: F) -> MatchingPairs
+    where
+        F: FnMut(&Trajectory) -> Option<Trajectory>,
+    {
+        let mut d1 = Vec::with_capacity(self.len());
+        let mut d2 = Vec::with_capacity(self.len());
+        for (a, b) in self.d1.iter().zip(&self.d2) {
+            let (fa, fb) = (f(a), f(b));
+            if let (Some(a2), Some(b2)) = (fa, fb) {
+                d1.push(a2);
+                d2.push(b2);
+            }
+        }
+        MatchingPairs { d1, d2 }
+    }
+
+    /// Drops pairs where either side is shorter than `min_len`.
+    pub fn filter_min_len(&self, min_len: usize) -> MatchingPairs {
+        self.transform(
+            |t| (t.len() >= min_len).then(|| t.clone()),
+            |t| (t.len() >= min_len).then(|| t.clone()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TrajPoint;
+
+    fn traj(n: usize, offset: f64) -> Trajectory {
+        Trajectory::new(
+            (0..n)
+                .map(|i| TrajPoint::from_xy(i as f64 + offset, offset, i as f64))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dataset_filtering() {
+        let ds = Dataset::new(vec![traj(5, 0.0), traj(25, 1.0), traj(19, 2.0)]);
+        let kept = ds.filter_min_len(20);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept.trajectories()[0].len(), 25);
+    }
+
+    #[test]
+    fn dataset_from_iterator_and_push() {
+        let mut ds: Dataset = (0..3).map(|i| traj(4, i as f64)).collect();
+        assert_eq!(ds.len(), 3);
+        ds.push(traj(4, 9.0));
+        assert_eq!(ds.len(), 4);
+        assert!(!ds.is_empty());
+        assert!(Dataset::default().is_empty());
+    }
+
+    #[test]
+    fn matching_pairs_alignment() {
+        let ds = Dataset::new(vec![traj(10, 0.0), traj(11, 5.0)]);
+        let pairs = MatchingPairs::from_dataset(&ds);
+        assert_eq!(pairs.len(), 2);
+        for (a, b) in pairs.d1.iter().zip(&pairs.d2) {
+            // Both halves come from the same object: interleaved times.
+            assert_eq!(a.get(0).t, 0.0);
+            assert_eq!(b.get(0).t, 1.0);
+            assert!(a.len() + b.len() >= 10);
+            // Same spatial offset means same object in this toy data.
+            assert_eq!(a.get(0).loc.y, b.get(0).loc.y);
+        }
+    }
+
+    #[test]
+    fn short_trajectories_are_skipped() {
+        let one_point = Trajectory::from_xyt(&[(0.0, 0.0, 0.0)]).unwrap();
+        let ds = Dataset::new(vec![one_point, traj(6, 0.0)]);
+        let pairs = MatchingPairs::from_dataset(&ds);
+        assert_eq!(pairs.len(), 1);
+    }
+
+    #[test]
+    fn transform_drops_none_pairs() {
+        let ds = Dataset::new(vec![traj(10, 0.0), traj(30, 1.0)]);
+        let pairs = MatchingPairs::from_dataset(&ds);
+        // Keep only d1 halves with at least 10 points (only the 30-point
+        // raw trajectory qualifies: its halves are 15/15).
+        let out = pairs.transform(
+            |t| (t.len() >= 10).then(|| t.clone()),
+            |t| Some(t.clone()),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.d1[0].len(), 15);
+        assert_eq!(out.d2[0].len(), 15);
+    }
+
+    #[test]
+    fn filter_min_len_applies_to_both_sides() {
+        let ds = Dataset::new(vec![traj(21, 0.0), traj(40, 1.0)]);
+        let pairs = MatchingPairs::from_dataset(&ds);
+        let out = pairs.filter_min_len(11);
+        assert_eq!(out.len(), 1); // 21 -> (11, 10): dropped; 40 -> (20, 20): kept
+    }
+}

@@ -1,0 +1,162 @@
+//! CDR-style observation process (call detail records).
+//!
+//! The paper's introduction motivates exactly this regime: "the
+//! trajectories may be very sparse and irregular in some sensing
+//! systems (such as CDR, mobile payments, and tap in/out using smart
+//! cards)". A phone's location is only recorded when an *event* happens
+//! (a call, a payment), and events cluster: long silences punctuated by
+//! bursts. We model event times as a two-state renewal process —
+//! exponential gaps drawn from a *burst* scale or an *idle* scale, with
+//! state persistence — which produces the heavy-tailed, bursty gap
+//! distribution CDR data exhibits.
+//!
+//! The sampler wraps any ground-truth [`Path`], so it can be applied to
+//! the taxi or mall workloads to create a third, much sparser "sensing
+//! system" for cross-system experiments.
+
+use crate::{Path, Trajectory};
+use rand::Rng;
+
+/// Configuration of the CDR observation process.
+#[derive(Debug, Clone, Copy)]
+pub struct CdrConfig {
+    /// Mean gap between events inside a burst, seconds.
+    pub burst_interval: f64,
+    /// Mean gap between events while idle, seconds.
+    pub idle_interval: f64,
+    /// Probability of staying in the burst state after a burst event.
+    pub burst_persistence: f64,
+    /// Probability of entering a burst after an idle event.
+    pub burst_entry: f64,
+}
+
+impl Default for CdrConfig {
+    fn default() -> Self {
+        CdrConfig {
+            burst_interval: 30.0,
+            idle_interval: 600.0,
+            burst_persistence: 0.7,
+            burst_entry: 0.3,
+        }
+    }
+}
+
+/// Samples a path with the bursty CDR event process. The first event is
+/// at the path's start (the device registers when it appears).
+pub fn sample_path_cdr<R: Rng + ?Sized>(
+    path: &Path,
+    config: &CdrConfig,
+    rng: &mut R,
+) -> Trajectory {
+    assert!(
+        config.burst_interval > 0.0 && config.idle_interval > 0.0,
+        "intervals must be positive"
+    );
+    assert!(
+        (0.0..=1.0).contains(&config.burst_persistence)
+            && (0.0..=1.0).contains(&config.burst_entry),
+        "state probabilities must be in [0, 1]"
+    );
+    let mut times = vec![path.start_time()];
+    let mut t = path.start_time();
+    let mut bursting = false;
+    loop {
+        let scale = if bursting {
+            config.burst_interval
+        } else {
+            config.idle_interval
+        };
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        t += -scale * u.ln();
+        if t > path.end_time() {
+            break;
+        }
+        times.push(t);
+        bursting = if bursting {
+            rng.random::<f64>() < config.burst_persistence
+        } else {
+            rng.random::<f64>() < config.burst_entry
+        };
+    }
+    path.sample_at(&times)
+        .expect("strictly increasing event times")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TrajPoint;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn long_path() -> Path {
+        Path::new(vec![
+            TrajPoint::from_xy(0.0, 0.0, 0.0),
+            TrajPoint::from_xy(10_000.0, 0.0, 10_000.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn produces_valid_sparse_trajectory() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let t = sample_path_cdr(&long_path(), &CdrConfig::default(), &mut rng);
+        assert!(t.len() >= 2);
+        // Much sparser than a 15-second beacon over the same span.
+        assert!(t.len() < 10_000 / 15);
+        assert_eq!(t.start_time(), 0.0);
+    }
+
+    #[test]
+    fn gaps_are_bursty() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let cfg = CdrConfig::default();
+        let t = sample_path_cdr(&long_path(), &cfg, &mut rng);
+        let gaps: Vec<f64> = t.points().windows(2).map(|w| w[1].t - w[0].t).collect();
+        assert!(gaps.len() > 10, "need enough events to judge burstiness");
+        // Coefficient of variation well above 1 (a plain Poisson process
+        // has CV = 1): the signature of burstiness.
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!(cv > 1.1, "gap CV {cv} not bursty");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = sample_path_cdr(
+            &long_path(),
+            &CdrConfig::default(),
+            &mut ChaCha8Rng::seed_from_u64(9),
+        );
+        let b = sample_path_cdr(
+            &long_path(),
+            &CdrConfig::default(),
+            &mut ChaCha8Rng::seed_from_u64(9),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn events_lie_on_path() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let t = sample_path_cdr(&long_path(), &CdrConfig::default(), &mut rng);
+        for p in t.points() {
+            assert!((p.loc.x - p.t).abs() < 1e-9); // x == t on this path
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_config_panics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let _ = sample_path_cdr(
+            &long_path(),
+            &CdrConfig {
+                burst_interval: -1.0,
+                ..CdrConfig::default()
+            },
+            &mut rng,
+        );
+    }
+}

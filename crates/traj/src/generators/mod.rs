@@ -1,0 +1,166 @@
+//! Synthetic workload generators.
+//!
+//! The paper evaluates on two proprietary/large datasets we cannot ship:
+//! the Porto taxi dataset (422 taxis, 15-second GPS beacons) and a
+//! WiFi-fingerprint pedestrian dataset from a Hong Kong shopping mall.
+//! Per the substitution rule in `DESIGN.md` §2, these modules generate
+//! seeded, deterministic workloads preserving the properties STS exploits:
+//!
+//! * [`taxi`] — vehicles driving Manhattan-style street grids with
+//!   per-vehicle speed profiles, beaconing every 15 s;
+//! * [`mall`] — pedestrians wandering a corridor/store graph with
+//!   personal walking speeds, dwell times and sporadic (Poisson)
+//!   observations.
+//!
+//! Both produce the ground-truth [`Path`] next to each sampled
+//! [`Trajectory`], so experiments can always go back to the truth.
+
+pub mod cdr;
+pub mod mall;
+pub mod taxi;
+
+use crate::sampling::randn;
+use crate::{Path, TrajPoint, Trajectory};
+use rand::Rng;
+use sts_geo::Point;
+
+/// A generated moving object: its continuous ground-truth path and the
+/// trajectory a sensing system observed of it.
+#[derive(Debug, Clone)]
+pub struct GeneratedObject {
+    /// Ground-truth continuous movement.
+    pub path: Path,
+    /// The sensed (sampled, still noise-free) trajectory.
+    pub trajectory: Trajectory,
+}
+
+/// A generated workload: a population of objects in a common frame.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The generated objects.
+    pub objects: Vec<GeneratedObject>,
+}
+
+impl Workload {
+    /// The sensed trajectories as a dataset.
+    pub fn dataset(&self) -> crate::Dataset {
+        self.objects
+            .iter()
+            .map(|o| o.trajectory.clone())
+            .collect()
+    }
+
+    /// The ground-truth paths.
+    pub fn paths(&self) -> Vec<&Path> {
+        self.objects.iter().map(|o| &o.path).collect()
+    }
+}
+
+/// Derives a *companion* path from an existing one: the same movement
+/// with a small positional offset and jitter (two people walking
+/// together). Used by the companion-detection example and the co-location
+/// tests.
+pub fn companion_path<R: Rng + ?Sized>(
+    path: &Path,
+    lateral_offset: f64,
+    jitter_std: f64,
+    rng: &mut R,
+) -> Path {
+    let base_offset = Point::new(randn(rng) * lateral_offset, randn(rng) * lateral_offset);
+    let waypoints: Vec<TrajPoint> = path
+        .waypoints()
+        .iter()
+        .map(|p| {
+            let jitter = Point::new(randn(rng) * jitter_std, randn(rng) * jitter_std);
+            TrajPoint::new(p.loc + base_offset + jitter, p.t)
+        })
+        .collect();
+    Path::new(waypoints).expect("companion preserves timestamps")
+}
+
+/// Appends a randomized monotone lattice route from `from` (exclusive) to
+/// `to` (inclusive): each step moves one block toward the destination,
+/// choosing the axis proportionally to the remaining moves so routes look
+/// like plausible staircases rather than L-shapes. Shared by the taxi
+/// street grid and the mall corridor lattice.
+pub fn lattice_route<R: Rng + ?Sized>(
+    from: (i64, i64),
+    to: (i64, i64),
+    rng: &mut R,
+    out: &mut Vec<(i64, i64)>,
+) {
+    let (mut x, mut y) = from;
+    while (x, y) != to {
+        let dx = (to.0 - x).signum();
+        let dy = (to.1 - y).signum();
+        let remaining_x = (to.0 - x).abs();
+        let remaining_y = (to.1 - y).abs();
+        let move_x = if remaining_x == 0 {
+            false
+        } else if remaining_y == 0 {
+            true
+        } else {
+            rng.random_range(0..(remaining_x + remaining_y)) < remaining_x
+        };
+        if move_x {
+            x += dx;
+        } else {
+            y += dy;
+        }
+        out.push((x, y));
+    }
+}
+
+/// Draws a personal mean speed from a log-normal distribution around
+/// `median` m/s with log-std `sigma`, clamped to `[lo, hi]`. The paper's
+/// motivation [26]: speed distributions are distinct per user.
+pub fn personal_speed<R: Rng + ?Sized>(
+    rng: &mut R,
+    median: f64,
+    sigma: f64,
+    lo: f64,
+    hi: f64,
+) -> f64 {
+    (median * (randn(rng) * sigma).exp()).clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn companion_stays_close() {
+        let path = Path::new(vec![
+            TrajPoint::from_xy(0.0, 0.0, 0.0),
+            TrajPoint::from_xy(100.0, 0.0, 100.0),
+            TrajPoint::from_xy(100.0, 100.0, 200.0),
+        ])
+        .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let comp = companion_path(&path, 1.0, 0.5, &mut rng);
+        assert_eq!(comp.waypoints().len(), path.waypoints().len());
+        for t in [0.0, 50.0, 150.0, 200.0] {
+            let d = path.position_at(t).distance(&comp.position_at(t));
+            assert!(d < 10.0, "companion strayed {d} m at t={t}");
+        }
+    }
+
+    #[test]
+    fn personal_speed_in_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let v = personal_speed(&mut rng, 1.3, 0.2, 0.5, 2.5);
+            assert!((0.5..=2.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn personal_speed_varies_between_draws() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let a = personal_speed(&mut rng, 10.0, 0.3, 3.0, 25.0);
+        let b = personal_speed(&mut rng, 10.0, 0.3, 3.0, 25.0);
+        assert!(a != b);
+    }
+}

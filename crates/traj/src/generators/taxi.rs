@@ -1,0 +1,242 @@
+//! Road-network taxi workload (Porto-dataset substitute).
+//!
+//! Each taxi drives on a Manhattan-style street grid: it repeatedly picks
+//! a random destination intersection and follows a randomized monotone
+//! lattice route to it. Per-taxi speed is drawn log-normally (median
+//! ~10 m/s ≈ 36 km/h) and each street segment gets an additional jitter,
+//! so every vehicle has a *personal* speed distribution — the property
+//! STS's personalized transition estimator exploits. Taxis beacon their
+//! position every `report_interval` seconds, matching the 15-second
+//! reporting of the Porto dispatch system.
+
+use super::{lattice_route, personal_speed, GeneratedObject, Workload};
+use crate::sampling::randn;
+use crate::{Path, TrajPoint};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sts_geo::Point;
+
+/// Configuration of the taxi workload generator.
+#[derive(Debug, Clone)]
+pub struct TaxiConfig {
+    /// Number of taxis (= trajectories).
+    pub n_taxis: usize,
+    /// Side length of the square city, meters.
+    pub city_size: f64,
+    /// Street-grid block size, meters.
+    pub block_size: f64,
+    /// Number of consecutive destinations each taxi drives to.
+    pub n_destinations: usize,
+    /// Beacon period, seconds (Porto: 15 s).
+    pub report_interval: f64,
+    /// Median of the per-taxi speed distribution, m/s.
+    pub median_speed: f64,
+    /// Log-std of the per-taxi speed distribution.
+    pub speed_sigma: f64,
+    /// Per-segment speed jitter log-std (traffic variation).
+    pub segment_jitter: f64,
+    /// Number of popular destinations (stations, the airport, …) shared
+    /// by the whole fleet. Shared destinations make taxis drive the
+    /// same roads concurrently — the confusable regime trajectory
+    /// matching has to disambiguate.
+    pub hotspot_count: usize,
+    /// Probability that a trip targets a hotspot rather than a uniform
+    /// random intersection.
+    pub hotspot_prob: f64,
+    /// RNG seed; the whole workload is a pure function of the config.
+    pub seed: u64,
+}
+
+impl Default for TaxiConfig {
+    fn default() -> Self {
+        TaxiConfig {
+            n_taxis: 100,
+            city_size: 6_000.0,
+            block_size: 500.0,
+            n_destinations: 2,
+            report_interval: 15.0,
+            median_speed: 10.0,
+            speed_sigma: 0.25,
+            segment_jitter: 0.15,
+            hotspot_count: 5,
+            hotspot_prob: 0.5,
+            seed: 0x7A21,
+        }
+    }
+}
+
+/// Generates the taxi workload described by `config`.
+pub fn generate(config: &TaxiConfig) -> Workload {
+    assert!(config.n_taxis > 0, "need at least one taxi");
+    assert!(
+        config.block_size > 0.0 && config.city_size >= config.block_size,
+        "city must hold at least one block"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let blocks = (config.city_size / config.block_size).floor() as i64;
+    let hotspots: Vec<(i64, i64)> = (0..config.hotspot_count)
+        .map(|_| random_intersection(blocks, &mut rng))
+        .collect();
+    let objects = (0..config.n_taxis)
+        .map(|_| generate_taxi(config, blocks, &hotspots, &mut rng))
+        .collect();
+    Workload { objects }
+}
+
+fn generate_taxi<R: Rng + ?Sized>(
+    config: &TaxiConfig,
+    blocks: i64,
+    hotspots: &[(i64, i64)],
+    rng: &mut R,
+) -> GeneratedObject {
+    let base_speed = personal_speed(
+        rng,
+        config.median_speed,
+        config.speed_sigma,
+        config.median_speed * 0.4,
+        config.median_speed * 2.5,
+    );
+    // Start at a random intersection; chain routes to random destinations.
+    let mut current = random_intersection(blocks, rng);
+    let mut nodes: Vec<(i64, i64)> = vec![current];
+    for _ in 0..config.n_destinations {
+        let dest = loop {
+            let d = if !hotspots.is_empty() && rng.random::<f64>() < config.hotspot_prob {
+                hotspots[rng.random_range(0..hotspots.len())]
+            } else {
+                random_intersection(blocks, rng)
+            };
+            if d != current {
+                break d;
+            }
+        };
+        lattice_route(current, dest, rng, &mut nodes);
+        current = dest;
+    }
+    // Timestamp the lattice nodes using per-segment speeds.
+    let mut waypoints = Vec::with_capacity(nodes.len());
+    let mut t = 0.0;
+    let mut prev: Option<Point> = None;
+    for &(bx, by) in &nodes {
+        let p = Point::new(bx as f64 * config.block_size, by as f64 * config.block_size);
+        if let Some(q) = prev {
+            let jitter = (randn(rng) * config.segment_jitter).exp();
+            let v = (base_speed * jitter).max(0.5);
+            t += q.distance(&p) / v;
+        }
+        waypoints.push(TrajPoint::new(p, t));
+        prev = Some(p);
+    }
+    let path = Path::new(waypoints).expect("route timestamps increase");
+    let trajectory = path.sample_uniform(config.report_interval);
+    GeneratedObject { path, trajectory }
+}
+
+fn random_intersection<R: Rng + ?Sized>(blocks: i64, rng: &mut R) -> (i64, i64) {
+    (rng.random_range(0..=blocks), rng.random_range(0..=blocks))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(seed: u64) -> TaxiConfig {
+        TaxiConfig {
+            n_taxis: 5,
+            city_size: 4000.0,
+            block_size: 500.0,
+            n_destinations: 3,
+            seed,
+            ..TaxiConfig::default()
+        }
+    }
+
+    #[test]
+    fn generates_requested_population() {
+        let w = generate(&small_config(1));
+        assert_eq!(w.objects.len(), 5);
+        for o in &w.objects {
+            assert!(o.trajectory.len() >= 2, "trajectory too short");
+            assert!(o.path.duration() > 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&small_config(42));
+        let b = generate(&small_config(42));
+        for (x, y) in a.objects.iter().zip(&b.objects) {
+            assert_eq!(x.trajectory, y.trajectory);
+        }
+        let c = generate(&small_config(43));
+        assert!(a.objects[0].trajectory != c.objects[0].trajectory);
+    }
+
+    #[test]
+    fn beacons_every_report_interval() {
+        let w = generate(&small_config(2));
+        let t = &w.objects[0].trajectory;
+        for pair in t.points().windows(2) {
+            assert!((pair[1].t - pair[0].t - 15.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn trajectory_lies_on_path() {
+        let w = generate(&small_config(3));
+        for o in &w.objects {
+            for p in o.trajectory.points() {
+                let truth = o.path.position_at(p.t);
+                assert!(p.loc.distance(&truth) < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn stays_in_city_bounds() {
+        let cfg = small_config(4);
+        let w = generate(&cfg);
+        for o in &w.objects {
+            for p in o.path.waypoints() {
+                assert!(p.loc.x >= -1e-9 && p.loc.x <= cfg.city_size + 1e-9);
+                assert!(p.loc.y >= -1e-9 && p.loc.y <= cfg.city_size + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn speeds_vary_between_taxis() {
+        let w = generate(&TaxiConfig {
+            n_taxis: 10,
+            ..small_config(5)
+        });
+        let means: Vec<f64> = w
+            .objects
+            .iter()
+            .map(|o| {
+                let s = o.trajectory.speed_samples();
+                s.iter().sum::<f64>() / s.len() as f64
+            })
+            .collect();
+        let spread = means
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
+            - means.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread > 0.5, "personal speeds too uniform: {means:?}");
+    }
+
+    #[test]
+    fn routes_are_lattice_paths() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut nodes = vec![(0, 0)];
+        lattice_route((0, 0), (3, 2), &mut rng, &mut nodes);
+        assert_eq!(*nodes.last().unwrap(), (3, 2));
+        assert_eq!(nodes.len(), 6); // 5 moves + start
+        for w in nodes.windows(2) {
+            let d = (w[1].0 - w[0].0).abs() + (w[1].1 - w[0].1).abs();
+            assert_eq!(d, 1, "non-unit lattice move");
+        }
+    }
+}

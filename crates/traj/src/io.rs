@@ -1,0 +1,199 @@
+//! Plain-text trajectory serialization.
+//!
+//! A deliberately simple line-based format (no external format crates):
+//!
+//! ```text
+//! # optional comments
+//! traj <n>
+//! <x> <y> <t>     (n lines)
+//! ```
+//!
+//! Used by the examples to persist generated workloads and by users to
+//! bring their own data.
+
+use crate::{TrajPoint, Trajectory, TrajectoryError};
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Errors reading the trajectory text format.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line, with its 1-based line number.
+    Parse {
+        /// 1-based line number of the malformed line.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// A syntactically valid trajectory violating [`Trajectory`]
+    /// invariants.
+    Invalid {
+        /// 1-based line number where the trajectory record ends.
+        line: usize,
+        /// The violated invariant.
+        source: TrajectoryError,
+    },
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "I/O error: {e}"),
+            ReadError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            ReadError::Invalid { line, source } => {
+                write!(f, "trajectory ending at line {line}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// Writes trajectories in the text format.
+pub fn write_trajectories<W: Write>(w: &mut W, trajectories: &[Trajectory]) -> io::Result<()> {
+    for t in trajectories {
+        writeln!(w, "traj {}", t.len())?;
+        for p in t.points() {
+            writeln!(w, "{} {} {}", p.loc.x, p.loc.y, p.t)?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads trajectories in the text format. Blank lines and `#` comments
+/// are ignored between records.
+pub fn read_trajectories<R: BufRead>(r: &mut R) -> Result<Vec<Trajectory>, ReadError> {
+    let mut out = Vec::new();
+    let mut lines = r.lines().enumerate();
+    while let Some((idx, line)) = lines.next() {
+        let lineno = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some(count_str) = line.strip_prefix("traj ") else {
+            return Err(ReadError::Parse {
+                line: lineno,
+                message: format!("expected `traj <n>`, got `{line}`"),
+            });
+        };
+        let n: usize = count_str.trim().parse().map_err(|_| ReadError::Parse {
+            line: lineno,
+            message: format!("bad point count `{count_str}`"),
+        })?;
+        let mut pts = Vec::with_capacity(n);
+        let mut last_line = lineno;
+        while pts.len() < n {
+            let Some((idx, line)) = lines.next() else {
+                return Err(ReadError::Parse {
+                    line: last_line,
+                    message: format!("unexpected EOF: expected {n} points, got {}", pts.len()),
+                });
+            };
+            last_line = idx + 1;
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut fields = line.split_whitespace();
+            let mut next_f64 = |name: &str| -> Result<f64, ReadError> {
+                fields
+                    .next()
+                    .ok_or_else(|| ReadError::Parse {
+                        line: last_line,
+                        message: format!("missing {name}"),
+                    })?
+                    .parse()
+                    .map_err(|_| ReadError::Parse {
+                        line: last_line,
+                        message: format!("bad {name}"),
+                    })
+            };
+            let x = next_f64("x")?;
+            let y = next_f64("y")?;
+            let t = next_f64("t")?;
+            pts.push(TrajPoint::from_xy(x, y, t));
+        }
+        out.push(
+            Trajectory::new(pts).map_err(|source| ReadError::Invalid {
+                line: last_line,
+                source,
+            })?,
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample() -> Vec<Trajectory> {
+        vec![
+            Trajectory::from_xyt(&[(0.0, 1.0, 0.0), (2.5, -3.0, 1.5)]).unwrap(),
+            Trajectory::from_xyt(&[(10.0, 10.0, 100.0)]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let trajs = sample();
+        let mut buf = Vec::new();
+        write_trajectories(&mut buf, &trajs).unwrap();
+        let parsed = read_trajectories(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(parsed, trajs);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let text = "# header\n\ntraj 2\n0 0 0\n# midway comment\n1 1 1\n\n";
+        let parsed = read_trajectories(&mut Cursor::new(text)).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].len(), 2);
+    }
+
+    #[test]
+    fn parse_errors_are_reported_with_lines() {
+        let bad_header = "hello\n";
+        match read_trajectories(&mut Cursor::new(bad_header)) {
+            Err(ReadError::Parse { line: 1, .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        let bad_point = "traj 1\n0 zero 0\n";
+        match read_trajectories(&mut Cursor::new(bad_point)) {
+            Err(ReadError::Parse { line: 2, .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        let truncated = "traj 3\n0 0 0\n";
+        assert!(matches!(
+            read_trajectories(&mut Cursor::new(truncated)),
+            Err(ReadError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn invariant_violations_are_reported() {
+        let non_monotone = "traj 2\n0 0 5\n1 1 1\n";
+        assert!(matches!(
+            read_trajectories(&mut Cursor::new(non_monotone)),
+            Err(ReadError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_input_is_empty_vec() {
+        let parsed = read_trajectories(&mut Cursor::new("")).unwrap();
+        assert!(parsed.is_empty());
+    }
+}

@@ -1,0 +1,110 @@
+//! Location-noise distortion (paper Eq. 14).
+//!
+//! The evaluation distorts trajectory locations with isotropic Gaussian
+//! noise of radius β meters:
+//!
+//! ```text
+//! xᵢ ← xᵢ + β·dx,  dx ~ N(0, 1)
+//! yᵢ ← yᵢ + β·dy,  dy ~ N(0, 1)
+//! ```
+
+use crate::sampling::randn;
+use crate::{TrajPoint, Trajectory};
+use rand::Rng;
+use sts_geo::Point;
+
+/// Returns a copy of `traj` with Eq. 14 noise of radius `beta` meters
+/// added to every location. `beta == 0` returns an identical copy.
+pub fn add_gaussian_noise<R: Rng + ?Sized>(
+    traj: &Trajectory,
+    beta: f64,
+    rng: &mut R,
+) -> Trajectory {
+    assert!(beta >= 0.0 && beta.is_finite(), "noise radius must be >= 0");
+    if beta == 0.0 {
+        return traj.clone();
+    }
+    let pts: Vec<TrajPoint> = traj
+        .points()
+        .iter()
+        .map(|p| {
+            let dx = randn(rng);
+            let dy = randn(rng);
+            TrajPoint::new(
+                Point::new(p.loc.x + beta * dx, p.loc.y + beta * dy),
+                p.t,
+            )
+        })
+        .collect();
+    Trajectory::new(pts).expect("noise preserves timestamps")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn traj() -> Trajectory {
+        Trajectory::new(
+            (0..200)
+                .map(|i| TrajPoint::from_xy(i as f64, 2.0 * i as f64, i as f64))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_noise_is_identity() {
+        let t = traj();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(add_gaussian_noise(&t, 0.0, &mut rng), t);
+    }
+
+    #[test]
+    fn timestamps_are_preserved() {
+        let t = traj();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let n = add_gaussian_noise(&t, 5.0, &mut rng);
+        assert_eq!(n.len(), t.len());
+        for (a, b) in t.points().iter().zip(n.points()) {
+            assert_eq!(a.t, b.t);
+        }
+    }
+
+    #[test]
+    fn displacement_scales_with_beta() {
+        let t = traj();
+        let mean_disp = |beta: f64, seed: u64| -> f64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let n = add_gaussian_noise(&t, beta, &mut rng);
+            t.points()
+                .iter()
+                .zip(n.points())
+                .map(|(a, b)| a.loc.distance(&b.loc))
+                .sum::<f64>()
+                / t.len() as f64
+        };
+        let d2 = mean_disp(2.0, 3);
+        let d20 = mean_disp(20.0, 3);
+        // E[‖(dx,dy)‖]·β = β·√(π/2) ≈ 1.2533 β
+        assert!((d2 - 2.0 * 1.2533).abs() < 0.3, "{d2}");
+        assert!((d20 / d2 - 10.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let t = traj();
+        let a = add_gaussian_noise(&t, 4.0, &mut ChaCha8Rng::seed_from_u64(9));
+        let b = add_gaussian_noise(&t, 4.0, &mut ChaCha8Rng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_beta_panics() {
+        let t = traj();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let _ = add_gaussian_noise(&t, -1.0, &mut rng);
+    }
+}

@@ -1,0 +1,219 @@
+//! Continuous paths (paper §III-A, Definition 1).
+//!
+//! A path is the *actual* movement of an object — a continuous function
+//! `f: T → L`. We model it as a piecewise-linear curve through timestamped
+//! waypoints (which may repeat a location to encode dwelling). Trajectories
+//! are produced by sampling a path at chosen times, which is exactly how
+//! the evaluation constructs ground truth.
+
+use crate::{TrajPoint, Trajectory, TrajectoryError};
+use sts_geo::Point;
+
+/// A continuous piecewise-linear movement through timestamped waypoints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    waypoints: Vec<TrajPoint>,
+}
+
+impl Path {
+    /// Builds a path from waypoints. Requirements are slightly weaker than
+    /// for [`Trajectory`]: timestamps must be *non-decreasing* (equal
+    /// consecutive timestamps are collapsed) and at least one waypoint
+    /// must exist.
+    pub fn new(mut waypoints: Vec<TrajPoint>) -> Result<Self, TrajectoryError> {
+        if waypoints.is_empty() {
+            return Err(TrajectoryError::Empty);
+        }
+        for (i, p) in waypoints.iter().enumerate() {
+            if !p.loc.is_finite() || !p.t.is_finite() {
+                return Err(TrajectoryError::NonFinite { index: i });
+            }
+            if i > 0 && waypoints[i - 1].t > p.t {
+                return Err(TrajectoryError::NonMonotonicTime { index: i });
+            }
+        }
+        // Collapse duplicate timestamps, keeping the last location.
+        waypoints.dedup_by(|b, a| {
+            if a.t == b.t {
+                a.loc = b.loc;
+                true
+            } else {
+                false
+            }
+        });
+        Ok(Path { waypoints })
+    }
+
+    /// The waypoints.
+    #[inline]
+    pub fn waypoints(&self) -> &[TrajPoint] {
+        &self.waypoints
+    }
+
+    /// Start time of the path.
+    #[inline]
+    pub fn start_time(&self) -> f64 {
+        self.waypoints[0].t
+    }
+
+    /// End time of the path.
+    #[inline]
+    pub fn end_time(&self) -> f64 {
+        self.waypoints[self.waypoints.len() - 1].t
+    }
+
+    /// Duration in seconds.
+    #[inline]
+    pub fn duration(&self) -> f64 {
+        self.end_time() - self.start_time()
+    }
+
+    /// The exact position at time `t`, clamping outside the time span to
+    /// the endpoints (objects exist at their start/end before/after the
+    /// recorded movement).
+    pub fn position_at(&self, t: f64) -> Point {
+        let pts = &self.waypoints;
+        if t <= pts[0].t {
+            return pts[0].loc;
+        }
+        if t >= pts[pts.len() - 1].t {
+            return pts[pts.len() - 1].loc;
+        }
+        let idx = match pts.binary_search_by(|p| p.t.partial_cmp(&t).expect("finite times")) {
+            Ok(i) => return pts[i].loc,
+            Err(i) => i - 1,
+        };
+        let a = pts[idx];
+        let b = pts[idx + 1];
+        let s = (t - a.t) / (b.t - a.t);
+        a.loc.lerp(&b.loc, s)
+    }
+
+    /// Samples the path at the given times (must be strictly increasing
+    /// and within no particular range — clamping applies) producing a
+    /// trajectory without noise.
+    pub fn sample_at(&self, times: &[f64]) -> Result<Trajectory, TrajectoryError> {
+        Trajectory::new(
+            times
+                .iter()
+                .map(|&t| TrajPoint::new(self.position_at(t), t))
+                .collect(),
+        )
+    }
+
+    /// Samples the path every `interval` seconds from its start to its end
+    /// (inclusive of the start; the end is included when it falls on the
+    /// lattice). Panics if `interval <= 0`.
+    pub fn sample_uniform(&self, interval: f64) -> Trajectory {
+        assert!(interval > 0.0, "sampling interval must be positive");
+        let mut times = Vec::new();
+        let mut t = self.start_time();
+        let end = self.end_time();
+        while t <= end + 1e-9 {
+            times.push(t);
+            t += interval;
+        }
+        self.sample_at(&times)
+            .expect("uniform sampling produces a valid trajectory")
+    }
+
+    /// Total length of the path in meters.
+    pub fn length(&self) -> f64 {
+        self.waypoints
+            .windows(2)
+            .map(|w| w[0].loc.distance(&w[1].loc))
+            .sum()
+    }
+}
+
+impl From<Trajectory> for Path {
+    /// A trajectory is trivially a (linearly interpolated) path.
+    fn from(t: Trajectory) -> Self {
+        Path {
+            waypoints: t.points().to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path() -> Path {
+        Path::new(vec![
+            TrajPoint::from_xy(0.0, 0.0, 0.0),
+            TrajPoint::from_xy(10.0, 0.0, 10.0),
+            TrajPoint::from_xy(10.0, 0.0, 20.0), // dwell
+            TrajPoint::from_xy(10.0, 10.0, 30.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Path::new(vec![]).is_err());
+        assert!(Path::new(vec![
+            TrajPoint::from_xy(0.0, 0.0, 10.0),
+            TrajPoint::from_xy(0.0, 0.0, 5.0)
+        ])
+        .is_err());
+        // Equal timestamps are allowed and collapsed.
+        let p = Path::new(vec![
+            TrajPoint::from_xy(0.0, 0.0, 0.0),
+            TrajPoint::from_xy(5.0, 0.0, 0.0),
+            TrajPoint::from_xy(10.0, 0.0, 10.0),
+        ])
+        .unwrap();
+        assert_eq!(p.waypoints().len(), 2);
+        assert_eq!(p.position_at(0.0), Point::new(5.0, 0.0));
+    }
+
+    #[test]
+    fn position_interpolates() {
+        let p = path();
+        assert_eq!(p.position_at(5.0), Point::new(5.0, 0.0));
+        assert_eq!(p.position_at(10.0), Point::new(10.0, 0.0));
+        assert_eq!(p.position_at(15.0), Point::new(10.0, 0.0)); // dwelling
+        assert_eq!(p.position_at(25.0), Point::new(10.0, 5.0));
+    }
+
+    #[test]
+    fn position_clamps_outside() {
+        let p = path();
+        assert_eq!(p.position_at(-5.0), Point::new(0.0, 0.0));
+        assert_eq!(p.position_at(99.0), Point::new(10.0, 10.0));
+    }
+
+    #[test]
+    fn sample_at_times() {
+        let p = path();
+        let t = p.sample_at(&[0.0, 5.0, 30.0]).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(1).loc, Point::new(5.0, 0.0));
+        assert_eq!(t.get(2).loc, Point::new(10.0, 10.0));
+    }
+
+    #[test]
+    fn sample_uniform_covers_duration() {
+        let p = path();
+        let t = p.sample_uniform(10.0);
+        assert_eq!(t.len(), 4); // t = 0, 10, 20, 30
+        assert_eq!(t.start_time(), 0.0);
+        assert_eq!(t.end_time(), 30.0);
+        let fine = p.sample_uniform(1.0);
+        assert_eq!(fine.len(), 31);
+    }
+
+    #[test]
+    fn length_includes_dwell_as_zero() {
+        let p = path();
+        assert!((p.length() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_trajectory() {
+        let t = Trajectory::from_xyt(&[(0.0, 0.0, 0.0), (4.0, 0.0, 4.0)]).unwrap();
+        let p = Path::from(t);
+        assert_eq!(p.position_at(2.0), Point::new(2.0, 0.0));
+    }
+}

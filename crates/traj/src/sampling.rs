@@ -1,0 +1,254 @@
+//! Sampling processes over trajectories and paths (paper §VI).
+//!
+//! The evaluation constructs its datasets with two operations:
+//!
+//! * the **alternate split** of Fig. 3: a raw trajectory is split into two
+//!   sub-trajectories by alternately taking points, simulating the same
+//!   object being observed by two different sensing systems;
+//! * **down-sampling at a rate** ρ ∈ (0, 1]: keeping a random fraction of
+//!   a trajectory's points, simulating low / heterogeneous sampling rates.
+//!
+//! Additionally, paths can be sampled by a Poisson process (sporadic,
+//! asynchronous sensing such as opportunistic WiFi scans) or uniformly
+//! (periodic reporting such as the 15-second taxi beacons).
+
+use crate::{Path, Trajectory};
+use rand::Rng;
+
+/// Normal deviate via Box–Muller (avoids a dependency on `rand_distr`).
+pub fn randn<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.random();
+        let u2: f64 = rng.random();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+/// Splits a trajectory into two interleaved sub-trajectories
+/// (even-indexed points, odd-indexed points) — the ground-truth pair
+/// construction of Fig. 3. Requires at least 2 points.
+pub fn alternate_split(traj: &Trajectory) -> Option<(Trajectory, Trajectory)> {
+    if traj.len() < 2 {
+        return None;
+    }
+    let even: Vec<usize> = (0..traj.len()).step_by(2).collect();
+    let odd: Vec<usize> = (1..traj.len()).step_by(2).collect();
+    Some((
+        traj.subsequence(&even).expect("even half non-empty"),
+        traj.subsequence(&odd).expect("odd half non-empty"),
+    ))
+}
+
+/// Keeps a uniformly random subset of exactly
+/// `max(1, round(rate · n))` points (order preserved) — the paper's
+/// "sample a sub-trajectory with a sampling rate". `rate` is clamped to
+/// `(0, 1]`.
+pub fn downsample_fraction<R: Rng + ?Sized>(
+    traj: &Trajectory,
+    rate: f64,
+    rng: &mut R,
+) -> Trajectory {
+    let rate = rate.clamp(f64::MIN_POSITIVE, 1.0);
+    let n = traj.len();
+    let keep = ((rate * n as f64).round() as usize).clamp(1, n);
+    if keep == n {
+        return traj.clone();
+    }
+    // Partial Fisher–Yates over the index set, then sort the kept ones.
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..keep {
+        let j = rng.random_range(i..n);
+        idx.swap(i, j);
+    }
+    let mut kept = idx[..keep].to_vec();
+    kept.sort_unstable();
+    traj.subsequence(&kept).expect("keep >= 1")
+}
+
+/// Bernoulli down-sampling: keeps each point independently with
+/// probability `rate`. Returns `None` when everything is dropped.
+pub fn downsample_bernoulli<R: Rng + ?Sized>(
+    traj: &Trajectory,
+    rate: f64,
+    rng: &mut R,
+) -> Option<Trajectory> {
+    let kept: Vec<usize> = (0..traj.len())
+        .filter(|_| rng.random::<f64>() < rate)
+        .collect();
+    traj.subsequence(&kept)
+}
+
+/// Keeps every k-th point, starting from the first. `k == 1` clones.
+pub fn every_kth(traj: &Trajectory, k: usize) -> Trajectory {
+    assert!(k >= 1, "k must be at least 1");
+    let idx: Vec<usize> = (0..traj.len()).step_by(k).collect();
+    traj.subsequence(&idx).expect("first point always kept")
+}
+
+/// Event times of a homogeneous Poisson process on `[start, end]` with
+/// the given mean inter-arrival interval (seconds). The start time is
+/// always included (the sensing system sees the object appear).
+pub fn poisson_times<R: Rng + ?Sized>(
+    start: f64,
+    end: f64,
+    mean_interval: f64,
+    rng: &mut R,
+) -> Vec<f64> {
+    assert!(mean_interval > 0.0, "mean interval must be positive");
+    let mut times = vec![start];
+    let mut t = start;
+    loop {
+        // Exponential inter-arrival via inverse CDF.
+        let u: f64 = rng.random();
+        let u = u.max(f64::MIN_POSITIVE);
+        t += -mean_interval * u.ln();
+        if t > end {
+            break;
+        }
+        times.push(t);
+    }
+    times
+}
+
+/// Samples a path with a Poisson observation process (sporadic sensing).
+pub fn sample_path_poisson<R: Rng + ?Sized>(
+    path: &Path,
+    mean_interval: f64,
+    rng: &mut R,
+) -> Trajectory {
+    let times = poisson_times(path.start_time(), path.end_time(), mean_interval, rng);
+    path.sample_at(&times)
+        .expect("strictly increasing Poisson times")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TrajPoint;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn traj(n: usize) -> Trajectory {
+        Trajectory::new(
+            (0..n)
+                .map(|i| TrajPoint::from_xy(i as f64, 0.0, i as f64))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn alternate_split_interleaves() {
+        let t = traj(5);
+        let (a, b) = alternate_split(&t).unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(b.len(), 2);
+        assert_eq!(a.get(0).t, 0.0);
+        assert_eq!(a.get(1).t, 2.0);
+        assert_eq!(b.get(0).t, 1.0);
+        assert_eq!(b.get(1).t, 3.0);
+        // Halves are disjoint in time and together cover the original.
+        let merged = a.merged_timestamps(&b);
+        assert_eq!(merged, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        assert!(alternate_split(&traj(1)).is_none());
+    }
+
+    #[test]
+    fn downsample_fraction_sizes() {
+        let t = traj(100);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(downsample_fraction(&t, 1.0, &mut rng).len(), 100);
+        assert_eq!(downsample_fraction(&t, 0.5, &mut rng).len(), 50);
+        assert_eq!(downsample_fraction(&t, 0.1, &mut rng).len(), 10);
+        assert_eq!(downsample_fraction(&t, 0.001, &mut rng).len(), 1);
+        // Rates outside (0,1] are clamped.
+        assert_eq!(downsample_fraction(&t, 2.0, &mut rng).len(), 100);
+    }
+
+    #[test]
+    fn downsample_fraction_preserves_order_and_content() {
+        let t = traj(50);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let d = downsample_fraction(&t, 0.3, &mut rng);
+        let mut prev = -1.0;
+        for p in d.points() {
+            assert!(p.t > prev);
+            prev = p.t;
+            // Every sampled point exists in the original.
+            assert!(t.points().iter().any(|q| q.t == p.t && q.loc == p.loc));
+        }
+    }
+
+    #[test]
+    fn downsample_fraction_is_deterministic_per_seed() {
+        let t = traj(40);
+        let a = downsample_fraction(&t, 0.4, &mut ChaCha8Rng::seed_from_u64(9));
+        let b = downsample_fraction(&t, 0.4, &mut ChaCha8Rng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn downsample_bernoulli_rate_extremes() {
+        let t = traj(30);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        assert_eq!(downsample_bernoulli(&t, 1.1, &mut rng).unwrap().len(), 30);
+        assert!(downsample_bernoulli(&t, 0.0, &mut rng).is_none());
+        let half = downsample_bernoulli(&t, 0.5, &mut rng).unwrap();
+        assert!(half.len() > 5 && half.len() < 25);
+    }
+
+    #[test]
+    fn every_kth_selects_lattice() {
+        let t = traj(10);
+        let e = every_kth(&t, 3);
+        assert_eq!(
+            e.timestamps().collect::<Vec<_>>(),
+            vec![0.0, 3.0, 6.0, 9.0]
+        );
+        assert_eq!(every_kth(&t, 1).len(), 10);
+    }
+
+    #[test]
+    fn poisson_times_properties() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let times = poisson_times(0.0, 10_000.0, 10.0, &mut rng);
+        assert_eq!(times[0], 0.0);
+        assert!(times.iter().all(|&t| t <= 10_000.0));
+        let mut prev = -1.0;
+        for &t in &times {
+            assert!(t > prev);
+            prev = t;
+        }
+        // Mean interval should be near 10 s (~1000 events).
+        let n = times.len() as f64;
+        assert!((n - 1000.0).abs() < 120.0, "{n} events");
+    }
+
+    #[test]
+    fn sample_path_poisson_is_on_path() {
+        let path = Path::new(vec![
+            TrajPoint::from_xy(0.0, 0.0, 0.0),
+            TrajPoint::from_xy(100.0, 0.0, 100.0),
+        ])
+        .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let t = sample_path_poisson(&path, 5.0, &mut rng);
+        for p in t.points() {
+            // On the straight path, x == t.
+            assert!((p.loc.x - p.t).abs() < 1e-9);
+            assert_eq!(p.loc.y, 0.0);
+        }
+    }
+
+    #[test]
+    fn randn_moments() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let xs: Vec<f64> = (0..20_000).map(|_| randn(&mut rng)).collect();
+        let m = xs.iter().sum::<f64>() / xs.len() as f64;
+        let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+        assert!(m.abs() < 0.03, "mean {m}");
+        assert!((v - 1.0).abs() < 0.05, "var {v}");
+    }
+}

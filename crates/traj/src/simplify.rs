@@ -1,0 +1,129 @@
+//! Trajectory simplification (Douglas–Peucker).
+//!
+//! Real deployments rarely store raw 15-second beacons; they simplify
+//! first. Simplification is also a *stress tool* for similarity
+//! measures: it is an extreme, structure-aware form of the sporadic
+//! sampling the paper studies — points are dropped exactly where linear
+//! interpolation is a good model, which flatters interpolation-based
+//! baselines and penalizes point-matching ones.
+
+use crate::{TrajPoint, Trajectory};
+use sts_geo::Segment;
+
+/// Douglas–Peucker simplification with spatial tolerance `epsilon`
+/// (meters): keeps the minimal subset of points such that every dropped
+/// point lies within `epsilon` of the kept polyline. Endpoints are
+/// always kept. `epsilon <= 0` returns the trajectory unchanged.
+pub fn douglas_peucker(traj: &Trajectory, epsilon: f64) -> Trajectory {
+    if epsilon <= 0.0 || traj.len() <= 2 {
+        return traj.clone();
+    }
+    let pts = traj.points();
+    let mut keep = vec![false; pts.len()];
+    keep[0] = true;
+    keep[pts.len() - 1] = true;
+    // Iterative stack instead of recursion: trajectories can be long.
+    let mut stack = vec![(0usize, pts.len() - 1)];
+    while let Some((lo, hi)) = stack.pop() {
+        if hi <= lo + 1 {
+            continue;
+        }
+        let seg = Segment::new(pts[lo].loc, pts[hi].loc);
+        let (mut worst_idx, mut worst_d) = (lo, -1.0f64);
+        for (i, p) in pts.iter().enumerate().take(hi).skip(lo + 1) {
+            let d = seg.distance_to_point(&p.loc);
+            if d > worst_d {
+                worst_d = d;
+                worst_idx = i;
+            }
+        }
+        if worst_d > epsilon {
+            keep[worst_idx] = true;
+            stack.push((lo, worst_idx));
+            stack.push((worst_idx, hi));
+        }
+    }
+    let kept: Vec<TrajPoint> = pts
+        .iter()
+        .zip(&keep)
+        .filter_map(|(p, &k)| k.then_some(*p))
+        .collect();
+    Trajectory::new(kept).expect("subset keeps time order")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zigzag() -> Trajectory {
+        Trajectory::from_xyt(&[
+            (0.0, 0.0, 0.0),
+            (10.0, 0.2, 1.0),   // nearly collinear
+            (20.0, -0.1, 2.0),  // nearly collinear
+            (30.0, 0.0, 3.0),
+            (40.0, 15.0, 4.0),  // a real corner
+            (50.0, 0.0, 5.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn drops_near_collinear_points() {
+        let t = zigzag();
+        let s = douglas_peucker(&t, 1.0);
+        assert!(s.len() < t.len());
+        // Endpoints survive.
+        assert_eq!(s.get(0), t.get(0));
+        assert_eq!(s.get(s.len() - 1), t.get(t.len() - 1));
+        // The corner at x=40 survives.
+        assert!(s.points().iter().any(|p| p.loc.y == 15.0));
+    }
+
+    #[test]
+    fn zero_epsilon_is_identity() {
+        let t = zigzag();
+        assert_eq!(douglas_peucker(&t, 0.0), t);
+        assert_eq!(douglas_peucker(&t, -1.0), t);
+    }
+
+    #[test]
+    fn all_dropped_points_are_within_epsilon() {
+        let t = zigzag();
+        let eps = 1.0;
+        let s = douglas_peucker(&t, eps);
+        let kept: Vec<_> = s.locations().collect();
+        for p in t.points() {
+            // Distance from each original point to the simplified
+            // polyline must be <= eps.
+            let mut best = f64::INFINITY;
+            for w in kept.windows(2) {
+                best = best.min(Segment::new(w[0], w[1]).distance_to_point(&p.loc));
+            }
+            assert!(best <= eps + 1e-9, "point {p:?} is {best} m away");
+        }
+    }
+
+    #[test]
+    fn huge_epsilon_keeps_only_endpoints() {
+        let t = zigzag();
+        let s = douglas_peucker(&t, 1e9);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn short_trajectories_untouched() {
+        let two = Trajectory::from_xyt(&[(0.0, 0.0, 0.0), (1.0, 1.0, 1.0)]).unwrap();
+        assert_eq!(douglas_peucker(&two, 5.0), two);
+        let one = Trajectory::from_xyt(&[(0.0, 0.0, 0.0)]).unwrap();
+        assert_eq!(douglas_peucker(&one, 5.0), one);
+    }
+
+    #[test]
+    fn timestamps_preserved_for_kept_points() {
+        let t = zigzag();
+        let s = douglas_peucker(&t, 1.0);
+        for p in s.points() {
+            assert!(t.points().iter().any(|q| q == p));
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Stay-point detection.
+//!
+//! A *stay point* is a maximal time window during which the object
+//! remains within a small radius — a store visit in the mall workload, a
+//! pickup wait in the taxi workload. Stay points are the standard
+//! semantic unit of trajectory mining (Zheng, *Trajectory Data Mining*,
+//! the paper's ref. [10]) and give the examples a way to explain *where*
+//! two trajectories overlap.
+
+use crate::Trajectory;
+use sts_geo::Point;
+
+/// A detected stay: the object stayed within `radius` of `center` from
+/// `start_time` to `end_time`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StayPoint {
+    /// Mean location of the contributing observations.
+    pub center: Point,
+    /// First observation time of the stay.
+    pub start_time: f64,
+    /// Last observation time of the stay.
+    pub end_time: f64,
+    /// Number of observations in the stay.
+    pub count: usize,
+}
+
+impl StayPoint {
+    /// Stay duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.end_time - self.start_time
+    }
+}
+
+/// Detects stay points: maximal windows `[i, j]` where every observation
+/// lies within `radius` meters of the window's *first* observation and
+/// the window lasts at least `min_duration` seconds (the classic
+/// Li/Zheng formulation).
+pub fn detect_stay_points(
+    traj: &Trajectory,
+    radius: f64,
+    min_duration: f64,
+) -> Vec<StayPoint> {
+    assert!(radius > 0.0, "radius must be positive");
+    assert!(min_duration >= 0.0, "min duration must be >= 0");
+    let pts = traj.points();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < pts.len() {
+        let anchor = pts[i];
+        let mut j = i;
+        while j + 1 < pts.len() && anchor.loc.distance(&pts[j + 1].loc) <= radius {
+            j += 1;
+        }
+        let duration = pts[j].t - pts[i].t;
+        if j > i && duration >= min_duration {
+            let n = (j - i + 1) as f64;
+            let mut cx = 0.0;
+            let mut cy = 0.0;
+            for p in &pts[i..=j] {
+                cx += p.loc.x;
+                cy += p.loc.y;
+            }
+            out.push(StayPoint {
+                center: Point::new(cx / n, cy / n),
+                start_time: pts[i].t,
+                end_time: pts[j].t,
+                count: j - i + 1,
+            });
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Walk, dwell 100 s at (50, 0), walk on.
+    fn walk_with_dwell() -> Trajectory {
+        let mut pts: Vec<(f64, f64, f64)> = Vec::new();
+        for i in 0..6 {
+            pts.push((i as f64 * 10.0, 0.0, i as f64 * 10.0)); // 0..50
+        }
+        for k in 1..=10 {
+            // jitter within 2 m of (50, 0)
+            let dx = if k % 2 == 0 { 1.0 } else { -1.0 };
+            pts.push((50.0 + dx, 0.5, 50.0 + k as f64 * 10.0));
+        }
+        for i in 1..=5 {
+            pts.push((50.0 + i as f64 * 10.0, 0.0, 150.0 + i as f64 * 10.0));
+        }
+        Trajectory::from_xyt(&pts).unwrap()
+    }
+
+    #[test]
+    fn detects_the_dwell() {
+        let t = walk_with_dwell();
+        let stays = detect_stay_points(&t, 5.0, 60.0);
+        assert_eq!(stays.len(), 1, "stays: {stays:?}");
+        let s = &stays[0];
+        assert!(s.center.distance(&Point::new(50.0, 0.3)) < 3.0);
+        assert!(s.duration() >= 60.0);
+        assert!(s.count >= 8);
+    }
+
+    #[test]
+    fn no_stays_on_constant_motion() {
+        let t = Trajectory::from_xyt(
+            &(0..20)
+                .map(|i| (i as f64 * 10.0, 0.0, i as f64 * 10.0))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert!(detect_stay_points(&t, 5.0, 30.0).is_empty());
+    }
+
+    #[test]
+    fn min_duration_filters_short_pauses() {
+        let t = walk_with_dwell();
+        assert_eq!(detect_stay_points(&t, 5.0, 60.0).len(), 1);
+        assert!(detect_stay_points(&t, 5.0, 500.0).is_empty());
+    }
+
+    #[test]
+    fn stays_do_not_overlap() {
+        let t = walk_with_dwell();
+        let stays = detect_stay_points(&t, 5.0, 0.0);
+        for w in stays.windows(2) {
+            assert!(w[0].end_time < w[1].start_time);
+        }
+    }
+
+    #[test]
+    fn single_point_has_no_stay() {
+        let t = Trajectory::from_xyt(&[(0.0, 0.0, 0.0)]).unwrap();
+        assert!(detect_stay_points(&t, 5.0, 0.0).is_empty());
+    }
+
+    #[test]
+    fn mall_generator_produces_stays() {
+        use crate::generators::mall;
+        let w = mall::generate(&mall::MallConfig {
+            n_pedestrians: 3,
+            seed: 5,
+            ..mall::MallConfig::default()
+        });
+        // Pedestrians dwell at stores; at least one stay should be
+        // observable in at least one trajectory.
+        let total: usize = w
+            .objects
+            .iter()
+            .map(|o| detect_stay_points(&o.trajectory, 8.0, 45.0).len())
+            .sum();
+        assert!(total > 0, "no stays detected in the mall workload");
+    }
+}

@@ -1,0 +1,95 @@
+//! Companion detection — "spatial-temporal similarity measure is also
+//! fundamental to companion detection for viral marketing, promotion
+//! and advertising" (paper §I).
+//!
+//! A mall population contains hidden companion groups (people walking
+//! together). We compute the full pairwise STS matrix and extract
+//! companion pairs by thresholding, comparing against the planted
+//! ground truth.
+//!
+//! ```sh
+//! cargo run --release --example companion_detection
+//! ```
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sts_repro::core::{Sts, StsConfig};
+use sts_repro::geo::{BoundingBox, Grid, Point};
+use sts_repro::traj::generators::{companion_path, mall};
+use sts_repro::traj::sampling::sample_path_poisson;
+use sts_repro::traj::Trajectory;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+    let cfg = mall::MallConfig {
+        n_pedestrians: 8,
+        seed: 77,
+        ..mall::MallConfig::default()
+    };
+    let workload = mall::generate(&cfg);
+
+    // Population: the 8 independent pedestrians, plus one companion for
+    // each of the first three (ground-truth pairs (0,8), (1,9), (2,10)).
+    let mut population: Vec<Trajectory> = workload
+        .objects
+        .iter()
+        .map(|o| o.trajectory.clone())
+        .collect();
+    let mut truth: Vec<(usize, usize)> = Vec::new();
+    for k in 0..3 {
+        let path = companion_path(&workload.objects[k].path, 1.2, 0.4, &mut rng);
+        population.push(sample_path_poisson(&path, cfg.mean_scan_interval, &mut rng));
+        truth.push((k, 8 + k));
+    }
+
+    let area = BoundingBox::new(Point::ORIGIN, Point::new(cfg.width, cfg.height));
+    let grid = Grid::new(area.inflated(6.0), 3.0).expect("valid grid");
+    let sts = Sts::new(
+        StsConfig {
+            noise_sigma: 3.0,
+            ..StsConfig::default()
+        },
+        grid,
+    );
+
+    // Full pairwise similarity matrix (symmetric; computed once).
+    let matrix = sts
+        .similarity_matrix(&population, &population)
+        .expect("all trajectories have >= 2 points");
+
+    // Detect companions: pairs whose STS clears a threshold calibrated
+    // from the population (mean + 2·std of off-diagonal scores).
+    let mut off: Vec<f64> = Vec::new();
+    for (i, row) in matrix.iter().enumerate() {
+        off.extend(row.iter().skip(i + 1));
+    }
+    let mean = off.iter().sum::<f64>() / off.len() as f64;
+    let std = (off.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / off.len() as f64).sqrt();
+    let threshold = mean + 2.0 * std;
+    println!("companion threshold: {threshold:.4} (mean {mean:.4} + 2 std {std:.4})");
+
+    let mut detected: Vec<(usize, usize, f64)> = Vec::new();
+    for (i, row) in matrix.iter().enumerate() {
+        for (j, &s) in row.iter().enumerate().skip(i + 1) {
+            if s > threshold {
+                detected.push((i, j, s));
+            }
+        }
+    }
+    detected.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite"));
+
+    println!("detected companion pairs:");
+    for (i, j, s) in &detected {
+        let is_true = truth.contains(&(*i, *j));
+        println!(
+            "  ({i:>2}, {j:>2}) STS = {s:.4}{}",
+            if is_true { "  <== planted pair" } else { "" }
+        );
+    }
+    let hits = truth
+        .iter()
+        .filter(|&&(a, b)| detected.iter().any(|&(i, j, _)| (i, j) == (a, b)))
+        .count();
+    println!("recovered {hits}/{} planted companion pairs", truth.len());
+    assert!(hits >= 2, "most planted companions should be detected");
+}

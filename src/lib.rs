@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+//! # sts-repro — umbrella crate
+//!
+//! Re-exports the public API of the STS reproduction workspace so that
+//! examples and downstream users can depend on a single crate.
+//!
+//! The primary entry points are:
+//!
+//! * [`sts_core::Sts`] — the spatial-temporal similarity measure itself;
+//! * [`sts_traj`] — trajectory types, sampling, noise and synthetic
+//!   workload generators;
+//! * [`sts_baselines`] — the comparison measures evaluated in the paper;
+//! * [`sts_eval`] — the trajectory-matching harness and the per-figure
+//!   experiment drivers.
+//!
+//! See the workspace `README.md` for a quickstart and `DESIGN.md` for the
+//! full system inventory.
+
+pub use sts_baselines as baselines;
+pub use sts_core as core;
+pub use sts_eval as eval;
+pub use sts_geo as geo;
+pub use sts_stats as stats;
+pub use sts_traj as traj;

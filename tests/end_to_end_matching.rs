@@ -1,0 +1,81 @@
+//! End-to-end integration: the full pipeline from workload generation
+//! through dataset construction to trajectory matching, on both
+//! scenarios — the shape the paper's evaluation asserts, in miniature.
+
+use sts_repro::eval::matching::matching_ranks;
+use sts_repro::eval::measures::{measure_set, MeasureKind};
+use sts_repro::eval::metrics::{mean_rank, precision};
+use sts_repro::eval::scenario::{Scenario, ScenarioConfig, ScenarioKind};
+use sts_repro::eval::experiments::ExperimentConfig;
+
+fn scenario(kind: ScenarioKind) -> Scenario {
+    Scenario::build(ScenarioConfig {
+        kind,
+        n_objects: 8,
+        seed: 0xE2E,
+    })
+}
+
+#[test]
+fn sts_matches_mall_pairs_cleanly() {
+    let s = scenario(ScenarioKind::Mall);
+    assert!(s.pairs.len() >= 5, "enough pairs generated");
+    let measures = measure_set(&[MeasureKind::Sts], &s, &s.pairs);
+    let ranks = matching_ranks(measures[0].1.as_ref(), &s.pairs);
+    let p = precision(&ranks);
+    let mr = mean_rank(&ranks);
+    assert!(p >= 0.8, "clean mall matching should be near-perfect: {p}");
+    assert!(mr <= 1.5, "mean rank {mr}");
+}
+
+#[test]
+fn sts_matches_taxi_pairs_cleanly() {
+    let s = scenario(ScenarioKind::Taxi);
+    let measures = measure_set(&[MeasureKind::Sts], &s, &s.pairs);
+    let ranks = matching_ranks(measures[0].1.as_ref(), &s.pairs);
+    let p = precision(&ranks);
+    assert!(p >= 0.8, "clean taxi matching should be near-perfect: {p}");
+}
+
+#[test]
+fn sts_survives_stress_better_than_a_threshold_baseline() {
+    use sts_repro::eval::experiments::{noise::distort_pairs, sampling::downsample_pairs};
+    let cfg = ExperimentConfig {
+        n_objects: 8,
+        seed: 0xE2E,
+        full: false,
+    };
+    let s = scenario(ScenarioKind::Mall);
+    // Stress: keep 30 % of the points, add 6 m noise (beyond the CATS
+    // tolerance scale).
+    let stressed = downsample_pairs(&cfg, &s.pairs, 0.3, "e2e");
+    let stressed = distort_pairs(&cfg, &stressed, 6.0, "e2e");
+    let measures = measure_set(&[MeasureKind::Sts, MeasureKind::Lcss], &s, &stressed);
+    let sts_ranks = matching_ranks(measures[0].1.as_ref(), &stressed);
+    let lcss_ranks = matching_ranks(measures[1].1.as_ref(), &stressed);
+    assert!(
+        precision(&sts_ranks) >= precision(&lcss_ranks),
+        "STS {:?} should not lose to threshold-based LCSS {:?} under stress",
+        precision(&sts_ranks),
+        precision(&lcss_ranks)
+    );
+    assert!(
+        mean_rank(&sts_ranks) <= mean_rank(&lcss_ranks),
+        "mean rank: STS {} vs LCSS {}",
+        mean_rank(&sts_ranks),
+        mean_rank(&lcss_ranks)
+    );
+}
+
+#[test]
+fn every_comparison_measure_completes_the_task() {
+    let s = scenario(ScenarioKind::Mall);
+    let measures = measure_set(MeasureKind::comparison_set(), &s, &s.pairs);
+    for (name, m) in &measures {
+        let ranks = matching_ranks(m.as_ref(), &s.pairs);
+        assert_eq!(ranks.len(), s.pairs.len(), "{name}");
+        for &r in &ranks {
+            assert!(r >= 1 && r <= s.pairs.len(), "{name}: rank {r}");
+        }
+    }
+}

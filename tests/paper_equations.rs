@@ -1,0 +1,162 @@
+//! Integration tests pinning the implementation to the paper's
+//! equations, exercised through the public umbrella API.
+
+use sts_repro::core::noise::{GaussianNoise, NoiseModel};
+use sts_repro::core::transition::{SpeedKdeTransition, TransitionModel};
+use sts_repro::core::{colocation_probability, Sts, StsConfig, StpEstimator};
+use sts_repro::geo::{BoundingBox, Grid, Point};
+use sts_repro::stats::{Kde, Kernel};
+use sts_repro::traj::Trajectory;
+
+fn grid() -> Grid {
+    Grid::new(
+        BoundingBox::new(Point::ORIGIN, Point::new(100.0, 40.0)),
+        2.0,
+    )
+    .unwrap()
+}
+
+/// Eq. 3: the Gaussian location-noise weight over cells is
+/// `exp(−dis(ℓ, r)²/2σ²)` up to the normalization that Algorithm 1
+/// applies anyway.
+#[test]
+fn eq3_gaussian_noise_weights() {
+    let g = grid();
+    let sigma = 3.0;
+    let noise = GaussianNoise::new(sigma);
+    let obs = Point::new(51.0, 21.0); // a cell center
+    let w = noise.weights(&g, obs);
+    // Ratio check between two cells removes the normalization constant.
+    let own = g.cell_at(obs).unwrap();
+    let neighbor = g.cell_at(Point::new(55.0, 21.0)).unwrap();
+    let d_own = g.center(own).distance(&obs);
+    let d_nb = g.center(neighbor).distance(&obs);
+    let expected_ratio =
+        (-(d_nb * d_nb) / (2.0 * sigma * sigma)).exp() / (-(d_own * d_own) / (2.0 * sigma * sigma)).exp();
+    let got_ratio = w.get(neighbor) / w.get(own);
+    assert!(
+        (got_ratio - expected_ratio).abs() < 1e-9,
+        "Eq. 3 ratio mismatch: {got_ratio} vs {expected_ratio}"
+    );
+}
+
+/// Eq. 6–7: the transition probability is the bandwidth-scaled KDE of
+/// the trajectory's own speed samples, evaluated at
+/// `v = dis(ℓ, ℓ′)/|t−t′|`, with Silverman's bandwidth.
+#[test]
+fn eq7_transition_is_scaled_kde_of_own_speeds() {
+    let traj = Trajectory::from_xyt(&[
+        (0.0, 0.0, 0.0),
+        (2.0, 0.0, 1.0),
+        (3.0, 0.0, 2.0),
+        (5.5, 0.0, 3.0),
+    ])
+    .unwrap();
+    let samples = traj.speed_samples();
+    assert_eq!(samples, vec![2.0, 1.0, 2.5]);
+    let kde = Kde::new(samples.clone(), Kernel::Gaussian).unwrap();
+    // Silverman's rule as printed in the paper.
+    let sigma = {
+        let m = samples.iter().sum::<f64>() / samples.len() as f64;
+        (samples.iter().map(|s| (s - m) * (s - m)).sum::<f64>() / samples.len() as f64).sqrt()
+    };
+    let h = (4.0 * sigma.powi(5) / (3.0 * samples.len() as f64)).powf(0.2);
+    assert!((kde.bandwidth() - h).abs() < 1e-12, "Silverman bandwidth");
+
+    // No position-uncertainty correction: the transition must equal the
+    // paper's Eq. 7 exactly.
+    let model = SpeedKdeTransition::from_trajectory(&traj, Kernel::Gaussian).unwrap();
+    let from = Point::new(10.0, 5.0);
+    let to = Point::new(13.0, 9.0); // 5 m away
+    let dt = 2.5;
+    let v = 2.0; // 5 m / 2.5 s
+    let manual: f64 = samples
+        .iter()
+        .map(|s| Kernel::Gaussian.evaluate((v - s) / h))
+        .sum::<f64>()
+        / samples.len() as f64;
+    let got = model.probability(from, to, dt);
+    assert!((got - manual).abs() < 1e-12, "Eq. 7: {got} vs {manual}");
+}
+
+/// Eq. 10: STS is the average co-location probability over the merged
+/// timestamps of the two trajectories.
+#[test]
+fn eq10_sts_is_average_colocation() {
+    let g = grid();
+    let config = StsConfig {
+        noise_sigma: 2.0,
+        ..StsConfig::default()
+    };
+    let a = Trajectory::from_xyt(&[
+        (10.0, 20.0, 0.0),
+        (20.0, 20.0, 10.0),
+        (30.0, 20.0, 20.0),
+        (40.0, 20.0, 30.0),
+    ])
+    .unwrap();
+    let b = Trajectory::from_xyt(&[
+        (12.0, 21.0, 3.0),
+        (23.0, 19.0, 13.0),
+        (33.0, 20.0, 23.0),
+    ])
+    .unwrap();
+    let sts = Sts::new(config.clone(), g.clone());
+    let got = sts.similarity(&a, &b).unwrap();
+
+    // Manual Eq. 10 with independently constructed estimators.
+    let noise = GaussianNoise::new(2.0);
+    let cell_half = g.cell_size() / 2.0;
+    let ta = SpeedKdeTransition::from_trajectory(&a, Kernel::Gaussian)
+        .unwrap()
+        .with_position_uncertainty(cell_half);
+    let tb = SpeedKdeTransition::from_trajectory(&b, Kernel::Gaussian)
+        .unwrap()
+        .with_position_uncertainty(cell_half);
+    let ea = StpEstimator::new(&g, &noise, &ta, &a);
+    let eb = StpEstimator::new(&g, &noise, &tb, &b);
+    let ts = a.merged_timestamps(&b);
+    let manual: f64 = ts
+        .iter()
+        .map(|&t| colocation_probability(&ea, &eb, t))
+        .sum::<f64>()
+        / ts.len() as f64;
+    assert!(
+        (got - manual).abs() < 1e-9,
+        "Eq. 10 mismatch: {got} vs {manual}"
+    );
+}
+
+/// Eq. 5's zero case: timestamps outside a trajectory's span contribute
+/// zero co-location, pulling the average down for partially overlapping
+/// trajectories.
+#[test]
+fn eq5_outside_span_counts_as_zero_in_average() {
+    let g = grid();
+    let sts = Sts::new(
+        StsConfig {
+            noise_sigma: 2.0,
+            ..StsConfig::default()
+        },
+        g,
+    );
+    let a = Trajectory::from_xyt(&[(10.0, 20.0, 0.0), (20.0, 20.0, 10.0), (30.0, 20.0, 20.0)])
+        .unwrap();
+    // Same motion, but extending far past a's span.
+    let overlap = Trajectory::from_xyt(&[(10.0, 20.0, 0.0), (20.0, 20.0, 10.0), (30.0, 20.0, 20.0)])
+        .unwrap();
+    let extended = Trajectory::from_xyt(&[
+        (10.0, 20.0, 0.0),
+        (20.0, 20.0, 10.0),
+        (30.0, 20.0, 20.0),
+        (40.0, 20.0, 200.0),
+        (50.0, 20.0, 400.0),
+    ])
+    .unwrap();
+    let s_full = sts.similarity(&a, &overlap).unwrap();
+    let s_ext = sts.similarity(&a, &extended).unwrap();
+    assert!(
+        s_ext < s_full,
+        "non-overlapping timestamps must dilute the average: {s_ext} vs {s_full}"
+    );
+}
