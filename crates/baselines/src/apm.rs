@@ -120,10 +120,7 @@ mod tests {
         let dense = line(0.0, 1.0, 21, 5.0, 0.0);
         let sparse = every_kth(&dense, 4);
         // After calibration both have the same number of anchors.
-        assert_eq!(
-            apm.calibrate(&dense).len(),
-            apm.calibrate(&sparse).len()
-        );
+        assert_eq!(apm.calibrate(&dense).len(), apm.calibrate(&sparse).len());
         // And the calibrated distance between them is zero (same path).
         assert_eq!(apm.distance(&dense, &sparse), 0.0);
     }

@@ -38,9 +38,7 @@ impl DistanceMeasure for EdrDistance {
             curr[0] = i + 1;
             for (j, q) in pb.iter().enumerate() {
                 let subst = usize::from(p.loc.distance(&q.loc) > self.epsilon);
-                curr[j + 1] = (prev[j] + subst)
-                    .min(prev[j + 1] + 1)
-                    .min(curr[j] + 1);
+                curr[j + 1] = (prev[j] + subst).min(prev[j + 1] + 1).min(curr[j] + 1);
             }
             std::mem::swap(&mut prev, &mut curr);
         }
@@ -96,7 +94,7 @@ mod tests {
     fn insertion_cost_counts() {
         let a = line(0.0, 1.0, 10, 5.0, 0.0);
         let b = line(0.0, 1.0, 5, 5.0, 0.0); // prefix of a
-        // 5 deletions over max length 10.
+                                             // 5 deletions over max length 10.
         assert!((EdrDistance::new(1.0).distance(&a, &b) - 0.5).abs() < 1e-12);
     }
 

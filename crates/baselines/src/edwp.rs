@@ -156,8 +156,8 @@ mod tests {
     fn projection_explains_midpoints_cheaply() {
         // b has an extra midpoint exactly on a's segment: near-zero cost.
         let a = Trajectory::from_xyt(&[(0.0, 0.0, 0.0), (10.0, 0.0, 10.0)]).unwrap();
-        let b = Trajectory::from_xyt(&[(0.0, 0.0, 0.0), (5.0, 0.0, 5.0), (10.0, 0.0, 10.0)])
-            .unwrap();
+        let b =
+            Trajectory::from_xyt(&[(0.0, 0.0, 0.0), (5.0, 0.0, 5.0), (10.0, 0.0, 10.0)]).unwrap();
         let d = EdwpDistance.distance(&a, &b);
         assert!(d < 1e-6, "on-path refinement should be free, got {d}");
     }

@@ -96,8 +96,7 @@ mod tests {
     fn gap_penalty_for_extra_points() {
         // b is a plus one extra point at distance 7 from the gap point.
         let a = Trajectory::from_xyt(&[(1.0, 0.0, 0.0), (2.0, 0.0, 1.0)]).unwrap();
-        let b = Trajectory::from_xyt(&[(1.0, 0.0, 0.0), (2.0, 0.0, 1.0), (7.0, 0.0, 2.0)])
-            .unwrap();
+        let b = Trajectory::from_xyt(&[(1.0, 0.0, 0.0), (2.0, 0.0, 1.0), (7.0, 0.0, 2.0)]).unwrap();
         let d = erp().distance(&a, &b);
         assert!((d - 7.0).abs() < 1e-12, "got {d}");
     }
@@ -113,9 +112,7 @@ mod tests {
         for x in &xs {
             for y in &xs {
                 for z in &xs {
-                    assert!(
-                        e.distance(x, z) <= e.distance(x, y) + e.distance(y, z) + 1e-9
-                    );
+                    assert!(e.distance(x, z) <= e.distance(x, y) + e.distance(y, z) + 1e-9);
                 }
             }
         }

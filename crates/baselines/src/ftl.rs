@@ -143,7 +143,7 @@ mod tests {
     fn disjoint_time_spans_still_score_edge_segment() {
         let a = line(0.0, 1.0, 5, 5.0, 0.0); // ends t=20
         let b = line(0.0, 1.0, 5, 5.0, 100.0); // starts t=100
-        // One mutual segment (t=20 -> t=100), speed tiny: compatible.
+                                               // One mutual segment (t=20 -> t=100), speed tiny: compatible.
         let ftl = Ftl::new(2.0, None);
         assert_eq!(ftl.similarity(&a, &b), 1.0);
         // With a window it is excluded and the score collapses to 0.

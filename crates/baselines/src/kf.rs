@@ -70,7 +70,9 @@ pub struct KalmanDtw(DistanceSimilarity<KalmanDtwDistance>);
 impl KalmanDtw {
     /// Creates the measure.
     pub fn new(config: KalmanConfig, time_step: f64) -> Self {
-        KalmanDtw(DistanceSimilarity(KalmanDtwDistance::new(config, time_step)))
+        KalmanDtw(DistanceSimilarity(KalmanDtwDistance::new(
+            config, time_step,
+        )))
     }
 }
 
@@ -130,10 +132,9 @@ mod tests {
 
     #[test]
     fn smoothing_attenuates_noise() {
-        use rand::SeedableRng;
         use sts_traj::noise::add_gaussian_noise;
         let clean = line(0.0, 1.0, 40, 5.0, 0.0);
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let mut rng = sts_rng::Xoshiro256pp::seed_from_u64(3);
         let noisy = add_gaussian_noise(&clean, 5.0, &mut rng);
         // DTW on raw noisy points vs DTW on KF-estimated points, against
         // the clean reference.

@@ -127,11 +127,7 @@ pub(crate) mod testutil {
             "{}: self {s_self} < near {s_near}",
             m.name()
         );
-        assert!(
-            s_near > s_far,
-            "{}: near {s_near} <= far {s_far}",
-            m.name()
-        );
+        assert!(s_near > s_far, "{}: near {s_near} <= far {s_far}", m.name());
         // Symmetry.
         let ab = m.similarity(&a, &near);
         let ba = m.similarity(&near, &a);

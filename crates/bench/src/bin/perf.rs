@@ -1,0 +1,70 @@
+//! In-repo performance runner — the replacement for `cargo bench`.
+//!
+//! ```text
+//! cargo run -p sts-bench --release --bin perf              # all suites
+//! cargo run -p sts-bench --release --bin perf -- stp       # one suite
+//! cargo run -p sts-bench --release --bin perf -- --quick   # smoke config
+//! ```
+
+use std::process::ExitCode;
+use sts_bench::perf::all_suites;
+use sts_bench::timing::{format_ns, TimingConfig};
+
+fn main() -> ExitCode {
+    let mut config = TimingConfig::default();
+    let mut selected: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => config = TimingConfig::smoke(),
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            name if !name.starts_with('-') => selected.push(name.to_string()),
+            other => {
+                eprintln!("unknown flag: {other}");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let suites = all_suites();
+    let known: Vec<&str> = suites.iter().map(|(name, _)| *name).collect();
+    for name in &selected {
+        if !known.contains(&name.as_str()) {
+            eprintln!("unknown suite: {name} (available: {})", known.join(", "));
+            return ExitCode::FAILURE;
+        }
+    }
+
+    for (name, suite) in suites {
+        if !selected.is_empty() && !selected.iter().any(|s| s == name) {
+            continue;
+        }
+        println!("== {name} ==");
+        let report = suite(&config);
+        let width = report
+            .entries
+            .iter()
+            .map(|(id, _)| id.len())
+            .max()
+            .unwrap_or(0);
+        for (id, m) in &report.entries {
+            println!(
+                "  {id:<width$}  {median:>12}  (min {min}, {samples}×{iters})",
+                median = format_ns(m.median_ns),
+                min = format_ns(m.min_ns),
+                samples = m.samples,
+                iters = m.iters_per_sample,
+            );
+        }
+        println!();
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_usage() {
+    eprintln!("usage: perf [--quick] [suite ...]");
+    eprintln!("suites: similarity, grid_size, matching, stp, substrates");
+}

@@ -8,11 +8,16 @@
 //!   the series behind every evaluation figure of the paper (Figs.
 //!   4–14 plus the headline-improvement aggregate) and prints them as
 //!   text tables;
-//! * the Criterion benches (`cargo bench -p sts-bench`) time the
-//!   measure kernels (`similarity`), the grid-size/running-time
-//!   trade-off of Fig. 12 (`grid_size`), the matching task
-//!   (`matching`), the dense-vs-sparse STP ablation (`stp`) and the
-//!   substrate primitives (`substrates`).
+//! * the `perf` binary (`cargo run -p sts-bench --release --bin perf
+//!   [-- --quick] [-- <suite>]`), built on the in-repo [`timing`]
+//!   harness, times the measure kernels (`similarity`), the
+//!   grid-size/running-time trade-off of Fig. 12 (`grid_size`), the
+//!   matching task (`matching`), the dense-vs-sparse STP ablation
+//!   (`stp`) and the substrate primitives (`substrates`). A smoke run
+//!   of every suite hides behind `cargo test -p sts-bench -- --ignored`.
+
+pub mod perf;
+pub mod timing;
 
 pub use sts_eval::experiments::{run, ExperimentConfig};
 use sts_eval::scenario::ScenarioKind;

@@ -1,0 +1,188 @@
+//! Minimal wall-clock timing harness — the in-repo replacement for the
+//! Criterion dependency.
+//!
+//! The model is deliberately simple: a benchmark is a closure, a run is
+//! `samples` batches of `iters` calls each, and the reported statistics
+//! are per-call nanoseconds over the batch means. Batch size is
+//! auto-calibrated so one batch takes roughly
+//! [`TimingConfig::target_sample`], which keeps timer-read overhead
+//! negligible for nanosecond-scale kernels while still finishing fast
+//! for millisecond-scale tasks.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How a benchmark is sampled.
+#[derive(Debug, Clone, Copy)]
+pub struct TimingConfig {
+    /// Number of timed batches.
+    pub samples: u32,
+    /// Calibration target for the duration of one batch.
+    pub target_sample: Duration,
+    /// Hard cap on the total timed duration; sampling stops early (but
+    /// always after at least one batch) once it is exceeded.
+    pub max_total: Duration,
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        TimingConfig {
+            samples: 10,
+            target_sample: Duration::from_millis(25),
+            max_total: Duration::from_secs(3),
+        }
+    }
+}
+
+impl TimingConfig {
+    /// A drastically shortened configuration for smoke tests: enough to
+    /// prove the benchmark runs, useless for comparing numbers.
+    pub fn smoke() -> Self {
+        TimingConfig {
+            samples: 2,
+            target_sample: Duration::from_micros(500),
+            max_total: Duration::from_millis(250),
+        }
+    }
+}
+
+/// Per-call timing statistics for one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Calls per batch (after calibration).
+    pub iters_per_sample: u64,
+    /// Number of batches actually timed.
+    pub samples: u32,
+    /// Mean nanoseconds per call over all batches.
+    pub mean_ns: f64,
+    /// Median of the per-batch means, in nanoseconds per call.
+    pub median_ns: f64,
+    /// Fastest per-batch mean, in nanoseconds per call — the least
+    /// noise-contaminated estimate.
+    pub min_ns: f64,
+}
+
+impl Measurement {
+    fn from_batches(iters: u64, batch_ns: &[f64]) -> Self {
+        let per_call: Vec<f64> = batch_ns.iter().map(|&ns| ns / iters as f64).collect();
+        let mut sorted = per_call.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = if sorted.len() % 2 == 1 {
+            sorted[sorted.len() / 2]
+        } else {
+            (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
+        };
+        Measurement {
+            iters_per_sample: iters,
+            samples: per_call.len() as u32,
+            mean_ns: per_call.iter().sum::<f64>() / per_call.len() as f64,
+            median_ns: median,
+            min_ns: sorted[0],
+        }
+    }
+}
+
+/// Formats nanoseconds with an adaptive unit (`ns`, `µs`, `ms`, `s`).
+pub fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+impl std::fmt::Display for Measurement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "median {median} (min {min}, mean {mean}, {samples}×{iters} iters)",
+            median = format_ns(self.median_ns),
+            min = format_ns(self.min_ns),
+            mean = format_ns(self.mean_ns),
+            samples = self.samples,
+            iters = self.iters_per_sample,
+        )
+    }
+}
+
+/// Times `f` under `config` and returns per-call statistics. The return
+/// value of `f` is passed through [`black_box`] so the computation is
+/// not optimized away.
+pub fn time<T>(config: &TimingConfig, mut f: impl FnMut() -> T) -> Measurement {
+    // Calibration: double the batch size until one batch reaches the
+    // target duration (or a single call already exceeds it).
+    let mut iters: u64 = 1;
+    let mut calibration_ns;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        calibration_ns = start.elapsed().as_nanos() as f64;
+        if calibration_ns >= config.target_sample.as_nanos() as f64 || iters >= (1 << 30) {
+            break;
+        }
+        // Jump straight to the estimated target batch size once the
+        // per-call cost is resolved above timer noise (~1 µs total).
+        if calibration_ns > 1_000.0 {
+            let per_call = calibration_ns / iters as f64;
+            let goal = (config.target_sample.as_nanos() as f64 / per_call).ceil() as u64;
+            iters = goal.clamp(iters + 1, iters.saturating_mul(128));
+        } else {
+            iters = iters.saturating_mul(4);
+        }
+    }
+
+    let mut batch_ns = Vec::with_capacity(config.samples as usize);
+    let run_start = Instant::now();
+    for _ in 0..config.samples {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        batch_ns.push(start.elapsed().as_nanos() as f64);
+        if run_start.elapsed() > config.max_total {
+            break;
+        }
+    }
+    if batch_ns.is_empty() {
+        // max_total was exceeded during calibration; use that batch.
+        batch_ns.push(calibration_ns);
+    }
+    Measurement::from_batches(iters, &batch_ns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_trivial_closure() {
+        let m = time(&TimingConfig::smoke(), || 2_u64.wrapping_mul(3));
+        assert!(m.iters_per_sample >= 1);
+        assert!(m.samples >= 1);
+        assert!(m.min_ns > 0.0);
+        assert!(m.min_ns <= m.median_ns);
+        assert!(m.median_ns.is_finite() && m.mean_ns.is_finite());
+    }
+
+    #[test]
+    fn calibration_grows_batches_for_fast_closures() {
+        let m = time(&TimingConfig::smoke(), || 1_u32);
+        // A no-op closure must be batched many times per sample,
+        // otherwise per-call figures are pure timer noise.
+        assert!(m.iters_per_sample > 10, "iters = {}", m.iters_per_sample);
+    }
+
+    #[test]
+    fn format_ns_picks_units() {
+        assert_eq!(format_ns(12.0), "12.0 ns");
+        assert_eq!(format_ns(12_500.0), "12.50 µs");
+        assert_eq!(format_ns(12_500_000.0), "12.50 ms");
+        assert_eq!(format_ns(2_500_000_000.0), "2.500 s");
+    }
+}

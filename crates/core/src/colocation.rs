@@ -64,9 +64,15 @@ mod tests {
         let a = walker(10.0, 0.0);
         let b = walker(10.0, 5.0); // same route, asynchronous sampling
         let c = walker(2.0, 5.0); // parallel route 8 m away
-        let ta = SpeedKdeTransition::from_trajectory(&a, Kernel::Gaussian).unwrap().with_position_uncertainty(1.0);
-        let tb = SpeedKdeTransition::from_trajectory(&b, Kernel::Gaussian).unwrap().with_position_uncertainty(1.0);
-        let tc = SpeedKdeTransition::from_trajectory(&c, Kernel::Gaussian).unwrap().with_position_uncertainty(1.0);
+        let ta = SpeedKdeTransition::from_trajectory(&a, Kernel::Gaussian)
+            .unwrap()
+            .with_position_uncertainty(1.0);
+        let tb = SpeedKdeTransition::from_trajectory(&b, Kernel::Gaussian)
+            .unwrap()
+            .with_position_uncertainty(1.0);
+        let tc = SpeedKdeTransition::from_trajectory(&c, Kernel::Gaussian)
+            .unwrap()
+            .with_position_uncertainty(1.0);
         let ea = StpEstimator::new(&g, &noise, &ta, &a);
         let eb = StpEstimator::new(&g, &noise, &tb, &b);
         let ec = StpEstimator::new(&g, &noise, &tc, &c);
@@ -84,8 +90,12 @@ mod tests {
         let noise = GaussianNoise::new(2.0);
         let a = walker(10.0, 0.0);
         let b = walker(10.0, 100.0); // disjoint time span
-        let ta = SpeedKdeTransition::from_trajectory(&a, Kernel::Gaussian).unwrap().with_position_uncertainty(1.0);
-        let tb = SpeedKdeTransition::from_trajectory(&b, Kernel::Gaussian).unwrap().with_position_uncertainty(1.0);
+        let ta = SpeedKdeTransition::from_trajectory(&a, Kernel::Gaussian)
+            .unwrap()
+            .with_position_uncertainty(1.0);
+        let tb = SpeedKdeTransition::from_trajectory(&b, Kernel::Gaussian)
+            .unwrap()
+            .with_position_uncertainty(1.0);
         let ea = StpEstimator::new(&g, &noise, &ta, &a);
         let eb = StpEstimator::new(&g, &noise, &tb, &b);
         assert_eq!(colocation_probability(&ea, &eb, 15.0), 0.0);
@@ -98,8 +108,12 @@ mod tests {
         let noise = GaussianNoise::new(2.0);
         let a = walker(10.0, 0.0);
         let b = walker(12.0, 3.0);
-        let ta = SpeedKdeTransition::from_trajectory(&a, Kernel::Gaussian).unwrap().with_position_uncertainty(1.0);
-        let tb = SpeedKdeTransition::from_trajectory(&b, Kernel::Gaussian).unwrap().with_position_uncertainty(1.0);
+        let ta = SpeedKdeTransition::from_trajectory(&a, Kernel::Gaussian)
+            .unwrap()
+            .with_position_uncertainty(1.0);
+        let tb = SpeedKdeTransition::from_trajectory(&b, Kernel::Gaussian)
+            .unwrap()
+            .with_position_uncertainty(1.0);
         let ea = StpEstimator::new(&g, &noise, &ta, &a);
         let eb = StpEstimator::new(&g, &noise, &tb, &b);
         for t in [0.0, 7.0, 15.0, 30.0] {
@@ -114,7 +128,9 @@ mod tests {
         let g = grid();
         let noise = GaussianNoise::new(2.0);
         let a = walker(10.0, 0.0);
-        let ta = SpeedKdeTransition::from_trajectory(&a, Kernel::Gaussian).unwrap().with_position_uncertainty(1.0);
+        let ta = SpeedKdeTransition::from_trajectory(&a, Kernel::Gaussian)
+            .unwrap()
+            .with_position_uncertainty(1.0);
         let ea = StpEstimator::new(&g, &noise, &ta, &a);
         for t in [0.0, 5.0, 10.0, 25.0] {
             let cp = colocation_probability(&ea, &ea, t);

@@ -130,11 +130,15 @@ mod tests {
 
     #[test]
     fn from_weights_sorts_dedups_and_filters() {
-        let d = dist(&[(3, 1.0), (1, 2.0), (3, 0.5), (2, 0.0), (4, -1.0), (5, f64::NAN)]);
-        assert_eq!(
-            d.entries(),
-            &[(CellId(1), 2.0), (CellId(3), 1.5)]
-        );
+        let d = dist(&[
+            (3, 1.0),
+            (1, 2.0),
+            (3, 0.5),
+            (2, 0.0),
+            (4, -1.0),
+            (5, f64::NAN),
+        ]);
+        assert_eq!(d.entries(), &[(CellId(1), 2.0), (CellId(3), 1.5)]);
         assert_eq!(d.len(), 2);
     }
 

@@ -165,7 +165,9 @@ mod tests {
     }
 
     fn corpus() -> Vec<Trajectory> {
-        (0..12).map(|k| walker(30.0 * k as f64 + 5.0, 0.0, 10)).collect()
+        (0..12)
+            .map(|k| walker(30.0 * k as f64 + 5.0, 0.0, 10))
+            .collect()
     }
 
     #[test]

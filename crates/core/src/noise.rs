@@ -114,7 +114,10 @@ pub struct UniformDiscNoise {
 impl UniformDiscNoise {
     /// Creates the model; `radius` must be positive.
     pub fn new(radius: f64) -> Self {
-        assert!(radius > 0.0 && radius.is_finite(), "radius must be positive");
+        assert!(
+            radius > 0.0 && radius.is_finite(),
+            "radius must be positive"
+        );
         UniformDiscNoise { radius }
     }
 }
@@ -199,7 +202,10 @@ mod tests {
         let model = GaussianNoise::new(2.0);
         let w = model.weights(&g, Point::new(-500.0, -500.0));
         assert_eq!(w.len(), 1);
-        assert_eq!(w.entries()[0].0, g.cell_at_clamped(Point::new(-500.0, -500.0)));
+        assert_eq!(
+            w.entries()[0].0,
+            g.cell_at_clamped(Point::new(-500.0, -500.0))
+        );
     }
 
     #[test]

@@ -479,11 +479,9 @@ mod tests {
         ])
         .unwrap();
         // Compact-support kernel around 1 m/s: 90 m/s is impossible.
-        let trans = SpeedKdeTransition::from_speed_samples(
-            vec![0.9, 1.0, 1.1],
-            Kernel::Epanechnikov,
-        )
-        .unwrap();
+        let trans =
+            SpeedKdeTransition::from_speed_samples(vec![0.9, 1.0, 1.1], Kernel::Epanechnikov)
+                .unwrap();
         let est = StpEstimator::new(&g, &noise, &trans, &traj);
         let d = est.stp(2.5);
         assert!(d.is_empty(), "unbridgeable gap should give empty STP");

@@ -151,8 +151,7 @@ impl Sts {
                 }
             }
             StsVariant::FrequencyBased => {
-                let freq =
-                    FrequencyTransition::from_trajectories(grid.clone(), corpus.iter(), 0.1);
+                let freq = FrequencyTransition::from_trajectories(grid.clone(), corpus.iter(), 0.1);
                 Sts {
                     grid,
                     noise: gaussian,
@@ -312,10 +311,10 @@ impl Sts {
             .min(prepared_q.len().max(1));
         let mut rows: Vec<Vec<f64>> = vec![Vec::new(); prepared_q.len()];
         let chunk = prepared_q.len().div_ceil(n_threads).max(1);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (q_chunk, out_chunk) in prepared_q.chunks(chunk).zip(rows.chunks_mut(chunk)) {
                 let prepared_c = &prepared_c;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (q, out) in q_chunk.iter().zip(out_chunk.iter_mut()) {
                         *out = prepared_c
                             .iter()
@@ -324,8 +323,7 @@ impl Sts {
                     }
                 });
             }
-        })
-        .expect("similarity workers do not panic");
+        });
         Ok(rows)
     }
 

@@ -140,7 +140,10 @@ impl SpeedKdeTransition {
     /// Pools the speed samples of a whole dataset into one global model
     /// (the `STS-G` ablation: "a constant global speed distribution for
     /// all objects").
-    pub fn global_from_trajectories<'a, I>(trajectories: I, kernel: Kernel) -> Result<Self, StsError>
+    pub fn global_from_trajectories<'a, I>(
+        trajectories: I,
+        kernel: Kernel,
+    ) -> Result<Self, StsError>
     where
         I: IntoIterator<Item = &'a Trajectory>,
     {
@@ -360,11 +363,10 @@ mod tests {
     #[test]
     fn global_model_pools_samples() {
         let slow = walk_trajectory();
-        let fast = Trajectory::from_xyt(&[(0.0, 0.0, 0.0), (10.0, 0.0, 1.0), (20.0, 0.0, 2.0)])
-            .unwrap();
+        let fast =
+            Trajectory::from_xyt(&[(0.0, 0.0, 0.0), (10.0, 0.0, 1.0), (20.0, 0.0, 2.0)]).unwrap();
         let global =
-            SpeedKdeTransition::global_from_trajectories([&slow, &fast], Kernel::Gaussian)
-                .unwrap();
+            SpeedKdeTransition::global_from_trajectories([&slow, &fast], Kernel::Gaussian).unwrap();
         assert_eq!(
             global.kde().samples().len(),
             slow.speed_samples().len() + fast.speed_samples().len()
@@ -384,15 +386,15 @@ mod tests {
         )
         .unwrap();
         // Everyone moves one cell to the right per step.
-        let t1 = Trajectory::from_xyt(&[(5.0, 5.0, 0.0), (15.0, 5.0, 1.0), (25.0, 5.0, 2.0)])
-            .unwrap();
+        let t1 =
+            Trajectory::from_xyt(&[(5.0, 5.0, 0.0), (15.0, 5.0, 1.0), (25.0, 5.0, 2.0)]).unwrap();
         let t2 = Trajectory::from_xyt(&[(15.0, 5.0, 0.0), (25.0, 5.0, 1.0)]).unwrap();
         let model = FrequencyTransition::from_trajectories(grid.clone(), [&t1, &t2], 0.0);
         let right = model.probability(Point::new(15.0, 5.0), Point::new(25.0, 5.0), 1.0);
         let left = model.probability(Point::new(15.0, 5.0), Point::new(5.0, 5.0), 1.0);
         assert!(right > left);
         assert_eq!(left, 0.0); // never observed, no smoothing
-        // Frequency models ignore the interval length entirely.
+                               // Frequency models ignore the interval length entirely.
         let long = model.probability(Point::new(15.0, 5.0), Point::new(25.0, 5.0), 100.0);
         assert_eq!(right, long);
     }

@@ -41,12 +41,7 @@ pub fn run_with(cfg: &ExperimentConfig, kinds: &[MeasureKind]) -> Vec<Table> {
     for (x, scenario) in cfg.scenarios().iter().enumerate() {
         let stressed =
             super::sampling::downsample_pairs(cfg, &scenario.pairs, 0.3, "ablation-stress");
-        let pairs = distort_pairs(
-            cfg,
-            &stressed,
-            scenario.scale.ablation_noise,
-            "ablation",
-        );
+        let pairs = distort_pairs(cfg, &stressed, scenario.scale.ablation_noise, "ablation");
         let measures = measure_set(kinds, scenario, &pairs);
         for (i, (_, measure)) in measures.iter().enumerate() {
             let ranks = matching_ranks(measure.as_ref(), &pairs);

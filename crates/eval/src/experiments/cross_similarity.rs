@@ -13,7 +13,7 @@ use crate::measures::{make_measure, MeasureKind};
 use crate::metrics::cross_similarity_deviation;
 use crate::report::{Series, Table};
 use crate::scenario::Scenario;
-use rand::Rng;
+use sts_rng::Rng;
 use sts_traj::sampling::downsample_fraction;
 use sts_traj::Trajectory;
 
@@ -73,7 +73,8 @@ pub fn run_scenario(
                 if reference < 1e-6 {
                     continue;
                 }
-                let mut ds_rng = cfg.rng("cross-sim-down", (pi as u64) << 16 | (rate * 1000.0) as u64);
+                let mut ds_rng =
+                    cfg.rng("cross-sim-down", (pi as u64) << 16 | (rate * 1000.0) as u64);
                 let t2_down = downsample_fraction(t2, rate, &mut ds_rng);
                 let down = measure.pair(t1, &t2_down);
                 if let Some(dev) = cross_similarity_deviation(reference, down) {

@@ -98,7 +98,10 @@ pub fn linking(cfg: &ExperimentConfig) -> Vec<Table> {
     for (scenario, suffix) in cfg.scenarios().iter().zip(["a", "b"]) {
         let mut table = Table::new(
             format!("ext-linking{suffix}"),
-            format!("STS vs linking family, precision vs alpha ({})", scenario.name()),
+            format!(
+                "STS vs linking family, precision vs alpha ({})",
+                scenario.name()
+            ),
             "alpha",
             "precision",
         );
@@ -164,6 +167,9 @@ mod tests {
     fn stp_modes_agree_on_quality() {
         let t = stp_modes(&tiny());
         let prec = &t[0].series[0].points;
-        assert!((prec[0].1 - prec[1].1).abs() < 0.26, "modes diverge: {prec:?}");
+        assert!(
+            (prec[0].1 - prec[1].1).abs() < 0.26,
+            "modes diverge: {prec:?}"
+        );
     }
 }

@@ -46,12 +46,8 @@ pub fn run_scenario(
     let mut s_prec = Series::new("STS");
     let mut s_rank = Series::new("STS");
     let stressed = super::sampling::downsample_pairs(cfg, &scenario.pairs, 0.3, "grid-stress");
-    let stressed = super::noise::distort_pairs(
-        cfg,
-        &stressed,
-        scenario.scale.ablation_noise,
-        "grid-stress",
-    );
+    let stressed =
+        super::noise::distort_pairs(cfg, &stressed, scenario.scale.ablation_noise, "grid-stress");
     for cell in scenario.scale.grid_sizes {
         let sts = StsMatrix(Sts::new(
             StsConfig {

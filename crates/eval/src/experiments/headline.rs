@@ -35,7 +35,9 @@ pub fn run(cfg: &ExperimentConfig) -> Vec<Table> {
 pub fn run_with(cfg: &ExperimentConfig, kinds: &[MeasureKind]) -> Vec<Table> {
     let mut table = Table::new(
         "headline",
-        format!("Headline improvement at rate {STRESS_RATE} + ablation noise (x: 0 = mall, 1 = taxi)"),
+        format!(
+            "Headline improvement at rate {STRESS_RATE} + ablation noise (x: 0 = mall, 1 = taxi)"
+        ),
         "dataset",
         "metric",
     );
@@ -68,7 +70,14 @@ pub fn run_with(cfg: &ExperimentConfig, kinds: &[MeasureKind]) -> Vec<Table> {
         let x = x as f64;
         s_sts_p.push(x, sts_p);
         s_best_p.push(x, best_p);
-        s_imp_p.push(x, if best_p > 0.0 { (sts_p - best_p) / best_p } else { 0.0 });
+        s_imp_p.push(
+            x,
+            if best_p > 0.0 {
+                (sts_p - best_p) / best_p
+            } else {
+                0.0
+            },
+        );
         s_sts_r.push(x, sts_r);
         s_best_r.push(x, best_r);
         s_imp_r.push(

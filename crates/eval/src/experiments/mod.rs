@@ -30,8 +30,7 @@ pub mod sampling;
 
 use crate::report::Table;
 use crate::scenario::{Scenario, ScenarioConfig, ScenarioKind};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use sts_rng::Xoshiro256pp;
 
 /// Shared experiment parameters. The defaults are sized for a
 /// single-core machine; `full: true` runs the paper's denser sweeps and
@@ -88,20 +87,33 @@ impl ExperimentConfig {
     }
 
     /// Deterministic RNG for a named experiment step.
-    pub fn rng(&self, tag: &str, salt: u64) -> ChaCha8Rng {
+    pub fn rng(&self, tag: &str, salt: u64) -> Xoshiro256pp {
         let mut h: u64 = self.seed ^ 0x9e37_79b9_7f4a_7c15;
         for b in tag.bytes() {
             h = h.wrapping_mul(0x100_0000_01b3).wrapping_add(b as u64);
         }
-        ChaCha8Rng::seed_from_u64(h.wrapping_add(salt.wrapping_mul(0x2545_F491_4F6C_DD1D)))
+        Xoshiro256pp::seed_from_u64(h.wrapping_add(salt.wrapping_mul(0x2545_F491_4F6C_DD1D)))
     }
 }
 
 /// All experiment ids, in paper order.
 pub fn experiment_ids() -> &'static [&'static str] {
     &[
-        "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-        "fig14", "headline", "ext-kernels", "ext-stp", "ext-linking",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "headline",
+        "ext-kernels",
+        "ext-stp",
+        "ext-linking",
     ]
 }
 
@@ -173,7 +185,7 @@ mod tests {
 
     #[test]
     fn rng_is_deterministic_and_tag_sensitive() {
-        use rand::RngCore;
+        use sts_rng::Rng;
         let cfg = ExperimentConfig::default();
         let a = cfg.rng("x", 1).next_u64();
         let b = cfg.rng("x", 1).next_u64();

@@ -97,7 +97,10 @@ mod tests {
         let pairs = downsample_pairs(&cfg, &s.pairs, 0.5, "t");
         assert_eq!(pairs.len(), s.pairs.len());
         for (orig, small) in s.pairs.d1.iter().zip(&pairs.d1) {
-            assert_eq!(small.len(), ((orig.len() as f64 * 0.5).round() as usize).max(1));
+            assert_eq!(
+                small.len(),
+                ((orig.len() as f64 * 0.5).round() as usize).max(1)
+            );
         }
     }
 

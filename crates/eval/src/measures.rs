@@ -6,9 +6,7 @@
 
 use crate::matching::{MatrixMeasure, StsMatrix};
 use crate::scenario::Scenario;
-use sts_baselines::{
-    Apm, Cats, DiscreteFrechet, Dtw, Edr, Edwp, Erp, KalmanDtw, Lcss, Sst, Wgm,
-};
+use sts_baselines::{Apm, Cats, DiscreteFrechet, Dtw, Edr, Edwp, Erp, KalmanDtw, Lcss, Sst, Wgm};
 use sts_core::{Sts, StsConfig, StsVariant};
 use sts_stats::KalmanConfig;
 use sts_traj::{MatchingPairs, Trajectory};
@@ -149,10 +147,7 @@ pub fn make_measure(
             scale.time_step,
         )),
         MeasureKind::Dtw => Box::new(Dtw::new()),
-        MeasureKind::Lcss => Box::new(Lcss::new(
-            scale.spatial_eps,
-            Some(scale.temporal_window),
-        )),
+        MeasureKind::Lcss => Box::new(Lcss::new(scale.spatial_eps, Some(scale.temporal_window))),
         MeasureKind::Edr => Box::new(Edr::new(scale.spatial_eps)),
         MeasureKind::Erp => Box::new(Erp::new(scenario.area.center())),
         MeasureKind::Frechet => Box::new(DiscreteFrechet::new()),
@@ -256,10 +251,13 @@ mod tests {
     fn variant_names_propagate() {
         let s = scenario();
         let set = measure_set(MeasureKind::ablation_set(), &s, &s.pairs);
-        let names: Vec<&str> = set.iter().map(|(n, m)| {
-            assert_eq!(*n, m.name());
-            m.name()
-        }).collect();
+        let names: Vec<&str> = set
+            .iter()
+            .map(|(n, m)| {
+                assert_eq!(*n, m.name());
+                m.name()
+            })
+            .collect();
         assert_eq!(names, vec!["STS", "STS-N", "STS-G", "STS-F"]);
     }
 }

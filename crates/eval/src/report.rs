@@ -83,7 +83,11 @@ impl Table {
         let _ = writeln!(out, "## {} [{}]", self.title, self.id);
         let _ = writeln!(out, "   ({} vs {})", self.y_label, self.x_label);
         let col = 10usize;
-        let _ = write!(out, "{:>col$}", self.x_label.chars().take(col).collect::<String>());
+        let _ = write!(
+            out,
+            "{:>col$}",
+            self.x_label.chars().take(col).collect::<String>()
+        );
         for s in &self.series {
             let _ = write!(out, "{:>col$}", s.name);
         }

@@ -113,10 +113,8 @@ impl Scenario {
                     seed: config.seed,
                     ..mall::MallConfig::default()
                 };
-                let area = BoundingBox::new(
-                    Point::ORIGIN,
-                    Point::new(gen_cfg.width, gen_cfg.height),
-                );
+                let area =
+                    BoundingBox::new(Point::ORIGIN, Point::new(gen_cfg.width, gen_cfg.height));
                 let ds = mall::generate(&gen_cfg).dataset();
                 (
                     ds,

@@ -54,7 +54,10 @@ impl fmt::Display for GridError {
             GridError::InvalidCellSize(s) => write!(f, "invalid grid cell size: {s}"),
             GridError::DegenerateArea => write!(f, "grid area has zero width or height"),
             GridError::TooManyCells { cols, rows } => {
-                write!(f, "grid of {cols} x {rows} cells exceeds the supported size")
+                write!(
+                    f,
+                    "grid of {cols} x {rows} cells exceeds the supported size"
+                )
             }
         }
     }
@@ -274,7 +277,10 @@ mod tests {
             Err(GridError::InvalidCellSize(_))
         ));
         let line = BoundingBox::new(Point::ORIGIN, Point::new(100.0, 0.0));
-        assert!(matches!(Grid::new(line, 1.0), Err(GridError::DegenerateArea)));
+        assert!(matches!(
+            Grid::new(line, 1.0),
+            Err(GridError::DegenerateArea)
+        ));
         let huge = BoundingBox::new(Point::ORIGIN, Point::new(1e9, 1e9));
         assert!(matches!(
             Grid::new(huge, 0.1),
@@ -300,11 +306,11 @@ mod tests {
         assert_eq!(g.cell_at(Point::new(100.0, 50.0)), Some(CellId(49)));
         assert_eq!(g.cell_at(Point::new(0.0, 0.0)), Some(CellId(0)));
         assert_eq!(g.cell_at(Point::new(150.0, 25.0)), None);
-        assert_eq!(g.cell_at_clamped(Point::new(150.0, 25.0)), g.cell_at(Point::new(100.0, 25.0)).unwrap());
         assert_eq!(
-            g.cell_at_clamped(Point::new(-10.0, -10.0)),
-            CellId(0)
+            g.cell_at_clamped(Point::new(150.0, 25.0)),
+            g.cell_at(Point::new(100.0, 25.0)).unwrap()
         );
+        assert_eq!(g.cell_at_clamped(Point::new(-10.0, -10.0)), CellId(0));
     }
 
     #[test]

@@ -130,10 +130,7 @@ mod tests {
         let p = Polyline::new(vec![Point::new(1.0, 2.0)]).unwrap();
         assert_eq!(p.length(), 0.0);
         assert_eq!(p.point_at_length(5.0), Point::new(1.0, 2.0));
-        assert!(approx_eq(
-            p.distance_to_point(&Point::new(4.0, 6.0)),
-            5.0
-        ));
+        assert!(approx_eq(p.distance_to_point(&Point::new(4.0, 6.0)), 5.0));
     }
 
     #[test]

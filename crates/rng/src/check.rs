@@ -1,0 +1,520 @@
+//! Seeded property-based testing with input shrinking — the in-repo
+//! replacement for the `proptest` dependency.
+//!
+//! A [`Strategy`] describes how to generate random test inputs *and*
+//! how to shrink a failing input toward a minimal counterexample. The
+//! [`Checker`] runs a property over a configurable number of seeded
+//! cases; on failure it greedily shrinks the input and panics with the
+//! minimal failing value, the seed, and the case number, so the
+//! failure replays exactly.
+//!
+//! ```
+//! use sts_rng::check::{self, Checker};
+//! use sts_rng::prop_assert;
+//!
+//! Checker::new().cases(64).seed(7).run(
+//!     (0.0f64..100.0, 0usize..10),
+//!     |(x, n)| {
+//!         prop_assert!(x >= 0.0, "x = {x}");
+//!         prop_assert!(n < 10);
+//!         Ok(())
+//!     },
+//! );
+//! ```
+//!
+//! Strategies compose: numeric ranges are strategies, tuples of
+//! strategies are strategies, [`vec_of`] builds vectors, and [`map`]
+//! transforms values while shrinking *through* the transformation (the
+//! underlying representation is shrunk, then re-mapped).
+
+use crate::{Rng, Xoshiro256pp};
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// A generator of random test inputs that knows how to shrink them.
+///
+/// `Source` is the shrinkable representation; `Value` is what the
+/// property sees. Splitting the two is what lets [`map`] shrink a
+/// mapped value: the source is shrunk and the map re-applied.
+pub trait Strategy {
+    /// The shrinkable representation of one generated input.
+    type Source: Clone;
+    /// The value handed to the property.
+    type Value;
+
+    /// Generates one random source.
+    fn source(&self, rng: &mut Xoshiro256pp) -> Self::Source;
+
+    /// Builds the property input from a source.
+    fn build(&self, src: &Self::Source) -> Self::Value;
+
+    /// Candidate simpler sources, most aggressive first. An empty
+    /// vector means the source is fully shrunk.
+    fn shrink(&self, src: &Self::Source) -> Vec<Self::Source>;
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Source = $t;
+            type Value = $t;
+
+            fn source(&self, rng: &mut Xoshiro256pp) -> $t {
+                rng.random_range(self.clone())
+            }
+
+            fn build(&self, src: &$t) -> $t {
+                *src
+            }
+
+            fn shrink(&self, src: &$t) -> Vec<$t> {
+                let lo = self.start;
+                let v = *src;
+                if v <= lo {
+                    return Vec::new();
+                }
+                let mut out = vec![lo];
+                let mid = lo + (v - lo) / 2;
+                if mid != lo && mid != v {
+                    out.push(mid);
+                }
+                if v - 1 != lo && v - 1 != mid {
+                    out.push(v - 1);
+                }
+                out
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Source = $t;
+            type Value = $t;
+
+            fn source(&self, rng: &mut Xoshiro256pp) -> $t {
+                rng.random_range(self.clone())
+            }
+
+            fn build(&self, src: &$t) -> $t {
+                *src
+            }
+
+            fn shrink(&self, src: &$t) -> Vec<$t> {
+                (*self.start()..(*self.end()).wrapping_add(1)).shrink(src)
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(usize, u64, u32, i64, i32);
+
+impl Strategy for Range<f64> {
+    type Source = f64;
+    type Value = f64;
+
+    fn source(&self, rng: &mut Xoshiro256pp) -> f64 {
+        rng.random_range(self.clone())
+    }
+
+    fn build(&self, src: &f64) -> f64 {
+        *src
+    }
+
+    fn shrink(&self, src: &f64) -> Vec<f64> {
+        let lo = self.start;
+        let v = *src;
+        let d = v - lo;
+        // Below ~1e-9 of the range width further halving is noise.
+        if d <= (self.end - self.start) * 1e-9 {
+            return Vec::new();
+        }
+        vec![lo, lo + d / 2.0]
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($S:ident / $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Source = ($($S::Source,)+);
+            type Value = ($($S::Value,)+);
+
+            fn source(&self, rng: &mut Xoshiro256pp) -> Self::Source {
+                ($(self.$idx.source(rng),)+)
+            }
+
+            fn build(&self, src: &Self::Source) -> Self::Value {
+                ($(self.$idx.build(&src.$idx),)+)
+            }
+
+            fn shrink(&self, src: &Self::Source) -> Vec<Self::Source> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&src.$idx) {
+                        let mut next = src.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A / 0, B / 1),
+    (A / 0, B / 1, C / 2),
+    (A / 0, B / 1, C / 2, D / 3),
+    (A / 0, B / 1, C / 2, D / 3, E / 4)
+);
+
+/// Strategy for vectors of `len` elements from an element strategy.
+/// Shrinks by dropping elements (down to the minimum length) and by
+/// shrinking individual elements.
+pub struct VecStrategy<S> {
+    elem: S,
+    len: RangeInclusive<usize>,
+}
+
+/// A vector strategy: `vec_of(0.0f64..1.0, 2..=8)`.
+pub fn vec_of<S: Strategy>(elem: S, len: RangeInclusive<usize>) -> VecStrategy<S> {
+    assert!(len.start() <= len.end(), "empty length range");
+    VecStrategy { elem, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Source = Vec<S::Source>;
+    type Value = Vec<S::Value>;
+
+    fn source(&self, rng: &mut Xoshiro256pp) -> Self::Source {
+        let n = rng.random_range(self.len.clone());
+        (0..n).map(|_| self.elem.source(rng)).collect()
+    }
+
+    fn build(&self, src: &Self::Source) -> Self::Value {
+        src.iter().map(|s| self.elem.build(s)).collect()
+    }
+
+    fn shrink(&self, src: &Self::Source) -> Vec<Self::Source> {
+        let mut out = Vec::new();
+        if src.len() > *self.len.start() {
+            for drop_at in 0..src.len() {
+                let mut shorter = src.clone();
+                shorter.remove(drop_at);
+                out.push(shorter);
+            }
+        }
+        for (i, elem_src) in src.iter().enumerate() {
+            for candidate in self.elem.shrink(elem_src) {
+                let mut next = src.clone();
+                next[i] = candidate;
+                out.push(next);
+            }
+        }
+        out
+    }
+}
+
+/// Strategy transforming another strategy's values with a function;
+/// shrinking happens on the underlying source and re-maps.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+/// A mapped strategy: `map(2usize..8, |n| vec![0; n])`.
+pub fn map<S, T, F>(inner: S, f: F) -> Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    Map { inner, f }
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Source = S::Source;
+    type Value = T;
+
+    fn source(&self, rng: &mut Xoshiro256pp) -> Self::Source {
+        self.inner.source(rng)
+    }
+
+    fn build(&self, src: &Self::Source) -> T {
+        (self.f)(self.inner.build(src))
+    }
+
+    fn shrink(&self, src: &Self::Source) -> Vec<Self::Source> {
+        self.inner.shrink(src)
+    }
+}
+
+/// Runs a property over seeded random cases, shrinking failures.
+#[derive(Debug, Clone)]
+pub struct Checker {
+    cases: u32,
+    seed: u64,
+    max_shrink_steps: u32,
+}
+
+impl Default for Checker {
+    fn default() -> Self {
+        Checker {
+            cases: 64,
+            seed: 0x5354_535f_524e_4721, // "STS_RNG!"
+            max_shrink_steps: 10_000,
+        }
+    }
+}
+
+impl Checker {
+    /// A checker with the default configuration (64 cases, fixed seed).
+    pub fn new() -> Self {
+        Checker::default()
+    }
+
+    /// Sets the number of random cases.
+    pub fn cases(mut self, cases: u32) -> Self {
+        assert!(cases > 0, "at least one case");
+        self.cases = cases;
+        self
+    }
+
+    /// Sets the master seed (every case derives from it).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Caps the number of shrink steps after a failure.
+    pub fn max_shrink_steps(mut self, steps: u32) -> Self {
+        self.max_shrink_steps = steps;
+        self
+    }
+
+    /// Runs `property` over random inputs from `strategy`.
+    ///
+    /// # Panics
+    /// On the first failing case, after shrinking it to a (locally)
+    /// minimal failing input. The panic message contains the minimal
+    /// input, the failure message, the case number and the seed.
+    pub fn run<S, P>(&self, strategy: S, property: P)
+    where
+        S: Strategy,
+        S::Value: Debug,
+        P: Fn(S::Value) -> Result<(), String>,
+    {
+        let mut rng = Xoshiro256pp::seed_from_u64(self.seed);
+        for case in 0..self.cases {
+            let src = strategy.source(&mut rng);
+            if let Err(message) = property(strategy.build(&src)) {
+                let (minimal, message, steps) =
+                    self.shrink_failure(&strategy, src, message, &property);
+                panic!(
+                    "property failed (case {case} of {cases}, seed {seed:#x}, \
+                     {steps} shrink steps)\n  minimal input: {input:?}\n  {message}",
+                    cases = self.cases,
+                    seed = self.seed,
+                    input = strategy.build(&minimal),
+                );
+            }
+        }
+    }
+
+    /// Greedy shrink: repeatedly move to the first candidate that still
+    /// fails, until no candidate fails or the step budget runs out.
+    fn shrink_failure<S, P>(
+        &self,
+        strategy: &S,
+        mut src: S::Source,
+        mut message: String,
+        property: &P,
+    ) -> (S::Source, String, u32)
+    where
+        S: Strategy,
+        P: Fn(S::Value) -> Result<(), String>,
+    {
+        let mut steps = 0;
+        'outer: while steps < self.max_shrink_steps {
+            for candidate in strategy.shrink(&src) {
+                steps += 1;
+                if let Err(m) = property(strategy.build(&candidate)) {
+                    src = candidate;
+                    message = m;
+                    continue 'outer;
+                }
+                if steps >= self.max_shrink_steps {
+                    break;
+                }
+            }
+            break;
+        }
+        (src, message, steps)
+    }
+}
+
+/// Asserts a condition inside a property closure; on failure returns
+/// `Err` with the condition (or a formatted message), which the
+/// [`Checker`] turns into a shrunken counterexample report.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a property closure (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        if left != right {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n  right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    fn failure_message(f: impl FnOnce() + std::panic::UnwindSafe) -> String {
+        let err = catch_unwind(f).expect_err("property should fail");
+        err.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload is a string")
+    }
+
+    #[test]
+    fn passing_property_is_silent() {
+        Checker::new().cases(100).run(0u64..1000, |x| {
+            prop_assert!(x < 1000);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn cases_are_seed_deterministic() {
+        let collect = |seed: u64| -> Vec<i64> {
+            let mut out = Vec::new();
+            let out_cell = std::cell::RefCell::new(&mut out);
+            Checker::new().cases(20).seed(seed).run(0i64..100, |x| {
+                out_cell.borrow_mut().push(x);
+                Ok(())
+            });
+            out
+        };
+        assert_eq!(collect(5), collect(5));
+        assert_ne!(collect(5), collect(6));
+    }
+
+    #[test]
+    fn integer_failure_shrinks_to_boundary() {
+        // The canonical shrinking check: the minimal failing input of
+        // `x < 50` over 0..1000 is exactly 50.
+        let msg = failure_message(|| {
+            Checker::new().cases(64).seed(11).run(0i64..1000, |x| {
+                prop_assert!(x < 50, "x = {x} is too big");
+                Ok(())
+            });
+        });
+        assert!(msg.contains("minimal input: 50"), "{msg}");
+    }
+
+    #[test]
+    fn tuple_components_shrink_independently() {
+        let msg = failure_message(|| {
+            Checker::new()
+                .cases(200)
+                .seed(3)
+                .run((0i64..100, 0i64..100), |(a, b)| {
+                    prop_assert!(a + b < 60, "sum {}", a + b);
+                    Ok(())
+                });
+        });
+        // Minimal failing pair under greedy component shrinking sums
+        // exactly to the boundary.
+        assert!(msg.contains("minimal input: ("), "{msg}");
+        assert!(msg.contains("sum 60"), "{msg}");
+    }
+
+    #[test]
+    fn vec_failure_shrinks_length_to_minimum() {
+        let msg = failure_message(|| {
+            Checker::new()
+                .cases(50)
+                .seed(4)
+                .run(vec_of(0i64..10, 0..=8), |xs| {
+                    prop_assert!(xs.len() < 3, "len {}", xs.len());
+                    Ok(())
+                });
+        });
+        // A failing vector must shrink to exactly 3 elements, each 0.
+        assert!(msg.contains("minimal input: [0, 0, 0]"), "{msg}");
+    }
+
+    #[test]
+    fn map_shrinks_through_the_transformation() {
+        let msg = failure_message(|| {
+            Checker::new()
+                .cases(50)
+                .seed(9)
+                .run(map(0i64..1000, |n| format!("n={n}")), |s| {
+                    let n: i64 = s[2..].parse().expect("digits");
+                    prop_assert!(n < 100, "{s}");
+                    Ok(())
+                });
+        });
+        assert!(msg.contains("minimal input: \"n=100\""), "{msg}");
+    }
+
+    #[test]
+    fn prop_assert_eq_reports_both_sides() {
+        let msg = failure_message(|| {
+            Checker::new().cases(1).run(0i64..10, |x| {
+                prop_assert_eq!(x * 0, 1);
+                Ok(())
+            });
+        });
+        assert!(msg.contains("left: 0"), "{msg}");
+        assert!(msg.contains("right: 1"), "{msg}");
+    }
+
+    #[test]
+    fn f64_range_shrinks_toward_low_end() {
+        let msg = failure_message(|| {
+            Checker::new().cases(64).seed(2).run(0.0f64..1000.0, |x| {
+                prop_assert!(x < 125.0, "x = {x}");
+                Ok(())
+            });
+        });
+        // Halving descent lands within a factor of two of the boundary.
+        let value: f64 = msg
+            .split("minimal input: ")
+            .nth(1)
+            .and_then(|s| s.split_whitespace().next())
+            .and_then(|s| s.parse().ok())
+            .expect("minimal input in message");
+        assert!((125.0..250.0).contains(&value), "shrunk to {value}");
+    }
+}

@@ -1,0 +1,413 @@
+#![warn(missing_docs)]
+//! # sts-rng — deterministic randomness substrate
+//!
+//! The evaluation pipeline of the paper is stochastic end to end:
+//! Gaussian location noise (§IV-B), Poisson/bursty observation
+//! processes, random down-sampling, and the KDE speed models of
+//! Eq. 6–7 are all driven by pseudo-randomness. Reproducible noise and
+//! sampling regimes are what make similarity-measure comparisons
+//! meaningful, so the generator is first-class, in-repo code rather
+//! than an external crate — the whole workspace builds and tests with
+//! no network access.
+//!
+//! Contents:
+//!
+//! * [`SplitMix64`] — the seeding generator (also a usable PRNG);
+//! * [`Xoshiro256pp`] — xoshiro256++, the workhorse generator used by
+//!   every workload generator, sampler and experiment driver;
+//! * the [`Rng`] trait — `next_u64` / [`Rng::f64`] / [`Rng::random`] /
+//!   [`Rng::random_range`] / [`Rng::shuffle`] / [`Rng::normal`];
+//! * [`StandardNormal`] — Box–Muller standard-normal sampling;
+//! * [`check`] — a seeded property-testing harness with input
+//!   shrinking (the in-repo `proptest` replacement).
+//!
+//! Every generator is a pure function of its seed: two runs with the
+//! same seed produce byte-identical streams on every platform.
+
+pub mod check;
+
+/// Multiplier mapping the top 53 bits of a `u64` onto `[0, 1)`.
+const F64_FROM_BITS: f64 = 1.0 / (1u64 << 53) as f64;
+
+/// SplitMix64 (Steele, Lea & Flood): a tiny, fast generator whose main
+/// role here is turning a single `u64` seed into well-mixed state for
+/// [`Xoshiro256pp`]. It passes BigCrush on its own, so it is also a
+/// valid lightweight [`Rng`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates the generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256++ 1.0 (Blackman & Vigna): 256 bits of state, period
+/// 2²⁵⁶ − 1, passes all known statistical test batteries. The default
+/// generator of the workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Seeds the full 256-bit state from a single `u64` through
+    /// [`SplitMix64`], per the xoshiro authors' recommendation. The
+    /// all-zero state (which would be a fixed point) is unreachable.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut mix = SplitMix64::new(seed);
+        Xoshiro256pp {
+            s: [
+                mix.next_u64(),
+                mix.next_u64(),
+                mix.next_u64(),
+                mix.next_u64(),
+            ],
+        }
+    }
+}
+
+impl Rng for Xoshiro256pp {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// A deterministic pseudo-random generator. Only [`Rng::next_u64`] is
+/// required; everything else derives from it, so two generators with
+/// the same `next_u64` stream produce identical derived values.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits (the upper half of
+    /// [`Rng::next_u64`], which for xoshiro256++ is the better half).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `f64` in `[0, 1)` with the full 53 bits of mantissa
+    /// precision.
+    fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * F64_FROM_BITS
+    }
+
+    /// A uniformly random value of a [`Sample`] type
+    /// (`rng.random::<f64>()` ∈ `[0, 1)`, `rng.random::<u64>()`, …).
+    fn random<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform value in `range` (`0..n`, `0..=n`, or an `f64` range).
+    /// Integer ranges are sampled without modulo bias.
+    ///
+    /// # Panics
+    /// If the range is empty.
+    fn random_range<Rg: SampleRange>(&mut self, range: Rg) -> Rg::Output {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = uniform_below(self, (i + 1) as u64) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// A standard-normal deviate via [`StandardNormal`] (Box–Muller).
+    fn normal(&mut self) -> f64 {
+        StandardNormal.sample(self)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// The standard normal distribution `N(0, 1)`, sampled with the
+/// Box–Muller transform (cosine branch). Mirrors the sampler the
+/// noise model of Eq. 14 and the workload generators rely on.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardNormal;
+
+impl StandardNormal {
+    /// Draws one standard-normal deviate.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        loop {
+            let u1: f64 = rng.f64();
+            let u2: f64 = rng.f64();
+            if u1 > f64::MIN_POSITIVE {
+                return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            }
+        }
+    }
+}
+
+/// Types [`Rng::random`] can produce.
+pub trait Sample: Sized {
+    /// Draws one uniformly random value.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Sample for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.f64()
+    }
+}
+
+impl Sample for u64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Sample for u32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Sample for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Uniform `u64` in `[0, span)`, unbiased (rejection sampling; the
+/// power-of-two case needs no rejection at all).
+fn uniform_below<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    if span.is_power_of_two() {
+        return rng.next_u64() & (span - 1);
+    }
+    // 2⁶⁴ mod span: everything below 2⁶⁴ − rem covers each residue the
+    // same number of times.
+    let rem = span.wrapping_neg() % span;
+    loop {
+        let r = rng.next_u64();
+        if r <= u64::MAX - rem {
+            return r % span;
+        }
+    }
+}
+
+/// Ranges [`Rng::random_range`] can sample from.
+pub trait SampleRange {
+    /// The element type of the range.
+    type Output;
+    /// Draws one uniform value from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                // Modular distance is exact even when `end - start`
+                // would overflow the signed type.
+                let span = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = self.into_inner();
+                assert!(start <= end, "cannot sample from empty range");
+                let span_minus_1 = end.wrapping_sub(start) as u64;
+                let offset = if span_minus_1 == u64::MAX {
+                    rng.next_u64()
+                } else {
+                    uniform_below(rng, span_minus_1 + 1)
+                };
+                start.wrapping_add(offset as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(usize, u64, u32, i64, i32);
+
+impl SampleRange for std::ops::Range<f64> {
+    type Output = f64;
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(
+            self.start < self.end && self.start.is_finite() && self.end.is_finite(),
+            "invalid f64 range"
+        );
+        let v = self.start + rng.f64() * (self.end - self.start);
+        // Floating rounding can land exactly on `end`; fold it back.
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_matches_reference_vector() {
+        // First outputs of the reference C implementation for seed 0.
+        let mut mix = SplitMix64::new(0);
+        assert_eq!(mix.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(mix.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(mix.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_per_seed() {
+        let mut a = Xoshiro256pp::seed_from_u64(42);
+        let mut b = Xoshiro256pp::seed_from_u64(42);
+        let mut c = Xoshiro256pp::seed_from_u64(43);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn f64_is_unit_interval() {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_half() {
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn random_range_int_bounds_and_coverage() {
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = rng.random_range(0usize..10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+        for _ in 0..1_000 {
+            let v = rng.random_range(-5i64..=5);
+            assert!((-5..=5).contains(&v));
+        }
+        // Degenerate singleton ranges.
+        assert_eq!(rng.random_range(7usize..=7), 7);
+        assert_eq!(rng.random_range(3i64..4), 3);
+    }
+
+    #[test]
+    fn random_range_int_is_roughly_uniform() {
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        let mut counts = [0usize; 7];
+        let n = 70_000;
+        for _ in 0..n {
+            counts[rng.random_range(0usize..7)] += 1;
+        }
+        for &c in &counts {
+            let expected = n / 7;
+            assert!(
+                (c as i64 - expected as i64).abs() < (expected / 10) as i64,
+                "{counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn random_range_f64_in_bounds() {
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let v = rng.random_range(2.5f64..7.5);
+            assert!((2.5..7.5).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_range_panics() {
+        let mut rng = Xoshiro256pp::seed_from_u64(6);
+        let _ = rng.random_range(5usize..5);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
+        let mut xs: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(xs, (0..100).collect::<Vec<u32>>(), "shuffle did nothing");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Xoshiro256pp::seed_from_u64(8);
+        let xs: Vec<f64> = (0..50_000).map(|_| rng.normal()).collect();
+        let m = xs.iter().sum::<f64>() / xs.len() as f64;
+        let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+        assert!(m.abs() < 0.02, "mean {m}");
+        assert!((v - 1.0).abs() < 0.03, "var {v}");
+    }
+
+    #[test]
+    fn rng_works_through_mut_reference() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.f64()
+        }
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
+        let mut reference = Xoshiro256pp::seed_from_u64(9);
+        assert_eq!(draw(&mut rng), reference.f64());
+    }
+
+    #[test]
+    fn random_bool_probability() {
+        let mut rng = Xoshiro256pp::seed_from_u64(10);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((hits as f64 / 10_000.0 - 0.3).abs() < 0.02, "{hits}");
+    }
+}

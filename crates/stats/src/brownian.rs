@@ -86,13 +86,7 @@ mod tests {
     use super::*;
 
     fn bridge() -> BrownianBridge {
-        BrownianBridge::new(
-            Point::new(0.0, 0.0),
-            0.0,
-            Point::new(10.0, 0.0),
-            10.0,
-            2.0,
-        )
+        BrownianBridge::new(Point::new(0.0, 0.0), 0.0, Point::new(10.0, 0.0), 10.0, 2.0)
     }
 
     #[test]

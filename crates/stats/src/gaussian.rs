@@ -30,7 +30,10 @@ pub struct Gaussian {
 
 impl Gaussian {
     /// The standard normal `N(0, 1)`.
-    pub const STANDARD: Gaussian = Gaussian { mean: 0.0, std: 1.0 };
+    pub const STANDARD: Gaussian = Gaussian {
+        mean: 0.0,
+        std: 1.0,
+    };
 
     /// Creates `N(mean, std²)`. Panics if `std` is not strictly positive
     /// and finite — a zero-variance "Gaussian" is a Dirac delta, which
@@ -169,9 +172,7 @@ mod tests {
         assert!(near > far);
         assert!(far > 0.0);
         // Matches exp(-d^2 / 2σ²) exactly: d = σ gives exp(-1/2).
-        assert!(
-            (Gaussian::unnormalized_weight(5.0, 5.0) - (-0.5f64).exp()).abs() < 1e-12
-        );
+        assert!((Gaussian::unnormalized_weight(5.0, 5.0) - (-0.5f64).exp()).abs() < 1e-12);
     }
 
     #[test]

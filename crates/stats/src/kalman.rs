@@ -238,7 +238,10 @@ impl KalmanFilter2D {
             // Predict.
             let f = Self::transition(dt);
             x = mat_vec(&f, &x);
-            p = mat_add(&mat_mul(&mat_mul(&f, &p), &mat_transpose(&f)), &self.process_cov(dt));
+            p = mat_add(
+                &mat_mul(&mat_mul(&f, &p), &mat_transpose(&f)),
+                &self.process_cov(dt),
+            );
             // Update with measurement z (H = [I2 0]).
             let y = [z.x - x[0], z.y - x[1]];
             // S = HPHᵀ + R (2x2), K = PHᵀ S⁻¹ (4x2).
@@ -321,9 +324,7 @@ impl KalmanFilter2D {
     pub fn position_at(states: &[KalmanState], t: f64) -> Point {
         assert!(!states.is_empty(), "no states to interpolate");
         // Find the last state with state.t <= t.
-        let idx = match states
-            .binary_search_by(|s| s.t.partial_cmp(&t).expect("finite times"))
-        {
+        let idx = match states.binary_search_by(|s| s.t.partial_cmp(&t).expect("finite times")) {
             Ok(i) => i,
             Err(0) => {
                 let s = &states[0];
@@ -347,7 +348,9 @@ mod tests {
         // depend on rand.
         let mut state = seed;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             // Map to roughly [-1, 1].
             ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
         };

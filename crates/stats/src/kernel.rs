@@ -134,8 +134,7 @@ mod tests {
 
     #[test]
     fn names_are_distinct() {
-        let names: std::collections::HashSet<_> =
-            ALL_KERNELS.iter().map(|k| k.name()).collect();
+        let names: std::collections::HashSet<_> = ALL_KERNELS.iter().map(|k| k.name()).collect();
         assert_eq!(names.len(), ALL_KERNELS.len());
     }
 

@@ -208,10 +208,7 @@ mod tests {
         let pairs = MatchingPairs::from_dataset(&ds);
         // Keep only d1 halves with at least 10 points (only the 30-point
         // raw trajectory qualifies: its halves are 15/15).
-        let out = pairs.transform(
-            |t| (t.len() >= 10).then(|| t.clone()),
-            |t| Some(t.clone()),
-        );
+        let out = pairs.transform(|t| (t.len() >= 10).then(|| t.clone()), |t| Some(t.clone()));
         assert_eq!(out.len(), 1);
         assert_eq!(out.d1[0].len(), 15);
         assert_eq!(out.d2[0].len(), 15);

@@ -10,10 +10,9 @@
 use super::{GeneratedObject, Workload};
 use crate::sampling::{randn, sample_path_poisson};
 use crate::{Path, TrajPoint};
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use sts_geo::Point;
+use sts_rng::Rng;
+use sts_rng::Xoshiro256pp;
 
 /// Configuration of the mall workload generator.
 #[derive(Debug, Clone)]
@@ -76,7 +75,7 @@ pub fn generate(config: &MallConfig) -> Workload {
             && config.height >= config.corridor_spacing,
         "floor must hold at least one corridor cell"
     );
-    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(config.seed);
     let nx = (config.width / config.corridor_spacing).floor() as i64;
     let ny = (config.height / config.corridor_spacing).floor() as i64;
     let anchors: Vec<(i64, i64)> = (0..config.anchor_count)
@@ -189,11 +188,7 @@ mod tests {
     fn sampling_is_sporadic() {
         let w = generate(&small_config(3));
         let t = &w.objects[0].trajectory;
-        let gaps: Vec<f64> = t
-            .points()
-            .windows(2)
-            .map(|p| p[1].t - p[0].t)
-            .collect();
+        let gaps: Vec<f64> = t.points().windows(2).map(|p| p[1].t - p[0].t).collect();
         // Poisson gaps are irregular: not all equal.
         let min = gaps.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = gaps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);

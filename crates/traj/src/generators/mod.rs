@@ -21,8 +21,8 @@ pub mod taxi;
 
 use crate::sampling::randn;
 use crate::{Path, TrajPoint, Trajectory};
-use rand::Rng;
 use sts_geo::Point;
+use sts_rng::Rng;
 
 /// A generated moving object: its continuous ground-truth path and the
 /// trajectory a sensing system observed of it.
@@ -44,10 +44,7 @@ pub struct Workload {
 impl Workload {
     /// The sensed trajectories as a dataset.
     pub fn dataset(&self) -> crate::Dataset {
-        self.objects
-            .iter()
-            .map(|o| o.trajectory.clone())
-            .collect()
+        self.objects.iter().map(|o| o.trajectory.clone()).collect()
     }
 
     /// The ground-truth paths.
@@ -127,8 +124,7 @@ pub fn personal_speed<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use sts_rng::Xoshiro256pp;
 
     #[test]
     fn companion_stays_close() {
@@ -138,7 +134,7 @@ mod tests {
             TrajPoint::from_xy(100.0, 100.0, 200.0),
         ])
         .unwrap();
-        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
         let comp = companion_path(&path, 1.0, 0.5, &mut rng);
         assert_eq!(comp.waypoints().len(), path.waypoints().len());
         for t in [0.0, 50.0, 150.0, 200.0] {
@@ -149,7 +145,7 @@ mod tests {
 
     #[test]
     fn personal_speed_in_bounds() {
-        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
         for _ in 0..1000 {
             let v = personal_speed(&mut rng, 1.3, 0.2, 0.5, 2.5);
             assert!((0.5..=2.5).contains(&v));
@@ -158,7 +154,7 @@ mod tests {
 
     #[test]
     fn personal_speed_varies_between_draws() {
-        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut rng = Xoshiro256pp::seed_from_u64(6);
         let a = personal_speed(&mut rng, 10.0, 0.3, 3.0, 25.0);
         let b = personal_speed(&mut rng, 10.0, 0.3, 3.0, 25.0);
         assert!(a != b);

@@ -12,10 +12,9 @@
 use super::{lattice_route, personal_speed, GeneratedObject, Workload};
 use crate::sampling::randn;
 use crate::{Path, TrajPoint};
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use sts_geo::Point;
+use sts_rng::Rng;
+use sts_rng::Xoshiro256pp;
 
 /// Configuration of the taxi workload generator.
 #[derive(Debug, Clone)]
@@ -73,7 +72,7 @@ pub fn generate(config: &TaxiConfig) -> Workload {
         config.block_size > 0.0 && config.city_size >= config.block_size,
         "city must hold at least one block"
     );
-    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(config.seed);
     let blocks = (config.city_size / config.block_size).floor() as i64;
     let hotspots: Vec<(i64, i64)> = (0..config.hotspot_count)
         .map(|_| random_intersection(blocks, &mut rng))
@@ -219,17 +218,14 @@ mod tests {
                 s.iter().sum::<f64>() / s.len() as f64
             })
             .collect();
-        let spread = means
-            .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max)
+        let spread = means.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
             - means.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(spread > 0.5, "personal speeds too uniform: {means:?}");
     }
 
     #[test]
     fn routes_are_lattice_paths() {
-        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut rng = Xoshiro256pp::seed_from_u64(6);
         let mut nodes = vec![(0, 0)];
         lattice_route((0, 0), (3, 2), &mut rng, &mut nodes);
         assert_eq!(*nodes.last().unwrap(), (3, 2));

@@ -124,12 +124,10 @@ pub fn read_trajectories<R: BufRead>(r: &mut R) -> Result<Vec<Trajectory>, ReadE
             let t = next_f64("t")?;
             pts.push(TrajPoint::from_xy(x, y, t));
         }
-        out.push(
-            Trajectory::new(pts).map_err(|source| ReadError::Invalid {
-                line: last_line,
-                source,
-            })?,
-        );
+        out.push(Trajectory::new(pts).map_err(|source| ReadError::Invalid {
+            line: last_line,
+            source,
+        })?);
     }
     Ok(out)
 }

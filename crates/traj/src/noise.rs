@@ -10,8 +10,8 @@
 
 use crate::sampling::randn;
 use crate::{TrajPoint, Trajectory};
-use rand::Rng;
 use sts_geo::Point;
+use sts_rng::Rng;
 
 /// Returns a copy of `traj` with Eq. 14 noise of radius `beta` meters
 /// added to every location. `beta == 0` returns an identical copy.
@@ -30,10 +30,7 @@ pub fn add_gaussian_noise<R: Rng + ?Sized>(
         .map(|p| {
             let dx = randn(rng);
             let dy = randn(rng);
-            TrajPoint::new(
-                Point::new(p.loc.x + beta * dx, p.loc.y + beta * dy),
-                p.t,
-            )
+            TrajPoint::new(Point::new(p.loc.x + beta * dx, p.loc.y + beta * dy), p.t)
         })
         .collect();
     Trajectory::new(pts).expect("noise preserves timestamps")
@@ -42,8 +39,7 @@ pub fn add_gaussian_noise<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use sts_rng::Xoshiro256pp;
 
     fn traj() -> Trajectory {
         Trajectory::new(
@@ -57,14 +53,14 @@ mod tests {
     #[test]
     fn zero_noise_is_identity() {
         let t = traj();
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         assert_eq!(add_gaussian_noise(&t, 0.0, &mut rng), t);
     }
 
     #[test]
     fn timestamps_are_preserved() {
         let t = traj();
-        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         let n = add_gaussian_noise(&t, 5.0, &mut rng);
         assert_eq!(n.len(), t.len());
         for (a, b) in t.points().iter().zip(n.points()) {
@@ -76,7 +72,7 @@ mod tests {
     fn displacement_scales_with_beta() {
         let t = traj();
         let mean_disp = |beta: f64, seed: u64| -> f64 {
-            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut rng = Xoshiro256pp::seed_from_u64(seed);
             let n = add_gaussian_noise(&t, beta, &mut rng);
             t.points()
                 .iter()
@@ -95,8 +91,8 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let t = traj();
-        let a = add_gaussian_noise(&t, 4.0, &mut ChaCha8Rng::seed_from_u64(9));
-        let b = add_gaussian_noise(&t, 4.0, &mut ChaCha8Rng::seed_from_u64(9));
+        let a = add_gaussian_noise(&t, 4.0, &mut Xoshiro256pp::seed_from_u64(9));
+        let b = add_gaussian_noise(&t, 4.0, &mut Xoshiro256pp::seed_from_u64(9));
         assert_eq!(a, b);
     }
 
@@ -104,7 +100,7 @@ mod tests {
     #[should_panic]
     fn negative_beta_panics() {
         let t = traj();
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         let _ = add_gaussian_noise(&t, -1.0, &mut rng);
     }
 }

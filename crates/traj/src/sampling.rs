@@ -13,7 +13,7 @@
 //! (periodic reporting such as the 15-second taxi beacons).
 
 use crate::{Path, Trajectory};
-use rand::Rng;
+use sts_rng::Rng;
 
 /// Normal deviate via Box–Muller (avoids a dependency on `rand_distr`).
 pub fn randn<R: Rng + ?Sized>(rng: &mut R) -> f64 {
@@ -127,8 +127,7 @@ pub fn sample_path_poisson<R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use crate::TrajPoint;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use sts_rng::Xoshiro256pp;
 
     fn traj(n: usize) -> Trajectory {
         Trajectory::new(
@@ -158,7 +157,7 @@ mod tests {
     #[test]
     fn downsample_fraction_sizes() {
         let t = traj(100);
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         assert_eq!(downsample_fraction(&t, 1.0, &mut rng).len(), 100);
         assert_eq!(downsample_fraction(&t, 0.5, &mut rng).len(), 50);
         assert_eq!(downsample_fraction(&t, 0.1, &mut rng).len(), 10);
@@ -170,7 +169,7 @@ mod tests {
     #[test]
     fn downsample_fraction_preserves_order_and_content() {
         let t = traj(50);
-        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
         let d = downsample_fraction(&t, 0.3, &mut rng);
         let mut prev = -1.0;
         for p in d.points() {
@@ -184,15 +183,15 @@ mod tests {
     #[test]
     fn downsample_fraction_is_deterministic_per_seed() {
         let t = traj(40);
-        let a = downsample_fraction(&t, 0.4, &mut ChaCha8Rng::seed_from_u64(9));
-        let b = downsample_fraction(&t, 0.4, &mut ChaCha8Rng::seed_from_u64(9));
+        let a = downsample_fraction(&t, 0.4, &mut Xoshiro256pp::seed_from_u64(9));
+        let b = downsample_fraction(&t, 0.4, &mut Xoshiro256pp::seed_from_u64(9));
         assert_eq!(a, b);
     }
 
     #[test]
     fn downsample_bernoulli_rate_extremes() {
         let t = traj(30);
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         assert_eq!(downsample_bernoulli(&t, 1.1, &mut rng).unwrap().len(), 30);
         assert!(downsample_bernoulli(&t, 0.0, &mut rng).is_none());
         let half = downsample_bernoulli(&t, 0.5, &mut rng).unwrap();
@@ -203,16 +202,13 @@ mod tests {
     fn every_kth_selects_lattice() {
         let t = traj(10);
         let e = every_kth(&t, 3);
-        assert_eq!(
-            e.timestamps().collect::<Vec<_>>(),
-            vec![0.0, 3.0, 6.0, 9.0]
-        );
+        assert_eq!(e.timestamps().collect::<Vec<_>>(), vec![0.0, 3.0, 6.0, 9.0]);
         assert_eq!(every_kth(&t, 1).len(), 10);
     }
 
     #[test]
     fn poisson_times_properties() {
-        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
         let times = poisson_times(0.0, 10_000.0, 10.0, &mut rng);
         assert_eq!(times[0], 0.0);
         assert!(times.iter().all(|&t| t <= 10_000.0));
@@ -233,7 +229,7 @@ mod tests {
             TrajPoint::from_xy(100.0, 0.0, 100.0),
         ])
         .unwrap();
-        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
         let t = sample_path_poisson(&path, 5.0, &mut rng);
         for p in t.points() {
             // On the straight path, x == t.
@@ -244,7 +240,7 @@ mod tests {
 
     #[test]
     fn randn_moments() {
-        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         let xs: Vec<f64> = (0..20_000).map(|_| randn(&mut rng)).collect();
         let m = xs.iter().sum::<f64>() / xs.len() as f64;
         let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;

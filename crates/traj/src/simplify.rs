@@ -58,10 +58,10 @@ mod tests {
     fn zigzag() -> Trajectory {
         Trajectory::from_xyt(&[
             (0.0, 0.0, 0.0),
-            (10.0, 0.2, 1.0),   // nearly collinear
-            (20.0, -0.1, 2.0),  // nearly collinear
+            (10.0, 0.2, 1.0),  // nearly collinear
+            (20.0, -0.1, 2.0), // nearly collinear
             (30.0, 0.0, 3.0),
-            (40.0, 15.0, 4.0),  // a real corner
+            (40.0, 15.0, 4.0), // a real corner
             (50.0, 0.0, 5.0),
         ])
         .unwrap()

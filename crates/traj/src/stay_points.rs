@@ -35,11 +35,7 @@ impl StayPoint {
 /// lies within `radius` meters of the window's *first* observation and
 /// the window lasts at least `min_duration` seconds (the classic
 /// Li/Zheng formulation).
-pub fn detect_stay_points(
-    traj: &Trajectory,
-    radius: f64,
-    min_duration: f64,
-) -> Vec<StayPoint> {
+pub fn detect_stay_points(traj: &Trajectory, radius: f64, min_duration: f64) -> Vec<StayPoint> {
     assert!(radius > 0.0, "radius must be positive");
     assert!(min_duration >= 0.0, "min duration must be >= 0");
     let pts = traj.points();

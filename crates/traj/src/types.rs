@@ -52,7 +52,10 @@ impl fmt::Display for TrajectoryError {
         match self {
             TrajectoryError::Empty => write!(f, "trajectory must not be empty"),
             TrajectoryError::NonMonotonicTime { index } => {
-                write!(f, "timestamps must strictly increase (violated at index {index})")
+                write!(
+                    f,
+                    "timestamps must strictly increase (violated at index {index})"
+                )
             }
             TrajectoryError::NonFinite { index } => {
                 write!(f, "non-finite coordinate or timestamp at index {index}")
@@ -230,10 +233,7 @@ impl Trajectory {
     /// kept (each trajectory contributes its own co-location term in
     /// Eq. 10).
     pub fn merged_timestamps(&self, other: &Trajectory) -> Vec<f64> {
-        let mut ts: Vec<f64> = self
-            .timestamps()
-            .chain(other.timestamps())
-            .collect();
+        let mut ts: Vec<f64> = self.timestamps().chain(other.timestamps()).collect();
         ts.sort_by(|a, b| a.partial_cmp(b).expect("finite timestamps"));
         ts
     }

@@ -11,16 +11,15 @@
 //! cargo run --release --example companion_detection
 //! ```
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use sts_repro::core::{Sts, StsConfig};
 use sts_repro::geo::{BoundingBox, Grid, Point};
 use sts_repro::traj::generators::{companion_path, mall};
 use sts_repro::traj::sampling::sample_path_poisson;
 use sts_repro::traj::Trajectory;
+use sts_rng::Xoshiro256pp;
 
 fn main() {
-    let mut rng = ChaCha8Rng::seed_from_u64(77);
+    let mut rng = Xoshiro256pp::seed_from_u64(77);
     let cfg = mall::MallConfig {
         n_pedestrians: 8,
         seed: 77,

@@ -12,17 +12,16 @@
 //! cargo run --release --example contact_tracing
 //! ```
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use sts_repro::core::{exposure_duration, Sts, StsConfig};
 use sts_repro::geo::{BoundingBox, Grid, Point};
 use sts_repro::traj::generators::{companion_path, mall};
-use sts_repro::traj::sampling::sample_path_poisson;
 use sts_repro::traj::noise::add_gaussian_noise;
+use sts_repro::traj::sampling::sample_path_poisson;
 use sts_repro::traj::Trajectory;
+use sts_rng::Xoshiro256pp;
 
 fn main() {
-    let mut rng = ChaCha8Rng::seed_from_u64(2020);
+    let mut rng = Xoshiro256pp::seed_from_u64(2020);
 
     // A mall with 14 independent visitors.
     let cfg = mall::MallConfig {
@@ -76,8 +75,18 @@ fn main() {
 
     println!("Contact-tracing ranking for the index case:");
     for (rank, (name, score)) in scored.iter().enumerate() {
-        let marker = if name.starts_with("contact") { " <== true contact" } else { "" };
-        println!("  #{:<2} {:<12} STS = {:.4}{}", rank + 1, name, score, marker);
+        let marker = if name.starts_with("contact") {
+            " <== true contact"
+        } else {
+            ""
+        };
+        println!(
+            "  #{:<2} {:<12} STS = {:.4}{}",
+            rank + 1,
+            name,
+            score,
+            marker
+        );
     }
 
     // The two planted contacts must surface at the top.

@@ -13,19 +13,18 @@
 //! ```
 
 use sts_repro::baselines::Cats;
+use sts_repro::core::{Sts, StsConfig};
 use sts_repro::eval::matching::{matching_ranks, MatrixMeasure, StsMatrix};
 use sts_repro::eval::metrics::{mean_rank, precision};
-use sts_repro::core::{Sts, StsConfig};
 use sts_repro::geo::{BoundingBox, Grid, Point};
 use sts_repro::traj::generators::taxi;
 use sts_repro::traj::noise::add_gaussian_noise;
 use sts_repro::traj::sampling::downsample_fraction;
 use sts_repro::traj::{Dataset, MatchingPairs, MIN_EVAL_LEN};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use sts_rng::Xoshiro256pp;
 
 fn main() {
-    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let mut rng = Xoshiro256pp::seed_from_u64(99);
 
     // 12 taxis, beaconing every 15 s (the Porto regime).
     let cfg = taxi::TaxiConfig {

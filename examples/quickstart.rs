@@ -58,7 +58,9 @@ fn main() {
     // 4. STS = average co-location probability over the merged
     //    timestamps (Eq. 10). Higher = more spatial-temporal overlap.
     let s_bob = sts.similarity(&alice, &bob).expect("both have >= 2 points");
-    let s_carol = sts.similarity(&alice, &carol).expect("both have >= 2 points");
+    let s_carol = sts
+        .similarity(&alice, &carol)
+        .expect("both have >= 2 points");
 
     println!("STS(alice, bob)   = {s_bob:.4}   <- same corridor, same time");
     println!("STS(alice, carol) = {s_carol:.4}   <- parallel corridor 30 m away");

@@ -16,8 +16,7 @@ use sts_repro::core::{ColocationIndex, Sts, StsConfig};
 use sts_repro::geo::{BoundingBox, Grid, Point};
 use sts_repro::traj::generators::{cdr, taxi};
 use sts_repro::traj::Trajectory;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use sts_rng::Xoshiro256pp;
 
 fn main() {
     // A fleet of 60 taxis.
@@ -35,7 +34,7 @@ fn main() {
 
     // The query: taxi 17's movement as seen by a *different* sensing
     // system — sparse, bursty CDR-style events from the driver's phone.
-    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let mut rng = Xoshiro256pp::seed_from_u64(7);
     let query = cdr::sample_path_cdr(
         &workload.objects[17].path,
         &cdr::CdrConfig {
@@ -63,7 +62,9 @@ fn main() {
 
     // Exact scan: STS against all 60 taxis.
     let t0 = Instant::now();
-    let exact = sts.top_k(&query, &corpus, 3).expect("query has >= 2 points");
+    let exact = sts
+        .top_k(&query, &corpus, 3)
+        .expect("query has >= 2 points");
     let exact_time = t0.elapsed();
 
     // Filter-and-refine: index prunes, exact STS on the few survivors.
@@ -76,19 +77,26 @@ fn main() {
         .expect("query has >= 2 points");
     let query_time = t0.elapsed();
 
-    println!("exact scan        : top-1 = taxi {} (STS {:.4}) in {:.2?}",
-        exact[0].0, exact[0].1, exact_time);
+    println!(
+        "exact scan        : top-1 = taxi {} (STS {:.4}) in {:.2?}",
+        exact[0].0, exact[0].1, exact_time
+    );
     println!(
         "filter-and-refine : top-1 = taxi {} (STS {:.4}) in {:.2?} (+ {:.2?} one-off build, {} posting lists)",
         pruned[0].0, pruned[0].1, query_time, build_time, index.posting_lists()
     );
 
     assert_eq!(exact[0].0, 17, "exact scan must identify taxi 17");
-    assert_eq!(pruned[0].0, exact[0].0, "pruning must not change the answer");
+    assert_eq!(
+        pruned[0].0, exact[0].0,
+        "pruning must not change the answer"
+    );
     assert!(
         query_time < exact_time,
         "refining 8 candidates should beat scanning 60"
     );
-    println!("=> same answer, {}x faster per query",
-        (exact_time.as_secs_f64() / query_time.as_secs_f64()).round());
+    println!(
+        "=> same answer, {}x faster per query",
+        (exact_time.as_secs_f64() / query_time.as_secs_f64()).round()
+    );
 }

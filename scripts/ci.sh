@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 gate for the STS reproduction. The workspace is hermetic
+# (zero external crates), so everything here must pass with no network
+# access — --offline makes any reintroduced external dependency fail
+# loudly at resolution time.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, offline) =="
+cargo build --workspace --release --offline
+
+echo "== test (offline) =="
+cargo test --workspace -q --offline
+
+echo "== format =="
+if cargo fmt --version >/dev/null 2>&1; then
+    cargo fmt --check
+else
+    echo "rustfmt not installed; skipping format check"
+fi
+
+echo "== ci green =="

@@ -7,6 +7,8 @@
 //! The primary entry points are:
 //!
 //! * [`sts_core::Sts`] — the spatial-temporal similarity measure itself;
+//! * [`sts_rng`] — the deterministic randomness substrate (seeded
+//!   xoshiro256++ PRNG and the in-repo property-testing harness);
 //! * [`sts_traj`] — trajectory types, sampling, noise and synthetic
 //!   workload generators;
 //! * [`sts_baselines`] — the comparison measures evaluated in the paper;
@@ -20,5 +22,7 @@ pub use sts_baselines as baselines;
 pub use sts_core as core;
 pub use sts_eval as eval;
 pub use sts_geo as geo;
+pub use sts_rng as rng;
+pub use sts_rng::{prop_assert, prop_assert_eq};
 pub use sts_stats as stats;
 pub use sts_traj as traj;

@@ -1,0 +1,81 @@
+//! Seed-determinism of the synthetic workload generators: the whole
+//! workload is a pure function of its config. Two runs with the same
+//! seed must be *byte-identical* (every coordinate and timestamp
+//! compared via `f64::to_bits`, so even sign-of-zero or last-ulp drift
+//! fails); different seeds must differ.
+
+use sts_repro::rng::Xoshiro256pp;
+use sts_repro::traj::generators::{cdr, mall, taxi};
+use sts_repro::traj::{Path, TrajPoint, Trajectory};
+
+/// Every observation of every trajectory, as raw bit patterns.
+fn fingerprint(trajectories: &[Trajectory]) -> Vec<(u64, u64, u64)> {
+    trajectories
+        .iter()
+        .flat_map(|t| t.points())
+        .map(|p| (p.loc.x.to_bits(), p.loc.y.to_bits(), p.t.to_bits()))
+        .collect()
+}
+
+fn taxi_dataset(seed: u64) -> Vec<Trajectory> {
+    let config = taxi::TaxiConfig {
+        n_taxis: 4,
+        seed,
+        ..taxi::TaxiConfig::default()
+    };
+    taxi::generate(&config)
+        .objects
+        .into_iter()
+        .map(|o| o.trajectory)
+        .collect()
+}
+
+fn mall_dataset(seed: u64) -> Vec<Trajectory> {
+    let config = mall::MallConfig {
+        n_pedestrians: 4,
+        seed,
+        ..mall::MallConfig::default()
+    };
+    mall::generate(&config)
+        .objects
+        .into_iter()
+        .map(|o| o.trajectory)
+        .collect()
+}
+
+fn cdr_dataset(seed: u64) -> Vec<Trajectory> {
+    let path = Path::new(vec![
+        TrajPoint::from_xy(0.0, 0.0, 0.0),
+        TrajPoint::from_xy(5_000.0, 1_000.0, 5_000.0),
+    ])
+    .unwrap();
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    (0..4)
+        .map(|_| cdr::sample_path_cdr(&path, &cdr::CdrConfig::default(), &mut rng))
+        .collect()
+}
+
+fn assert_seed_deterministic(name: &str, gen: impl Fn(u64) -> Vec<Trajectory>) {
+    let a = fingerprint(&gen(42));
+    let b = fingerprint(&gen(42));
+    assert!(!a.is_empty(), "{name}: generated nothing");
+    assert_eq!(a, b, "{name}: same seed must be byte-identical");
+
+    let c = fingerprint(&gen(43));
+    assert_ne!(a, c, "{name}: different seeds must differ");
+}
+
+#[test]
+fn taxi_generator_is_seed_deterministic() {
+    assert_seed_deterministic("taxi", taxi_dataset);
+}
+
+#[test]
+fn mall_generator_is_seed_deterministic() {
+    assert_seed_deterministic("mall", mall_dataset);
+}
+
+#[test]
+fn cdr_generator_is_seed_deterministic() {
+    assert_seed_deterministic("cdr", cdr_dataset);
+}

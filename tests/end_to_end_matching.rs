@@ -2,11 +2,11 @@
 //! through dataset construction to trajectory matching, on both
 //! scenarios — the shape the paper's evaluation asserts, in miniature.
 
+use sts_repro::eval::experiments::ExperimentConfig;
 use sts_repro::eval::matching::matching_ranks;
 use sts_repro::eval::measures::{measure_set, MeasureKind};
 use sts_repro::eval::metrics::{mean_rank, precision};
 use sts_repro::eval::scenario::{Scenario, ScenarioConfig, ScenarioKind};
-use sts_repro::eval::experiments::ExperimentConfig;
 
 fn scenario(kind: ScenarioKind) -> Scenario {
     Scenario::build(ScenarioConfig {

@@ -1,0 +1,102 @@
+//! Golden-value tests for the paper's closed-form pieces, checked
+//! against hand-computed constants (the derivations are spelled out
+//! inline). These pin the *numbers*, not just the invariants: any
+//! change to the bandwidth rule, the scaled-density form or the STP
+//! normalization shows up as a numeric diff here.
+
+use sts_repro::core::noise::GaussianNoise;
+use sts_repro::core::transition::{SpeedKdeTransition, TransitionModel};
+use sts_repro::core::StpEstimator;
+use sts_repro::geo::{BoundingBox, Grid, Point};
+use sts_repro::stats::{Kde, Kernel};
+use sts_repro::traj::Trajectory;
+
+/// Eq. 6 — Silverman's rule `h = (4σ̂⁵ / (3|S|))^{1/5}`.
+///
+/// For S = {1, 2, 3, 4, 5}: mean 3, population variance
+/// (4+1+0+1+4)/5 = 2, so σ̂ = √2 and
+/// h = (4·2^{5/2} / 15)^{1/5} = 1.085697266241067.
+#[test]
+fn silverman_bandwidth_golden() {
+    let samples = [1.0, 2.0, 3.0, 4.0, 5.0];
+    let h = Kde::silverman_bandwidth(&samples).unwrap();
+    assert!((h - 1.085697266241067).abs() < 1e-12, "h = {h}");
+}
+
+/// Eq. 6 degenerate case: identical samples have σ̂ = 0, which the
+/// implementation floors at `Kde::BANDWIDTH_FLOOR` instead of a
+/// zero-width (Dirac) bandwidth.
+#[test]
+fn silverman_bandwidth_floors_at_zero_variance() {
+    let h = Kde::silverman_bandwidth(&[2.5, 2.5, 2.5]).unwrap();
+    assert_eq!(h, Kde::BANDWIDTH_FLOOR);
+}
+
+/// Eq. 7 — the transition probability is the bandwidth-scaled density
+/// `h·Q̂(v)` at the implied speed `v = dis(ℓ, ℓ') / |t − t'|`.
+///
+/// Speed samples S = {1, 2, 3}: population variance 2/3, σ̂ = √(2/3),
+/// h = (4σ̂⁵/9)^{1/5} = 0.6942531626616071. At `from = (0,0)`,
+/// `to = (10,0)`, `dt = 5` the speed is v = 2 and
+///
+///   h·Q̂(2) = (1/3)[K(1/h) + K(0) + K(−1/h)]
+///          = (2·φ(1.4404...) + φ(0)) / 3
+///          = 0.22723353215418382
+///
+/// with φ the standard normal pdf (K(0) = 0.3989422804014327, the
+/// upper bound of the probability).
+#[test]
+fn transition_probability_golden() {
+    let trans =
+        SpeedKdeTransition::from_speed_samples(vec![1.0, 2.0, 3.0], Kernel::Gaussian).unwrap();
+    assert!((trans.kde().bandwidth() - 0.6942531626616071).abs() < 1e-12);
+
+    let p = trans.probability(Point::new(0.0, 0.0), Point::new(10.0, 0.0), 5.0);
+    assert!((p - 0.22723353215418382).abs() < 1e-12, "p = {p}");
+
+    // Bounded by K(0) (it is a scaled density, not a raw density).
+    assert!(p <= 0.3989422804014327 + 1e-15);
+    // Pure translation invariance: only v matters.
+    let p2 = trans.probability(Point::new(3.0, 4.0), Point::new(3.0, 14.0), 5.0);
+    assert!((p - p2).abs() < 1e-15);
+}
+
+/// Eq. 8–9 — the per-timestamp STP is the location-noise weight
+/// normalized over grid cells.
+///
+/// A 30 m × 10 m grid with 10 m cells has three cells with centers
+/// (5,5), (15,5), (25,5). For one observation exactly at (15,5) with
+/// untruncated Gaussian noise σ = 10, the unnormalized weights
+/// (Eq. 3) are
+///
+///   center: exp(0) = 1,    sides: exp(−10²/(2·10²)) = e^{−1/2}
+///
+/// so after Eq. 8–9 normalization
+///
+///   STP(center) = 1/(1 + 2e^{−1/2}) = 0.45186276187760605
+///   STP(side)   = e^{−1/2}·STP(center) = 0.274068619061197.
+#[test]
+fn stp_normalization_golden() {
+    let grid = Grid::new(
+        BoundingBox::new(Point::ORIGIN, Point::new(30.0, 10.0)),
+        10.0,
+    )
+    .unwrap();
+    let noise = GaussianNoise::with_truncation(10.0, None);
+    let traj = Trajectory::from_xyt(&[(15.0, 5.0, 7.0)]).unwrap();
+    // Single-point trajectory: a stand-in transition model (unused at
+    // an observed timestamp).
+    let trans = SpeedKdeTransition::from_speed_samples(vec![1.0], Kernel::Gaussian).unwrap();
+    let est = StpEstimator::new(&grid, &noise, &trans, &traj);
+
+    let stp = est.stp(7.0);
+    assert_eq!(stp.len(), 3, "all three cells carry mass");
+    assert!((stp.total() - 1.0).abs() < 1e-12, "Eq. 9: sums to one");
+
+    let center = stp.get(grid.cell_at(Point::new(15.0, 5.0)).unwrap());
+    let left = stp.get(grid.cell_at(Point::new(5.0, 5.0)).unwrap());
+    let right = stp.get(grid.cell_at(Point::new(25.0, 5.0)).unwrap());
+    assert!((center - 0.45186276187760605).abs() < 1e-12, "{center}");
+    assert!((left - 0.274068619061197).abs() < 1e-12, "{left}");
+    assert!((right - left).abs() < 1e-15, "symmetric sides");
+}

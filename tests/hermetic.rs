@@ -1,0 +1,123 @@
+//! Hermeticity guard: the workspace must build with zero external
+//! crates (the build environment has no network and no vendored
+//! registry). This test walks every `Cargo.toml` in the repository and
+//! fails if any dependency section names a crate outside the `sts-*`
+//! workspace family — catching a reintroduced `rand`/`proptest`/
+//! `criterion`/… at test time instead of at the next offline build.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// All `Cargo.toml` files under the repo root (skipping `target/`).
+fn manifest_paths(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir).expect("readable repo dir") {
+            let path = entry.expect("readable dir entry").path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if path.is_dir() {
+                if name != "target" && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name == "Cargo.toml" {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Is this `[section]` header one that declares dependencies?
+/// Covers `[dependencies]`, `[dev-dependencies]`,
+/// `[build-dependencies]`, `[workspace.dependencies]` and
+/// target-specific variants like `[target.'cfg(unix)'.dependencies]`.
+fn is_dependency_section(header: &str) -> bool {
+    header == "dependencies"
+        || header == "dev-dependencies"
+        || header == "build-dependencies"
+        || header == "workspace.dependencies"
+        || header.ends_with(".dependencies")
+        || header.ends_with(".dev-dependencies")
+        || header.ends_with(".build-dependencies")
+}
+
+/// Dependency names declared in one manifest (line-oriented TOML scan —
+/// the workspace's manifests are all in the simple `name = …` /
+/// `name.workspace = true` form).
+fn dependency_names(manifest: &str) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut in_dep_section = false;
+    for raw in manifest.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('[') {
+            let header = line.trim_matches(|c| c == '[' || c == ']');
+            in_dep_section = is_dependency_section(header);
+            continue;
+        }
+        if !in_dep_section {
+            continue;
+        }
+        let Some(key) = line.split('=').next() else {
+            continue;
+        };
+        // `sts-geo.workspace = true` → `sts-geo`; quoted keys unquoted.
+        let name = key.trim().split('.').next().unwrap_or("").trim_matches('"');
+        if !name.is_empty() {
+            names.push(name.to_string());
+        }
+    }
+    names
+}
+
+#[test]
+fn all_dependencies_are_workspace_crates() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let manifests = manifest_paths(root);
+    assert!(
+        manifests.len() >= 8,
+        "expected the root + 7 crate manifests, found {}",
+        manifests.len()
+    );
+
+    let mut offenders = Vec::new();
+    for path in &manifests {
+        let text = fs::read_to_string(path).expect("readable manifest");
+        for dep in dependency_names(&text) {
+            if !dep.starts_with("sts-") {
+                offenders.push(format!("{}: {dep}", path.display()));
+            }
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "external dependencies would break the hermetic (offline) build:\n  {}",
+        offenders.join("\n  ")
+    );
+}
+
+#[test]
+fn dependency_scanner_catches_external_crates() {
+    // The guard itself must not silently pass on the manifest shapes
+    // that external crates typically use.
+    let manifest = r#"
+[package]
+name = "demo"
+
+[dependencies]
+sts-geo.workspace = true
+rand = "0.9"
+
+[dev-dependencies]
+proptest = { version = "1", default-features = false }
+
+[target.'cfg(unix)'.dependencies]
+libc = "0.2"
+"#;
+    let deps = dependency_names(manifest);
+    assert_eq!(deps, ["sts-geo", "rand", "proptest", "libc"]);
+}

@@ -3,7 +3,7 @@
 
 use sts_repro::core::noise::{GaussianNoise, NoiseModel};
 use sts_repro::core::transition::{SpeedKdeTransition, TransitionModel};
-use sts_repro::core::{colocation_probability, Sts, StsConfig, StpEstimator};
+use sts_repro::core::{colocation_probability, StpEstimator, Sts, StsConfig};
 use sts_repro::geo::{BoundingBox, Grid, Point};
 use sts_repro::stats::{Kde, Kernel};
 use sts_repro::traj::Trajectory;
@@ -31,8 +31,8 @@ fn eq3_gaussian_noise_weights() {
     let neighbor = g.cell_at(Point::new(55.0, 21.0)).unwrap();
     let d_own = g.center(own).distance(&obs);
     let d_nb = g.center(neighbor).distance(&obs);
-    let expected_ratio =
-        (-(d_nb * d_nb) / (2.0 * sigma * sigma)).exp() / (-(d_own * d_own) / (2.0 * sigma * sigma)).exp();
+    let expected_ratio = (-(d_nb * d_nb) / (2.0 * sigma * sigma)).exp()
+        / (-(d_own * d_own) / (2.0 * sigma * sigma)).exp();
     let got_ratio = w.get(neighbor) / w.get(own);
     assert!(
         (got_ratio - expected_ratio).abs() < 1e-9,
@@ -95,12 +95,8 @@ fn eq10_sts_is_average_colocation() {
         (40.0, 20.0, 30.0),
     ])
     .unwrap();
-    let b = Trajectory::from_xyt(&[
-        (12.0, 21.0, 3.0),
-        (23.0, 19.0, 13.0),
-        (33.0, 20.0, 23.0),
-    ])
-    .unwrap();
+    let b =
+        Trajectory::from_xyt(&[(12.0, 21.0, 3.0), (23.0, 19.0, 13.0), (33.0, 20.0, 23.0)]).unwrap();
     let sts = Sts::new(config.clone(), g.clone());
     let got = sts.similarity(&a, &b).unwrap();
 
@@ -140,11 +136,11 @@ fn eq5_outside_span_counts_as_zero_in_average() {
         },
         g,
     );
-    let a = Trajectory::from_xyt(&[(10.0, 20.0, 0.0), (20.0, 20.0, 10.0), (30.0, 20.0, 20.0)])
-        .unwrap();
+    let a =
+        Trajectory::from_xyt(&[(10.0, 20.0, 0.0), (20.0, 20.0, 10.0), (30.0, 20.0, 20.0)]).unwrap();
     // Same motion, but extending far past a's span.
-    let overlap = Trajectory::from_xyt(&[(10.0, 20.0, 0.0), (20.0, 20.0, 10.0), (30.0, 20.0, 20.0)])
-        .unwrap();
+    let overlap =
+        Trajectory::from_xyt(&[(10.0, 20.0, 0.0), (20.0, 20.0, 10.0), (30.0, 20.0, 20.0)]).unwrap();
     let extended = Trajectory::from_xyt(&[
         (10.0, 20.0, 0.0),
         (20.0, 20.0, 10.0),

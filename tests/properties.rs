@@ -1,11 +1,21 @@
 //! Property-based invariants of the STS measure and its substrates,
-//! exercised through the public umbrella API.
+//! exercised through the public umbrella API on the in-repo
+//! `sts_rng::check` harness (fixed seeds, 24 cases per property — the
+//! same budget the proptest version used).
 
-use proptest::prelude::*;
 use sts_repro::core::{Sts, StsConfig};
 use sts_repro::geo::{BoundingBox, Grid, Point};
+use sts_repro::rng::check::{self, Checker, Strategy};
+use sts_repro::rng::Xoshiro256pp;
 use sts_repro::stats::{Kde, Kernel};
 use sts_repro::traj::{sampling, TrajPoint, Trajectory};
+use sts_repro::{prop_assert, prop_assert_eq};
+
+const CASES: u32 = 24;
+
+fn checker(seed: u64) -> Checker {
+    Checker::new().cases(CASES).seed(seed)
+}
 
 fn grid() -> Grid {
     Grid::new(
@@ -28,14 +38,15 @@ fn sts() -> Sts {
 /// Strategy: a random trajectory of 2–8 points inside the grid with
 /// strictly increasing timestamps and bounded speeds.
 fn trajectory() -> impl Strategy<Value = Trajectory> {
-    (
-        2usize..8,
-        0.0f64..50.0,
-        0.0f64..100.0,
-        0.0f64..100.0,
-        proptest::collection::vec((0.5f64..15.0, -5.0f64..5.0, -5.0f64..5.0), 7),
-    )
-        .prop_map(|(n, t0, x0, y0, steps)| {
+    check::map(
+        (
+            2usize..8,
+            0.0f64..50.0,
+            0.0f64..100.0,
+            0.0f64..100.0,
+            check::vec_of((0.5f64..15.0, -5.0f64..5.0, -5.0f64..5.0), 7..=7),
+        ),
+        |(n, t0, x0, y0, steps)| {
             let mut pts = vec![TrajPoint::from_xy(x0, y0, t0)];
             for &(dt, dx, dy) in steps.iter().take(n - 1) {
                 let last = *pts.last().unwrap();
@@ -46,85 +57,125 @@ fn trajectory() -> impl Strategy<Value = Trajectory> {
                 ));
             }
             Trajectory::new(pts).expect("constructed valid")
-        })
+        },
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// STS is symmetric and bounded in [0, 1].
-    #[test]
-    fn sts_symmetric_and_bounded(a in trajectory(), b in trajectory()) {
+/// STS is symmetric and bounded in [0, 1].
+#[test]
+fn sts_symmetric_and_bounded() {
+    checker(0xA001).run((trajectory(), trajectory()), |(a, b)| {
         let sts = sts();
         let ab = sts.similarity(&a, &b).unwrap();
         let ba = sts.similarity(&b, &a).unwrap();
         prop_assert!((ab - ba).abs() < 1e-9, "asymmetric: {ab} vs {ba}");
         prop_assert!((0.0..=1.0 + 1e-9).contains(&ab), "out of range: {ab}");
-    }
+        Ok(())
+    });
+}
 
-    /// Self-similarity is at least the similarity to anything else that
-    /// shares the same timestamps (a cannot overlap b more than itself).
-    #[test]
-    fn self_similarity_dominates_time_shifted_copies(a in trajectory()) {
+/// Self-similarity is at least the similarity to anything else that
+/// shares the same timestamps (a cannot overlap b more than itself).
+#[test]
+fn self_similarity_dominates_time_shifted_copies() {
+    checker(0xA002).run(trajectory(), |a| {
         let sts = sts();
         let s_self = sts.similarity(&a, &a).unwrap();
         // A displaced copy (same times, shifted 30 m).
         let shifted = Trajectory::new(
             a.points()
                 .iter()
-                .map(|p| TrajPoint::from_xy(
-                    (p.loc.x + 30.0).min(119.0),
-                    p.loc.y,
-                    p.t,
-                ))
+                .map(|p| TrajPoint::from_xy((p.loc.x + 30.0).min(119.0), p.loc.y, p.t))
                 .collect(),
         )
         .unwrap();
         let s_shift = sts.similarity(&a, &shifted).unwrap();
         prop_assert!(s_self >= s_shift - 1e-9, "{s_self} < {s_shift}");
-    }
+        Ok(())
+    });
+}
 
-    /// The alternate split halves of one trajectory recombine to the
-    /// original timestamps (Fig. 3 invariant).
-    #[test]
-    fn alternate_split_partitions_timestamps(a in trajectory()) {
+/// The alternate split halves of one trajectory recombine to the
+/// original timestamps (Fig. 3 invariant).
+#[test]
+fn alternate_split_partitions_timestamps() {
+    checker(0xA003).run(trajectory(), |a| {
         if let Some((h1, h2)) = sampling::alternate_split(&a) {
             let merged = h1.merged_timestamps(&h2);
             let original: Vec<f64> = a.timestamps().collect();
             prop_assert_eq!(merged, original);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Down-sampling never invents points: every sampled point exists in
-    /// the original.
-    #[test]
-    fn downsample_is_a_subsequence(a in trajectory(), seed in 0u64..1000) {
-        use rand::SeedableRng;
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+/// Down-sampling never invents points: every sampled point exists in
+/// the original.
+#[test]
+fn downsample_is_a_subsequence() {
+    checker(0xA004).run((trajectory(), 0u64..1000), |(a, seed)| {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
         let d = sampling::downsample_fraction(&a, 0.5, &mut rng);
         for p in d.points() {
             prop_assert!(a.points().iter().any(|q| q.t == p.t && q.loc == p.loc));
         }
-    }
+        Ok(())
+    });
+}
 
-    /// KDE densities are non-negative everywhere and the scaled density
-    /// never exceeds the kernel peak (the transition-probability bound).
-    #[test]
-    fn kde_bounds(samples in proptest::collection::vec(0.1f64..30.0, 1..20), x in -10.0f64..50.0) {
-        let kde = Kde::new(samples, Kernel::Gaussian).unwrap();
-        let d = kde.density(x);
-        prop_assert!(d >= 0.0);
-        prop_assert!(kde.scaled_density(x) <= Kernel::Gaussian.evaluate(0.0) + 1e-12);
-    }
+/// KDE densities are non-negative everywhere and the scaled density
+/// never exceeds the kernel peak (the transition-probability bound).
+#[test]
+fn kde_bounds() {
+    checker(0xA005).run(
+        (check::vec_of(0.1f64..30.0, 1..=19), -10.0f64..50.0),
+        |(samples, x)| {
+            let kde = Kde::new(samples, Kernel::Gaussian).unwrap();
+            let d = kde.density(x);
+            prop_assert!(d >= 0.0);
+            prop_assert!(kde.scaled_density(x) <= Kernel::Gaussian.evaluate(0.0) + 1e-12);
+            Ok(())
+        },
+    );
+}
 
-    /// Grid lookup is consistent: every in-area point maps to a cell
-    /// whose center is within half a cell diagonal.
-    #[test]
-    fn grid_cell_lookup_consistent(x in 0.0f64..119.9, y in 0.0f64..119.9) {
+/// Grid lookup is consistent: every in-area point maps to a cell
+/// whose center is within half a cell diagonal.
+#[test]
+fn grid_cell_lookup_consistent() {
+    checker(0xA006).run((0.0f64..119.9, 0.0f64..119.9), |(x, y)| {
         let g = grid();
         let p = Point::new(x, y);
         let cell = g.cell_at(p).expect("inside the grid");
         let half_diag = g.cell_size() * std::f64::consts::SQRT_2 / 2.0;
         prop_assert!(g.center(cell).distance(&p) <= half_diag + 1e-9);
-    }
+        Ok(())
+    });
+}
+
+/// Shrinking regression: the harness minimizes a known failing input to
+/// its exact boundary. This is the guarantee that future property
+/// failures report the smallest counterexample, not the first random
+/// one.
+#[test]
+fn harness_shrinks_known_failure_to_minimum() {
+    let err = std::panic::catch_unwind(|| {
+        Checker::new()
+            .cases(CASES)
+            .seed(0xA007)
+            .run(0i64..1000, |x| {
+                prop_assert!(x < 50, "x = {x} crossed the boundary");
+                Ok(())
+            });
+    })
+    .expect_err("the x < 50 property must fail over 0..1000");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .expect("panic payload is a formatted report");
+    assert!(msg.contains("minimal input: 50"), "unshrunk report: {msg}");
+    assert!(
+        msg.contains("seed 0xa007"),
+        "seed missing from report: {msg}"
+    );
 }
