@@ -13,8 +13,10 @@
 //!   harness, times the measure kernels (`similarity`), the
 //!   grid-size/running-time trade-off of Fig. 12 (`grid_size`), the
 //!   matching task (`matching`), the dense-vs-sparse STP ablation
-//!   (`stp`) and the substrate primitives (`substrates`). A smoke run
-//!   of every suite hides behind `cargo test -p sts-bench -- --ignored`.
+//!   (`stp`), the substrate primitives (`substrates`) and the
+//!   dirty-data path — repair, lenient parsing, degraded batch —
+//!   (`chaos`). A smoke run of every suite hides behind
+//!   `cargo test -p sts-bench -- --ignored`.
 
 pub mod perf;
 pub mod timing;

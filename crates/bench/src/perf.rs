@@ -14,7 +14,11 @@ use sts_core::{StpEstimator, Sts, StsConfig};
 use sts_eval::matching::matching_ranks;
 use sts_eval::measures::{make_measure, measure_set, MeasureKind};
 use sts_geo::{BoundingBox, Grid, Point};
+use sts_rng::Xoshiro256pp;
+use sts_robust::{standard_injectors, ByteMangler};
 use sts_stats::{KalmanConfig, KalmanFilter2D, Kde, Kernel};
+use sts_traj::repair::{repair, RepairConfig};
+use sts_traj::{io, Trajectory};
 
 /// Named timings from one suite.
 pub struct PerfReport {
@@ -32,6 +36,7 @@ pub fn all_suites() -> Vec<(&'static str, fn(&TimingConfig) -> PerfReport)> {
         ("matching", matching),
         ("stp", stp),
         ("substrates", substrates),
+        ("chaos", chaos),
     ]
 }
 
@@ -137,6 +142,80 @@ pub fn stp(config: &TimingConfig) -> PerfReport {
     ];
     PerfReport {
         suite: "stp",
+        entries,
+    }
+}
+
+/// The dirty-data path: repairing injector-corrupted streams, lenient
+/// parsing of a byte-mangled file, and the degraded batch API versus
+/// the strict matrix on the same clean batch (the `catch_unwind`
+/// overhead a well-behaved workload pays for panic containment).
+pub fn chaos(config: &TimingConfig) -> PerfReport {
+    let scenario = bench_mall(5);
+    let clean: Vec<Trajectory> = scenario.pairs.d1.clone();
+    let battery = standard_injectors();
+    let mut rng = Xoshiro256pp::seed_from_u64(0xBE7C);
+    let corrupted: Vec<Vec<sts_traj::TrajPoint>> = clean
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let mut pts = t.points().to_vec();
+            battery[i % battery.len()].inject(&mut pts, &mut rng);
+            pts
+        })
+        .collect();
+    let mut mangled = Vec::new();
+    io::write_trajectories(&mut mangled, &clean).unwrap();
+    ByteMangler::default().mangle(&mut mangled, &mut rng);
+
+    let repair_cfg = RepairConfig::default();
+    let survivors: Vec<Trajectory> = corrupted
+        .iter()
+        .flat_map(|pts| repair(pts, &repair_cfg).unwrap().trajectories)
+        .collect();
+    let sts = Sts::new(
+        StsConfig {
+            noise_sigma: scenario.scale.noise_sigma,
+            ..StsConfig::default()
+        },
+        scenario.default_grid(),
+    );
+
+    let entries = vec![
+        (
+            "repair_corrupted_batch".to_string(),
+            time(config, || {
+                corrupted
+                    .iter()
+                    .map(|pts| repair(pts, &repair_cfg).unwrap().report.dropped_points())
+                    .sum::<usize>()
+            }),
+        ),
+        (
+            "lenient_read_mangled".to_string(),
+            time(config, || {
+                io::read_trajectories_lenient(&mut mangled.as_slice())
+                    .unwrap()
+                    .records
+            }),
+        ),
+        (
+            "strict_matrix_clean".to_string(),
+            time(config, || sts.similarity_matrix(&clean, &clean).unwrap()),
+        ),
+        (
+            "degraded_matrix_clean".to_string(),
+            time(config, || sts.similarity_matrix_degraded(&clean, &clean)),
+        ),
+        (
+            "degraded_matrix_survivors".to_string(),
+            time(config, || {
+                sts.similarity_matrix_degraded(&survivors, &survivors)
+            }),
+        ),
+    ];
+    PerfReport {
+        suite: "chaos",
         entries,
     }
 }

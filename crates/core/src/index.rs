@@ -130,7 +130,7 @@ impl ColocationIndex {
                 .unwrap_or(0.0);
             scored.push((id as usize, s));
         }
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite similarities"));
+        crate::sts::sort_scores_descending(&mut scored);
         scored.truncate(k);
         Ok(scored)
     }

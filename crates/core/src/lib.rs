@@ -37,6 +37,7 @@
 //! assert!(close > far);
 //! ```
 
+pub mod batch;
 mod colocation;
 mod dist;
 pub mod index;
@@ -45,6 +46,7 @@ pub mod stprob;
 mod sts;
 pub mod transition;
 
+pub use batch::{BatchReport, PairOutcome, QuarantineReason};
 pub use colocation::colocation_probability;
 pub use dist::SparseDistribution;
 pub use index::ColocationIndex;

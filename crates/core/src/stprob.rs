@@ -126,10 +126,16 @@ impl<'a> StpEstimator<'a> {
     }
 
     fn stp_impl(&self, t: f64, dense: bool) -> SparseDistribution {
-        if t < self.traj.start_time() || t > self.traj.end_time() {
+        // The negated comparison also routes NaN query times to the
+        // empty distribution (a NaN fails every comparison), honoring
+        // the `stp()` contract for any input rather than panicking in
+        // the binary search below.
+        if !(t >= self.traj.start_time() && t <= self.traj.end_time()) {
             return SparseDistribution::empty();
         }
-        let i = self.traj.index_at_or_before(t).expect("t >= start");
+        let Some(i) = self.traj.index_at_or_before(t) else {
+            return SparseDistribution::empty();
+        };
         if self.traj.get(i).t == t {
             return self.obs_dists[i].clone();
         }
@@ -460,6 +466,106 @@ mod tests {
             // Interpolation at cell/8 resolution against a near-Dirac
             // speed density: sub-0.2% total-variation error.
             assert!(tv < 2e-3, "t={t}: table vs pairwise TV {tv}");
+        }
+    }
+
+    #[test]
+    fn nan_query_time_yields_empty_stp() {
+        let g = grid();
+        let noise = GaussianNoise::new(2.0);
+        let traj = walker();
+        let trans = SpeedKdeTransition::from_trajectory(&traj, Kernel::Gaussian)
+            .unwrap()
+            .with_position_uncertainty(g.cell_size() / 2.0);
+        let est = StpEstimator::new(&g, &noise, &trans, &traj);
+        assert!(est.stp(f64::NAN).is_empty());
+        assert!(est.stp_dense(f64::NAN).is_empty());
+        assert!(est.stp(f64::INFINITY).is_empty());
+        assert!(est.stp(f64::NEG_INFINITY).is_empty());
+    }
+
+    /// Sanity for a distribution: non-empty, every weight finite, total
+    /// mass 1.
+    fn assert_finite_normalized(d: &SparseDistribution, what: &str) {
+        assert!(!d.is_empty(), "{what}: empty");
+        for &(_, w) in d.entries() {
+            assert!(w.is_finite() && w >= 0.0, "{what}: weight {w}");
+        }
+        assert!(
+            (d.total() - 1.0).abs() < 1e-9,
+            "{what}: total {}",
+            d.total()
+        );
+    }
+
+    #[test]
+    fn zero_variance_speed_model_gives_finite_normalized_stp() {
+        // Perfectly constant speed: σ̂ = 0, so Silverman's bandwidth
+        // degenerates and the KDE takes the bandwidth-floor path.
+        let g = grid();
+        let noise = GaussianNoise::new(2.0);
+        let traj = Trajectory::from_xyt(&[
+            (5.0, 10.0, 0.0),
+            (15.0, 10.0, 10.0),
+            (25.0, 10.0, 20.0),
+            (35.0, 10.0, 30.0),
+        ])
+        .unwrap();
+        let trans = SpeedKdeTransition::from_trajectory(&traj, Kernel::Gaussian)
+            .unwrap()
+            .with_position_uncertainty(g.cell_size() / 2.0);
+        assert_eq!(trans.kde().bandwidth(), sts_stats::Kde::BANDWIDTH_FLOOR);
+        let est = StpEstimator::new(&g, &noise, &trans, &traj);
+        for t in [0.0, 5.0, 13.7, 25.0, 30.0] {
+            assert_finite_normalized(&est.stp(t), &format!("t={t}"));
+        }
+    }
+
+    #[test]
+    fn repaired_duplicate_stamps_give_finite_normalized_stp() {
+        // Identical consecutive timestamps cannot enter a Trajectory;
+        // the degraded path is raw stream → repair → STP. The repaired
+        // trajectory must produce a proper distribution everywhere.
+        use sts_traj::repair::{repair, RepairConfig};
+        let raw = vec![
+            sts_traj::TrajPoint::from_xy(5.0, 10.0, 0.0),
+            sts_traj::TrajPoint::from_xy(6.0, 10.0, 0.0), // duplicate stamp
+            sts_traj::TrajPoint::from_xy(15.0, 10.0, 10.0),
+            sts_traj::TrajPoint::from_xy(15.5, 10.0, 10.0), // duplicate stamp
+            sts_traj::TrajPoint::from_xy(25.0, 10.0, 20.0),
+        ];
+        let out = repair(&raw, &RepairConfig::default()).unwrap();
+        assert_eq!(out.report.dropped_duplicate_stamps, 2);
+        assert_eq!(out.trajectories.len(), 1);
+        let traj = &out.trajectories[0];
+        let g = grid();
+        let noise = GaussianNoise::new(2.0);
+        let trans = SpeedKdeTransition::from_trajectory(traj, Kernel::Gaussian)
+            .unwrap()
+            .with_position_uncertainty(g.cell_size() / 2.0);
+        let est = StpEstimator::new(&g, &noise, &trans, traj);
+        for t in [0.0, 4.2, 10.0, 15.0, 20.0] {
+            assert_finite_normalized(&est.stp(t), &format!("t={t}"));
+        }
+    }
+
+    #[test]
+    fn single_cell_grid_concentrates_all_mass() {
+        // A one-cell grid: every distribution must be exactly {cell: 1}.
+        let g = Grid::new(BoundingBox::new(Point::ORIGIN, Point::new(5.0, 5.0)), 10.0).unwrap();
+        assert_eq!(g.len(), 1);
+        let noise = GaussianNoise::new(2.0);
+        let traj =
+            Trajectory::from_xyt(&[(1.0, 1.0, 0.0), (2.0, 2.0, 10.0), (3.0, 1.0, 20.0)]).unwrap();
+        let trans = SpeedKdeTransition::from_trajectory(&traj, Kernel::Gaussian)
+            .unwrap()
+            .with_position_uncertainty(g.cell_size() / 2.0);
+        let est = StpEstimator::new(&g, &noise, &trans, &traj);
+        for t in [0.0, 5.0, 10.0, 12.5, 20.0] {
+            let d = est.stp(t);
+            assert_finite_normalized(&d, &format!("t={t}"));
+            assert_eq!(d.len(), 1);
+            assert!((d.get(CellId(0)) - 1.0).abs() < 1e-12);
         }
     }
 

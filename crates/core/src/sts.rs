@@ -341,10 +341,18 @@ impl Sts {
             .enumerate()
             .map(|(i, c)| Ok((i, self.similarity_prepared(&q, &self.prepare(c)?))))
             .collect::<Result<_, StsError>>()?;
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite similarities"));
+        sort_scores_descending(&mut scored);
         scored.truncate(k);
         Ok(scored)
     }
+}
+
+/// Sorts `(index, similarity)` pairs best-first without ever panicking:
+/// NaN similarities (a degenerate model, not a valid score) rank below
+/// every real number instead of aborting the whole top-k.
+pub(crate) fn sort_scores_descending(scored: &mut [(usize, f64)]) {
+    let key = |s: f64| if s.is_nan() { f64::NEG_INFINITY } else { s };
+    scored.sort_by(|a, b| key(b.1).total_cmp(&key(a.1)).then(a.0.cmp(&b.0)));
 }
 
 /// Total time (seconds) during which a co-location profile (from
@@ -501,6 +509,18 @@ mod tests {
         // matches candidate 1.
         assert!(m[0][0] > m[0][1]);
         assert!(m[1][1] > m[1][0]);
+    }
+
+    #[test]
+    fn score_sort_ranks_nan_last_instead_of_panicking() {
+        // Regression: a single NaN similarity used to abort top-k via
+        // `partial_cmp(..).expect("finite similarities")`.
+        let mut scored = vec![(0, f64::NAN), (1, 0.3), (2, 0.9), (3, f64::NAN)];
+        sort_scores_descending(&mut scored);
+        assert_eq!(scored[0].0, 2);
+        assert_eq!(scored[1].0, 1);
+        assert!(scored[2].1.is_nan() && scored[3].1.is_nan());
+        assert_eq!((scored[2].0, scored[3].0), (0, 3));
     }
 
     #[test]

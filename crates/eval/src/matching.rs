@@ -65,22 +65,14 @@ impl MatrixMeasure for StsMatrix {
     }
 
     fn matrix(&self, queries: &[Trajectory], candidates: &[Trajectory]) -> Vec<Vec<f64>> {
-        match self.0.similarity_matrix(queries, candidates) {
-            Ok(m) => m,
-            Err(_) => {
-                // Some trajectory was unpreparable: fall back pairwise so
-                // only the offending pairs score 0.
-                queries
-                    .iter()
-                    .map(|q| {
-                        candidates
-                            .iter()
-                            .map(|c| self.0.similarity(q, c).unwrap_or(0.0))
-                            .collect()
-                    })
-                    .collect()
-            }
-        }
+        // The degraded batch path quarantines unpreparable trajectories
+        // and contains per-pair panics, so one broken trajectory costs
+        // only its own cells — the rest of the experiment is unaffected.
+        let (outcomes, _report) = self.0.similarity_matrix_degraded(queries, candidates);
+        outcomes
+            .into_iter()
+            .map(|row| row.into_iter().map(|cell| cell.score_or(0.0)).collect())
+            .collect()
     }
 
     fn pair(&self, a: &Trajectory, b: &Trajectory) -> f64 {

@@ -90,7 +90,10 @@ pub fn read_trajectories<R: BufRead>(r: &mut R) -> Result<Vec<Trajectory>, ReadE
             line: lineno,
             message: format!("bad point count `{count_str}`"),
         })?;
-        let mut pts = Vec::with_capacity(n);
+        // Never trust a declared count for allocation: a corrupted
+        // header like `traj 99999999999` must fail with a parse error
+        // at EOF, not abort the process in the allocator.
+        let mut pts = Vec::with_capacity(n.min(1024));
         let mut last_line = lineno;
         while pts.len() < n {
             let Some((idx, line)) = lines.next() else {
@@ -128,6 +131,139 @@ pub fn read_trajectories<R: BufRead>(r: &mut R) -> Result<Vec<Trajectory>, ReadE
             line: last_line,
             source,
         })?);
+    }
+    Ok(out)
+}
+
+/// Result of a lenient read: every record that could be recovered,
+/// plus a typed error for every record that could not.
+#[derive(Debug, Default)]
+pub struct LenientRead {
+    /// Records that parsed and satisfied the [`Trajectory`] invariants.
+    pub trajectories: Vec<Trajectory>,
+    /// One error per failed record (parse failures, truncations,
+    /// invariant violations), in file order.
+    pub errors: Vec<ReadError>,
+    /// The raw point streams of records that parsed (fully or
+    /// partially) but violated the trajectory invariants or were
+    /// truncated — ready to be fed to [`crate::repair::repair`].
+    pub raw_invalid: Vec<Vec<TrajPoint>>,
+    /// Total records encountered (headers seen), failed or not.
+    pub records: usize,
+}
+
+/// Reads the text format leniently: a corrupted record is recorded in
+/// [`LenientRead::errors`] (and, when any points were recovered, in
+/// [`LenientRead::raw_invalid`]) and the reader resynchronizes at the
+/// next `traj` header instead of aborting the file. Invalid UTF-8 is
+/// tolerated via lossy decoding, so arbitrary byte-level corruption
+/// degrades to per-record errors. Only a real I/O failure returns
+/// `Err`.
+pub fn read_trajectories_lenient<R: BufRead>(r: &mut R) -> io::Result<LenientRead> {
+    // Read raw lines up front with lossy decoding — `BufRead::lines`
+    // would abort the whole file on the first invalid UTF-8 byte.
+    let mut lines: Vec<String> = Vec::new();
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        if r.read_until(b'\n', &mut buf)? == 0 {
+            break;
+        }
+        lines.push(String::from_utf8_lossy(&buf).trim().to_string());
+    }
+
+    let mut out = LenientRead::default();
+    let mut i = 0;
+    let is_header = |s: &str| s.starts_with("traj ");
+    while i < lines.len() {
+        let line = lines[i].as_str();
+        if line.is_empty() || line.starts_with('#') {
+            i += 1;
+            continue;
+        }
+        let Some(count_str) = line.strip_prefix("traj ") else {
+            // Junk between records: one error for the whole run, then
+            // resynchronize at the next header.
+            out.errors.push(ReadError::Parse {
+                line: i + 1,
+                message: format!("expected `traj <n>`, got `{line}`"),
+            });
+            while i < lines.len() && !is_header(lines[i].as_str()) {
+                i += 1;
+            }
+            continue;
+        };
+        out.records += 1;
+        let header_line = i + 1;
+        i += 1;
+        let Ok(n) = count_str.trim().parse::<usize>() else {
+            out.errors.push(ReadError::Parse {
+                line: header_line,
+                message: format!("bad point count `{count_str}`"),
+            });
+            while i < lines.len() && !is_header(lines[i].as_str()) {
+                i += 1;
+            }
+            continue;
+        };
+        // Collect up to n point lines; stop early at the next header
+        // (truncated record) or a malformed point line.
+        let mut pts: Vec<TrajPoint> = Vec::with_capacity(n.min(1024));
+        let mut record_error: Option<ReadError> = None;
+        let mut last_line = header_line;
+        while pts.len() < n && i < lines.len() {
+            let l = lines[i].as_str();
+            if l.is_empty() || l.starts_with('#') {
+                i += 1;
+                continue;
+            }
+            if is_header(l) {
+                break; // truncated record; the next one starts here
+            }
+            last_line = i + 1;
+            let mut fields = l.split_whitespace().map(str::parse::<f64>);
+            match (fields.next(), fields.next(), fields.next()) {
+                (Some(Ok(x)), Some(Ok(y)), Some(Ok(t))) => {
+                    pts.push(TrajPoint::from_xy(x, y, t));
+                    i += 1;
+                }
+                _ => {
+                    record_error = Some(ReadError::Parse {
+                        line: last_line,
+                        message: format!("bad point line `{l}`"),
+                    });
+                    i += 1;
+                    // Resynchronize: skip the rest of this record.
+                    while i < lines.len() && !is_header(lines[i].as_str()) {
+                        i += 1;
+                    }
+                    break;
+                }
+            }
+        }
+        if record_error.is_none() && pts.len() < n {
+            record_error = Some(ReadError::Parse {
+                line: last_line,
+                message: format!("truncated record: expected {n} points, got {}", pts.len()),
+            });
+        }
+        if let Some(e) = record_error {
+            out.errors.push(e);
+            if !pts.is_empty() {
+                out.raw_invalid.push(pts);
+            }
+            continue;
+        }
+        match Trajectory::new(pts.clone()) {
+            Ok(t) => out.trajectories.push(t),
+            Err(source) => {
+                out.errors.push(ReadError::Invalid {
+                    line: last_line,
+                    source,
+                });
+                out.raw_invalid.push(pts);
+            }
+        }
     }
     Ok(out)
 }
@@ -193,5 +329,83 @@ mod tests {
     fn empty_input_is_empty_vec() {
         let parsed = read_trajectories(&mut Cursor::new("")).unwrap();
         assert!(parsed.is_empty());
+    }
+
+    #[test]
+    fn absurd_declared_count_fails_without_allocating() {
+        let text = "traj 99999999999999\n0 0 0\n";
+        assert!(matches!(
+            read_trajectories(&mut Cursor::new(text)),
+            Err(ReadError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn lenient_matches_strict_on_clean_input() {
+        let trajs = sample();
+        let mut buf = Vec::new();
+        write_trajectories(&mut buf, &trajs).unwrap();
+        let lenient = read_trajectories_lenient(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(lenient.trajectories, trajs);
+        assert!(lenient.errors.is_empty());
+        assert!(lenient.raw_invalid.is_empty());
+        assert_eq!(lenient.records, trajs.len());
+    }
+
+    #[test]
+    fn lenient_skips_bad_records_and_keeps_good_ones() {
+        let text = "traj 2\n0 0 0\n1 1 1\n\
+                    traj 2\n0 zero 0\n1 1 1\n\
+                    traj 2\n5 5 5\n6 6 6\n";
+        let lenient = read_trajectories_lenient(&mut Cursor::new(text)).unwrap();
+        assert_eq!(lenient.trajectories.len(), 2);
+        assert_eq!(lenient.errors.len(), 1);
+        assert_eq!(lenient.records, 3);
+        assert_eq!(lenient.trajectories[1].get(0).t, 5.0);
+    }
+
+    #[test]
+    fn lenient_collects_invariant_violations_with_raw_points() {
+        let text = "traj 2\n0 0 5\n1 1 1\ntraj 2\n0 0 0\n1 1 1\n";
+        let lenient = read_trajectories_lenient(&mut Cursor::new(text)).unwrap();
+        assert_eq!(lenient.trajectories.len(), 1);
+        assert_eq!(lenient.errors.len(), 1);
+        assert!(matches!(lenient.errors[0], ReadError::Invalid { .. }));
+        assert_eq!(lenient.raw_invalid.len(), 1);
+        assert_eq!(lenient.raw_invalid[0].len(), 2);
+        assert_eq!(lenient.raw_invalid[0][0].t, 5.0);
+    }
+
+    #[test]
+    fn lenient_recovers_after_truncated_record() {
+        let text = "traj 5\n0 0 0\n1 1 1\ntraj 2\n5 5 5\n6 6 6\n";
+        let lenient = read_trajectories_lenient(&mut Cursor::new(text)).unwrap();
+        assert_eq!(lenient.trajectories.len(), 1);
+        assert_eq!(lenient.trajectories[0].get(0).t, 5.0);
+        assert_eq!(lenient.errors.len(), 1);
+        // The truncated record's two good points are recoverable.
+        assert_eq!(lenient.raw_invalid.len(), 1);
+        assert_eq!(lenient.raw_invalid[0].len(), 2);
+    }
+
+    #[test]
+    fn lenient_tolerates_invalid_utf8_and_junk() {
+        let mut bytes = b"traj 2\n0 0 0\n1 1 1\n".to_vec();
+        bytes.extend_from_slice(&[0xFF, 0xFE, 0x80, b'\n']);
+        bytes.extend_from_slice(b"garbage line\ntraj 2\n2 2 2\n3 3 3\n");
+        let lenient = read_trajectories_lenient(&mut Cursor::new(bytes)).unwrap();
+        assert_eq!(lenient.trajectories.len(), 2);
+        assert!(!lenient.errors.is_empty());
+    }
+
+    #[test]
+    fn lenient_handles_absurd_count_and_empty_input() {
+        let lenient = read_trajectories_lenient(&mut Cursor::new("")).unwrap();
+        assert!(lenient.trajectories.is_empty() && lenient.errors.is_empty());
+        let text = "traj 99999999999999\n0 0 0\n";
+        let lenient = read_trajectories_lenient(&mut Cursor::new(text)).unwrap();
+        assert!(lenient.trajectories.is_empty());
+        assert_eq!(lenient.errors.len(), 1);
+        assert_eq!(lenient.raw_invalid.len(), 1, "partial points recovered");
     }
 }

@@ -14,6 +14,8 @@
 //! * [`sampling`] — Bernoulli down-sampling, the alternate odd/even split
 //!   of Fig. 3, uniform and Poisson sampling of paths;
 //! * [`noise`] — the Gaussian location-noise distortion of Eq. 14;
+//! * [`repair`] — degraded-mode repair of corrupted raw point streams
+//!   (drop / split / clamp policies with a per-stream report);
 //! * [`generators`] — seeded road-network taxi and mall pedestrian
 //!   simulators;
 //! * [`dataset`] — dataset filtering and the paired D(1)/D(2)
@@ -24,6 +26,7 @@ pub mod generators;
 pub mod io;
 pub mod noise;
 pub mod path;
+pub mod repair;
 pub mod sampling;
 pub mod simplify;
 pub mod stay_points;
@@ -31,6 +34,7 @@ mod types;
 
 pub use dataset::{Dataset, MatchingPairs};
 pub use path::Path;
+pub use repair::{RepairConfig, RepairOutcome, RepairPolicy, RepairReport};
 pub use types::{TrajPoint, Trajectory, TrajectoryError};
 
 /// The minimum trajectory length the paper keeps for evaluation ("we

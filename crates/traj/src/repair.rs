@@ -1,0 +1,536 @@
+//! Repair of raw, possibly corrupted point streams.
+//!
+//! The [`Trajectory`] constructor rejects structurally invalid input
+//! (non-finite values, non-monotonic timestamps) with a typed error —
+//! correct, but all-or-nothing. Real trajectory feeds degrade
+//! *per record*: a GPS unit emits one NaN fix, a batching layer
+//! reorders two messages, a positioning glitch teleports a point across
+//! the map. This module turns such raw streams into valid trajectories
+//! under a configurable [`RepairPolicy`], reporting exactly what was
+//! dropped or fixed in a [`RepairReport`].
+//!
+//! The repair layer upholds the workspace's degraded-mode guarantee:
+//! for any input — any sequence of [`TrajPoint`]s whatsoever — a
+//! non-strict policy never panics and never returns an error; the
+//! worst possible outcome is an empty set of output trajectories with
+//! a report explaining why.
+
+use crate::{TrajPoint, Trajectory};
+use std::fmt;
+
+/// How structurally defective input is handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RepairPolicy {
+    /// Reject the stream on the first defect with a [`RepairError`]
+    /// naming it. Equivalent to [`Trajectory::new`] plus teleport
+    /// screening — for pipelines that must not silently alter data.
+    Strict,
+    /// Drop offending points: non-finite coordinates, duplicate
+    /// timestamps (after time-sorting) and teleport spikes are removed;
+    /// the survivors form one trajectory.
+    #[default]
+    DropBad,
+    /// Like [`RepairPolicy::DropBad`] for non-finite and duplicate
+    /// points, but a teleport splits the stream into separate
+    /// trajectories instead of discarding points: both sides of an
+    /// implausible jump are kept as independent segments.
+    SplitAtGaps,
+    /// Like [`RepairPolicy::DropBad`], but a teleporting point is moved
+    /// back onto the ray from its predecessor, at the maximum plausible
+    /// displacement, instead of being dropped.
+    ClampSpeed,
+}
+
+/// Tuning of the repair pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairConfig {
+    /// The policy applied to structural defects.
+    pub policy: RepairPolicy,
+    /// Speed (m/s) above which a displacement is considered a teleport.
+    /// `f64::INFINITY` disables teleport screening entirely.
+    pub max_speed: f64,
+    /// Repaired segments shorter than this many points are discarded
+    /// (the STS measure needs at least 2 points for a speed model).
+    pub min_len: usize,
+}
+
+impl Default for RepairConfig {
+    fn default() -> Self {
+        RepairConfig {
+            policy: RepairPolicy::DropBad,
+            // Generous even for highway traffic; far below GPS
+            // multipath teleports (which typically jump kilometers).
+            max_speed: 70.0,
+            min_len: 2,
+        }
+    }
+}
+
+impl RepairConfig {
+    /// A config with the given policy and default thresholds.
+    pub fn with_policy(policy: RepairPolicy) -> Self {
+        RepairConfig {
+            policy,
+            ..RepairConfig::default()
+        }
+    }
+}
+
+/// The kind of structural defect found in a raw stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DefectKind {
+    /// A coordinate or timestamp was NaN or infinite.
+    NonFinite,
+    /// The timestamp was not strictly greater than its predecessor's.
+    OutOfOrder,
+    /// Two points shared a timestamp.
+    DuplicateStamp,
+    /// The implied speed from the previous point exceeded the
+    /// configured maximum.
+    Teleport {
+        /// The implied speed, m/s.
+        speed: f64,
+    },
+}
+
+impl fmt::Display for DefectKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DefectKind::NonFinite => write!(f, "non-finite coordinate or timestamp"),
+            DefectKind::OutOfOrder => write!(f, "out-of-order timestamp"),
+            DefectKind::DuplicateStamp => write!(f, "duplicate timestamp"),
+            DefectKind::Teleport { speed } => {
+                write!(f, "teleport (implied speed {speed:.1} m/s)")
+            }
+        }
+    }
+}
+
+/// Error returned by [`RepairPolicy::Strict`] on defective input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RepairError {
+    /// The stream contained no points.
+    Empty,
+    /// The first structural defect, with its index in the input.
+    Defect {
+        /// Index of the offending point in the raw stream.
+        index: usize,
+        /// What was wrong with it.
+        kind: DefectKind,
+    },
+}
+
+impl fmt::Display for RepairError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepairError::Empty => write!(f, "empty point stream"),
+            RepairError::Defect { index, kind } => {
+                write!(f, "defective point at index {index}: {kind}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RepairError {}
+
+/// What a repair pass dropped or fixed. All counters are zero for a
+/// clean stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Points in the raw input.
+    pub input_points: usize,
+    /// Points dropped for NaN/infinite coordinates or timestamps.
+    pub dropped_non_finite: usize,
+    /// Adjacent input pairs that arrived out of time order (the stream
+    /// was sorted before further repair when this is non-zero).
+    pub out_of_order: usize,
+    /// Points dropped because they shared a timestamp with an earlier
+    /// point.
+    pub dropped_duplicate_stamps: usize,
+    /// Points dropped as teleport spikes ([`RepairPolicy::DropBad`]).
+    pub dropped_teleports: usize,
+    /// Points pulled back to the plausible-speed envelope
+    /// ([`RepairPolicy::ClampSpeed`]).
+    pub clamped_teleports: usize,
+    /// Segment boundaries introduced at implausible jumps
+    /// ([`RepairPolicy::SplitAtGaps`]).
+    pub splits: usize,
+    /// Repaired segments discarded for being shorter than
+    /// [`RepairConfig::min_len`].
+    pub dropped_short_segments: usize,
+    /// Points surviving into the output trajectories.
+    pub output_points: usize,
+}
+
+impl RepairReport {
+    /// `true` when the input needed no repair at all.
+    pub fn is_clean(&self) -> bool {
+        self.dropped_non_finite == 0
+            && self.out_of_order == 0
+            && self.dropped_duplicate_stamps == 0
+            && self.dropped_teleports == 0
+            && self.clamped_teleports == 0
+            && self.splits == 0
+            && self.dropped_short_segments == 0
+    }
+
+    /// Total points dropped (not counting clamped points, which
+    /// survive with an adjusted location).
+    pub fn dropped_points(&self) -> usize {
+        self.input_points - self.output_points
+    }
+}
+
+/// A repaired stream: zero or more valid trajectories plus the report
+/// of everything that was done to produce them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairOutcome {
+    /// The repaired trajectories, in stream order.
+    pub trajectories: Vec<Trajectory>,
+    /// What was dropped or fixed.
+    pub report: RepairReport,
+}
+
+/// Repairs a raw point stream into valid trajectories under `config`.
+///
+/// Non-strict policies never fail: any input yields `Ok`, possibly
+/// with zero output trajectories (the report says why). Only
+/// [`RepairPolicy::Strict`] returns `Err`, naming the first defect.
+pub fn repair(points: &[TrajPoint], config: &RepairConfig) -> Result<RepairOutcome, RepairError> {
+    if config.policy == RepairPolicy::Strict {
+        return repair_strict(points, config);
+    }
+    let mut report = RepairReport {
+        input_points: points.len(),
+        ..RepairReport::default()
+    };
+
+    // 1. Drop non-finite points.
+    let mut pts: Vec<TrajPoint> = Vec::with_capacity(points.len());
+    for p in points {
+        if p.loc.is_finite() && p.t.is_finite() {
+            pts.push(*p);
+        } else {
+            report.dropped_non_finite += 1;
+        }
+    }
+
+    // 2. Restore time order. Count the arrival-order violations first so
+    // the report distinguishes "was shuffled" from "was clean"; the sort
+    // is stable, so simultaneous points keep their arrival order.
+    report.out_of_order = pts.windows(2).filter(|w| w[0].t > w[1].t).count();
+    if report.out_of_order > 0 {
+        pts.sort_by(|a, b| a.t.total_cmp(&b.t));
+    }
+
+    // 3. Collapse duplicate timestamps, keeping the first arrival.
+    let before = pts.len();
+    pts.dedup_by(|b, a| a.t == b.t);
+    report.dropped_duplicate_stamps = before - pts.len();
+
+    // 4. Teleport screening, policy-dependent.
+    let mut segments: Vec<Vec<TrajPoint>> = Vec::new();
+    let mut current: Vec<TrajPoint> = Vec::new();
+    for p in pts {
+        let Some(prev) = current.last().copied() else {
+            current.push(p);
+            continue;
+        };
+        let dt = p.t - prev.t;
+        let dist = prev.loc.distance(&p.loc);
+        // dt > 0 is guaranteed by steps 2–3.
+        if dist <= config.max_speed * dt {
+            current.push(p);
+            continue;
+        }
+        match config.policy {
+            RepairPolicy::DropBad => report.dropped_teleports += 1,
+            RepairPolicy::SplitAtGaps => {
+                report.splits += 1;
+                segments.push(std::mem::take(&mut current));
+                current.push(p);
+            }
+            RepairPolicy::ClampSpeed => {
+                // Pull the point back along the prev→p ray to the edge
+                // of the plausible envelope. dist > 0 here (a zero
+                // displacement can never exceed the speed bound).
+                let scale = config.max_speed * dt / dist;
+                let clamped = TrajPoint::from_xy(
+                    prev.loc.x + (p.loc.x - prev.loc.x) * scale,
+                    prev.loc.y + (p.loc.y - prev.loc.y) * scale,
+                    p.t,
+                );
+                report.clamped_teleports += 1;
+                current.push(clamped);
+            }
+            RepairPolicy::Strict => unreachable!("handled above"),
+        }
+    }
+    segments.push(current);
+
+    // 5. Materialize segments long enough to be useful.
+    let mut trajectories = Vec::new();
+    for seg in segments {
+        if seg.len() < config.min_len {
+            if !seg.is_empty() {
+                report.dropped_short_segments += 1;
+            }
+            continue;
+        }
+        // By construction the segment is finite and strictly
+        // increasing; a constructor error would be a repair bug, and
+        // degraded mode degrades (drops the segment) rather than
+        // panicking even then.
+        match Trajectory::new(seg) {
+            Ok(t) => {
+                report.output_points += t.len();
+                trajectories.push(t);
+            }
+            Err(_) => {
+                report.dropped_short_segments += 1;
+            }
+        }
+    }
+    Ok(RepairOutcome {
+        trajectories,
+        report,
+    })
+}
+
+/// Strict mode: verify, never alter.
+fn repair_strict(
+    points: &[TrajPoint],
+    config: &RepairConfig,
+) -> Result<RepairOutcome, RepairError> {
+    if points.is_empty() {
+        return Err(RepairError::Empty);
+    }
+    for (i, p) in points.iter().enumerate() {
+        if !p.loc.is_finite() || !p.t.is_finite() {
+            return Err(RepairError::Defect {
+                index: i,
+                kind: DefectKind::NonFinite,
+            });
+        }
+        if i > 0 {
+            let prev = points[i - 1];
+            if p.t == prev.t {
+                return Err(RepairError::Defect {
+                    index: i,
+                    kind: DefectKind::DuplicateStamp,
+                });
+            }
+            if p.t < prev.t {
+                return Err(RepairError::Defect {
+                    index: i,
+                    kind: DefectKind::OutOfOrder,
+                });
+            }
+            let speed = prev.loc.distance(&p.loc) / (p.t - prev.t);
+            if speed > config.max_speed {
+                return Err(RepairError::Defect {
+                    index: i,
+                    kind: DefectKind::Teleport { speed },
+                });
+            }
+        }
+    }
+    let report = RepairReport {
+        input_points: points.len(),
+        output_points: points.len(),
+        ..RepairReport::default()
+    };
+    let traj = Trajectory::new(points.to_vec()).expect("strict pass verified the invariants");
+    Ok(RepairOutcome {
+        trajectories: vec![traj],
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean() -> Vec<TrajPoint> {
+        (0..10)
+            .map(|i| TrajPoint::from_xy(2.0 * i as f64, 5.0, i as f64))
+            .collect()
+    }
+
+    #[test]
+    fn clean_stream_passes_every_policy_untouched() {
+        for policy in [
+            RepairPolicy::Strict,
+            RepairPolicy::DropBad,
+            RepairPolicy::SplitAtGaps,
+            RepairPolicy::ClampSpeed,
+        ] {
+            let out = repair(&clean(), &RepairConfig::with_policy(policy)).unwrap();
+            assert_eq!(out.trajectories.len(), 1, "{policy:?}");
+            assert_eq!(out.trajectories[0].len(), 10);
+            assert!(out.report.is_clean(), "{policy:?}: {:?}", out.report);
+            assert_eq!(out.report.dropped_points(), 0);
+        }
+    }
+
+    #[test]
+    fn strict_names_the_first_defect() {
+        let config = RepairConfig::with_policy(RepairPolicy::Strict);
+        assert_eq!(repair(&[], &config), Err(RepairError::Empty));
+
+        let mut pts = clean();
+        pts[3].loc.x = f64::NAN;
+        assert_eq!(
+            repair(&pts, &config).unwrap_err(),
+            RepairError::Defect {
+                index: 3,
+                kind: DefectKind::NonFinite
+            }
+        );
+
+        let mut pts = clean();
+        pts[4].t = pts[3].t;
+        assert_eq!(
+            repair(&pts, &config).unwrap_err(),
+            RepairError::Defect {
+                index: 4,
+                kind: DefectKind::DuplicateStamp
+            }
+        );
+
+        let mut pts = clean();
+        pts.swap(5, 6);
+        assert!(matches!(
+            repair(&pts, &config).unwrap_err(),
+            RepairError::Defect {
+                index: 6,
+                kind: DefectKind::OutOfOrder
+            }
+        ));
+
+        let mut pts = clean();
+        pts[7].loc.x += 10_000.0;
+        assert!(matches!(
+            repair(&pts, &config).unwrap_err(),
+            RepairError::Defect {
+                index: 7,
+                kind: DefectKind::Teleport { .. }
+            }
+        ));
+    }
+
+    #[test]
+    fn drop_bad_removes_non_finite_and_duplicates() {
+        let mut pts = clean();
+        pts[2].loc.y = f64::INFINITY;
+        pts[5].t = f64::NAN;
+        pts[8].t = pts[7].t;
+        let out = repair(&pts, &RepairConfig::default()).unwrap();
+        assert_eq!(out.trajectories.len(), 1);
+        assert_eq!(out.report.dropped_non_finite, 2);
+        assert_eq!(out.report.dropped_duplicate_stamps, 1);
+        assert_eq!(out.trajectories[0].len(), 7);
+        assert_eq!(out.report.output_points, 7);
+    }
+
+    #[test]
+    fn shuffled_timestamps_are_restored() {
+        let mut pts = clean();
+        pts.swap(1, 6);
+        pts.swap(3, 8);
+        let out = repair(&pts, &RepairConfig::default()).unwrap();
+        assert_eq!(out.trajectories.len(), 1);
+        assert!(out.report.out_of_order > 0);
+        let t = &out.trajectories[0];
+        assert_eq!(t.len(), 10);
+        for w in t.points().windows(2) {
+            assert!(w[0].t < w[1].t);
+        }
+    }
+
+    #[test]
+    fn drop_bad_removes_teleport_spike() {
+        let mut pts = clean();
+        pts[4].loc.x += 5_000.0; // 5 km in 1 s
+        let out = repair(&pts, &RepairConfig::default()).unwrap();
+        assert_eq!(out.report.dropped_teleports, 1);
+        assert_eq!(out.trajectories.len(), 1);
+        assert_eq!(out.trajectories[0].len(), 9);
+        // The survivors are all within the speed envelope.
+        for s in out.trajectories[0].speed_samples() {
+            assert!(s <= RepairConfig::default().max_speed);
+        }
+    }
+
+    #[test]
+    fn split_at_gaps_keeps_both_sides() {
+        let mut pts = clean();
+        // Shift the whole tail 5 km away: one implausible jump.
+        for p in &mut pts[5..] {
+            p.loc.x += 5_000.0;
+        }
+        let config = RepairConfig::with_policy(RepairPolicy::SplitAtGaps);
+        let out = repair(&pts, &config).unwrap();
+        assert_eq!(out.report.splits, 1);
+        assert_eq!(out.trajectories.len(), 2);
+        assert_eq!(out.trajectories[0].len(), 5);
+        assert_eq!(out.trajectories[1].len(), 5);
+        assert_eq!(out.report.output_points, 10);
+    }
+
+    #[test]
+    fn clamp_speed_keeps_the_point_within_the_envelope() {
+        let mut pts = clean();
+        pts[4].loc.x += 5_000.0;
+        let config = RepairConfig::with_policy(RepairPolicy::ClampSpeed);
+        let out = repair(&pts, &config).unwrap();
+        assert_eq!(out.report.clamped_teleports, 1);
+        assert_eq!(out.trajectories.len(), 1);
+        assert_eq!(out.trajectories[0].len(), 10);
+        let speeds = out.trajectories[0].speed_samples();
+        assert!(speeds[3] <= config.max_speed * (1.0 + 1e-9), "{speeds:?}");
+    }
+
+    #[test]
+    fn short_segments_are_discarded() {
+        let pts = vec![TrajPoint::from_xy(0.0, 0.0, 0.0)];
+        let out = repair(&pts, &RepairConfig::default()).unwrap();
+        assert!(out.trajectories.is_empty());
+        assert_eq!(out.report.dropped_short_segments, 1);
+        assert_eq!(out.report.output_points, 0);
+    }
+
+    #[test]
+    fn hopeless_input_degrades_to_nothing_without_error() {
+        let pts = vec![
+            TrajPoint::from_xy(f64::NAN, 0.0, 0.0),
+            TrajPoint::from_xy(0.0, f64::INFINITY, 1.0),
+            TrajPoint::from_xy(0.0, 0.0, f64::NAN),
+        ];
+        for policy in [
+            RepairPolicy::DropBad,
+            RepairPolicy::SplitAtGaps,
+            RepairPolicy::ClampSpeed,
+        ] {
+            let out = repair(&pts, &RepairConfig::with_policy(policy)).unwrap();
+            assert!(out.trajectories.is_empty(), "{policy:?}");
+            assert_eq!(out.report.dropped_non_finite, 3);
+        }
+        let empty = repair(&[], &RepairConfig::default()).unwrap();
+        assert!(empty.trajectories.is_empty());
+        assert!(empty.report.is_clean());
+    }
+
+    #[test]
+    fn infinite_max_speed_disables_teleport_screening() {
+        let mut pts = clean();
+        pts[4].loc.x += 5_000.0;
+        let config = RepairConfig {
+            max_speed: f64::INFINITY,
+            ..RepairConfig::default()
+        };
+        let out = repair(&pts, &config).unwrap();
+        assert_eq!(out.report.dropped_teleports, 0);
+        assert_eq!(out.trajectories[0].len(), 10);
+    }
+}

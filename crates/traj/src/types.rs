@@ -159,13 +159,14 @@ impl Trajectory {
     /// Index of the last observation with `t_i <= t`, or `None` when `t`
     /// precedes the trajectory. Binary search: `O(log n)`.
     pub fn index_at_or_before(&self, t: f64) -> Option<usize> {
-        if t < self.start_time() {
+        // Negated comparison: a NaN query time precedes nothing and
+        // returns `None` instead of corrupting the binary search.
+        if !(t >= self.start_time()) {
             return None;
         }
-        match self
-            .points
-            .binary_search_by(|p| p.t.partial_cmp(&t).expect("finite timestamps"))
-        {
+        // Timestamps are finite by invariant, so total_cmp agrees with
+        // the numeric order while never being able to panic.
+        match self.points.binary_search_by(|p| p.t.total_cmp(&t)) {
             Ok(i) => Some(i),
             Err(i) => Some(i - 1),
         }
@@ -176,10 +177,11 @@ impl Trajectory {
     /// trajectory's time span. When `t` hits an observation exactly, that
     /// observation is returned as both ends.
     pub fn bracketing(&self, t: f64) -> Option<(TrajPoint, TrajPoint)> {
-        if t < self.start_time() || t > self.end_time() {
+        // Negated form so a NaN query time yields `None`, not a panic.
+        if !(t >= self.start_time() && t <= self.end_time()) {
             return None;
         }
-        let i = self.index_at_or_before(t).expect("t >= start");
+        let i = self.index_at_or_before(t)?;
         if self.points[i].t == t {
             return Some((self.points[i], self.points[i]));
         }
@@ -234,7 +236,7 @@ impl Trajectory {
     /// Eq. 10).
     pub fn merged_timestamps(&self, other: &Trajectory) -> Vec<f64> {
         let mut ts: Vec<f64> = self.timestamps().chain(other.timestamps()).collect();
-        ts.sort_by(|a, b| a.partial_cmp(b).expect("finite timestamps"));
+        ts.sort_by(f64::total_cmp);
         ts
     }
 }

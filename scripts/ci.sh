@@ -14,6 +14,14 @@ cargo build --workspace --release --offline
 echo "== test (offline) =="
 cargo test --workspace -q --offline
 
+# Explicit robustness gate: the chaos property suite (every fault
+# injector, 100+ seeded cases each, through repair → prepare → STP →
+# similarity under catch_unwind) and the byte-mangling fuzz of the
+# lenient reader. Both also run inside the workspace tests above; the
+# dedicated step keeps a regression here from hiding in the noise.
+echo "== chaos (fault injection + lenient-reader fuzz) =="
+cargo test -p sts-robust -q --offline --test chaos
+
 echo "== format =="
 if cargo fmt --version >/dev/null 2>&1; then
     cargo fmt --check

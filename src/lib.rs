@@ -9,8 +9,11 @@
 //! * [`sts_core::Sts`] — the spatial-temporal similarity measure itself;
 //! * [`sts_rng`] — the deterministic randomness substrate (seeded
 //!   xoshiro256++ PRNG and the in-repo property-testing harness);
-//! * [`sts_traj`] — trajectory types, sampling, noise and synthetic
-//!   workload generators;
+//! * [`sts_traj`] — trajectory types, sampling, noise, synthetic
+//!   workload generators, and the repair pipeline + lenient reader for
+//!   dirty real-world feeds;
+//! * [`sts_robust`] — deterministic fault injectors and the chaos
+//!   property suite attacking the pipeline above;
 //! * [`sts_baselines`] — the comparison measures evaluated in the paper;
 //! * [`sts_eval`] — the trajectory-matching harness and the per-figure
 //!   experiment drivers.
@@ -24,5 +27,6 @@ pub use sts_eval as eval;
 pub use sts_geo as geo;
 pub use sts_rng as rng;
 pub use sts_rng::{prop_assert, prop_assert_eq};
+pub use sts_robust as robust;
 pub use sts_stats as stats;
 pub use sts_traj as traj;
