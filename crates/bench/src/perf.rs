@@ -10,7 +10,7 @@ use crate::timing::{time, Measurement, TimingConfig};
 use crate::{bench_mall, bench_taxi};
 use sts_core::noise::GaussianNoise;
 use sts_core::transition::SpeedKdeTransition;
-use sts_core::{StpEstimator, Sts, StsConfig};
+use sts_core::{CheckpointConfig, JobConfig, StpEstimator, Sts, StsConfig};
 use sts_eval::matching::matching_ranks;
 use sts_eval::measures::{make_measure, measure_set, MeasureKind};
 use sts_geo::{BoundingBox, Grid, Point};
@@ -37,6 +37,7 @@ pub fn all_suites() -> Vec<(&'static str, fn(&TimingConfig) -> PerfReport)> {
         ("stp", stp),
         ("substrates", substrates),
         ("chaos", chaos),
+        ("runtime", runtime),
     ]
 }
 
@@ -216,6 +217,59 @@ pub fn chaos(config: &TimingConfig) -> PerfReport {
     ];
     PerfReport {
         suite: "chaos",
+        entries,
+    }
+}
+
+/// Supervision overhead on a clean batch: the strict matrix versus a
+/// fully supervised job (pair-chunk queue, budget/cancel checks,
+/// per-cell retry containment) versus the same job flushing text
+/// checkpoints — what a service pays for deadlines, retries and
+/// resumability when nothing actually goes wrong.
+pub fn runtime(config: &TimingConfig) -> PerfReport {
+    let scenario = bench_mall(5);
+    let clean: Vec<Trajectory> = scenario.pairs.d1.clone();
+    let sts = Sts::new(
+        StsConfig {
+            noise_sigma: scenario.scale.noise_sigma,
+            ..StsConfig::default()
+        },
+        scenario.default_grid(),
+    );
+    let ckpt = std::env::temp_dir().join(format!("sts-bench-runtime-{}.ckpt", std::process::id()));
+
+    let entries = vec![
+        (
+            "strict_matrix".to_string(),
+            time(config, || sts.similarity_matrix(&clean, &clean).unwrap()),
+        ),
+        (
+            "supervised_matrix".to_string(),
+            time(config, || {
+                sts.similarity_matrix_supervised(&clean, &clean, &JobConfig::default())
+                    .unwrap()
+            }),
+        ),
+        (
+            "supervised_matrix_checkpointed".to_string(),
+            time(config, || {
+                // Each iteration is a fresh job, not a resume.
+                let _ = std::fs::remove_file(&ckpt);
+                let cfg = JobConfig {
+                    checkpoint: Some(CheckpointConfig {
+                        path: ckpt.clone(),
+                        flush_every_chunks: 4,
+                    }),
+                    ..JobConfig::default()
+                };
+                sts.similarity_matrix_supervised(&clean, &clean, &cfg)
+                    .unwrap()
+            }),
+        ),
+    ];
+    let _ = std::fs::remove_file(&ckpt);
+    PerfReport {
+        suite: "runtime",
         entries,
     }
 }

@@ -22,7 +22,7 @@
 //! these APIs return — no panic, no `Err`, no partial loss of the good
 //! pairs.
 
-use crate::sts::{sort_scores_descending, PreparedTrajectory, Sts};
+use crate::sts::{PreparedTrajectory, Sts};
 use crate::StsError;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -38,7 +38,19 @@ pub enum PairOutcome {
     /// the pair was never attempted.
     Quarantined,
     /// Scoring this pair panicked; the panic was contained to the cell.
+    /// Produced when retries are disabled (the legacy degraded-mode
+    /// contract, [`sts_runtime::RetryPolicy::none`]).
     Panicked,
+    /// Scoring this pair panicked on every attempt of a supervised
+    /// job's retry loop (`attempts` made, with backoff between them).
+    Failed {
+        /// Total attempts consumed before giving up.
+        attempts: u32,
+    },
+    /// The pair was never attempted: the supervised job stopped first
+    /// (deadline, pair budget or cancellation). A resumed job will
+    /// compute it.
+    Skipped,
 }
 
 impl PairOutcome {
@@ -86,8 +98,12 @@ pub struct BatchReport {
     pub quarantined_queries: Vec<(usize, QuarantineReason)>,
     /// Quarantined candidate indices with their reasons.
     pub quarantined_candidates: Vec<(usize, QuarantineReason)>,
-    /// `(query index, candidate index)` pairs whose scoring panicked.
+    /// `(query index, candidate index)` pairs whose scoring panicked
+    /// with retries disabled.
     pub panicked_pairs: Vec<(usize, usize)>,
+    /// `(query index, candidate index)` pairs whose scoring panicked
+    /// through every retry of a supervised job.
+    pub failed_pairs: Vec<(usize, usize)>,
 }
 
 impl BatchReport {
@@ -101,10 +117,17 @@ impl BatchReport {
         self.panicked_pairs.len()
     }
 
-    /// `true` when nothing was quarantined and nothing panicked —
-    /// the batch degraded not at all.
+    /// Number of pairs that failed through every retry.
+    pub fn failed_count(&self) -> usize {
+        self.failed_pairs.len()
+    }
+
+    /// `true` when nothing was quarantined and nothing panicked or
+    /// failed — the batch degraded not at all. (Pairs *skipped* by a
+    /// deadline or cancellation are a lifecycle property, reported in
+    /// the job stats, not a data-quality defect.)
     pub fn is_clean(&self) -> bool {
-        self.quarantine_count() == 0 && self.panic_count() == 0
+        self.quarantine_count() == 0 && self.panic_count() == 0 && self.failed_count() == 0
     }
 }
 
@@ -112,18 +135,20 @@ impl fmt::Display for BatchReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} quarantined ({} queries, {} candidates), {} panicked pair(s)",
+            "{} quarantined ({} queries, {} candidates), {} panicked pair(s), {} failed pair(s)",
             self.quarantine_count(),
             self.quarantined_queries.len(),
             self.quarantined_candidates.len(),
             self.panic_count(),
+            self.failed_count(),
         )
     }
 }
 
 /// Prepares every trajectory, quarantining failures (typed errors and
-/// contained panics alike) into `out`.
-fn prepare_all(
+/// contained panics alike) into `out`. Shared with the supervised job
+/// path in [`crate::job`].
+pub(crate) fn prepare_all(
     sts: &Sts,
     trajectories: &[Trajectory],
     out: &mut Vec<(usize, QuarantineReason)>,
@@ -161,37 +186,18 @@ impl Sts {
         queries: &[Trajectory],
         candidates: &[Trajectory],
     ) -> (Vec<Vec<PairOutcome>>, BatchReport) {
-        let mut report = BatchReport::default();
-        let prepared_q = prepare_all(self, queries, &mut report.quarantined_queries);
-        let prepared_c = prepare_all(self, candidates, &mut report.quarantined_candidates);
-
-        let n_threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(prepared_q.len().max(1));
-        let chunk = prepared_q.len().div_ceil(n_threads).max(1);
-        let mut rows: Vec<Vec<PairOutcome>> = vec![Vec::new(); prepared_q.len()];
-        std::thread::scope(|scope| {
-            for (q_chunk, out_chunk) in prepared_q.chunks(chunk).zip(rows.chunks_mut(chunk)) {
-                let prepared_c = &prepared_c;
-                scope.spawn(move || {
-                    for (q, out) in q_chunk.iter().zip(out_chunk.iter_mut()) {
-                        *out = prepared_c
-                            .iter()
-                            .map(|c| self.score_cell(q.as_ref(), c.as_ref()))
-                            .collect();
-                    }
-                });
-            }
-        });
-        for (i, row) in rows.iter().enumerate() {
-            for (j, cell) in row.iter().enumerate() {
-                if *cell == PairOutcome::Panicked {
-                    report.panicked_pairs.push((i, j));
-                }
-            }
-        }
-        (rows, report)
+        // The degraded API is the supervised job under the legacy
+        // contract: unlimited budget, no retries (a panicked cell is
+        // terminal and reported as `Panicked`), no checkpoint. With no
+        // checkpoint configured the supervised path cannot fail.
+        let (matrix, report) = self
+            .similarity_matrix_supervised(
+                queries,
+                candidates,
+                &crate::job::JobConfig::legacy_degraded(),
+            )
+            .expect("supervised job without checkpoint is infallible");
+        (matrix, report.batch)
     }
 
     /// Degraded-mode top-k: ranks every scorable candidate, quarantining
@@ -205,45 +211,15 @@ impl Sts {
         candidates: &[Trajectory],
         k: usize,
     ) -> (Vec<(usize, f64)>, BatchReport) {
-        let mut report = BatchReport::default();
-        let q = match prepare_all(
-            self,
-            std::slice::from_ref(query),
-            &mut report.quarantined_queries,
-        )
-        .pop()
-        .flatten()
-        {
-            Some(q) => q,
-            None => return (Vec::new(), report),
-        };
-        let prepared_c = prepare_all(self, candidates, &mut report.quarantined_candidates);
-        let mut scored = Vec::new();
-        for (j, c) in prepared_c.iter().enumerate() {
-            match self.score_cell(Some(&q), c.as_ref()) {
-                PairOutcome::Score(s) => scored.push((j, s)),
-                PairOutcome::Quarantined => {}
-                PairOutcome::Panicked => report.panicked_pairs.push((0, j)),
-            }
-        }
-        sort_scores_descending(&mut scored);
-        scored.truncate(k);
-        (scored, report)
-    }
-
-    /// Scores one cell, containing panics.
-    fn score_cell(
-        &self,
-        q: Option<&PreparedTrajectory>,
-        c: Option<&PreparedTrajectory>,
-    ) -> PairOutcome {
-        let (Some(q), Some(c)) = (q, c) else {
-            return PairOutcome::Quarantined;
-        };
-        match catch_unwind(AssertUnwindSafe(|| self.similarity_prepared(q, c))) {
-            Ok(s) => PairOutcome::Score(s),
-            Err(_) => PairOutcome::Panicked,
-        }
+        let (top, report) = self
+            .top_k_supervised(
+                query,
+                candidates,
+                k,
+                &crate::job::JobConfig::legacy_degraded(),
+            )
+            .expect("supervised job without checkpoint is infallible");
+        (top, report.batch)
     }
 }
 

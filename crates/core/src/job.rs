@@ -1,0 +1,604 @@
+//! Supervised similarity-matrix jobs: deadlines, cancellation,
+//! retrying workers and checkpoint/resume on top of the
+//! [`sts_runtime`] pool.
+//!
+//! [`Sts::similarity_matrix_degraded`] contains faults but still runs
+//! open-loop: no way to stop it, no way to resume it, and a panicked
+//! cell is never retried. At production scale the dominant failure
+//! mode is operational — a job killed at 90%, a stripe wedged on a
+//! pathological pair, a host with fewer cores than assumed — so every
+//! long-running matrix job here is *supervised*:
+//!
+//! * **deadline-aware** — a [`Budget`] (wall-clock and/or max-pairs)
+//!   is checked at every pair-chunk boundary; a stopped job returns
+//!   every completed cell and marks the rest [`PairOutcome::Skipped`];
+//! * **cancellable** — a [`CancelToken`] gives Ctrl-C handlers and RPC
+//!   deadline watchers a clean way in;
+//! * **self-healing** — a panicked cell is retried with
+//!   decorrelated-jitter backoff up to [`RetryPolicy::max_retries`]
+//!   times before becoming [`PairOutcome::Failed`]; the pool
+//!   additionally retries whole chunks as a backstop and a watchdog
+//!   marks chunks exceeding the soft timeout;
+//! * **resumable** — completed cells are periodically flushed to a
+//!   text checkpoint (format: [`sts_runtime::checkpoint`]); a resumed
+//!   job verifies the header fingerprint against its inputs and skips
+//!   checkpointed cells, so a crash loses at most one flush interval.
+//!
+//! The [`JobReport`] extends the degraded-mode [`BatchReport`] with
+//! the runtime half: timing, retry counts, chunk accounting and
+//! percent-complete ([`JobStats`]).
+
+use crate::batch::{prepare_all, BatchReport, PairOutcome};
+use crate::sts::{sort_scores_descending, PreparedTrajectory, Sts};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+use sts_geo::Grid;
+use sts_runtime::checkpoint::{load_checkpoint, save_checkpoint, CellRecord, Checkpoint, Fnv1a};
+use sts_runtime::pool::{run_supervised, ChunkStatus, PoolConfig};
+use sts_runtime::{
+    Budget, CancelToken, CheckpointError, DecorrelatedJitter, FaultPlan, JobState, JobStats,
+    PairChunk, PairSpace, RetryPolicy,
+};
+use sts_traj::Trajectory;
+
+/// Periodic checkpointing of a supervised job.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Checkpoint file path. If the file exists when the job starts,
+    /// the job *resumes* from it (after fingerprint verification).
+    pub path: PathBuf,
+    /// Flush after this many newly completed chunks (clamped to ≥ 1).
+    /// A crash loses at most this much progress.
+    pub flush_every_chunks: usize,
+}
+
+impl CheckpointConfig {
+    /// Checkpoint to `path`, flushing every 8 completed chunks.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        CheckpointConfig {
+            path: path.into(),
+            flush_every_chunks: 8,
+        }
+    }
+}
+
+/// Everything that governs one supervised job.
+#[derive(Debug, Clone)]
+pub struct JobConfig {
+    /// Wall-clock / max-pairs budget (default: unlimited).
+    pub budget: Budget,
+    /// Cooperative cancellation (default: a fresh, never-cancelled
+    /// token — keep a clone to cancel from outside).
+    pub cancel: CancelToken,
+    /// Per-cell and chunk-backstop retry policy.
+    pub retry: RetryPolicy,
+    /// Worker threads; `0` = automatic ([`sts_runtime::thread_count`],
+    /// which honors the `STS_THREADS` env override).
+    pub threads: usize,
+    /// Pairs per scheduling chunk — the granularity of cancellation
+    /// checks, retries and checkpoint records.
+    pub chunk_pairs: usize,
+    /// Per-chunk soft timeout for the watchdog (default: none).
+    pub soft_timeout: Option<Duration>,
+    /// Periodic checkpointing (default: none).
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Failpoint-style fault injection, consulted before every scoring
+    /// attempt — how the chaos suite drives panicking and slow cells
+    /// through a real job (default: none; production jobs pay one
+    /// `Option` check per cell).
+    pub fault: Option<FaultPlan>,
+}
+
+impl Default for JobConfig {
+    fn default() -> Self {
+        JobConfig {
+            budget: Budget::unlimited(),
+            cancel: CancelToken::new(),
+            retry: RetryPolicy::default(),
+            threads: 0,
+            chunk_pairs: 64,
+            soft_timeout: None,
+            checkpoint: None,
+            fault: None,
+        }
+    }
+}
+
+impl JobConfig {
+    /// The legacy degraded-mode contract: unlimited, no retries (first
+    /// panic is terminal and reported as [`PairOutcome::Panicked`]),
+    /// no checkpoint.
+    pub(crate) fn legacy_degraded() -> Self {
+        JobConfig {
+            retry: RetryPolicy::none(),
+            ..JobConfig::default()
+        }
+    }
+}
+
+/// Errors starting or persisting a supervised job. Only the
+/// checkpoint path can produce these; a job without checkpointing
+/// never fails — it degrades.
+#[derive(Debug)]
+pub enum JobError {
+    /// The checkpoint file exists but cannot be parsed.
+    Checkpoint(CheckpointError),
+    /// The checkpoint belongs to different inputs (grid or
+    /// trajectories changed since it was written).
+    FingerprintMismatch {
+        /// Fingerprint of the current inputs.
+        expected: u64,
+        /// Fingerprint recorded in the checkpoint file.
+        found: u64,
+    },
+    /// The checkpoint's matrix dimensions do not match the job's.
+    DimsMismatch {
+        /// `(rows, cols)` of the current job.
+        expected: (usize, usize),
+        /// `(rows, cols)` recorded in the checkpoint file.
+        found: (usize, usize),
+    },
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Checkpoint(e) => write!(f, "cannot resume: {e}"),
+            JobError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "checkpoint fingerprint {found:016x} does not match job inputs {expected:016x} \
+                 (grid or trajectories changed since the checkpoint was written)"
+            ),
+            JobError::DimsMismatch { expected, found } => write!(
+                f,
+                "checkpoint is {}x{} but the job is {}x{}",
+                found.0, found.1, expected.0, expected.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+impl From<CheckpointError> for JobError {
+    fn from(e: CheckpointError) -> Self {
+        JobError::Checkpoint(e)
+    }
+}
+
+/// The full report of a supervised job: the data-quality half
+/// ([`BatchReport`]: quarantines, per-cell failures) plus the runtime
+/// half ([`JobStats`]: state, timing, retries, completion).
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// Quarantined trajectories and failed/panicked pairs.
+    pub batch: BatchReport,
+    /// Lifecycle accounting.
+    pub stats: JobStats,
+}
+
+impl JobReport {
+    /// Terminal state of the job.
+    pub fn state(&self) -> JobState {
+        self.stats.state
+    }
+
+    /// Did every pair get a terminal outcome (no skips)?
+    pub fn is_complete(&self) -> bool {
+        self.stats.pairs_skipped == 0
+    }
+
+    /// Fraction of the matrix with a terminal outcome, in percent.
+    pub fn percent_complete(&self) -> f64 {
+        self.stats.percent_complete()
+    }
+}
+
+impl fmt::Display for JobReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}; {}", self.stats, self.batch)
+    }
+}
+
+/// Binds a checkpoint to its job inputs: grid geometry plus the shape
+/// (length, first/last point) of every trajectory. Deliberately *not*
+/// the full point data — hashing millions of points per flush would
+/// tax the hot path — so resuming with a corpus edited in place
+/// between identical endpoints is undetected; the documented contract
+/// is "same files, same grid, same order".
+fn job_fingerprint(grid: &Grid, queries: &[Trajectory], candidates: &[Trajectory]) -> u64 {
+    let mut h = Fnv1a::new();
+    let area = grid.area();
+    for v in [
+        area.min().x,
+        area.min().y,
+        area.max().x,
+        area.max().y,
+        grid.cell_size(),
+    ] {
+        h.write_f64(v);
+    }
+    for side in [queries, candidates] {
+        h.write_u64(side.len() as u64);
+        for t in side {
+            h.write_u64(t.len() as u64);
+            for p in [t.get(0), t.get(t.len() - 1)] {
+                h.write_f64(p.loc.x);
+                h.write_f64(p.loc.y);
+                h.write_f64(p.t);
+            }
+        }
+    }
+    h.finish()
+}
+
+/// Is this outcome terminal for resume purposes (never recomputed)?
+fn is_terminal(cell: &PairOutcome) -> bool {
+    !matches!(cell, PairOutcome::Skipped)
+}
+
+fn to_record(cell: &PairOutcome) -> Option<CellRecord> {
+    match cell {
+        PairOutcome::Score(s) => Some(CellRecord::Score(*s)),
+        PairOutcome::Failed { attempts } => Some(CellRecord::Failed {
+            attempts: *attempts,
+        }),
+        PairOutcome::Panicked => Some(CellRecord::Panicked),
+        // Quarantine is re-derived from preparation on resume; Skipped
+        // is by definition not terminal.
+        PairOutcome::Quarantined | PairOutcome::Skipped => None,
+    }
+}
+
+fn from_record(rec: CellRecord) -> PairOutcome {
+    match rec {
+        CellRecord::Score(s) => PairOutcome::Score(s),
+        CellRecord::Failed { attempts } => PairOutcome::Failed { attempts },
+        CellRecord::Panicked => PairOutcome::Panicked,
+    }
+}
+
+impl Sts {
+    /// The supervised `queries × candidates` similarity matrix: the
+    /// degraded-mode guarantees of
+    /// [`similarity_matrix_degraded`](Sts::similarity_matrix_degraded)
+    /// plus deadlines, cancellation, retries and checkpoint/resume —
+    /// see the [module docs](crate::job).
+    ///
+    /// Never panics and never loses completed work: whatever stops the
+    /// job (deadline, budget, cancel, per-cell failures), every
+    /// completed cell is returned and the [`JobReport`] says exactly
+    /// what happened. `Err` is only possible when
+    /// [`JobConfig::checkpoint`] is set and the existing checkpoint
+    /// cannot be used (parse error, fingerprint/dims mismatch).
+    pub fn similarity_matrix_supervised(
+        &self,
+        queries: &[Trajectory],
+        candidates: &[Trajectory],
+        cfg: &JobConfig,
+    ) -> Result<(Vec<Vec<PairOutcome>>, JobReport), JobError> {
+        let started = Instant::now();
+        let space = PairSpace::new(queries.len(), candidates.len());
+        let mut batch = BatchReport::default();
+
+        // A job with no budget at all returns before preparing
+        // anything: "0-pair budget" must mean *immediately*, not
+        // "after an O(n) preparation pass".
+        if let Some(reason) = check_start(cfg) {
+            let cells = vec![PairOutcome::Skipped; space.len()];
+            let stats = stats_from(&space, &cells, 0, JobState::from_run(Some(reason), false));
+            return Ok((
+                reshape(cells, &space),
+                JobReport {
+                    batch,
+                    stats: JobStats {
+                        elapsed: started.elapsed(),
+                        ..stats
+                    },
+                },
+            ));
+        }
+
+        let prepared_q = prepare_all(self, queries, &mut batch.quarantined_queries);
+        let prepared_c = prepare_all(self, candidates, &mut batch.quarantined_candidates);
+
+        // Resume: restore terminal cells from an existing checkpoint.
+        let fingerprint = job_fingerprint(self.grid(), queries, candidates);
+        let mut cells: Vec<PairOutcome> = vec![PairOutcome::Skipped; space.len()];
+        let mut pairs_resumed = 0usize;
+        if let Some(ck) = &cfg.checkpoint {
+            if ck.path.exists() {
+                let cp = load_checkpoint(&ck.path)?;
+                if cp.fingerprint != fingerprint {
+                    return Err(JobError::FingerprintMismatch {
+                        expected: fingerprint,
+                        found: cp.fingerprint,
+                    });
+                }
+                if (cp.rows, cp.cols) != (space.rows(), space.cols()) {
+                    return Err(JobError::DimsMismatch {
+                        expected: (space.rows(), space.cols()),
+                        found: (cp.rows, cp.cols),
+                    });
+                }
+                for (i, j, rec) in cp.cells {
+                    cells[i * space.cols() + j] = from_record(rec);
+                    pairs_resumed += 1;
+                }
+            }
+        }
+        let done: Vec<bool> = cells.iter().map(is_terminal).collect();
+
+        // Chunks fully covered by the checkpoint are never queued.
+        let chunks: Vec<PairChunk> = space
+            .chunks(cfg.chunk_pairs)
+            .filter(|c| c.range().any(|lin| !done[lin]))
+            .collect();
+
+        let cell_retries = AtomicU64::new(0);
+        let work = |chunk: &PairChunk| -> Vec<(usize, PairOutcome)> {
+            let mut out = Vec::with_capacity(chunk.len);
+            for lin in chunk.range() {
+                if done[lin] {
+                    continue;
+                }
+                let (i, j) = space.pair(lin);
+                out.push((
+                    lin,
+                    self.score_cell_retrying(
+                        prepared_q[i].as_ref(),
+                        prepared_c[j].as_ref(),
+                        cfg,
+                        lin,
+                        &cell_retries,
+                    ),
+                ));
+            }
+            out
+        };
+
+        let pool_cfg = PoolConfig {
+            threads: cfg.threads,
+            retry: cfg.retry,
+            soft_timeout: cfg.soft_timeout,
+            budget: cfg.budget,
+            cancel: cfg.cancel.clone(),
+        };
+        let mut flush_pending = 0usize;
+        let mut flushes = 0usize;
+        let mut flush_errors = 0usize;
+        let run = run_supervised(&chunks, &pool_cfg, work, |_chunk, computed| {
+            for (lin, outcome) in computed {
+                cells[lin] = outcome;
+            }
+            if let Some(ck) = &cfg.checkpoint {
+                flush_pending += 1;
+                if flush_pending >= ck.flush_every_chunks.max(1) {
+                    flush_pending = 0;
+                    match save_checkpoint(&ck.path, &snapshot(fingerprint, &space, &cells)) {
+                        Ok(()) => flushes += 1,
+                        Err(_) => flush_errors += 1,
+                    }
+                }
+            }
+        });
+
+        // Pool-level backstop: cells of a terminally failed chunk that
+        // never produced outcomes become Failed (or Panicked under the
+        // legacy no-retry contract).
+        for (idx, status) in run.statuses.iter().enumerate() {
+            if let ChunkStatus::Failed { attempts } = status {
+                for lin in chunks[idx].range() {
+                    if !done[lin] && !is_terminal(&cells[lin]) {
+                        cells[lin] = if cfg.retry.max_retries == 0 {
+                            PairOutcome::Panicked
+                        } else {
+                            PairOutcome::Failed {
+                                attempts: *attempts,
+                            }
+                        };
+                    }
+                }
+            }
+        }
+
+        // Final flush so a later resume (or post-mortem) sees the
+        // job's full terminal knowledge, whatever stopped it.
+        if let Some(ck) = &cfg.checkpoint {
+            match save_checkpoint(&ck.path, &snapshot(fingerprint, &space, &cells)) {
+                Ok(()) => flushes += 1,
+                Err(_) => flush_errors += 1,
+            }
+        }
+
+        // Fold per-cell outcomes into the batch report.
+        for (lin, cell) in cells.iter().enumerate() {
+            match cell {
+                PairOutcome::Panicked => batch.panicked_pairs.push(space.pair(lin)),
+                PairOutcome::Failed { .. } => batch.failed_pairs.push(space.pair(lin)),
+                _ => {}
+            }
+        }
+
+        let any_failed = !batch.failed_pairs.is_empty() || !batch.panicked_pairs.is_empty();
+        let mut stats = stats_from(
+            &space,
+            &cells,
+            pairs_resumed,
+            JobState::from_run(run.stop, any_failed),
+        );
+        stats.elapsed = started.elapsed();
+        stats.chunks_total = chunks.len();
+        stats.chunks_completed = run
+            .statuses
+            .iter()
+            .filter(|s| **s == ChunkStatus::Completed)
+            .count();
+        stats.chunks_failed = run
+            .statuses
+            .iter()
+            .filter(|s| matches!(s, ChunkStatus::Failed { .. }))
+            .count();
+        stats.chunks_skipped = run
+            .statuses
+            .iter()
+            .filter(|s| matches!(s, ChunkStatus::Skipped(_)))
+            .count();
+        stats.retries = run.retries + cell_retries.into_inner();
+        stats.slow_chunks = run.slow_chunks;
+        stats.checkpoint_flushes = flushes;
+        stats.checkpoint_write_errors = flush_errors;
+
+        Ok((reshape(cells, &space), JobReport { batch, stats }))
+    }
+
+    /// Supervised top-k: ranks every scorable candidate under the same
+    /// budget/cancellation/retry/checkpoint regime as
+    /// [`similarity_matrix_supervised`](Sts::similarity_matrix_supervised)
+    /// (the query is row 0 of a `1 × candidates` job). Skipped,
+    /// quarantined and failed candidates are excluded from the ranking
+    /// — the report says which and why.
+    pub fn top_k_supervised(
+        &self,
+        query: &Trajectory,
+        candidates: &[Trajectory],
+        k: usize,
+        cfg: &JobConfig,
+    ) -> Result<(Vec<(usize, f64)>, JobReport), JobError> {
+        let (matrix, report) =
+            self.similarity_matrix_supervised(std::slice::from_ref(query), candidates, cfg)?;
+        let mut scored: Vec<(usize, f64)> = matrix[0]
+            .iter()
+            .enumerate()
+            .filter_map(|(j, cell)| cell.score().map(|s| (j, s)))
+            .collect();
+        sort_scores_descending(&mut scored);
+        scored.truncate(k);
+        Ok((scored, report))
+    }
+
+    /// Scores one cell with per-cell panic containment and retries.
+    /// The jitter is seeded by the cell's linear index, so a replayed
+    /// job backs off through the same schedule. The fault hook runs
+    /// inside the containment, before the real work, so injected
+    /// panics take exactly the retry path a genuine panic would.
+    fn score_cell_retrying(
+        &self,
+        q: Option<&PreparedTrajectory>,
+        c: Option<&PreparedTrajectory>,
+        cfg: &JobConfig,
+        lin: usize,
+        retries: &AtomicU64,
+    ) -> PairOutcome {
+        let (Some(q), Some(c)) = (q, c) else {
+            return PairOutcome::Quarantined;
+        };
+        let retry = &cfg.retry;
+        let mut jitter = DecorrelatedJitter::new(
+            retry.backoff_base,
+            retry.backoff_cap,
+            retry.seed ^ (lin as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93),
+        );
+        let mut attempts = 0u32;
+        loop {
+            match catch_unwind(AssertUnwindSafe(|| {
+                if let Some(plan) = &cfg.fault {
+                    plan.apply(lin, attempts);
+                }
+                self.similarity_prepared(q, c)
+            })) {
+                Ok(s) => return PairOutcome::Score(s),
+                Err(_) => {
+                    attempts += 1;
+                    if attempts > retry.max_retries {
+                        return if retry.max_retries == 0 {
+                            PairOutcome::Panicked
+                        } else {
+                            PairOutcome::Failed { attempts }
+                        };
+                    }
+                    retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(jitter.next_delay());
+                }
+            }
+        }
+    }
+}
+
+/// Does the config stop a job before any work at all?
+fn check_start(cfg: &JobConfig) -> Option<sts_runtime::StopReason> {
+    if cfg.cancel.is_cancelled() {
+        return Some(sts_runtime::StopReason::Cancelled);
+    }
+    cfg.budget.check(0)
+}
+
+/// The checkpoint snapshot of the current cell state.
+fn snapshot(fingerprint: u64, space: &PairSpace, cells: &[PairOutcome]) -> Checkpoint {
+    Checkpoint {
+        fingerprint,
+        rows: space.rows(),
+        cols: space.cols(),
+        cells: cells
+            .iter()
+            .enumerate()
+            .filter_map(|(lin, cell)| {
+                to_record(cell).map(|rec| {
+                    let (i, j) = space.pair(lin);
+                    (i, j, rec)
+                })
+            })
+            .collect(),
+    }
+}
+
+/// Pair-level accounting common to every exit path.
+fn stats_from(
+    space: &PairSpace,
+    cells: &[PairOutcome],
+    pairs_resumed: usize,
+    state: JobState,
+) -> JobStats {
+    let pairs_skipped = cells
+        .iter()
+        .filter(|c| matches!(c, PairOutcome::Skipped))
+        .count();
+    let pairs_failed = cells
+        .iter()
+        .filter(|c| matches!(c, PairOutcome::Failed { .. } | PairOutcome::Panicked))
+        .count();
+    JobStats {
+        state,
+        elapsed: Duration::ZERO,
+        pairs_total: space.len(),
+        pairs_completed: space.len() - pairs_skipped,
+        pairs_failed,
+        pairs_skipped,
+        pairs_resumed,
+        chunks_total: 0,
+        chunks_completed: 0,
+        chunks_failed: 0,
+        chunks_skipped: 0,
+        retries: 0,
+        slow_chunks: Vec::new(),
+        checkpoint_flushes: 0,
+        checkpoint_write_errors: 0,
+    }
+}
+
+/// Flat row-major cells into `Vec<Vec<_>>` rows.
+fn reshape(cells: Vec<PairOutcome>, space: &PairSpace) -> Vec<Vec<PairOutcome>> {
+    let cols = space.cols();
+    if cols == 0 {
+        return vec![Vec::new(); space.rows()];
+    }
+    let mut rows = Vec::with_capacity(space.rows());
+    let mut it = cells.into_iter();
+    for _ in 0..space.rows() {
+        rows.push(it.by_ref().take(cols).collect());
+    }
+    rows
+}

@@ -41,6 +41,7 @@ pub mod batch;
 mod colocation;
 mod dist;
 pub mod index;
+pub mod job;
 pub mod noise;
 pub mod stprob;
 mod sts;
@@ -50,6 +51,7 @@ pub use batch::{BatchReport, PairOutcome, QuarantineReason};
 pub use colocation::colocation_probability;
 pub use dist::SparseDistribution;
 pub use index::ColocationIndex;
+pub use job::{CheckpointConfig, JobConfig, JobError, JobReport};
 pub use noise::{DeterministicNoise, GaussianNoise, NoiseModel, UniformDiscNoise};
 pub use stprob::StpEstimator;
 pub use sts::{exposure_duration, PreparedTrajectory, Sts, StsConfig, StsVariant};

@@ -13,8 +13,9 @@ use crate::transition::{
     BrownianTransition, FrequencyTransition, SpeedKdeTransition, TransitionModel,
 };
 use crate::StsError;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use sts_geo::Grid;
+use sts_runtime::PairSpace;
 use sts_stats::Kernel;
 use sts_traj::Trajectory;
 
@@ -289,9 +290,17 @@ impl Sts {
         Ok(self.similarity_prepared(&pa, &pb))
     }
 
-    /// The full `queries × candidates` similarity matrix, computed with
-    /// scoped threads (one stripe of query rows per thread). Row `i`,
+    /// The full `queries × candidates` similarity matrix. Row `i`,
     /// column `j` holds `STS(queries[i], candidates[j])`.
+    ///
+    /// Pairs are dealt to workers in chunks from a shared queue (the
+    /// same [`sts_runtime::PairSpace`] chunking as the degraded and
+    /// supervised paths), with the worker count from
+    /// [`sts_runtime::thread_count`] — `STS_THREADS` overrides,
+    /// otherwise the host's available parallelism. This is the
+    /// *strict* path: one unpreparable trajectory fails the whole
+    /// batch and panics propagate; services want
+    /// [`Sts::similarity_matrix_supervised`].
     pub fn similarity_matrix(
         &self,
         queries: &[Trajectory],
@@ -305,25 +314,41 @@ impl Sts {
             .iter()
             .map(|t| self.prepare(t))
             .collect::<Result<_, _>>()?;
-        let n_threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(prepared_q.len().max(1));
-        let mut rows: Vec<Vec<f64>> = vec![Vec::new(); prepared_q.len()];
-        let chunk = prepared_q.len().div_ceil(n_threads).max(1);
-        std::thread::scope(|scope| {
-            for (q_chunk, out_chunk) in prepared_q.chunks(chunk).zip(rows.chunks_mut(chunk)) {
-                let prepared_c = &prepared_c;
-                scope.spawn(move || {
-                    for (q, out) in q_chunk.iter().zip(out_chunk.iter_mut()) {
-                        *out = prepared_c
-                            .iter()
-                            .map(|c| self.similarity_prepared(q, c))
-                            .collect();
-                    }
-                });
-            }
-        });
+        let space = PairSpace::new(prepared_q.len(), prepared_c.len());
+        const CHUNK_PAIRS: usize = 64;
+        let mut flat = vec![0.0f64; space.len()];
+        {
+            // Chunk boundaries align with `chunks_mut`, so each queue
+            // entry owns a disjoint output slice.
+            let queue: Mutex<Vec<(sts_runtime::PairChunk, &mut [f64])>> = Mutex::new(
+                space
+                    .chunks(CHUNK_PAIRS)
+                    .zip(flat.chunks_mut(CHUNK_PAIRS))
+                    .collect(),
+            );
+            let n_threads = sts_runtime::thread_count(space.len().div_ceil(CHUNK_PAIRS));
+            std::thread::scope(|scope| {
+                for _ in 0..n_threads {
+                    let queue = &queue;
+                    let prepared_q = &prepared_q;
+                    let prepared_c = &prepared_c;
+                    scope.spawn(move || loop {
+                        let Some((chunk, out)) = queue.lock().unwrap().pop() else {
+                            break;
+                        };
+                        for (slot, lin) in chunk.range().enumerate() {
+                            let (i, j) = space.pair(lin);
+                            out[slot] = self.similarity_prepared(&prepared_q[i], &prepared_c[j]);
+                        }
+                    });
+                }
+            });
+        }
+        let mut rows = Vec::with_capacity(space.rows());
+        let mut it = flat.into_iter();
+        for _ in 0..space.rows() {
+            rows.push(it.by_ref().take(space.cols()).collect());
+        }
         Ok(rows)
     }
 

@@ -1,0 +1,349 @@
+//! Lifecycle tests for supervised similarity jobs: budget/deadline
+//! semantics and checkpoint → crash → resume round-trips.
+//!
+//! Seeded tests embed the seed in every assertion message so a CI
+//! failure is replayable (`scripts/ci.sh` runtime step).
+
+use std::path::PathBuf;
+use std::time::Duration;
+use sts_core::{CheckpointConfig, JobConfig, JobError, PairOutcome, Sts, StsConfig};
+use sts_geo::{BoundingBox, Grid, Point};
+use sts_rng::{Rng, Xoshiro256pp};
+use sts_runtime::{Budget, CancelToken, JobState};
+use sts_traj::{TrajPoint, Trajectory};
+
+fn grid() -> Grid {
+    Grid::new(
+        BoundingBox::new(Point::ORIGIN, Point::new(400.0, 200.0)),
+        6.0,
+    )
+    .unwrap()
+}
+
+/// A seeded corpus of straight walkers with varied lanes and phases.
+fn corpus(seed: u64, n: usize) -> Vec<Trajectory> {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let y = rng.random_range(5.0..190.0);
+            let phase = rng.random_range(0.0..20.0);
+            let speed = rng.random_range(1.0..3.0);
+            Trajectory::new(
+                (0..5)
+                    .map(|i| {
+                        let t = phase + 10.0 * i as f64;
+                        TrajPoint::from_xy(speed * t, y, t)
+                    })
+                    .collect(),
+            )
+            .unwrap()
+        })
+        .collect()
+}
+
+/// A unique temp path that is cleaned up on drop.
+struct TempCkpt(PathBuf);
+
+impl TempCkpt {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("sts-job-tests-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempCkpt(dir.join(format!("{tag}.ckpt")))
+    }
+}
+
+impl Drop for TempCkpt {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+        let _ = std::fs::remove_file(self.0.with_extension("tmp"));
+    }
+}
+
+fn score_bits(matrix: &[Vec<PairOutcome>]) -> Vec<Vec<Option<u64>>> {
+    matrix
+        .iter()
+        .map(|row| row.iter().map(|c| c.score().map(f64::to_bits)).collect())
+        .collect()
+}
+
+#[test]
+fn zero_pair_budget_returns_immediately_with_empty_valid_report() {
+    let sts = Sts::new(StsConfig::default(), grid());
+    let qs = corpus(1, 6);
+    let cfg = JobConfig {
+        budget: Budget::with_max_pairs(0),
+        ..JobConfig::default()
+    };
+    let (matrix, report) = sts.similarity_matrix_supervised(&qs, &qs, &cfg).unwrap();
+    assert_eq!(report.state(), JobState::BudgetExhausted);
+    assert_eq!(report.stats.pairs_total, 36);
+    assert_eq!(report.stats.pairs_completed, 0);
+    assert_eq!(report.stats.pairs_skipped, 36);
+    assert_eq!(report.percent_complete(), 0.0);
+    assert!(report.batch.is_clean(), "{report}");
+    assert!(matrix.iter().flatten().all(|c| *c == PairOutcome::Skipped));
+    // The report formats without panicking and names the state.
+    assert!(report.to_string().contains("budget-exhausted"), "{report}");
+}
+
+#[test]
+fn already_cancelled_token_skips_everything() {
+    let sts = Sts::new(StsConfig::default(), grid());
+    let qs = corpus(2, 4);
+    let cancel = CancelToken::new();
+    cancel.cancel();
+    let cfg = JobConfig {
+        cancel,
+        ..JobConfig::default()
+    };
+    let (matrix, report) = sts.similarity_matrix_supervised(&qs, &qs, &cfg).unwrap();
+    assert_eq!(report.state(), JobState::Cancelled);
+    assert!(matrix.iter().flatten().all(|c| *c == PairOutcome::Skipped));
+}
+
+/// Mid-job pair budget: exactly the completed cells are scored, the
+/// rest are Skipped, and nothing is Panicked or Failed.
+#[test]
+fn mid_job_pair_budget_yields_exactly_the_completed_cells() {
+    let sts = Sts::new(StsConfig::default(), grid());
+    let qs = corpus(3, 10); // 100 pairs
+    let full = sts
+        .similarity_matrix_supervised(&qs, &qs, &JobConfig::default())
+        .unwrap()
+        .0;
+    let cfg = JobConfig {
+        budget: Budget::with_max_pairs(40),
+        chunk_pairs: 16,
+        threads: 2,
+        ..JobConfig::default()
+    };
+    let (matrix, report) = sts.similarity_matrix_supervised(&qs, &qs, &cfg).unwrap();
+    assert_eq!(report.state(), JobState::BudgetExhausted);
+    assert!(!report.is_complete());
+    assert!(report.stats.pairs_completed > 0, "{report}");
+    assert!(report.stats.pairs_skipped > 0, "{report}");
+    assert_eq!(
+        report.stats.pairs_completed + report.stats.pairs_skipped,
+        100
+    );
+    assert_eq!(report.batch.panic_count(), 0);
+    assert_eq!(report.batch.failed_count(), 0);
+    // Every completed cell is bit-identical to the uninterrupted run.
+    for (i, row) in matrix.iter().enumerate() {
+        for (j, cell) in row.iter().enumerate() {
+            match cell {
+                PairOutcome::Score(s) => {
+                    let f = full[i][j].score().unwrap();
+                    assert_eq!(s.to_bits(), f.to_bits(), "({i},{j})");
+                }
+                PairOutcome::Skipped => {}
+                other => panic!("({i},{j}): unexpected {other:?}"),
+            }
+        }
+    }
+}
+
+/// Mid-job wall-clock deadline: when the clock stops the job partway,
+/// the result holds exactly the completed cells (bit-identical to an
+/// uninterrupted run) and no Panicked/Failed entries. The *where* it
+/// stops is timing-dependent; the invariants are not.
+#[test]
+fn mid_job_deadline_yields_completed_cells_and_no_panics() {
+    let sts = Sts::new(StsConfig::default(), grid());
+    let qs = corpus(4, 16); // 256 pairs: enough work to outlive 1ms
+    let full = sts
+        .similarity_matrix_supervised(&qs, &qs, &JobConfig::default())
+        .unwrap()
+        .0;
+    let cfg = JobConfig {
+        budget: Budget::with_deadline(Duration::from_millis(1)),
+        chunk_pairs: 8,
+        ..JobConfig::default()
+    };
+    let (matrix, report) = sts.similarity_matrix_supervised(&qs, &qs, &cfg).unwrap();
+    assert_eq!(report.state(), JobState::DeadlineExceeded, "{report}");
+    assert_eq!(report.batch.panic_count(), 0);
+    assert_eq!(report.batch.failed_count(), 0);
+    for (i, row) in matrix.iter().enumerate() {
+        for (j, cell) in row.iter().enumerate() {
+            match cell {
+                PairOutcome::Score(s) => {
+                    assert_eq!(
+                        s.to_bits(),
+                        full[i][j].score().unwrap().to_bits(),
+                        "({i},{j})"
+                    );
+                }
+                PairOutcome::Skipped => {}
+                other => panic!("({i},{j}): unexpected {other:?}"),
+            }
+        }
+    }
+}
+
+/// Checkpoint round-trip across 8 seeds: write → "crash" mid-job
+/// (CancelToken mid-run) → resume → the final matrix is byte-identical
+/// to an uninterrupted run's.
+#[test]
+fn checkpoint_crash_resume_is_byte_identical_across_seeds() {
+    for seed in 0..8u64 {
+        let sts = Sts::new(StsConfig::default(), grid());
+        let qs = corpus(0xC0DE + seed, 12); // 144 pairs
+        let ckpt = TempCkpt::new(&format!("resume-{seed}"));
+
+        let uninterrupted = sts
+            .similarity_matrix_supervised(&qs, &qs, &JobConfig::default())
+            .unwrap()
+            .0;
+
+        // "Crash": cancel from a chunk boundary onwards. The token
+        // trips after ~half the pairs have been dealt; a flush every
+        // chunk makes the checkpoint as fresh as possible (the
+        // contract is "lose at most one flush interval").
+        let cancel = CancelToken::new();
+        let crash_cfg = JobConfig {
+            cancel: cancel.clone(),
+            budget: Budget::with_max_pairs(70),
+            chunk_pairs: 8,
+            checkpoint: Some(CheckpointConfig {
+                path: ckpt.0.clone(),
+                flush_every_chunks: 1,
+            }),
+            ..JobConfig::default()
+        };
+        let (_partial, crash_report) = sts
+            .similarity_matrix_supervised(&qs, &qs, &crash_cfg)
+            .unwrap();
+        assert!(
+            !crash_report.is_complete(),
+            "seed={seed}: the crashed run must not finish ({crash_report})"
+        );
+        assert!(
+            crash_report.stats.checkpoint_flushes > 0,
+            "seed={seed}: no checkpoint was written"
+        );
+        assert!(ckpt.0.exists(), "seed={seed}");
+
+        // Resume from the checkpoint with no budget: must complete and
+        // match the uninterrupted run bit for bit.
+        let resume_cfg = JobConfig {
+            checkpoint: Some(CheckpointConfig::new(ckpt.0.clone())),
+            chunk_pairs: 8,
+            ..JobConfig::default()
+        };
+        let (resumed, resume_report) = sts
+            .similarity_matrix_supervised(&qs, &qs, &resume_cfg)
+            .unwrap();
+        assert_eq!(
+            resume_report.state(),
+            JobState::Complete,
+            "seed={seed}: {resume_report}"
+        );
+        assert!(
+            resume_report.stats.pairs_resumed > 0,
+            "seed={seed}: nothing was restored from the checkpoint"
+        );
+        assert!(
+            resume_report.stats.pairs_resumed < 144,
+            "seed={seed}: everything was restored — the crash run completed?"
+        );
+        assert_eq!(
+            score_bits(&resumed),
+            score_bits(&uninterrupted),
+            "seed={seed}: resumed matrix differs from uninterrupted run"
+        );
+    }
+}
+
+/// Resuming a checkpoint against different inputs is refused, not
+/// silently blended.
+#[test]
+fn resume_with_changed_inputs_is_a_fingerprint_error() {
+    let sts = Sts::new(StsConfig::default(), grid());
+    let qs = corpus(50, 6);
+    let ckpt = TempCkpt::new("fingerprint");
+    let cfg = JobConfig {
+        checkpoint: Some(CheckpointConfig::new(ckpt.0.clone())),
+        ..JobConfig::default()
+    };
+    sts.similarity_matrix_supervised(&qs, &qs, &cfg).unwrap();
+
+    let other = corpus(51, 6);
+    let err = sts
+        .similarity_matrix_supervised(&other, &other, &cfg)
+        .unwrap_err();
+    assert!(
+        matches!(err, JobError::FingerprintMismatch { .. }),
+        "{err:?}"
+    );
+    assert!(err.to_string().contains("fingerprint"), "{err}");
+}
+
+/// A completed job's checkpoint makes a re-run a pure restore: zero
+/// recomputation, same matrix.
+#[test]
+fn rerun_after_complete_checkpoint_restores_everything() {
+    let sts = Sts::new(StsConfig::default(), grid());
+    let qs = corpus(60, 6);
+    let ckpt = TempCkpt::new("rerun");
+    let cfg = JobConfig {
+        checkpoint: Some(CheckpointConfig::new(ckpt.0.clone())),
+        ..JobConfig::default()
+    };
+    let (first, _) = sts.similarity_matrix_supervised(&qs, &qs, &cfg).unwrap();
+    let (second, report) = sts.similarity_matrix_supervised(&qs, &qs, &cfg).unwrap();
+    assert_eq!(report.stats.pairs_resumed, 36, "{report}");
+    assert_eq!(report.stats.chunks_total, 0, "no chunk was queued");
+    assert_eq!(score_bits(&first), score_bits(&second));
+}
+
+#[test]
+fn top_k_supervised_matches_strict_top_k_and_respects_budget() {
+    let sts = Sts::new(StsConfig::default(), grid());
+    let q = corpus(70, 1).pop().unwrap();
+    let candidates = corpus(71, 8);
+    let strict = sts.top_k(&q, &candidates, 3).unwrap();
+    let (supervised, report) = sts
+        .top_k_supervised(&q, &candidates, 3, &JobConfig::default())
+        .unwrap();
+    assert_eq!(report.state(), JobState::Complete);
+    assert_eq!(strict.len(), supervised.len());
+    for ((si, ss), (ui, us)) in strict.iter().zip(&supervised) {
+        assert_eq!(si, ui);
+        assert_eq!(ss.to_bits(), us.to_bits());
+    }
+    // A zero budget yields an empty ranking, not an error.
+    let cfg = JobConfig {
+        budget: Budget::with_max_pairs(0),
+        ..JobConfig::default()
+    };
+    let (empty, report) = sts.top_k_supervised(&q, &candidates, 3, &cfg).unwrap();
+    assert!(empty.is_empty());
+    assert_eq!(report.state(), JobState::BudgetExhausted);
+}
+
+/// Quarantined trajectories flow through the supervised path exactly
+/// as in the degraded path.
+#[test]
+fn supervised_quarantines_like_degraded() {
+    let sts = Sts::new(StsConfig::default(), grid());
+    let mut qs = corpus(80, 4);
+    qs.push(Trajectory::from_xyt(&[(1.0, 1.0, 0.0)]).unwrap()); // 1 point
+    let (matrix, report) = sts
+        .similarity_matrix_supervised(&qs, &qs, &JobConfig::default())
+        .unwrap();
+    assert_eq!(report.batch.quarantined_queries.len(), 1);
+    assert_eq!(report.batch.quarantined_queries[0].0, 4);
+    for (i, row) in matrix.iter().enumerate() {
+        for (j, cell) in row.iter().enumerate() {
+            if i == 4 || j == 4 {
+                assert_eq!(*cell, PairOutcome::Quarantined, "({i},{j})");
+            } else {
+                assert!(cell.score().is_some(), "({i},{j})");
+            }
+        }
+    }
+    // Quarantined cells count as completed (terminal), not skipped.
+    assert_eq!(report.stats.pairs_completed, 25);
+    assert_eq!(report.state(), JobState::Complete);
+}

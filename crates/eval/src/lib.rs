@@ -25,7 +25,7 @@ pub mod metrics;
 pub mod report;
 pub mod scenario;
 
-pub use matching::{matching_ranks, MatrixMeasure};
+pub use matching::{matching_ranks, matching_ranks_supervised, MatrixMeasure};
 pub use measures::{measure_set, MeasureKind};
 pub use report::{Series, Table};
 pub use scenario::{Scenario, ScenarioConfig};

@@ -7,7 +7,7 @@
 
 use crate::metrics::ranks_of_true_matches;
 use sts_baselines::SimilarityMeasure;
-use sts_core::Sts;
+use sts_core::{JobConfig, JobError, JobReport, Sts};
 use sts_traj::{MatchingPairs, Trajectory};
 
 /// Anything that can produce a full query × candidate similarity matrix.
@@ -34,10 +34,10 @@ impl<M: SimilarityMeasure> MatrixMeasure for M {
     }
 
     fn matrix(&self, queries: &[Trajectory], candidates: &[Trajectory]) -> Vec<Vec<f64>> {
-        let n_threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(queries.len().max(1));
+        // `thread_count` honors `STS_THREADS` and falls back to
+        // `available_parallelism()` (then 1), like every other
+        // parallel path in the workspace.
+        let n_threads = sts_runtime::thread_count(queries.len().max(1));
         let chunk = queries.len().div_ceil(n_threads).max(1);
         let mut rows: Vec<Vec<f64>> = vec![Vec::new(); queries.len()];
         std::thread::scope(|scope| {
@@ -84,6 +84,28 @@ impl MatrixMeasure for StsMatrix {
 pub fn matching_ranks(measure: &dyn MatrixMeasure, pairs: &MatchingPairs) -> Vec<usize> {
     let matrix = measure.matrix(&pairs.d1, &pairs.d2);
     ranks_of_true_matches(&matrix)
+}
+
+/// The matching task under a supervised STS job: deadlines, cancellation
+/// and checkpoint/resume all apply, and the [`JobReport`] tells the
+/// caller how much of the matrix actually ran.
+///
+/// Cells that did not produce a score — quarantined, failed after
+/// retries, or skipped by a deadline/budget — count as 0 similarity, so
+/// the returned ranks are exact only when `report.is_complete()`. An
+/// interrupted experiment still yields a well-formed (if pessimistic)
+/// ranking plus the report needed to judge it.
+pub fn matching_ranks_supervised(
+    sts: &Sts,
+    pairs: &MatchingPairs,
+    cfg: &JobConfig,
+) -> Result<(Vec<usize>, JobReport), JobError> {
+    let (outcomes, report) = sts.similarity_matrix_supervised(&pairs.d1, &pairs.d2, cfg)?;
+    let matrix: Vec<Vec<f64>> = outcomes
+        .into_iter()
+        .map(|row| row.into_iter().map(|cell| cell.score_or(0.0)).collect())
+        .collect();
+    Ok((ranks_of_true_matches(&matrix), report))
 }
 
 #[cfg(test)]
@@ -143,6 +165,41 @@ mod tests {
         let ranks = matching_ranks(&sts, &pairs);
         assert_eq!(precision(&ranks), 1.0, "ranks {ranks:?}");
         assert_eq!(mean_rank(&ranks), 1.0);
+    }
+
+    #[test]
+    fn supervised_ranks_match_plain_ranks_on_clean_data() {
+        let ds = walkers(4);
+        let pairs = sts_traj::MatchingPairs::from_dataset(&ds);
+        let grid = Grid::new(
+            BoundingBox::new(Point::new(-5.0, -5.0), Point::new(100.0, 100.0)),
+            4.0,
+        )
+        .unwrap();
+        let sts = Sts::new(
+            StsConfig {
+                noise_sigma: 3.0,
+                ..StsConfig::default()
+            },
+            grid,
+        );
+        let (ranks, report) =
+            matching_ranks_supervised(&sts, &pairs, &JobConfig::default()).unwrap();
+        assert!(report.is_complete(), "{report}");
+
+        // A starved job still returns well-formed ranks and owns up to
+        // the missing work in its report.
+        let cfg = JobConfig {
+            budget: sts_runtime::Budget::with_max_pairs(0),
+            ..JobConfig::default()
+        };
+        let (starved, starved_report) = matching_ranks_supervised(&sts, &pairs, &cfg).unwrap();
+        assert_eq!(starved.len(), pairs.d1.len());
+        assert!(!starved_report.is_complete());
+        assert_eq!(starved_report.stats.pairs_completed, 0);
+
+        let plain = matching_ranks(&StsMatrix(sts), &pairs);
+        assert_eq!(ranks, plain);
     }
 
     #[test]

@@ -395,7 +395,7 @@ macro_rules! prop_assert_eq {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::panic::catch_unwind;
 
     fn failure_message(f: impl FnOnce() + std::panic::UnwindSafe) -> String {
         let err = catch_unwind(f).expect_err("property should fail");

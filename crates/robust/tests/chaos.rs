@@ -289,7 +289,12 @@ fn corrupted_corpus_survives_repair_into_degraded_batch() {
                 PairOutcome::Quarantined => {
                     assert!(quarantined.contains(&i) || quarantined.contains(&j))
                 }
-                PairOutcome::Panicked => panic!("({i},{j}) panicked"),
+                PairOutcome::Panicked | PairOutcome::Failed { .. } => {
+                    panic!("({i},{j}) panicked: {cell:?}")
+                }
+                PairOutcome::Skipped => {
+                    panic!("({i},{j}) skipped: degraded batches run unbudgeted")
+                }
             }
         }
     }

@@ -1,0 +1,90 @@
+//! Decorrelated-jitter retry backoff.
+
+use std::time::Duration;
+use sts_rng::{Rng, Xoshiro256pp};
+
+/// The decorrelated-jitter backoff policy: each delay is drawn
+/// uniformly from `[base, prev * 3]` and capped, so retries spread out
+/// quickly without synchronizing (the classic thundering-herd fix —
+/// correlated retries are exactly what a wedged shared resource does
+/// not need).
+///
+/// The jitter stream is seeded, so a replayed job backs off through
+/// the same delays — sleeps never affect *results*, but deterministic
+/// schedules keep chaos-suite timings reproducible.
+#[derive(Debug)]
+pub struct DecorrelatedJitter {
+    base: Duration,
+    cap: Duration,
+    prev: Duration,
+    rng: Xoshiro256pp,
+}
+
+impl DecorrelatedJitter {
+    /// A fresh backoff sequence. `base` is the first/minimum delay,
+    /// `cap` the maximum ever returned.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Self {
+        DecorrelatedJitter {
+            base,
+            cap: cap.max(base),
+            prev: base,
+            rng: Xoshiro256pp::seed_from_u64(seed),
+        }
+    }
+
+    /// The next delay to sleep before retrying.
+    pub fn next_delay(&mut self) -> Duration {
+        let base = self.base.as_nanos() as u64;
+        let hi = (self.prev.as_nanos() as u64)
+            .saturating_mul(3)
+            .max(base + 1);
+        let nanos = self.rng.random_range(base..hi);
+        let delay = Duration::from_nanos(nanos).min(self.cap);
+        self.prev = delay.max(self.base);
+        delay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_stay_within_base_and_cap() {
+        let base = Duration::from_micros(50);
+        let cap = Duration::from_millis(5);
+        let mut j = DecorrelatedJitter::new(base, cap, 42);
+        for _ in 0..1000 {
+            let d = j.next_delay();
+            assert!(d >= base, "{d:?} < base");
+            assert!(d <= cap, "{d:?} > cap");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let mk = || DecorrelatedJitter::new(Duration::from_micros(10), Duration::from_millis(2), 7);
+        let (mut a, mut b) = (mk(), mk());
+        for _ in 0..64 {
+            assert_eq!(a.next_delay(), b.next_delay());
+        }
+    }
+
+    #[test]
+    fn delays_grow_from_the_base() {
+        let mut j = DecorrelatedJitter::new(Duration::from_millis(1), Duration::from_secs(1), 3);
+        let first = j.next_delay();
+        // After many steps the running max must have left the base
+        // neighborhood (growth is stochastic but bounded below by the
+        // uniform draw's upper bound tripling).
+        let max = (0..100).map(|_| j.next_delay()).max().unwrap();
+        assert!(max > first, "backoff never grew: {first:?} -> {max:?}");
+    }
+
+    #[test]
+    fn degenerate_cap_below_base_is_clamped() {
+        let mut j = DecorrelatedJitter::new(Duration::from_millis(2), Duration::from_millis(1), 1);
+        let d = j.next_delay();
+        assert_eq!(d, Duration::from_millis(2));
+    }
+}

@@ -1,0 +1,69 @@
+//! Cooperative cancellation.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cooperative cancellation flag shared between a job and its owner.
+///
+/// Cloning is cheap (an `Arc<AtomicBool>`); every clone observes the
+/// same flag. Workers check the token at pair-chunk boundaries, so
+/// cancellation latency is bounded by the cost of one chunk — a wedged
+/// *pair* is the watchdog's problem, not the token's.
+///
+/// Cancellation is sticky: once cancelled, a token stays cancelled.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; safe from any thread (e.g. a
+    /// Ctrl-C handler or an RPC deadline watcher).
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_is_sticky_and_shared_across_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!token.is_cancelled());
+        assert!(!clone.is_cancelled());
+        clone.cancel();
+        assert!(token.is_cancelled());
+        token.cancel(); // idempotent
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_is_visible_across_threads() {
+        let token = CancelToken::new();
+        let seen = std::thread::scope(|s| {
+            let t = token.clone();
+            let h = s.spawn(move || {
+                while !t.is_cancelled() {
+                    std::thread::yield_now();
+                }
+                true
+            });
+            token.cancel();
+            h.join().unwrap()
+        });
+        assert!(seen);
+    }
+}

@@ -1,0 +1,421 @@
+//! Line-based job checkpoints.
+//!
+//! The same zero-dependency text style as the `sts-traj` `io` module:
+//! one record per line, whitespace-separated fields, `#` comments.
+//!
+//! ```text
+//! # anything after a hash is a comment
+//! checkpoint v1
+//! fingerprint <16 hex digits>
+//! dims <rows> <cols>
+//! cell <i> <j> s <score>      # scored cell
+//! cell <i> <j> f <attempts>   # terminally failed cell (attempts made)
+//! cell <i> <j> p              # panicked cell (legacy no-retry mode)
+//! ```
+//!
+//! Scores are written with Rust's shortest-round-trip `f64` formatting
+//! (`Display`), which parses back to the *bit-identical* value —
+//! including `NaN`, `inf` and `-0` — so a resumed job reproduces an
+//! uninterrupted run's matrix byte for byte. The fingerprint binds a
+//! checkpoint to its job inputs (grid geometry + trajectory shapes);
+//! resuming against different inputs is refused by the caller rather
+//! than silently producing a franken-matrix.
+//!
+//! Quarantined cells are deliberately *not* checkpointed: quarantine
+//! is re-derived from preparation on resume (it is cheap and depends
+//! only on the inputs the fingerprint already covers).
+
+use std::fmt;
+use std::fs;
+use std::io::{self, BufRead, Write};
+use std::path::Path;
+
+/// FNV-1a 64-bit — the workspace's zero-dependency fingerprint hash.
+/// Not cryptographic; it guards against *accidental* input mismatch
+/// (wrong file, edited corpus), which is the failure mode resume
+/// actually meets.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Fnv1a {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Feeds a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feeds an `f64` by bit pattern (so `-0.0` and `0.0` differ and
+    /// `NaN` payloads are preserved — the fingerprint is about bytes,
+    /// not numerics).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// The digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A checkpointed cell outcome. Mirrors the terminal, *computed*
+/// outcomes of the matrix job; the mapping to `sts-core`'s
+/// `PairOutcome` lives there.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CellRecord {
+    /// The cell was scored.
+    Score(f64),
+    /// The cell panicked on every attempt (`attempts` made).
+    Failed {
+        /// Total attempts consumed before giving up.
+        attempts: u32,
+    },
+    /// The cell panicked with retries disabled (legacy degraded mode).
+    Panicked,
+}
+
+/// An in-memory checkpoint: header plus every terminal cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Job-input fingerprint (see [`Fnv1a`]).
+    pub fingerprint: u64,
+    /// Query-row count of the matrix.
+    pub rows: usize,
+    /// Candidate-column count of the matrix.
+    pub cols: usize,
+    /// `(row, col, record)` for every checkpointed cell.
+    pub cells: Vec<(usize, usize, CellRecord)>,
+}
+
+/// Errors reading a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line, with its 1-based line number.
+    Parse {
+        /// 1-based line number of the malformed line.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "I/O error: {e}"),
+            CheckpointError::Parse { line, message } => {
+                write!(f, "checkpoint line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Writes a checkpoint in the text format.
+pub fn write_checkpoint<W: Write>(w: &mut W, cp: &Checkpoint) -> io::Result<()> {
+    writeln!(w, "# STS job checkpoint (DESIGN.md §3d)")?;
+    writeln!(w, "checkpoint v1")?;
+    writeln!(w, "fingerprint {:016x}", cp.fingerprint)?;
+    writeln!(w, "dims {} {}", cp.rows, cp.cols)?;
+    for &(i, j, rec) in &cp.cells {
+        match rec {
+            CellRecord::Score(s) => writeln!(w, "cell {i} {j} s {s}")?,
+            CellRecord::Failed { attempts } => writeln!(w, "cell {i} {j} f {attempts}")?,
+            CellRecord::Panicked => writeln!(w, "cell {i} {j} p")?,
+        }
+    }
+    Ok(())
+}
+
+/// Reads a checkpoint. Blank lines and `#` comments are ignored;
+/// out-of-range cells are a parse error; a duplicated cell keeps the
+/// last record (a crash between append-style flushes must not poison
+/// the whole file).
+pub fn read_checkpoint<R: BufRead>(r: &mut R) -> Result<Checkpoint, CheckpointError> {
+    let mut header_seen = false;
+    let mut fingerprint: Option<u64> = None;
+    let mut dims: Option<(usize, usize)> = None;
+    let mut cells = Vec::new();
+    for (idx, line) in r.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parse_err = |message: String| CheckpointError::Parse {
+            line: lineno,
+            message,
+        };
+        let mut fields = line.split_whitespace();
+        let keyword = fields.next().unwrap_or("");
+        if !header_seen {
+            if keyword != "checkpoint" || fields.next() != Some("v1") {
+                return Err(parse_err(format!(
+                    "expected `checkpoint v1` header, got `{line}`"
+                )));
+            }
+            header_seen = true;
+            continue;
+        }
+        match keyword {
+            "fingerprint" => {
+                let hex = fields
+                    .next()
+                    .ok_or_else(|| parse_err("missing fingerprint value".into()))?;
+                fingerprint = Some(
+                    u64::from_str_radix(hex, 16)
+                        .map_err(|_| parse_err(format!("bad fingerprint `{hex}`")))?,
+                );
+            }
+            "dims" => {
+                let mut n = |name: &str| -> Result<usize, CheckpointError> {
+                    fields
+                        .next()
+                        .ok_or_else(|| parse_err(format!("missing {name}")))?
+                        .parse()
+                        .map_err(|_| parse_err(format!("bad {name}")))
+                };
+                dims = Some((n("rows")?, n("cols")?));
+            }
+            "cell" => {
+                let (rows, cols) = dims.ok_or_else(|| parse_err("cell before dims".into()))?;
+                let mut n = |name: &str| -> Result<usize, CheckpointError> {
+                    fields
+                        .next()
+                        .ok_or_else(|| parse_err(format!("missing {name}")))?
+                        .parse()
+                        .map_err(|_| parse_err(format!("bad {name}")))
+                };
+                let i = n("row")?;
+                let j = n("col")?;
+                if i >= rows || j >= cols {
+                    return Err(parse_err(format!(
+                        "cell ({i},{j}) outside dims {rows}x{cols}"
+                    )));
+                }
+                let tag = fields
+                    .next()
+                    .ok_or_else(|| parse_err("missing cell tag".into()))?;
+                let rec = match tag {
+                    "s" => {
+                        let v = fields
+                            .next()
+                            .ok_or_else(|| parse_err("missing score".into()))?;
+                        CellRecord::Score(
+                            v.parse()
+                                .map_err(|_| parse_err(format!("bad score `{v}`")))?,
+                        )
+                    }
+                    "f" => {
+                        let v = fields
+                            .next()
+                            .ok_or_else(|| parse_err("missing attempts".into()))?;
+                        CellRecord::Failed {
+                            attempts: v
+                                .parse()
+                                .map_err(|_| parse_err(format!("bad attempts `{v}`")))?,
+                        }
+                    }
+                    "p" => CellRecord::Panicked,
+                    other => return Err(parse_err(format!("unknown cell tag `{other}`"))),
+                };
+                cells.push((i, j, rec));
+            }
+            other => return Err(parse_err(format!("unknown record `{other}`"))),
+        }
+    }
+    let fingerprint = fingerprint.ok_or_else(|| CheckpointError::Parse {
+        line: 0,
+        message: "missing fingerprint record".into(),
+    })?;
+    let (rows, cols) = dims.ok_or_else(|| CheckpointError::Parse {
+        line: 0,
+        message: "missing dims record".into(),
+    })?;
+    // Last record wins for duplicated cells.
+    let mut last = std::collections::BTreeMap::new();
+    for (i, j, rec) in cells {
+        last.insert((i, j), rec);
+    }
+    Ok(Checkpoint {
+        fingerprint,
+        rows,
+        cols,
+        cells: last.into_iter().map(|((i, j), rec)| (i, j, rec)).collect(),
+    })
+}
+
+/// Saves a checkpoint atomically: write to `<path>.tmp`, then rename
+/// over `path`, so a crash mid-flush leaves the previous checkpoint
+/// intact instead of a torn file.
+pub fn save_checkpoint(path: &Path, cp: &Checkpoint) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = io::BufWriter::new(fs::File::create(&tmp)?);
+        write_checkpoint(&mut f, cp)?;
+        f.flush()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+/// Loads a checkpoint from disk.
+pub fn load_checkpoint(path: &Path) -> Result<Checkpoint, CheckpointError> {
+    let f = fs::File::open(path)?;
+    read_checkpoint(&mut io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            fingerprint: 0xDEAD_BEEF_0123_4567,
+            rows: 3,
+            cols: 4,
+            cells: vec![
+                (0, 0, CellRecord::Score(0.12345678901234567)),
+                (0, 3, CellRecord::Score(f64::NAN)),
+                (1, 1, CellRecord::Score(-0.0)),
+                (1, 2, CellRecord::Score(f64::INFINITY)),
+                (2, 0, CellRecord::Failed { attempts: 3 }),
+                (2, 3, CellRecord::Panicked),
+            ],
+        }
+    }
+
+    /// Bit-exact cell equality (`PartialEq` on `f64` misses NaN and
+    /// conflates `0.0`/`-0.0`).
+    fn bit_eq(a: &CellRecord, b: &CellRecord) -> bool {
+        match (a, b) {
+            (CellRecord::Score(x), CellRecord::Score(y)) => x.to_bits() == y.to_bits(),
+            _ => a == b,
+        }
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let cp = sample();
+        let mut bytes = Vec::new();
+        write_checkpoint(&mut bytes, &cp).unwrap();
+        let back = read_checkpoint(&mut bytes.as_slice()).unwrap();
+        assert_eq!(back.fingerprint, cp.fingerprint);
+        assert_eq!((back.rows, back.cols), (cp.rows, cp.cols));
+        assert_eq!(back.cells.len(), cp.cells.len());
+        for ((i1, j1, r1), (i2, j2, r2)) in back.cells.iter().zip(&cp.cells) {
+            assert_eq!((i1, j1), (i2, j2));
+            assert!(bit_eq(r1, r2), "({i1},{j1}): {r1:?} vs {r2:?}");
+        }
+    }
+
+    #[test]
+    fn random_scores_round_trip_bit_exact() {
+        use sts_rng::{Rng, Xoshiro256pp};
+        let mut rng = Xoshiro256pp::seed_from_u64(99);
+        let cells: Vec<_> = (0..200)
+            .map(|k| (k / 20, k % 20, CellRecord::Score(rng.f64().powi(7) * 1e3)))
+            .collect();
+        let cp = Checkpoint {
+            fingerprint: 1,
+            rows: 10,
+            cols: 20,
+            cells,
+        };
+        let mut bytes = Vec::new();
+        write_checkpoint(&mut bytes, &cp).unwrap();
+        let back = read_checkpoint(&mut bytes.as_slice()).unwrap();
+        for ((_, _, a), (_, _, b)) in back.cells.iter().zip(&cp.cells) {
+            assert!(bit_eq(a, b), "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn save_and_load_via_tmp_rename() {
+        let dir = std::env::temp_dir().join("sts-runtime-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("job.ckpt");
+        let cp = sample();
+        save_checkpoint(&path, &cp).unwrap();
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "tmp file renamed away"
+        );
+        let back = load_checkpoint(&path).unwrap();
+        assert_eq!(back.rows, cp.rows);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn duplicate_cells_keep_the_last_record() {
+        let text = "checkpoint v1\nfingerprint 1\ndims 2 2\ncell 0 0 s 0.5\ncell 0 0 s 0.75\n";
+        let cp = read_checkpoint(&mut text.as_bytes()).unwrap();
+        assert_eq!(cp.cells, vec![(0, 0, CellRecord::Score(0.75))]);
+    }
+
+    #[test]
+    fn malformed_inputs_are_typed_errors() {
+        for (text, want) in [
+            ("not a checkpoint\n", "header"),
+            ("checkpoint v2\n", "header"),
+            ("checkpoint v1\nfingerprint xyz\n", "bad fingerprint"),
+            (
+                "checkpoint v1\nfingerprint 1\ncell 0 0 s 1.0\n",
+                "before dims",
+            ),
+            (
+                "checkpoint v1\nfingerprint 1\ndims 2 2\ncell 5 0 s 1.0\n",
+                "outside dims",
+            ),
+            (
+                "checkpoint v1\nfingerprint 1\ndims 2 2\ncell 0 0 z\n",
+                "unknown cell tag",
+            ),
+            ("checkpoint v1\ndims 2 2\n", "missing fingerprint"),
+            ("checkpoint v1\nfingerprint 1\n", "missing dims"),
+        ] {
+            let err = read_checkpoint(&mut text.as_bytes()).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains(want), "`{text}` -> `{msg}` (wanted `{want}`)");
+        }
+    }
+
+    #[test]
+    fn fnv1a_is_stable_and_input_sensitive() {
+        let mut a = Fnv1a::new();
+        a.write(b"hello");
+        // Reference FNV-1a 64 digest of "hello".
+        assert_eq!(a.finish(), 0xa430_d846_80aa_bd0b);
+        let mut b = Fnv1a::new();
+        b.write_f64(0.0);
+        let mut c = Fnv1a::new();
+        c.write_f64(-0.0);
+        assert_ne!(b.finish(), c.finish(), "sign of zero must matter");
+    }
+}

@@ -1,0 +1,158 @@
+//! The shared pair-chunking iterator.
+//!
+//! Every matrix path (strict, degraded, supervised) iterates the same
+//! `rows × cols` pair space. Before this crate existed each path
+//! row-striped it independently — duplicated logic that had already
+//! started to drift. [`PairSpace`] linearizes the space row-major and
+//! [`PairSpace::chunks`] deals it out in fixed-size [`PairChunk`]s,
+//! the unit of scheduling, cancellation checks, retry and
+//! checkpointing throughout the runtime.
+
+/// A `rows × cols` pair space, linearized row-major: linear index
+/// `lin` names the cell `(lin / cols, lin % cols)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairSpace {
+    rows: usize,
+    cols: usize,
+}
+
+impl PairSpace {
+    /// The space of all `(query row, candidate column)` pairs.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        PairSpace { rows, cols }
+    }
+
+    /// Number of query rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of candidate columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of pairs.
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Is the space empty (no rows or no columns)?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maps a linear index back to its `(row, col)` cell.
+    ///
+    /// # Panics
+    /// When `lin >= self.len()` (out of the space).
+    pub fn pair(&self, lin: usize) -> (usize, usize) {
+        assert!(lin < self.len(), "pair index {lin} out of {}", self.len());
+        (lin / self.cols, lin % self.cols)
+    }
+
+    /// Deals the space into chunks of at most `chunk_pairs` pairs, in
+    /// linear order. `chunk_pairs` is clamped to ≥ 1. The chunks
+    /// partition the space exactly: every pair appears in exactly one
+    /// chunk, and chunk `k` covers linear indices
+    /// `[k·chunk_pairs, …)` — aligned with `slice::chunks_mut` over a
+    /// flat row-major buffer, which is how the strict matrix path
+    /// hands each chunk a disjoint output slice.
+    pub fn chunks(&self, chunk_pairs: usize) -> impl Iterator<Item = PairChunk> + '_ {
+        let size = chunk_pairs.max(1);
+        let total = self.len();
+        (0..total.div_ceil(size)).map(move |id| {
+            let start = id * size;
+            PairChunk {
+                id,
+                start,
+                len: size.min(total - start),
+            }
+        })
+    }
+}
+
+/// A contiguous run of linear pair indices — the unit of work dealt to
+/// the supervised pool's shared queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairChunk {
+    /// Sequential chunk id (`0..n_chunks`), also the chunk's index in
+    /// the pool's status vector.
+    pub id: usize,
+    /// First linear pair index covered.
+    pub start: usize,
+    /// Number of pairs covered.
+    pub len: usize,
+}
+
+impl PairChunk {
+    /// The linear pair indices this chunk covers.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start..self.start + self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_partition_the_space_exactly() {
+        for (rows, cols, size) in [(3, 5, 4), (1, 1, 1), (4, 4, 16), (4, 4, 64), (7, 3, 1)] {
+            let space = PairSpace::new(rows, cols);
+            let mut seen = vec![0usize; space.len()];
+            for (k, chunk) in space.chunks(size).enumerate() {
+                assert_eq!(chunk.id, k);
+                assert!(chunk.len >= 1 && chunk.len <= size);
+                for lin in chunk.range() {
+                    seen[lin] += 1;
+                }
+            }
+            assert!(
+                seen.iter().all(|&c| c == 1),
+                "{rows}x{cols}/{size}: {seen:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_space_yields_no_chunks() {
+        assert_eq!(PairSpace::new(0, 7).chunks(4).count(), 0);
+        assert_eq!(PairSpace::new(7, 0).chunks(4).count(), 0);
+        assert!(PairSpace::new(0, 7).is_empty());
+    }
+
+    #[test]
+    fn pair_mapping_is_row_major() {
+        let space = PairSpace::new(3, 4);
+        assert_eq!(space.pair(0), (0, 0));
+        assert_eq!(space.pair(3), (0, 3));
+        assert_eq!(space.pair(4), (1, 0));
+        assert_eq!(space.pair(11), (2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn pair_mapping_rejects_out_of_space() {
+        PairSpace::new(2, 2).pair(4);
+    }
+
+    #[test]
+    fn zero_chunk_size_is_clamped() {
+        let space = PairSpace::new(2, 2);
+        assert_eq!(space.chunks(0).count(), 4);
+    }
+
+    #[test]
+    fn chunk_boundaries_align_with_slice_chunks_mut() {
+        let space = PairSpace::new(5, 7);
+        let mut flat = vec![0u8; space.len()];
+        let size = 4;
+        let chunks: Vec<PairChunk> = space.chunks(size).collect();
+        let slices: Vec<&mut [u8]> = flat.chunks_mut(size).collect();
+        assert_eq!(chunks.len(), slices.len());
+        for (c, s) in chunks.iter().zip(&slices) {
+            assert_eq!(c.len, s.len());
+        }
+    }
+}

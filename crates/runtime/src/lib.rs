@@ -1,0 +1,106 @@
+#![warn(missing_docs)]
+//! # sts-runtime — supervised batch runtime for similarity jobs
+//!
+//! The all-pairs STS matrix is the workload the production system
+//! actually serves, and at scale its dominant failure mode is
+//! operational, not numerical: a stripe wedges on a pathological pair,
+//! a job is killed at 90% with all progress lost, a host has fewer
+//! cores than assumed. This crate supplies the job-lifecycle machinery
+//! that makes a long-running batch *supervised* rather than fired and
+//! forgotten:
+//!
+//! * [`CancelToken`] — cooperative, `AtomicBool`-backed cancellation,
+//!   checked by workers at every pair-chunk boundary;
+//! * [`Budget`] / [`Deadline`] — wall-clock and max-pairs limits that
+//!   stop a job cleanly with every completed cell intact;
+//! * [`PairSpace`] / [`PairChunk`] — the shared pair-chunking iterator
+//!   used by every matrix path (strict, degraded, supervised), so pair
+//!   iteration logic exists exactly once;
+//! * [`thread_count`] — worker-count selection from
+//!   `std::thread::available_parallelism` with an `STS_THREADS`
+//!   override (see the function docs for the fallback rules);
+//! * [`pool::run_supervised`] — a std-only worker pool that deals
+//!   chunks from a shared queue, retries panicked chunks with
+//!   decorrelated-jitter backoff ([`DecorrelatedJitter`]), and runs a
+//!   watchdog that marks chunks exceeding a per-chunk soft timeout;
+//! * [`checkpoint`] — a zero-dependency line-based checkpoint format
+//!   (same style as the `sts-traj` `io` module) with a header
+//!   fingerprint, so a crashed or cancelled job resumes losing at most
+//!   one flush interval;
+//! * [`JobStats`] / [`JobState`] — timing, retry and completion
+//!   accounting for the job report surfaced by `sts-core`;
+//! * [`FaultPlan`] — deterministic, seeded fault injection (panicking
+//!   and slow cells), the failpoint-style hook the chaos suite uses to
+//!   drive operational faults through a *real* job via `sts-core`'s
+//!   `JobConfig::fault`.
+//!
+//! The crate is deliberately independent of the measure: it moves
+//! chunks and cells, never trajectories. `sts-core` builds the
+//! similarity-specific job (`Sts::similarity_matrix_supervised`) on
+//! top of these primitives; `sts-eval` and the chaos suite in
+//! `sts-robust` drive them end to end.
+//!
+//! Everything here is std-only (the workspace builds offline with zero
+//! external crates); the only workspace dependency is `sts-rng`, which
+//! seeds the deterministic backoff jitter.
+
+mod backoff;
+mod budget;
+mod cancel;
+pub mod checkpoint;
+mod chunk;
+pub mod fault;
+pub mod pool;
+mod stats;
+
+pub use backoff::DecorrelatedJitter;
+pub use budget::{Budget, Deadline, StopReason};
+pub use cancel::CancelToken;
+pub use checkpoint::{CellRecord, Checkpoint, CheckpointError, Fnv1a};
+pub use chunk::{PairChunk, PairSpace};
+pub use fault::{Fault, FaultPlan};
+pub use pool::{ChunkStatus, PoolConfig, PoolRun, RetryPolicy};
+pub use stats::{JobState, JobStats};
+
+/// Number of worker threads to use for a workload with `cap` parallel
+/// units (chunks, rows, …).
+///
+/// Selection order:
+/// 1. the `STS_THREADS` environment variable, when set to an integer
+///    ≥ 1 (a service operator pinning a job to a core budget);
+/// 2. [`std::thread::available_parallelism`] — the actual host, not a
+///    hard-coded stripe count;
+/// 3. `1` when the platform cannot report its parallelism (the
+///    documented fallback: correctness never depends on thread count,
+///    so degrading to sequential is always safe).
+///
+/// The result is clamped to `[1, max(cap, 1)]` — spawning more workers
+/// than there are units only adds scheduling noise.
+pub fn thread_count(cap: usize) -> usize {
+    let configured = std::env::var("STS_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1);
+    let n = configured.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    n.min(cap.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_count_is_clamped_to_cap() {
+        // Whatever the host reports, the cap wins when smaller.
+        assert_eq!(thread_count(1), 1);
+        assert!(thread_count(4) <= 4);
+        assert!(thread_count(usize::MAX) >= 1);
+        // A zero cap still yields one worker (a job with no chunks
+        // spawns a pool that immediately drains).
+        assert_eq!(thread_count(0), 1);
+    }
+}

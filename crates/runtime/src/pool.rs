@@ -1,0 +1,562 @@
+//! The supervised worker pool.
+//!
+//! Replaces the raw `std::thread::scope` row stripes of the original
+//! matrix paths. Work arrives as [`PairChunk`]s in a shared queue;
+//! workers deal themselves chunks, checking the [`CancelToken`] and
+//! [`Budget`] at every chunk boundary. A chunk whose work function
+//! panics is retried up to [`RetryPolicy::max_retries`] times with
+//! [`DecorrelatedJitter`] backoff before being recorded as
+//! [`ChunkStatus::Failed`]; a watchdog thread marks chunks that exceed
+//! the per-chunk soft timeout (it cannot preempt them — Rust threads
+//! are not killable — but a marked chunk tells the operator *which*
+//! pairs wedged). Completed chunk results are streamed back to the
+//! caller's thread through [`run_supervised`]'s `on_complete` sink, so
+//! the caller can fold cells into its matrix and flush checkpoints
+//! without any shared mutable state.
+
+use crate::{Budget, CancelToken, DecorrelatedJitter, PairChunk, StopReason};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Retry behaviour for panicked work.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Extra attempts after the first failure. `0` disables retries:
+    /// the first panic is terminal (the legacy degraded-mode
+    /// contract, where a panicked cell is reported as `Panicked`).
+    pub max_retries: u32,
+    /// First/minimum backoff delay.
+    pub backoff_base: Duration,
+    /// Backoff cap.
+    pub backoff_cap: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            backoff_base: Duration::from_micros(200),
+            backoff_cap: Duration::from_millis(20),
+            seed: 0x5753_5254, // "STSR"
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: first panic is terminal.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        }
+    }
+}
+
+/// Pool-level configuration.
+#[derive(Debug, Clone, Default)]
+pub struct PoolConfig {
+    /// Worker threads; `0` selects automatically via
+    /// [`thread_count`](crate::thread_count) capped at the chunk count.
+    pub threads: usize,
+    /// Retry behaviour for panicked chunks.
+    pub retry: RetryPolicy,
+    /// Per-chunk soft timeout: chunks running (or having run) longer
+    /// are marked slow in [`PoolRun::slow_chunks`]. `None` disables
+    /// the watchdog.
+    pub soft_timeout: Option<Duration>,
+    /// Work/wall-clock budget, checked at every chunk boundary.
+    pub budget: Budget,
+    /// Cooperative cancellation, checked at every chunk boundary.
+    pub cancel: CancelToken,
+}
+
+/// Terminal status of one chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkStatus {
+    /// The chunk's work function returned; its cells were delivered to
+    /// the sink.
+    Completed,
+    /// The work function panicked on every attempt.
+    Failed {
+        /// Total attempts made (1 + retries).
+        attempts: u32,
+    },
+    /// The chunk was never run: the job stopped first.
+    Skipped(StopReason),
+}
+
+/// What one supervised run did.
+#[derive(Debug)]
+pub struct PoolRun {
+    /// Status of every chunk, indexed like the input slice.
+    pub statuses: Vec<ChunkStatus>,
+    /// Pairs covered by completed chunks.
+    pub pairs_completed: usize,
+    /// Chunk retry attempts performed.
+    pub retries: u64,
+    /// Ids of chunks that exceeded the soft timeout, ascending.
+    pub slow_chunks: Vec<usize>,
+    /// Why the run stopped early, if it did.
+    pub stop: Option<StopReason>,
+    /// Wall-clock time of the whole run.
+    pub elapsed: Duration,
+}
+
+/// One queue entry: the chunk, its position in the status vector and
+/// how many attempts it has already consumed.
+struct WorkItem {
+    idx: usize,
+    chunk: PairChunk,
+    attempt: u32,
+}
+
+/// Shared supervisor state.
+struct Shared {
+    queue: Mutex<VecDeque<WorkItem>>,
+    statuses: Mutex<Vec<Option<ChunkStatus>>>,
+    pairs_done: AtomicUsize,
+    retries: AtomicU64,
+    stop: Mutex<Option<StopReason>>,
+    slow: Mutex<Vec<usize>>,
+    done: AtomicBool,
+    /// `(chunk idx, start instant)` per worker slot, for the watchdog.
+    in_flight: Vec<Mutex<Option<(usize, Instant)>>>,
+}
+
+impl Shared {
+    fn mark_slow(&self, idx: usize) {
+        let mut slow = self.slow.lock().unwrap();
+        if !slow.contains(&idx) {
+            slow.push(idx);
+        }
+    }
+}
+
+/// Runs `work` over every chunk under supervision.
+///
+/// `work(chunk)` returns the computed cells as `(linear index, value)`
+/// pairs; they are handed — in completion order, on the calling
+/// thread — to `on_complete(chunk, cells)`, which is where the caller
+/// folds them into its result and (periodically) flushes a
+/// checkpoint. Panics inside `work` are caught and retried per
+/// [`RetryPolicy`]; `on_complete` must not panic.
+///
+/// The call returns when every chunk is completed, terminally failed,
+/// or skipped because the budget/cancel stopped the run.
+pub fn run_supervised<T, F, S>(
+    chunks: &[PairChunk],
+    cfg: &PoolConfig,
+    work: F,
+    mut on_complete: S,
+) -> PoolRun
+where
+    T: Send,
+    F: Fn(&PairChunk) -> Vec<(usize, T)> + Sync,
+    S: FnMut(&PairChunk, Vec<(usize, T)>),
+{
+    let started = Instant::now();
+    let n_threads = if cfg.threads > 0 {
+        cfg.threads.min(chunks.len().max(1))
+    } else {
+        crate::thread_count(chunks.len())
+    };
+    let shared = Shared {
+        queue: Mutex::new(
+            chunks
+                .iter()
+                .enumerate()
+                .map(|(idx, &chunk)| WorkItem {
+                    idx,
+                    chunk,
+                    attempt: 0,
+                })
+                .collect(),
+        ),
+        statuses: Mutex::new(vec![None; chunks.len()]),
+        pairs_done: AtomicUsize::new(0),
+        retries: AtomicU64::new(0),
+        stop: Mutex::new(None),
+        slow: Mutex::new(Vec::new()),
+        done: AtomicBool::new(false),
+        in_flight: (0..n_threads).map(|_| Mutex::new(None)).collect(),
+    };
+
+    let (tx, rx) = mpsc::channel::<(PairChunk, Vec<(usize, T)>)>();
+    std::thread::scope(|scope| {
+        for slot in 0..n_threads {
+            let tx = tx.clone();
+            let shared = &shared;
+            let work = &work;
+            scope.spawn(move || worker_loop(slot, shared, cfg, work, tx));
+        }
+        if let Some(soft) = cfg.soft_timeout {
+            let shared = &shared;
+            scope.spawn(move || watchdog_loop(shared, soft));
+        }
+        // The collector runs on the calling thread: fold completed
+        // chunks as they stream in. When every worker exits, the last
+        // sender drops and the loop ends.
+        drop(tx);
+        for (chunk, cells) in rx {
+            on_complete(&chunk, cells);
+        }
+        shared.done.store(true, Ordering::Release);
+    });
+
+    let stop = *shared.stop.lock().unwrap();
+    let statuses: Vec<ChunkStatus> = shared
+        .statuses
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|s| s.unwrap_or(ChunkStatus::Skipped(stop.unwrap_or(StopReason::Cancelled))))
+        .collect();
+    let mut slow_chunks = shared.slow.into_inner().unwrap();
+    slow_chunks.sort_unstable();
+    PoolRun {
+        statuses,
+        pairs_completed: shared.pairs_done.into_inner(),
+        retries: shared.retries.into_inner(),
+        slow_chunks,
+        stop,
+        elapsed: started.elapsed(),
+    }
+}
+
+fn worker_loop<T, F>(
+    slot: usize,
+    shared: &Shared,
+    cfg: &PoolConfig,
+    work: &F,
+    tx: mpsc::Sender<(PairChunk, Vec<(usize, T)>)>,
+) where
+    T: Send,
+    F: Fn(&PairChunk) -> Vec<(usize, T)> + Sync,
+{
+    let mut backoff = DecorrelatedJitter::new(
+        cfg.retry.backoff_base,
+        cfg.retry.backoff_cap,
+        cfg.retry.seed ^ (slot as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    );
+    loop {
+        // Cooperative stop check, once per chunk boundary.
+        let reason = if cfg.cancel.is_cancelled() {
+            Some(StopReason::Cancelled)
+        } else {
+            cfg.budget.check(shared.pairs_done.load(Ordering::Relaxed))
+        };
+        let mut queue = shared.queue.lock().unwrap();
+        if let Some(reason) = reason {
+            // First stop reason wins; drain everything still queued.
+            shared.stop.lock().unwrap().get_or_insert(reason);
+            let mut statuses = shared.statuses.lock().unwrap();
+            while let Some(item) = queue.pop_front() {
+                statuses[item.idx] = Some(ChunkStatus::Skipped(reason));
+            }
+            return;
+        }
+        let Some(item) = queue.pop_front() else {
+            return;
+        };
+        drop(queue);
+
+        *shared.in_flight[slot].lock().unwrap() = Some((item.idx, Instant::now()));
+        let chunk_started = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| work(&item.chunk)));
+        let took = chunk_started.elapsed();
+        *shared.in_flight[slot].lock().unwrap() = None;
+        if cfg.soft_timeout.is_some_and(|soft| took > soft) {
+            shared.mark_slow(item.idx);
+        }
+
+        match result {
+            Ok(cells) => {
+                shared
+                    .pairs_done
+                    .fetch_add(item.chunk.len, Ordering::Relaxed);
+                shared.statuses.lock().unwrap()[item.idx] = Some(ChunkStatus::Completed);
+                // The collector holds the receiver for the whole
+                // scope; a send failure means the caller's scope is
+                // unwinding already, so dropping the cells is fine.
+                let _ = tx.send((item.chunk, cells));
+            }
+            Err(_) if item.attempt < cfg.retry.max_retries => {
+                shared.retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(backoff.next_delay());
+                shared.queue.lock().unwrap().push_back(WorkItem {
+                    attempt: item.attempt + 1,
+                    ..item
+                });
+            }
+            Err(_) => {
+                shared.statuses.lock().unwrap()[item.idx] = Some(ChunkStatus::Failed {
+                    attempts: item.attempt + 1,
+                });
+            }
+        }
+    }
+}
+
+/// Periodically scans the in-flight table and marks overrunning chunks
+/// slow *while they run* — an operator watching the job report sees a
+/// wedged chunk before it finishes (if it ever does).
+fn watchdog_loop(shared: &Shared, soft: Duration) {
+    let tick = (soft / 4).clamp(Duration::from_millis(1), Duration::from_millis(50));
+    while !shared.done.load(Ordering::Acquire) {
+        std::thread::sleep(tick);
+        for slot in &shared.in_flight {
+            if let Some((idx, since)) = *slot.lock().unwrap() {
+                if since.elapsed() > soft {
+                    shared.mark_slow(idx);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PairSpace;
+
+    fn chunks_of(rows: usize, cols: usize, size: usize) -> Vec<PairChunk> {
+        PairSpace::new(rows, cols).chunks(size).collect()
+    }
+
+    /// Runs `f` with panic output silenced (retry tests panic on
+    /// purpose).
+    fn quietly<T>(f: impl FnOnce() -> T) -> T {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(prev);
+        out
+    }
+
+    #[test]
+    fn clean_run_completes_every_chunk_and_delivers_every_cell() {
+        let space = PairSpace::new(6, 7);
+        let chunks = chunks_of(6, 7, 5);
+        let mut cells = vec![u64::MAX; space.len()];
+        let run = run_supervised(
+            &chunks,
+            &PoolConfig::default(),
+            |c| c.range().map(|lin| (lin, lin as u64 * 3)).collect(),
+            |_c, computed| {
+                for (lin, v) in computed {
+                    cells[lin] = v;
+                }
+            },
+        );
+        assert!(run.statuses.iter().all(|s| *s == ChunkStatus::Completed));
+        assert_eq!(run.pairs_completed, space.len());
+        assert_eq!(run.stop, None);
+        assert_eq!(run.retries, 0);
+        for (lin, v) in cells.iter().enumerate() {
+            assert_eq!(*v, lin as u64 * 3);
+        }
+    }
+
+    #[test]
+    fn panicking_chunk_is_retried_then_failed() {
+        quietly(|| {
+            let chunks = chunks_of(4, 1, 1); // 4 chunks of 1 pair
+            let cfg = PoolConfig {
+                retry: RetryPolicy {
+                    max_retries: 2,
+                    backoff_base: Duration::from_micros(10),
+                    backoff_cap: Duration::from_micros(100),
+                    seed: 1,
+                },
+                ..PoolConfig::default()
+            };
+            let mut delivered = Vec::new();
+            let run = run_supervised(
+                &chunks,
+                &cfg,
+                |c| {
+                    if c.start == 2 {
+                        panic!("poisoned chunk");
+                    }
+                    vec![(c.start, c.start)]
+                },
+                |_c, cells| delivered.extend(cells),
+            );
+            assert_eq!(run.statuses[2], ChunkStatus::Failed { attempts: 3 });
+            assert_eq!(run.retries, 2);
+            for idx in [0, 1, 3] {
+                assert_eq!(run.statuses[idx], ChunkStatus::Completed, "chunk {idx}");
+            }
+            delivered.sort_unstable();
+            assert_eq!(delivered, vec![(0, 0), (1, 1), (3, 3)]);
+        });
+    }
+
+    #[test]
+    fn transient_panic_recovers_on_retry() {
+        quietly(|| {
+            let chunks = chunks_of(1, 1, 1);
+            let tries = AtomicUsize::new(0);
+            let cfg = PoolConfig {
+                retry: RetryPolicy {
+                    max_retries: 3,
+                    backoff_base: Duration::from_micros(10),
+                    backoff_cap: Duration::from_micros(50),
+                    seed: 2,
+                },
+                ..PoolConfig::default()
+            };
+            let run = run_supervised(
+                &chunks,
+                &cfg,
+                |c| {
+                    if tries.fetch_add(1, Ordering::Relaxed) < 2 {
+                        panic!("transient");
+                    }
+                    vec![(c.start, 7u8)]
+                },
+                |_, _| {},
+            );
+            assert_eq!(run.statuses[0], ChunkStatus::Completed);
+            assert_eq!(run.retries, 2);
+            assert_eq!(run.pairs_completed, 1);
+        });
+    }
+
+    #[test]
+    fn zero_pair_budget_skips_everything() {
+        let chunks = chunks_of(4, 4, 4);
+        let cfg = PoolConfig {
+            budget: Budget::with_max_pairs(0),
+            ..PoolConfig::default()
+        };
+        let run = run_supervised(
+            &chunks,
+            &cfg,
+            |c| c.range().map(|lin| (lin, ())).collect(),
+            |_, _| panic!("no chunk may complete"),
+        );
+        assert_eq!(run.stop, Some(StopReason::PairBudgetExhausted));
+        assert_eq!(run.pairs_completed, 0);
+        assert!(run
+            .statuses
+            .iter()
+            .all(|s| *s == ChunkStatus::Skipped(StopReason::PairBudgetExhausted)));
+    }
+
+    #[test]
+    fn pair_budget_stops_mid_run_with_completed_chunks_intact() {
+        let chunks = chunks_of(10, 10, 5); // 20 chunks of 5
+        let cfg = PoolConfig {
+            threads: 1, // deterministic deal order
+            budget: Budget::with_max_pairs(12),
+            ..PoolConfig::default()
+        };
+        let mut got = 0usize;
+        let run = run_supervised(
+            &chunks,
+            &cfg,
+            |c| c.range().map(|lin| (lin, ())).collect(),
+            |c, _| got += c.len,
+        );
+        // 12 pairs = 2.4 chunks -> the 3rd chunk completes (15 done),
+        // then the boundary check trips.
+        assert_eq!(run.stop, Some(StopReason::PairBudgetExhausted));
+        assert_eq!(run.pairs_completed, 15);
+        assert_eq!(got, 15);
+        let completed = run
+            .statuses
+            .iter()
+            .filter(|s| **s == ChunkStatus::Completed)
+            .count();
+        assert_eq!(completed, 3);
+    }
+
+    #[test]
+    fn cancellation_skips_the_rest() {
+        let token = CancelToken::new();
+        let chunks = chunks_of(8, 8, 8);
+        let cfg = PoolConfig {
+            threads: 1,
+            cancel: token.clone(),
+            ..PoolConfig::default()
+        };
+        let mut completed = 0usize;
+        let run = run_supervised(
+            &chunks,
+            &cfg,
+            |c| {
+                if c.id == 1 {
+                    token.cancel();
+                }
+                c.range().map(|lin| (lin, ())).collect()
+            },
+            |_, _| completed += 1,
+        );
+        assert_eq!(run.stop, Some(StopReason::Cancelled));
+        assert!(completed >= 2, "chunks before the cancel completed");
+        assert!(
+            run.statuses
+                .iter()
+                .any(|s| *s == ChunkStatus::Skipped(StopReason::Cancelled)),
+            "chunks after the cancel were skipped"
+        );
+    }
+
+    #[test]
+    fn expired_deadline_skips_everything() {
+        let chunks = chunks_of(4, 4, 4);
+        let cfg = PoolConfig {
+            budget: Budget::with_deadline(Duration::ZERO),
+            ..PoolConfig::default()
+        };
+        let run = run_supervised(
+            &chunks,
+            &cfg,
+            |c| c.range().map(|lin| (lin, ())).collect(),
+            |_, _| {},
+        );
+        assert_eq!(run.stop, Some(StopReason::DeadlineExceeded));
+        assert_eq!(run.pairs_completed, 0);
+    }
+
+    #[test]
+    fn slow_chunk_is_marked_by_the_watchdog() {
+        let chunks = chunks_of(3, 1, 1);
+        let cfg = PoolConfig {
+            soft_timeout: Some(Duration::from_millis(5)),
+            ..PoolConfig::default()
+        };
+        let run = run_supervised(
+            &chunks,
+            &cfg,
+            |c| {
+                if c.id == 1 {
+                    std::thread::sleep(Duration::from_millis(30));
+                }
+                vec![(c.start, ())]
+            },
+            |_, _| {},
+        );
+        assert!(run.slow_chunks.contains(&1), "slow: {:?}", run.slow_chunks);
+        assert!(run.statuses.iter().all(|s| *s == ChunkStatus::Completed));
+    }
+
+    #[test]
+    fn empty_chunk_list_returns_immediately() {
+        let run = run_supervised(
+            &[],
+            &PoolConfig::default(),
+            |_c| Vec::<(usize, ())>::new(),
+            |_, _| {},
+        );
+        assert!(run.statuses.is_empty());
+        assert_eq!(run.stop, None);
+        assert_eq!(run.pairs_completed, 0);
+    }
+}

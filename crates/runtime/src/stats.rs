@@ -1,0 +1,194 @@
+//! Job lifecycle accounting.
+
+use crate::StopReason;
+use std::fmt;
+use std::time::Duration;
+
+/// Terminal state of a supervised job.
+///
+/// Lifecycle: a job is *Running* (implicit — it has no report yet),
+/// degrades as cells fail, and terminates in one of these states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Every pair resolved, none failed.
+    Complete,
+    /// Every pair resolved, but some cells terminally failed
+    /// (panicked through all retries) — the matrix is partial but
+    /// consistent.
+    Degraded,
+    /// Stopped by the [`CancelToken`](crate::CancelToken); unprocessed
+    /// cells are skipped.
+    Cancelled,
+    /// Stopped by the wall-clock deadline.
+    DeadlineExceeded,
+    /// Stopped by the max-pairs budget.
+    BudgetExhausted,
+}
+
+impl JobState {
+    /// Derives the terminal state from how the pool stopped and
+    /// whether any cell terminally failed.
+    pub fn from_run(stop: Option<StopReason>, any_failed: bool) -> Self {
+        match stop {
+            Some(StopReason::Cancelled) => JobState::Cancelled,
+            Some(StopReason::DeadlineExceeded) => JobState::DeadlineExceeded,
+            Some(StopReason::PairBudgetExhausted) => JobState::BudgetExhausted,
+            None if any_failed => JobState::Degraded,
+            None => JobState::Complete,
+        }
+    }
+
+    /// Did the job resolve every pair (completely or degraded)?
+    pub fn ran_to_end(&self) -> bool {
+        matches!(self, JobState::Complete | JobState::Degraded)
+    }
+}
+
+impl fmt::Display for JobState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            JobState::Complete => "complete",
+            JobState::Degraded => "degraded",
+            JobState::Cancelled => "cancelled",
+            JobState::DeadlineExceeded => "deadline-exceeded",
+            JobState::BudgetExhausted => "budget-exhausted",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Timing, retry and completion accounting for one supervised job.
+/// The measure-specific half of the report (quarantines, per-cell
+/// outcomes) lives in `sts-core`'s `BatchReport`; this is the
+/// runtime half.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobStats {
+    /// Terminal state.
+    pub state: JobState,
+    /// Wall-clock time of the run (excludes checkpoint-restored work).
+    pub elapsed: Duration,
+    /// Total pairs in the matrix.
+    pub pairs_total: usize,
+    /// Pairs with a terminal outcome (scored, quarantined, failed) —
+    /// including cells restored from a checkpoint.
+    pub pairs_completed: usize,
+    /// Pairs whose scoring panicked through every retry.
+    pub pairs_failed: usize,
+    /// Pairs never attempted (budget/deadline/cancel stopped the job).
+    pub pairs_skipped: usize,
+    /// Pairs restored from the checkpoint instead of recomputed.
+    pub pairs_resumed: usize,
+    /// Chunks dealt to the pool (excludes chunks fully covered by the
+    /// checkpoint, which are never queued).
+    pub chunks_total: usize,
+    /// Chunks that completed.
+    pub chunks_completed: usize,
+    /// Chunks that failed terminally (pool-level backstop).
+    pub chunks_failed: usize,
+    /// Chunks skipped by an early stop.
+    pub chunks_skipped: usize,
+    /// Retry attempts performed (cell-level and chunk-level).
+    pub retries: u64,
+    /// Ids of chunks that exceeded the per-chunk soft timeout.
+    pub slow_chunks: Vec<usize>,
+    /// Checkpoint flushes written during the run.
+    pub checkpoint_flushes: usize,
+    /// Checkpoint flushes that failed with an I/O error (the job keeps
+    /// running — losing durability is better than losing the matrix).
+    pub checkpoint_write_errors: usize,
+}
+
+impl JobStats {
+    /// Fraction of the matrix with a terminal outcome, in percent.
+    /// An empty matrix is 100% complete.
+    pub fn percent_complete(&self) -> f64 {
+        if self.pairs_total == 0 {
+            100.0
+        } else {
+            100.0 * self.pairs_completed as f64 / self.pairs_total as f64
+        }
+    }
+}
+
+impl fmt::Display for JobStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:.1}% complete ({}/{} pairs, {} resumed, {} failed, {} skipped) \
+             in {:.3}s; {} retries, {} slow chunk(s), {} checkpoint flush(es)",
+            self.state,
+            self.percent_complete(),
+            self.pairs_completed,
+            self.pairs_total,
+            self.pairs_resumed,
+            self.pairs_failed,
+            self.pairs_skipped,
+            self.elapsed.as_secs_f64(),
+            self.retries,
+            self.slow_chunks.len(),
+            self.checkpoint_flushes,
+        )?;
+        if self.checkpoint_write_errors > 0 {
+            write!(
+                f,
+                " [{} checkpoint write error(s)]",
+                self.checkpoint_write_errors
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_derivation() {
+        assert_eq!(JobState::from_run(None, false), JobState::Complete);
+        assert_eq!(JobState::from_run(None, true), JobState::Degraded);
+        assert_eq!(
+            JobState::from_run(Some(StopReason::Cancelled), false),
+            JobState::Cancelled
+        );
+        assert_eq!(
+            JobState::from_run(Some(StopReason::DeadlineExceeded), true),
+            JobState::DeadlineExceeded
+        );
+        assert_eq!(
+            JobState::from_run(Some(StopReason::PairBudgetExhausted), false),
+            JobState::BudgetExhausted
+        );
+        assert!(JobState::Complete.ran_to_end());
+        assert!(JobState::Degraded.ran_to_end());
+        assert!(!JobState::Cancelled.ran_to_end());
+    }
+
+    #[test]
+    fn percent_complete_handles_empty_and_partial() {
+        let mut s = JobStats {
+            state: JobState::Complete,
+            elapsed: Duration::from_millis(5),
+            pairs_total: 0,
+            pairs_completed: 0,
+            pairs_failed: 0,
+            pairs_skipped: 0,
+            pairs_resumed: 0,
+            chunks_total: 0,
+            chunks_completed: 0,
+            chunks_failed: 0,
+            chunks_skipped: 0,
+            retries: 0,
+            slow_chunks: Vec::new(),
+            checkpoint_flushes: 0,
+            checkpoint_write_errors: 0,
+        };
+        assert_eq!(s.percent_complete(), 100.0);
+        s.pairs_total = 200;
+        s.pairs_completed = 50;
+        assert_eq!(s.percent_complete(), 25.0);
+        let text = s.to_string();
+        assert!(text.contains("25.0% complete"), "{text}");
+        assert!(text.contains("50/200"), "{text}");
+    }
+}

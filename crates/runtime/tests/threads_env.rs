@@ -1,0 +1,30 @@
+//! `STS_THREADS` override tests, isolated in their own integration
+//! binary: integration tests run as a separate process, so mutating
+//! the process environment here cannot race the unit tests (or any
+//! other test binary) that call `thread_count` concurrently.
+//!
+//! Within this binary the tests still share one process, so the env
+//! mutation is serialized behind a single test function.
+
+use sts_runtime::thread_count;
+
+#[test]
+fn sts_threads_env_overrides_and_invalid_values_fall_back() {
+    // SAFETY-adjacent note: `set_var`/`remove_var` are process-global;
+    // this is the only test in this binary touching them.
+    std::env::set_var("STS_THREADS", "3");
+    assert_eq!(thread_count(64), 3);
+    // The cap still wins over the override.
+    assert_eq!(thread_count(2), 2);
+    // Zero and garbage are ignored (fall back to host parallelism).
+    std::env::set_var("STS_THREADS", "0");
+    let auto = thread_count(usize::MAX);
+    assert!(auto >= 1);
+    std::env::set_var("STS_THREADS", "not-a-number");
+    assert_eq!(thread_count(usize::MAX), auto);
+    // Whitespace is tolerated (systemd unit files love stray spaces).
+    std::env::set_var("STS_THREADS", " 5 ");
+    assert_eq!(thread_count(64), 5);
+    std::env::remove_var("STS_THREADS");
+    assert_eq!(thread_count(usize::MAX), auto);
+}

@@ -8,6 +8,19 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Runs a seeded suite; on failure, says how to replay it. Every seeded
+# test in the workspace derives its cases from fixed seeds and embeds
+# the failing seed in the assertion message, so the replay is exact.
+run_seeded() {
+    local label="$1"
+    shift
+    if ! "$@"; then
+        echo "!! ${label} failed. Seeds are fixed and the failing seed is named in the assertion output above."
+        echo "!! replay: $* -- --nocapture"
+        exit 1
+    fi
+}
+
 echo "== build (release, offline) =="
 cargo build --workspace --release --offline
 
@@ -19,8 +32,17 @@ cargo test --workspace -q --offline
 # similarity under catch_unwind) and the byte-mangling fuzz of the
 # lenient reader. Both also run inside the workspace tests above; the
 # dedicated step keeps a regression here from hiding in the noise.
-echo "== chaos (fault injection + lenient-reader fuzz) =="
-cargo test -p sts-robust -q --offline --test chaos
+echo "== chaos (fault injection + lenient-reader fuzz; seeds 0..128 per injector) =="
+run_seeded "chaos suite" cargo test -p sts-robust -q --offline --test chaos
+
+# Supervised batch runtime gate: budget/deadline semantics, the
+# checkpoint → crash → resume round-trip (8 fixed seeds, byte-identical
+# matrices) and the panic/slow-pair injection suite driving a real
+# 64-trajectory job.
+echo "== runtime (deadlines, cancellation, checkpoint/resume; fixed seeds) =="
+run_seeded "runtime unit tests" cargo test -p sts-runtime -q --offline
+run_seeded "job lifecycle suite" cargo test -p sts-core -q --offline --test job_lifecycle
+run_seeded "supervised chaos suite" cargo test -p sts-robust -q --offline --test supervised_chaos
 
 echo "== format =="
 if cargo fmt --version >/dev/null 2>&1; then
