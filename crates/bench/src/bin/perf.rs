@@ -1,21 +1,33 @@
 //! In-repo performance runner — the replacement for `cargo bench`.
 //!
 //! ```text
-//! cargo run -p sts-bench --release --bin perf              # all suites
-//! cargo run -p sts-bench --release --bin perf -- stp       # one suite
-//! cargo run -p sts-bench --release --bin perf -- --quick   # smoke config
+//! cargo run -p sts-bench --release --bin perf                      # all suites
+//! cargo run -p sts-bench --release --bin perf -- stp               # one suite
+//! cargo run -p sts-bench --release --bin perf -- --quick           # smoke config
+//! cargo run -p sts-bench --release --bin perf -- --json BENCH.json # machine output
 //! ```
 
 use std::process::ExitCode;
-use sts_bench::perf::all_suites;
+use sts_bench::perf::{all_suites, PerfReport};
+use sts_bench::report::write_json;
 use sts_bench::timing::{format_ns, TimingConfig};
 
 fn main() -> ExitCode {
     let mut config = TimingConfig::default();
     let mut selected: Vec<String> = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => config = TimingConfig::smoke(),
+            "--json" => match args.next() {
+                Some(path) => json_path = Some(path),
+                None => {
+                    eprintln!("--json requires a path argument");
+                    print_usage();
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 print_usage();
                 return ExitCode::SUCCESS;
@@ -38,6 +50,7 @@ fn main() -> ExitCode {
         }
     }
 
+    let mut reports: Vec<PerfReport> = Vec::new();
     for (name, suite) in suites {
         if !selected.is_empty() && !selected.iter().any(|s| s == name) {
             continue;
@@ -59,12 +72,31 @@ fn main() -> ExitCode {
                 iters = m.iters_per_sample,
             );
         }
+        for (name, value) in &report.extras {
+            println!("  {name}: {value:.1}");
+        }
         println!();
+        reports.push(report);
+    }
+
+    if let Some(path) = json_path {
+        let mut file = match std::fs::File::create(&path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot create {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = write_json(&mut file, &reports) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
     }
     ExitCode::SUCCESS
 }
 
 fn print_usage() {
-    eprintln!("usage: perf [--quick] [suite ...]");
-    eprintln!("suites: similarity, grid_size, matching, stp, substrates");
+    eprintln!("usage: perf [--quick] [--json <path>] [suite ...]");
+    eprintln!("suites: similarity, grid_size, matching, stp, substrates, chaos, runtime");
 }

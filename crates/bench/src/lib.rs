@@ -15,10 +15,13 @@
 //!   matching task (`matching`), the dense-vs-sparse STP ablation
 //!   (`stp`), the substrate primitives (`substrates`) and the
 //!   dirty-data path — repair, lenient parsing, degraded batch —
-//!   (`chaos`). A smoke run of every suite hides behind
-//!   `cargo test -p sts-bench -- --ignored`.
+//!   (`chaos`) and the supervision overhead (`runtime`). A smoke run of
+//!   every suite hides behind `cargo test -p sts-bench -- --ignored`.
+//!   `--json <path>` additionally writes the machine-readable
+//!   [`report`] document (`BENCH_<name>.json` by convention).
 
 pub mod perf;
+pub mod report;
 pub mod timing;
 
 pub use sts_eval::experiments::{run, ExperimentConfig};

@@ -26,6 +26,10 @@ pub struct PerfReport {
     pub suite: &'static str,
     /// `(benchmark id, measurement)` pairs in execution order.
     pub entries: Vec<(String, Measurement)>,
+    /// Derived scalars beyond raw timings — throughput and latency
+    /// quantiles pulled from the telemetry registry (e.g. `pairs_per_sec`,
+    /// `chunk_run_p99_ns`). Empty for suites that only report timings.
+    pub extras: Vec<(String, f64)>,
 }
 
 /// All suites, in the order the old `cargo bench` ran them.
@@ -71,6 +75,7 @@ pub fn similarity(config: &TimingConfig) -> PerfReport {
     PerfReport {
         suite: "similarity",
         entries,
+        extras: Vec::new(),
     }
 }
 
@@ -97,6 +102,7 @@ pub fn grid_size(config: &TimingConfig) -> PerfReport {
     PerfReport {
         suite: "grid_size",
         entries,
+        extras: Vec::new(),
     }
 }
 
@@ -118,6 +124,7 @@ pub fn matching(config: &TimingConfig) -> PerfReport {
     PerfReport {
         suite: "matching",
         entries,
+        extras: Vec::new(),
     }
 }
 
@@ -144,6 +151,7 @@ pub fn stp(config: &TimingConfig) -> PerfReport {
     PerfReport {
         suite: "stp",
         entries,
+        extras: Vec::new(),
     }
 }
 
@@ -218,6 +226,7 @@ pub fn chaos(config: &TimingConfig) -> PerfReport {
     PerfReport {
         suite: "chaos",
         entries,
+        extras: Vec::new(),
     }
 }
 
@@ -268,9 +277,36 @@ pub fn runtime(config: &TimingConfig) -> PerfReport {
         ),
     ];
     let _ = std::fs::remove_file(&ckpt);
+
+    // One dedicated supervised run bracketed by registry snapshots: the
+    // delta yields throughput and chunk-latency quantiles untainted by
+    // the warm-up iterations above.
+    let base = sts_obs::metrics::global().snapshot();
+    let started = std::time::Instant::now();
+    sts.similarity_matrix_supervised(&clean, &clean, &JobConfig::default())
+        .unwrap();
+    let elapsed = started.elapsed().as_secs_f64();
+    let delta = sts_obs::metrics::global().snapshot().since(&base);
+
+    let mut extras = Vec::new();
+    let pairs = delta.counter("core.pairs.scored").unwrap_or(0);
+    if elapsed > 0.0 {
+        extras.push(("pairs_per_sec".to_string(), pairs as f64 / elapsed));
+    }
+    for (metric, label) in [
+        ("runtime.pool.chunk_run_ns", "chunk_run"),
+        ("runtime.pool.chunk_wait_ns", "chunk_wait"),
+    ] {
+        if let Some(h) = delta.histogram(metric) {
+            extras.push((format!("{label}_p50_ns"), h.quantile(0.50) as f64));
+            extras.push((format!("{label}_p99_ns"), h.quantile(0.99) as f64));
+        }
+    }
+
     PerfReport {
         suite: "runtime",
         entries,
+        extras,
     }
 }
 
@@ -309,5 +345,6 @@ pub fn substrates(config: &TimingConfig) -> PerfReport {
     PerfReport {
         suite: "substrates",
         entries,
+        extras: Vec::new(),
     }
 }

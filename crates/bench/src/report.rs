@@ -1,0 +1,128 @@
+//! Machine-readable bench reports: the `BENCH_<suite>.json` files that
+//! record the repo's performance trajectory.
+//!
+//! One JSON document per `perf --json` invocation, shaped for diffing
+//! across commits: suites in execution order, entries keyed by the same
+//! benchmark ids the human-readable output prints, plus each suite's
+//! `extras` (derived scalars like pairs/s and chunk-latency quantiles
+//! pulled from the telemetry registry). Serialization goes through the
+//! `sts-obs` zero-dependency JSON helpers — no serde in the workspace.
+
+use crate::perf::PerfReport;
+use std::io::{self, Write};
+use sts_obs::json::{write_json_f64, write_json_str};
+
+/// Schema tag written into every report so downstream tooling can
+/// detect format changes.
+pub const BENCH_SCHEMA: &str = "sts-bench-v1";
+
+/// Serializes `reports` as one pretty-enough JSON document:
+///
+/// ```json
+/// {
+///   "schema": "sts-bench-v1",
+///   "suites": [
+///     {
+///       "suite": "runtime",
+///       "entries": [
+///         {"id": "strict_matrix", "median_ns": 1.5, "mean_ns": 1.6,
+///          "min_ns": 1.4, "samples": 10, "iters_per_sample": 4}
+///       ],
+///       "extras": [{"name": "pairs_per_sec", "value": 1234.5}]
+///     }
+///   ]
+/// }
+/// ```
+pub fn write_json<W: Write>(w: &mut W, reports: &[PerfReport]) -> io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": ");
+    write_json_str(&mut out, BENCH_SCHEMA);
+    out.push_str(",\n  \"suites\": [");
+    for (si, report) in reports.iter().enumerate() {
+        if si > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\n      \"suite\": ");
+        write_json_str(&mut out, report.suite);
+        out.push_str(",\n      \"entries\": [");
+        for (ei, (id, m)) in report.entries.iter().enumerate() {
+            if ei > 0 {
+                out.push(',');
+            }
+            out.push_str("\n        {\"id\": ");
+            write_json_str(&mut out, id);
+            out.push_str(", \"median_ns\": ");
+            write_json_f64(&mut out, m.median_ns);
+            out.push_str(", \"mean_ns\": ");
+            write_json_f64(&mut out, m.mean_ns);
+            out.push_str(", \"min_ns\": ");
+            write_json_f64(&mut out, m.min_ns);
+            out.push_str(&format!(
+                ", \"samples\": {}, \"iters_per_sample\": {}}}",
+                m.samples, m.iters_per_sample
+            ));
+        }
+        if !report.entries.is_empty() {
+            out.push_str("\n      ");
+        }
+        out.push_str("],\n      \"extras\": [");
+        for (xi, (name, value)) in report.extras.iter().enumerate() {
+            if xi > 0 {
+                out.push(',');
+            }
+            out.push_str("\n        {\"name\": ");
+            write_json_str(&mut out, name);
+            out.push_str(", \"value\": ");
+            write_json_f64(&mut out, *value);
+            out.push('}');
+        }
+        if !report.extras.is_empty() {
+            out.push_str("\n      ");
+        }
+        out.push_str("]\n    }");
+    }
+    if !reports.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    w.write_all(out.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::{time, TimingConfig};
+    use sts_obs::json::is_valid_json;
+
+    #[test]
+    fn bench_json_is_valid_and_carries_extras() {
+        let m = time(&TimingConfig::smoke(), || 1_u32);
+        let reports = vec![
+            PerfReport {
+                suite: "alpha",
+                entries: vec![("one".to_string(), m), ("two \"q\"".to_string(), m)],
+                extras: vec![("pairs_per_sec".to_string(), 123.5)],
+            },
+            PerfReport {
+                suite: "empty",
+                entries: Vec::new(),
+                extras: Vec::new(),
+            },
+        ];
+        let mut buf = Vec::new();
+        write_json(&mut buf, &reports).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(is_valid_json(&text), "{text}");
+        assert!(text.contains("\"schema\": \"sts-bench-v1\""));
+        assert!(text.contains("\"suite\": \"alpha\""));
+        assert!(text.contains("\"pairs_per_sec\""));
+        assert!(text.contains("two \\\"q\\\""), "ids are escaped: {text}");
+    }
+
+    #[test]
+    fn empty_report_list_is_valid_json() {
+        let mut buf = Vec::new();
+        write_json(&mut buf, &[]).unwrap();
+        assert!(is_valid_json(&String::from_utf8(buf).unwrap()));
+    }
+}

@@ -160,10 +160,12 @@ pub(crate) fn prepare_all(
             |(i, t)| match catch_unwind(AssertUnwindSafe(|| sts.prepare(t))) {
                 Ok(Ok(p)) => Some(p),
                 Ok(Err(e)) => {
+                    sts_obs::static_counter!("core.trajectories.quarantined").incr();
                     out.push((i, QuarantineReason::Unpreparable(e)));
                     None
                 }
                 Err(_) => {
+                    sts_obs::static_counter!("core.trajectories.quarantined").incr();
                     out.push((i, QuarantineReason::PreparePanicked));
                     None
                 }

@@ -36,6 +36,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 use sts_geo::Grid;
+use sts_obs::{trace, Telemetry};
 use sts_runtime::checkpoint::{load_checkpoint, save_checkpoint, CellRecord, Checkpoint, Fnv1a};
 use sts_runtime::pool::{run_supervised, ChunkStatus, PoolConfig};
 use sts_runtime::{
@@ -90,6 +91,11 @@ pub struct JobConfig {
     /// through a real job (default: none; production jobs pay one
     /// `Option` check per cell).
     pub fault: Option<FaultPlan>,
+    /// Attach a [`Telemetry`] section to the [`JobReport`]: the global
+    /// metrics-registry delta over the job's lifetime (zero-valued
+    /// instruments dropped). In a process running concurrent jobs the
+    /// delta includes their overlap — the registry is process-wide.
+    pub telemetry: bool,
 }
 
 impl Default for JobConfig {
@@ -103,6 +109,7 @@ impl Default for JobConfig {
             soft_timeout: None,
             checkpoint: None,
             fault: None,
+            telemetry: false,
         }
     }
 }
@@ -178,6 +185,9 @@ pub struct JobReport {
     pub batch: BatchReport,
     /// Lifecycle accounting.
     pub stats: JobStats,
+    /// What the job recorded in the metrics registry, when
+    /// [`JobConfig::telemetry`] was set (see [`Telemetry`]).
+    pub telemetry: Option<Telemetry>,
 }
 
 impl JobReport {
@@ -199,7 +209,11 @@ impl JobReport {
 
 impl fmt::Display for JobReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}; {}", self.stats, self.batch)
+        write!(f, "{}; {}", self.stats, self.batch)?;
+        if let Some(t) = &self.telemetry {
+            write!(f, "; {t}")?;
+        }
+        Ok(())
     }
 }
 
@@ -281,6 +295,8 @@ impl Sts {
         cfg: &JobConfig,
     ) -> Result<(Vec<Vec<PairOutcome>>, JobReport), JobError> {
         let started = Instant::now();
+        let _job_span = trace::span("job.run");
+        let metrics_base = cfg.telemetry.then(|| sts_obs::metrics::global().snapshot());
         let space = PairSpace::new(queries.len(), candidates.len());
         let mut batch = BatchReport::default();
 
@@ -298,12 +314,18 @@ impl Sts {
                         elapsed: started.elapsed(),
                         ..stats
                     },
+                    telemetry: job_telemetry(metrics_base.as_ref()),
                 },
             ));
         }
 
-        let prepared_q = prepare_all(self, queries, &mut batch.quarantined_queries);
-        let prepared_c = prepare_all(self, candidates, &mut batch.quarantined_candidates);
+        let (prepared_q, prepared_c) = {
+            let _span = trace::span("job.prepare");
+            (
+                prepare_all(self, queries, &mut batch.quarantined_queries),
+                prepare_all(self, candidates, &mut batch.quarantined_candidates),
+            )
+        };
 
         // Resume: restore terminal cells from an existing checkpoint.
         let fingerprint = job_fingerprint(self.grid(), queries, candidates);
@@ -311,6 +333,7 @@ impl Sts {
         let mut pairs_resumed = 0usize;
         if let Some(ck) = &cfg.checkpoint {
             if ck.path.exists() {
+                let _span = trace::span("job.resume");
                 let cp = load_checkpoint(&ck.path)?;
                 if cp.fingerprint != fingerprint {
                     return Err(JobError::FingerprintMismatch {
@@ -328,6 +351,7 @@ impl Sts {
                     cells[i * space.cols() + j] = from_record(rec);
                     pairs_resumed += 1;
                 }
+                sts_obs::static_counter!("core.job.pairs_resumed").add(pairs_resumed as u64);
             }
         }
         let done: Vec<bool> = cells.iter().map(is_terminal).collect();
@@ -378,6 +402,7 @@ impl Sts {
                 flush_pending += 1;
                 if flush_pending >= ck.flush_every_chunks.max(1) {
                     flush_pending = 0;
+                    trace::event("job.checkpoint_flush", flushes as f64 + 1.0);
                     match save_checkpoint(&ck.path, &snapshot(fingerprint, &space, &cells)) {
                         Ok(()) => flushes += 1,
                         Err(_) => flush_errors += 1,
@@ -451,8 +476,17 @@ impl Sts {
         stats.slow_chunks = run.slow_chunks;
         stats.checkpoint_flushes = flushes;
         stats.checkpoint_write_errors = flush_errors;
+        stats.chunk_wait_total = run.chunk_wait;
+        stats.chunk_run_total = run.chunk_run;
 
-        Ok((reshape(cells, &space), JobReport { batch, stats }))
+        Ok((
+            reshape(cells, &space),
+            JobReport {
+                batch,
+                stats,
+                telemetry: job_telemetry(metrics_base.as_ref()),
+            },
+        ))
     }
 
     /// Supervised top-k: ranks every scorable candidate under the same
@@ -528,6 +562,18 @@ impl Sts {
     }
 }
 
+/// The report's telemetry section: the global-registry delta since the
+/// job-start snapshot, zero-valued instruments dropped. `None` when
+/// telemetry was not requested.
+fn job_telemetry(base: Option<&sts_obs::Snapshot>) -> Option<Telemetry> {
+    base.map(|base| Telemetry {
+        metrics: sts_obs::metrics::global()
+            .snapshot()
+            .since(base)
+            .without_zeros(),
+    })
+}
+
 /// Does the config stop a job before any work at all?
 fn check_start(cfg: &JobConfig) -> Option<sts_runtime::StopReason> {
     if cfg.cancel.is_cancelled() {
@@ -586,6 +632,8 @@ fn stats_from(
         slow_chunks: Vec::new(),
         checkpoint_flushes: 0,
         checkpoint_write_errors: 0,
+        chunk_wait_total: Duration::ZERO,
+        chunk_run_total: Duration::ZERO,
     }
 }
 

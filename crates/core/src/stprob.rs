@@ -126,6 +126,7 @@ impl<'a> StpEstimator<'a> {
     }
 
     fn stp_impl(&self, t: f64, dense: bool) -> SparseDistribution {
+        sts_obs::static_counter!("core.stp.evals").incr();
         // The negated comparison also routes NaN query times to the
         // empty distribution (a NaN fails every comparison), honoring
         // the `stp()` contract for any input rather than panicking in
@@ -194,7 +195,9 @@ impl<'a> StpEstimator<'a> {
                 weights.push((r, w));
             }
         }
-        SparseDistribution::from_weights(weights).normalize()
+        let dist = SparseDistribution::from_weights(weights).normalize();
+        sts_obs::static_counter!("core.stp.cells").add(dist.entries().len() as u64);
+        dist
     }
 
     /// Largest distance a transition table must cover: the model's own

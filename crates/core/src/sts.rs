@@ -15,6 +15,7 @@ use crate::transition::{
 use crate::StsError;
 use std::sync::{Arc, Mutex};
 use sts_geo::Grid;
+use sts_obs::{static_counter, trace};
 use sts_runtime::PairSpace;
 use sts_stats::Kernel;
 use sts_traj::Trajectory;
@@ -206,6 +207,8 @@ impl Sts {
     /// personalized speed model cannot be built (trajectory shorter than
     /// 2 points).
     pub fn prepare(&self, traj: &Trajectory) -> Result<PreparedTrajectory, StsError> {
+        let _span = trace::span("sts.prepare");
+        static_counter!("core.trajectories.prepared").incr();
         let transition: Arc<dyn TransitionModel> = match &self.transition {
             TransitionSource::Personalized { kernel } => Arc::new(
                 SpeedKdeTransition::from_trajectory(traj, *kernel)?
@@ -238,6 +241,7 @@ impl Sts {
     /// `STS(Tra, Tra')` (Eq. 10): the average co-location probability
     /// over the merged timestamps of the two prepared trajectories.
     pub fn similarity_prepared(&self, a: &PreparedTrajectory, b: &PreparedTrajectory) -> f64 {
+        static_counter!("core.pairs.scored").incr();
         let ea = self.estimator(a);
         let eb = self.estimator(b);
         let ts = a.traj.merged_timestamps(&b.traj);
@@ -306,6 +310,7 @@ impl Sts {
         queries: &[Trajectory],
         candidates: &[Trajectory],
     ) -> Result<Vec<Vec<f64>>, StsError> {
+        let _span = trace::span("sts.matrix");
         let prepared_q: Vec<PreparedTrajectory> = queries
             .iter()
             .map(|t| self.prepare(t))

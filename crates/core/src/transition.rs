@@ -102,6 +102,7 @@ impl SpeedKdeTransition {
     /// `STS-G` global variant (pool the samples of every trajectory) and
     /// for testing.
     pub fn from_speed_samples(samples: Vec<f64>, kernel: Kernel) -> Result<Self, StsError> {
+        sts_obs::static_counter!("core.speed_models.built").incr();
         let kde = Kde::new(samples, kernel).map_err(StsError::Kde)?;
         let max_sample = kde
             .samples()

@@ -1,0 +1,301 @@
+//! Zero-dependency JSON helpers: string escaping, float formatting and
+//! a minimal validating parser.
+//!
+//! The telemetry layer emits JSON-lines text (one object per line) for
+//! metric snapshots, spans and bench reports. Serde is off the table —
+//! the workspace builds offline with zero external crates — and the
+//! subset of JSON we *emit* is tiny: flat objects of strings, numbers,
+//! booleans and arrays thereof. The writer half lives with the callers
+//! (each knows its own shape); this module supplies the two parts that
+//! are easy to get subtly wrong — escaping and number formatting — plus
+//! a small recursive-descent validator so tests can assert "this line
+//! is parseable JSON" without an external parser.
+
+use std::fmt::Write as _;
+
+/// Appends `s` to `out` as a JSON string literal (with the quotes).
+///
+/// Escapes the two mandatory characters (`"` and `\`), the C0 control
+/// range as `\u00XX`, and the common shorthands (`\n`, `\r`, `\t`).
+/// Everything else — including non-ASCII — is passed through verbatim;
+/// JSON strings are Unicode and the output stays valid UTF-8 because
+/// the input is a Rust `&str`.
+pub fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `v` as a JSON number. JSON has no `NaN`/`inf`; non-finite
+/// values are emitted as `null` (the conventional lossy mapping) so a
+/// degenerate metric never produces an unparseable line.
+pub fn write_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Is `s` one complete, valid JSON value (with optional surrounding
+/// whitespace)? A deliberately strict recursive-descent check — used by
+/// tests to assert that emitted JSONL lines parse — not a full parser:
+/// it validates structure and returns no value.
+pub fn is_valid_json(s: &str) -> bool {
+    let b = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(b, &mut pos);
+    if !parse_value(b, &mut pos, 0) {
+        return false;
+    }
+    skip_ws(b, &mut pos);
+    pos == b.len()
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+/// Depth cap: telemetry lines are flat; anything 64 levels deep is a
+/// bug, not data, and recursing further risks the test's own stack.
+const MAX_DEPTH: usize = 64;
+
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> bool {
+    if depth > MAX_DEPTH {
+        return false;
+    }
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos, depth),
+        Some(b'[') => parse_array(b, pos, depth),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_literal(b, pos, b"true"),
+        Some(b'f') => parse_literal(b, pos, b"false"),
+        Some(b'n') => parse_literal(b, pos, b"null"),
+        Some(b'-' | b'0'..=b'9') => parse_number(b, pos),
+        _ => false,
+    }
+}
+
+fn parse_literal(b: &[u8], pos: &mut usize, lit: &[u8]) -> bool {
+    if b[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        true
+    } else {
+        false
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize, depth: usize) -> bool {
+    *pos += 1; // consume '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return true;
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') || !parse_string(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return false;
+        }
+        *pos += 1;
+        if !parse_value(b, pos, depth + 1) {
+            return false;
+        }
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize, depth: usize) -> bool {
+    *pos += 1; // consume '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return true;
+    }
+    loop {
+        if !parse_value(b, pos, depth + 1) {
+            return false;
+        }
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> bool {
+    *pos += 1; // consume opening quote
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return true;
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            if !b.get(*pos).is_some_and(u8::is_ascii_hexdigit) {
+                                return false;
+                            }
+                            *pos += 1;
+                        }
+                    }
+                    _ => return false,
+                }
+            }
+            0x00..=0x1f => return false, // raw control character
+            _ => *pos += 1,
+        }
+    }
+    false // unterminated
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> bool {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let int_start = *pos;
+    while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+        *pos += 1;
+    }
+    if *pos == int_start {
+        return false;
+    }
+    // JSON forbids leading zeros ("01"), but accepts "0" and "0.5".
+    if b[int_start] == b'0' && *pos - int_start > 1 {
+        return false;
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        let frac_start = *pos;
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        if *pos == frac_start {
+            return false;
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        let exp_start = *pos;
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        if *pos == exp_start {
+            return false;
+        }
+    }
+    *pos > start
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_the_required_characters() {
+        let mut out = String::new();
+        write_json_str(&mut out, "a\"b\\c\nd\te\u{1}f");
+        assert_eq!(out, r#""a\"b\\c\nd\te\u0001f""#);
+        assert!(is_valid_json(&out));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut out = String::new();
+            write_json_f64(&mut out, v);
+            assert_eq!(out, "null");
+        }
+        let mut out = String::new();
+        write_json_f64(&mut out, 1.5);
+        assert_eq!(out, "1.5");
+    }
+
+    #[test]
+    fn validator_accepts_valid_json() {
+        for s in [
+            "{}",
+            "[]",
+            r#"{"a":1,"b":[1,2.5,-3e2],"c":"x\ny","d":null,"e":true}"#,
+            "  [ { } , [ ] , 0 ] ",
+            "\"just a string\"",
+            "-0.5e-10",
+        ] {
+            assert!(is_valid_json(s), "should parse: {s}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_invalid_json() {
+        for s in [
+            "",
+            "{",
+            "{'a':1}",
+            r#"{"a":}"#,
+            r#"{"a":1,}"#,
+            "[1,]",
+            "01",
+            "1.",
+            "1e",
+            "nul",
+            r#""unterminated"#,
+            "\"raw\ncontrol\"",
+            "{} trailing",
+            "NaN",
+        ] {
+            assert!(!is_valid_json(s), "should reject: {s}");
+        }
+    }
+
+    #[test]
+    fn rust_float_display_is_valid_json() {
+        // The Snapshot/bench writers print f64 via `Display`; every
+        // shortest-round-trip form must be parseable.
+        for v in [0.0, -0.0, 1.5, 1e300, 1e-300, f64::MAX, f64::MIN_POSITIVE] {
+            let mut out = String::new();
+            write_json_f64(&mut out, v);
+            assert!(is_valid_json(&out), "{v} -> {out}");
+        }
+    }
+}

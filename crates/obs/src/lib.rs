@@ -1,0 +1,90 @@
+//! # sts-obs — std-only telemetry for the STS pipeline
+//!
+//! The observability layer for the STS reproduction: a lock-free
+//! [`metrics`] registry (counters, gauges, fixed-bucket histograms), a
+//! lightweight [`trace`] layer (spans, events, pluggable subscribers)
+//! and the zero-dependency [`json`] helpers both serialize through.
+//! Like every crate in the workspace it builds offline with no external
+//! dependencies.
+//!
+//! The layer is designed to be **left on**: recording a metric is a few
+//! relaxed atomics, opening a span with tracing disabled is one relaxed
+//! load. The instrumented crates (`sts-core`, `sts-runtime`, `sts-traj`,
+//! `sts-robust`) call into the global registry unconditionally; the two
+//! process-wide switches decide whether anything is actually captured:
+//!
+//! * **`STS_METRICS`** — set to `0`, `off` or `false` to disable metric
+//!   recording (instruments stay registered, values freeze);
+//! * **`STS_TRACE`** — set to `jsonl`, `stderr` or `1` to stream trace
+//!   records to stderr, or to any other non-empty value to treat it as
+//!   a file path. Unset or empty means tracing stays off.
+//!
+//! Binaries and examples opt in by calling [`init_from_env`] once at
+//! startup; libraries never touch the environment.
+//!
+//! ```
+//! use sts_obs::{static_counter, static_histogram, trace};
+//!
+//! fn score_chunk(pairs: u64) {
+//!     let _span = trace::span("doc.score_chunk");
+//!     static_counter!("doc.pairs.scored").add(pairs);
+//!     static_histogram!("doc.chunk.pairs").record(pairs);
+//! }
+//! score_chunk(64);
+//! assert!(sts_obs::metrics::global().snapshot().counter("doc.pairs.scored").unwrap() >= 64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{
+    metrics_enabled, set_metrics_enabled, Counter, Gauge, Histogram, HistogramSnapshot, Registry,
+    Snapshot, Telemetry,
+};
+pub use trace::{
+    clear_subscriber, event, set_subscriber, span, span_with_parent, tracing_enabled, EventRecord,
+    JsonlSubscriber, NullSubscriber, RingRecorder, Span, SpanRecord, Subscriber,
+};
+
+use std::sync::Arc;
+
+/// Configures telemetry from the environment — call once at binary
+/// startup (libraries must not).
+///
+/// * `STS_METRICS=0|off|false` disables metric recording.
+/// * `STS_TRACE=jsonl|stderr|1` installs a [`JsonlSubscriber`] writing
+///   to stderr; any other non-empty value is taken as a file path to
+///   write trace JSONL to. A path that cannot be created falls back to
+///   stderr with a warning — telemetry must never abort the job.
+///
+/// Returns `true` if a trace subscriber was installed.
+pub fn init_from_env() -> bool {
+    if let Ok(v) = std::env::var("STS_METRICS") {
+        if matches!(v.trim(), "0" | "off" | "false" | "OFF" | "FALSE") {
+            set_metrics_enabled(false);
+        }
+    }
+    let Ok(mode) = std::env::var("STS_TRACE") else {
+        return false;
+    };
+    let mode = mode.trim();
+    if mode.is_empty() || matches!(mode, "0" | "off" | "false") {
+        return false;
+    }
+    let sub: Arc<dyn Subscriber> = match mode {
+        "jsonl" | "stderr" | "1" => Arc::new(JsonlSubscriber::to_stderr()),
+        path => match JsonlSubscriber::to_file(std::path::Path::new(path)) {
+            Ok(s) => Arc::new(s),
+            Err(e) => {
+                eprintln!("sts-obs: cannot open STS_TRACE={path}: {e}; tracing to stderr");
+                Arc::new(JsonlSubscriber::to_stderr())
+            }
+        },
+    };
+    set_subscriber(sub);
+    true
+}

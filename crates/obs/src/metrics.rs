@@ -1,0 +1,671 @@
+//! The metrics registry: lock-free counters, gauges and fixed-bucket
+//! histograms, registered by static name.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **cheap enough to leave on** — recording is a handful of relaxed
+//!    atomic operations, no locks, no allocation; a process-wide kill
+//!    switch ([`set_metrics_enabled`], env `STS_METRICS=0`) reduces it
+//!    to one relaxed load and a branch;
+//! 2. **zero dependencies** — plain `std::sync::atomic` plus a `Mutex`
+//!    that is only touched at *registration* (once per call site, via
+//!    the `static_counter!`-family macros), never on the hot path;
+//! 3. **stable output** — a [`Snapshot`] is ordered by name and
+//!    serializes to JSON-lines text via [`Snapshot::to_jsonl`], so two
+//!    runs of the same job diff cleanly.
+//!
+//! Histograms use fixed power-of-two buckets (64 of them, covering the
+//! full `u64` range), which makes recording branch-free — the bucket of
+//! `v` is its bit length — and makes two histograms mergeable and
+//! subtractable bucket-by-bucket. Quantiles are therefore approximate:
+//! a reported p99 is the *upper bound* of the bucket holding the 99th
+//! percentile, i.e. within 2× of the true value. That resolution is
+//! plenty for the latency-shaped questions the registry answers
+//! ("did chunk wait time blow up?"), and it never needs per-sample
+//! storage.
+
+use crate::json::{write_json_f64, write_json_str};
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Process-wide recording switch. Defaults to **on** (recording is a
+/// few relaxed atomics); [`crate::init_from_env`] turns it off when
+/// `STS_METRICS` is `0`/`off`/`false`.
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Is metric recording enabled?
+#[inline]
+pub fn metrics_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns metric recording on or off, process-wide. Instruments keep
+/// their accumulated values; disabling only stops new recordings.
+pub fn set_metrics_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n` events (no-op while metrics are disabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if metrics_enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one event.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value (queue depth, in-flight count).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the value (no-op while metrics are disabled).
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if metrics_enabled() {
+            self.0.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `delta` (may be negative; no-op while metrics are disabled).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if metrics_enabled() {
+            self.0.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: bucket `i` counts values whose bit
+/// length is `i`, i.e. value 0 lands in bucket 0 and bucket `i ≥ 1`
+/// spans `[2^(i-1), 2^i)`. 64 buckets cover every `u64`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A fixed-bucket histogram of `u64` samples (latencies in ns, sizes in
+/// pairs/cells/bytes). Recording is one relaxed `fetch_add` into the
+/// bucket picked by the sample's bit length, plus count/sum updates.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bucket index of sample `v`: its bit length.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// The inclusive upper bound of bucket `i` (used as the quantile
+/// estimate for samples that landed in it).
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// Records one sample (no-op while metrics are disabled).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if metrics_enabled() {
+            self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+            self.count.fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a [`std::time::Duration`] in nanoseconds (saturating).
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// A point-in-time copy of the histogram's state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-data copy of one histogram, subtractable and queryable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see [`HISTOGRAM_BUCKETS`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples (wrapping on overflow — totals, not proofs).
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// The approximate `q`-quantile (`q` in `[0, 1]`): the upper bound
+    /// of the bucket containing the `⌈q·count⌉`-th smallest sample.
+    /// Returns 0 for an empty histogram. Resolution is one power-of-two
+    /// bucket, i.e. the estimate is within 2× of the true value.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Mean sample value (0 for an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// This snapshot minus `base`, bucket-by-bucket (saturating — a
+    /// mismatched base yields zeros, not wraparound garbage).
+    pub fn since(&self, base: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].saturating_sub(base.buckets[i])),
+            count: self.count.saturating_sub(base.count),
+            sum: self.sum.saturating_sub(base.sum),
+        }
+    }
+}
+
+/// One named instrument, as held by a [`Registry`].
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named collection of instruments. One process-wide instance (see
+/// [`counter`]/[`gauge`]/[`histogram`]) serves all instrumentation;
+/// tests construct private registries to stay isolated.
+#[derive(Debug, Default)]
+pub struct Registry {
+    instruments: Mutex<BTreeMap<&'static str, Instrument>>,
+}
+
+/// Panic message for a name registered twice with different kinds —
+/// always a programming error (names are static string literals).
+const KIND_CLASH: &str = "metric name already registered with a different instrument kind";
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter named `name`, registering it on first use.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        let mut map = self.instruments.lock().unwrap();
+        match map
+            .entry(name)
+            .or_insert_with(|| Instrument::Counter(Arc::new(Counter::default())))
+        {
+            Instrument::Counter(c) => Arc::clone(c),
+            _ => panic!("{KIND_CLASH}: {name}"),
+        }
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        let mut map = self.instruments.lock().unwrap();
+        match map
+            .entry(name)
+            .or_insert_with(|| Instrument::Gauge(Arc::new(Gauge::default())))
+        {
+            Instrument::Gauge(g) => Arc::clone(g),
+            _ => panic!("{KIND_CLASH}: {name}"),
+        }
+    }
+
+    /// The histogram named `name`, registering it on first use.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        let mut map = self.instruments.lock().unwrap();
+        match map
+            .entry(name)
+            .or_insert_with(|| Instrument::Histogram(Arc::new(Histogram::default())))
+        {
+            Instrument::Histogram(h) => Arc::clone(h),
+            _ => panic!("{KIND_CLASH}: {name}"),
+        }
+    }
+
+    /// A point-in-time copy of every registered instrument, ordered by
+    /// name (the map is a `BTreeMap`, so ordering is inherent).
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.instruments.lock().unwrap();
+        let mut snap = Snapshot::default();
+        for (&name, inst) in map.iter() {
+            match inst {
+                Instrument::Counter(c) => snap.counters.push((name.to_string(), c.get())),
+                Instrument::Gauge(g) => snap.gauges.push((name.to_string(), g.get())),
+                Instrument::Histogram(h) => snap.histograms.push((name.to_string(), h.snapshot())),
+            }
+        }
+        snap
+    }
+}
+
+/// The process-wide registry behind [`counter`]/[`gauge`]/[`histogram`].
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// The global counter named `name` (see [`Registry::counter`]).
+/// Hot call sites should cache the handle via [`crate::static_counter!`].
+pub fn counter(name: &'static str) -> Arc<Counter> {
+    global().counter(name)
+}
+
+/// The global gauge named `name` (see [`Registry::gauge`]).
+pub fn gauge(name: &'static str) -> Arc<Gauge> {
+    global().gauge(name)
+}
+
+/// The global histogram named `name` (see [`Registry::histogram`]).
+pub fn histogram(name: &'static str) -> Arc<Histogram> {
+    global().histogram(name)
+}
+
+/// The global counter named `name`, resolved once per call site and
+/// cached in a function-local static — the idiom for hot paths.
+#[macro_export]
+macro_rules! static_counter {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::metrics::Counter>> =
+            ::std::sync::OnceLock::new();
+        &**HANDLE.get_or_init(|| $crate::metrics::counter($name))
+    }};
+}
+
+/// The global gauge named `name`, cached per call site.
+#[macro_export]
+macro_rules! static_gauge {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::metrics::Gauge>> =
+            ::std::sync::OnceLock::new();
+        &**HANDLE.get_or_init(|| $crate::metrics::gauge($name))
+    }};
+}
+
+/// The global histogram named `name`, cached per call site.
+#[macro_export]
+macro_rules! static_histogram {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::metrics::Histogram>> =
+            ::std::sync::OnceLock::new();
+        &**HANDLE.get_or_init(|| $crate::metrics::histogram($name))
+    }};
+}
+
+/// A point-in-time copy of a registry's instruments, ordered by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// `(name, total)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, state)` for every histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// The counter total named `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The gauge value named `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The histogram state named `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// This snapshot minus `base`: counters and histograms subtract
+    /// (an instrument absent from `base` keeps its full value), gauges
+    /// keep their current reading (a gauge is instantaneous — deltas
+    /// are meaningless). The result is what happened *between* the two
+    /// snapshots, which is how per-job telemetry is carved out of the
+    /// process-wide registry.
+    pub fn since(&self, base: &Snapshot) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(n, v)| (n.clone(), v.saturating_sub(base.counter(n).unwrap_or(0))))
+                .collect(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(n, h)| {
+                    let d = match base.histogram(n) {
+                        Some(b) => h.since(b),
+                        None => h.clone(),
+                    };
+                    (n.clone(), d)
+                })
+                .collect(),
+        }
+    }
+
+    /// Drops instruments whose value is zero / empty — the usual
+    /// pre-serialization cleanup for a job delta, so the output names
+    /// only what the job actually did.
+    pub fn without_zeros(mut self) -> Snapshot {
+        self.counters.retain(|&(_, v)| v != 0);
+        self.gauges.retain(|&(_, v)| v != 0);
+        self.histograms.retain(|(_, h)| h.count != 0);
+        self
+    }
+
+    /// Serializes the snapshot as JSON lines, one instrument per line,
+    /// in name order (the format is documented in `DESIGN.md` §3e):
+    ///
+    /// ```text
+    /// {"type":"counter","name":"...","value":123}
+    /// {"type":"gauge","name":"...","value":-4}
+    /// {"type":"histogram","name":"...","count":9,"sum":…,"mean":…,"p50":…,"p90":…,"p99":…,"buckets":[[upper,count],…]}
+    /// ```
+    ///
+    /// Histogram `buckets` lists only non-empty buckets as
+    /// `[upper bound, count]` pairs.
+    pub fn to_jsonl<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let mut line = String::new();
+        for (name, v) in &self.counters {
+            line.clear();
+            line.push_str("{\"type\":\"counter\",\"name\":");
+            write_json_str(&mut line, name);
+            line.push_str(&format!(",\"value\":{v}}}"));
+            writeln!(w, "{line}")?;
+        }
+        for (name, v) in &self.gauges {
+            line.clear();
+            line.push_str("{\"type\":\"gauge\",\"name\":");
+            write_json_str(&mut line, name);
+            line.push_str(&format!(",\"value\":{v}}}"));
+            writeln!(w, "{line}")?;
+        }
+        for (name, h) in &self.histograms {
+            line.clear();
+            line.push_str("{\"type\":\"histogram\",\"name\":");
+            write_json_str(&mut line, name);
+            line.push_str(&format!(
+                ",\"count\":{},\"sum\":{},\"mean\":",
+                h.count, h.sum
+            ));
+            write_json_f64(&mut line, h.mean());
+            line.push_str(&format!(
+                ",\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
+                h.quantile(0.5),
+                h.quantile(0.9),
+                h.quantile(0.99)
+            ));
+            let mut first = true;
+            for (i, &c) in h.buckets.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                if !first {
+                    line.push(',');
+                }
+                first = false;
+                line.push_str(&format!("[{},{}]", bucket_upper(i), c));
+            }
+            line.push_str("]}");
+            writeln!(w, "{line}")?;
+        }
+        Ok(())
+    }
+
+    /// The JSONL text as a `String` (see [`Snapshot::to_jsonl`]).
+    pub fn to_jsonl_string(&self) -> String {
+        let mut buf = Vec::new();
+        self.to_jsonl(&mut buf).expect("writing to a Vec");
+        String::from_utf8(buf).expect("JSONL output is UTF-8")
+    }
+}
+
+/// The telemetry section attached to a job report: the delta of the
+/// global registry over the job's lifetime. A thin wrapper so the
+/// report type can grow fields (span summaries, per-stage breakdowns)
+/// without touching every consumer.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Telemetry {
+    /// What the job recorded: global-registry delta between job start
+    /// and job end, zero-valued instruments dropped. In a process
+    /// running concurrent jobs the delta includes their overlap — the
+    /// registry is process-wide by design.
+    pub metrics: Snapshot,
+}
+
+impl Telemetry {
+    /// Serializes the section as JSON lines (see [`Snapshot::to_jsonl`]).
+    pub fn to_jsonl<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        self.metrics.to_jsonl(w)
+    }
+}
+
+impl std::fmt::Display for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "telemetry: {} counter(s), {} gauge(s), {} histogram(s)",
+            self.metrics.counters.len(),
+            self.metrics.gauges.len(),
+            self.metrics.histograms.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::is_valid_json;
+    use std::sync::MutexGuard;
+
+    /// Serializes tests that record metrics with tests that toggle the
+    /// process-wide enabled flag (cargo runs tests concurrently).
+    fn serial() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn counter_and_gauge_accumulate() {
+        let _guard = serial();
+        let r = Registry::new();
+        let c = r.counter("test.count");
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = r.gauge("test.depth");
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+        // Same name returns the same instrument.
+        assert_eq!(r.counter("test.count").get(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "different instrument kind")]
+    fn kind_clash_panics() {
+        let r = Registry::new();
+        r.counter("same.name");
+        r.gauge("same.name");
+    }
+
+    #[test]
+    fn disabled_metrics_record_nothing() {
+        let _guard = serial();
+        let r = Registry::new();
+        let c = r.counter("test.off");
+        let h = r.histogram("test.off_hist");
+        set_metrics_enabled(false);
+        c.add(100);
+        h.record(100);
+        set_metrics_enabled(true);
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.snapshot().count, 0);
+        c.add(1);
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let _guard = serial();
+        let h = Histogram::default();
+        assert_eq!(h.snapshot().quantile(0.5), 0, "empty histogram");
+        for v in [0u64, 1, 2, 3, 900, 1000, 1100, 1_000_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.sum, 3 + 1 + 2 + 900 + 1000 + 1100 + 1_000_000);
+        // 0 lands in bucket 0; 1 in [1,2); 900..1100 in [512,2048).
+        assert_eq!(s.quantile(0.0), 0);
+        // p50 = 4th smallest = 3 -> bucket [2,4) upper bound 3.
+        assert_eq!(s.quantile(0.5), 3);
+        // p99 = 8th = 1_000_000 -> within its power-of-two bucket.
+        let p99 = s.quantile(0.99);
+        assert!(
+            (1_000_000..2_097_152).contains(&p99),
+            "p99 {p99} should be the bucket upper bound of 1e6"
+        );
+        assert!(s.quantile(1.0) >= 1_000_000);
+        assert!((s.mean() - s.sum as f64 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucket_of_is_bit_length() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts() {
+        let _guard = serial();
+        let r = Registry::new();
+        let c = r.counter("d.count");
+        let h = r.histogram("d.hist");
+        c.add(10);
+        h.record(5);
+        let base = r.snapshot();
+        c.add(7);
+        h.record(9);
+        h.record(9);
+        let delta = r.snapshot().since(&base);
+        assert_eq!(delta.counter("d.count"), Some(7));
+        let hd = delta.histogram("d.hist").unwrap();
+        assert_eq!(hd.count, 2);
+        assert_eq!(hd.sum, 18);
+        // An instrument born after the base keeps its full value.
+        r.counter("d.late").add(3);
+        let delta2 = r.snapshot().since(&base);
+        assert_eq!(delta2.counter("d.late"), Some(3));
+    }
+
+    #[test]
+    fn snapshot_jsonl_is_valid_and_stable() {
+        let _guard = serial();
+        let r = Registry::new();
+        r.counter("b.count").add(2);
+        r.gauge("a.gauge").set(-4);
+        let h = r.histogram("c.hist");
+        h.record(100);
+        h.record(3000);
+        let text = r.snapshot().to_jsonl_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            assert!(is_valid_json(line), "unparseable: {line}");
+        }
+        // Counters first, then gauges, then histograms; name-ordered
+        // within each kind — and byte-identical across snapshots.
+        assert!(lines[0].contains("\"b.count\""), "{}", lines[0]);
+        assert!(lines[1].contains("\"a.gauge\""), "{}", lines[1]);
+        assert!(lines[2].contains("\"c.hist\""), "{}", lines[2]);
+        assert!(lines[2].contains("\"count\":2"), "{}", lines[2]);
+        assert_eq!(text, r.snapshot().to_jsonl_string());
+    }
+
+    #[test]
+    fn without_zeros_drops_untouched_instruments() {
+        let _guard = serial();
+        let r = Registry::new();
+        r.counter("z.used").add(1);
+        r.counter("z.unused");
+        r.histogram("z.empty_hist");
+        let snap = r.snapshot().without_zeros();
+        assert_eq!(snap.counters.len(), 1);
+        assert!(snap.histograms.is_empty());
+    }
+}

@@ -63,6 +63,7 @@ impl Injector for NanCoords {
     }
 
     fn inject(&self, points: &mut Vec<TrajPoint>, rng: &mut Xoshiro256pp) {
+        sts_obs::static_counter!("robust.injections").incr();
         for p in points.iter_mut() {
             if rng.f64() < self.rate {
                 // Corrupt x, y or both — real units fail in all three ways.
@@ -92,6 +93,7 @@ impl Injector for InfCoords {
     }
 
     fn inject(&self, points: &mut Vec<TrajPoint>, rng: &mut Xoshiro256pp) {
+        sts_obs::static_counter!("robust.injections").incr();
         for p in points.iter_mut() {
             if rng.f64() < self.rate {
                 let val = if rng.f64() < 0.5 {
@@ -123,6 +125,7 @@ impl Injector for ShuffleTimes {
     }
 
     fn inject(&self, points: &mut Vec<TrajPoint>, rng: &mut Xoshiro256pp) {
+        sts_obs::static_counter!("robust.injections").incr();
         if points.len() < 2 {
             return;
         }
@@ -150,6 +153,7 @@ impl Injector for DuplicateStamps {
     }
 
     fn inject(&self, points: &mut Vec<TrajPoint>, rng: &mut Xoshiro256pp) {
+        sts_obs::static_counter!("robust.injections").incr();
         for i in 1..points.len() {
             if rng.f64() < self.rate {
                 points[i].t = points[i - 1].t;
@@ -174,6 +178,7 @@ impl Injector for TeleportSpikes {
     }
 
     fn inject(&self, points: &mut Vec<TrajPoint>, rng: &mut Xoshiro256pp) {
+        sts_obs::static_counter!("robust.injections").incr();
         for p in points.iter_mut() {
             if rng.f64() < self.rate {
                 let angle = rng.f64() * std::f64::consts::TAU;
@@ -195,6 +200,7 @@ impl Injector for TruncateRecord {
     }
 
     fn inject(&self, points: &mut Vec<TrajPoint>, rng: &mut Xoshiro256pp) {
+        sts_obs::static_counter!("robust.injections").incr();
         let keep = rng.random_range(0..points.len() + 1);
         points.truncate(keep);
     }
@@ -243,6 +249,7 @@ impl Default for ByteMangler {
 impl ByteMangler {
     /// Corrupts `bytes` in place. Total for any input, including empty.
     pub fn mangle(&self, bytes: &mut Vec<u8>, rng: &mut Xoshiro256pp) {
+        sts_obs::static_counter!("robust.byte_mangles").incr();
         for _ in 0..self.flips {
             if bytes.is_empty() {
                 break;

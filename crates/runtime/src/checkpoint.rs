@@ -276,19 +276,27 @@ pub fn read_checkpoint<R: BufRead>(r: &mut R) -> Result<Checkpoint, CheckpointEr
 /// over `path`, so a crash mid-flush leaves the previous checkpoint
 /// intact instead of a torn file.
 pub fn save_checkpoint(path: &Path, cp: &Checkpoint) -> io::Result<()> {
+    let _span = sts_obs::trace::span("checkpoint.save");
+    let started = std::time::Instant::now();
     let tmp = path.with_extension("tmp");
-    {
+    let result = (|| {
         let mut f = io::BufWriter::new(fs::File::create(&tmp)?);
         write_checkpoint(&mut f, cp)?;
         f.flush()?;
-    }
-    fs::rename(&tmp, path)
+        fs::rename(&tmp, path)
+    })();
+    sts_obs::static_histogram!("runtime.checkpoint.save_ns").record_duration(started.elapsed());
+    result
 }
 
 /// Loads a checkpoint from disk.
 pub fn load_checkpoint(path: &Path) -> Result<Checkpoint, CheckpointError> {
+    let _span = sts_obs::trace::span("checkpoint.load");
+    let started = std::time::Instant::now();
     let f = fs::File::open(path)?;
-    read_checkpoint(&mut io::BufReader::new(f))
+    let result = read_checkpoint(&mut io::BufReader::new(f));
+    sts_obs::static_histogram!("runtime.checkpoint.load_ns").record_duration(started.elapsed());
+    result
 }
 
 #[cfg(test)]

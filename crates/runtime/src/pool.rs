@@ -20,6 +20,12 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
+use sts_obs::{static_counter, static_gauge, static_histogram, trace};
+
+/// Saturating nanosecond count of a [`Duration`].
+fn as_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// Retry behaviour for panicked work.
 #[derive(Debug, Clone, Copy)]
@@ -105,14 +111,22 @@ pub struct PoolRun {
     pub stop: Option<StopReason>,
     /// Wall-clock time of the whole run.
     pub elapsed: Duration,
+    /// Total time chunks spent queued before a worker picked them up,
+    /// summed over all attempts.
+    pub chunk_wait: Duration,
+    /// Total time workers spent inside the work function, summed over
+    /// all attempts (including ones that panicked).
+    pub chunk_run: Duration,
 }
 
-/// One queue entry: the chunk, its position in the status vector and
-/// how many attempts it has already consumed.
+/// One queue entry: the chunk, its position in the status vector, how
+/// many attempts it has already consumed and when it entered the queue
+/// (for wait-time accounting).
 struct WorkItem {
     idx: usize,
     chunk: PairChunk,
     attempt: u32,
+    enqueued: Instant,
 }
 
 /// Shared supervisor state.
@@ -123,6 +137,11 @@ struct Shared {
     retries: AtomicU64,
     stop: Mutex<Option<StopReason>>,
     slow: Mutex<Vec<usize>>,
+    wait_ns: AtomicU64,
+    run_ns: AtomicU64,
+    /// The `pool.run` span id — workers parent their `pool.chunk`
+    /// spans on it so the trace stitches across threads.
+    span: u64,
     done: AtomicBool,
     /// `(chunk idx, start instant)` per worker slot, for the watchdog.
     in_flight: Vec<Mutex<Option<(usize, Instant)>>>,
@@ -133,7 +152,15 @@ impl Shared {
         let mut slow = self.slow.lock().unwrap();
         if !slow.contains(&idx) {
             slow.push(idx);
+            static_counter!("runtime.pool.soft_timeouts").incr();
         }
+    }
+
+    /// Publishes the current queue length to the depth gauge. Called
+    /// with fresh lengths after every push/pop — last write wins, which
+    /// is the right semantics for an instantaneous gauge.
+    fn report_depth(&self, len: usize) {
+        static_gauge!("runtime.pool.queue_depth").set(i64::try_from(len).unwrap_or(i64::MAX));
     }
 }
 
@@ -160,6 +187,7 @@ where
     S: FnMut(&PairChunk, Vec<(usize, T)>),
 {
     let started = Instant::now();
+    let run_span = trace::span("pool.run");
     let n_threads = if cfg.threads > 0 {
         cfg.threads.min(chunks.len().max(1))
     } else {
@@ -174,6 +202,7 @@ where
                     idx,
                     chunk,
                     attempt: 0,
+                    enqueued: started,
                 })
                 .collect(),
         ),
@@ -182,9 +211,13 @@ where
         retries: AtomicU64::new(0),
         stop: Mutex::new(None),
         slow: Mutex::new(Vec::new()),
+        wait_ns: AtomicU64::new(0),
+        run_ns: AtomicU64::new(0),
+        span: run_span.id(),
         done: AtomicBool::new(false),
         in_flight: (0..n_threads).map(|_| Mutex::new(None)).collect(),
     };
+    shared.report_depth(chunks.len());
 
     let (tx, rx) = mpsc::channel::<(PairChunk, Vec<(usize, T)>)>();
     std::thread::scope(|scope| {
@@ -207,6 +240,7 @@ where
         }
         shared.done.store(true, Ordering::Release);
     });
+    shared.report_depth(0);
 
     let stop = *shared.stop.lock().unwrap();
     let statuses: Vec<ChunkStatus> = shared
@@ -225,6 +259,8 @@ where
         slow_chunks,
         stop,
         elapsed: started.elapsed(),
+        chunk_wait: Duration::from_nanos(shared.wait_ns.into_inner()),
+        chunk_run: Duration::from_nanos(shared.run_ns.into_inner()),
     }
 }
 
@@ -258,18 +294,29 @@ fn worker_loop<T, F>(
             while let Some(item) = queue.pop_front() {
                 statuses[item.idx] = Some(ChunkStatus::Skipped(reason));
             }
+            shared.report_depth(0);
             return;
         }
         let Some(item) = queue.pop_front() else {
             return;
         };
+        shared.report_depth(queue.len());
         drop(queue);
+
+        let waited = item.enqueued.elapsed();
+        shared.wait_ns.fetch_add(as_ns(waited), Ordering::Relaxed);
+        static_histogram!("runtime.pool.chunk_wait_ns").record_duration(waited);
 
         *shared.in_flight[slot].lock().unwrap() = Some((item.idx, Instant::now()));
         let chunk_started = Instant::now();
-        let result = catch_unwind(AssertUnwindSafe(|| work(&item.chunk)));
+        let result = {
+            let _span = trace::span_with_parent("pool.chunk", shared.span);
+            catch_unwind(AssertUnwindSafe(|| work(&item.chunk)))
+        };
         let took = chunk_started.elapsed();
         *shared.in_flight[slot].lock().unwrap() = None;
+        shared.run_ns.fetch_add(as_ns(took), Ordering::Relaxed);
+        static_histogram!("runtime.pool.chunk_run_ns").record_duration(took);
         if cfg.soft_timeout.is_some_and(|soft| took > soft) {
             shared.mark_slow(item.idx);
         }
@@ -287,11 +334,15 @@ fn worker_loop<T, F>(
             }
             Err(_) if item.attempt < cfg.retry.max_retries => {
                 shared.retries.fetch_add(1, Ordering::Relaxed);
+                static_counter!("runtime.pool.retries").incr();
                 std::thread::sleep(backoff.next_delay());
-                shared.queue.lock().unwrap().push_back(WorkItem {
+                let mut queue = shared.queue.lock().unwrap();
+                queue.push_back(WorkItem {
                     attempt: item.attempt + 1,
+                    enqueued: Instant::now(),
                     ..item
                 });
+                shared.report_depth(queue.len());
             }
             Err(_) => {
                 shared.statuses.lock().unwrap()[item.idx] = Some(ChunkStatus::Failed {

@@ -96,16 +96,46 @@ pub struct JobStats {
     /// Checkpoint flushes that failed with an I/O error (the job keeps
     /// running — losing durability is better than losing the matrix).
     pub checkpoint_write_errors: usize,
+    /// Total time chunks spent queued before a worker picked them up,
+    /// summed over all attempts (`> elapsed` is normal with several
+    /// workers: it sums *per-chunk* waits).
+    pub chunk_wait_total: Duration,
+    /// Total time workers spent inside chunk work functions, summed
+    /// over all attempts.
+    pub chunk_run_total: Duration,
 }
 
 impl JobStats {
     /// Fraction of the matrix with a terminal outcome, in percent.
-    /// An empty matrix is 100% complete.
+    /// An empty matrix is 100% complete — and so is a zero-pair job
+    /// stopped before it started, whichever path produced it.
     pub fn percent_complete(&self) -> f64 {
         if self.pairs_total == 0 {
             100.0
         } else {
             100.0 * self.pairs_completed as f64 / self.pairs_total as f64
+        }
+    }
+
+    /// Mean time a chunk spent queued, over chunks the pool actually
+    /// dealt (zero when nothing ran).
+    pub fn mean_chunk_wait(&self) -> Duration {
+        let ran = self.chunks_completed + self.chunks_failed;
+        if ran == 0 {
+            Duration::ZERO
+        } else {
+            self.chunk_wait_total / u32::try_from(ran).unwrap_or(u32::MAX)
+        }
+    }
+
+    /// Mean time a chunk spent running, over chunks the pool actually
+    /// dealt (zero when nothing ran).
+    pub fn mean_chunk_run(&self) -> Duration {
+        let ran = self.chunks_completed + self.chunks_failed;
+        if ran == 0 {
+            Duration::ZERO
+        } else {
+            self.chunk_run_total / u32::try_from(ran).unwrap_or(u32::MAX)
         }
     }
 }
@@ -128,6 +158,14 @@ impl fmt::Display for JobStats {
             self.slow_chunks.len(),
             self.checkpoint_flushes,
         )?;
+        if self.chunk_run_total > Duration::ZERO {
+            write!(
+                f,
+                "; chunk wait/run {:.3}s/{:.3}s",
+                self.chunk_wait_total.as_secs_f64(),
+                self.chunk_run_total.as_secs_f64(),
+            )?;
+        }
         if self.checkpoint_write_errors > 0 {
             write!(
                 f,
@@ -182,6 +220,8 @@ mod tests {
             slow_chunks: Vec::new(),
             checkpoint_flushes: 0,
             checkpoint_write_errors: 0,
+            chunk_wait_total: Duration::ZERO,
+            chunk_run_total: Duration::ZERO,
         };
         assert_eq!(s.percent_complete(), 100.0);
         s.pairs_total = 200;
@@ -190,5 +230,62 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("25.0% complete"), "{text}");
         assert!(text.contains("50/200"), "{text}");
+    }
+
+    fn empty_stats(state: JobState) -> JobStats {
+        JobStats {
+            state,
+            elapsed: Duration::ZERO,
+            pairs_total: 0,
+            pairs_completed: 0,
+            pairs_failed: 0,
+            pairs_skipped: 0,
+            pairs_resumed: 0,
+            chunks_total: 0,
+            chunks_completed: 0,
+            chunks_failed: 0,
+            chunks_skipped: 0,
+            retries: 0,
+            slow_chunks: Vec::new(),
+            checkpoint_flushes: 0,
+            checkpoint_write_errors: 0,
+            chunk_wait_total: Duration::ZERO,
+            chunk_run_total: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn zero_pair_jobs_report_100_percent_in_every_terminal_state() {
+        // A degenerate (zero-pair) job must read as fully complete no
+        // matter how it terminated — budget-stopped empty jobs used to
+        // be ambiguous.
+        for state in [
+            JobState::Complete,
+            JobState::Degraded,
+            JobState::Cancelled,
+            JobState::DeadlineExceeded,
+            JobState::BudgetExhausted,
+        ] {
+            let s = empty_stats(state);
+            assert_eq!(s.percent_complete(), 100.0, "{state}");
+            assert_eq!(s.mean_chunk_wait(), Duration::ZERO);
+            assert_eq!(s.mean_chunk_run(), Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn chunk_timing_means_and_display() {
+        let mut s = empty_stats(JobState::Complete);
+        s.pairs_total = 100;
+        s.pairs_completed = 100;
+        s.chunks_total = 4;
+        s.chunks_completed = 3;
+        s.chunks_failed = 1;
+        s.chunk_wait_total = Duration::from_millis(40);
+        s.chunk_run_total = Duration::from_millis(200);
+        assert_eq!(s.mean_chunk_wait(), Duration::from_millis(10));
+        assert_eq!(s.mean_chunk_run(), Duration::from_millis(50));
+        let text = s.to_string();
+        assert!(text.contains("chunk wait/run 0.040s/0.200s"), "{text}");
     }
 }

@@ -265,6 +265,9 @@ pub fn read_trajectories_lenient<R: BufRead>(r: &mut R) -> io::Result<LenientRea
             }
         }
     }
+    sts_obs::static_counter!("traj.io.records_read").add(out.records as u64);
+    sts_obs::static_counter!("traj.io.records_salvaged").add(out.trajectories.len() as u64);
+    sts_obs::static_counter!("traj.io.records_invalid").add(out.errors.len() as u64);
     Ok(out)
 }
 

@@ -291,6 +291,10 @@ pub fn repair(points: &[TrajPoint], config: &RepairConfig) -> Result<RepairOutco
             }
         }
     }
+    sts_obs::static_counter!("traj.repair.streams").incr();
+    sts_obs::static_counter!("traj.repair.dropped_points").add(report.dropped_points() as u64);
+    sts_obs::static_counter!("traj.repair.clamped_points").add(report.clamped_teleports as u64);
+    sts_obs::static_counter!("traj.repair.splits").add(report.splits as u64);
     Ok(RepairOutcome {
         trajectories,
         report,

@@ -44,6 +44,26 @@ run_seeded "runtime unit tests" cargo test -p sts-runtime -q --offline
 run_seeded "job lifecycle suite" cargo test -p sts-core -q --offline --test job_lifecycle
 run_seeded "supervised chaos suite" cargo test -p sts-robust -q --offline --test supervised_chaos
 
+# Telemetry gate: the std-only observability crate (metrics registry,
+# tracing layer, JSONL writers) plus the end-to-end telemetry and
+# overhead-guard suites that drive a real supervised job with tracing
+# on and assert the disabled paths stay cheap.
+echo "== telemetry (sts-obs unit tests + end-to-end tracing/overhead) =="
+run_seeded "obs unit tests" cargo test -p sts-obs -q --offline
+run_seeded "telemetry suite" cargo test -p sts-core -q --offline --test telemetry
+run_seeded "telemetry overhead guard" cargo test -p sts-core -q --offline --test telemetry_overhead
+
+# Non-gating perf snapshot: quick-config timings for every suite plus
+# registry-derived throughput/latency extras, written as BENCH_tier1.json
+# for cross-commit diffing. Timings on shared CI hardware are noisy, so
+# a failure here never fails the gate.
+echo "== bench snapshot (non-gating) =="
+if cargo run -p sts-bench --release --offline --bin perf -- --quick --json BENCH_tier1.json; then
+    echo "bench snapshot written to BENCH_tier1.json"
+else
+    echo "bench snapshot failed (non-gating); continuing"
+fi
+
 echo "== format =="
 if cargo fmt --version >/dev/null 2>&1; then
     cargo fmt --check

@@ -7,6 +7,8 @@
 //! The primary entry points are:
 //!
 //! * [`sts_core::Sts`] — the spatial-temporal similarity measure itself;
+//! * [`sts_obs`] — the std-only telemetry layer (metrics registry,
+//!   structured tracing, JSONL export) behind `STS_METRICS`/`STS_TRACE`;
 //! * [`sts_rng`] — the deterministic randomness substrate (seeded
 //!   xoshiro256++ PRNG and the in-repo property-testing harness);
 //! * [`sts_traj`] — trajectory types, sampling, noise, synthetic
@@ -25,8 +27,10 @@ pub use sts_baselines as baselines;
 pub use sts_core as core;
 pub use sts_eval as eval;
 pub use sts_geo as geo;
+pub use sts_obs as obs;
 pub use sts_rng as rng;
 pub use sts_rng::{prop_assert, prop_assert_eq};
 pub use sts_robust as robust;
+pub use sts_runtime as runtime;
 pub use sts_stats as stats;
 pub use sts_traj as traj;

@@ -79,9 +79,15 @@ fn all_dependencies_are_workspace_crates() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let manifests = manifest_paths(root);
     assert!(
-        manifests.len() >= 8,
-        "expected the root + 7 crate manifests, found {}",
+        manifests.len() >= 12,
+        "expected the root + 11 crate manifests, found {}",
         manifests.len()
+    );
+    assert!(
+        manifests
+            .iter()
+            .any(|p| p.ends_with("crates/obs/Cargo.toml")),
+        "the telemetry crate must be covered by this guard"
     );
 
     let mut offenders = Vec::new();
