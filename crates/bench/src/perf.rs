@@ -10,7 +10,10 @@ use crate::timing::{time, Measurement, TimingConfig};
 use crate::{bench_mall, bench_taxi};
 use sts_core::noise::GaussianNoise;
 use sts_core::transition::SpeedKdeTransition;
-use sts_core::{CheckpointConfig, JobConfig, StpEstimator, Sts, StsConfig};
+use sts_core::{
+    default_worker_path, CheckpointConfig, ExecMode, IsolateOptions, JobConfig, StpEstimator, Sts,
+    StsConfig,
+};
 use sts_eval::matching::matching_ranks;
 use sts_eval::measures::{make_measure, measure_set, MeasureKind};
 use sts_geo::{BoundingBox, Grid, Point};
@@ -277,6 +280,31 @@ pub fn runtime(config: &TimingConfig) -> PerfReport {
         ),
     ];
     let _ = std::fs::remove_file(&ckpt);
+
+    // Subprocess execution of the same matrix, to keep the isolation
+    // tax (spawn + preamble + frame codec) visible next to the
+    // in-process timings. Skipped when the worker binary isn't built
+    // alongside this bench (e.g. a bare `cargo run -p sts-bench`).
+    let mut entries = entries;
+    let worker = default_worker_path();
+    if worker.is_file() {
+        entries.push((
+            "subprocess_matrix".to_string(),
+            time(config, || {
+                let cfg = JobConfig {
+                    exec: ExecMode::Subprocess(IsolateOptions::default()),
+                    ..JobConfig::default()
+                };
+                sts.similarity_matrix_supervised(&clean, &clean, &cfg)
+                    .unwrap()
+            }),
+        ));
+    } else {
+        eprintln!(
+            "perf: skipping runtime/subprocess_matrix ({} not built)",
+            worker.display()
+        );
+    }
 
     // One dedicated supervised run bracketed by registry snapshots: the
     // delta yields throughput and chunk-latency quantiles untainted by

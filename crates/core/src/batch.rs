@@ -26,6 +26,7 @@ use crate::sts::{PreparedTrajectory, Sts};
 use crate::StsError;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use sts_runtime::WorkerExit;
 use sts_traj::Trajectory;
 
 /// The outcome of scoring one (query, candidate) cell.
@@ -51,6 +52,15 @@ pub enum PairOutcome {
     /// (deadline, pair budget or cancellation). A resumed job will
     /// compute it.
     Skipped,
+    /// Scoring this pair killed its worker subprocess (abort, OOM
+    /// kill, hard-timeout kill, garbage output); crash attribution
+    /// isolated the pair and quarantined it with the worker's exit.
+    /// Only produced by [`crate::job::ExecMode::Subprocess`] jobs —
+    /// in-process execution does not survive these faults at all.
+    Poisoned {
+        /// How the worker holding the isolated pair died.
+        exit: WorkerExit,
+    },
 }
 
 impl PairOutcome {
@@ -104,6 +114,10 @@ pub struct BatchReport {
     /// `(query index, candidate index)` pairs whose scoring panicked
     /// through every retry of a supervised job.
     pub failed_pairs: Vec<(usize, usize)>,
+    /// `(query index, candidate index, worker exit)` pairs whose
+    /// scoring killed a worker subprocess; crash attribution isolated
+    /// and quarantined them (see [`crate::job::ExecMode::Subprocess`]).
+    pub poisoned_pairs: Vec<(usize, usize, WorkerExit)>,
 }
 
 impl BatchReport {
@@ -122,12 +136,20 @@ impl BatchReport {
         self.failed_pairs.len()
     }
 
-    /// `true` when nothing was quarantined and nothing panicked or
-    /// failed — the batch degraded not at all. (Pairs *skipped* by a
-    /// deadline or cancellation are a lifecycle property, reported in
-    /// the job stats, not a data-quality defect.)
+    /// Number of pairs quarantined by crash attribution.
+    pub fn poisoned_count(&self) -> usize {
+        self.poisoned_pairs.len()
+    }
+
+    /// `true` when nothing was quarantined and nothing panicked,
+    /// failed or poisoned — the batch degraded not at all. (Pairs
+    /// *skipped* by a deadline or cancellation are a lifecycle
+    /// property, reported in the job stats, not a data-quality defect.)
     pub fn is_clean(&self) -> bool {
-        self.quarantine_count() == 0 && self.panic_count() == 0 && self.failed_count() == 0
+        self.quarantine_count() == 0
+            && self.panic_count() == 0
+            && self.failed_count() == 0
+            && self.poisoned_count() == 0
     }
 }
 
@@ -135,12 +157,14 @@ impl fmt::Display for BatchReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} quarantined ({} queries, {} candidates), {} panicked pair(s), {} failed pair(s)",
+            "{} quarantined ({} queries, {} candidates), {} panicked pair(s), \
+             {} failed pair(s), {} poisoned pair(s)",
             self.quarantine_count(),
             self.quarantined_queries.len(),
             self.quarantined_candidates.len(),
             self.panic_count(),
             self.failed_count(),
+            self.poisoned_count(),
         )
     }
 }

@@ -30,18 +30,20 @@
 
 use crate::batch::{prepare_all, BatchReport, PairOutcome};
 use crate::sts::{sort_scores_descending, PreparedTrajectory, Sts};
+use crate::worker;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 use sts_geo::Grid;
+use sts_isolate::{IsolateConfig, WorkerSpec};
 use sts_obs::{trace, Telemetry};
 use sts_runtime::checkpoint::{load_checkpoint, save_checkpoint, CellRecord, Checkpoint, Fnv1a};
 use sts_runtime::pool::{run_supervised, ChunkStatus, PoolConfig};
 use sts_runtime::{
-    Budget, CancelToken, CheckpointError, DecorrelatedJitter, FaultPlan, JobState, JobStats,
-    PairChunk, PairSpace, RetryPolicy,
+    Budget, CancelToken, CheckpointError, DecorrelatedJitter, FaultPlan, IsolateStats, JobState,
+    JobStats, PairChunk, PairSpace, RetryPolicy,
 };
 use sts_traj::Trajectory;
 
@@ -62,6 +64,67 @@ impl CheckpointConfig {
         CheckpointConfig {
             path: path.into(),
             flush_every_chunks: 8,
+        }
+    }
+}
+
+/// Where a supervised job's scoring actually runs.
+#[derive(Debug, Clone, Default)]
+pub enum ExecMode {
+    /// Score on a thread pool inside this process (the default).
+    /// Panics are contained per cell, but aborts, OOM kills and wedged
+    /// computations take the whole job down.
+    #[default]
+    InProcess,
+    /// Score in supervised `sts-worker` subprocesses over the
+    /// [`sts_isolate`] protocol. A crashed, wedged or babbling worker
+    /// costs one chunk: the supervisor restarts it under a budget and
+    /// bisects the killing chunk down to the single poison pair, which
+    /// is quarantined as [`PairOutcome::Poisoned`] with the worker's
+    /// exit status. Budget, cancellation, checkpoint/resume and
+    /// telemetry behave exactly as in-process; per-cell *retries* run
+    /// inside the worker, so they are applied identically but not
+    /// counted in [`JobStats::retries`], and chunk accounting counts
+    /// fully-resolved chunks (bisection fragments are not chunks).
+    ///
+    /// Requires a measure built purely from config ([`Sts::new`] or
+    /// the `NoNoise` variant) — trait-object and corpus-trained
+    /// measures cannot be described to a worker
+    /// ([`JobError::SubprocessUnsupported`]).
+    Subprocess(IsolateOptions),
+}
+
+/// Tuning for [`ExecMode::Subprocess`]. `Default` is production-shaped;
+/// tests shrink the timeouts.
+#[derive(Debug, Clone)]
+pub struct IsolateOptions {
+    /// Worker executable; `None` resolves `sts-worker` next to the
+    /// current executable ([`worker::default_worker_path`]).
+    pub worker: Option<PathBuf>,
+    /// Hard per-chunk timeout: a worker that has not answered within
+    /// this long is killed and the chunk attributed. Must comfortably
+    /// exceed the honest worst-case chunk time.
+    pub hard_timeout: Duration,
+    /// How long a fresh worker may take to rebuild the measure,
+    /// prepare the corpus and answer `ready`.
+    pub ready_timeout: Duration,
+    /// Worker respawns allowed across the run (the initial fleet is
+    /// free); exhaustion stops the job as
+    /// [`JobState::WorkersExhausted`].
+    pub restart_budget: usize,
+    /// Worker deaths an isolated single-pair chunk may cause before
+    /// the pair is quarantined as poison.
+    pub poison_attempts: u32,
+}
+
+impl Default for IsolateOptions {
+    fn default() -> Self {
+        IsolateOptions {
+            worker: None,
+            hard_timeout: Duration::from_secs(30),
+            ready_timeout: Duration::from_secs(10),
+            restart_budget: 256,
+            poison_attempts: 1,
         }
     }
 }
@@ -96,6 +159,9 @@ pub struct JobConfig {
     /// instruments dropped). In a process running concurrent jobs the
     /// delta includes their overlap — the registry is process-wide.
     pub telemetry: bool,
+    /// In-process thread pool or supervised worker subprocesses
+    /// (default: in-process).
+    pub exec: ExecMode,
 }
 
 impl Default for JobConfig {
@@ -110,6 +176,7 @@ impl Default for JobConfig {
             checkpoint: None,
             fault: None,
             telemetry: false,
+            exec: ExecMode::InProcess,
         }
     }
 }
@@ -148,6 +215,16 @@ pub enum JobError {
         /// `(rows, cols)` recorded in the checkpoint file.
         found: (usize, usize),
     },
+    /// [`ExecMode::Subprocess`] was requested but the measure was
+    /// built around trait objects or a training corpus, which cannot
+    /// be serialized into a worker preamble.
+    SubprocessUnsupported,
+    /// [`ExecMode::Subprocess`] was requested but the worker
+    /// executable does not exist at the resolved path.
+    WorkerMissing {
+        /// The path that was probed.
+        path: PathBuf,
+    },
 }
 
 impl fmt::Display for JobError {
@@ -164,6 +241,14 @@ impl fmt::Display for JobError {
                 "checkpoint is {}x{} but the job is {}x{}",
                 found.0, found.1, expected.0, expected.1
             ),
+            JobError::SubprocessUnsupported => write!(
+                f,
+                "subprocess execution needs a pure-config measure (Sts::new or the NoNoise \
+                 variant); custom noise/transition models cannot be described to a worker"
+            ),
+            JobError::WorkerMissing { path } => {
+                write!(f, "worker executable not found at {}", path.display())
+            }
         }
     }
 }
@@ -261,6 +346,9 @@ fn to_record(cell: &PairOutcome) -> Option<CellRecord> {
             attempts: *attempts,
         }),
         PairOutcome::Panicked => Some(CellRecord::Panicked),
+        // Poison is checkpointed: a resumed job must NOT rediscover a
+        // poison pair by feeding it to (and losing) another worker.
+        PairOutcome::Poisoned { exit } => Some(CellRecord::Poisoned { exit: *exit }),
         // Quarantine is re-derived from preparation on resume; Skipped
         // is by definition not terminal.
         PairOutcome::Quarantined | PairOutcome::Skipped => None,
@@ -272,6 +360,7 @@ fn from_record(rec: CellRecord) -> PairOutcome {
         CellRecord::Score(s) => PairOutcome::Score(s),
         CellRecord::Failed { attempts } => PairOutcome::Failed { attempts },
         CellRecord::Panicked => PairOutcome::Panicked,
+        CellRecord::Poisoned { exit } => PairOutcome::Poisoned { exit },
     }
 }
 
@@ -348,13 +437,39 @@ impl Sts {
                     });
                 }
                 for (i, j, rec) in cp.cells {
-                    cells[i * space.cols() + j] = from_record(rec);
+                    let outcome = from_record(rec);
+                    // The quarantine list survives the round-trip: a
+                    // resumed report names its poison pairs exactly
+                    // like the run that discovered them did.
+                    if let PairOutcome::Poisoned { exit } = &outcome {
+                        batch.poisoned_pairs.push((i, j, *exit));
+                    }
+                    cells[i * space.cols() + j] = outcome;
                     pairs_resumed += 1;
                 }
                 sts_obs::static_counter!("core.job.pairs_resumed").add(pairs_resumed as u64);
             }
         }
         let done: Vec<bool> = cells.iter().map(is_terminal).collect();
+
+        // Subprocess execution takes over from here: same quarantine,
+        // fingerprint and resume semantics, different engine.
+        if let ExecMode::Subprocess(opts) = &cfg.exec {
+            return self.similarity_matrix_subprocess(SubprocessArgs {
+                queries,
+                candidates,
+                cfg,
+                opts,
+                space: &space,
+                cells,
+                done,
+                batch,
+                fingerprint,
+                pairs_resumed,
+                started,
+                metrics_base,
+            });
+        }
 
         // Chunks fully covered by the checkpoint are never queued.
         let chunks: Vec<PairChunk> = space
@@ -489,6 +604,147 @@ impl Sts {
         ))
     }
 
+    /// The [`ExecMode::Subprocess`] engine: deals the pending pairs to
+    /// a supervised fleet of `sts-worker` subprocesses and folds their
+    /// results — and the crash-attribution verdicts — back into the
+    /// same cells/report structures the in-process engine fills.
+    fn similarity_matrix_subprocess(
+        &self,
+        args: SubprocessArgs<'_>,
+    ) -> Result<(Vec<Vec<PairOutcome>>, JobReport), JobError> {
+        let SubprocessArgs {
+            queries,
+            candidates,
+            cfg,
+            opts,
+            space,
+            mut cells,
+            done,
+            mut batch,
+            fingerprint,
+            pairs_resumed,
+            started,
+            metrics_base,
+        } = args;
+        let spec = self.measure_spec().ok_or(JobError::SubprocessUnsupported)?;
+        let program = opts
+            .worker
+            .clone()
+            .unwrap_or_else(worker::default_worker_path);
+        if !program.is_file() {
+            return Err(JobError::WorkerMissing { path: program });
+        }
+        let _span = trace::span("job.subprocess");
+        let preamble = worker::encode_preamble(spec, self.grid(), cfg, space, queries, candidates);
+        let chunks = pending_chunks(&done, cfg.chunk_pairs);
+        let iso = IsolateConfig {
+            worker: WorkerSpec {
+                program,
+                args: vec!["serve".to_string()],
+                envs: Vec::new(),
+            },
+            workers: cfg.threads,
+            hard_timeout: opts.hard_timeout,
+            ready_timeout: opts.ready_timeout,
+            restart_budget: opts.restart_budget,
+            poison_attempts: opts.poison_attempts,
+            budget: cfg.budget,
+            cancel: cfg.cancel.clone(),
+            ..IsolateConfig::default()
+        };
+
+        let mut flush_pending = 0usize;
+        let mut flushes = 0usize;
+        let mut flush_errors = 0usize;
+        let run = sts_isolate::supervise(&chunks, &iso, &preamble, |_chunk, payload| {
+            // The supervisor validated the framing; a payload that is
+            // not a record set would be a worker bug — leave those
+            // cells skipped rather than guessing.
+            let Some(parsed) = worker::decode_result_payload(payload) else {
+                return;
+            };
+            for (lin, outcome) in parsed {
+                if lin < cells.len() {
+                    cells[lin] = outcome;
+                }
+            }
+            if let Some(ck) = &cfg.checkpoint {
+                flush_pending += 1;
+                if flush_pending >= ck.flush_every_chunks.max(1) {
+                    flush_pending = 0;
+                    trace::event("job.checkpoint_flush", flushes as f64 + 1.0);
+                    match save_checkpoint(&ck.path, &snapshot(fingerprint, space, &cells)) {
+                        Ok(()) => flushes += 1,
+                        Err(_) => flush_errors += 1,
+                    }
+                }
+            }
+        });
+
+        // Crash-attribution verdicts: quarantine each poison pair with
+        // its worker's exit, in deterministic (ascending-lin) order.
+        for p in &run.poisoned {
+            if p.lin < cells.len() {
+                cells[p.lin] = PairOutcome::Poisoned { exit: p.exit };
+                let (i, j) = space.pair(p.lin);
+                batch.poisoned_pairs.push((i, j, p.exit));
+            }
+        }
+
+        // Final flush: poison verdicts land only after the supervisor
+        // returns, so this is what makes them resume-proof.
+        if let Some(ck) = &cfg.checkpoint {
+            match save_checkpoint(&ck.path, &snapshot(fingerprint, space, &cells)) {
+                Ok(()) => flushes += 1,
+                Err(_) => flush_errors += 1,
+            }
+        }
+
+        for (lin, cell) in cells.iter().enumerate() {
+            match cell {
+                PairOutcome::Panicked => batch.panicked_pairs.push(space.pair(lin)),
+                PairOutcome::Failed { .. } => batch.failed_pairs.push(space.pair(lin)),
+                _ => {}
+            }
+        }
+
+        let any_failed = !batch.failed_pairs.is_empty()
+            || !batch.panicked_pairs.is_empty()
+            || !batch.poisoned_pairs.is_empty();
+        let mut stats = stats_from(
+            space,
+            &cells,
+            pairs_resumed,
+            JobState::from_run(run.stop, any_failed),
+        );
+        stats.elapsed = started.elapsed();
+        stats.chunks_total = chunks.len();
+        stats.chunks_completed = chunks
+            .iter()
+            .filter(|c| c.range().all(|lin| is_terminal(&cells[lin])))
+            .count();
+        stats.chunks_skipped = chunks.len() - stats.chunks_completed;
+        stats.checkpoint_flushes = flushes;
+        stats.checkpoint_write_errors = flush_errors;
+        stats.isolate = Some(IsolateStats {
+            workers_spawned: run.workers_spawned,
+            worker_restarts: run.worker_restarts,
+            worker_kills: run.worker_kills,
+            protocol_errors: run.protocol_errors,
+            pairs_poisoned: run.poisoned.len(),
+            max_bisect_depth: run.max_bisect_depth,
+        });
+
+        Ok((
+            reshape(cells, space),
+            JobReport {
+                batch,
+                stats,
+                telemetry: job_telemetry(metrics_base.as_ref()),
+            },
+        ))
+    }
+
     /// Supervised top-k: ranks every scorable candidate under the same
     /// budget/cancellation/retry/checkpoint regime as
     /// [`similarity_matrix_supervised`](Sts::similarity_matrix_supervised)
@@ -519,7 +775,7 @@ impl Sts {
     /// job backs off through the same schedule. The fault hook runs
     /// inside the containment, before the real work, so injected
     /// panics take exactly the retry path a genuine panic would.
-    fn score_cell_retrying(
+    pub(crate) fn score_cell_retrying(
         &self,
         q: Option<&PreparedTrajectory>,
         c: Option<&PreparedTrajectory>,
@@ -560,6 +816,53 @@ impl Sts {
             }
         }
     }
+}
+
+/// Everything [`Sts::similarity_matrix_subprocess`] inherits from the
+/// shared front half of the supervised job (one struct, because twelve
+/// positional arguments help nobody).
+struct SubprocessArgs<'a> {
+    queries: &'a [Trajectory],
+    candidates: &'a [Trajectory],
+    cfg: &'a JobConfig,
+    opts: &'a IsolateOptions,
+    space: &'a PairSpace,
+    cells: Vec<PairOutcome>,
+    done: Vec<bool>,
+    batch: BatchReport,
+    fingerprint: u64,
+    pairs_resumed: usize,
+    started: Instant,
+    metrics_base: Option<sts_obs::Snapshot>,
+}
+
+/// Chunks covering exactly the not-yet-terminal linear indices:
+/// maximal contiguous runs of pending pairs, split at `chunk_pairs`.
+/// Unlike the in-process path (whose work closure skips done pairs
+/// cell-by-cell), a subprocess worker scores every pair it is sent —
+/// so resumed-terminal pairs, checkpointed poison above all, must
+/// never appear in a chunk.
+fn pending_chunks(done: &[bool], chunk_pairs: usize) -> Vec<PairChunk> {
+    let size = chunk_pairs.max(1);
+    let mut chunks = Vec::new();
+    let mut lin = 0;
+    while lin < done.len() {
+        if done[lin] {
+            lin += 1;
+            continue;
+        }
+        let mut end = lin;
+        while end < done.len() && !done[end] && end - lin < size {
+            end += 1;
+        }
+        chunks.push(PairChunk {
+            id: chunks.len(),
+            start: lin,
+            len: end - lin,
+        });
+        lin = end;
+    }
+    chunks
 }
 
 /// The report's telemetry section: the global-registry delta since the
@@ -614,7 +917,12 @@ fn stats_from(
         .count();
     let pairs_failed = cells
         .iter()
-        .filter(|c| matches!(c, PairOutcome::Failed { .. } | PairOutcome::Panicked))
+        .filter(|c| {
+            matches!(
+                c,
+                PairOutcome::Failed { .. } | PairOutcome::Panicked | PairOutcome::Poisoned { .. }
+            )
+        })
         .count();
     JobStats {
         state,
@@ -634,6 +942,7 @@ fn stats_from(
         checkpoint_write_errors: 0,
         chunk_wait_total: Duration::ZERO,
         chunk_run_total: Duration::ZERO,
+        isolate: None,
     }
 }
 

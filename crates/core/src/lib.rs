@@ -46,18 +46,20 @@ pub mod noise;
 pub mod stprob;
 mod sts;
 pub mod transition;
+pub mod worker;
 
 pub use batch::{BatchReport, PairOutcome, QuarantineReason};
 pub use colocation::colocation_probability;
 pub use dist::SparseDistribution;
 pub use index::ColocationIndex;
-pub use job::{CheckpointConfig, JobConfig, JobError, JobReport};
+pub use job::{CheckpointConfig, ExecMode, IsolateOptions, JobConfig, JobError, JobReport};
 pub use noise::{DeterministicNoise, GaussianNoise, NoiseModel, UniformDiscNoise};
 pub use stprob::StpEstimator;
 pub use sts::{exposure_duration, PreparedTrajectory, Sts, StsConfig, StsVariant};
 pub use transition::{
     BrownianTransition, FrequencyTransition, SpeedKdeTransition, TransitionModel,
 };
+pub use worker::{default_worker_path, serve, ServeError};
 
 use std::fmt;
 

@@ -79,6 +79,21 @@ enum TransitionSource {
     Shared(Arc<dyn TransitionModel>),
 }
 
+/// How an [`Sts`] was constructed, when that construction is pure
+/// config — the information a worker subprocess needs to rebuild the
+/// identical measure from a preamble. Measures built around arbitrary
+/// trait objects ([`Sts::with_noise_model`],
+/// [`Sts::with_shared_transition`]) or trained on a corpus (`STS-G`,
+/// `STS-F`) carry no spec and cannot run under
+/// [`crate::job::ExecMode::Subprocess`].
+#[derive(Debug, Clone)]
+pub(crate) enum MeasureSpec {
+    /// [`Sts::new`]: Gaussian noise + personalized speed KDE.
+    Full(StsConfig),
+    /// [`StsVariant::NoNoise`]: deterministic locations.
+    NoNoise(StsConfig),
+}
+
 /// A trajectory with its per-trajectory model state precomputed: the
 /// transition model and the noise distribution of each observation.
 /// Preparing once and reusing across pairs is what makes `n × n`
@@ -102,6 +117,7 @@ pub struct Sts {
     grid: Grid,
     noise: Arc<dyn NoiseModel>,
     transition: TransitionSource,
+    spec: Option<MeasureSpec>,
 }
 
 impl Sts {
@@ -116,6 +132,7 @@ impl Sts {
             transition: TransitionSource::Personalized {
                 kernel: config.kernel,
             },
+            spec: Some(MeasureSpec::Full(config)),
         }
     }
 
@@ -141,6 +158,7 @@ impl Sts {
                 transition: TransitionSource::Personalized {
                     kernel: config.kernel,
                 },
+                spec: Some(MeasureSpec::NoNoise(config)),
             },
             StsVariant::GlobalSpeed => {
                 let global =
@@ -150,6 +168,7 @@ impl Sts {
                     grid,
                     noise: gaussian,
                     transition: TransitionSource::Shared(Arc::new(global)),
+                    spec: None,
                 }
             }
             StsVariant::FrequencyBased => {
@@ -158,6 +177,7 @@ impl Sts {
                     grid,
                     noise: gaussian,
                     transition: TransitionSource::Shared(Arc::new(freq)),
+                    spec: None,
                 }
             }
         })
@@ -170,6 +190,7 @@ impl Sts {
             grid,
             noise,
             transition: TransitionSource::Personalized { kernel },
+            spec: None,
         }
     }
 
@@ -187,6 +208,7 @@ impl Sts {
                 config.truncation_k,
             )),
             transition: TransitionSource::Shared(transition),
+            spec: None,
         }
     }
 
@@ -201,6 +223,12 @@ impl Sts {
     #[inline]
     pub fn grid(&self) -> &Grid {
         &self.grid
+    }
+
+    /// The pure-config construction recipe, when one exists — what the
+    /// subprocess job path serializes into the worker preamble.
+    pub(crate) fn measure_spec(&self) -> Option<&MeasureSpec> {
+        self.spec.as_ref()
     }
 
     /// Precomputes the per-trajectory model state. Fails when the

@@ -1,0 +1,676 @@
+//! The STS worker subprocess: preamble codec and serve loop.
+//!
+//! [`sts_isolate`] moves chunks and opaque payloads; this module gives
+//! those payloads their STS meaning. The supervisor side
+//! ([`crate::job`], `ExecMode::Subprocess`) encodes the whole job —
+//! measure config, grid, retry policy, fault plan, matrix dims and
+//! both trajectory sides — as *preamble* frames; the worker side
+//! ([`serve`]) decodes them, rebuilds the identical [`Sts`], prepares
+//! every trajectory once, answers `ready`, and then scores chunks
+//! until `shutdown` or EOF.
+//!
+//! Wire vocabulary (one whitespace-separated record per frame, framed
+//! by [`sts_isolate::protocol`]):
+//!
+//! ```text
+//! supervisor → worker (preamble, then `begin`):
+//!   measure <full|no-noise> <sigma> <kernel> <trunc|none>
+//!   grid <minx> <miny> <maxx> <maxy> <cell>
+//!   retry <max_retries> <base_ns> <cap_ns> <seed>
+//!   fault <seed> <slow> <transient> <tfail> <persistent> <abort> <wedge> <garbage> <slow_ns>
+//!   dims <rows> <cols>
+//!   traj <q|c> <index> <npoints> (<x> <y> <t>)*
+//!   begin
+//! worker → supervisor:
+//!   ready
+//! supervisor → worker (per chunk):
+//!   chunk <req_id> <start> <len>
+//! worker → supervisor:
+//!   result <req_id> <n> (<lin> s <score> | <lin> f <attempts> | <lin> p | <lin> q)*
+//! supervisor → worker (end of run):
+//!   shutdown
+//! ```
+//!
+//! `f64`s travel as Rust's shortest round-trip decimal (the same
+//! encoding the checkpoint format relies on), so a worker-scored cell
+//! is bit-identical to its in-process twin. Injected
+//! [`Fault::GarbageOutput`](sts_runtime::Fault) pairs make the worker
+//! replace the chunk's result frame with unframed noise — the
+//! supervisor's protocol validation, not this module, turns that into
+//! a quarantine.
+
+use crate::job::JobConfig;
+use crate::sts::MeasureSpec;
+use crate::{Sts, StsConfig, StsVariant};
+use std::fmt;
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use std::sync::atomic::AtomicU64;
+use std::time::Duration;
+use sts_geo::{BoundingBox, Grid, Point};
+use sts_isolate::protocol::{read_frame, write_frame, ProtocolError};
+use sts_runtime::{Fault, FaultPlan, PairSpace, RetryPolicy};
+use sts_stats::Kernel;
+use sts_traj::Trajectory;
+
+/// The conventional worker executable name, resolved next to the
+/// current executable (test and release binaries land in the same
+/// target directory; integration tests one level deeper, in `deps/`).
+pub fn default_worker_path() -> PathBuf {
+    let name = format!("sts-worker{}", std::env::consts::EXE_SUFFIX);
+    std::env::current_exe()
+        .ok()
+        .and_then(|exe| {
+            let dir = exe.parent()?;
+            let dir = if dir.ends_with("deps") {
+                dir.parent()?
+            } else {
+                dir
+            };
+            Some(dir.join(&name))
+        })
+        .unwrap_or_else(|| PathBuf::from(name))
+}
+
+fn kernel_token(k: Kernel) -> &'static str {
+    match k {
+        Kernel::Gaussian => "gaussian",
+        Kernel::Epanechnikov => "epanechnikov",
+        Kernel::Uniform => "uniform",
+        Kernel::Triangular => "triangular",
+    }
+}
+
+fn kernel_from_token(s: &str) -> Option<Kernel> {
+    Some(match s {
+        "gaussian" => Kernel::Gaussian,
+        "epanechnikov" => Kernel::Epanechnikov,
+        "uniform" => Kernel::Uniform,
+        "triangular" => Kernel::Triangular,
+        _ => return None,
+    })
+}
+
+/// Encodes the whole job as preamble frames for [`serve`] to decode.
+/// The `spec` is the measure's pure-config construction recipe; `cfg`
+/// contributes the retry policy and fault plan the worker must apply
+/// so in-process and subprocess cells take identical code paths.
+pub(crate) fn encode_preamble(
+    spec: &MeasureSpec,
+    grid: &Grid,
+    cfg: &JobConfig,
+    space: &PairSpace,
+    queries: &[Trajectory],
+    candidates: &[Trajectory],
+) -> Vec<String> {
+    let mut frames = Vec::with_capacity(5 + queries.len() + candidates.len());
+    let (variant, sts_cfg) = match spec {
+        MeasureSpec::Full(c) => ("full", c),
+        MeasureSpec::NoNoise(c) => ("no-noise", c),
+    };
+    let trunc = match sts_cfg.truncation_k {
+        Some(k) => k.to_string(),
+        None => "none".to_string(),
+    };
+    frames.push(format!(
+        "measure {variant} {} {} {trunc}",
+        sts_cfg.noise_sigma,
+        kernel_token(sts_cfg.kernel),
+    ));
+    let area = grid.area();
+    frames.push(format!(
+        "grid {} {} {} {} {}",
+        area.min().x,
+        area.min().y,
+        area.max().x,
+        area.max().y,
+        grid.cell_size(),
+    ));
+    frames.push(format!(
+        "retry {} {} {} {}",
+        cfg.retry.max_retries,
+        cfg.retry.backoff_base.as_nanos(),
+        cfg.retry.backoff_cap.as_nanos(),
+        cfg.retry.seed,
+    ));
+    if let Some(p) = &cfg.fault {
+        frames.push(format!(
+            "fault {} {} {} {} {} {} {} {} {}",
+            p.seed,
+            p.slow_per_mille,
+            p.transient_per_mille,
+            p.transient_failures,
+            p.persistent_per_mille,
+            p.abort_per_mille,
+            p.wedge_per_mille,
+            p.garbage_per_mille,
+            p.slow_for.as_nanos(),
+        ));
+    }
+    frames.push(format!("dims {} {}", space.rows(), space.cols()));
+    for (side, trajectories) in [("q", queries), ("c", candidates)] {
+        for (idx, t) in trajectories.iter().enumerate() {
+            let mut frame = format!("traj {side} {idx} {}", t.len());
+            for k in 0..t.len() {
+                let p = t.get(k);
+                frame.push_str(&format!(" {} {} {}", p.loc.x, p.loc.y, p.t));
+            }
+            frames.push(frame);
+        }
+    }
+    frames
+}
+
+/// Why a worker's serve loop gave up.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The supervisor's bytes do not form valid frames (or the stream
+    /// ended mid-preamble).
+    Protocol(ProtocolError),
+    /// The preamble does not describe a runnable job.
+    Spec(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Protocol(e) => write!(f, "worker protocol error: {e}"),
+            ServeError::Spec(msg) => write!(f, "bad job preamble: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ProtocolError> for ServeError {
+    fn from(e: ProtocolError) -> Self {
+        ServeError::Protocol(e)
+    }
+}
+
+/// The decoded preamble, accumulated frame by frame until `begin`.
+#[derive(Default)]
+struct JobSpec {
+    measure: Option<(StsVariant, StsConfig)>,
+    grid: Option<Grid>,
+    retry: Option<RetryPolicy>,
+    fault: Option<FaultPlan>,
+    dims: Option<(usize, usize)>,
+    queries: Vec<Option<Trajectory>>,
+    candidates: Vec<Option<Trajectory>>,
+}
+
+fn spec_err(msg: impl Into<String>) -> ServeError {
+    ServeError::Spec(msg.into())
+}
+
+fn parse<T: std::str::FromStr>(
+    fields: &mut std::str::SplitWhitespace<'_>,
+    what: &str,
+) -> Result<T, ServeError> {
+    fields
+        .next()
+        .ok_or_else(|| spec_err(format!("missing {what}")))?
+        .parse()
+        .map_err(|_| spec_err(format!("bad {what}")))
+}
+
+fn duration_ns(
+    fields: &mut std::str::SplitWhitespace<'_>,
+    what: &str,
+) -> Result<Duration, ServeError> {
+    // Encoded via `as_nanos()` (u128); saturate rather than reject a
+    // pathological-but-legal `Duration`.
+    let ns: u128 = parse(fields, what)?;
+    Ok(Duration::from_nanos(u64::try_from(ns).unwrap_or(u64::MAX)))
+}
+
+impl JobSpec {
+    fn absorb(&mut self, frame: &str) -> Result<(), ServeError> {
+        let mut fields = frame.split_whitespace();
+        match fields.next().unwrap_or("") {
+            "measure" => {
+                let variant = match fields.next() {
+                    Some("full") => StsVariant::Full,
+                    Some("no-noise") => StsVariant::NoNoise,
+                    other => return Err(spec_err(format!("unknown measure `{other:?}`"))),
+                };
+                let noise_sigma: f64 = parse(&mut fields, "noise sigma")?;
+                let kernel = fields
+                    .next()
+                    .and_then(kernel_from_token)
+                    .ok_or_else(|| spec_err("unknown kernel"))?;
+                let truncation_k = match fields.next() {
+                    Some("none") => None,
+                    Some(v) => Some(v.parse().map_err(|_| spec_err("bad truncation"))?),
+                    None => return Err(spec_err("missing truncation")),
+                };
+                self.measure = Some((
+                    variant,
+                    StsConfig {
+                        noise_sigma,
+                        kernel,
+                        truncation_k,
+                    },
+                ));
+            }
+            "grid" => {
+                let min_x: f64 = parse(&mut fields, "grid min x")?;
+                let min_y: f64 = parse(&mut fields, "grid min y")?;
+                let max_x: f64 = parse(&mut fields, "grid max x")?;
+                let max_y: f64 = parse(&mut fields, "grid max y")?;
+                let cell: f64 = parse(&mut fields, "grid cell size")?;
+                let bbox = BoundingBox::new(Point::new(min_x, min_y), Point::new(max_x, max_y));
+                self.grid =
+                    Some(Grid::new(bbox, cell).map_err(|e| spec_err(format!("bad grid: {e}")))?);
+            }
+            "retry" => {
+                self.retry = Some(RetryPolicy {
+                    max_retries: parse(&mut fields, "max retries")?,
+                    backoff_base: duration_ns(&mut fields, "backoff base")?,
+                    backoff_cap: duration_ns(&mut fields, "backoff cap")?,
+                    seed: parse(&mut fields, "retry seed")?,
+                });
+            }
+            "fault" => {
+                self.fault = Some(FaultPlan {
+                    seed: parse(&mut fields, "fault seed")?,
+                    slow_per_mille: parse(&mut fields, "slow rate")?,
+                    transient_per_mille: parse(&mut fields, "transient rate")?,
+                    transient_failures: parse(&mut fields, "transient failures")?,
+                    persistent_per_mille: parse(&mut fields, "persistent rate")?,
+                    abort_per_mille: parse(&mut fields, "abort rate")?,
+                    wedge_per_mille: parse(&mut fields, "wedge rate")?,
+                    garbage_per_mille: parse(&mut fields, "garbage rate")?,
+                    slow_for: duration_ns(&mut fields, "slow duration")?,
+                });
+            }
+            "dims" => {
+                let rows: usize = parse(&mut fields, "rows")?;
+                let cols: usize = parse(&mut fields, "cols")?;
+                self.dims = Some((rows, cols));
+                self.queries = (0..rows).map(|_| None).collect();
+                self.candidates = (0..cols).map(|_| None).collect();
+            }
+            "traj" => {
+                let side = fields.next().unwrap_or("");
+                let idx: usize = parse(&mut fields, "trajectory index")?;
+                let n: usize = parse(&mut fields, "point count")?;
+                let mut points = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let x: f64 = parse(&mut fields, "point x")?;
+                    let y: f64 = parse(&mut fields, "point y")?;
+                    let t: f64 = parse(&mut fields, "point t")?;
+                    points.push((x, y, t));
+                }
+                // An unconstructible trajectory is the *pair's*
+                // problem (quarantined per cell), not the preamble's.
+                let traj = Trajectory::from_xyt(&points).ok();
+                let slot = match side {
+                    "q" => self.queries.get_mut(idx),
+                    "c" => self.candidates.get_mut(idx),
+                    other => return Err(spec_err(format!("unknown trajectory side `{other}`"))),
+                };
+                *slot.ok_or_else(|| spec_err("trajectory index out of dims"))? = traj;
+            }
+            other => return Err(spec_err(format!("unknown preamble frame `{other}`"))),
+        }
+        Ok(())
+    }
+
+    fn build(self) -> Result<WorkerState, ServeError> {
+        let (variant, config) = self.measure.ok_or_else(|| spec_err("no measure frame"))?;
+        let grid = self.grid.ok_or_else(|| spec_err("no grid frame"))?;
+        let (rows, cols) = self.dims.ok_or_else(|| spec_err("no dims frame"))?;
+        let sts = match variant {
+            StsVariant::Full => Sts::new(config, grid),
+            StsVariant::NoNoise => Sts::variant(config, grid, StsVariant::NoNoise, &[])
+                .map_err(|e| spec_err(format!("cannot build measure: {e}")))?,
+            _ => return Err(spec_err("variant not expressible in a preamble")),
+        };
+        let cfg = JobConfig {
+            retry: self.retry.unwrap_or_default(),
+            fault: self.fault,
+            ..JobConfig::default()
+        };
+        let prepare_side = |side: Vec<Option<Trajectory>>| {
+            side.into_iter()
+                .map(|t| {
+                    t.and_then(|t| {
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            sts.prepare(&t).ok()
+                        }))
+                        .ok()
+                        .flatten()
+                    })
+                })
+                .collect()
+        };
+        let prepared_q = prepare_side(self.queries);
+        let prepared_c = prepare_side(self.candidates);
+        Ok(WorkerState {
+            sts,
+            cfg,
+            space: PairSpace::new(rows, cols),
+            prepared_q,
+            prepared_c,
+        })
+    }
+}
+
+/// Everything a ready worker needs to score chunks.
+struct WorkerState {
+    sts: Sts,
+    cfg: JobConfig,
+    space: PairSpace,
+    prepared_q: Vec<Option<crate::PreparedTrajectory>>,
+    prepared_c: Vec<Option<crate::PreparedTrajectory>>,
+}
+
+/// Runs the worker side of the protocol over the given streams until
+/// `shutdown` or clean EOF. This is what the `sts-worker` binary wraps
+/// around locked stdin/stdout; tests drive it over in-memory pipes.
+///
+/// Faults from the preamble's plan are *executed* here: aborts and
+/// wedges kill or hang this process (that is the point — the
+/// supervisor contains them), and a [`Fault::GarbageOutput`] pair
+/// makes the worker emit unframed noise instead of its chunk's result
+/// frame.
+pub fn serve<R: BufRead, W: Write>(input: &mut R, output: &mut W) -> Result<(), ServeError> {
+    let mut spec = JobSpec::default();
+    let state = loop {
+        let frame = read_frame(input)?;
+        if frame == "begin" {
+            break spec.build()?;
+        }
+        spec.absorb(&frame)?;
+    };
+    write_frame(output, "ready").map_err(ProtocolError::Io)?;
+
+    let retries = AtomicU64::new(0);
+    loop {
+        let frame = match read_frame(input) {
+            Ok(f) => f,
+            Err(ProtocolError::Eof) => return Ok(()),
+            Err(e) => return Err(e.into()),
+        };
+        let mut fields = frame.split_whitespace();
+        match fields.next().unwrap_or("") {
+            "chunk" => {
+                let req_id: u64 = parse(&mut fields, "request id")?;
+                let start: usize = parse(&mut fields, "chunk start")?;
+                let len: usize = parse(&mut fields, "chunk len")?;
+                if start + len > state.space.len() {
+                    return Err(spec_err(format!(
+                        "chunk {start}+{len} exceeds the {}-pair space",
+                        state.space.len()
+                    )));
+                }
+                let mut body = format!("result {req_id} {len}");
+                let mut garbage = false;
+                for lin in start..start + len {
+                    // A garbage-output pair corrupts the whole chunk's
+                    // result frame; checked before scoring so the
+                    // corruption is deterministic however the chunk
+                    // was bisected.
+                    if let Some(plan) = &state.cfg.fault {
+                        if plan.fault_for(lin) == Fault::GarbageOutput {
+                            garbage = true;
+                            break;
+                        }
+                    }
+                    let (i, j) = state.space.pair(lin);
+                    let outcome = state.sts.score_cell_retrying(
+                        state.prepared_q[i].as_ref(),
+                        state.prepared_c[j].as_ref(),
+                        &state.cfg,
+                        lin,
+                        &retries,
+                    );
+                    body.push(' ');
+                    body.push_str(&encode_record(lin, &outcome));
+                }
+                if garbage {
+                    // Deliberately NOT a frame: no length prefix, and
+                    // bytes that cannot parse as one.
+                    output
+                        .write_all(b"!! garbage fault: this is not a frame !!\n")
+                        .and_then(|()| output.flush())
+                        .map_err(ProtocolError::Io)?;
+                } else {
+                    write_frame(output, &body).map_err(ProtocolError::Io)?;
+                }
+            }
+            "shutdown" => return Ok(()),
+            other => return Err(spec_err(format!("unknown request frame `{other}`"))),
+        }
+    }
+}
+
+/// One cell's wire record (see the module docs for the vocabulary).
+fn encode_record(lin: usize, outcome: &crate::PairOutcome) -> String {
+    use crate::PairOutcome;
+    match outcome {
+        PairOutcome::Score(s) => format!("{lin} s {s}"),
+        PairOutcome::Failed { attempts } => format!("{lin} f {attempts}"),
+        PairOutcome::Panicked => format!("{lin} p"),
+        PairOutcome::Quarantined => format!("{lin} q"),
+        // score_cell_retrying never produces these; encode defensively
+        // as quarantined rather than poisoning the protocol.
+        PairOutcome::Skipped | PairOutcome::Poisoned { .. } => format!("{lin} q"),
+    }
+}
+
+/// Parses one result payload (`<n> (<record>)*`, the body after
+/// `result <req_id> `) into `(lin, outcome)` cells. Returns `None` on
+/// any malformed record — the caller treats the chunk as undelivered.
+pub(crate) fn decode_result_payload(payload: &str) -> Option<Vec<(usize, crate::PairOutcome)>> {
+    use crate::PairOutcome;
+    let mut fields = payload.split_whitespace();
+    let n: usize = fields.next()?.parse().ok()?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let lin: usize = fields.next()?.parse().ok()?;
+        let outcome = match fields.next()? {
+            "s" => PairOutcome::Score(fields.next()?.parse().ok()?),
+            "f" => PairOutcome::Failed {
+                attempts: fields.next()?.parse().ok()?,
+            },
+            "p" => PairOutcome::Panicked,
+            "q" => PairOutcome::Quarantined,
+            _ => return None,
+        };
+        out.push((lin, outcome));
+    }
+    fields.next().is_none().then_some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PairOutcome;
+    use sts_geo::{BoundingBox, Grid, Point};
+
+    fn grid() -> Grid {
+        Grid::new(
+            BoundingBox::new(Point::ORIGIN, Point::new(200.0, 50.0)),
+            5.0,
+        )
+        .unwrap()
+    }
+
+    fn walker(y: f64, phase: f64, n: usize) -> Trajectory {
+        Trajectory::new(
+            (0..n)
+                .map(|i| {
+                    let t = phase + 10.0 * i as f64;
+                    sts_traj::TrajPoint::from_xy(2.0 * t, y, t)
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    /// Feeds a full preamble + chunks through `serve` over in-memory
+    /// pipes and returns the worker's framed responses.
+    fn drive_serve(preamble: &[String], requests: &[String]) -> Vec<String> {
+        let mut input = Vec::new();
+        for frame in preamble {
+            write_frame(&mut input, frame).unwrap();
+        }
+        write_frame(&mut input, "begin").unwrap();
+        for frame in requests {
+            write_frame(&mut input, frame).unwrap();
+        }
+        write_frame(&mut input, "shutdown").unwrap();
+        let mut output = Vec::new();
+        serve(&mut input.as_slice(), &mut output).unwrap();
+        let mut frames = Vec::new();
+        let mut r = output.as_slice();
+        while let Ok(f) = read_frame(&mut r) {
+            frames.push(f);
+        }
+        frames
+    }
+
+    #[test]
+    fn served_chunks_match_in_process_scores_bit_exactly() {
+        let sts = Sts::new(StsConfig::default(), grid());
+        let queries = vec![walker(25.0, 0.0, 6), walker(5.0, 0.0, 6)];
+        let candidates = vec![walker(25.0, 5.0, 6), walker(5.0, 5.0, 6)];
+        let space = PairSpace::new(2, 2);
+        let cfg = JobConfig::default();
+        let preamble = encode_preamble(
+            &MeasureSpec::Full(StsConfig::default()),
+            sts.grid(),
+            &cfg,
+            &space,
+            &queries,
+            &candidates,
+        );
+        let frames = drive_serve(&preamble, &["chunk 7 0 4".into()]);
+        assert_eq!(frames[0], "ready");
+        let payload = frames[1].strip_prefix("result 7 ").unwrap();
+        let cells = decode_result_payload(payload).unwrap();
+        assert_eq!(cells.len(), 4);
+        let strict = sts.similarity_matrix(&queries, &candidates).unwrap();
+        for (lin, outcome) in cells {
+            let (i, j) = space.pair(lin);
+            match outcome {
+                PairOutcome::Score(s) => {
+                    assert_eq!(s.to_bits(), strict[i][j].to_bits(), "({i},{j})")
+                }
+                other => panic!("({i},{j}): {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unpreparable_trajectory_yields_quarantined_records() {
+        let queries = vec![walker(25.0, 0.0, 6)];
+        let candidates = vec![
+            Trajectory::from_xyt(&[(10.0, 25.0, 0.0)]).unwrap(),
+            walker(25.0, 5.0, 6),
+        ];
+        let space = PairSpace::new(1, 2);
+        let cfg = JobConfig::default();
+        let preamble = encode_preamble(
+            &MeasureSpec::Full(StsConfig::default()),
+            &grid(),
+            &cfg,
+            &space,
+            &queries,
+            &candidates,
+        );
+        let frames = drive_serve(&preamble, &["chunk 0 0 2".into()]);
+        let cells = decode_result_payload(frames[1].strip_prefix("result 0 ").unwrap()).unwrap();
+        assert_eq!(cells[0], (0, PairOutcome::Quarantined));
+        assert!(matches!(cells[1], (1, PairOutcome::Score(_))));
+    }
+
+    #[test]
+    fn garbage_fault_corrupts_the_result_frame() {
+        let queries = vec![walker(25.0, 0.0, 4)];
+        let candidates = vec![walker(25.0, 5.0, 4)];
+        let space = PairSpace::new(1, 1);
+        let cfg = JobConfig {
+            fault: Some(FaultPlan {
+                garbage_per_mille: 1000,
+                ..FaultPlan::default()
+            }),
+            ..JobConfig::default()
+        };
+        let preamble = encode_preamble(
+            &MeasureSpec::Full(StsConfig::default()),
+            &grid(),
+            &cfg,
+            &space,
+            &queries,
+            &candidates,
+        );
+        let mut input = Vec::new();
+        for frame in &preamble {
+            write_frame(&mut input, frame).unwrap();
+        }
+        write_frame(&mut input, "begin").unwrap();
+        write_frame(&mut input, "chunk 0 0 1").unwrap();
+        let mut output = Vec::new();
+        // EOF after the chunk is a clean exit.
+        serve(&mut input.as_slice(), &mut output).unwrap();
+        let mut r = output.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap(), "ready");
+        assert!(
+            matches!(read_frame(&mut r), Err(ProtocolError::Garbage { .. })),
+            "garbage pair must not produce a valid frame"
+        );
+    }
+
+    #[test]
+    fn preamble_round_trips_f64_extremes() {
+        // Encode → absorb must preserve bits for the values the grid
+        // and trajectories can legally hold.
+        let mut spec = JobSpec::default();
+        spec.absorb("dims 1 1").unwrap();
+        spec.absorb("traj q 0 1 0.1000000000000000055511151231257827 -0 1e-308")
+            .unwrap();
+        let t = spec.queries[0].clone().unwrap();
+        assert_eq!(t.get(0).loc.x.to_bits(), 0.1f64.to_bits());
+        assert_eq!(t.get(0).loc.y.to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn malformed_preambles_are_typed_errors() {
+        for bad in [
+            "measure sideways 1 gaussian none",
+            "measure full nope gaussian none",
+            "grid 0 0 10 10 not-a-number",
+            "traj z 0 1 0 0 0",
+            "blorp 1 2 3",
+        ] {
+            let mut spec = JobSpec::default();
+            spec.absorb("dims 2 2").unwrap();
+            assert!(
+                matches!(spec.absorb(bad), Err(ServeError::Spec(_))),
+                "{bad:?} should be rejected"
+            );
+        }
+        // Building without the mandatory frames fails, not panics.
+        assert!(JobSpec::default().build().is_err());
+    }
+
+    #[test]
+    fn result_payload_decoder_rejects_torn_records() {
+        assert!(decode_result_payload("1 0 s 0.5").is_some());
+        for bad in [
+            "",
+            "1",
+            "1 0",
+            "1 0 s",
+            "1 0 z 1",
+            "2 0 s 0.5",
+            "1 0 s 0.5 extra",
+        ] {
+            assert!(decode_result_payload(bad).is_none(), "{bad:?}");
+        }
+    }
+}

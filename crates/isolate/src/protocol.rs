@@ -1,0 +1,176 @@
+//! The length-prefixed line protocol between supervisor and worker.
+//!
+//! Same zero-dependency text style as the `checkpoint` and
+//! `sts-traj::io` formats, with one addition: every frame carries its
+//! own byte length up front, so the reader can tell a *torn* or
+//! *garbage* frame from a merely unexpected one.
+//!
+//! ```text
+//! <len> <body>\n
+//! ```
+//!
+//! `<len>` is the decimal byte length of `<body>` (exclusive of the
+//! separating space and the trailing newline). A frame whose length
+//! field is non-numeric, whose body is shorter or longer than
+//! declared, or whose terminator is missing is a [`ProtocolError`] —
+//! the signal the supervisor uses to classify a worker as emitting
+//! garbage and discard it.
+//!
+//! The body itself is a whitespace-separated record in the in-repo
+//! text style (`chunk 3 128 64`, `result 3 64 …`); this module only
+//! frames and unframes, it does not interpret bodies.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Longest body the reader will allocate for (64 MiB). A garbage
+/// length field must not become an OOM — the same untrusted-count
+/// guard the lenient trajectory reader uses.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// A protocol violation: the peer's bytes do not form a valid frame.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// Underlying I/O failure (broken pipe when the peer died, …).
+    Io(io::Error),
+    /// The stream ended cleanly where a frame was expected.
+    Eof,
+    /// The bytes on the wire do not parse as a frame.
+    Garbage {
+        /// What was wrong with them.
+        message: String,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "protocol I/O error: {e}"),
+            ProtocolError::Eof => write!(f, "unexpected end of stream"),
+            ProtocolError::Garbage { message } => write!(f, "garbage frame: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<io::Error> for ProtocolError {
+    fn from(e: io::Error) -> Self {
+        ProtocolError::Io(e)
+    }
+}
+
+/// Writes one frame (`<len> <body>\n`) and flushes. Flushing per frame
+/// is deliberate: frames are small, rare relative to the chunk work
+/// they describe, and the peer blocks on them.
+pub fn write_frame<W: Write>(w: &mut W, body: &str) -> io::Result<()> {
+    debug_assert!(!body.contains('\n'), "frame bodies are single-line");
+    write!(w, "{} {body}\n", body.len())?;
+    w.flush()
+}
+
+/// Reads one frame, validating the length prefix against the body.
+pub fn read_frame<R: BufRead>(r: &mut R) -> Result<String, ProtocolError> {
+    let mut line = String::new();
+    let n = r.read_line(&mut line)?;
+    if n == 0 {
+        return Err(ProtocolError::Eof);
+    }
+    let garbage = |message: String| ProtocolError::Garbage { message };
+    let Some(stripped) = line.strip_suffix('\n') else {
+        return Err(garbage(format!(
+            "missing newline terminator after {} byte(s)",
+            line.len()
+        )));
+    };
+    let Some((len_field, body)) = stripped.split_once(' ') else {
+        return Err(garbage(format!(
+            "no length prefix in {:?}",
+            truncate_for_error(stripped)
+        )));
+    };
+    let declared: usize = len_field.parse().map_err(|_| {
+        garbage(format!(
+            "non-numeric length {:?}",
+            truncate_for_error(len_field)
+        ))
+    })?;
+    if declared > MAX_FRAME_BYTES {
+        return Err(garbage(format!(
+            "declared length {declared} exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )));
+    }
+    if declared != body.len() {
+        return Err(garbage(format!(
+            "declared length {declared} but body has {} byte(s)",
+            body.len()
+        )));
+    }
+    Ok(body.to_string())
+}
+
+/// First few bytes of a bad frame, for error messages (garbage can be
+/// arbitrarily long binary noise).
+fn truncate_for_error(s: &str) -> String {
+    let mut t: String = s.chars().take(32).collect();
+    if t.len() < s.len() {
+        t.push('…');
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(body: &str) -> String {
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, body).unwrap();
+        read_frame(&mut bytes.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        for body in ["ready", "", "chunk 3 128 64", "result 0 1 17 s 0.25"] {
+            assert_eq!(round_trip(body), body);
+        }
+    }
+
+    #[test]
+    fn multiple_frames_stream() {
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, "a").unwrap();
+        write_frame(&mut bytes, "bb cc").unwrap();
+        let mut r = bytes.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap(), "a");
+        assert_eq!(read_frame(&mut r).unwrap(), "bb cc");
+        assert!(matches!(read_frame(&mut r), Err(ProtocolError::Eof)));
+    }
+
+    #[test]
+    fn garbage_is_detected() {
+        for (wire, why) in [
+            ("hello world\n", "non-numeric length"),
+            ("5 abc\n", "declared length 5 but body has 3"),
+            ("2 abc\n", "declared length 2 but body has 3"),
+            ("nolengthprefix\n", "no length prefix"),
+            ("3 abc", "missing newline"),
+            ("99999999999999999999 x\n", "non-numeric length"),
+            ("999999999999 x\n", "exceeds"),
+        ] {
+            let err = read_frame(&mut wire.as_bytes()).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains(why), "{wire:?} -> {msg} (wanted {why:?})");
+        }
+    }
+
+    #[test]
+    fn binary_noise_is_garbage_not_a_panic() {
+        // Invalid UTF-8 arrives as an I/O error from read_line;
+        // valid-UTF-8 noise lands in Garbage. Either way: typed error.
+        let noise: &[u8] = &[0xFF, 0xFE, 0x00, b'\n'];
+        assert!(read_frame(&mut &noise[..]).is_err());
+        let printable = "!!!###$$$\n";
+        assert!(read_frame(&mut printable.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,809 @@
+//! The subprocess fleet supervisor.
+//!
+//! One supervisor thread per worker slot owns one worker subprocess at
+//! a time. Slots deal [`PairChunk`]s from a shared queue (the same
+//! discipline as `sts-runtime::pool`), feed them to the worker over
+//! the framed stdio protocol and stream valid results back to the
+//! caller's thread. Everything that can go wrong with a *process* is
+//! handled here:
+//!
+//! * a chunk that exceeds the **hard timeout** gets its worker killed
+//!   (upgrading the in-process watchdog, which can only mark);
+//! * a worker that **dies** (abort, OOM kill, stack overflow) or emits
+//!   **garbage** is discarded and replaced, with
+//!   [`DecorrelatedJitter`] backoff, under a global **restart
+//!   budget** — a poison-dense workload degrades to a stopped job,
+//!   never a crash loop;
+//! * every death is **attributed**: the killing chunk is bisected —
+//!   halves requeued at the front — until the single poison pair is
+//!   isolated and quarantined as a [`PoisonPair`] carrying the
+//!   worker's [`WorkerExit`]. Which pairs end up quarantined depends
+//!   only on which pairs kill workers, so seeded chaos runs replay the
+//!   same poison set regardless of thread scheduling.
+
+use crate::protocol::{read_frame, write_frame, ProtocolError};
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+use sts_obs::{static_counter, static_histogram, trace};
+use sts_runtime::{Budget, CancelToken, DecorrelatedJitter, PairChunk, StopReason, WorkerExit};
+
+/// Poison-tolerant lock (same rationale as the in-process pool: a
+/// panicking slot thread must not cascade into losing the whole run).
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// How to launch one worker subprocess.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerSpec {
+    /// Path to the worker executable.
+    pub program: PathBuf,
+    /// Arguments passed to every worker.
+    pub args: Vec<String>,
+    /// Extra environment variables set for every worker.
+    pub envs: Vec<(String, String)>,
+}
+
+/// Supervisor configuration.
+#[derive(Debug, Clone)]
+pub struct IsolateConfig {
+    /// The worker executable to run.
+    pub worker: WorkerSpec,
+    /// Worker subprocesses; `0` selects automatically via
+    /// [`sts_runtime::thread_count`] capped at the chunk count.
+    pub workers: usize,
+    /// Hard per-chunk timeout: a worker that has not answered a chunk
+    /// within this long is killed and the chunk attributed. Must
+    /// comfortably exceed the honest worst-case chunk time.
+    pub hard_timeout: Duration,
+    /// How long a fresh worker may take to consume the preamble and
+    /// answer `ready`.
+    pub ready_timeout: Duration,
+    /// Worker respawns allowed across the whole run (the initial fleet
+    /// is free). Exhausting it stops the job with
+    /// [`StopReason::WorkerRestartsExhausted`].
+    pub restart_budget: usize,
+    /// Deaths a *single-pair* chunk may cause before the pair is
+    /// quarantined as poison. `1` (the default) quarantines on first
+    /// isolated death — worker deaths are expensive.
+    pub poison_attempts: u32,
+    /// Minimum backoff before respawning a dead worker.
+    pub backoff_base: Duration,
+    /// Backoff cap.
+    pub backoff_cap: Duration,
+    /// Seed for the deterministic backoff jitter.
+    pub backoff_seed: u64,
+    /// Work/wall-clock budget, checked at every chunk boundary.
+    pub budget: Budget,
+    /// Cooperative cancellation, checked at every chunk boundary.
+    pub cancel: CancelToken,
+}
+
+impl Default for IsolateConfig {
+    fn default() -> Self {
+        IsolateConfig {
+            worker: WorkerSpec::default(),
+            workers: 0,
+            hard_timeout: Duration::from_secs(30),
+            ready_timeout: Duration::from_secs(10),
+            restart_budget: 256,
+            poison_attempts: 1,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(100),
+            backoff_seed: 0x1507_A7E5, // "ISOLATES"
+            budget: Budget::default(),
+            cancel: CancelToken::new(),
+        }
+    }
+}
+
+/// One quarantined pair: the crash attribution verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoisonPair {
+    /// Linear pair index (row-major, as in [`sts_runtime::PairSpace`]).
+    pub lin: usize,
+    /// How the worker holding the isolated pair died.
+    pub exit: WorkerExit,
+    /// Worker deaths this pair caused *while isolated* (larger chunks
+    /// it killed on the way down are not counted).
+    pub attempts: u32,
+}
+
+/// What one supervised subprocess run did.
+#[derive(Debug, Default)]
+pub struct IsolateRun {
+    /// Pairs whose chunks completed with a valid result frame.
+    pub pairs_completed: usize,
+    /// Quarantined poison pairs, ascending by linear index.
+    pub poisoned: Vec<PoisonPair>,
+    /// Pairs never resolved because the run stopped early.
+    pub pairs_skipped: usize,
+    /// Why the run stopped early, if it did.
+    pub stop: Option<StopReason>,
+    /// Worker processes spawned (initial fleet plus restarts).
+    pub workers_spawned: usize,
+    /// Workers respawned after a death.
+    pub worker_restarts: usize,
+    /// Workers killed by the supervisor (hard timeout or garbage).
+    pub worker_kills: usize,
+    /// Protocol violations observed.
+    pub protocol_errors: usize,
+    /// Deepest bisection reached while attributing crashes.
+    pub max_bisect_depth: usize,
+    /// Wall-clock time of the whole run.
+    pub elapsed: Duration,
+}
+
+/// A queued unit of work: a chunk plus its attribution state.
+struct Item {
+    chunk: PairChunk,
+    /// Bisection depth (0 for an originally dealt chunk).
+    depth: usize,
+    /// Worker deaths this exact chunk caused (only tracked once the
+    /// chunk is a single pair).
+    attempts: u32,
+}
+
+/// Shared supervisor state.
+struct Shared {
+    queue: Mutex<VecDeque<Item>>,
+    stop: Mutex<Option<StopReason>>,
+    poisoned: Mutex<Vec<PoisonPair>>,
+    pairs_done: AtomicUsize,
+    pairs_skipped: AtomicUsize,
+    restarts_left: Mutex<usize>,
+    workers_spawned: AtomicUsize,
+    worker_restarts: AtomicUsize,
+    worker_kills: AtomicUsize,
+    protocol_errors: AtomicUsize,
+    max_depth: AtomicUsize,
+    req_ids: AtomicU64,
+    span: u64,
+}
+
+impl Shared {
+    /// Records an early stop (first reason wins) and drains the queue:
+    /// everything still queued is skipped, not lost silently.
+    fn stop_and_drain(&self, reason: StopReason) {
+        lock_unpoisoned(&self.stop).get_or_insert(reason);
+        let mut queue = lock_unpoisoned(&self.queue);
+        while let Some(item) = queue.pop_front() {
+            self.pairs_skipped
+                .fetch_add(item.chunk.len, Ordering::Relaxed);
+        }
+    }
+
+    fn note_depth(&self, depth: usize) {
+        self.max_depth.fetch_max(depth, Ordering::Relaxed);
+        static_histogram!("isolate.bisect.depth").record(depth as u64);
+    }
+}
+
+/// A live worker subprocess: the child, its stdin, and a dedicated
+/// reader thread that parses stdout frames into a channel (so the
+/// supervisor can wait on results *with a timeout*).
+struct Worker {
+    child: Child,
+    stdin: ChildStdin,
+    frames: mpsc::Receiver<Result<String, ProtocolError>>,
+}
+
+impl Worker {
+    /// Spawns a worker, feeds it the preamble and waits for `ready`.
+    fn spawn(cfg: &IsolateConfig, preamble: &[String]) -> Result<Worker, WorkerExit> {
+        let mut cmd = Command::new(&cfg.worker.program);
+        cmd.args(&cfg.worker.args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        for (k, v) in &cfg.worker.envs {
+            cmd.env(k, v);
+        }
+        let mut child = cmd.spawn().map_err(|_| WorkerExit::Code(-1))?;
+        let stdin = child.stdin.take().expect("stdin piped");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let (tx, frames) = mpsc::channel();
+        // The reader is deliberately detached, never joined: a killed
+        // worker can leave an orphaned grandchild holding the stdout
+        // pipe open (so EOF never arrives), and joining would wedge
+        // the supervisor on exactly the fault it is supposed to
+        // contain. A blocked reader costs one parked thread until the
+        // pipe finally closes; its sends fail silently once the
+        // receiver is gone.
+        std::thread::spawn(move || {
+            let mut r = BufReader::new(stdout);
+            loop {
+                let frame = read_frame(&mut r);
+                let done = frame.is_err();
+                if tx.send(frame).is_err() || done {
+                    return;
+                }
+            }
+        });
+        let mut w = Worker {
+            child,
+            stdin,
+            frames,
+        };
+        // ^ `stdin` moved into the struct; keep a reborrow for writes.
+        let stdin = &mut w.stdin;
+        for frame in preamble {
+            if write_frame(stdin, frame).is_err() {
+                return Err(w.reap());
+            }
+        }
+        if write_frame(stdin, "begin").is_err() {
+            return Err(w.reap());
+        }
+        match w.frames.recv_timeout(cfg.ready_timeout) {
+            Ok(Ok(body)) if body == "ready" => Ok(w),
+            Ok(Ok(_)) | Ok(Err(ProtocolError::Garbage { .. })) => {
+                w.kill();
+                Err(WorkerExit::Protocol)
+            }
+            Ok(Err(_)) => Err(w.reap()),
+            Err(_) => {
+                w.kill();
+                Err(WorkerExit::HardTimeout)
+            }
+        }
+    }
+
+    /// Sends one chunk and waits for its result within `timeout`.
+    /// On success returns the result payload (`<n> <records…>`).
+    fn run_chunk(&mut self, req_id: u64, chunk: &PairChunk, timeout: Duration) -> ChunkVerdict {
+        let frame = format!("chunk {req_id} {} {}", chunk.start, chunk.len);
+        if write_frame(&mut self.stdin, &frame).is_err() {
+            return ChunkVerdict::Died(self.reap());
+        }
+        match self.frames.recv_timeout(timeout) {
+            Ok(Ok(body)) => {
+                let mut fields = body.splitn(3, ' ');
+                let keyword = fields.next().unwrap_or("");
+                let id = fields.next().and_then(|s| s.parse::<u64>().ok());
+                if keyword == "result" && id == Some(req_id) {
+                    ChunkVerdict::Done(fields.next().unwrap_or("").to_string())
+                } else {
+                    self.kill();
+                    ChunkVerdict::Garbage
+                }
+            }
+            Ok(Err(ProtocolError::Garbage { .. })) => {
+                self.kill();
+                ChunkVerdict::Garbage
+            }
+            Ok(Err(_)) => ChunkVerdict::Died(self.reap()),
+            Err(_) => {
+                self.kill();
+                ChunkVerdict::Died(WorkerExit::HardTimeout)
+            }
+        }
+    }
+
+    /// Kills the child outright (SIGKILL on Unix) and reaps it.
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    /// Waits for an already-dead (or dying) child and classifies the
+    /// exit. Bounded: a child that somehow lingers after breaking its
+    /// pipes is killed rather than blocking the slot forever.
+    fn reap(&mut self) -> WorkerExit {
+        for _ in 0..200 {
+            match self.child.try_wait() {
+                Ok(Some(status)) => return WorkerExit::from_status(status),
+                Ok(None) => std::thread::sleep(Duration::from_millis(10)),
+                Err(_) => break,
+            }
+        }
+        let _ = self.child.kill();
+        match self.child.wait() {
+            Ok(status) => WorkerExit::from_status(status),
+            Err(_) => WorkerExit::Code(-1),
+        }
+    }
+
+    /// Asks the worker to exit cleanly; falls back to kill.
+    fn shutdown(mut self) {
+        if write_frame(&mut self.stdin, "shutdown").is_ok() {
+            // Give it a beat to exit on its own; don't block the slot.
+            for _ in 0..50 {
+                if matches!(self.child.try_wait(), Ok(Some(_))) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        self.kill();
+    }
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        // Never leak a live subprocess, whatever path dropped us.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Outcome of handing one chunk to a worker.
+enum ChunkVerdict {
+    /// Valid result; payload is `<n> <records…>`.
+    Done(String),
+    /// The worker process died (or was killed for a hard timeout,
+    /// carrying [`WorkerExit::HardTimeout`]).
+    Died(WorkerExit),
+    /// The worker answered with bytes that are not a valid result
+    /// frame; it was killed.
+    Garbage,
+}
+
+/// Runs `chunks` across a supervised fleet of worker subprocesses.
+///
+/// Every worker is started with the same `preamble` frames (the job
+/// description — this crate does not interpret them) followed by
+/// `begin`, and must answer `ready`. Valid chunk results are handed —
+/// in completion order, on the calling thread — to
+/// `on_complete(chunk, payload)` where `payload` is the body after
+/// `result <req_id> ` (i.e. `<n> <records…>`).
+///
+/// The call returns when every chunk has completed, been attributed to
+/// quarantined poison pairs, or been skipped by an early stop.
+pub fn supervise<S>(
+    chunks: &[PairChunk],
+    cfg: &IsolateConfig,
+    preamble: &[String],
+    mut on_complete: S,
+) -> IsolateRun
+where
+    S: FnMut(&PairChunk, &str),
+{
+    let started = Instant::now();
+    let run_span = trace::span("isolate.run");
+    let slots = if cfg.workers > 0 {
+        cfg.workers.min(chunks.len().max(1))
+    } else {
+        sts_runtime::thread_count(chunks.len())
+    };
+    let shared = Shared {
+        queue: Mutex::new(
+            chunks
+                .iter()
+                .map(|&chunk| Item {
+                    chunk,
+                    depth: 0,
+                    attempts: 0,
+                })
+                .collect(),
+        ),
+        stop: Mutex::new(None),
+        poisoned: Mutex::new(Vec::new()),
+        pairs_done: AtomicUsize::new(0),
+        pairs_skipped: AtomicUsize::new(0),
+        restarts_left: Mutex::new(cfg.restart_budget),
+        workers_spawned: AtomicUsize::new(0),
+        worker_restarts: AtomicUsize::new(0),
+        worker_kills: AtomicUsize::new(0),
+        protocol_errors: AtomicUsize::new(0),
+        max_depth: AtomicUsize::new(0),
+        req_ids: AtomicU64::new(0),
+        span: run_span.id(),
+    };
+
+    let (tx, rx) = mpsc::channel::<(PairChunk, String)>();
+    std::thread::scope(|scope| {
+        for slot in 0..slots {
+            let tx = tx.clone();
+            let shared = &shared;
+            scope.spawn(move || slot_loop(slot, shared, cfg, preamble, tx));
+        }
+        drop(tx);
+        for (chunk, payload) in rx {
+            on_complete(&chunk, &payload);
+        }
+    });
+
+    let mut poisoned = shared
+        .poisoned
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
+    poisoned.sort_unstable_by_key(|p| p.lin);
+    IsolateRun {
+        pairs_completed: shared.pairs_done.into_inner(),
+        poisoned,
+        pairs_skipped: shared.pairs_skipped.into_inner(),
+        stop: shared
+            .stop
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner),
+        workers_spawned: shared.workers_spawned.into_inner(),
+        worker_restarts: shared.worker_restarts.into_inner(),
+        worker_kills: shared.worker_kills.into_inner(),
+        protocol_errors: shared.protocol_errors.into_inner(),
+        max_bisect_depth: shared.max_depth.into_inner(),
+        elapsed: started.elapsed(),
+    }
+}
+
+fn slot_loop(
+    slot: usize,
+    shared: &Shared,
+    cfg: &IsolateConfig,
+    preamble: &[String],
+    tx: mpsc::Sender<(PairChunk, String)>,
+) {
+    let mut backoff = DecorrelatedJitter::new(
+        cfg.backoff_base,
+        cfg.backoff_cap,
+        cfg.backoff_seed ^ (slot as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    );
+    let mut worker: Option<Worker> = None;
+    let mut ever_spawned = false;
+    let mut chunks_served: u64 = 0;
+
+    loop {
+        // Cooperative stop check, once per chunk boundary.
+        let reason = if cfg.cancel.is_cancelled() {
+            Some(StopReason::Cancelled)
+        } else {
+            cfg.budget.check(shared.pairs_done.load(Ordering::Relaxed))
+        };
+        if let Some(reason) = reason {
+            shared.stop_and_drain(reason);
+            break;
+        }
+        if lock_unpoisoned(&shared.stop).is_some() {
+            break;
+        }
+        let Some(item) = lock_unpoisoned(&shared.queue).pop_front() else {
+            break;
+        };
+
+        // Ensure a live worker. Respawns (everything after this slot's
+        // first spawn) consume the shared restart budget.
+        let w = match &mut worker {
+            Some(w) => w,
+            None => {
+                match Worker::spawn(cfg, preamble) {
+                    Ok(w) => {
+                        shared.workers_spawned.fetch_add(1, Ordering::Relaxed);
+                        static_counter!("isolate.workers.spawned").incr();
+                        if ever_spawned {
+                            // A replacement for a dead worker; the
+                            // restart budget was charged at death.
+                            shared.worker_restarts.fetch_add(1, Ordering::Relaxed);
+                            static_counter!("isolate.workers.restarts").incr();
+                        }
+                        ever_spawned = true;
+                        worker.insert(w)
+                    }
+                    Err(_exit) => {
+                        // Spawn itself failed (missing binary, fork
+                        // pressure, died in preamble). Requeue the item
+                        // untouched, charge the budget, back off.
+                        lock_unpoisoned(&shared.queue).push_front(item);
+                        if !charge_restart(shared) {
+                            break;
+                        }
+                        std::thread::sleep(backoff.next_delay());
+                        continue;
+                    }
+                }
+            }
+        };
+
+        let req_id = shared.req_ids.fetch_add(1, Ordering::Relaxed);
+        let _span = trace::span_with_parent("isolate.chunk", shared.span);
+        match w.run_chunk(req_id, &item.chunk, cfg.hard_timeout) {
+            ChunkVerdict::Done(payload) => {
+                chunks_served += 1;
+                shared
+                    .pairs_done
+                    .fetch_add(item.chunk.len, Ordering::Relaxed);
+                // Collector holds the receiver for the whole scope; a
+                // send failure means the scope is unwinding already.
+                let _ = tx.send((item.chunk, payload));
+            }
+            verdict @ (ChunkVerdict::Died(_) | ChunkVerdict::Garbage) => {
+                let exit = match verdict {
+                    ChunkVerdict::Garbage => {
+                        shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        static_counter!("isolate.protocol.errors").incr();
+                        WorkerExit::Protocol
+                    }
+                    ChunkVerdict::Died(exit) => {
+                        if exit == WorkerExit::HardTimeout {
+                            shared.worker_kills.fetch_add(1, Ordering::Relaxed);
+                            static_counter!("isolate.workers.kills").incr();
+                        }
+                        exit
+                    }
+                    ChunkVerdict::Done(_) => unreachable!(),
+                };
+                // The worker is gone either way; retire the slot's
+                // handle and attribute the chunk.
+                if let Some(w) = worker.take() {
+                    drop(w); // kills if still alive, joins the reader
+                }
+                attribute_death(shared, cfg, item, exit);
+                if !charge_restart(shared) {
+                    break;
+                }
+                std::thread::sleep(backoff.next_delay());
+            }
+        }
+    }
+
+    static_histogram!("isolate.worker.chunks").record(chunks_served);
+    if let Some(w) = worker.take() {
+        w.shutdown();
+    }
+}
+
+/// Consumes one unit of the restart budget; on exhaustion records the
+/// stop and returns `false` (the slot should exit).
+fn charge_restart(shared: &Shared) -> bool {
+    let mut left = lock_unpoisoned(&shared.restarts_left);
+    if *left == 0 {
+        drop(left);
+        shared.stop_and_drain(StopReason::WorkerRestartsExhausted);
+        return false;
+    }
+    *left -= 1;
+    true
+}
+
+/// Crash attribution: a multi-pair chunk is bisected (halves requeued
+/// at the front, so attribution finishes before new work starts); an
+/// isolated single pair is quarantined once its deaths reach the
+/// poison threshold.
+fn attribute_death(shared: &Shared, cfg: &IsolateConfig, item: Item, exit: WorkerExit) {
+    if item.chunk.len <= 1 {
+        let attempts = item.attempts + 1;
+        if attempts >= cfg.poison_attempts {
+            shared.note_depth(item.depth);
+            static_counter!("isolate.pairs.poisoned").incr();
+            lock_unpoisoned(&shared.poisoned).push(PoisonPair {
+                lin: item.chunk.start,
+                exit,
+                attempts,
+            });
+        } else {
+            lock_unpoisoned(&shared.queue).push_front(Item { attempts, ..item });
+        }
+        return;
+    }
+    let left_len = item.chunk.len / 2;
+    let depth = item.depth + 1;
+    shared.note_depth(depth);
+    let halves = [
+        PairChunk {
+            id: item.chunk.id,
+            start: item.chunk.start,
+            len: left_len,
+        },
+        PairChunk {
+            id: item.chunk.id,
+            start: item.chunk.start + left_len,
+            len: item.chunk.len - left_len,
+        },
+    ];
+    let mut queue = lock_unpoisoned(&shared.queue);
+    // Front-push right half first so the left half runs first.
+    for chunk in halves.into_iter().rev() {
+        queue.push_front(Item {
+            chunk,
+            depth,
+            attempts: 0,
+        });
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use sts_runtime::PairSpace;
+
+    /// A shell-script worker implementing the protocol: answers every
+    /// chunk with `result <id> <n>` plus `<lin> s <lin*2>` records.
+    /// `hook` runs inside the per-chunk loop with `$start`/`$n`/`$id`
+    /// in scope, before the result is emitted — the fault injection
+    /// point for tests.
+    fn sh_worker(hook: &str) -> WorkerSpec {
+        let script = format!(
+            r#"
+while read -r len body; do
+  set -- $body
+  case "$1" in
+    begin) printf '5 ready\n' ;;
+    chunk)
+      id=$2; start=$3; n=$4
+      {hook}
+      out="result $id $n"
+      i=0
+      while [ $i -lt $n ]; do
+        lin=$((start + i))
+        out="$out $lin s $((lin * 2))"
+        i=$((i + 1))
+      done
+      printf '%s %s\n' "${{#out}}" "$out"
+      ;;
+    shutdown) exit 0 ;;
+  esac
+done
+"#
+        );
+        WorkerSpec {
+            program: PathBuf::from("/bin/sh"),
+            args: vec!["-c".into(), script],
+            envs: Vec::new(),
+        }
+    }
+
+    fn config(worker: WorkerSpec) -> IsolateConfig {
+        IsolateConfig {
+            worker,
+            workers: 2,
+            hard_timeout: Duration::from_secs(5),
+            ready_timeout: Duration::from_secs(5),
+            restart_budget: 64,
+            backoff_base: Duration::from_micros(100),
+            backoff_cap: Duration::from_millis(2),
+            ..IsolateConfig::default()
+        }
+    }
+
+    fn run_matrix(
+        rows: usize,
+        cols: usize,
+        chunk: usize,
+        cfg: &IsolateConfig,
+    ) -> (Vec<Option<u64>>, IsolateRun) {
+        let space = PairSpace::new(rows, cols);
+        let chunks: Vec<PairChunk> = space.chunks(chunk).collect();
+        let mut cells: Vec<Option<u64>> = vec![None; space.len()];
+        let run = supervise(&chunks, cfg, &[], |_chunk, payload| {
+            let mut fields = payload.split_whitespace();
+            let n: usize = fields.next().unwrap().parse().unwrap();
+            for _ in 0..n {
+                let lin: usize = fields.next().unwrap().parse().unwrap();
+                assert_eq!(fields.next(), Some("s"));
+                let v: u64 = fields.next().unwrap().parse().unwrap();
+                cells[lin] = Some(v);
+            }
+        });
+        (cells, run)
+    }
+
+    #[test]
+    fn clean_fleet_completes_every_chunk() {
+        let cfg = config(sh_worker(""));
+        let (cells, run) = run_matrix(6, 7, 5, &cfg);
+        assert_eq!(run.stop, None);
+        assert_eq!(run.pairs_completed, 42);
+        assert!(run.poisoned.is_empty());
+        assert_eq!(run.worker_restarts, 0);
+        for (lin, v) in cells.iter().enumerate() {
+            assert_eq!(*v, Some(lin as u64 * 2), "cell {lin}");
+        }
+    }
+
+    #[test]
+    fn aborting_pair_is_bisected_to_poison_and_the_rest_completes() {
+        // Pair 11 kills its worker (exit 13 stands in for a crash).
+        let cfg = config(sh_worker(
+            "if [ $start -le 11 ] && [ $((start + n)) -gt 11 ]; then exit 13; fi",
+        ));
+        let (cells, run) = run_matrix(4, 8, 8, &cfg);
+        assert_eq!(run.stop, None, "{run:?}");
+        assert_eq!(run.poisoned.len(), 1, "{:?}", run.poisoned);
+        assert_eq!(run.poisoned[0].lin, 11);
+        assert_eq!(run.poisoned[0].exit, WorkerExit::Code(13));
+        assert_eq!(run.pairs_completed, 31);
+        assert!(run.worker_restarts > 0);
+        assert!(run.max_bisect_depth >= 3, "depth {}", run.max_bisect_depth);
+        for (lin, v) in cells.iter().enumerate() {
+            if lin == 11 {
+                assert_eq!(*v, None);
+            } else {
+                assert_eq!(*v, Some(lin as u64 * 2), "cell {lin}");
+            }
+        }
+    }
+
+    #[test]
+    fn wedged_pair_is_killed_and_attributed_as_hard_timeout() {
+        let mut cfg = config(sh_worker(
+            "if [ $start -le 3 ] && [ $((start + n)) -gt 3 ]; then sleep 600; fi",
+        ));
+        cfg.hard_timeout = Duration::from_millis(250);
+        let (cells, run) = run_matrix(2, 4, 4, &cfg);
+        assert_eq!(run.stop, None, "{run:?}");
+        assert_eq!(run.poisoned.len(), 1, "{:?}", run.poisoned);
+        assert_eq!(run.poisoned[0].lin, 3);
+        assert_eq!(run.poisoned[0].exit, WorkerExit::HardTimeout);
+        assert!(run.worker_kills > 0);
+        assert_eq!(cells[3], None);
+        assert_eq!(run.pairs_completed, 7);
+    }
+
+    #[test]
+    fn garbage_output_is_attributed_as_protocol_poison() {
+        let cfg = config(sh_worker(
+            "if [ $start -le 5 ] && [ $((start + n)) -gt 5 ]; then printf 'blorp blorp blorp\\n'; continue; fi",
+        ));
+        let (cells, run) = run_matrix(3, 3, 4, &cfg);
+        assert_eq!(run.stop, None, "{run:?}");
+        assert_eq!(run.poisoned.len(), 1, "{:?}", run.poisoned);
+        assert_eq!(run.poisoned[0].lin, 5);
+        assert_eq!(run.poisoned[0].exit, WorkerExit::Protocol);
+        assert!(run.protocol_errors > 0);
+        assert_eq!(cells[5], None);
+        assert_eq!(run.pairs_completed, 8);
+    }
+
+    #[test]
+    fn restart_budget_exhaustion_stops_instead_of_crash_looping() {
+        // Every chunk kills the worker: with a tiny budget the run
+        // must stop with WorkerRestartsExhausted and skip the rest.
+        let mut cfg = config(sh_worker("exit 7"));
+        cfg.restart_budget = 3;
+        cfg.workers = 1;
+        let (_cells, run) = run_matrix(4, 4, 2, &cfg);
+        assert_eq!(run.stop, Some(StopReason::WorkerRestartsExhausted));
+        assert_eq!(run.pairs_completed, 0);
+        assert!(run.pairs_skipped > 0, "{run:?}");
+    }
+
+    #[test]
+    fn missing_worker_binary_exhausts_the_budget_cleanly() {
+        let mut cfg = config(WorkerSpec {
+            program: PathBuf::from("/nonexistent/sts-worker"),
+            ..WorkerSpec::default()
+        });
+        cfg.restart_budget = 2;
+        cfg.workers = 1;
+        let (_cells, run) = run_matrix(2, 2, 2, &cfg);
+        assert_eq!(run.stop, Some(StopReason::WorkerRestartsExhausted));
+        assert_eq!(run.pairs_completed, 0);
+        assert_eq!(run.pairs_skipped, 4);
+    }
+
+    #[test]
+    fn cancellation_skips_queued_chunks() {
+        let cfg = config(sh_worker(""));
+        cfg.cancel.cancel();
+        let (_cells, run) = run_matrix(4, 4, 2, &cfg);
+        assert_eq!(run.stop, Some(StopReason::Cancelled));
+        assert_eq!(run.pairs_completed, 0);
+        assert_eq!(run.pairs_skipped, 16);
+    }
+
+    #[test]
+    fn poison_set_is_deterministic_across_repeat_runs() {
+        let hook = "case $start in 2|9) if [ $n -le 1 ]; then exit 5; fi ;; esac; \
+                    if [ $start -le 2 ] && [ $((start + n)) -gt 2 ]; then exit 5; fi; \
+                    if [ $start -le 9 ] && [ $((start + n)) -gt 9 ]; then exit 5; fi";
+        let mut sets = Vec::new();
+        for _ in 0..3 {
+            let cfg = config(sh_worker(hook));
+            let (_cells, run) = run_matrix(4, 4, 16, &cfg);
+            let lins: Vec<usize> = run.poisoned.iter().map(|p| p.lin).collect();
+            assert_eq!(lins, vec![2, 9], "{:?}", run.poisoned);
+            sets.push(
+                run.poisoned
+                    .iter()
+                    .map(|p| (p.lin, p.exit))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        assert_eq!(sets[0], sets[1]);
+        assert_eq!(sets[1], sets[2]);
+    }
+}

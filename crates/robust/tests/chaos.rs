@@ -289,7 +289,9 @@ fn corrupted_corpus_survives_repair_into_degraded_batch() {
                 PairOutcome::Quarantined => {
                     assert!(quarantined.contains(&i) || quarantined.contains(&j))
                 }
-                PairOutcome::Panicked | PairOutcome::Failed { .. } => {
+                PairOutcome::Panicked
+                | PairOutcome::Failed { .. }
+                | PairOutcome::Poisoned { .. } => {
                     panic!("({i},{j}) panicked: {cell:?}")
                 }
                 PairOutcome::Skipped => {

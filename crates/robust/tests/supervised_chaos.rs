@@ -70,6 +70,7 @@ fn chaos_plan(seed: u64) -> FaultPlan {
         transient_failures: 1,
         persistent_per_mille: 10,
         slow_for: Duration::from_millis(2),
+        ..FaultPlan::default()
     }
 }
 
@@ -108,6 +109,9 @@ fn outcome_bits(cell: &PairOutcome) -> (u8, u64) {
         PairOutcome::Panicked => (2, 0),
         PairOutcome::Failed { attempts } => (3, *attempts as u64),
         PairOutcome::Skipped => (4, 0),
+        // Process faults never fire on the in-process path; the arm
+        // exists so this stays exhaustive.
+        PairOutcome::Poisoned { .. } => (5, 0),
     }
 }
 

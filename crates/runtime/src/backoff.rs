@@ -33,12 +33,24 @@ impl DecorrelatedJitter {
     }
 
     /// The next delay to sleep before retrying.
+    ///
+    /// Arithmetic saturates end to end (`u128 → u64` clamps, a
+    /// saturating triple, a saturating `+1`), so even a restart storm
+    /// that walks the sequence for days — or degenerate second-scale
+    /// bases — can never overflow or exceed the cap.
     pub fn next_delay(&mut self) -> Duration {
-        let base = self.base.as_nanos() as u64;
-        let hi = (self.prev.as_nanos() as u64)
+        let base = u64::try_from(self.base.as_nanos()).unwrap_or(u64::MAX);
+        let hi = u64::try_from(self.prev.as_nanos())
+            .unwrap_or(u64::MAX)
             .saturating_mul(3)
-            .max(base + 1);
-        let nanos = self.rng.random_range(base..hi);
+            .max(base.saturating_add(1));
+        // `base == hi` only when base saturated at u64::MAX — the
+        // range would be empty, so skip the draw.
+        let nanos = if base >= hi {
+            base
+        } else {
+            self.rng.random_range(base..hi)
+        };
         let delay = Duration::from_nanos(nanos).min(self.cap);
         self.prev = delay.max(self.base);
         delay
@@ -79,6 +91,44 @@ mod tests {
         // uniform draw's upper bound tripling).
         let max = (0..100).map(|_| j.next_delay()).max().unwrap();
         assert!(max > first, "backoff never grew: {first:?} -> {max:?}");
+    }
+
+    #[test]
+    fn restart_storm_never_overflows_or_exceeds_the_cap() {
+        // A supervisor restarting workers in a tight loop for a long
+        // time walks deep into the sequence where prev*3 would
+        // overflow without saturation. Every delay must stay inside
+        // [base, cap] for the whole storm.
+        let base = Duration::from_millis(1);
+        let cap = Duration::from_secs(30);
+        let mut j = DecorrelatedJitter::new(base, cap, 0xBAD_5EED);
+        for step in 0..100_000 {
+            let d = j.next_delay();
+            assert!(d >= base && d <= cap, "step {step}: {d:?}");
+        }
+    }
+
+    #[test]
+    fn extreme_durations_saturate_instead_of_overflowing() {
+        // base/cap whose nanosecond counts exceed u64 (as_nanos() is
+        // u128): the u64 clamps must saturate, not truncate — a
+        // truncated base could produce a near-zero delay and a
+        // truncated prev could wrap the triple.
+        let huge = Duration::from_secs(u64::MAX / 2);
+        let mut j = DecorrelatedJitter::new(huge, Duration::MAX, 9);
+        for _ in 0..64 {
+            // The base saturates to u64::MAX nanoseconds (~584 years);
+            // truncation instead would wrap to an arbitrary small
+            // delay.
+            let d = j.next_delay();
+            assert_eq!(d, Duration::from_nanos(u64::MAX), "{d:?}");
+        }
+        // A huge cap with a tiny base must still be reachable without
+        // panicking anywhere in the walk.
+        let mut j = DecorrelatedJitter::new(Duration::from_nanos(1), Duration::MAX, 10);
+        for _ in 0..10_000 {
+            let _ = j.next_delay();
+        }
     }
 
     #[test]

@@ -42,6 +42,10 @@ pub enum StopReason {
     DeadlineExceeded,
     /// The max-pairs budget was spent.
     PairBudgetExhausted,
+    /// The subprocess supervisor spent its worker-restart budget:
+    /// workers kept dying faster than the job made progress, so the
+    /// supervisor stopped dealing work instead of crash-looping.
+    WorkerRestartsExhausted,
 }
 
 impl fmt::Display for StopReason {
@@ -50,6 +54,7 @@ impl fmt::Display for StopReason {
             StopReason::Cancelled => write!(f, "cancelled"),
             StopReason::DeadlineExceeded => write!(f, "deadline exceeded"),
             StopReason::PairBudgetExhausted => write!(f, "pair budget exhausted"),
+            StopReason::WorkerRestartsExhausted => write!(f, "worker restarts exhausted"),
         }
     }
 }

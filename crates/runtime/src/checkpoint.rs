@@ -11,7 +11,14 @@
 //! cell <i> <j> s <score>      # scored cell
 //! cell <i> <j> f <attempts>   # terminally failed cell (attempts made)
 //! cell <i> <j> p              # panicked cell (legacy no-retry mode)
+//! cell <i> <j> x <exit>       # poison pair that killed a worker
 //! ```
+//!
+//! The `x` record's `<exit>` is the single-token form of
+//! [`WorkerExit`](crate::WorkerExit) (`signal:6`, `hard-timeout`, …),
+//! written by subprocess-mode jobs after crash attribution so a
+//! resumed job never re-runs — and never re-dies on — a known poison
+//! pair.
 //!
 //! Scores are written with Rust's shortest-round-trip `f64` formatting
 //! (`Display`), which parses back to the *bit-identical* value —
@@ -89,6 +96,12 @@ pub enum CellRecord {
     },
     /// The cell panicked with retries disabled (legacy degraded mode).
     Panicked,
+    /// The cell killed a worker subprocess and was quarantined with
+    /// the worker's exit status (subprocess execution mode).
+    Poisoned {
+        /// How the worker holding this pair died.
+        exit: crate::WorkerExit,
+    },
 }
 
 /// An in-memory checkpoint: header plus every terminal cell.
@@ -148,6 +161,7 @@ pub fn write_checkpoint<W: Write>(w: &mut W, cp: &Checkpoint) -> io::Result<()> 
             CellRecord::Score(s) => writeln!(w, "cell {i} {j} s {s}")?,
             CellRecord::Failed { attempts } => writeln!(w, "cell {i} {j} f {attempts}")?,
             CellRecord::Panicked => writeln!(w, "cell {i} {j} p")?,
+            CellRecord::Poisoned { exit } => writeln!(w, "cell {i} {j} x {exit}")?,
         }
     }
     Ok(())
@@ -244,6 +258,16 @@ pub fn read_checkpoint<R: BufRead>(r: &mut R) -> Result<Checkpoint, CheckpointEr
                         }
                     }
                     "p" => CellRecord::Panicked,
+                    "x" => {
+                        let v = fields
+                            .next()
+                            .ok_or_else(|| parse_err("missing worker exit".into()))?;
+                        CellRecord::Poisoned {
+                            exit: v
+                                .parse()
+                                .map_err(|_| parse_err(format!("bad worker exit `{v}`")))?,
+                        }
+                    }
                     other => return Err(parse_err(format!("unknown cell tag `{other}`"))),
                 };
                 cells.push((i, j, rec));
@@ -272,9 +296,12 @@ pub fn read_checkpoint<R: BufRead>(r: &mut R) -> Result<Checkpoint, CheckpointEr
     })
 }
 
-/// Saves a checkpoint atomically: write to `<path>.tmp`, then rename
-/// over `path`, so a crash mid-flush leaves the previous checkpoint
-/// intact instead of a torn file.
+/// Saves a checkpoint atomically and durably: write to `<path>.tmp`,
+/// `fsync` the data, rename over `path`, then `fsync` the parent
+/// directory (best effort) so the rename itself survives a host crash
+/// — a job killed mid-flush leaves either the previous checkpoint or
+/// the new one, never a torn file and never an un-renamed tmp the next
+/// load would mistake for progress.
 pub fn save_checkpoint(path: &Path, cp: &Checkpoint) -> io::Result<()> {
     let _span = sts_obs::trace::span("checkpoint.save");
     let started = std::time::Instant::now();
@@ -283,16 +310,34 @@ pub fn save_checkpoint(path: &Path, cp: &Checkpoint) -> io::Result<()> {
         let mut f = io::BufWriter::new(fs::File::create(&tmp)?);
         write_checkpoint(&mut f, cp)?;
         f.flush()?;
-        fs::rename(&tmp, path)
+        f.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+        fs::rename(&tmp, path)?;
+        // Durability of the rename needs the directory entry flushed;
+        // platforms that cannot fsync a directory (or a path with no
+        // parent) just skip it — the rename is still atomic.
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(d) = fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
     })();
     sts_obs::static_histogram!("runtime.checkpoint.save_ns").record_duration(started.elapsed());
     result
 }
 
-/// Loads a checkpoint from disk.
+/// Loads a checkpoint from disk, first sweeping any stale `<path>.tmp`
+/// left by a save that was killed between write and rename — debris
+/// that would otherwise sit next to the valid checkpoint confusing
+/// operators (and a later save would clobber it anyway).
 pub fn load_checkpoint(path: &Path) -> Result<Checkpoint, CheckpointError> {
     let _span = sts_obs::trace::span("checkpoint.load");
     let started = std::time::Instant::now();
+    let tmp = path.with_extension("tmp");
+    if tmp.exists() {
+        // Best effort: failing to remove debris must not fail the load.
+        let _ = fs::remove_file(&tmp);
+    }
     let f = fs::File::open(path)?;
     let result = read_checkpoint(&mut io::BufReader::new(f));
     sts_obs::static_histogram!("runtime.checkpoint.load_ns").record_duration(started.elapsed());
@@ -314,6 +359,20 @@ mod tests {
                 (1, 1, CellRecord::Score(-0.0)),
                 (1, 2, CellRecord::Score(f64::INFINITY)),
                 (2, 0, CellRecord::Failed { attempts: 3 }),
+                (
+                    2,
+                    1,
+                    CellRecord::Poisoned {
+                        exit: crate::WorkerExit::Signal(6),
+                    },
+                ),
+                (
+                    2,
+                    2,
+                    CellRecord::Poisoned {
+                        exit: crate::WorkerExit::HardTimeout,
+                    },
+                ),
                 (2, 3, CellRecord::Panicked),
             ],
         }
@@ -381,6 +440,22 @@ mod tests {
     }
 
     #[test]
+    fn stale_tmp_debris_is_swept_on_load() {
+        let dir = std::env::temp_dir().join("sts-runtime-ckpt-sweep-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("job.ckpt");
+        save_checkpoint(&path, &sample()).unwrap();
+        // Simulate a save killed between write and rename: a torn tmp
+        // file sits next to the valid checkpoint.
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, "checkpoint v1\nfingerp").unwrap();
+        let back = load_checkpoint(&path).unwrap();
+        assert_eq!(back.rows, sample().rows);
+        assert!(!tmp.exists(), "stale tmp must be swept on load");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
     fn duplicate_cells_keep_the_last_record() {
         let text = "checkpoint v1\nfingerprint 1\ndims 2 2\ncell 0 0 s 0.5\ncell 0 0 s 0.75\n";
         let cp = read_checkpoint(&mut text.as_bytes()).unwrap();
@@ -404,6 +479,14 @@ mod tests {
             (
                 "checkpoint v1\nfingerprint 1\ndims 2 2\ncell 0 0 z\n",
                 "unknown cell tag",
+            ),
+            (
+                "checkpoint v1\nfingerprint 1\ndims 2 2\ncell 0 0 x\n",
+                "missing worker exit",
+            ),
+            (
+                "checkpoint v1\nfingerprint 1\ndims 2 2\ncell 0 0 x sig9\n",
+                "bad worker exit",
             ),
             ("checkpoint v1\ndims 2 2\n", "missing fingerprint"),
             ("checkpoint v1\nfingerprint 1\n", "missing dims"),

@@ -37,6 +37,18 @@ pub enum Fault {
     Persistent,
     /// Sleeps before scoring — a slow pair for the watchdog to mark.
     Slow,
+    /// Calls [`std::process::abort`] — `catch_unwind` cannot contain
+    /// it, so an in-process job dies with the pair while a subprocess
+    /// job loses one worker and quarantines the pair.
+    Abort,
+    /// Spins forever without reaching a cancellation checkpoint — a
+    /// wedged computation only a hard-timeout kill can stop.
+    Wedge,
+    /// Scores normally, but a subprocess worker replaces the result
+    /// frame with garbage bytes — exercising the supervisor's protocol
+    /// validation. In-process execution has no protocol, so `apply`
+    /// treats it as [`Fault::None`].
+    GarbageOutput,
 }
 
 /// A seeded assignment of [`Fault`]s to the pair space.
@@ -56,6 +68,12 @@ pub struct FaultPlan {
     pub transient_failures: u32,
     /// Per mille of pairs that panic on every attempt.
     pub persistent_per_mille: u64,
+    /// Per mille of pairs that abort the whole process.
+    pub abort_per_mille: u64,
+    /// Per mille of pairs that wedge (spin forever).
+    pub wedge_per_mille: u64,
+    /// Per mille of pairs whose subprocess result frame is garbage.
+    pub garbage_per_mille: u64,
     /// Sleep duration of a slow pair (per attempt).
     pub slow_for: Duration,
 }
@@ -63,21 +81,42 @@ pub struct FaultPlan {
 impl FaultPlan {
     /// The fault assigned to linear pair index `lin` — a pure
     /// function, identical across runs, threads and resumes.
+    ///
+    /// The draw ladder is ordered slow → transient → persistent →
+    /// abort → wedge → garbage; the three process-level categories come
+    /// *last* so a plan that leaves them at zero classifies every pair
+    /// exactly as it did before they existed (old chaos seeds replay
+    /// unchanged).
     pub fn fault_for(&self, lin: usize) -> Fault {
         let mut rng = SplitMix64::new(self.seed ^ (lin as u64).wrapping_mul(0xA076_1D64_78BD_642F));
         let draw = rng.random_range(0..1000u64);
-        if draw < self.slow_per_mille {
-            Fault::Slow
-        } else if draw < self.slow_per_mille + self.transient_per_mille {
-            Fault::Transient {
-                failures: self.transient_failures,
-            }
-        } else if draw < self.slow_per_mille + self.transient_per_mille + self.persistent_per_mille
-        {
-            Fault::Persistent
-        } else {
-            Fault::None
+        let mut edge = self.slow_per_mille;
+        if draw < edge {
+            return Fault::Slow;
         }
+        edge += self.transient_per_mille;
+        if draw < edge {
+            return Fault::Transient {
+                failures: self.transient_failures,
+            };
+        }
+        edge += self.persistent_per_mille;
+        if draw < edge {
+            return Fault::Persistent;
+        }
+        edge += self.abort_per_mille;
+        if draw < edge {
+            return Fault::Abort;
+        }
+        edge += self.wedge_per_mille;
+        if draw < edge {
+            return Fault::Wedge;
+        }
+        edge += self.garbage_per_mille;
+        if draw < edge {
+            return Fault::GarbageOutput;
+        }
+        Fault::None
     }
 
     /// Executes the fault for attempt `attempt` (0-based) of pair
@@ -95,6 +134,16 @@ impl FaultPlan {
             Fault::Persistent => {
                 panic!("fault injection: persistent panic, pair {lin} attempt {attempt}")
             }
+            Fault::Abort => std::process::abort(),
+            Fault::Wedge => loop {
+                // Never returns, never checks cancellation: the shape
+                // of a genuinely wedged computation. Only killing the
+                // process stops it.
+                std::thread::sleep(Duration::from_secs(3600));
+            },
+            // No protocol in-process; the subprocess worker handles
+            // this fault itself (it corrupts the result frame).
+            Fault::GarbageOutput => {}
         }
     }
 
@@ -103,6 +152,22 @@ impl FaultPlan {
     pub fn persistent_pairs(&self, pairs: usize) -> Vec<usize> {
         (0..pairs)
             .filter(|&lin| self.fault_for(lin) == Fault::Persistent)
+            .collect()
+    }
+
+    /// The linear indices (within `0..pairs`) whose fault kills or
+    /// discards a worker process (abort, wedge, garbage output) — the
+    /// cells a subprocess-mode job must attribute and quarantine as
+    /// poison, and an in-process job cannot survive at all (aborts and
+    /// wedges have no in-process recovery).
+    pub fn process_killing_pairs(&self, pairs: usize) -> Vec<usize> {
+        (0..pairs)
+            .filter(|&lin| {
+                matches!(
+                    self.fault_for(lin),
+                    Fault::Abort | Fault::Wedge | Fault::GarbageOutput
+                )
+            })
             .collect()
     }
 }
@@ -120,6 +185,7 @@ mod tests {
             transient_failures: 2,
             persistent_per_mille: 20,
             slow_for: Duration::from_micros(1),
+            ..FaultPlan::default()
         }
     }
 
@@ -137,6 +203,7 @@ mod tests {
                 }
                 Fault::Persistent => counts[2] += 1,
                 Fault::None => {}
+                other => panic!("zero-rate process fault drawn: {other:?}"),
             }
         }
         // 10k draws at 10/40/20 per mille: expect ~100/~400/~200.
@@ -185,6 +252,61 @@ mod tests {
         assert!(!panics(transient, 2), "transient heals after `failures`");
         assert!(panics(persistent, 0) && panics(persistent, 99));
         assert!(!panics(clean, 0) && !panics(slow, 0));
+    }
+
+    #[test]
+    fn process_faults_draw_after_the_legacy_ladder() {
+        // With the process-level rates at zero, every pair classifies
+        // exactly as it did before those categories existed — old
+        // chaos seeds replay unchanged.
+        let legacy = plan();
+        let extended = FaultPlan {
+            abort_per_mille: 0,
+            wedge_per_mille: 0,
+            garbage_per_mille: 0,
+            ..plan()
+        };
+        for lin in 0..10_000 {
+            assert_eq!(legacy.fault_for(lin), extended.fault_for(lin));
+        }
+        // Non-zero process rates classify deterministically and at
+        // roughly the requested rate.
+        let p = FaultPlan {
+            abort_per_mille: 15,
+            wedge_per_mille: 10,
+            garbage_per_mille: 10,
+            ..plan()
+        };
+        let mut counts = [0usize; 3]; // abort, wedge, garbage
+        for lin in 0..10_000 {
+            assert_eq!(p.fault_for(lin), p.fault_for(lin));
+            match p.fault_for(lin) {
+                Fault::Abort => counts[0] += 1,
+                Fault::Wedge => counts[1] += 1,
+                Fault::GarbageOutput => counts[2] += 1,
+                _ => {}
+            }
+        }
+        assert!((70..280).contains(&counts[0]), "abort: {}", counts[0]);
+        assert!((40..200).contains(&counts[1]), "wedge: {}", counts[1]);
+        assert!((40..200).contains(&counts[2]), "garbage: {}", counts[2]);
+        let killers = p.process_killing_pairs(10_000);
+        assert_eq!(killers.len(), counts.iter().sum::<usize>());
+        assert_eq!(killers, p.process_killing_pairs(10_000));
+    }
+
+    #[test]
+    fn garbage_output_is_inert_in_process() {
+        // `apply` must not panic/abort for a garbage-output pair: the
+        // fault only exists at the subprocess protocol layer.
+        let p = FaultPlan {
+            garbage_per_mille: 1000,
+            ..FaultPlan::default()
+        };
+        for lin in 0..100 {
+            assert_eq!(p.fault_for(lin), Fault::GarbageOutput);
+            p.apply(lin, 0);
+        }
     }
 
     #[test]

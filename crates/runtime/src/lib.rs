@@ -49,6 +49,7 @@ mod budget;
 mod cancel;
 pub mod checkpoint;
 mod chunk;
+mod exit;
 pub mod fault;
 pub mod pool;
 mod stats;
@@ -58,9 +59,10 @@ pub use budget::{Budget, Deadline, StopReason};
 pub use cancel::CancelToken;
 pub use checkpoint::{CellRecord, Checkpoint, CheckpointError, Fnv1a};
 pub use chunk::{PairChunk, PairSpace};
+pub use exit::{ParseWorkerExitError, WorkerExit};
 pub use fault::{Fault, FaultPlan};
 pub use pool::{ChunkStatus, PoolConfig, PoolRun, RetryPolicy};
-pub use stats::{JobState, JobStats};
+pub use stats::{IsolateStats, JobState, JobStats};
 
 /// Number of worker threads to use for a workload with `cap` parallel
 /// units (chunks, rows, …).

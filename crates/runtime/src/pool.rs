@@ -18,13 +18,22 @@ use crate::{Budget, CancelToken, DecorrelatedJitter, PairChunk, StopReason};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 use sts_obs::{static_counter, static_gauge, static_histogram, trace};
 
 /// Saturating nanosecond count of a [`Duration`].
 fn as_ns(d: Duration) -> u64 {
     u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Locks a mutex tolerating poisoning. Every critical section in this
+/// module leaves its protected state consistent at each drop point, so
+/// a worker thread that panicked while holding a lock (only possible
+/// outside `catch_unwind`, e.g. in an allocation failure) must not
+/// cascade into a supervisor panic that loses the whole run.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Retry behaviour for panicked work.
@@ -149,7 +158,7 @@ struct Shared {
 
 impl Shared {
     fn mark_slow(&self, idx: usize) {
-        let mut slow = self.slow.lock().unwrap();
+        let mut slow = lock_unpoisoned(&self.slow);
         if !slow.contains(&idx) {
             slow.push(idx);
             static_counter!("runtime.pool.soft_timeouts").incr();
@@ -242,15 +251,18 @@ where
     });
     shared.report_depth(0);
 
-    let stop = *shared.stop.lock().unwrap();
+    let stop = *lock_unpoisoned(&shared.stop);
     let statuses: Vec<ChunkStatus> = shared
         .statuses
         .into_inner()
-        .unwrap()
+        .unwrap_or_else(PoisonError::into_inner)
         .into_iter()
         .map(|s| s.unwrap_or(ChunkStatus::Skipped(stop.unwrap_or(StopReason::Cancelled))))
         .collect();
-    let mut slow_chunks = shared.slow.into_inner().unwrap();
+    let mut slow_chunks = shared
+        .slow
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
     slow_chunks.sort_unstable();
     PoolRun {
         statuses,
@@ -286,11 +298,11 @@ fn worker_loop<T, F>(
         } else {
             cfg.budget.check(shared.pairs_done.load(Ordering::Relaxed))
         };
-        let mut queue = shared.queue.lock().unwrap();
+        let mut queue = lock_unpoisoned(&shared.queue);
         if let Some(reason) = reason {
             // First stop reason wins; drain everything still queued.
-            shared.stop.lock().unwrap().get_or_insert(reason);
-            let mut statuses = shared.statuses.lock().unwrap();
+            lock_unpoisoned(&shared.stop).get_or_insert(reason);
+            let mut statuses = lock_unpoisoned(&shared.statuses);
             while let Some(item) = queue.pop_front() {
                 statuses[item.idx] = Some(ChunkStatus::Skipped(reason));
             }
@@ -307,14 +319,14 @@ fn worker_loop<T, F>(
         shared.wait_ns.fetch_add(as_ns(waited), Ordering::Relaxed);
         static_histogram!("runtime.pool.chunk_wait_ns").record_duration(waited);
 
-        *shared.in_flight[slot].lock().unwrap() = Some((item.idx, Instant::now()));
+        *lock_unpoisoned(&shared.in_flight[slot]) = Some((item.idx, Instant::now()));
         let chunk_started = Instant::now();
         let result = {
             let _span = trace::span_with_parent("pool.chunk", shared.span);
             catch_unwind(AssertUnwindSafe(|| work(&item.chunk)))
         };
         let took = chunk_started.elapsed();
-        *shared.in_flight[slot].lock().unwrap() = None;
+        *lock_unpoisoned(&shared.in_flight[slot]) = None;
         shared.run_ns.fetch_add(as_ns(took), Ordering::Relaxed);
         static_histogram!("runtime.pool.chunk_run_ns").record_duration(took);
         if cfg.soft_timeout.is_some_and(|soft| took > soft) {
@@ -326,7 +338,7 @@ fn worker_loop<T, F>(
                 shared
                     .pairs_done
                     .fetch_add(item.chunk.len, Ordering::Relaxed);
-                shared.statuses.lock().unwrap()[item.idx] = Some(ChunkStatus::Completed);
+                lock_unpoisoned(&shared.statuses)[item.idx] = Some(ChunkStatus::Completed);
                 // The collector holds the receiver for the whole
                 // scope; a send failure means the caller's scope is
                 // unwinding already, so dropping the cells is fine.
@@ -336,7 +348,7 @@ fn worker_loop<T, F>(
                 shared.retries.fetch_add(1, Ordering::Relaxed);
                 static_counter!("runtime.pool.retries").incr();
                 std::thread::sleep(backoff.next_delay());
-                let mut queue = shared.queue.lock().unwrap();
+                let mut queue = lock_unpoisoned(&shared.queue);
                 queue.push_back(WorkItem {
                     attempt: item.attempt + 1,
                     enqueued: Instant::now(),
@@ -345,7 +357,7 @@ fn worker_loop<T, F>(
                 shared.report_depth(queue.len());
             }
             Err(_) => {
-                shared.statuses.lock().unwrap()[item.idx] = Some(ChunkStatus::Failed {
+                lock_unpoisoned(&shared.statuses)[item.idx] = Some(ChunkStatus::Failed {
                     attempts: item.attempt + 1,
                 });
             }
@@ -361,7 +373,7 @@ fn watchdog_loop(shared: &Shared, soft: Duration) {
     while !shared.done.load(Ordering::Acquire) {
         std::thread::sleep(tick);
         for slot in &shared.in_flight {
-            if let Some((idx, since)) = *slot.lock().unwrap() {
+            if let Some((idx, since)) = *lock_unpoisoned(slot) {
                 if since.elapsed() > soft {
                     shared.mark_slow(idx);
                 }

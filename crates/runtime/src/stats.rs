@@ -23,6 +23,9 @@ pub enum JobState {
     DeadlineExceeded,
     /// Stopped by the max-pairs budget.
     BudgetExhausted,
+    /// Stopped because the subprocess supervisor's worker-restart
+    /// budget ran out (workers were dying faster than work completed).
+    WorkersExhausted,
 }
 
 impl JobState {
@@ -33,6 +36,7 @@ impl JobState {
             Some(StopReason::Cancelled) => JobState::Cancelled,
             Some(StopReason::DeadlineExceeded) => JobState::DeadlineExceeded,
             Some(StopReason::PairBudgetExhausted) => JobState::BudgetExhausted,
+            Some(StopReason::WorkerRestartsExhausted) => JobState::WorkersExhausted,
             None if any_failed => JobState::Degraded,
             None => JobState::Complete,
         }
@@ -52,8 +56,45 @@ impl fmt::Display for JobState {
             JobState::Cancelled => "cancelled",
             JobState::DeadlineExceeded => "deadline-exceeded",
             JobState::BudgetExhausted => "budget-exhausted",
+            JobState::WorkersExhausted => "workers-exhausted",
         };
         write!(f, "{s}")
+    }
+}
+
+/// Subprocess-supervision accounting, present only when a job ran in
+/// subprocess (`ExecMode::Subprocess`) execution mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IsolateStats {
+    /// Worker processes spawned over the whole run (initial fleet plus
+    /// restarts).
+    pub workers_spawned: usize,
+    /// Workers respawned after a death (crash, kill, protocol error).
+    pub worker_restarts: usize,
+    /// Workers killed by the supervisor for exceeding the hard timeout.
+    pub worker_kills: usize,
+    /// Protocol violations observed (garbage output, torn frames,
+    /// unexpected EOF).
+    pub protocol_errors: usize,
+    /// Pairs quarantined as poison after crash attribution.
+    pub pairs_poisoned: usize,
+    /// Deepest chunk bisection performed while attributing a crash.
+    pub max_bisect_depth: usize,
+}
+
+impl fmt::Display for IsolateStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} worker(s) spawned ({} restart(s), {} kill(s)), \
+             {} protocol error(s), {} poisoned pair(s), bisect depth {}",
+            self.workers_spawned,
+            self.worker_restarts,
+            self.worker_kills,
+            self.protocol_errors,
+            self.pairs_poisoned,
+            self.max_bisect_depth,
+        )
     }
 }
 
@@ -103,6 +144,8 @@ pub struct JobStats {
     /// Total time workers spent inside chunk work functions, summed
     /// over all attempts.
     pub chunk_run_total: Duration,
+    /// Subprocess-supervision accounting; `None` for in-process runs.
+    pub isolate: Option<IsolateStats>,
 }
 
 impl JobStats {
@@ -173,6 +216,9 @@ impl fmt::Display for JobStats {
                 self.checkpoint_write_errors
             )?;
         }
+        if let Some(iso) = &self.isolate {
+            write!(f, "; isolate: {iso}")?;
+        }
         Ok(())
     }
 }
@@ -197,9 +243,14 @@ mod tests {
             JobState::from_run(Some(StopReason::PairBudgetExhausted), false),
             JobState::BudgetExhausted
         );
+        assert_eq!(
+            JobState::from_run(Some(StopReason::WorkerRestartsExhausted), true),
+            JobState::WorkersExhausted
+        );
         assert!(JobState::Complete.ran_to_end());
         assert!(JobState::Degraded.ran_to_end());
         assert!(!JobState::Cancelled.ran_to_end());
+        assert!(!JobState::WorkersExhausted.ran_to_end());
     }
 
     #[test]
@@ -222,6 +273,7 @@ mod tests {
             checkpoint_write_errors: 0,
             chunk_wait_total: Duration::ZERO,
             chunk_run_total: Duration::ZERO,
+            isolate: None,
         };
         assert_eq!(s.percent_complete(), 100.0);
         s.pairs_total = 200;
@@ -251,6 +303,7 @@ mod tests {
             checkpoint_write_errors: 0,
             chunk_wait_total: Duration::ZERO,
             chunk_run_total: Duration::ZERO,
+            isolate: None,
         }
     }
 
@@ -265,6 +318,7 @@ mod tests {
             JobState::Cancelled,
             JobState::DeadlineExceeded,
             JobState::BudgetExhausted,
+            JobState::WorkersExhausted,
         ] {
             let s = empty_stats(state);
             assert_eq!(s.percent_complete(), 100.0, "{state}");

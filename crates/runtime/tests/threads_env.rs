@@ -25,6 +25,23 @@ fn sts_threads_env_overrides_and_invalid_values_fall_back() {
     // Whitespace is tolerated (systemd unit files love stray spaces).
     std::env::set_var("STS_THREADS", " 5 ");
     assert_eq!(thread_count(64), 5);
+    // Negative values cannot parse as usize — fall back, don't panic.
+    std::env::set_var("STS_THREADS", "-1");
+    assert_eq!(thread_count(usize::MAX), auto);
+    std::env::set_var("STS_THREADS", "-9223372036854775808");
+    assert_eq!(thread_count(usize::MAX), auto);
+    // A huge-but-parseable value is honoured (then clamped by the cap);
+    // a value past usize::MAX fails to parse and falls back.
+    std::env::set_var("STS_THREADS", "1000000");
+    assert_eq!(thread_count(usize::MAX), 1_000_000);
+    assert_eq!(thread_count(4), 4);
+    std::env::set_var("STS_THREADS", "99999999999999999999999999999999");
+    assert_eq!(thread_count(usize::MAX), auto);
+    // Float, hex, and empty-string forms are all garbage to `parse`.
+    for junk in ["2.0", "0x4", "", "  ", "+ 3"] {
+        std::env::set_var("STS_THREADS", junk);
+        assert_eq!(thread_count(usize::MAX), auto, "junk value {junk:?}");
+    }
     std::env::remove_var("STS_THREADS");
     assert_eq!(thread_count(usize::MAX), auto);
 }

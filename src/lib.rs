@@ -27,6 +27,7 @@ pub use sts_baselines as baselines;
 pub use sts_core as core;
 pub use sts_eval as eval;
 pub use sts_geo as geo;
+pub use sts_isolate as isolate;
 pub use sts_obs as obs;
 pub use sts_rng as rng;
 pub use sts_rng::{prop_assert, prop_assert_eq};
