@@ -98,5 +98,7 @@ fn main() -> ExitCode {
 
 fn print_usage() {
     eprintln!("usage: perf [--quick] [--json <path>] [suite ...]");
-    eprintln!("suites: similarity, grid_size, matching, stp, substrates, chaos, runtime");
+    eprintln!(
+        "suites: similarity, grid_size, matching, stp, stp_cache, substrates, chaos, runtime"
+    );
 }

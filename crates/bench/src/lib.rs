@@ -13,7 +13,8 @@
 //!   harness, times the measure kernels (`similarity`), the
 //!   grid-size/running-time trade-off of Fig. 12 (`grid_size`), the
 //!   matching task (`matching`), the dense-vs-sparse STP ablation
-//!   (`stp`), the substrate primitives (`substrates`) and the
+//!   (`stp`), the per-trajectory STP cache against the uncached oracle
+//!   (`stp_cache`), the substrate primitives (`substrates`) and the
 //!   dirty-data path — repair, lenient parsing, degraded batch —
 //!   (`chaos`) and the supervision overhead (`runtime`). A smoke run of
 //!   every suite hides behind `cargo test -p sts-bench -- --ignored`.

@@ -11,8 +11,8 @@ use crate::{bench_mall, bench_taxi};
 use sts_core::noise::GaussianNoise;
 use sts_core::transition::SpeedKdeTransition;
 use sts_core::{
-    default_worker_path, CheckpointConfig, ExecMode, IsolateOptions, JobConfig, StpEstimator, Sts,
-    StsConfig,
+    default_worker_path, CheckpointConfig, ExecMode, IsolateOptions, JobConfig, StpCacheMode,
+    StpEstimator, Sts, StsConfig,
 };
 use sts_eval::matching::matching_ranks;
 use sts_eval::measures::{make_measure, measure_set, MeasureKind};
@@ -42,6 +42,7 @@ pub fn all_suites() -> Vec<(&'static str, fn(&TimingConfig) -> PerfReport)> {
         ("grid_size", grid_size),
         ("matching", matching),
         ("stp", stp),
+        ("stp_cache", stp_cache),
         ("substrates", substrates),
         ("chaos", chaos),
         ("runtime", runtime),
@@ -155,6 +156,115 @@ pub fn stp(config: &TimingConfig) -> PerfReport {
         suite: "stp",
         entries,
         extras: Vec::new(),
+    }
+}
+
+/// The per-trajectory STP cache (DESIGN.md §3g): the uncached oracle
+/// versus exact caching and lattice evaluation on matrix workloads.
+/// Beyond raw timings, registry deltas expose how many STP evaluations
+/// each scored pair costs under every mode — the `*_stp_evals_per_pair`
+/// extras are the direct evidence that caching moved evaluation from
+/// per-pair to per-trajectory, and the `*_speedup_*` extras put the
+/// headline per-pair cost reduction in the report.
+pub fn stp_cache(config: &TimingConfig) -> PerfReport {
+    let make_sts = |scenario: &sts_eval::Scenario, mode: StpCacheMode| {
+        Sts::new(
+            StsConfig {
+                noise_sigma: scenario.scale.noise_sigma,
+                ..StsConfig::default()
+            },
+            scenario.default_grid(),
+        )
+        .with_cache_mode(mode)
+    };
+    let small = bench_mall(8);
+    let small_trajs: Vec<Trajectory> = small.pairs.d1.clone();
+    let medium = bench_mall(16);
+    let medium_trajs: Vec<Trajectory> = medium.pairs.d1.clone();
+    let large = bench_mall(32);
+    let large_trajs: Vec<Trajectory> = large.pairs.d1.clone();
+
+    let off_small = make_sts(&small, StpCacheMode::Off);
+    let exact_small = make_sts(&small, StpCacheMode::Exact);
+    let exact_medium = make_sts(&medium, StpCacheMode::Exact);
+    let lattice_large = make_sts(&large, StpCacheMode::Lattice { dt: 20.0 });
+
+    let entries = vec![
+        (
+            "uncached_matrix_8".to_string(),
+            time(config, || {
+                off_small
+                    .similarity_matrix(&small_trajs, &small_trajs)
+                    .unwrap()
+            }),
+        ),
+        (
+            "exact_matrix_8".to_string(),
+            time(config, || {
+                exact_small
+                    .similarity_matrix(&small_trajs, &small_trajs)
+                    .unwrap()
+            }),
+        ),
+        (
+            "exact_matrix_16".to_string(),
+            time(config, || {
+                exact_medium
+                    .similarity_matrix(&medium_trajs, &medium_trajs)
+                    .unwrap()
+            }),
+        ),
+        (
+            "lattice20_matrix_32".to_string(),
+            time(config, || {
+                lattice_large
+                    .similarity_matrix(&large_trajs, &large_trajs)
+                    .unwrap()
+            }),
+        ),
+    ];
+
+    // One dedicated run per mode bracketed by registry snapshots: the
+    // counter deltas attribute STP evaluations to scored pairs without
+    // contamination from the warm-up iterations above, and the wall
+    // clock of the same run yields a per-pair cost for the speedup
+    // ratios.
+    let mut extras = Vec::new();
+    let mut per_pair_secs = |label: &str, sts: &Sts, trajs: &[Trajectory]| -> f64 {
+        let base = sts_obs::metrics::global().snapshot();
+        let started = std::time::Instant::now();
+        sts.similarity_matrix(trajs, trajs).unwrap();
+        let elapsed = started.elapsed().as_secs_f64();
+        let delta = sts_obs::metrics::global().snapshot().since(&base);
+        let pairs = delta.counter("core.pairs.scored").unwrap_or(0).max(1);
+        let evals = delta.counter("core.stp.evals").unwrap_or(0);
+        extras.push((
+            format!("{label}_stp_evals_per_pair"),
+            evals as f64 / pairs as f64,
+        ));
+        if elapsed > 0.0 {
+            extras.push((format!("{label}_pairs_per_sec"), pairs as f64 / elapsed));
+        }
+        elapsed / pairs as f64
+    };
+    let t_off = per_pair_secs("uncached_8", &off_small, &small_trajs);
+    let t_exact = per_pair_secs("exact_8", &exact_small, &small_trajs);
+    per_pair_secs("exact_16", &exact_medium, &medium_trajs);
+    let t_lattice = per_pair_secs("lattice20_32", &lattice_large, &large_trajs);
+    if t_exact > 0.0 {
+        extras.push(("exact_8_speedup_per_pair".to_string(), t_off / t_exact));
+    }
+    if t_lattice > 0.0 {
+        extras.push((
+            "lattice20_32_speedup_per_pair_vs_uncached_8".to_string(),
+            t_off / t_lattice,
+        ));
+    }
+
+    PerfReport {
+        suite: "stp_cache",
+        entries,
+        extras,
     }
 }
 

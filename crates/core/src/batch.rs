@@ -21,6 +21,16 @@
 //! The degraded guarantee: for any input accepted by the type system,
 //! these APIs return — no panic, no `Err`, no partial loss of the good
 //! pairs.
+//!
+//! Caching: every [`PreparedTrajectory`] produced by [`prepare_all`]
+//! carries its own STP cache (see [`crate::StpCacheMode`]), so within
+//! one batch call a trajectory's distributions are evaluated once and
+//! shared by every pair — across the diagonal, across mirror cells,
+//! and across worker threads. The cache lives exactly as long as the
+//! prepared set: separate calls never share cached state. Worker
+//! threads score through a per-worker [`crate::StpScratch`] arena
+//! (threaded by the pool's `run_supervised_with`), so the hot path
+//! allocates nothing per pair.
 
 use crate::sts::{PreparedTrajectory, Sts};
 use crate::StsError;

@@ -30,6 +30,34 @@ pub fn colocation_of(d1: &SparseDistribution, d2: &SparseDistribution) -> f64 {
     d1.dot(d2)
 }
 
+/// `CP` over two cached SoA distributions (parallel `cell_ids`/`probs`
+/// slices, sorted by cell id) — the cached hot path's inner loop. Same
+/// sorted linear merge, same accumulation order as
+/// [`SparseDistribution::dot`], so the result is bit-identical to
+/// [`colocation_of`] on the equivalent distributions.
+pub(crate) fn colocation_sparse(
+    ids_a: &[u32],
+    probs_a: &[f64],
+    ids_b: &[u32],
+    probs_b: &[f64],
+) -> f64 {
+    let mut i = 0;
+    let mut j = 0;
+    let mut acc = 0.0;
+    while i < ids_a.len() && j < ids_b.len() {
+        match ids_a[i].cmp(&ids_b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                acc += probs_a[i] * probs_b[j];
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -75,6 +75,14 @@ impl SparseDistribution {
     /// Normalizes the measure to sum to 1 (Algorithm 1's normalization).
     /// A zero measure stays zero.
     pub fn normalize(mut self) -> Self {
+        self.normalize_in_place();
+        self
+    }
+
+    /// In-place variant of [`SparseDistribution::normalize`] for callers
+    /// that reuse a scratch distribution instead of reallocating. Same
+    /// arithmetic, same entry order — results are bit-identical.
+    pub fn normalize_in_place(&mut self) {
         let total = self.total();
         if total > 0.0 && total.is_finite() {
             for (_, w) in &mut self.entries {
@@ -93,7 +101,27 @@ impl SparseDistribution {
             }
             self.entries.retain(|(_, w)| *w > 0.0);
         }
-        self
+    }
+
+    /// Empties the measure, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Replaces this measure's entries with a copy of `other`'s,
+    /// reusing the existing allocation.
+    pub fn clone_from_dist(&mut self, other: &SparseDistribution) {
+        self.entries.clear();
+        self.entries.extend_from_slice(&other.entries);
+    }
+
+    /// Mutable access to the raw entry vector for the scratch-based STP
+    /// evaluation path. Callers must keep entries sorted by cell id with
+    /// strictly positive, non-NaN weights (the `from_weights`
+    /// invariant).
+    #[inline]
+    pub(crate) fn entries_mut(&mut self) -> &mut Vec<(CellId, f64)> {
+        &mut self.entries
     }
 
     /// Inner product `Σ_r p(r)·q(r)` — the co-location probability of

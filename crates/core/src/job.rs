@@ -40,7 +40,7 @@ use sts_geo::Grid;
 use sts_isolate::{IsolateConfig, WorkerSpec};
 use sts_obs::{trace, Telemetry};
 use sts_runtime::checkpoint::{load_checkpoint, save_checkpoint, CellRecord, Checkpoint, Fnv1a};
-use sts_runtime::pool::{run_supervised, ChunkStatus, PoolConfig};
+use sts_runtime::pool::{run_supervised_with, ChunkStatus, PoolConfig};
 use sts_runtime::{
     Budget, CancelToken, CheckpointError, DecorrelatedJitter, FaultPlan, IsolateStats, JobState,
     JobStats, PairChunk, PairSpace, RetryPolicy,
@@ -478,26 +478,28 @@ impl Sts {
             .collect();
 
         let cell_retries = AtomicU64::new(0);
-        let work = |chunk: &PairChunk| -> Vec<(usize, PairOutcome)> {
-            let mut out = Vec::with_capacity(chunk.len);
-            for lin in chunk.range() {
-                if done[lin] {
-                    continue;
-                }
-                let (i, j) = space.pair(lin);
-                out.push((
-                    lin,
-                    self.score_cell_retrying(
-                        prepared_q[i].as_ref(),
-                        prepared_c[j].as_ref(),
-                        cfg,
+        let work =
+            |scratch: &mut crate::StpScratch, chunk: &PairChunk| -> Vec<(usize, PairOutcome)> {
+                let mut out = Vec::with_capacity(chunk.len);
+                for lin in chunk.range() {
+                    if done[lin] {
+                        continue;
+                    }
+                    let (i, j) = space.pair(lin);
+                    out.push((
                         lin,
-                        &cell_retries,
-                    ),
-                ));
-            }
-            out
-        };
+                        self.score_cell_retrying(
+                            prepared_q[i].as_ref(),
+                            prepared_c[j].as_ref(),
+                            cfg,
+                            lin,
+                            &cell_retries,
+                            scratch,
+                        ),
+                    ));
+                }
+                out
+            };
 
         let pool_cfg = PoolConfig {
             threads: cfg.threads,
@@ -509,22 +511,28 @@ impl Sts {
         let mut flush_pending = 0usize;
         let mut flushes = 0usize;
         let mut flush_errors = 0usize;
-        let run = run_supervised(&chunks, &pool_cfg, work, |_chunk, computed| {
-            for (lin, outcome) in computed {
-                cells[lin] = outcome;
-            }
-            if let Some(ck) = &cfg.checkpoint {
-                flush_pending += 1;
-                if flush_pending >= ck.flush_every_chunks.max(1) {
-                    flush_pending = 0;
-                    trace::event("job.checkpoint_flush", flushes as f64 + 1.0);
-                    match save_checkpoint(&ck.path, &snapshot(fingerprint, &space, &cells)) {
-                        Ok(()) => flushes += 1,
-                        Err(_) => flush_errors += 1,
+        let run = run_supervised_with(
+            &chunks,
+            &pool_cfg,
+            |_slot| crate::StpScratch::new(),
+            work,
+            |_chunk, computed| {
+                for (lin, outcome) in computed {
+                    cells[lin] = outcome;
+                }
+                if let Some(ck) = &cfg.checkpoint {
+                    flush_pending += 1;
+                    if flush_pending >= ck.flush_every_chunks.max(1) {
+                        flush_pending = 0;
+                        trace::event("job.checkpoint_flush", flushes as f64 + 1.0);
+                        match save_checkpoint(&ck.path, &snapshot(fingerprint, &space, &cells)) {
+                            Ok(()) => flushes += 1,
+                            Err(_) => flush_errors += 1,
+                        }
                     }
                 }
-            }
-        });
+            },
+        );
 
         // Pool-level backstop: cells of a terminally failed chunk that
         // never produced outcomes become Failed (or Panicked under the
@@ -775,6 +783,8 @@ impl Sts {
     /// job backs off through the same schedule. The fault hook runs
     /// inside the containment, before the real work, so injected
     /// panics take exactly the retry path a genuine panic would.
+    /// `scratch` is the calling worker's reusable arena; its buffers
+    /// are cleared on entry, so reuse after a caught panic is safe.
     pub(crate) fn score_cell_retrying(
         &self,
         q: Option<&PreparedTrajectory>,
@@ -782,6 +792,7 @@ impl Sts {
         cfg: &JobConfig,
         lin: usize,
         retries: &AtomicU64,
+        scratch: &mut crate::StpScratch,
     ) -> PairOutcome {
         let (Some(q), Some(c)) = (q, c) else {
             return PairOutcome::Quarantined;
@@ -798,7 +809,7 @@ impl Sts {
                 if let Some(plan) = &cfg.fault {
                     plan.apply(lin, attempts);
                 }
-                self.similarity_prepared(q, c)
+                self.similarity_prepared_with(q, c, scratch)
             })) {
                 Ok(s) => return PairOutcome::Score(s),
                 Err(_) => {

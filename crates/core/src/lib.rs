@@ -43,6 +43,7 @@ mod dist;
 pub mod index;
 pub mod job;
 pub mod noise;
+mod stpcache;
 pub mod stprob;
 mod sts;
 pub mod transition;
@@ -54,7 +55,8 @@ pub use dist::SparseDistribution;
 pub use index::ColocationIndex;
 pub use job::{CheckpointConfig, ExecMode, IsolateOptions, JobConfig, JobError, JobReport};
 pub use noise::{DeterministicNoise, GaussianNoise, NoiseModel, UniformDiscNoise};
-pub use stprob::StpEstimator;
+pub use stpcache::{StpCacheMode, StpScratch};
+pub use stprob::{StpEstimator, StpEvalScratch};
 pub use sts::{exposure_duration, PreparedTrajectory, Sts, StsConfig, StsVariant};
 pub use transition::{
     BrownianTransition, FrequencyTransition, SpeedKdeTransition, TransitionModel,

@@ -115,30 +115,54 @@ impl<'a> StpEstimator<'a> {
     /// trajectory's time span or when no cell is reachable under the
     /// models (a measure-zero bridge).
     pub fn stp(&self, t: f64) -> SparseDistribution {
-        self.stp_impl(t, false)
+        let mut scratch = StpEvalScratch::default();
+        self.stp_into_impl(t, false, &mut scratch);
+        scratch.out
     }
 
     /// Like [`StpEstimator::stp`] but evaluating **every** grid cell as a
     /// bridge candidate — the faithful `O(|R|²)` computation of §V-C,
     /// kept for validation and the dense-vs-sparse ablation.
     pub fn stp_dense(&self, t: f64) -> SparseDistribution {
-        self.stp_impl(t, true)
+        let mut scratch = StpEvalScratch::default();
+        self.stp_into_impl(t, true, &mut scratch);
+        scratch.out
     }
 
-    fn stp_impl(&self, t: f64, dense: bool) -> SparseDistribution {
+    /// Allocation-free variant of [`StpEstimator::stp`]: evaluates the
+    /// distribution into `scratch`'s reusable buffers and returns a
+    /// borrow of the result. Bit-identical to `stp()` — the allocating
+    /// path is a thin wrapper around this one (guarded by
+    /// `stp_into_matches_stp_bitwise`).
+    pub fn stp_into<'s>(&self, t: f64, scratch: &'s mut StpEvalScratch) -> &'s SparseDistribution {
+        self.stp_into_impl(t, false, scratch);
+        &scratch.out
+    }
+
+    fn stp_into_impl(&self, t: f64, dense: bool, scratch: &mut StpEvalScratch) {
         sts_obs::static_counter!("core.stp.evals").incr();
+        let StpEvalScratch {
+            out,
+            cand_a,
+            cand_b,
+            candidates,
+            table1,
+            table2,
+        } = scratch;
+        out.clear();
         // The negated comparison also routes NaN query times to the
         // empty distribution (a NaN fails every comparison), honoring
         // the `stp()` contract for any input rather than panicking in
         // the binary search below.
         if !(t >= self.traj.start_time() && t <= self.traj.end_time()) {
-            return SparseDistribution::empty();
+            return;
         }
         let Some(i) = self.traj.index_at_or_before(t) else {
-            return SparseDistribution::empty();
+            return;
         };
         if self.traj.get(i).t == t {
-            return self.obs_dists[i].clone();
+            out.clone_from_dist(&self.obs_dists[i]);
+            return;
         }
         // Strictly between observations i and i+1.
         let prev = self.traj.get(i);
@@ -147,35 +171,41 @@ impl<'a> StpEstimator<'a> {
         let dt2 = next.t - t;
         let before = &self.obs_dists[i];
         let after = &self.obs_dists[i + 1];
-        let candidates = if dense {
-            self.grid.cells().collect()
+        if dense {
+            candidates.clear();
+            candidates.extend(self.grid.cells());
         } else {
-            self.candidate_cells(prev.loc, dt1, next.loc, dt2)
-        };
+            self.candidate_cells_into(prev.loc, dt1, next.loc, dt2, cand_a, cand_b, candidates);
+        }
         // Isotropic transition models are evaluated through a per-bridge
         // distance table: O(1) in the innermost loop instead of O(KDE
         // samples).
-        let tables = self.transition.is_isotropic().then(|| {
+        let use_tables = self.transition.is_isotropic();
+        if use_tables {
             let step = (self.grid.cell_size() * 0.125).max(1e-3);
-            (
-                DistTable::build(self.transition, dt1, self.table_extent(dt1, step), step),
-                DistTable::build(self.transition, dt2, self.table_extent(dt2, step), step),
-            )
-        });
+            table1.fill(self.transition, dt1, self.table_extent(dt1, step), step);
+            table2.fill(self.transition, dt2, self.table_extent(dt2, step), step);
+        }
+        let (table1, table2) = (&*table1, &*table2);
         let trans1 = |from: sts_geo::Point, to: sts_geo::Point| -> f64 {
-            match &tables {
-                Some((t1, _)) => t1.eval(from.distance(&to)),
-                None => self.transition.probability(from, to, dt1),
+            if use_tables {
+                table1.eval(from.distance(&to))
+            } else {
+                self.transition.probability(from, to, dt1)
             }
         };
         let trans2 = |from: sts_geo::Point, to: sts_geo::Point| -> f64 {
-            match &tables {
-                Some((_, t2)) => t2.eval(from.distance(&to)),
-                None => self.transition.probability(from, to, dt2),
+            if use_tables {
+                table2.eval(from.distance(&to))
+            } else {
+                self.transition.probability(from, to, dt2)
             }
         };
-        let mut weights = Vec::with_capacity(candidates.len());
-        for r in candidates {
+        // Candidates arrive sorted and unique (dense grid order), so
+        // pushing positive weights directly yields exactly what
+        // `from_weights` would: no resort, no dedup, same entry order.
+        let entries = out.entries_mut();
+        for &r in candidates.iter() {
             let center = self.grid.center(r);
             // Σ_j f(r_j, ℓᵢ)·P(r, t | r_j, tᵢ)
             let mut p_in = 0.0;
@@ -192,12 +222,11 @@ impl<'a> StpEstimator<'a> {
             }
             let w = p_in * p_out;
             if w > 0.0 {
-                weights.push((r, w));
+                entries.push((r, w));
             }
         }
-        let dist = SparseDistribution::from_weights(weights).normalize();
-        sts_obs::static_counter!("core.stp.cells").add(dist.entries().len() as u64);
-        dist
+        out.normalize_in_place();
+        sts_obs::static_counter!("core.stp.cells").add(out.entries().len() as u64);
     }
 
     /// Largest distance a transition table must cover: the model's own
@@ -210,18 +239,31 @@ impl<'a> StpEstimator<'a> {
 
     /// Candidate bridge cells: reachable both forward from the previous
     /// noisy observation and backward from the next one. A cell-size
-    /// margin absorbs center-vs-point discretization.
-    fn candidate_cells(&self, prev: Point, dt1: f64, next: Point, dt2: f64) -> Vec<CellId> {
+    /// margin absorbs center-vs-point discretization. Writes into the
+    /// caller's scratch buffers (`a`, `b` for the two reachability sets,
+    /// `out` for their intersection) instead of allocating.
+    #[allow(clippy::too_many_arguments)]
+    fn candidate_cells_into(
+        &self,
+        prev: Point,
+        dt1: f64,
+        next: Point,
+        dt2: f64,
+        a: &mut Vec<CellId>,
+        b: &mut Vec<CellId>,
+        out: &mut Vec<CellId>,
+    ) {
+        out.clear();
         let slack = self.noise.truncation_radius() + self.grid.cell_size();
         let r1 = self.transition.max_displacement(dt1) + slack;
         let r2 = self.transition.max_displacement(dt2) + slack;
         if !r1.is_finite() || !r2.is_finite() {
-            return self.grid.cells().collect();
+            out.extend(self.grid.cells());
+            return;
         }
-        let a = self.grid.cells_within(prev, r1);
-        let b = self.grid.cells_within(next, r2);
+        self.grid.cells_within_into(prev, r1, a);
+        self.grid.cells_within_into(next, r2, b);
         // Both lists are in dense (sorted) order: linear intersection.
-        let mut out = Vec::with_capacity(a.len().min(b.len()));
         let (mut i, mut j) = (0, 0);
         while i < a.len() && j < b.len() {
             match a[i].cmp(&b[j]) {
@@ -234,7 +276,33 @@ impl<'a> StpEstimator<'a> {
                 }
             }
         }
-        out
+    }
+}
+
+/// Reusable buffers for [`StpEstimator::stp_into`]: the output
+/// distribution plus every intermediate the bridge evaluation needs
+/// (candidate-cell sets and the two per-bridge distance tables). One
+/// scratch per worker thread removes all per-evaluation allocation from
+/// the STS hot path.
+#[derive(Default)]
+pub struct StpEvalScratch {
+    out: SparseDistribution,
+    cand_a: Vec<CellId>,
+    cand_b: Vec<CellId>,
+    candidates: Vec<CellId>,
+    table1: DistTable,
+    table2: DistTable,
+}
+
+impl StpEvalScratch {
+    /// A fresh scratch with empty buffers.
+    pub fn new() -> Self {
+        StpEvalScratch::default()
+    }
+
+    /// The distribution produced by the most recent `stp_into` call.
+    pub fn distribution(&self) -> &SparseDistribution {
+        &self.out
     }
 }
 
@@ -243,20 +311,19 @@ impl<'a> StpEstimator<'a> {
 /// table evaluate to 0 (the model declared them negligible via
 /// `max_displacement`, or they exceed the grid diagonal and cannot
 /// occur).
+#[derive(Default)]
 struct DistTable {
     step_inv: f64,
     values: Vec<f64>,
 }
 
 impl DistTable {
-    fn build(model: &dyn TransitionModel, dt: f64, max_d: f64, step: f64) -> DistTable {
+    fn fill(&mut self, model: &dyn TransitionModel, dt: f64, max_d: f64, step: f64) {
         let n = (max_d / step).ceil().max(1.0) as usize + 2;
-        DistTable {
-            step_inv: 1.0 / step,
-            values: (0..n)
-                .map(|i| model.probability_by_distance(i as f64 * step, dt))
-                .collect(),
-        }
+        self.step_inv = 1.0 / step;
+        self.values.clear();
+        self.values
+            .extend((0..n).map(|i| model.probability_by_distance(i as f64 * step, dt)));
     }
 
     #[inline]
@@ -396,6 +463,44 @@ mod tests {
                 }
             }
             assert!(tv < 1e-6, "t={t}: TV distance {tv}");
+        }
+    }
+
+    #[test]
+    fn stp_into_matches_stp_bitwise() {
+        // Satellite guarantee: the scratch path must EQUAL the
+        // allocating path — bit-for-bit, not just within tolerance —
+        // across observed stamps, bridge times, and out-of-span times,
+        // with the scratch reused (dirty) between evaluations.
+        let g = grid();
+        let noise = GaussianNoise::new(2.0);
+        let traj = walker();
+        let trans = SpeedKdeTransition::from_trajectory(&traj, Kernel::Gaussian)
+            .unwrap()
+            .with_position_uncertainty(g.cell_size() / 2.0);
+        let est = StpEstimator::new(&g, &noise, &trans, &traj);
+        let mut scratch = StpEvalScratch::new();
+        for t in [
+            -1.0,
+            0.0,
+            3.0,
+            10.0,
+            12.5,
+            15.0,
+            27.9,
+            36.0,
+            40.0,
+            41.0,
+            f64::NAN,
+        ] {
+            let alloc = est.stp(t);
+            let scratched = est.stp_into(t, &mut scratch);
+            assert_eq!(alloc.len(), scratched.len(), "t={t}: cell count");
+            for (&(ca, wa), &(cb, wb)) in alloc.entries().iter().zip(scratched.entries()) {
+                assert_eq!(ca, cb, "t={t}: cell id");
+                assert_eq!(wa.to_bits(), wb.to_bits(), "t={t}: weight bits");
+            }
+            assert_eq!(scratch.distribution().len(), alloc.len());
         }
     }
 

@@ -5,14 +5,16 @@
 //! Averaging — rather than summing — removes the dependence on trajectory
 //! length, which varies freely under sporadic sampling.
 
-use crate::colocation::colocation_of;
+use crate::colocation::{colocation_of, colocation_sparse};
 use crate::dist::SparseDistribution;
 use crate::noise::{DeterministicNoise, GaussianNoise, NoiseModel};
+use crate::stpcache::{soa_to_dist, StpCache, MAX_LATTICE_POINTS};
 use crate::stprob::StpEstimator;
 use crate::transition::{
     BrownianTransition, FrequencyTransition, SpeedKdeTransition, TransitionModel,
 };
 use crate::StsError;
+use crate::{StpCacheMode, StpScratch};
 use std::sync::{Arc, Mutex};
 use sts_geo::Grid;
 use sts_obs::{static_counter, trace};
@@ -33,6 +35,10 @@ pub struct StsConfig {
     /// Gaussian-noise truncation multiple (`None` = evaluate every cell:
     /// the faithful dense computation).
     pub truncation_k: Option<f64>,
+    /// How STP distributions are evaluated and reused when scoring
+    /// pairs (see [`StpCacheMode`]). The default, `Exact`, is
+    /// bit-identical to the uncached reference path.
+    pub cache: StpCacheMode,
 }
 
 impl Default for StsConfig {
@@ -41,6 +47,7 @@ impl Default for StsConfig {
             noise_sigma: 3.0,
             kernel: Kernel::Gaussian,
             truncation_k: Some(GaussianNoise::DEFAULT_TRUNCATION_K),
+            cache: StpCacheMode::default(),
         }
     }
 }
@@ -102,6 +109,9 @@ pub struct PreparedTrajectory {
     traj: Trajectory,
     transition: Arc<dyn TransitionModel>,
     obs_dists: Vec<SparseDistribution>,
+    /// Per-trajectory STP cache shared by every pair this trajectory
+    /// participates in (interior mutability; see `stpcache` docs).
+    cache: StpCache,
 }
 
 impl PreparedTrajectory {
@@ -109,6 +119,21 @@ impl PreparedTrajectory {
     #[inline]
     pub fn trajectory(&self) -> &Trajectory {
         &self.traj
+    }
+
+    /// The cached STP distribution at exactly `t`, if this trajectory's
+    /// cache holds one (an exact copy of what `stp(t)` returned when the
+    /// entry was filled). `None` means the timestamp was never evaluated
+    /// through the cached scoring path — this accessor never computes.
+    pub fn cached_stp(&self, t: f64) -> Option<SparseDistribution> {
+        let reader = self.cache.read();
+        let (ids, probs) = reader.get(t)?;
+        Some(soa_to_dist(ids, probs))
+    }
+
+    /// Number of timestamps currently cached for this trajectory.
+    pub fn cached_timestamps(&self) -> usize {
+        self.cache.read().timestamps()
     }
 }
 
@@ -118,6 +143,7 @@ pub struct Sts {
     noise: Arc<dyn NoiseModel>,
     transition: TransitionSource,
     spec: Option<MeasureSpec>,
+    cache: StpCacheMode,
 }
 
 impl Sts {
@@ -132,6 +158,7 @@ impl Sts {
             transition: TransitionSource::Personalized {
                 kernel: config.kernel,
             },
+            cache: config.cache,
             spec: Some(MeasureSpec::Full(config)),
         }
     }
@@ -158,6 +185,7 @@ impl Sts {
                 transition: TransitionSource::Personalized {
                     kernel: config.kernel,
                 },
+                cache: config.cache,
                 spec: Some(MeasureSpec::NoNoise(config)),
             },
             StsVariant::GlobalSpeed => {
@@ -169,6 +197,7 @@ impl Sts {
                     noise: gaussian,
                     transition: TransitionSource::Shared(Arc::new(global)),
                     spec: None,
+                    cache: config.cache,
                 }
             }
             StsVariant::FrequencyBased => {
@@ -178,6 +207,7 @@ impl Sts {
                     noise: gaussian,
                     transition: TransitionSource::Shared(Arc::new(freq)),
                     spec: None,
+                    cache: config.cache,
                 }
             }
         })
@@ -191,6 +221,7 @@ impl Sts {
             noise,
             transition: TransitionSource::Personalized { kernel },
             spec: None,
+            cache: StpCacheMode::default(),
         }
     }
 
@@ -209,6 +240,7 @@ impl Sts {
             )),
             transition: TransitionSource::Shared(transition),
             spec: None,
+            cache: config.cache,
         }
     }
 
@@ -253,6 +285,7 @@ impl Sts {
             traj: traj.clone(),
             transition,
             obs_dists,
+            cache: StpCache::default(),
         })
     }
 
@@ -266,10 +299,60 @@ impl Sts {
         )
     }
 
+    /// The cache mode in effect for this measure.
+    #[inline]
+    pub fn cache_mode(&self) -> StpCacheMode {
+        self.cache
+    }
+
+    /// Overrides the STP cache mode (and the embedded subprocess spec,
+    /// so `ExecMode::Subprocess` workers score identically). Used by the
+    /// differential suites to pit cached scoring against the
+    /// [`StpCacheMode::Off`] reference on an otherwise identical
+    /// measure.
+    pub fn with_cache_mode(mut self, mode: StpCacheMode) -> Self {
+        self.cache = mode;
+        match &mut self.spec {
+            Some(MeasureSpec::Full(cfg)) | Some(MeasureSpec::NoNoise(cfg)) => cfg.cache = mode,
+            None => {}
+        }
+        self
+    }
+
     /// `STS(Tra, Tra')` (Eq. 10): the average co-location probability
     /// over the merged timestamps of the two prepared trajectories.
+    ///
+    /// Ad-hoc entry point: allocates a fresh [`StpScratch`] per call.
+    /// Matrix paths thread one scratch per worker through
+    /// [`Sts::similarity_prepared_with`] instead.
     pub fn similarity_prepared(&self, a: &PreparedTrajectory, b: &PreparedTrajectory) -> f64 {
+        let mut scratch = StpScratch::new();
+        self.similarity_prepared_with(a, b, &mut scratch)
+    }
+
+    /// [`Sts::similarity_prepared`] with a caller-owned scratch arena —
+    /// the hot-path form every worker loop uses. The scratch must not be
+    /// shared across threads; the per-trajectory STP caches take care of
+    /// cross-worker reuse.
+    pub fn similarity_prepared_with(
+        &self,
+        a: &PreparedTrajectory,
+        b: &PreparedTrajectory,
+        scratch: &mut StpScratch,
+    ) -> f64 {
         static_counter!("core.pairs.scored").incr();
+        match self.cache {
+            StpCacheMode::Off => self.similarity_uncached(a, b),
+            StpCacheMode::Exact => self.similarity_cached(a, b, None, scratch),
+            StpCacheMode::Lattice { dt } => self.similarity_cached(a, b, Some(dt), scratch),
+        }
+    }
+
+    /// The uncached reference path (`StpCacheMode::Off`): re-evaluates
+    /// both STP distributions at every merged timestamp, exactly as
+    /// Algorithm 1 is written. The differential equivalence suite pins
+    /// the cached paths against this oracle.
+    fn similarity_uncached(&self, a: &PreparedTrajectory, b: &PreparedTrajectory) -> f64 {
         let ea = self.estimator(a);
         let eb = self.estimator(b);
         let ts = a.traj.merged_timestamps(&b.traj);
@@ -295,6 +378,112 @@ impl Sts {
             i += mult;
         }
         sum / ts.len() as f64
+    }
+
+    /// The cached hot path: fill both trajectories' STP caches for the
+    /// pair's evaluation times, then reduce to sparse dot products over
+    /// the cached SoA slices. With `lattice_dt = None` the evaluation
+    /// times are the merged timestamps inside the overlap window and the
+    /// result is bit-identical to [`Sts::similarity_uncached`]; with a
+    /// lattice period the times are the global lattice points in the
+    /// window (see [`StpCacheMode::Lattice`]).
+    fn similarity_cached(
+        &self,
+        a: &PreparedTrajectory,
+        b: &PreparedTrajectory,
+        lattice_dt: Option<f64>,
+        scratch: &mut StpScratch,
+    ) -> f64 {
+        let lo = a.traj.start_time().max(b.traj.start_time());
+        let hi = a.traj.end_time().min(b.traj.end_time());
+        // Degenerate lattice periods fall back to exact evaluation.
+        let lattice_dt = lattice_dt.filter(|&dt| {
+            dt > 0.0
+                && dt.is_finite()
+                && ((hi - lo) / dt).is_finite()
+                && (hi - lo) / dt < MAX_LATTICE_POINTS as f64
+        });
+        scratch.times.clear();
+        let denom = match lattice_dt {
+            Some(dt) => {
+                // Global lattice t_k = k·dt: the same k always yields the
+                // same f64, so lattice points are shared by every pair
+                // (and every worker) that overlaps them.
+                let k0 = (lo / dt).ceil() as i64;
+                let k1 = (hi / dt).floor() as i64;
+                if k1 < k0 {
+                    return 0.0;
+                }
+                for k in k0..=k1 {
+                    scratch.times.push((k as f64 * dt, 1.0));
+                }
+                (k1 - k0 + 1) as f64
+            }
+            None => {
+                let ts = a.traj.merged_timestamps(&b.traj);
+                debug_assert!(!ts.is_empty());
+                // Same duplicate-grouping as the reference loop: one
+                // evaluation per distinct timestamp, weighted by
+                // multiplicity; out-of-window stamps contribute 0 but
+                // count in the denominator.
+                let mut i = 0;
+                while i < ts.len() {
+                    let t = ts[i];
+                    let mut mult = 1;
+                    while i + mult < ts.len() && ts[i + mult] == t {
+                        mult += 1;
+                    }
+                    if t >= lo && t <= hi {
+                        scratch.times.push((t, mult as f64));
+                    }
+                    i += mult;
+                }
+                ts.len() as f64
+            }
+        };
+        let same = std::ptr::eq(a, b);
+        let est_a = self.estimator(a);
+        let est_b = self.estimator(b);
+        a.cache.ensure(&est_a, &scratch.times, &mut scratch.fill);
+        if !same {
+            b.cache.ensure(&est_b, &scratch.times, &mut scratch.fill);
+        }
+        let times = &scratch.times;
+        let score = |ra: &crate::stpcache::StpCacheReader<'_>,
+                     rb: &crate::stpcache::StpCacheReader<'_>|
+         -> f64 {
+            let mut sum = 0.0;
+            for &(t, weight) in times {
+                let cp = match (ra.get(t), rb.get(t)) {
+                    (Some((ia, pa)), Some((ib, pb))) => colocation_sparse(ia, pa, ib, pb),
+                    // Evicted between fill and read (arena recycle under
+                    // pressure): evaluate directly — same value, since
+                    // cached entries are exactly what `stp` returns.
+                    _ => colocation_of(&est_a.stp(t), &est_b.stp(t)),
+                };
+                sum += cp * weight;
+            }
+            sum
+        };
+        let sum = if same {
+            // One guard serves both sides: re-acquiring a std read lock
+            // recursively can deadlock behind a queued writer.
+            let r = a.cache.read();
+            score(&r, &r)
+        } else {
+            // Canonical (address) acquisition order rules out
+            // reader/writer deadlock cycles across scoring threads.
+            let a_first = (a as *const PreparedTrajectory) < (b as *const PreparedTrajectory);
+            let (first, second) = if a_first { (a, b) } else { (b, a) };
+            let r1 = first.cache.read();
+            let r2 = second.cache.read();
+            if a_first {
+                score(&r1, &r2)
+            } else {
+                score(&r2, &r1)
+            }
+        };
+        sum / denom
     }
 
     /// The co-location probability at every merged timestamp, in time
@@ -365,13 +554,22 @@ impl Sts {
                     let queue = &queue;
                     let prepared_q = &prepared_q;
                     let prepared_c = &prepared_c;
-                    scope.spawn(move || loop {
-                        let Some((chunk, out)) = queue.lock().unwrap().pop() else {
-                            break;
-                        };
-                        for (slot, lin) in chunk.range().enumerate() {
-                            let (i, j) = space.pair(lin);
-                            out[slot] = self.similarity_prepared(&prepared_q[i], &prepared_c[j]);
+                    scope.spawn(move || {
+                        // One scratch arena per worker thread, reused
+                        // across every chunk it scores.
+                        let mut scratch = StpScratch::new();
+                        loop {
+                            let Some((chunk, out)) = queue.lock().unwrap().pop() else {
+                                break;
+                            };
+                            for (slot, lin) in chunk.range().enumerate() {
+                                let (i, j) = space.pair(lin);
+                                out[slot] = self.similarity_prepared_with(
+                                    &prepared_q[i],
+                                    &prepared_c[j],
+                                    &mut scratch,
+                                );
+                            }
                         }
                     });
                 }

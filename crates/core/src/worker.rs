@@ -14,7 +14,7 @@
 //!
 //! ```text
 //! supervisor → worker (preamble, then `begin`):
-//!   measure <full|no-noise> <sigma> <kernel> <trunc|none>
+//!   measure <full|no-noise> <sigma> <kernel> <trunc|none> <off|exact|lattice:<dt>>
 //!   grid <minx> <miny> <maxx> <maxy> <cell>
 //!   retry <max_retries> <base_ns> <cap_ns> <seed>
 //!   fault <seed> <slow> <transient> <tfail> <persistent> <abort> <wedge> <garbage> <slow_ns>
@@ -41,7 +41,7 @@
 
 use crate::job::JobConfig;
 use crate::sts::MeasureSpec;
-use crate::{Sts, StsConfig, StsVariant};
+use crate::{StpCacheMode, Sts, StsConfig, StsVariant};
 use std::fmt;
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
@@ -112,8 +112,16 @@ pub(crate) fn encode_preamble(
         Some(k) => k.to_string(),
         None => "none".to_string(),
     };
+    // The cache mode travels with the measure so a worker-scored cell
+    // takes the same code path (and lattice approximation, if any) as
+    // its in-process twin.
+    let cache = match sts_cfg.cache {
+        StpCacheMode::Off => "off".to_string(),
+        StpCacheMode::Exact => "exact".to_string(),
+        StpCacheMode::Lattice { dt } => format!("lattice:{dt}"),
+    };
     frames.push(format!(
-        "measure {variant} {} {} {trunc}",
+        "measure {variant} {} {} {trunc} {cache}",
         sts_cfg.noise_sigma,
         kernel_token(sts_cfg.kernel),
     ));
@@ -245,12 +253,24 @@ impl JobSpec {
                     Some(v) => Some(v.parse().map_err(|_| spec_err("bad truncation"))?),
                     None => return Err(spec_err("missing truncation")),
                 };
+                let cache = match fields.next() {
+                    Some("off") => StpCacheMode::Off,
+                    Some("exact") => StpCacheMode::Exact,
+                    Some(v) if v.starts_with("lattice:") => StpCacheMode::Lattice {
+                        dt: v["lattice:".len()..]
+                            .parse()
+                            .map_err(|_| spec_err("bad lattice dt"))?,
+                    },
+                    Some(_) => return Err(spec_err("unknown cache mode")),
+                    None => return Err(spec_err("missing cache mode")),
+                };
                 self.measure = Some((
                     variant,
                     StsConfig {
                         noise_sigma,
                         kernel,
                         truncation_k,
+                        cache,
                     },
                 ));
             }
@@ -388,6 +408,9 @@ pub fn serve<R: BufRead, W: Write>(input: &mut R, output: &mut W) -> Result<(), 
     write_frame(output, "ready").map_err(ProtocolError::Io)?;
 
     let retries = AtomicU64::new(0);
+    // One scratch arena for the whole process, reused across chunks —
+    // the subprocess twin of the pool's per-worker state.
+    let mut scratch = crate::StpScratch::new();
     loop {
         let frame = match read_frame(input) {
             Ok(f) => f,
@@ -426,6 +449,7 @@ pub fn serve<R: BufRead, W: Write>(input: &mut R, output: &mut W) -> Result<(), 
                         &state.cfg,
                         lin,
                         &retries,
+                        &mut scratch,
                     );
                     body.push(' ');
                     body.push_str(&encode_record(lin, &outcome));

@@ -196,8 +196,18 @@ impl Grid {
     /// in dense order.
     pub fn cells_within(&self, p: Point, radius: f64) -> Vec<CellId> {
         let mut out = Vec::new();
+        self.cells_within_into(p, radius, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`Grid::cells_within`]: clears `out`
+    /// and fills it with the same ids in the same (dense) order, reusing
+    /// the vector's capacity. Hot scoring loops call this with a scratch
+    /// buffer instead of allocating per evaluation.
+    pub fn cells_within_into(&self, p: Point, radius: f64, out: &mut Vec<CellId>) {
+        out.clear();
         if !(radius.is_finite() && radius >= 0.0) {
-            return out;
+            return;
         }
         let min = self.area.min();
         let lo_col = (((p.x - radius - min.x) / self.cell_size).floor()).max(0.0) as i64;
@@ -213,7 +223,6 @@ impl Grid {
                 }
             }
         }
-        out
     }
 
     /// The 4- or 8-neighborhood of a cell (here: 8, clipped at borders).

@@ -188,11 +188,37 @@ pub fn run_supervised<T, F, S>(
     chunks: &[PairChunk],
     cfg: &PoolConfig,
     work: F,
-    mut on_complete: S,
+    on_complete: S,
 ) -> PoolRun
 where
     T: Send,
     F: Fn(&PairChunk) -> Vec<(usize, T)> + Sync,
+    S: FnMut(&PairChunk, Vec<(usize, T)>),
+{
+    run_supervised_with(chunks, cfg, |_| (), |_, chunk| work(chunk), on_complete)
+}
+
+/// [`run_supervised`] with per-worker state: `init(slot)` runs once on
+/// each worker thread when it starts, and the resulting state is handed
+/// mutably to every `work` call that worker performs. This is how the
+/// scoring paths thread a reusable scratch arena (`sts-core`'s
+/// `StpScratch`) through the pool without sharing it across threads.
+///
+/// A panic inside `work` is caught and the chunk retried per
+/// [`RetryPolicy`] — on the same worker, with the same state — so the
+/// state must stay usable after an unwound call (buffers that are
+/// cleared at the start of each use satisfy this).
+pub fn run_supervised_with<W, T, I, F, S>(
+    chunks: &[PairChunk],
+    cfg: &PoolConfig,
+    init: I,
+    work: F,
+    mut on_complete: S,
+) -> PoolRun
+where
+    T: Send,
+    I: Fn(usize) -> W + Sync,
+    F: Fn(&mut W, &PairChunk) -> Vec<(usize, T)> + Sync,
     S: FnMut(&PairChunk, Vec<(usize, T)>),
 {
     let started = Instant::now();
@@ -233,8 +259,9 @@ where
         for slot in 0..n_threads {
             let tx = tx.clone();
             let shared = &shared;
+            let init = &init;
             let work = &work;
-            scope.spawn(move || worker_loop(slot, shared, cfg, work, tx));
+            scope.spawn(move || worker_loop(slot, shared, cfg, init, work, tx));
         }
         if let Some(soft) = cfg.soft_timeout {
             let shared = &shared;
@@ -276,21 +303,27 @@ where
     }
 }
 
-fn worker_loop<T, F>(
+fn worker_loop<W, T, I, F>(
     slot: usize,
     shared: &Shared,
     cfg: &PoolConfig,
+    init: &I,
     work: &F,
     tx: mpsc::Sender<(PairChunk, Vec<(usize, T)>)>,
 ) where
     T: Send,
-    F: Fn(&PairChunk) -> Vec<(usize, T)> + Sync,
+    I: Fn(usize) -> W + Sync,
+    F: Fn(&mut W, &PairChunk) -> Vec<(usize, T)> + Sync,
 {
     let mut backoff = DecorrelatedJitter::new(
         cfg.retry.backoff_base,
         cfg.retry.backoff_cap,
         cfg.retry.seed ^ (slot as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
     );
+    // Per-worker state (e.g. a scoring scratch arena), created once and
+    // reused for every chunk — including retries after a caught panic,
+    // so `work` must leave it reusable (clear-on-entry buffers do).
+    let mut state = init(slot);
     loop {
         // Cooperative stop check, once per chunk boundary.
         let reason = if cfg.cancel.is_cancelled() {
@@ -323,7 +356,7 @@ fn worker_loop<T, F>(
         let chunk_started = Instant::now();
         let result = {
             let _span = trace::span_with_parent("pool.chunk", shared.span);
-            catch_unwind(AssertUnwindSafe(|| work(&item.chunk)))
+            catch_unwind(AssertUnwindSafe(|| work(&mut state, &item.chunk)))
         };
         let took = chunk_started.elapsed();
         *lock_unpoisoned(&shared.in_flight[slot]) = None;

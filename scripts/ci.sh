@@ -52,6 +52,15 @@ echo "== isolation (worker supervision + crash suite; fixed seeds) =="
 run_seeded "isolate unit tests" cargo test -p sts-isolate -q --offline
 run_seeded "isolation crash suite" cargo test -p sts-repro -q --offline --test isolation
 
+# STP-cache equivalence gate: the differential suite proving the cached
+# sparse hot path equals the uncached oracle — bit-exact matrices,
+# top-k and crash/resume for exact mode, rank-preservation for lattice
+# mode, plus the sts_rng::check property tests over distributions and
+# visitation order. Runs after the workspace tests above so the debug
+# sts-worker binary exists for the subprocess cases.
+echo "== stp cache (differential equivalence + property tests; fixed seeds) =="
+run_seeded "stp cache equivalence suite" cargo test -p sts-core -q --offline --test stp_cache_equiv
+
 # Telemetry gate: the std-only observability crate (metrics registry,
 # tracing layer, JSONL writers) plus the end-to-end telemetry and
 # overhead-guard suites that drive a real supervised job with tracing
@@ -70,6 +79,17 @@ if cargo run -p sts-bench --release --offline --bin perf -- --quick --json BENCH
     echo "bench snapshot written to BENCH_tier1.json"
 else
     echo "bench snapshot failed (non-gating); continuing"
+fi
+
+# Non-gating cache-speedup snapshot: the stp_cache suite alone, written
+# as BENCH_stp_cache.json — per-pair timings for uncached/exact/lattice
+# matrices plus stp_evals_per_pair and speedup extras from registry
+# deltas. Same noisy-hardware caveat as above: never fails the gate.
+echo "== stp cache bench snapshot (non-gating) =="
+if cargo run -p sts-bench --release --offline --bin perf -- --quick --json BENCH_stp_cache.json stp_cache; then
+    echo "stp cache bench snapshot written to BENCH_stp_cache.json"
+else
+    echo "stp cache bench snapshot failed (non-gating); continuing"
 fi
 
 echo "== format =="

@@ -29,23 +29,39 @@ fn manifest_paths(root: &Path) -> Vec<PathBuf> {
     out
 }
 
-/// Is this `[section]` header one that declares dependencies?
-/// Covers `[dependencies]`, `[dev-dependencies]`,
-/// `[build-dependencies]`, `[workspace.dependencies]` and
-/// target-specific variants like `[target.'cfg(unix)'.dependencies]`.
-fn is_dependency_section(header: &str) -> bool {
-    header == "dependencies"
-        || header == "dev-dependencies"
-        || header == "build-dependencies"
-        || header == "workspace.dependencies"
-        || header.ends_with(".dependencies")
-        || header.ends_with(".dev-dependencies")
-        || header.ends_with(".build-dependencies")
+/// Splits a `[section]` header into its dotted segments, honoring
+/// quoted segments (`[target.'cfg(unix)'.dependencies]` must not split
+/// inside the cfg expression) and stripping the quotes.
+fn header_segments(header: &str) -> Vec<String> {
+    let mut segments = Vec::new();
+    let mut current = String::new();
+    let mut quote: Option<char> = None;
+    for c in header.chars() {
+        match quote {
+            Some(q) if c == q => quote = None,
+            Some(_) => current.push(c),
+            None => match c {
+                '\'' | '"' => quote = Some(c),
+                '.' => segments.push(std::mem::take(&mut current)),
+                _ => current.push(c),
+            },
+        }
+    }
+    segments.push(current);
+    segments
+}
+
+/// Is this header segment a dependency-table keyword?
+fn is_dependency_kind(segment: &str) -> bool {
+    segment == "dependencies" || segment == "dev-dependencies" || segment == "build-dependencies"
 }
 
 /// Dependency names declared in one manifest (line-oriented TOML scan —
 /// the workspace's manifests are all in the simple `name = …` /
-/// `name.workspace = true` form).
+/// `name.workspace = true` form). Handles both table form
+/// (`[dependencies]` with one key per crate) and the dotted-header form
+/// (`[dependencies.rand]`), where the header itself names the crate and
+/// the keys below are its fields.
 fn dependency_names(manifest: &str) -> Vec<String> {
     let mut names = Vec::new();
     let mut in_dep_section = false;
@@ -56,7 +72,19 @@ fn dependency_names(manifest: &str) -> Vec<String> {
         }
         if line.starts_with('[') {
             let header = line.trim_matches(|c| c == '[' || c == ']');
-            in_dep_section = is_dependency_section(header);
+            let segments = header_segments(header);
+            in_dep_section = false;
+            if let Some(pos) = segments.iter().position(|s| is_dependency_kind(s)) {
+                if pos + 1 == segments.len() {
+                    // `[dependencies]` / `[workspace.dependencies]` /
+                    // `[target.….dependencies]`: keys below are crates.
+                    in_dep_section = true;
+                } else {
+                    // `[dependencies.<name>]`: the header names the
+                    // crate; keys below are version/features fields.
+                    names.push(segments[pos + 1].clone());
+                }
+            }
             continue;
         }
         if !in_dep_section {
@@ -123,7 +151,28 @@ proptest = { version = "1", default-features = false }
 
 [target.'cfg(unix)'.dependencies]
 libc = "0.2"
+
+[dependencies.serde]
+version = "1"
+features = ["derive"]
+
+[workspace.dependencies.criterion]
+version = "0.5"
+
+[target.'cfg(unix)'.dependencies.nix]
+version = "0.29"
 "#;
     let deps = dependency_names(manifest);
-    assert_eq!(deps, ["sts-geo", "rand", "proptest", "libc"]);
+    assert_eq!(
+        deps,
+        [
+            "sts-geo",
+            "rand",
+            "proptest",
+            "libc",
+            "serde",
+            "criterion",
+            "nix"
+        ]
+    );
 }
