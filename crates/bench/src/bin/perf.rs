@@ -99,6 +99,6 @@ fn main() -> ExitCode {
 fn print_usage() {
     eprintln!("usage: perf [--quick] [--json <path>] [suite ...]");
     eprintln!(
-        "suites: similarity, grid_size, matching, stp, stp_cache, substrates, chaos, runtime"
+        "suites: similarity, grid_size, matching, stp, stp_cache, substrates, chaos, runtime, tiles"
     );
 }

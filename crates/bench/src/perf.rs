@@ -12,7 +12,7 @@ use sts_core::noise::GaussianNoise;
 use sts_core::transition::SpeedKdeTransition;
 use sts_core::{
     default_worker_path, CheckpointConfig, ExecMode, IsolateOptions, JobConfig, StpCacheMode,
-    StpEstimator, Sts, StsConfig,
+    StpEstimator, Sts, StsConfig, TileConfig, TILE_CELL_BYTES,
 };
 use sts_eval::matching::matching_ranks;
 use sts_eval::measures::{make_measure, measure_set, MeasureKind};
@@ -46,6 +46,7 @@ pub fn all_suites() -> Vec<(&'static str, fn(&TimingConfig) -> PerfReport)> {
         ("substrates", substrates),
         ("chaos", chaos),
         ("runtime", runtime),
+        ("tiles", tiles),
     ]
 }
 
@@ -443,6 +444,90 @@ pub fn runtime(config: &TimingConfig) -> PerfReport {
 
     PerfReport {
         suite: "runtime",
+        entries,
+        extras,
+    }
+}
+
+/// Out-of-core tiling: the full in-memory supervised matrix versus the
+/// same job dealt into spilled tiles under a memory budget of 1/8 of
+/// the matrix footprint, plus the tiled top-k reduction that never
+/// materializes full rows. The extras record throughput and the
+/// bounded-memory evidence (`max_resident_cells`, `peak_rss_bytes`)
+/// quoted in README §"Out-of-core matrices".
+pub fn tiles(config: &TimingConfig) -> PerfReport {
+    let scenario = bench_mall(5);
+    let clean: Vec<Trajectory> = scenario.pairs.d1.clone();
+    let sts = Sts::new(
+        StsConfig {
+            noise_sigma: scenario.scale.noise_sigma,
+            ..StsConfig::default()
+        },
+        scenario.default_grid(),
+    );
+    let dir = std::env::temp_dir().join(format!("sts-bench-tiles-{}", std::process::id()));
+    let total_cells = clean.len() * clean.len();
+    // 1/8 of the full matrix footprint: forces ≥ 8 spill/reload cycles.
+    let budget_bytes = (total_cells / 8).max(1) * TILE_CELL_BYTES;
+    let tiling = TileConfig::with_memory_budget(&dir, budget_bytes);
+    let job = JobConfig::default();
+
+    let entries = vec![
+        (
+            "in_memory_matrix".to_string(),
+            time(config, || {
+                sts.similarity_matrix_supervised(&clean, &clean, &job)
+                    .unwrap()
+            }),
+        ),
+        (
+            "tiled_matrix".to_string(),
+            time(config, || {
+                sts.similarity_matrix_tiled(&clean, &clean, &job, &tiling)
+                    .unwrap()
+            }),
+        ),
+        (
+            "tiled_topk_5".to_string(),
+            time(config, || {
+                sts.top_k_matrix_tiled(&clean, &clean, 5, &job, &tiling)
+                    .unwrap()
+            }),
+        ),
+    ];
+
+    // One dedicated tiled run bracketed by registry snapshots for
+    // throughput, plus the report's own tiling stats for the
+    // bounded-memory extras.
+    let base = sts_obs::metrics::global().snapshot();
+    let started = std::time::Instant::now();
+    let (_, report) = sts
+        .similarity_matrix_tiled(&clean, &clean, &job, &tiling)
+        .unwrap();
+    let elapsed = started.elapsed().as_secs_f64();
+    let delta = sts_obs::metrics::global().snapshot().since(&base);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut extras = vec![("matrix_cells".to_string(), total_cells as f64)];
+    let pairs = delta.counter("core.pairs.scored").unwrap_or(0);
+    if elapsed > 0.0 {
+        extras.push(("pairs_per_sec".to_string(), pairs as f64 / elapsed));
+    }
+    extras.push(("tile_pairs".to_string(), tiling.tile_pairs as f64));
+    if let Some(t) = report.stats.tiles {
+        extras.push(("tiles_total".to_string(), t.tiles_total as f64));
+        extras.push(("tiles_spilled".to_string(), t.tiles_spilled as f64));
+        extras.push((
+            "max_resident_cells".to_string(),
+            t.max_resident_cells as f64,
+        ));
+        if let Some(rss) = t.peak_rss_bytes {
+            extras.push(("peak_rss_bytes".to_string(), rss as f64));
+        }
+    }
+
+    PerfReport {
+        suite: "tiles",
         entries,
         extras,
     }

@@ -225,6 +225,14 @@ pub enum JobError {
         /// The path that was probed.
         path: PathBuf,
     },
+    /// The tiled engine was asked to run with an unusable
+    /// [`TileConfig`](crate::TileConfig) — a zero tile size (which
+    /// would schedule forever without progressing) or a checkpoint
+    /// config (tiles *are* the checkpoint; combining both would
+    /// double-write every cell).
+    InvalidTiling(String),
+    /// The tile directory could not be created or scanned.
+    TileDir(std::io::Error),
 }
 
 impl fmt::Display for JobError {
@@ -249,6 +257,8 @@ impl fmt::Display for JobError {
             JobError::WorkerMissing { path } => {
                 write!(f, "worker executable not found at {}", path.display())
             }
+            JobError::InvalidTiling(why) => write!(f, "invalid tile config: {why}"),
+            JobError::TileDir(e) => write!(f, "tile directory unusable: {e}"),
         }
     }
 }
@@ -308,7 +318,11 @@ impl fmt::Display for JobReport {
 /// tax the hot path — so resuming with a corpus edited in place
 /// between identical endpoints is undetected; the documented contract
 /// is "same files, same grid, same order".
-fn job_fingerprint(grid: &Grid, queries: &[Trajectory], candidates: &[Trajectory]) -> u64 {
+pub(crate) fn job_fingerprint(
+    grid: &Grid,
+    queries: &[Trajectory],
+    candidates: &[Trajectory],
+) -> u64 {
     let mut h = Fnv1a::new();
     let area = grid.area();
     for v in [
@@ -335,11 +349,11 @@ fn job_fingerprint(grid: &Grid, queries: &[Trajectory], candidates: &[Trajectory
 }
 
 /// Is this outcome terminal for resume purposes (never recomputed)?
-fn is_terminal(cell: &PairOutcome) -> bool {
+pub(crate) fn is_terminal(cell: &PairOutcome) -> bool {
     !matches!(cell, PairOutcome::Skipped)
 }
 
-fn to_record(cell: &PairOutcome) -> Option<CellRecord> {
+pub(crate) fn to_record(cell: &PairOutcome) -> Option<CellRecord> {
     match cell {
         PairOutcome::Score(s) => Some(CellRecord::Score(*s)),
         PairOutcome::Failed { attempts } => Some(CellRecord::Failed {
@@ -355,7 +369,7 @@ fn to_record(cell: &PairOutcome) -> Option<CellRecord> {
     }
 }
 
-fn from_record(rec: CellRecord) -> PairOutcome {
+pub(crate) fn from_record(rec: CellRecord) -> PairOutcome {
     match rec {
         CellRecord::Score(s) => PairOutcome::Score(s),
         CellRecord::Failed { attempts } => PairOutcome::Failed { attempts },
@@ -879,7 +893,7 @@ fn pending_chunks(done: &[bool], chunk_pairs: usize) -> Vec<PairChunk> {
 /// The report's telemetry section: the global-registry delta since the
 /// job-start snapshot, zero-valued instruments dropped. `None` when
 /// telemetry was not requested.
-fn job_telemetry(base: Option<&sts_obs::Snapshot>) -> Option<Telemetry> {
+pub(crate) fn job_telemetry(base: Option<&sts_obs::Snapshot>) -> Option<Telemetry> {
     base.map(|base| Telemetry {
         metrics: sts_obs::metrics::global()
             .snapshot()
@@ -889,7 +903,7 @@ fn job_telemetry(base: Option<&sts_obs::Snapshot>) -> Option<Telemetry> {
 }
 
 /// Does the config stop a job before any work at all?
-fn check_start(cfg: &JobConfig) -> Option<sts_runtime::StopReason> {
+pub(crate) fn check_start(cfg: &JobConfig) -> Option<sts_runtime::StopReason> {
     if cfg.cancel.is_cancelled() {
         return Some(sts_runtime::StopReason::Cancelled);
     }
@@ -916,7 +930,7 @@ fn snapshot(fingerprint: u64, space: &PairSpace, cells: &[PairOutcome]) -> Check
 }
 
 /// Pair-level accounting common to every exit path.
-fn stats_from(
+pub(crate) fn stats_from(
     space: &PairSpace,
     cells: &[PairOutcome],
     pairs_resumed: usize,
@@ -954,11 +968,12 @@ fn stats_from(
         chunk_wait_total: Duration::ZERO,
         chunk_run_total: Duration::ZERO,
         isolate: None,
+        tiles: None,
     }
 }
 
 /// Flat row-major cells into `Vec<Vec<_>>` rows.
-fn reshape(cells: Vec<PairOutcome>, space: &PairSpace) -> Vec<Vec<PairOutcome>> {
+pub(crate) fn reshape(cells: Vec<PairOutcome>, space: &PairSpace) -> Vec<Vec<PairOutcome>> {
     let cols = space.cols();
     if cols == 0 {
         return vec![Vec::new(); space.rows()];

@@ -46,6 +46,7 @@ pub mod noise;
 mod stpcache;
 pub mod stprob;
 mod sts;
+pub mod tiled;
 pub mod transition;
 pub mod worker;
 
@@ -58,6 +59,7 @@ pub use noise::{DeterministicNoise, GaussianNoise, NoiseModel, UniformDiscNoise}
 pub use stpcache::{StpCacheMode, StpScratch};
 pub use stprob::{StpEstimator, StpEvalScratch};
 pub use sts::{exposure_duration, PreparedTrajectory, Sts, StsConfig, StsVariant};
+pub use tiled::{TileConfig, TILE_CELL_BYTES};
 pub use transition::{
     BrownianTransition, FrequencyTransition, SpeedKdeTransition, TransitionModel,
 };

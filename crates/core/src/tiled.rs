@@ -1,0 +1,831 @@
+//! Out-of-core tiled similarity matrices: crash-safe spill/merge on
+//! top of the supervised job engine.
+//!
+//! [`Sts::similarity_matrix_supervised`] holds the whole `N × M` cell
+//! vector in memory for the life of the job. At production corpus
+//! sizes that is the binding constraint long before wall-clock is: a
+//! 200k × 200k matrix of outcomes does not fit, and an OOM kill at 90%
+//! loses everything the checkpoint interval did not cover. This module
+//! removes the constraint without weakening a single supervised
+//! guarantee:
+//!
+//! * the pair space is dealt into **tiles** ([`TileConfig::tile_pairs`]
+//!   pairs each, derivable from a byte budget via
+//!   [`TileConfig::with_memory_budget`]);
+//! * each tile is computed on the existing engine — the in-process
+//!   pool or the `sts-worker` subprocess fleet, per
+//!   [`JobConfig::exec`](crate::job::JobConfig::exec) — then
+//!   **spilled** to its own file through the
+//!   [`Storage`](sts_runtime::Storage) trait with the checkpoint
+//!   layer's full durability discipline (tmp write → fsync → rename →
+//!   dir fsync) and **read-back verified** before the in-memory copy
+//!   is dropped;
+//! * tile files are bound to the job fingerprint and digest-protected
+//!   ([`sts_runtime::tile`]): a torn write, flipped byte or stale file
+//!   is *detected*, quarantined aside as `.corrupt` evidence and
+//!   recomputed — never silently read back;
+//! * completed tiles **are** the checkpoint: a killed job resumes by
+//!   reloading verified tiles and recomputing only the rest, so the
+//!   resumed result is byte-identical to an uninterrupted run (the
+//!   default [`StpCacheMode::Exact`](crate::StpCacheMode) scoring path
+//!   is deterministic and visitation-order independent);
+//! * the final matrix is **stream-merged** tile by tile into the
+//!   caller's sink, so the engine itself holds at most one tile plus
+//!   any spill-failed fallbacks — the honest bound is reported as
+//!   [`TileStats::max_resident_cells`] and the measured one as
+//!   [`TileStats::peak_rss_bytes`].
+//!
+//! A spill failure (ENOSPC, verification failure on read-back) costs
+//! durability for that tile, not correctness: the tile is served from
+//! memory and counted in [`TileStats::spill_errors`]. The disk-chaos
+//! suite in `sts-robust` drives torn writes, bit flips, ENOSPC and
+//! stale-tmp crashes through this engine via an injected `Storage`
+//! implementation and asserts bit-identical results with every
+//! corruption detected.
+
+use crate::batch::{prepare_all, BatchReport, PairOutcome};
+use crate::job::{
+    check_start, from_record, is_terminal, job_fingerprint, job_telemetry, reshape, to_record,
+    ExecMode, IsolateOptions, JobConfig, JobError, JobReport,
+};
+use crate::sts::{sort_scores_descending, PreparedTrajectory, Sts};
+use crate::worker;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use sts_isolate::{IsolateConfig, WorkerSpec};
+use sts_obs::trace;
+use sts_runtime::pool::{run_supervised_with, ChunkStatus, PoolConfig};
+use sts_runtime::{
+    Budget, FsStorage, IsolateStats, JobState, JobStats, PairChunk, PairSpace, StopReason, Storage,
+    TileData, TileError, TileStats, TileStore,
+};
+use sts_traj::Trajectory;
+
+/// Rough in-memory footprint of one resident cell record (outcome enum
+/// plus `Vec` slack), used by [`TileConfig::with_memory_budget`] to
+/// turn a byte budget into a tile size. Deliberately conservative.
+pub const TILE_CELL_BYTES: usize = 64;
+
+/// How a tiled job spills and resumes: the tile directory, the tile
+/// granularity and the storage implementation all tile I/O goes
+/// through (the chaos suite injects a fault-raising one).
+#[derive(Clone)]
+pub struct TileConfig {
+    /// Directory holding the per-tile spill files (created if absent).
+    /// A directory left by a killed run of the *same* job is resumed
+    /// from; tiles from a different job are detected by fingerprint
+    /// and recomputed.
+    pub dir: PathBuf,
+    /// Pairs per tile — the spill granularity and the engine's
+    /// resident-memory unit. Must be ≥ 1
+    /// ([`JobError::InvalidTiling`] otherwise: a zero tile would
+    /// schedule forever without progressing).
+    pub tile_pairs: usize,
+    /// Keep tile files after a run that resolved every pair (default:
+    /// they are removed — quarantined `.corrupt` evidence is always
+    /// kept). Interrupted runs always keep them; they are the resume
+    /// state.
+    pub keep_tiles: bool,
+    /// The storage implementation behind every tile read and write.
+    pub storage: Arc<dyn Storage>,
+}
+
+impl fmt::Debug for TileConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TileConfig")
+            .field("dir", &self.dir)
+            .field("tile_pairs", &self.tile_pairs)
+            .field("keep_tiles", &self.keep_tiles)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TileConfig {
+    /// Spill to `dir` with the default tile size (4096 pairs) on the
+    /// real filesystem.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        TileConfig {
+            dir: dir.into(),
+            tile_pairs: 4096,
+            keep_tiles: false,
+            storage: Arc::new(FsStorage),
+        }
+    }
+
+    /// Derive the tile size from a resident-memory budget in bytes
+    /// (at least one pair per tile, [`TILE_CELL_BYTES`] per cell).
+    pub fn with_memory_budget(dir: impl Into<PathBuf>, budget_bytes: usize) -> Self {
+        TileConfig {
+            tile_pairs: (budget_bytes / TILE_CELL_BYTES).max(1),
+            ..TileConfig::new(dir)
+        }
+    }
+}
+
+/// Where a tile's cells live between phase A (compute/spill) and
+/// phase B (merge).
+enum TileSource {
+    /// Durably on disk, verified; reloaded one at a time at merge.
+    Disk,
+    /// Held in memory: the spill failed, or the run stopped mid-tile
+    /// (partial tiles are never spilled). Dense, tile-length.
+    Memory(Vec<PairOutcome>),
+    /// Never attempted — the run stopped before this tile.
+    Skipped,
+}
+
+/// One tile's compute outcome.
+struct TileRun {
+    /// Dense outcomes for the tile's slab (`Skipped` where the run
+    /// stopped first).
+    outs: Vec<PairOutcome>,
+    /// Why the engine under this tile stopped early, if it did.
+    stop: Option<StopReason>,
+    /// Pool-level chunk retries (in-process only).
+    pool_retries: u64,
+    /// Scheduling/run time accounting (in-process only).
+    wait: Duration,
+    run: Duration,
+}
+
+/// Resolved subprocess execution context, prepared once per job.
+struct SubExec<'a> {
+    opts: &'a IsolateOptions,
+    program: PathBuf,
+    preamble: Vec<String>,
+}
+
+impl Sts {
+    /// The supervised similarity matrix computed **out of core**: same
+    /// contract as
+    /// [`similarity_matrix_supervised`](Sts::similarity_matrix_supervised)
+    /// — budget, cancellation, retries, fault injection, in-process or
+    /// subprocess execution — but progress is spilled per tile and the
+    /// engine never holds more than one tile of cells (see the
+    /// [module docs](crate::tiled)). The returned full matrix is the
+    /// *caller's* memory; use
+    /// [`top_k_matrix_tiled`](Sts::top_k_matrix_tiled) when the output
+    /// itself must stay bounded.
+    ///
+    /// A run interrupted at any point — including SIGKILL mid-spill —
+    /// resumes from `tiling.dir` with byte-identical results.
+    pub fn similarity_matrix_tiled(
+        &self,
+        queries: &[Trajectory],
+        candidates: &[Trajectory],
+        cfg: &JobConfig,
+        tiling: &TileConfig,
+    ) -> Result<(Vec<Vec<PairOutcome>>, JobReport), JobError> {
+        let space = PairSpace::new(queries.len(), candidates.len());
+        let mut cells = vec![PairOutcome::Skipped; space.len()];
+        let report = self.tiled_engine(queries, candidates, cfg, tiling, &mut |lin, outcome| {
+            cells[lin] = outcome;
+        })?;
+        Ok((reshape(cells, &space), report))
+    }
+
+    /// Top-k nearest candidates for **every** query row, out of core:
+    /// the full `N × M` matrix is never materialized — each row keeps
+    /// a bounded accumulator (at most `max(2k, 16)` entries) that is
+    /// pruned as tiles stream through the merge. Ranking semantics
+    /// match [`top_k_supervised`](Sts::top_k_supervised): only scored
+    /// cells rank; skipped, quarantined and failed pairs are excluded
+    /// (the report says which and why).
+    pub fn top_k_matrix_tiled(
+        &self,
+        queries: &[Trajectory],
+        candidates: &[Trajectory],
+        k: usize,
+        cfg: &JobConfig,
+        tiling: &TileConfig,
+    ) -> Result<(Vec<Vec<(usize, f64)>>, JobReport), JobError> {
+        let cols = candidates.len();
+        let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); queries.len()];
+        let prune_at = k.saturating_mul(2).max(16);
+        let report = self.tiled_engine(queries, candidates, cfg, tiling, &mut |lin, outcome| {
+            if let Some(s) = outcome.score() {
+                let row = &mut rows[lin / cols];
+                row.push((lin % cols, s));
+                if row.len() >= prune_at {
+                    sort_scores_descending(row);
+                    row.truncate(k);
+                }
+            }
+        })?;
+        for row in &mut rows {
+            sort_scores_descending(row);
+            row.truncate(k);
+        }
+        Ok((rows, report))
+    }
+
+    /// Single-query top-k, out of core: row 0 of a `1 × candidates`
+    /// [`top_k_matrix_tiled`](Sts::top_k_matrix_tiled) job.
+    pub fn top_k_tiled(
+        &self,
+        query: &Trajectory,
+        candidates: &[Trajectory],
+        k: usize,
+        cfg: &JobConfig,
+        tiling: &TileConfig,
+    ) -> Result<(Vec<(usize, f64)>, JobReport), JobError> {
+        let (mut rows, report) =
+            self.top_k_matrix_tiled(std::slice::from_ref(query), candidates, k, cfg, tiling)?;
+        Ok((rows.pop().unwrap_or_default(), report))
+    }
+
+    /// The engine both public entry points share. `sink` receives
+    /// every non-skipped cell exactly once, in ascending linear-index
+    /// order; cells the run never reached are simply not emitted (the
+    /// matrix sink pre-fills `Skipped`).
+    fn tiled_engine(
+        &self,
+        queries: &[Trajectory],
+        candidates: &[Trajectory],
+        cfg: &JobConfig,
+        tiling: &TileConfig,
+        sink: &mut dyn FnMut(usize, PairOutcome),
+    ) -> Result<JobReport, JobError> {
+        let started = Instant::now();
+        let _job_span = trace::span("job.tiled");
+        let metrics_base = cfg.telemetry.then(|| sts_obs::metrics::global().snapshot());
+
+        if tiling.tile_pairs == 0 {
+            return Err(JobError::InvalidTiling(
+                "tile_pairs must be ≥ 1 (a zero-pair tile would never progress)".into(),
+            ));
+        }
+        if cfg.checkpoint.is_some() {
+            return Err(JobError::InvalidTiling(
+                "JobConfig::checkpoint cannot be combined with tiling — completed tiles are \
+                 the checkpoint"
+                    .into(),
+            ));
+        }
+
+        let space = PairSpace::new(queries.len(), candidates.len());
+        let mut batch = BatchReport::default();
+
+        // A job with no budget returns before preparing anything, like
+        // the supervised engine: "0-pair budget" means *immediately*.
+        if let Some(reason) = check_start(cfg) {
+            let mut stats = zeroed_stats(JobState::from_run(Some(reason), false), space.len());
+            stats.elapsed = started.elapsed();
+            stats.pairs_skipped = space.len();
+            stats.tiles = Some(TileStats::default());
+            return Ok(JobReport {
+                batch,
+                stats,
+                telemetry: job_telemetry(metrics_base.as_ref()),
+            });
+        }
+
+        let (prepared_q, prepared_c) = {
+            let _span = trace::span("job.prepare");
+            (
+                prepare_all(self, queries, &mut batch.quarantined_queries),
+                prepare_all(self, candidates, &mut batch.quarantined_candidates),
+            )
+        };
+
+        // Resolve subprocess execution up front so a missing worker
+        // fails fast, before any tile I/O.
+        let sub: Option<SubExec<'_>> = match &cfg.exec {
+            ExecMode::InProcess => None,
+            ExecMode::Subprocess(opts) => {
+                let spec = self.measure_spec().ok_or(JobError::SubprocessUnsupported)?;
+                let program = opts
+                    .worker
+                    .clone()
+                    .unwrap_or_else(worker::default_worker_path);
+                if !program.is_file() {
+                    return Err(JobError::WorkerMissing { path: program });
+                }
+                Some(SubExec {
+                    opts,
+                    program,
+                    preamble: worker::encode_preamble(
+                        spec,
+                        self.grid(),
+                        cfg,
+                        &space,
+                        queries,
+                        candidates,
+                    ),
+                })
+            }
+        };
+
+        let fingerprint = job_fingerprint(self.grid(), queries, candidates);
+        let (store, swept) = TileStore::open(tiling.storage.as_ref(), &tiling.dir, fingerprint)
+            .map_err(JobError::TileDir)?;
+
+        let tiles: Vec<PairChunk> = space.chunks(tiling.tile_pairs).collect();
+        let mut tstats = TileStats {
+            tiles_total: tiles.len(),
+            stale_tmp_swept: swept,
+            ..TileStats::default()
+        };
+
+        // ---- Phase A: per tile, resume-or-compute, then spill. -----
+        let cell_retries = AtomicU64::new(0);
+        let mut sources: Vec<TileSource> = Vec::with_capacity(tiles.len());
+        let mut stop_reason: Option<StopReason> = None;
+        let mut new_pairs = 0usize; // computed this run (budget unit)
+        let mut pairs_resumed = 0usize;
+        let mut pool_retries = 0u64;
+        let mut wait_total = Duration::ZERO;
+        let mut run_total = Duration::ZERO;
+        let mut resident_fallback = 0usize; // cells pinned by Memory sources
+        let mut agg_iso: Option<IsolateStats> = None;
+
+        for tile in &tiles {
+            let _span = trace::span("job.tiled.tile");
+            // Resume first, stopped or not: a verified tile on disk is
+            // free progress, exactly like checkpointed cells in the
+            // supervised engine.
+            match load_verified(&store, tile, &space, &prepared_q, &prepared_c) {
+                Loaded::Verified => {
+                    tstats.max_resident_cells =
+                        tstats.max_resident_cells.max(resident_fallback + tile.len);
+                    tstats.tiles_resumed += 1;
+                    pairs_resumed += tile.len;
+                    sources.push(TileSource::Disk);
+                    continue;
+                }
+                Loaded::Corrupt => {
+                    store.quarantine(tile.id);
+                    tstats.tiles_corrupt += 1;
+                }
+                Loaded::Absent => {}
+            }
+
+            if stop_reason.is_none() {
+                stop_reason = stop_check(cfg, new_pairs);
+            }
+            if stop_reason.is_some() {
+                sources.push(TileSource::Skipped);
+                continue;
+            }
+
+            // Compute the tile on the configured engine with whatever
+            // budget is left globally (the deadline is absolute, so it
+            // carries over unchanged).
+            tstats.max_resident_cells = tstats.max_resident_cells.max(resident_fallback + tile.len);
+            let remaining = Budget {
+                deadline: cfg.budget.deadline,
+                max_pairs: cfg.budget.max_pairs.map(|m| m.saturating_sub(new_pairs)),
+            };
+            let tr = self.compute_tile(
+                tile,
+                &space,
+                &prepared_q,
+                &prepared_c,
+                cfg,
+                sub.as_ref(),
+                remaining,
+                &cell_retries,
+                &mut agg_iso,
+            );
+            tstats.tiles_computed += 1;
+            new_pairs += tr.outs.iter().filter(|o| is_terminal(o)).count();
+            pool_retries += tr.pool_retries;
+            wait_total += tr.wait;
+            run_total += tr.run;
+
+            if tr.stop.is_some() {
+                // Partial tiles are never spilled: a tile file always
+                // represents a *complete* slab.
+                stop_reason = tr.stop;
+                resident_fallback += tile.len;
+                sources.push(TileSource::Memory(tr.outs));
+                continue;
+            }
+
+            sources.push(spill_tile(
+                &store,
+                tile,
+                tr.outs,
+                &mut tstats,
+                &mut resident_fallback,
+            ));
+        }
+
+        // ---- Phase B: stream-merge tiles into the sink. ------------
+        let merge_span = trace::span("job.tiled.merge");
+        let mut pairs_skipped = 0usize;
+        let mut pairs_failed = 0usize;
+        let mut emit = |lin: usize, outcome: PairOutcome, batch: &mut BatchReport| {
+            match &outcome {
+                PairOutcome::Skipped => pairs_skipped += 1,
+                PairOutcome::Panicked => {
+                    pairs_failed += 1;
+                    batch.panicked_pairs.push(space.pair(lin));
+                }
+                PairOutcome::Failed { .. } => {
+                    pairs_failed += 1;
+                    batch.failed_pairs.push(space.pair(lin));
+                }
+                PairOutcome::Poisoned { exit } => {
+                    pairs_failed += 1;
+                    let (i, j) = space.pair(lin);
+                    batch.poisoned_pairs.push((i, j, *exit));
+                }
+                PairOutcome::Score(_) | PairOutcome::Quarantined => {}
+            }
+            if !matches!(outcome, PairOutcome::Skipped) {
+                sink(lin, outcome);
+            }
+        };
+
+        let mut chunks_completed = 0usize;
+        for (tile, source) in tiles.iter().zip(sources) {
+            match source {
+                TileSource::Skipped => {
+                    for lin in tile.range() {
+                        emit(lin, PairOutcome::Skipped, &mut batch);
+                    }
+                }
+                TileSource::Memory(outs) => {
+                    if outs.iter().all(is_terminal) {
+                        chunks_completed += 1;
+                    }
+                    for (off, outcome) in outs.into_iter().enumerate() {
+                        emit(tile.start + off, outcome, &mut batch);
+                    }
+                    resident_fallback = resident_fallback.saturating_sub(tile.len);
+                }
+                TileSource::Disk => {
+                    tstats.max_resident_cells =
+                        tstats.max_resident_cells.max(resident_fallback + tile.len);
+                    match store.load(tile.id, tile.start, tile.len) {
+                        Ok(Some(mut data)) => {
+                            chunks_completed += 1;
+                            data.cells.sort_unstable_by_key(|(lin, _)| *lin);
+                            let mut recs = data.cells.into_iter().peekable();
+                            for lin in tile.range() {
+                                let outcome = match recs.peek() {
+                                    Some((l, _)) if *l == lin => {
+                                        from_record(recs.next().expect("peeked").1)
+                                    }
+                                    _ => PairOutcome::Quarantined,
+                                };
+                                emit(lin, outcome, &mut batch);
+                            }
+                        }
+                        // Verified minutes ago and unreadable now —
+                        // disk decay mid-job. Detect, quarantine,
+                        // recompute inline: a corrupt tile is never
+                        // read back and never fabricated.
+                        Ok(None) | Err(_) => {
+                            store.quarantine(tile.id);
+                            tstats.tiles_corrupt += 1;
+                            if stop_reason.is_none() {
+                                stop_reason = stop_check(cfg, new_pairs);
+                            }
+                            if stop_reason.is_some() {
+                                for lin in tile.range() {
+                                    emit(lin, PairOutcome::Skipped, &mut batch);
+                                }
+                                continue;
+                            }
+                            let remaining = Budget {
+                                deadline: cfg.budget.deadline,
+                                max_pairs: cfg
+                                    .budget
+                                    .max_pairs
+                                    .map(|m| m.saturating_sub(new_pairs)),
+                            };
+                            let tr = self.compute_tile(
+                                tile,
+                                &space,
+                                &prepared_q,
+                                &prepared_c,
+                                cfg,
+                                sub.as_ref(),
+                                remaining,
+                                &cell_retries,
+                                &mut agg_iso,
+                            );
+                            tstats.tiles_computed += 1;
+                            new_pairs += tr.outs.iter().filter(|o| is_terminal(o)).count();
+                            pool_retries += tr.pool_retries;
+                            stop_reason = tr.stop;
+                            if tr.outs.iter().all(is_terminal) {
+                                chunks_completed += 1;
+                            }
+                            for (off, outcome) in tr.outs.into_iter().enumerate() {
+                                emit(tile.start + off, outcome, &mut batch);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        drop(merge_span);
+
+        // Tiles are resume state: only a run that resolved every pair
+        // may clean up (quarantined `.corrupt` files are kept either
+        // way — they are the post-mortem evidence).
+        if stop_reason.is_none() && !tiling.keep_tiles {
+            let _ = store.remove_all_tiles();
+        }
+
+        tstats.peak_rss_bytes = sts_obs::record_peak_rss();
+
+        let any_failed = pairs_failed > 0;
+        let mut stats = zeroed_stats(JobState::from_run(stop_reason, any_failed), space.len());
+        stats.elapsed = started.elapsed();
+        stats.pairs_completed = space.len() - pairs_skipped;
+        stats.pairs_failed = pairs_failed;
+        stats.pairs_skipped = pairs_skipped;
+        stats.pairs_resumed = pairs_resumed;
+        stats.chunks_total = tiles.len();
+        stats.chunks_completed = chunks_completed;
+        stats.chunks_skipped = tiles.len() - chunks_completed;
+        stats.chunk_wait_total = wait_total;
+        stats.chunk_run_total = run_total;
+        stats.retries = pool_retries + cell_retries.into_inner();
+        stats.isolate = agg_iso;
+        stats.tiles = Some(tstats);
+
+        Ok(JobReport {
+            batch,
+            stats,
+            telemetry: job_telemetry(metrics_base.as_ref()),
+        })
+    }
+
+    /// Computes one tile's slab on the configured engine. Returns
+    /// dense outcomes (`Skipped` where the engine stopped first).
+    #[allow(clippy::too_many_arguments)]
+    fn compute_tile(
+        &self,
+        tile: &PairChunk,
+        space: &PairSpace,
+        prepared_q: &[Option<PreparedTrajectory>],
+        prepared_c: &[Option<PreparedTrajectory>],
+        cfg: &JobConfig,
+        sub: Option<&SubExec<'_>>,
+        remaining: Budget,
+        cell_retries: &AtomicU64,
+        agg_iso: &mut Option<IsolateStats>,
+    ) -> TileRun {
+        let sub_chunks = chunk_tile(tile, cfg.chunk_pairs);
+        let mut outs = vec![PairOutcome::Skipped; tile.len];
+
+        if let Some(sub) = sub {
+            let iso = IsolateConfig {
+                worker: WorkerSpec {
+                    program: sub.program.clone(),
+                    args: vec!["serve".to_string()],
+                    envs: Vec::new(),
+                },
+                workers: cfg.threads,
+                hard_timeout: sub.opts.hard_timeout,
+                ready_timeout: sub.opts.ready_timeout,
+                restart_budget: sub.opts.restart_budget,
+                poison_attempts: sub.opts.poison_attempts,
+                budget: remaining,
+                cancel: cfg.cancel.clone(),
+                ..IsolateConfig::default()
+            };
+            let run =
+                sts_isolate::supervise(&sub_chunks, &iso, &sub.preamble, |_chunk, payload| {
+                    let Some(parsed) = worker::decode_result_payload(payload) else {
+                        return;
+                    };
+                    for (lin, outcome) in parsed {
+                        if lin >= tile.start && lin < tile.start + tile.len {
+                            outs[lin - tile.start] = outcome;
+                        }
+                    }
+                });
+            for p in &run.poisoned {
+                if p.lin >= tile.start && p.lin < tile.start + tile.len {
+                    outs[p.lin - tile.start] = PairOutcome::Poisoned { exit: p.exit };
+                }
+            }
+            let iso_stats = agg_iso.get_or_insert_with(IsolateStats::default);
+            iso_stats.workers_spawned += run.workers_spawned;
+            iso_stats.worker_restarts += run.worker_restarts;
+            iso_stats.worker_kills += run.worker_kills;
+            iso_stats.protocol_errors += run.protocol_errors;
+            iso_stats.pairs_poisoned += run.poisoned.len();
+            iso_stats.max_bisect_depth = iso_stats.max_bisect_depth.max(run.max_bisect_depth);
+            return TileRun {
+                outs,
+                stop: run.stop,
+                pool_retries: 0,
+                wait: Duration::ZERO,
+                run: run.elapsed,
+            };
+        }
+
+        let work =
+            |scratch: &mut crate::StpScratch, chunk: &PairChunk| -> Vec<(usize, PairOutcome)> {
+                let mut v = Vec::with_capacity(chunk.len);
+                for lin in chunk.range() {
+                    let (i, j) = space.pair(lin);
+                    v.push((
+                        lin,
+                        self.score_cell_retrying(
+                            prepared_q[i].as_ref(),
+                            prepared_c[j].as_ref(),
+                            cfg,
+                            lin,
+                            cell_retries,
+                            scratch,
+                        ),
+                    ));
+                }
+                v
+            };
+        let pool_cfg = PoolConfig {
+            threads: cfg.threads,
+            retry: cfg.retry,
+            soft_timeout: cfg.soft_timeout,
+            budget: remaining,
+            cancel: cfg.cancel.clone(),
+        };
+        let run = run_supervised_with(
+            &sub_chunks,
+            &pool_cfg,
+            |_slot| crate::StpScratch::new(),
+            work,
+            |_chunk, computed| {
+                for (lin, outcome) in computed {
+                    outs[lin - tile.start] = outcome;
+                }
+            },
+        );
+        // Pool-level backstop, identical to the supervised engine:
+        // cells of a terminally failed chunk become Failed (or
+        // Panicked under the legacy no-retry contract).
+        for (idx, status) in run.statuses.iter().enumerate() {
+            if let ChunkStatus::Failed { attempts } = status {
+                for lin in sub_chunks[idx].range() {
+                    if !is_terminal(&outs[lin - tile.start]) {
+                        outs[lin - tile.start] = if cfg.retry.max_retries == 0 {
+                            PairOutcome::Panicked
+                        } else {
+                            PairOutcome::Failed {
+                                attempts: *attempts,
+                            }
+                        };
+                    }
+                }
+            }
+        }
+        TileRun {
+            outs,
+            stop: run.stop,
+            pool_retries: run.retries,
+            wait: run.chunk_wait,
+            run: run.chunk_run,
+        }
+    }
+}
+
+/// What probing the store for an existing tile concluded.
+enum Loaded {
+    /// Present, verified, and consistent with this job's preparation.
+    Verified,
+    /// Present but failed verification (or inconsistent coverage) —
+    /// the caller must quarantine and recompute.
+    Corrupt,
+    /// Not spilled yet (or unreadable: treated as absent and
+    /// recomputed).
+    Absent,
+}
+
+/// Probes the store for tile `tile.id` and cross-checks its record
+/// coverage against preparation: every pair in the slab must have a
+/// record XOR be quarantined (fingerprint-matched inputs prepare
+/// deterministically, so any disagreement means the file does not
+/// describe this job and is treated as corrupt).
+fn load_verified(
+    store: &TileStore<'_>,
+    tile: &PairChunk,
+    space: &PairSpace,
+    prepared_q: &[Option<PreparedTrajectory>],
+    prepared_c: &[Option<PreparedTrajectory>],
+) -> Loaded {
+    let mut data = match store.load(tile.id, tile.start, tile.len) {
+        Ok(Some(data)) => data,
+        Ok(None) | Err(TileError::Io(_)) => return Loaded::Absent,
+        Err(TileError::Corrupt { .. }) => return Loaded::Corrupt,
+    };
+    data.cells.sort_unstable_by_key(|(lin, _)| *lin);
+    let mut recs = data.cells.iter().peekable();
+    for lin in tile.range() {
+        let has_record = matches!(recs.peek(), Some((l, _)) if *l == lin);
+        if has_record {
+            recs.next();
+        }
+        let (i, j) = space.pair(lin);
+        let quarantined = prepared_q[i].is_none() || prepared_c[j].is_none();
+        if has_record == quarantined {
+            return Loaded::Corrupt;
+        }
+    }
+    Loaded::Verified
+}
+
+/// Spills a completed tile and read-back-verifies it before letting
+/// go of the in-memory copy. Any failure — write error (ENOSPC, a
+/// crash-shaped storage fault) or a read-back that does not verify
+/// bit-for-bit — degrades to serving the tile from memory.
+fn spill_tile(
+    store: &TileStore<'_>,
+    tile: &PairChunk,
+    outs: Vec<PairOutcome>,
+    tstats: &mut TileStats,
+    resident_fallback: &mut usize,
+) -> TileSource {
+    let data = TileData {
+        id: tile.id,
+        start: tile.start,
+        len: tile.len,
+        cells: outs
+            .iter()
+            .enumerate()
+            .filter_map(|(off, o)| to_record(o).map(|rec| (tile.start + off, rec)))
+            .collect(),
+    };
+    let durable = match store.save(&data) {
+        Err(_) => false,
+        Ok(()) => match store.load(tile.id, tile.start, tile.len) {
+            Ok(Some(back)) if back == data => true,
+            Ok(_) | Err(TileError::Io(_)) => false,
+            Err(TileError::Corrupt { .. }) => {
+                store.quarantine(tile.id);
+                tstats.tiles_corrupt += 1;
+                false
+            }
+        },
+    };
+    if durable {
+        tstats.tiles_spilled += 1;
+        TileSource::Disk
+    } else {
+        tstats.spill_errors += 1;
+        *resident_fallback += tile.len;
+        TileSource::Memory(outs)
+    }
+}
+
+/// Deals one tile's slab into scheduling chunks of `chunk_pairs`
+/// (clamped to ≥ 1), with linear indices absolute in the full pair
+/// space — a subprocess worker scores whatever slab it is sent, so
+/// the chunks must speak the global coordinate system.
+fn chunk_tile(tile: &PairChunk, chunk_pairs: usize) -> Vec<PairChunk> {
+    let size = chunk_pairs.max(1);
+    let n = tile.len.div_ceil(size);
+    (0..n)
+        .map(|k| PairChunk {
+            id: k,
+            start: tile.start + k * size,
+            len: size.min(tile.len - k * size),
+        })
+        .collect()
+}
+
+/// Cancellation and global-budget check between tiles, mirroring the
+/// supervised engine's per-chunk stop checks.
+fn stop_check(cfg: &JobConfig, new_pairs: usize) -> Option<StopReason> {
+    if cfg.cancel.is_cancelled() {
+        return Some(StopReason::Cancelled);
+    }
+    cfg.budget.check(new_pairs)
+}
+
+/// A [`JobStats`] with every counter at zero — the tiled engine fills
+/// in what it tracked (`JobStats` carries no `Default`: a job state
+/// has no meaningful default).
+fn zeroed_stats(state: JobState, pairs_total: usize) -> JobStats {
+    JobStats {
+        state,
+        elapsed: Duration::ZERO,
+        pairs_total,
+        pairs_completed: 0,
+        pairs_failed: 0,
+        pairs_skipped: 0,
+        pairs_resumed: 0,
+        chunks_total: 0,
+        chunks_completed: 0,
+        chunks_failed: 0,
+        chunks_skipped: 0,
+        retries: 0,
+        slow_chunks: Vec::new(),
+        checkpoint_flushes: 0,
+        checkpoint_write_errors: 0,
+        chunk_wait_total: Duration::ZERO,
+        chunk_run_total: Duration::ZERO,
+        isolate: None,
+        tiles: None,
+    }
+}

@@ -39,12 +39,14 @@
 
 pub mod json;
 pub mod metrics;
+pub mod process;
 pub mod trace;
 
 pub use metrics::{
     metrics_enabled, set_metrics_enabled, Counter, Gauge, Histogram, HistogramSnapshot, Registry,
     Snapshot, Telemetry,
 };
+pub use process::{peak_rss_bytes, record_peak_rss};
 pub use trace::{
     clear_subscriber, event, set_subscriber, span, span_with_parent, tracing_enabled, EventRecord,
     JsonlSubscriber, NullSubscriber, RingRecorder, Span, SpanRecord, Subscriber,

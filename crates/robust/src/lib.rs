@@ -33,6 +33,10 @@
 //! including NaN), never `Trajectory` (whose constructor enforces the
 //! clean-data invariants).
 
+pub mod disk;
+
+pub use disk::{DiskFault, DiskFaultPlan, FaultyStorage, InjectedFault};
+
 use sts_rng::{Rng, Xoshiro256pp};
 use sts_traj::TrajPoint;
 

@@ -32,8 +32,8 @@
 //! is re-derived from preparation on resume (it is cheap and depends
 //! only on the inputs the fingerprint already covers).
 
+use crate::store::Storage;
 use std::fmt;
-use std::fs;
 use std::io::{self, BufRead, Write};
 use std::path::Path;
 
@@ -104,6 +104,54 @@ pub enum CellRecord {
     },
 }
 
+/// The record's tag-and-value fields (`s 0.5`, `f 3`, `p`,
+/// `x signal:6`) — the part of a `cell` line after the indices. Shared
+/// with the tile format (`crate::tile`), which keys records by linear
+/// index instead of `(row, col)` but stores identical outcomes.
+pub(crate) fn record_fields(rec: &CellRecord) -> String {
+    match rec {
+        CellRecord::Score(s) => format!("s {s}"),
+        CellRecord::Failed { attempts } => format!("f {attempts}"),
+        CellRecord::Panicked => "p".to_string(),
+        CellRecord::Poisoned { exit } => format!("x {exit}"),
+    }
+}
+
+/// Parses the tag-and-value fields written by [`record_fields`].
+pub(crate) fn record_from_fields(
+    fields: &mut std::str::SplitWhitespace,
+) -> Result<CellRecord, String> {
+    let tag = fields
+        .next()
+        .ok_or_else(|| "missing cell tag".to_string())?;
+    match tag {
+        "s" => {
+            let v = fields.next().ok_or_else(|| "missing score".to_string())?;
+            v.parse()
+                .map(CellRecord::Score)
+                .map_err(|_| format!("bad score `{v}`"))
+        }
+        "f" => {
+            let v = fields
+                .next()
+                .ok_or_else(|| "missing attempts".to_string())?;
+            v.parse()
+                .map(|attempts| CellRecord::Failed { attempts })
+                .map_err(|_| format!("bad attempts `{v}`"))
+        }
+        "p" => Ok(CellRecord::Panicked),
+        "x" => {
+            let v = fields
+                .next()
+                .ok_or_else(|| "missing worker exit".to_string())?;
+            v.parse()
+                .map(|exit| CellRecord::Poisoned { exit })
+                .map_err(|_| format!("bad worker exit `{v}`"))
+        }
+        other => Err(format!("unknown cell tag `{other}`")),
+    }
+}
+
 /// An in-memory checkpoint: header plus every terminal cell.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Checkpoint {
@@ -129,6 +177,21 @@ pub enum CheckpointError {
         /// What was wrong with it.
         message: String,
     },
+    /// The *final* record of the file is malformed — the signature of
+    /// a torn write (truncation mid-append). Unlike [`Parse`], every
+    /// record before it is intact, so [`load_checkpoint`] recovers by
+    /// dropping the torn tail and resuming from the last intact record
+    /// instead of failing the whole load. Mid-file damage stays a hard
+    /// [`Parse`] error: that is bit rot, not a crash artifact, and
+    /// trusting any of the file would be a guess.
+    ///
+    /// [`Parse`]: CheckpointError::Parse
+    TornTail {
+        /// 1-based line number of the torn final line.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
 }
 
 impl fmt::Display for CheckpointError {
@@ -137,6 +200,9 @@ impl fmt::Display for CheckpointError {
             CheckpointError::Io(e) => write!(f, "I/O error: {e}"),
             CheckpointError::Parse { line, message } => {
                 write!(f, "checkpoint line {line}: {message}")
+            }
+            CheckpointError::TornTail { line, message } => {
+                write!(f, "checkpoint line {line} (torn final record): {message}")
             }
         }
     }
@@ -157,12 +223,7 @@ pub fn write_checkpoint<W: Write>(w: &mut W, cp: &Checkpoint) -> io::Result<()> 
     writeln!(w, "fingerprint {:016x}", cp.fingerprint)?;
     writeln!(w, "dims {} {}", cp.rows, cp.cols)?;
     for &(i, j, rec) in &cp.cells {
-        match rec {
-            CellRecord::Score(s) => writeln!(w, "cell {i} {j} s {s}")?,
-            CellRecord::Failed { attempts } => writeln!(w, "cell {i} {j} f {attempts}")?,
-            CellRecord::Panicked => writeln!(w, "cell {i} {j} p")?,
-            CellRecord::Poisoned { exit } => writeln!(w, "cell {i} {j} x {exit}")?,
-        }
+        writeln!(w, "cell {i} {j} {}", record_fields(&rec))?;
     }
     Ok(())
 }
@@ -170,22 +231,44 @@ pub fn write_checkpoint<W: Write>(w: &mut W, cp: &Checkpoint) -> io::Result<()> 
 /// Reads a checkpoint. Blank lines and `#` comments are ignored;
 /// out-of-range cells are a parse error; a duplicated cell keeps the
 /// last record (a crash between append-style flushes must not poison
-/// the whole file).
+/// the whole file). A malformed *final* record is classified as the
+/// typed [`CheckpointError::TornTail`] — the torn-write signature —
+/// so callers can recover the intact prefix; see [`load_checkpoint`].
 pub fn read_checkpoint<R: BufRead>(r: &mut R) -> Result<Checkpoint, CheckpointError> {
+    let lines: Vec<String> = r.lines().collect::<io::Result<_>>()?;
+    parse_checkpoint_lines(&lines)
+}
+
+fn parse_checkpoint_lines(lines: &[String]) -> Result<Checkpoint, CheckpointError> {
+    // The last line carrying content: a parse failure *there* is a
+    // torn tail (truncation artifact); a failure anywhere earlier is
+    // mid-file damage and stays a hard error.
+    let last_meaningful = lines.iter().rposition(|l| {
+        let t = l.trim();
+        !t.is_empty() && !t.starts_with('#')
+    });
     let mut header_seen = false;
     let mut fingerprint: Option<u64> = None;
     let mut dims: Option<(usize, usize)> = None;
     let mut cells = Vec::new();
-    for (idx, line) in r.lines().enumerate() {
+    for (idx, line) in lines.iter().enumerate() {
         let lineno = idx + 1;
-        let line = line?;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let parse_err = |message: String| CheckpointError::Parse {
-            line: lineno,
-            message,
+        let parse_err = |message: String| {
+            if Some(idx) == last_meaningful && message != "cell before dims" {
+                CheckpointError::TornTail {
+                    line: lineno,
+                    message,
+                }
+            } else {
+                CheckpointError::Parse {
+                    line: lineno,
+                    message,
+                }
+            }
         };
         let mut fields = line.split_whitespace();
         let keyword = fields.next().unwrap_or("");
@@ -234,42 +317,7 @@ pub fn read_checkpoint<R: BufRead>(r: &mut R) -> Result<Checkpoint, CheckpointEr
                         "cell ({i},{j}) outside dims {rows}x{cols}"
                     )));
                 }
-                let tag = fields
-                    .next()
-                    .ok_or_else(|| parse_err("missing cell tag".into()))?;
-                let rec = match tag {
-                    "s" => {
-                        let v = fields
-                            .next()
-                            .ok_or_else(|| parse_err("missing score".into()))?;
-                        CellRecord::Score(
-                            v.parse()
-                                .map_err(|_| parse_err(format!("bad score `{v}`")))?,
-                        )
-                    }
-                    "f" => {
-                        let v = fields
-                            .next()
-                            .ok_or_else(|| parse_err("missing attempts".into()))?;
-                        CellRecord::Failed {
-                            attempts: v
-                                .parse()
-                                .map_err(|_| parse_err(format!("bad attempts `{v}`")))?,
-                        }
-                    }
-                    "p" => CellRecord::Panicked,
-                    "x" => {
-                        let v = fields
-                            .next()
-                            .ok_or_else(|| parse_err("missing worker exit".into()))?;
-                        CellRecord::Poisoned {
-                            exit: v
-                                .parse()
-                                .map_err(|_| parse_err(format!("bad worker exit `{v}`")))?,
-                        }
-                    }
-                    other => return Err(parse_err(format!("unknown cell tag `{other}`"))),
-                };
+                let rec = record_from_fields(&mut fields).map_err(parse_err)?;
                 cells.push((i, j, rec));
             }
             other => return Err(parse_err(format!("unknown record `{other}`"))),
@@ -303,24 +351,18 @@ pub fn read_checkpoint<R: BufRead>(r: &mut R) -> Result<Checkpoint, CheckpointEr
 /// the new one, never a torn file and never an un-renamed tmp the next
 /// load would mistake for progress.
 pub fn save_checkpoint(path: &Path, cp: &Checkpoint) -> io::Result<()> {
+    save_checkpoint_with(&crate::store::FsStorage, path, cp)
+}
+
+/// [`save_checkpoint`] through an injectable [`Storage`] — the
+/// disk-chaos suite's entry point for attacking checkpoint writes.
+pub fn save_checkpoint_with(storage: &dyn Storage, path: &Path, cp: &Checkpoint) -> io::Result<()> {
     let _span = sts_obs::trace::span("checkpoint.save");
     let started = std::time::Instant::now();
-    let tmp = path.with_extension("tmp");
     let result = (|| {
-        let mut f = io::BufWriter::new(fs::File::create(&tmp)?);
-        write_checkpoint(&mut f, cp)?;
-        f.flush()?;
-        f.into_inner().map_err(|e| e.into_error())?.sync_all()?;
-        fs::rename(&tmp, path)?;
-        // Durability of the rename needs the directory entry flushed;
-        // platforms that cannot fsync a directory (or a path with no
-        // parent) just skip it — the rename is still atomic.
-        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
-            if let Ok(d) = fs::File::open(dir) {
-                let _ = d.sync_all();
-            }
-        }
-        Ok(())
+        let mut bytes = Vec::new();
+        write_checkpoint(&mut bytes, cp)?;
+        storage.write_atomic(path, &bytes)
     })();
     sts_obs::static_histogram!("runtime.checkpoint.save_ns").record_duration(started.elapsed());
     result
@@ -329,17 +371,57 @@ pub fn save_checkpoint(path: &Path, cp: &Checkpoint) -> io::Result<()> {
 /// Loads a checkpoint from disk, first sweeping any stale `<path>.tmp`
 /// left by a save that was killed between write and rename — debris
 /// that would otherwise sit next to the valid checkpoint confusing
-/// operators (and a later save would clobber it anyway).
+/// operators (and a later save would clobber it anyway). Swept debris
+/// bumps the `runtime.checkpoint.stale_tmp_swept` counter.
+///
+/// A torn *final* record (truncation from a torn write) is recovered:
+/// the intact prefix is returned, the torn line's cell is simply
+/// recomputed by the resuming job, and the
+/// `runtime.checkpoint.torn_tail_recovered` counter is bumped. Damage
+/// anywhere else stays the typed hard error it always was.
 pub fn load_checkpoint(path: &Path) -> Result<Checkpoint, CheckpointError> {
+    load_checkpoint_with(&crate::store::FsStorage, path)
+}
+
+/// [`load_checkpoint`] through an injectable [`Storage`].
+pub fn load_checkpoint_with(
+    storage: &dyn Storage,
+    path: &Path,
+) -> Result<Checkpoint, CheckpointError> {
     let _span = sts_obs::trace::span("checkpoint.load");
     let started = std::time::Instant::now();
-    let tmp = path.with_extension("tmp");
-    if tmp.exists() {
+    let tmp = crate::store::tmp_path(path);
+    if storage.exists(&tmp) {
         // Best effort: failing to remove debris must not fail the load.
-        let _ = fs::remove_file(&tmp);
+        if storage.remove(&tmp).is_ok() {
+            sts_obs::static_counter!("runtime.checkpoint.stale_tmp_swept").incr();
+        }
     }
-    let f = fs::File::open(path)?;
-    let result = read_checkpoint(&mut io::BufReader::new(f));
+    let result = (|| {
+        let bytes = storage.read(path)?;
+        let lines: Vec<String> = bytes
+            .split(|&b| b == b'\n')
+            .map(|l| String::from_utf8_lossy(l).into_owned())
+            .collect();
+        match parse_checkpoint_lines(&lines) {
+            Ok(cp) => Ok(cp),
+            Err(CheckpointError::TornTail { line, message }) => {
+                // Drop the torn tail and resume from the last intact
+                // record. If even the prefix is unusable (e.g. the
+                // header itself was torn), surface the original error.
+                let mut trimmed = lines.clone();
+                trimmed[line - 1].clear();
+                match parse_checkpoint_lines(&trimmed) {
+                    Ok(cp) => {
+                        sts_obs::static_counter!("runtime.checkpoint.torn_tail_recovered").incr();
+                        Ok(cp)
+                    }
+                    Err(_) => Err(CheckpointError::TornTail { line, message }),
+                }
+            }
+            Err(e) => Err(e),
+        }
+    })();
     sts_obs::static_histogram!("runtime.checkpoint.load_ns").record_duration(started.elapsed());
     result
 }
@@ -495,6 +577,73 @@ mod tests {
             let msg = err.to_string();
             assert!(msg.contains(want), "`{text}` -> `{msg}` (wanted `{want}`)");
         }
+    }
+
+    #[test]
+    fn torn_final_record_is_a_typed_error() {
+        // Truncation artifacts: the final line is cut mid-record.
+        for text in [
+            "checkpoint v1\nfingerprint 1\ndims 2 2\ncell 0 0 s 0.5\ncell 1 1 s",
+            "checkpoint v1\nfingerprint 1\ndims 2 2\ncell 0 0 s 0.5\ncell 1 1",
+            "checkpoint v1\nfingerprint 1\ndims 2 2\ncell 0 0 s 0.5\ncel",
+        ] {
+            let err = read_checkpoint(&mut text.as_bytes()).unwrap_err();
+            assert!(
+                matches!(err, CheckpointError::TornTail { line: 5, .. }),
+                "`{text}` -> {err:?}"
+            );
+            assert!(err.to_string().contains("torn final record"), "{err}");
+        }
+        // The same damage mid-file is NOT a torn tail: that is bit
+        // rot, and recovering around it would be a guess.
+        let text = "checkpoint v1\nfingerprint 1\ndims 2 2\ncell 0 0 s\ncell 1 1 s 0.5";
+        let err = read_checkpoint(&mut text.as_bytes()).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::Parse { line: 4, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn load_recovers_the_intact_prefix_of_a_torn_file() {
+        let dir = std::env::temp_dir().join(format!("sts-ckpt-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.ckpt");
+        // A file truncated mid-append: two intact records, one torn.
+        std::fs::write(
+            &path,
+            "checkpoint v1\nfingerprint a\ndims 2 2\ncell 0 0 s 0.5\ncell 0 1 f 3\ncell 1 0 s 0.7",
+        )
+        .unwrap();
+        // Break the final record the way a torn write would.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
+        let before = sts_obs::metrics::global()
+            .snapshot()
+            .counter("runtime.checkpoint.torn_tail_recovered")
+            .unwrap_or(0);
+        let cp = load_checkpoint(&path).expect("torn tail must be recovered");
+        assert_eq!(cp.fingerprint, 0xa);
+        assert_eq!(
+            cp.cells,
+            vec![
+                (0, 0, CellRecord::Score(0.5)),
+                (0, 1, CellRecord::Failed { attempts: 3 }),
+            ],
+            "the torn record is dropped, the intact prefix survives"
+        );
+        let after = sts_obs::metrics::global()
+            .snapshot()
+            .counter("runtime.checkpoint.torn_tail_recovered")
+            .unwrap_or(0);
+        assert!(after > before, "recovery must be visible in telemetry");
+        // A file whose *header* is torn cannot be recovered.
+        std::fs::write(&path, "checkpoint v1\nfingerp").unwrap();
+        assert!(matches!(
+            load_checkpoint(&path),
+            Err(CheckpointError::TornTail { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -18,7 +18,16 @@ pub struct PairSpace {
 
 impl PairSpace {
     /// The space of all `(query row, candidate column)` pairs.
+    ///
+    /// # Panics
+    /// When `rows * cols` overflows `usize` — a space whose linear
+    /// indices cannot be represented would silently wrap every
+    /// downstream chunk computation, so it is rejected at the door.
     pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(
+            rows.checked_mul(cols).is_some(),
+            "pair space {rows}x{cols} overflows usize"
+        );
         PairSpace { rows, cols }
     }
 
@@ -141,6 +150,55 @@ mod tests {
     fn zero_chunk_size_is_clamped() {
         let space = PairSpace::new(2, 2);
         assert_eq!(space.chunks(0).count(), 4);
+    }
+
+    #[test]
+    fn single_row_and_single_column_spaces_chunk_correctly() {
+        // Degenerate-but-legal geometries: a 1×n top-k row job and an
+        // n×1 column job must chunk exactly like any other space.
+        for (rows, cols) in [(1, 9), (9, 1), (1, 1)] {
+            let space = PairSpace::new(rows, cols);
+            assert_eq!(space.len(), rows * cols);
+            let chunks: Vec<PairChunk> = space.chunks(4).collect();
+            assert_eq!(chunks.len(), space.len().div_ceil(4));
+            let covered: usize = chunks.iter().map(|c| c.len).sum();
+            assert_eq!(covered, space.len());
+            // Row-major mapping holds at the edges.
+            assert_eq!(space.pair(0), (0, 0));
+            assert_eq!(space.pair(space.len() - 1), (rows - 1, cols - 1));
+        }
+    }
+
+    #[test]
+    fn empty_space_has_full_api_coverage() {
+        for (rows, cols) in [(0, 0), (0, 5), (5, 0)] {
+            let space = PairSpace::new(rows, cols);
+            assert!(space.is_empty());
+            assert_eq!(space.len(), 0);
+            assert_eq!(space.chunks(1).count(), 0);
+            assert_eq!(space.chunks(usize::MAX).count(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows usize")]
+    fn huge_dims_overflow_is_rejected_not_wrapped() {
+        // usize::MAX x 2 wraps to a *small* product; before the guard
+        // this produced a chunk count of ~0 and silently dropped the
+        // entire pair space.
+        PairSpace::new(usize::MAX, 2);
+    }
+
+    #[test]
+    fn max_len_space_still_counts_chunks_without_overflow() {
+        // A space of exactly usize::MAX pairs is representable; its
+        // chunk *count* must not overflow either.
+        let space = PairSpace::new(usize::MAX, 1);
+        assert_eq!(space.len(), usize::MAX);
+        let mut chunks = space.chunks(usize::MAX);
+        let first = chunks.next().unwrap();
+        assert_eq!(first.len, usize::MAX);
+        assert!(chunks.next().is_none());
     }
 
     #[test]

@@ -27,6 +27,14 @@
 //!   (same style as the `sts-traj` `io` module) with a header
 //!   fingerprint, so a crashed or cancelled job resumes losing at most
 //!   one flush interval;
+//! * [`store`] — the injectable [`Storage`] trait behind every durable
+//!   artifact (checkpoints, tiles), with [`FsStorage`] owning the
+//!   tmp-write → fsync → rename discipline; the disk-chaos suite in
+//!   `sts-robust` swaps in a fault-injecting implementation;
+//! * [`tile`] — per-tile spill files for the out-of-core matrix
+//!   engine: job-fingerprint bound, payload-digest verified, trailer
+//!   closed, so torn writes and bit rot are detected on load instead
+//!   of silently read back;
 //! * [`JobStats`] / [`JobState`] — timing, retry and completion
 //!   accounting for the job report surfaced by `sts-core`;
 //! * [`FaultPlan`] — deterministic, seeded fault injection (panicking
@@ -53,6 +61,8 @@ mod exit;
 pub mod fault;
 pub mod pool;
 mod stats;
+pub mod store;
+pub mod tile;
 
 pub use backoff::DecorrelatedJitter;
 pub use budget::{Budget, Deadline, StopReason};
@@ -62,7 +72,9 @@ pub use chunk::{PairChunk, PairSpace};
 pub use exit::{ParseWorkerExitError, WorkerExit};
 pub use fault::{Fault, FaultPlan};
 pub use pool::{ChunkStatus, PoolConfig, PoolRun, RetryPolicy};
-pub use stats::{IsolateStats, JobState, JobStats};
+pub use stats::{IsolateStats, JobState, JobStats, TileStats};
+pub use store::{sweep_stale_tmp, FsStorage, Storage};
+pub use tile::{TileData, TileError, TileStore};
 
 /// Number of worker threads to use for a workload with `cap` parallel
 /// units (chunks, rows, …).

@@ -98,6 +98,56 @@ impl fmt::Display for IsolateStats {
     }
 }
 
+/// Out-of-core tiling accounting, present only when a job ran through
+/// the tiled engine (`Sts::similarity_matrix_tiled` and friends in
+/// `sts-core`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TileStats {
+    /// Tiles the pair space was dealt into.
+    pub tiles_total: usize,
+    /// Tiles computed this run (not restored from disk).
+    pub tiles_computed: usize,
+    /// Tiles restored from verified spill files instead of recomputed.
+    pub tiles_resumed: usize,
+    /// Corrupt tile files detected (fingerprint/digest/trailer check
+    /// failed), quarantined aside and recomputed. A corrupt tile is
+    /// never silently read back.
+    pub tiles_corrupt: usize,
+    /// Tiles durably spilled *and* read-back-verified this run.
+    pub tiles_spilled: usize,
+    /// Spills that failed (I/O error such as ENOSPC, or a write whose
+    /// read-back failed verification). The tile's results are served
+    /// from memory instead — durability degrades, the matrix does not.
+    pub spill_errors: usize,
+    /// Orphaned `*.tmp` files swept from the tile directory at open.
+    pub stale_tmp_swept: usize,
+    /// Peak number of cell records resident in memory at any moment —
+    /// the honest bounded-memory claim, independent of allocator and
+    /// OS noise: at most one in-flight tile plus spill-failed
+    /// fallbacks plus whatever the merge sink retains.
+    pub max_resident_cells: usize,
+    /// Process peak RSS (`VmHWM`) observed after the merge, when the
+    /// platform exposes it.
+    pub peak_rss_bytes: Option<u64>,
+}
+
+impl fmt::Display for TileStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} tile(s): {} computed, {} resumed, {} corrupt, {} spilled, \
+             {} spill error(s), peak {} resident cell(s)",
+            self.tiles_total,
+            self.tiles_computed,
+            self.tiles_resumed,
+            self.tiles_corrupt,
+            self.tiles_spilled,
+            self.spill_errors,
+            self.max_resident_cells,
+        )
+    }
+}
+
 /// Timing, retry and completion accounting for one supervised job.
 /// The measure-specific half of the report (quarantines, per-cell
 /// outcomes) lives in `sts-core`'s `BatchReport`; this is the
@@ -146,6 +196,8 @@ pub struct JobStats {
     pub chunk_run_total: Duration,
     /// Subprocess-supervision accounting; `None` for in-process runs.
     pub isolate: Option<IsolateStats>,
+    /// Out-of-core tiling accounting; `None` for in-memory runs.
+    pub tiles: Option<TileStats>,
 }
 
 impl JobStats {
@@ -219,6 +271,9 @@ impl fmt::Display for JobStats {
         if let Some(iso) = &self.isolate {
             write!(f, "; isolate: {iso}")?;
         }
+        if let Some(tiles) = &self.tiles {
+            write!(f, "; tiles: {tiles}")?;
+        }
         Ok(())
     }
 }
@@ -274,6 +329,7 @@ mod tests {
             chunk_wait_total: Duration::ZERO,
             chunk_run_total: Duration::ZERO,
             isolate: None,
+            tiles: None,
         };
         assert_eq!(s.percent_complete(), 100.0);
         s.pairs_total = 200;
@@ -304,6 +360,7 @@ mod tests {
             chunk_wait_total: Duration::ZERO,
             chunk_run_total: Duration::ZERO,
             isolate: None,
+            tiles: None,
         }
     }
 

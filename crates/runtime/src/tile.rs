@@ -1,0 +1,501 @@
+//! Durable matrix tiles: the out-of-core unit of the tiled job engine.
+//!
+//! A *tile* is one [`PairChunk`](crate::PairChunk)-sized slab of the
+//! pair space, spilled to its own file once every cell in it has a
+//! terminal record. The format is the workspace's line-based text
+//! style, and it is verified end to end on every load:
+//!
+//! ```text
+//! # STS matrix tile (DESIGN.md §3h)
+//! tile v1
+//! job <16 hex digits>          # job-input fingerprint (as checkpoints)
+//! tile <id> <start> <len>      # which slab of the pair space this is
+//! payload <16 hex digits>      # FNV-1a over the cell-line bytes below
+//! cell <lin> s <score>         # records: same tags as checkpoints
+//! cell <lin> f <attempts>      # (s/f/p/x; quarantined cells are
+//! cell <lin> x <exit>          #  re-derived, never stored)
+//! end <n_cells>                # trailer: number of cell lines above
+//! ```
+//!
+//! Three independent integrity checks make silent corruption
+//! structurally impossible to read back:
+//!
+//! 1. the `job` fingerprint binds the tile to its inputs (a tile from
+//!    another corpus is rejected, exactly like a checkpoint);
+//! 2. the `payload` digest covers every cell-line byte, so a flipped
+//!    bit anywhere in the data fails the load;
+//! 3. the `end <n>` trailer closes the file, so a torn (truncated)
+//!    write — the classic crash-mid-spill artifact — fails the load
+//!    even when the truncation lands exactly on a line boundary.
+//!
+//! A failed check is a typed [`TileError::Corrupt`]; the engine
+//! quarantines the file aside (`.corrupt` suffix — evidence, not
+//! garbage) and recomputes the tile. Loads never guess.
+//!
+//! All I/O goes through the injectable [`Storage`] trait, which is how
+//! the `sts-robust` disk-chaos suite drives torn writes, bit flips,
+//! ENOSPC and stale tmp files through this exact code.
+
+use crate::checkpoint::{record_fields, record_from_fields, CellRecord, Fnv1a};
+use crate::store::{sweep_stale_tmp, Storage};
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One spilled tile: the slab geometry plus every terminal cell
+/// record, keyed by *absolute* linear pair index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileData {
+    /// Tile id (the chunk id in the tile-sized chunking of the space).
+    pub id: usize,
+    /// First linear pair index covered.
+    pub start: usize,
+    /// Number of pairs covered.
+    pub len: usize,
+    /// `(lin, record)` for every terminal cell, ascending by `lin`.
+    /// Cells whose trajectory is quarantined carry no record — the
+    /// engine re-derives quarantine from preparation, as checkpoints
+    /// do.
+    pub cells: Vec<(usize, CellRecord)>,
+}
+
+/// Errors loading a tile.
+#[derive(Debug)]
+pub enum TileError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The tile file failed an integrity check (truncated, bit-flipped,
+    /// wrong job, wrong slab). The payload must be recomputed.
+    Corrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// Which check failed.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TileError::Io(e) => write!(f, "tile I/O error: {e}"),
+            TileError::Corrupt { path, reason } => {
+                write!(f, "corrupt tile {}: {reason}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for TileError {}
+
+impl From<io::Error> for TileError {
+    fn from(e: io::Error) -> Self {
+        TileError::Io(e)
+    }
+}
+
+/// Serializes a tile to the text format. Infallible (writes to memory);
+/// durability is the caller's [`Storage::write_atomic`].
+pub fn encode_tile(job_fingerprint: u64, tile: &TileData) -> Vec<u8> {
+    let mut cells_text = String::new();
+    for (lin, rec) in &tile.cells {
+        cells_text.push_str("cell ");
+        cells_text.push_str(&lin.to_string());
+        cells_text.push(' ');
+        cells_text.push_str(&record_fields(rec));
+        cells_text.push('\n');
+    }
+    let mut digest = Fnv1a::new();
+    digest.write(cells_text.as_bytes());
+    let mut out = String::new();
+    out.push_str("# STS matrix tile (DESIGN.md \u{a7}3h)\n");
+    out.push_str("tile v1\n");
+    out.push_str(&format!("job {:016x}\n", job_fingerprint));
+    out.push_str(&format!("tile {} {} {}\n", tile.id, tile.start, tile.len));
+    out.push_str(&format!("payload {:016x}\n", digest.finish()));
+    out.push_str(&cells_text);
+    out.push_str(&format!("end {}\n", tile.cells.len()));
+    out.into_bytes()
+}
+
+/// Parses and fully verifies a tile against the slab the caller
+/// expects. Any deviation — torn tail, flipped byte, wrong job
+/// fingerprint, wrong geometry, out-of-slab or duplicate cell —
+/// returns `Err` with the failed check; the bytes are never partially
+/// trusted.
+pub fn decode_tile(
+    bytes: &[u8],
+    job_fingerprint: u64,
+    id: usize,
+    start: usize,
+    len: usize,
+) -> Result<TileData, String> {
+    let text = std::str::from_utf8(bytes).map_err(|_| "not valid UTF-8".to_string())?;
+    // A complete tile always ends `end <n>\n`; a file cut anywhere —
+    // even one byte short — must fail, so the trailer's newline is
+    // part of the contract.
+    if !text.ends_with('\n') {
+        return Err("truncated: missing final newline".to_string());
+    }
+    let mut lines = text.split('\n');
+    // Header: comments/blank lines tolerated until `tile v1`.
+    loop {
+        let line = lines.next().ok_or("missing `tile v1` header")?.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line != "tile v1" {
+            return Err(format!("expected `tile v1` header, got `{line}`"));
+        }
+        break;
+    }
+    let field = |line: Option<&str>, keyword: &str| -> Result<String, String> {
+        let line = line
+            .ok_or_else(|| format!("missing `{keyword}` record"))?
+            .trim();
+        line.strip_prefix(keyword)
+            .and_then(|rest| rest.strip_prefix(' '))
+            .map(|rest| rest.to_string())
+            .ok_or_else(|| format!("expected `{keyword} ...`, got `{line}`"))
+    };
+    let job_hex = field(lines.next(), "job")?;
+    let job = u64::from_str_radix(job_hex.trim(), 16)
+        .map_err(|_| format!("bad job fingerprint `{job_hex}`"))?;
+    if job != job_fingerprint {
+        return Err(format!(
+            "job fingerprint {job:016x} does not match inputs {job_fingerprint:016x}"
+        ));
+    }
+    let geom = field(lines.next(), "tile")?;
+    let nums: Vec<usize> = geom
+        .split_whitespace()
+        .map(|s| s.parse::<usize>())
+        .collect::<Result<_, _>>()
+        .map_err(|_| format!("bad tile geometry `{geom}`"))?;
+    if nums.len() != 3 {
+        return Err(format!("bad tile geometry `{geom}`"));
+    }
+    if nums != [id, start, len] {
+        return Err(format!(
+            "tile geometry {}/{}/{} does not match expected {id}/{start}/{len}",
+            nums[0], nums[1], nums[2]
+        ));
+    }
+    let payload_hex = field(lines.next(), "payload")?;
+    let payload = u64::from_str_radix(payload_hex.trim(), 16)
+        .map_err(|_| format!("bad payload digest `{payload_hex}`"))?;
+
+    // Cells region: exact bytes, re-hashed as read. No comments, no
+    // blank lines — we wrote this file; anything unexpected is damage.
+    let mut digest = Fnv1a::new();
+    let mut cells: Vec<(usize, CellRecord)> = Vec::new();
+    let mut seen = vec![false; len];
+    let end_count = loop {
+        let line = lines.next().ok_or("truncated: missing `end` trailer")?;
+        if let Some(rest) = line.strip_prefix("end ") {
+            break rest
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| format!("bad `end` count `{rest}`"))?;
+        }
+        digest.write(line.as_bytes());
+        digest.write(b"\n");
+        let rest = line
+            .strip_prefix("cell ")
+            .ok_or_else(|| format!("unexpected line in cell region: `{line}`"))?;
+        let mut fields = rest.split_whitespace();
+        let lin: usize = fields
+            .next()
+            .ok_or("cell line missing index")?
+            .parse()
+            .map_err(|_| format!("bad cell index in `{line}`"))?;
+        if lin < start || lin >= start + len {
+            return Err(format!(
+                "cell {lin} outside tile slab [{start}, {})",
+                start + len
+            ));
+        }
+        if std::mem::replace(&mut seen[lin - start], true) {
+            return Err(format!("duplicate cell {lin}"));
+        }
+        let rec = record_from_fields(&mut fields)?;
+        if fields.next().is_some() {
+            return Err(format!("trailing fields in `{line}`"));
+        }
+        cells.push((lin, rec));
+    };
+    if end_count != cells.len() {
+        return Err(format!(
+            "trailer says {end_count} cell(s) but {} present (torn write)",
+            cells.len()
+        ));
+    }
+    if digest.finish() != payload {
+        return Err(format!(
+            "payload digest {:016x} does not match header {payload:016x} (corrupt data)",
+            digest.finish()
+        ));
+    }
+    // Nothing after the trailer but the final newline's empty split.
+    for line in lines {
+        if !line.trim().is_empty() {
+            return Err(format!("trailing garbage after `end`: `{line}`"));
+        }
+    }
+    cells.sort_by_key(|&(lin, _)| lin);
+    Ok(TileData {
+        id,
+        start,
+        len,
+        cells,
+    })
+}
+
+/// A directory of tiles for one job, bound to the job's input
+/// fingerprint. All I/O goes through the injected [`Storage`].
+pub struct TileStore<'s> {
+    storage: &'s dyn Storage,
+    dir: PathBuf,
+    job_fingerprint: u64,
+}
+
+impl<'s> TileStore<'s> {
+    /// Opens (creating if needed) the tile directory and sweeps any
+    /// orphaned `*.tmp` debris from interrupted spills. Returns the
+    /// store and how many tmp files were swept.
+    pub fn open(
+        storage: &'s dyn Storage,
+        dir: &Path,
+        job_fingerprint: u64,
+    ) -> io::Result<(Self, usize)> {
+        storage.create_dir_all(dir)?;
+        let swept = sweep_stale_tmp(storage, dir)?;
+        Ok((
+            TileStore {
+                storage,
+                dir: dir.to_path_buf(),
+                job_fingerprint,
+            },
+            swept,
+        ))
+    }
+
+    /// The file backing tile `id`.
+    pub fn tile_path(&self, id: usize) -> PathBuf {
+        self.dir.join(format!("tile-{id:06}.tile"))
+    }
+
+    /// Spills a completed tile atomically and durably.
+    pub fn save(&self, tile: &TileData) -> io::Result<()> {
+        let _span = sts_obs::trace::span("tile.save");
+        let started = std::time::Instant::now();
+        let bytes = encode_tile(self.job_fingerprint, tile);
+        let result = self.storage.write_atomic(&self.tile_path(tile.id), &bytes);
+        sts_obs::static_histogram!("runtime.tile.save_ns").record_duration(started.elapsed());
+        if result.is_ok() {
+            sts_obs::static_counter!("runtime.tile.saved").incr();
+        }
+        result
+    }
+
+    /// Loads and verifies tile `id` against the slab `(start, len)`.
+    /// `Ok(None)` means the tile has not been spilled; `Corrupt` means
+    /// the file exists but failed verification and must be recomputed
+    /// (the `runtime.tile.corrupt_detected` counter is bumped — a
+    /// corrupt tile is *never* silently read back).
+    pub fn load(&self, id: usize, start: usize, len: usize) -> Result<Option<TileData>, TileError> {
+        let _span = sts_obs::trace::span("tile.load");
+        let path = self.tile_path(id);
+        if !self.storage.exists(&path) {
+            return Ok(None);
+        }
+        let bytes = self.storage.read(&path)?;
+        match decode_tile(&bytes, self.job_fingerprint, id, start, len) {
+            Ok(tile) => {
+                sts_obs::static_counter!("runtime.tile.loaded").incr();
+                Ok(Some(tile))
+            }
+            Err(reason) => {
+                sts_obs::static_counter!("runtime.tile.corrupt_detected").incr();
+                Err(TileError::Corrupt { path, reason })
+            }
+        }
+    }
+
+    /// Moves a corrupt tile aside to `<file>.corrupt` so the evidence
+    /// survives the recompute; if even the rename fails, removes it so
+    /// the fresh spill is not blocked. Best effort by design.
+    pub fn quarantine(&self, id: usize) -> PathBuf {
+        let path = self.tile_path(id);
+        let aside = path.with_extension("tile.corrupt");
+        if self.storage.rename(&path, &aside).is_err() {
+            let _ = self.storage.remove(&path);
+        }
+        sts_obs::static_counter!("runtime.tile.quarantined").incr();
+        aside
+    }
+
+    /// Removes every `tile-*.tile` file (a completed job cleaning up
+    /// after itself). Quarantined `.corrupt` files are kept.
+    pub fn remove_all_tiles(&self) -> io::Result<usize> {
+        let mut removed = 0usize;
+        for path in self.storage.list(&self.dir)? {
+            let is_tile = path.extension().is_some_and(|e| e == "tile")
+                && path
+                    .file_name()
+                    .is_some_and(|n| n.to_string_lossy().starts_with("tile-"));
+            if is_tile && self.storage.remove(&path).is_ok() {
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::FsStorage;
+    use crate::WorkerExit;
+
+    fn sample() -> TileData {
+        TileData {
+            id: 3,
+            start: 12,
+            len: 6,
+            cells: vec![
+                (12, CellRecord::Score(0.12345678901234567)),
+                (13, CellRecord::Score(f64::NAN)),
+                (14, CellRecord::Score(-0.0)),
+                (15, CellRecord::Failed { attempts: 3 }),
+                (16, CellRecord::Panicked),
+                (
+                    17,
+                    CellRecord::Poisoned {
+                        exit: WorkerExit::Signal(9),
+                    },
+                ),
+            ],
+        }
+    }
+
+    fn bit_eq(a: &CellRecord, b: &CellRecord) -> bool {
+        match (a, b) {
+            (CellRecord::Score(x), CellRecord::Score(y)) => x.to_bits() == y.to_bits(),
+            _ => a == b,
+        }
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let tile = sample();
+        let bytes = encode_tile(0xFEED, &tile);
+        let back = decode_tile(&bytes, 0xFEED, 3, 12, 6).unwrap();
+        assert_eq!(back.cells.len(), tile.cells.len());
+        for ((l1, r1), (l2, r2)) in back.cells.iter().zip(&tile.cells) {
+            assert_eq!(l1, l2);
+            assert!(bit_eq(r1, r2), "{r1:?} vs {r2:?}");
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        // A torn write can stop at any byte; every prefix must fail
+        // verification — including prefixes that end exactly on a line
+        // boundary, which only the `end` trailer catches.
+        let bytes = encode_tile(0xFEED, &sample());
+        for cut in 0..bytes.len() {
+            let result = decode_tile(&bytes[..cut], 0xFEED, 3, 12, 6);
+            assert!(result.is_err(), "truncation at byte {cut} must be detected");
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected_or_harmless() {
+        // Flip one bit in every byte position. The decode must either
+        // reject the file or produce records bit-identical to the
+        // original — silently *different* data is the one forbidden
+        // outcome. (Flips in the leading comment are harmless.)
+        let tile = sample();
+        let bytes = encode_tile(0xFEED, &tile);
+        for pos in 0..bytes.len() {
+            for bit in [0x01u8, 0x20u8, 0x80u8] {
+                let mut mangled = bytes.clone();
+                mangled[pos] ^= bit;
+                match decode_tile(&mangled, 0xFEED, 3, 12, 6) {
+                    Err(_) => {}
+                    Ok(back) => {
+                        assert_eq!(back.cells.len(), tile.cells.len(), "flip at {pos}");
+                        for ((l1, r1), (l2, r2)) in back.cells.iter().zip(&tile.cells) {
+                            assert_eq!(l1, l2, "flip at byte {pos} bit {bit:#x}");
+                            assert!(
+                                bit_eq(r1, r2),
+                                "flip at byte {pos} bit {bit:#x}: {r1:?} vs {r2:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_job_or_slab_is_rejected() {
+        let bytes = encode_tile(0xFEED, &sample());
+        assert!(decode_tile(&bytes, 0xBEEF, 3, 12, 6)
+            .unwrap_err()
+            .contains("fingerprint"));
+        assert!(decode_tile(&bytes, 0xFEED, 4, 12, 6)
+            .unwrap_err()
+            .contains("geometry"));
+        assert!(decode_tile(&bytes, 0xFEED, 3, 12, 8)
+            .unwrap_err()
+            .contains("geometry"));
+    }
+
+    #[test]
+    fn sparse_tiles_round_trip() {
+        // Quarantined cells carry no record: a tile may legally hold
+        // fewer cells than its slab length.
+        let tile = TileData {
+            id: 0,
+            start: 0,
+            len: 10,
+            cells: vec![(2, CellRecord::Score(1.5)), (7, CellRecord::Score(2.5))],
+        };
+        let bytes = encode_tile(7, &tile);
+        let back = decode_tile(&bytes, 7, 0, 0, 10).unwrap();
+        assert_eq!(back.cells, tile.cells);
+    }
+
+    #[test]
+    fn store_spill_load_quarantine_cycle() {
+        let dir = std::env::temp_dir().join(format!("sts-tile-store-{}", std::process::id()));
+        let storage = FsStorage;
+        let (store, swept) = TileStore::open(&storage, &dir, 0xFEED).unwrap();
+        assert_eq!(swept, 0);
+        let tile = sample();
+        store.save(&tile).unwrap();
+        let back = store.load(3, 12, 6).unwrap().expect("tile present");
+        assert_eq!(back.cells.len(), tile.cells.len());
+        // Missing tile is None, not an error.
+        assert!(store.load(9, 0, 4).unwrap().is_none());
+        // Corrupt the file on disk: load must detect and refuse.
+        let path = store.tile_path(3);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 20] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            store.load(3, 12, 6),
+            Err(TileError::Corrupt { .. })
+        ));
+        let aside = store.quarantine(3);
+        assert!(aside.exists(), "quarantined evidence kept");
+        assert!(store.load(3, 12, 6).unwrap().is_none(), "slot now free");
+        // Stale tmp debris is swept on the next open.
+        std::fs::write(dir.join("tile-000004.tmp"), b"torn").unwrap();
+        let (_store2, swept2) = TileStore::open(&storage, &dir, 0xFEED).unwrap();
+        assert_eq!(swept2, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -52,6 +52,17 @@ echo "== isolation (worker supervision + crash suite; fixed seeds) =="
 run_seeded "isolate unit tests" cargo test -p sts-isolate -q --offline
 run_seeded "isolation crash suite" cargo test -p sts-repro -q --offline --test isolation
 
+# Out-of-core tiling gate: the disk-chaos suite (seeded torn writes,
+# bit flips, ENOSPC, stale tmp debris through the injectable storage
+# trait; byte-identical matrices and exact injection accounting across
+# 8 seeds) and the tile crash suite — a real tiled job SIGKILLed
+# mid-spill, resumed from the surviving tiles, byte-compared against an
+# uninterrupted run. Runs after the workspace tests above so the debug
+# sts-worker binary exists for tile-drive.
+echo "== tiles (disk chaos + SIGKILL resume; fixed seeds) =="
+run_seeded "tile chaos suite" cargo test -p sts-robust -q --offline --test tile_chaos
+run_seeded "tile crash suite" cargo test -p sts-repro -q --offline --test tile_crash
+
 # STP-cache equivalence gate: the differential suite proving the cached
 # sparse hot path equals the uncached oracle — bit-exact matrices,
 # top-k and crash/resume for exact mode, rank-preservation for lattice
@@ -90,6 +101,17 @@ if cargo run -p sts-bench --release --offline --bin perf -- --quick --json BENCH
     echo "stp cache bench snapshot written to BENCH_stp_cache.json"
 else
     echo "stp cache bench snapshot failed (non-gating); continuing"
+fi
+
+# Non-gating out-of-core snapshot: the tiles suite alone, written as
+# BENCH_tiles.json — in-memory vs tiled vs tiled-top-k timings plus
+# pairs_per_sec, tiles_spilled, max_resident_cells and peak_rss_bytes
+# extras. Same noisy-hardware caveat: never fails the gate.
+echo "== tiles bench snapshot (non-gating) =="
+if cargo run -p sts-bench --release --offline --bin perf -- --quick --json BENCH_tiles.json tiles; then
+    echo "tiles bench snapshot written to BENCH_tiles.json"
+else
+    echo "tiles bench snapshot failed (non-gating); continuing"
 fi
 
 echo "== format =="

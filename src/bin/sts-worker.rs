@@ -15,6 +15,10 @@
 //!   Subprocess mode finishes with only the poison pairs quarantined;
 //!   in-process mode provably cannot finish (the acceptance test
 //!   asserts this process dies or wedges).
+//! - `tile-drive <dir> <seed> <out> [subprocess]`: run a slow *tiled*
+//!   job spilling tiny tiles to `<dir>` and write the final matrix
+//!   bits to `<out>`. The tile crash suite SIGKILLs this mid-spill,
+//!   reruns it, and asserts the resumed output is byte-identical.
 
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -23,6 +27,7 @@ use std::time::Duration;
 
 use sts_core::{
     CheckpointConfig, ExecMode, IsolateOptions, JobConfig, JobReport, PairOutcome, Sts, StsConfig,
+    TileConfig,
 };
 use sts_geo::{BoundingBox, Grid, Point};
 use sts_rng::{Rng, Xoshiro256pp};
@@ -36,9 +41,12 @@ fn main() -> ExitCode {
         [] | ["serve"] => run_serve(),
         ["drive", ckpt, seed, out] => run_drive(ckpt, seed, out),
         ["chaos", mode, seed] => run_chaos(mode, seed),
+        ["tile-drive", dir, seed, out] => run_tile_drive(dir, seed, out, false),
+        ["tile-drive", dir, seed, out, "subprocess"] => run_tile_drive(dir, seed, out, true),
         _ => {
             eprintln!(
-                "usage: sts-worker [serve | drive <ckpt> <seed> <out> | chaos <mode> <seed>]"
+                "usage: sts-worker [serve | drive <ckpt> <seed> <out> | chaos <mode> <seed> | \
+                 tile-drive <dir> <seed> <out> [subprocess]]"
             );
             ExitCode::from(2)
         }
@@ -157,6 +165,65 @@ fn run_drive(ckpt: &str, seed: &str, out: &str) -> ExitCode {
         Ok(r) => r,
         Err(e) => {
             eprintln!("sts-worker: drive failed: {e}");
+            return ExitCode::from(4);
+        }
+    };
+    let mut body = format!("state {:?}\n", report.stats.state);
+    for (i, row) in matrix.iter().enumerate() {
+        for (j, cell) in row.iter().enumerate() {
+            body.push_str(&format!("cell {i} {j} {}\n", cell_token(cell)));
+        }
+    }
+    if std::fs::write(out, body).is_err() {
+        eprintln!("sts-worker: cannot write {out}");
+        return ExitCode::from(4);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Slow tiled in-process (or subprocess) job spilling 4-pair tiles to
+/// `dir`: every pair sleeps ~3 ms, so a tile spill lands every ~12 ms
+/// — a long window of mid-spill moments for the SIGKILL test. The
+/// matrix bits written to `out` must be identical whether the run was
+/// interrupted-and-resumed or not, and across exec modes.
+fn run_tile_drive(dir: &str, seed: &str, out: &str, subprocess: bool) -> ExitCode {
+    let Ok(seed) = seed.parse::<u64>() else {
+        eprintln!("sts-worker: tile-drive seed must be a u64");
+        return ExitCode::from(2);
+    };
+    let trajs = corpus(0x711E_D000 ^ seed, 12);
+    let (queries, candidates) = trajs.split_at(6);
+    let exec = if subprocess {
+        ExecMode::Subprocess(IsolateOptions {
+            worker: std::env::current_exe().ok(),
+            hard_timeout: Duration::from_secs(5),
+            ..IsolateOptions::default()
+        })
+    } else {
+        ExecMode::InProcess
+    };
+    let cfg = JobConfig {
+        retry: fast_retry(),
+        threads: 1,
+        chunk_pairs: 1,
+        fault: Some(FaultPlan {
+            seed,
+            slow_per_mille: 1000,
+            slow_for: Duration::from_millis(3),
+            ..FaultPlan::default()
+        }),
+        exec,
+        ..JobConfig::default()
+    };
+    let tiling = TileConfig {
+        tile_pairs: 4,
+        ..TileConfig::new(dir)
+    };
+    let sts = Sts::new(StsConfig::default(), grid());
+    let (matrix, report) = match sts.similarity_matrix_tiled(queries, candidates, &cfg, &tiling) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sts-worker: tile-drive failed: {e}");
             return ExitCode::from(4);
         }
     };

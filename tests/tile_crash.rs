@@ -1,0 +1,136 @@
+//! SIGKILL acceptance tests for the out-of-core tiled engine: a real
+//! process death at an arbitrary moment — including mid-spill and
+//! mid-merge — must cost at most the in-flight tile, and the resumed
+//! run must land on the byte-identical result of a run that was never
+//! interrupted.
+//!
+//! The workload is the worker binary's `tile-drive` subcommand: a
+//! 6×6 matrix of ~3 ms pairs spilled as 4-pair tiles, so tile writes
+//! happen every ~12 ms and the kill schedule below lands on every
+//! phase of the spill protocol across seeds. The disk-level chaos
+//! (torn writes, bit flips, ENOSPC) lives in
+//! `crates/robust/tests/tile_chaos.rs`; this suite is the real-SIGKILL
+//! end of the same contract.
+
+use std::process::Command;
+use std::time::Duration;
+
+const WORKER: &str = env!("CARGO_BIN_EXE_sts-worker");
+
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("sts-tile-crash-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn path(&self, name: &str) -> std::path::PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The tentpole acceptance test: SIGKILL a tiled job mid-run (kill
+/// times staggered across seeds to land before, during and after tile
+/// spills), resume from the tile directory, and require the final
+/// matrix bytes to equal an uninterrupted run's — across 8 seeds,
+/// with at least one genuine mid-flight kill.
+#[test]
+fn sigkill_during_spill_resumes_byte_identical_across_seeds() {
+    let tmp = TempDir::new("sigkill");
+    let mut killed_mid_run = 0;
+    for seed in 0u64..8 {
+        let tiles = tmp.path(&format!("tiles-{seed}"));
+        let out = tmp.path(&format!("tiles-{seed}.out"));
+        let reference = tmp.path(&format!("tiles-{seed}.ref"));
+
+        // Uninterrupted reference run (its own tile directory).
+        let status = Command::new(WORKER)
+            .arg("tile-drive")
+            .arg(tmp.path(&format!("tiles-{seed}-ref")))
+            .arg(seed.to_string())
+            .arg(&reference)
+            .status()
+            .unwrap();
+        assert!(status.success(), "seed {seed}: reference run failed");
+
+        // Victim run: SIGKILLed at a seed-staggered moment.
+        let mut child = Command::new(WORKER)
+            .arg("tile-drive")
+            .arg(&tiles)
+            .arg(seed.to_string())
+            .arg(&out)
+            .spawn()
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(40 + seed * 9));
+        match child.try_wait().unwrap() {
+            Some(status) => assert!(status.success(), "seed {seed}: early exit failed"),
+            None => {
+                child.kill().unwrap(); // SIGKILL: no cleanup, no final rename
+                child.wait().unwrap();
+                killed_mid_run += 1;
+            }
+        }
+
+        // Resume from the surviving tiles and compare bytes.
+        let status = Command::new(WORKER)
+            .arg("tile-drive")
+            .arg(&tiles)
+            .arg(seed.to_string())
+            .arg(&out)
+            .status()
+            .unwrap();
+        assert!(status.success(), "seed {seed}: resume failed");
+        assert_eq!(
+            std::fs::read(&out).unwrap(),
+            std::fs::read(&reference).unwrap(),
+            "seed {seed}: resumed tiled matrix differs from uninterrupted run"
+        );
+    }
+    assert!(
+        killed_mid_run >= 1,
+        "no run was actually killed mid-flight; slow the tile-drive workload down"
+    );
+}
+
+/// Exec-mode equivalence, out of core: the same tiled job computed by
+/// `sts-worker` subprocesses produces byte-identical output to the
+/// in-process run — tiling composes with process isolation.
+#[test]
+fn subprocess_tiled_run_matches_in_process_byte_for_byte() {
+    let tmp = TempDir::new("modes");
+    let in_proc = tmp.path("in-proc.out");
+    let sub = tmp.path("sub.out");
+
+    let status = Command::new(WORKER)
+        .arg("tile-drive")
+        .arg(tmp.path("tiles-in-proc"))
+        .arg("3")
+        .arg(&in_proc)
+        .status()
+        .unwrap();
+    assert!(status.success(), "in-process tiled run failed");
+
+    let status = Command::new(WORKER)
+        .arg("tile-drive")
+        .arg(tmp.path("tiles-sub"))
+        .arg("3")
+        .arg(&sub)
+        .arg("subprocess")
+        .status()
+        .unwrap();
+    assert!(status.success(), "subprocess tiled run failed");
+
+    assert_eq!(
+        std::fs::read(&in_proc).unwrap(),
+        std::fs::read(&sub).unwrap(),
+        "subprocess-tiled and in-process-tiled outputs differ"
+    );
+}
