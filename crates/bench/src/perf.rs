@@ -11,8 +11,8 @@ use crate::{bench_mall, bench_taxi};
 use sts_core::noise::GaussianNoise;
 use sts_core::transition::SpeedKdeTransition;
 use sts_core::{
-    default_worker_path, CheckpointConfig, ExecMode, IsolateOptions, JobConfig, StpCacheMode,
-    StpEstimator, Sts, StsConfig, TileConfig, TILE_CELL_BYTES,
+    default_worker_path, CheckpointConfig, ExecMode, IsolateOptions, JobConfig, ShardOptions,
+    StpCacheMode, StpEstimator, Sts, StsConfig, TileConfig, TILE_CELL_BYTES,
 };
 use sts_eval::matching::matching_ranks;
 use sts_eval::measures::{make_measure, measure_set, MeasureKind};
@@ -47,6 +47,7 @@ pub fn all_suites() -> Vec<(&'static str, fn(&TimingConfig) -> PerfReport)> {
         ("chaos", chaos),
         ("runtime", runtime),
         ("tiles", tiles),
+        ("shard", shard),
     ]
 }
 
@@ -528,6 +529,100 @@ pub fn tiles(config: &TimingConfig) -> PerfReport {
 
     PerfReport {
         suite: "tiles",
+        entries,
+        extras,
+    }
+}
+
+/// Sharded tile execution: the same tiled matrix dealt to 1-worker and
+/// 4-worker `sts-worker serve-tcp` fleets next to the in-process tiled
+/// baseline. The spread between `tiled_in_process` and
+/// `sharded_matrix_1w` is the full distribution tax (fleet spawn,
+/// per-worker corpus preparation, frame codec both ways); the spread
+/// between 1 and 4 workers is what parallel tile dealing buys back.
+/// Extras record the coordinator's lease accounting — on a healthy
+/// loopback fleet, `leases_expired` must be 0. Sharded entries are
+/// skipped when the worker binary isn't built alongside this bench
+/// (e.g. a bare `cargo run -p sts-bench`).
+pub fn shard(config: &TimingConfig) -> PerfReport {
+    // Larger than the tiles fixture: with only a handful of pairs the
+    // constant fleet cost (spawn + per-worker corpus preparation)
+    // swamps the compute being parallelized.
+    let scenario = bench_mall(12);
+    let clean: Vec<Trajectory> = scenario.pairs.d1.clone();
+    let sts = Sts::new(
+        StsConfig {
+            noise_sigma: scenario.scale.noise_sigma,
+            ..StsConfig::default()
+        },
+        scenario.default_grid(),
+    );
+    let dir = std::env::temp_dir().join(format!("sts-bench-shard-{}", std::process::id()));
+    let total_cells = clean.len() * clean.len();
+    let budget_bytes = (total_cells / 8).max(1) * TILE_CELL_BYTES;
+    let tiling = TileConfig::with_memory_budget(&dir, budget_bytes);
+
+    let mut entries = vec![(
+        "tiled_in_process".to_string(),
+        time(config, || {
+            sts.similarity_matrix_tiled(&clean, &clean, &JobConfig::default(), &tiling)
+                .unwrap()
+        }),
+    )];
+
+    let mut extras = vec![
+        ("matrix_cells".to_string(), total_cells as f64),
+        ("tile_pairs".to_string(), tiling.tile_pairs as f64),
+    ];
+    let worker = default_worker_path();
+    if worker.is_file() {
+        let sharded_cfg = |workers: usize| JobConfig {
+            exec: ExecMode::Sharded(ShardOptions {
+                workers,
+                ..ShardOptions::default()
+            }),
+            ..JobConfig::default()
+        };
+        for workers in [1usize, 4] {
+            let cfg = sharded_cfg(workers);
+            entries.push((
+                format!("sharded_matrix_{workers}w"),
+                time(config, || {
+                    sts.similarity_matrix_tiled(&clean, &clean, &cfg, &tiling)
+                        .unwrap()
+                }),
+            ));
+        }
+
+        // One dedicated 4-worker run for throughput and the lease
+        // ledger, untainted by the warm-up iterations above.
+        let started = std::time::Instant::now();
+        let (_, report) = sts
+            .similarity_matrix_tiled(&clean, &clean, &sharded_cfg(4), &tiling)
+            .unwrap();
+        let elapsed = started.elapsed().as_secs_f64();
+        if elapsed > 0.0 {
+            extras.push(("pairs_per_sec".to_string(), total_cells as f64 / elapsed));
+        }
+        if let Some(s) = report.stats.shard {
+            extras.push(("workers_spawned".to_string(), s.workers_spawned as f64));
+            extras.push(("tiles_leased".to_string(), s.tiles_leased as f64));
+            extras.push(("leases_expired".to_string(), s.leases_expired as f64));
+            extras.push((
+                "tiles_local_fallback".to_string(),
+                s.tiles_local_fallback as f64,
+            ));
+        }
+    } else {
+        eprintln!(
+            "perf: skipping shard/sharded_matrix_* ({} not built)",
+            worker.display()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    PerfReport {
+        suite: "shard",
         entries,
         extras,
     }

@@ -92,6 +92,13 @@ pub enum ExecMode {
     /// measures cannot be described to a worker
     /// ([`JobError::SubprocessUnsupported`]).
     Subprocess(IsolateOptions),
+    /// Score on a fleet of socket workers dealt whole tiles by the
+    /// lease-based coordinator in [`crate::shard`]. Only meaningful
+    /// under the tiled engine ([`crate::tiled::tiled_engine`]) — tiles
+    /// are the unit of distribution; a plain supervised job has no
+    /// tiles to deal ([`JobError::ShardRequiresTiling`]). Same
+    /// pure-config measure requirement as `Subprocess`.
+    Sharded(crate::shard::ShardOptions),
 }
 
 /// Tuning for [`ExecMode::Subprocess`]. `Default` is production-shaped;
@@ -233,6 +240,10 @@ pub enum JobError {
     InvalidTiling(String),
     /// The tile directory could not be created or scanned.
     TileDir(std::io::Error),
+    /// [`ExecMode::Sharded`] was requested outside the tiled engine.
+    /// Sharding deals *tiles* to workers; without tiling there is
+    /// nothing to lease.
+    ShardRequiresTiling,
 }
 
 impl fmt::Display for JobError {
@@ -259,6 +270,11 @@ impl fmt::Display for JobError {
             }
             JobError::InvalidTiling(why) => write!(f, "invalid tile config: {why}"),
             JobError::TileDir(e) => write!(f, "tile directory unusable: {e}"),
+            JobError::ShardRequiresTiling => write!(
+                f,
+                "sharded execution distributes tiles and needs the tiled engine \
+                 (similarity_matrix_tiled); use Subprocess for untiled supervision"
+            ),
         }
     }
 }
@@ -323,6 +339,39 @@ pub(crate) fn job_fingerprint(
     queries: &[Trajectory],
     candidates: &[Trajectory],
 ) -> u64 {
+    let qs: Vec<TrajShape> = queries.iter().map(traj_shape).collect();
+    let cs: Vec<TrajShape> = candidates.iter().map(traj_shape).collect();
+    fingerprint_shapes(grid, &qs, &cs)
+}
+
+/// One trajectory as the fingerprint sees it: length plus first/last
+/// point. A worker can reconstruct these from decoded preamble frames
+/// without holding full [`Trajectory`] values, so the handshake
+/// fingerprint check shares this exact hash with the checkpoint path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct TrajShape {
+    pub len: u64,
+    pub first: [f64; 3],
+    pub last: [f64; 3],
+}
+
+pub(crate) fn traj_shape(t: &Trajectory) -> TrajShape {
+    let (first, last) = (t.get(0), t.get(t.len() - 1));
+    TrajShape {
+        len: t.len() as u64,
+        first: [first.loc.x, first.loc.y, first.t],
+        last: [last.loc.x, last.loc.y, last.t],
+    }
+}
+
+/// The single fingerprint implementation — [`job_fingerprint`] and the
+/// worker's handshake verification both call this, so they cannot
+/// drift apart.
+pub(crate) fn fingerprint_shapes(
+    grid: &Grid,
+    queries: &[TrajShape],
+    candidates: &[TrajShape],
+) -> u64 {
     let mut h = Fnv1a::new();
     let area = grid.area();
     for v in [
@@ -336,12 +385,12 @@ pub(crate) fn job_fingerprint(
     }
     for side in [queries, candidates] {
         h.write_u64(side.len() as u64);
-        for t in side {
-            h.write_u64(t.len() as u64);
-            for p in [t.get(0), t.get(t.len() - 1)] {
-                h.write_f64(p.loc.x);
-                h.write_f64(p.loc.y);
-                h.write_f64(p.t);
+        for s in side {
+            h.write_u64(s.len);
+            for p in [s.first, s.last] {
+                h.write_f64(p[0]);
+                h.write_f64(p[1]);
+                h.write_f64(p[2]);
             }
         }
     }
@@ -399,6 +448,9 @@ impl Sts {
     ) -> Result<(Vec<Vec<PairOutcome>>, JobReport), JobError> {
         let started = Instant::now();
         let _job_span = trace::span("job.run");
+        if matches!(cfg.exec, ExecMode::Sharded(_)) {
+            return Err(JobError::ShardRequiresTiling);
+        }
         let metrics_base = cfg.telemetry.then(|| sts_obs::metrics::global().snapshot());
         let space = PairSpace::new(queries.len(), candidates.len());
         let mut batch = BatchReport::default();
@@ -657,7 +709,8 @@ impl Sts {
             return Err(JobError::WorkerMissing { path: program });
         }
         let _span = trace::span("job.subprocess");
-        let preamble = worker::encode_preamble(spec, self.grid(), cfg, space, queries, candidates);
+        let preamble =
+            worker::encode_preamble(spec, self.grid(), cfg, space, queries, candidates, 0);
         let chunks = pending_chunks(&done, cfg.chunk_pairs);
         let iso = IsolateConfig {
             worker: WorkerSpec {
@@ -969,6 +1022,7 @@ pub(crate) fn stats_from(
         chunk_run_total: Duration::ZERO,
         isolate: None,
         tiles: None,
+        shard: None,
     }
 }
 

@@ -43,6 +43,7 @@ mod dist;
 pub mod index;
 pub mod job;
 pub mod noise;
+pub mod shard;
 mod stpcache;
 pub mod stprob;
 mod sts;
@@ -56,6 +57,7 @@ pub use dist::SparseDistribution;
 pub use index::ColocationIndex;
 pub use job::{CheckpointConfig, ExecMode, IsolateOptions, JobConfig, JobError, JobReport};
 pub use noise::{DeterministicNoise, GaussianNoise, NoiseModel, UniformDiscNoise};
+pub use shard::{ProcessLauncher, ShardOptions, WorkerHandle, WorkerLauncher};
 pub use stpcache::{StpCacheMode, StpScratch};
 pub use stprob::{StpEstimator, StpEvalScratch};
 pub use sts::{exposure_duration, PreparedTrajectory, Sts, StsConfig, StsVariant};
@@ -63,7 +65,7 @@ pub use tiled::{TileConfig, TILE_CELL_BYTES};
 pub use transition::{
     BrownianTransition, FrequencyTransition, SpeedKdeTransition, TransitionModel,
 };
-pub use worker::{default_worker_path, serve, ServeError};
+pub use worker::{default_worker_path, serve, ServeError, PROTOCOL_VERSION};
 
 use std::fmt;
 

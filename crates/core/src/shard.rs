@@ -1,0 +1,926 @@
+//! The sharded tile coordinator: lease-based distribution of matrix
+//! tiles to a fleet of socket workers, with failover and byte-identical
+//! recovery.
+//!
+//! [`ExecMode::Sharded`](crate::job::ExecMode) turns the tiled engine's
+//! phase A into a distributed system: the coordinator deals each
+//! pending tile to one of `workers` tile workers over loopback TCP
+//! (framed by [`sts_isolate::protocol`], moved by
+//! [`sts_isolate::FrameConn`]), and the worker scores the whole tile as
+//! a single wire chunk. The pieces that make this safe under real
+//! network failure:
+//!
+//! * **Leases, not assignments.** Every deal carries a fresh epoch from
+//!   a [`LeaseTable`] (the wire request id). A worker that dies, wedges
+//!   or goes silent past [`ShardOptions::lease_timeout`] forfeits its
+//!   lease; the tile returns to the queue and is re-dealt. Heartbeats
+//!   (`hb` frames every [`ShardOptions::hb_every`] scored pairs) let an
+//!   honest-but-slow worker keep its lease alive indefinitely.
+//! * **At-most-once commit.** A result only commits when it carries the
+//!   *live* epoch of its tile. Duplicated frames and zombie results
+//!   from superseded leases are refused — refusal is sound because
+//!   scoring is deterministic, so the committed bytes equal whatever
+//!   the zombie computed. Exactly one spill per tile ever happens.
+//! * **Typed handshake rejection.** Workers verify the `hello` frame's
+//!   protocol version and job fingerprint before `ready`
+//!   ([`crate::worker`]); a rejection marks the *pairing of binaries*
+//!   broken, stops all further spawning, and falls through to local
+//!   compute rather than burning the restart budget on a permanent
+//!   condition.
+//! * **Bounded failover.** Worker respawns share one restart budget
+//!   with decorrelated-jitter backoff. A slot whose respawn budget is
+//!   exhausted retires; when the whole fleet is gone, the leftover
+//!   tiles are returned to the caller, which computes them in-process
+//!   ([`ShardStats::tiles_local_fallback`]) — graceful degradation,
+//!   never a lost job.
+//!
+//! The transport seam ([`ShardOptions::injector`]) is where the
+//! network-chaos suite in `sts-robust` injects seeded drops, delays,
+//! corruption, duplicates, disconnects and wedges, then reconciles
+//! every injection against this coordinator's [`ShardStats`] and
+//! asserts the final matrix is byte-identical to an in-process run.
+
+use crate::batch::PairOutcome;
+use crate::worker;
+use std::collections::VecDeque;
+use std::fmt;
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use sts_isolate::protocol::ProtocolError;
+use sts_isolate::{FrameConn, NetDirection, NetFault, NetInjector};
+use sts_obs::trace;
+use sts_runtime::{
+    Budget, CancelToken, CommitOutcome, DecorrelatedJitter, LeaseTable, PairChunk, ShardStats,
+    StopReason,
+};
+
+/// Tuning for [`ExecMode::Sharded`](crate::job::ExecMode). `Default`
+/// is production-shaped; tests shrink the timeouts and inject their
+/// own launcher and fault plan.
+#[derive(Clone)]
+pub struct ShardOptions {
+    /// Worker executable; `None` resolves `sts-worker` next to the
+    /// current executable ([`worker::default_worker_path`]). Ignored
+    /// when [`launcher`](Self::launcher) is set.
+    pub worker: Option<PathBuf>,
+    /// Fleet size (0 → [`sts_runtime::worker_count`], which honors the
+    /// `STS_WORKERS` environment override). Clamped to the tile count.
+    pub workers: usize,
+    /// How long a dealt tile may go without any frame (heartbeat or
+    /// result) before its lease expires and the worker is presumed
+    /// lost. Must comfortably exceed `hb_every` pairs of honest
+    /// scoring.
+    pub lease_timeout: Duration,
+    /// How long a fresh worker may take to connect, rebuild the
+    /// measure, prepare the corpus and answer `ready`.
+    pub ready_timeout: Duration,
+    /// Heartbeat stride in scored pairs, forwarded in the `hello`
+    /// frame. 0 disables heartbeats (then a tile must finish within
+    /// one lease timeout).
+    pub hb_every: u64,
+    /// Worker respawns allowed across the whole fleet (the initial
+    /// fleet is free). Exhaustion retires slots; leftover tiles fall
+    /// back to local compute.
+    pub restart_budget: usize,
+    /// Respawn backoff (decorrelated jitter between these bounds).
+    pub backoff_base: Duration,
+    /// See [`backoff_base`](Self::backoff_base).
+    pub backoff_cap: Duration,
+    /// How workers are launched. `None` spawns
+    /// `sts-worker serve-tcp <addr>` subprocesses
+    /// ([`ProcessLauncher`]); tests inject in-thread workers.
+    pub launcher: Option<Arc<dyn WorkerLauncher>>,
+    /// Fault injector applied to every coordinator-side connection
+    /// (both directions). `None` is the clean transport.
+    pub injector: Option<Arc<dyn NetInjector>>,
+}
+
+impl Default for ShardOptions {
+    fn default() -> Self {
+        ShardOptions {
+            worker: None,
+            workers: 0,
+            lease_timeout: Duration::from_secs(30),
+            ready_timeout: Duration::from_secs(10),
+            hb_every: 64,
+            restart_budget: 64,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(500),
+            launcher: None,
+            injector: None,
+        }
+    }
+}
+
+impl fmt::Debug for ShardOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardOptions")
+            .field("worker", &self.worker)
+            .field("workers", &self.workers)
+            .field("lease_timeout", &self.lease_timeout)
+            .field("ready_timeout", &self.ready_timeout)
+            .field("hb_every", &self.hb_every)
+            .field("restart_budget", &self.restart_budget)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Launches one worker that must connect to `addr` and speak the
+/// worker protocol over that socket. The default is
+/// [`ProcessLauncher`]; tests launch in-thread workers for speed and
+/// determinism.
+pub trait WorkerLauncher: Send + Sync {
+    /// Launch a worker that will connect to `addr`.
+    fn launch(&self, addr: SocketAddr) -> io::Result<Box<dyn WorkerHandle>>;
+}
+
+/// A launched worker, killable by the coordinator. Implementations
+/// must make `kill` idempotent and must reap any OS resources (a
+/// killed child is waited on, not left a zombie).
+pub trait WorkerHandle: Send {
+    /// Terminate the worker. Idempotent; called on every teardown
+    /// path, including drop-equivalent cleanup at coordinator exit.
+    fn kill(&mut self);
+}
+
+/// Spawns `<program> serve-tcp <addr>` subprocesses with null stdio —
+/// the production launcher.
+#[derive(Debug, Clone)]
+pub struct ProcessLauncher {
+    /// The worker executable.
+    pub program: PathBuf,
+}
+
+impl WorkerLauncher for ProcessLauncher {
+    fn launch(&self, addr: SocketAddr) -> io::Result<Box<dyn WorkerHandle>> {
+        let child = Command::new(&self.program)
+            .arg("serve-tcp")
+            .arg(addr.to_string())
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()?;
+        Ok(Box::new(ProcessHandle { child }))
+    }
+}
+
+struct ProcessHandle {
+    child: Child,
+}
+
+impl WorkerHandle for ProcessHandle {
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for ProcessHandle {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+/// Decorrelates per-connection fault schedules: each worker connection
+/// gets a disjoint frame-index window into the shared injector, so a
+/// respawned worker does not replay its predecessor's exact faults
+/// (which would turn one seeded disconnect into an unconditional
+/// restart loop).
+struct OffsetInjector {
+    inner: Arc<dyn NetInjector>,
+    base: u64,
+}
+
+impl NetInjector for OffsetInjector {
+    fn fault_for(&self, index: u64, dir: NetDirection) -> Option<NetFault> {
+        self.inner.fault_for(self.base + index, dir)
+    }
+}
+
+/// Index-window stride per connection — far beyond any real frame
+/// count, so windows never overlap.
+const CONN_INDEX_STRIDE: u64 = 1 << 20;
+
+/// What [`run_sharded`] concluded.
+pub(crate) struct ShardRun {
+    /// Coordinator accounting ([`ShardStats::tiles_local_fallback`] is
+    /// left 0 — the caller owns the fallback).
+    pub stats: ShardStats,
+    /// Tile indices (into the caller's tile list) not committed by the
+    /// fleet: the run stopped, or the fleet was exhausted/rejected.
+    /// Ascending order.
+    pub leftover: Vec<usize>,
+    /// Why the run stopped early, if it did.
+    pub stop: Option<StopReason>,
+}
+
+/// One slot's claim-serve-commit state machine outcome for a single
+/// wait on the wire.
+enum Verdict {
+    /// The live epoch's result committed; here are its dense outcomes.
+    Committed(Vec<PairOutcome>),
+    /// The frame was destroyed in transit (typed garbage): the worker
+    /// is alive, re-lease and resend to it.
+    RetrySameWorker,
+    /// Timeout, EOF, I/O error or protocol violation: kill the worker,
+    /// expire the lease, respawn under budget.
+    WorkerLost,
+    /// The commit gate refused our own epoch (defensive: should be
+    /// unreachable since a tile is held by exactly one slot).
+    AlreadyDone,
+}
+
+enum SpawnError {
+    /// Launch, connect, preamble or ready failed — transient, costs a
+    /// restart from the shared budget.
+    Failed,
+    /// The worker answered `reject ...`: version or fingerprint skew.
+    /// Permanent for this pairing of binaries.
+    Rejected,
+}
+
+/// Coordinator state shared by all slot threads.
+struct Shared<'a> {
+    tiles: &'a [PairChunk],
+    todo: &'a [usize],
+    preamble: &'a [String],
+    opts: &'a ShardOptions,
+    launcher: Arc<dyn WorkerLauncher>,
+    /// Pending positions into `todo`.
+    queue: Mutex<VecDeque<usize>>,
+    queue_cv: Condvar,
+    /// Lease arbiter over `todo` positions.
+    lt: Mutex<LeaseTable>,
+    /// Committed flags per position (leftover = the unset ones).
+    done: Vec<AtomicBool>,
+    done_count: AtomicUsize,
+    stopped: AtomicBool,
+    rejected: AtomicBool,
+    restarts_left: AtomicUsize,
+    conn_seq: AtomicU64,
+    workers_spawned: AtomicUsize,
+    worker_restarts: AtomicUsize,
+    workers_rejected: AtomicUsize,
+    frames_corrupt: AtomicUsize,
+    /// Results refused without going through the lease table (stale
+    /// epochs we cannot map to a tile).
+    stale_results: AtomicUsize,
+}
+
+impl Shared<'_> {
+    /// Claims the next pending position, waiting out windows where
+    /// every remaining tile is in flight on some other slot. `None`
+    /// once everything is committed or the run stopped.
+    fn claim(&self) -> Option<usize> {
+        let mut q = self.queue.lock().unwrap();
+        loop {
+            if self.stopped.load(Ordering::SeqCst) {
+                return None;
+            }
+            if let Some(pos) = q.pop_front() {
+                return Some(pos);
+            }
+            if self.done_count.load(Ordering::SeqCst) >= self.todo.len() {
+                return None;
+            }
+            // An in-flight tile may yet be requeued by a failing slot;
+            // the timeout is only a safety net against lost wakeups.
+            q = self
+                .queue_cv
+                .wait_timeout(q, Duration::from_millis(50))
+                .unwrap()
+                .0;
+        }
+    }
+
+    fn requeue(&self, pos: usize) {
+        self.queue.lock().unwrap().push_back(pos);
+        self.queue_cv.notify_all();
+    }
+
+    fn mark_done(&self, pos: usize) {
+        self.done[pos].store(true, Ordering::SeqCst);
+        self.done_count.fetch_add(1, Ordering::SeqCst);
+        self.queue_cv.notify_all();
+    }
+
+    fn stop(&self) {
+        self.stopped.store(true, Ordering::SeqCst);
+        self.queue_cv.notify_all();
+    }
+
+    /// Takes one respawn from the shared budget. `false` = exhausted.
+    fn charge_restart(&self) -> bool {
+        self.restarts_left
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok()
+    }
+
+    fn expire(&self, pos: usize) {
+        self.lt.lock().unwrap().expire(pos);
+    }
+}
+
+/// Deals the `todo` tiles to a worker fleet and calls `on_commit` (on
+/// this thread) exactly once per committed tile, in commit order, with
+/// the tile's dense outcomes. See the [module docs](self) for the
+/// protocol; see [`ShardRun`] for what comes back.
+pub(crate) fn run_sharded(
+    tiles: &[PairChunk],
+    todo: &[usize],
+    preamble: &[String],
+    opts: &ShardOptions,
+    cancel: &CancelToken,
+    budget: Budget,
+    on_commit: &mut dyn FnMut(usize, Vec<PairOutcome>),
+) -> ShardRun {
+    let _span = trace::span("job.shard");
+    if todo.is_empty() {
+        return ShardRun {
+            stats: ShardStats::default(),
+            leftover: Vec::new(),
+            stop: None,
+        };
+    }
+    let launcher: Arc<dyn WorkerLauncher> = match &opts.launcher {
+        Some(l) => Arc::clone(l),
+        None => Arc::new(ProcessLauncher {
+            program: opts
+                .worker
+                .clone()
+                .unwrap_or_else(worker::default_worker_path),
+        }),
+    };
+    let slots = if opts.workers == 0 {
+        sts_runtime::worker_count(todo.len())
+    } else {
+        opts.workers.min(todo.len()).max(1)
+    };
+    let shared = Shared {
+        tiles,
+        todo,
+        preamble,
+        opts,
+        launcher,
+        queue: Mutex::new((0..todo.len()).collect()),
+        queue_cv: Condvar::new(),
+        lt: Mutex::new(LeaseTable::new(todo.len())),
+        done: (0..todo.len()).map(|_| AtomicBool::new(false)).collect(),
+        done_count: AtomicUsize::new(0),
+        stopped: AtomicBool::new(false),
+        rejected: AtomicBool::new(false),
+        restarts_left: AtomicUsize::new(opts.restart_budget),
+        conn_seq: AtomicU64::new(0),
+        workers_spawned: AtomicUsize::new(0),
+        worker_restarts: AtomicUsize::new(0),
+        workers_rejected: AtomicUsize::new(0),
+        frames_corrupt: AtomicUsize::new(0),
+        stale_results: AtomicUsize::new(0),
+    };
+
+    let (tx, rx) = mpsc::channel::<(usize, Vec<PairOutcome>)>();
+    let mut stop_reason: Option<StopReason> = None;
+    let mut committed_pairs = 0usize;
+    std::thread::scope(|s| {
+        for slot in 0..slots {
+            let tx = tx.clone();
+            let shared = &shared;
+            s.spawn(move || slot_loop(shared, slot, &tx));
+        }
+        drop(tx);
+        // This thread owns the commit sink: spills happen here, in
+        // commit order, so the caller's closure needs no Send bound.
+        loop {
+            match rx.recv_timeout(Duration::from_millis(25)) {
+                Ok((tile_idx, outs)) => {
+                    committed_pairs += outs.len();
+                    on_commit(tile_idx, outs);
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+            if stop_reason.is_none() {
+                stop_reason = if cancel.is_cancelled() {
+                    Some(StopReason::Cancelled)
+                } else {
+                    budget.check(committed_pairs)
+                };
+                if stop_reason.is_some() {
+                    shared.stop();
+                }
+            }
+        }
+        // Commits that raced the shutdown are still commits: the lease
+        // table accepted them and the spill must happen.
+        while let Ok((tile_idx, outs)) = rx.try_recv() {
+            committed_pairs += outs.len();
+            on_commit(tile_idx, outs);
+        }
+    });
+
+    let lt = shared.lt.lock().unwrap();
+    let stats = ShardStats {
+        workers_spawned: shared.workers_spawned.load(Ordering::SeqCst),
+        worker_restarts: shared.worker_restarts.load(Ordering::SeqCst),
+        workers_rejected: shared.workers_rejected.load(Ordering::SeqCst),
+        tiles_leased: lt.leases_granted(),
+        leases_expired: lt.leases_expired(),
+        commits_refused: lt.commits_refused() + shared.stale_results.load(Ordering::SeqCst),
+        frames_corrupt: shared.frames_corrupt.load(Ordering::SeqCst),
+        tiles_local_fallback: 0,
+    };
+    drop(lt);
+    let leftover = (0..todo.len())
+        .filter(|&pos| !shared.done[pos].load(Ordering::SeqCst))
+        .map(|pos| todo[pos])
+        .collect();
+    ShardRun {
+        stats,
+        leftover,
+        stop: stop_reason,
+    }
+}
+
+/// One slot: claim a tile, keep a worker alive, deal and commit, until
+/// the queue drains, the run stops, the handshake is rejected, or the
+/// restart budget retires this slot.
+fn slot_loop(shared: &Shared<'_>, slot: usize, tx: &mpsc::Sender<(usize, Vec<PairOutcome>)>) {
+    let mut live: Option<(FrameConn, Box<dyn WorkerHandle>)> = None;
+    let mut jitter = DecorrelatedJitter::new(
+        shared.opts.backoff_base,
+        shared.opts.backoff_cap,
+        0x5AAD_0000 ^ (slot as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    );
+    let mut spawned_once = false;
+    'slot: while let Some(pos) = shared.claim() {
+        loop {
+            if shared.stopped.load(Ordering::SeqCst) {
+                shared.requeue(pos);
+                break 'slot;
+            }
+            if live.is_none() {
+                if shared.rejected.load(Ordering::SeqCst) {
+                    // The binaries cannot agree; spawning more copies
+                    // of the same worker cannot fix it.
+                    shared.requeue(pos);
+                    break 'slot;
+                }
+                if spawned_once {
+                    if !shared.charge_restart() {
+                        shared.requeue(pos);
+                        break 'slot; // slot retires; fleet shrinks
+                    }
+                    shared.worker_restarts.fetch_add(1, Ordering::SeqCst);
+                    sts_obs::static_counter!("shard.workers.restarted").incr();
+                    std::thread::sleep(jitter.next_delay());
+                }
+                spawned_once = true;
+                match spawn_ready_worker(shared) {
+                    Ok(w) => live = Some(w),
+                    Err(SpawnError::Failed) => continue,
+                    Err(SpawnError::Rejected) => {
+                        shared.workers_rejected.fetch_add(1, Ordering::SeqCst);
+                        sts_obs::static_counter!("shard.workers.rejected").incr();
+                        shared.rejected.store(true, Ordering::SeqCst);
+                        shared.requeue(pos);
+                        break 'slot;
+                    }
+                }
+            }
+            let tile = &shared.tiles[shared.todo[pos]];
+            let Some(epoch) = shared.lt.lock().unwrap().lease(pos) else {
+                // Defensive: positions are claimed exclusively, so a
+                // committed tile cannot be re-claimed.
+                break;
+            };
+            let (conn, _) = live.as_mut().expect("worker ensured above");
+            if conn
+                .send(&format!("chunk {epoch} {} {}", tile.start, tile.len))
+                .is_err()
+            {
+                teardown(&mut live);
+                shared.expire(pos);
+                continue;
+            }
+            let _ = conn.set_read_deadline(Some(shared.opts.lease_timeout));
+            match wait_result(shared, conn, pos, tile, epoch) {
+                Verdict::Committed(outs) => {
+                    shared.mark_done(pos);
+                    let _ = tx.send((shared.todo[pos], outs));
+                    break;
+                }
+                Verdict::AlreadyDone => break,
+                Verdict::RetrySameWorker => {
+                    shared.expire(pos);
+                    continue;
+                }
+                Verdict::WorkerLost => {
+                    teardown(&mut live);
+                    shared.expire(pos);
+                    continue;
+                }
+            }
+        }
+    }
+    if let Some((mut conn, mut handle)) = live.take() {
+        let _ = conn.send("shutdown");
+        handle.kill();
+    }
+}
+
+fn teardown(live: &mut Option<(FrameConn, Box<dyn WorkerHandle>)>) {
+    if let Some((_, mut handle)) = live.take() {
+        handle.kill();
+    }
+}
+
+/// Reads frames until the live epoch's result arrives (commit), the
+/// deadline passes, or the connection proves unusable. Heartbeats for
+/// any epoch reset the deadline simply by being frames; results for
+/// superseded epochs are refused and skipped.
+fn wait_result(
+    shared: &Shared<'_>,
+    conn: &mut FrameConn,
+    pos: usize,
+    tile: &PairChunk,
+    epoch: u64,
+) -> Verdict {
+    loop {
+        match conn.recv() {
+            Ok(frame) => {
+                let mut fields = frame.split_whitespace();
+                match fields.next() {
+                    Some("hb") => continue,
+                    Some("result") => {
+                        let Some(id) = fields.next().and_then(|s| s.parse::<u64>().ok()) else {
+                            return Verdict::WorkerLost;
+                        };
+                        if id != epoch {
+                            // A duplicated frame or a superseded
+                            // chunk's late result: refuse, keep
+                            // listening for ours.
+                            shared.stale_results.fetch_add(1, Ordering::SeqCst);
+                            continue;
+                        }
+                        let payload = frame
+                            .strip_prefix(&format!("result {id} "))
+                            .unwrap_or_default();
+                        let Some(outs) = decode_tile(payload, tile) else {
+                            return Verdict::WorkerLost;
+                        };
+                        return match shared.lt.lock().unwrap().commit(pos, epoch) {
+                            CommitOutcome::Committed => Verdict::Committed(outs),
+                            CommitOutcome::Duplicate | CommitOutcome::Stale => Verdict::AlreadyDone,
+                        };
+                    }
+                    _ => return Verdict::WorkerLost,
+                }
+            }
+            Err(ProtocolError::Garbage { .. }) => {
+                // Line noise on the wire. The destroyed frame may have
+                // been our result — re-lease and resend to the same
+                // (healthy) worker; the commit gate absorbs any
+                // original that later limps in.
+                shared.frames_corrupt.fetch_add(1, Ordering::SeqCst);
+                sts_obs::static_counter!("shard.frames.corrupt").incr();
+                return Verdict::RetrySameWorker;
+            }
+            Err(_) => return Verdict::WorkerLost,
+        }
+    }
+}
+
+/// Decodes one result payload into the tile's dense outcome slab.
+/// `None` on any malformed, out-of-range, duplicated or missing record
+/// — the chunk was for this exact tile, so anything but a perfect
+/// cover is a protocol violation.
+fn decode_tile(payload: &str, tile: &PairChunk) -> Option<Vec<PairOutcome>> {
+    let cells = worker::decode_result_payload(payload)?;
+    if cells.len() != tile.len {
+        return None;
+    }
+    let mut dense = vec![PairOutcome::Skipped; tile.len];
+    for (lin, outcome) in cells {
+        if lin < tile.start || lin >= tile.start + tile.len {
+            return None;
+        }
+        let slot = &mut dense[lin - tile.start];
+        // The wire never carries `Skipped`, so it doubles as the
+        // unfilled marker.
+        if !matches!(slot, PairOutcome::Skipped) {
+            return None;
+        }
+        *slot = outcome;
+    }
+    dense
+        .iter()
+        .all(|o| !matches!(o, PairOutcome::Skipped))
+        .then_some(dense)
+}
+
+/// Launches one worker and walks it to `ready`: bind an ephemeral
+/// loopback listener, launch, accept within the ready deadline, send
+/// the preamble, and interpret the worker's answer.
+fn spawn_ready_worker(
+    shared: &Shared<'_>,
+) -> Result<(FrameConn, Box<dyn WorkerHandle>), SpawnError> {
+    let listener = TcpListener::bind(("127.0.0.1", 0)).map_err(|_| SpawnError::Failed)?;
+    let addr = listener.local_addr().map_err(|_| SpawnError::Failed)?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|_| SpawnError::Failed)?;
+    let mut handle = shared
+        .launcher
+        .launch(addr)
+        .map_err(|_| SpawnError::Failed)?;
+    shared.workers_spawned.fetch_add(1, Ordering::SeqCst);
+    sts_obs::static_counter!("shard.workers.spawned").incr();
+    let deadline = Instant::now() + shared.opts.ready_timeout;
+    let stream = loop {
+        match listener.accept() {
+            Ok((stream, _)) => break stream,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    handle.kill();
+                    return Err(SpawnError::Failed);
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => {
+                handle.kill();
+                return Err(SpawnError::Failed);
+            }
+        }
+    };
+    let _ = stream.set_nodelay(true);
+    let injector = shared.opts.injector.as_ref().map(|inner| {
+        let base = shared.conn_seq.fetch_add(1, Ordering::SeqCst) * CONN_INDEX_STRIDE;
+        Arc::new(OffsetInjector {
+            inner: Arc::clone(inner),
+            base,
+        }) as Arc<dyn NetInjector>
+    });
+    let Ok(mut conn) = FrameConn::with_injector(stream, injector) else {
+        handle.kill();
+        return Err(SpawnError::Failed);
+    };
+    let _ = conn.set_read_deadline(Some(shared.opts.ready_timeout));
+    for frame in shared.preamble {
+        if conn.send(frame).is_err() {
+            handle.kill();
+            return Err(SpawnError::Failed);
+        }
+    }
+    if conn.send("begin").is_err() {
+        handle.kill();
+        return Err(SpawnError::Failed);
+    }
+    loop {
+        match conn.recv() {
+            Ok(f) if f == "ready" => return Ok((conn, handle)),
+            Ok(f) if f.starts_with("reject ") => {
+                handle.kill();
+                return Err(SpawnError::Rejected);
+            }
+            Ok(_) => {
+                handle.kill();
+                return Err(SpawnError::Failed);
+            }
+            Err(ProtocolError::Garbage { .. }) => {
+                shared.frames_corrupt.fetch_add(1, Ordering::SeqCst);
+                sts_obs::static_counter!("shard.frames.corrupt").incr();
+                continue;
+            }
+            Err(_) => {
+                handle.kill();
+                return Err(SpawnError::Failed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sts::MeasureSpec;
+    use crate::{Sts, StsConfig};
+    use std::net::{Shutdown, TcpStream};
+    use sts_geo::{BoundingBox, Grid, Point};
+    use sts_runtime::PairSpace;
+    use sts_traj::Trajectory;
+
+    fn grid() -> Grid {
+        Grid::new(
+            BoundingBox::new(Point::ORIGIN, Point::new(200.0, 50.0)),
+            5.0,
+        )
+        .unwrap()
+    }
+
+    fn walker(y: f64, phase: f64, n: usize) -> Trajectory {
+        Trajectory::new(
+            (0..n)
+                .map(|i| {
+                    let t = phase + 10.0 * i as f64;
+                    sts_traj::TrajPoint::from_xy(2.0 * t, y, t)
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn corpus() -> (Vec<Trajectory>, Vec<Trajectory>) {
+        let queries: Vec<_> = (0..4)
+            .map(|i| walker(5.0 + 10.0 * i as f64, 0.0, 6))
+            .collect();
+        let candidates: Vec<_> = (0..4)
+            .map(|i| walker(8.0 + 9.0 * i as f64, 5.0, 6))
+            .collect();
+        (queries, candidates)
+    }
+
+    /// Runs `crate::worker::serve` on an in-process thread over the
+    /// connecting socket — the test fleet.
+    struct ThreadLauncher;
+
+    struct ThreadHandle {
+        stream: TcpStream,
+    }
+
+    impl WorkerHandle for ThreadHandle {
+        fn kill(&mut self) {
+            let _ = self.stream.shutdown(Shutdown::Both);
+        }
+    }
+
+    impl WorkerLauncher for ThreadLauncher {
+        fn launch(&self, addr: SocketAddr) -> io::Result<Box<dyn WorkerHandle>> {
+            let stream = TcpStream::connect(addr)?;
+            let reader = stream.try_clone()?;
+            let writer = stream.try_clone()?;
+            std::thread::spawn(move || {
+                let mut r = std::io::BufReader::new(reader);
+                let mut w = writer;
+                let _ = crate::worker::serve(&mut r, &mut w);
+            });
+            Ok(Box::new(ThreadHandle { stream }))
+        }
+    }
+
+    /// A launcher that never produces a worker: exercises budget
+    /// exhaustion and the leftover path.
+    struct BrokenLauncher;
+
+    impl WorkerLauncher for BrokenLauncher {
+        fn launch(&self, _addr: SocketAddr) -> io::Result<Box<dyn WorkerHandle>> {
+            Err(io::Error::other("no workers here"))
+        }
+    }
+
+    fn shard_opts(launcher: Arc<dyn WorkerLauncher>) -> ShardOptions {
+        ShardOptions {
+            workers: 2,
+            lease_timeout: Duration::from_secs(5),
+            ready_timeout: Duration::from_secs(5),
+            hb_every: 2,
+            restart_budget: 4,
+            backoff_base: Duration::from_micros(50),
+            backoff_cap: Duration::from_micros(500),
+            launcher: Some(launcher),
+            ..ShardOptions::default()
+        }
+    }
+
+    fn run(
+        opts: &ShardOptions,
+        preamble_tamper: impl FnOnce(&mut Vec<String>),
+    ) -> (
+        Vec<Option<Vec<PairOutcome>>>,
+        ShardRun,
+        Vec<Trajectory>,
+        Vec<Trajectory>,
+    ) {
+        let (queries, candidates) = corpus();
+        let sts = Sts::new(StsConfig::default(), grid());
+        let space = PairSpace::new(queries.len(), candidates.len());
+        let cfg = crate::job::JobConfig::default();
+        let mut preamble = crate::worker::encode_preamble(
+            &MeasureSpec::Full(StsConfig::default()),
+            sts.grid(),
+            &cfg,
+            &space,
+            &queries,
+            &candidates,
+            opts.hb_every,
+        );
+        preamble_tamper(&mut preamble);
+        let tiles: Vec<PairChunk> = space.chunks(4).collect();
+        let todo: Vec<usize> = (0..tiles.len()).collect();
+        let mut committed: Vec<Option<Vec<PairOutcome>>> = vec![None; tiles.len()];
+        let run = run_sharded(
+            &tiles,
+            &todo,
+            &preamble,
+            opts,
+            &sts_runtime::CancelToken::new(),
+            Budget::default(),
+            &mut |idx, outs| {
+                assert!(committed[idx].is_none(), "tile {idx} committed twice");
+                committed[idx] = Some(outs);
+            },
+        );
+        (committed, run, queries, candidates)
+    }
+
+    #[test]
+    fn clean_fleet_commits_every_tile_bit_exactly_once() {
+        let opts = shard_opts(Arc::new(ThreadLauncher));
+        let (committed, run, queries, candidates) = run(&opts, |_| {});
+        let sts = Sts::new(StsConfig::default(), grid());
+        let strict = sts.similarity_matrix(&queries, &candidates).unwrap();
+        let cols = candidates.len();
+        for (idx, outs) in committed.iter().enumerate() {
+            let outs = outs.as_ref().expect("every tile commits");
+            for (off, outcome) in outs.iter().enumerate() {
+                let lin = idx * 4 + off;
+                match outcome {
+                    PairOutcome::Score(s) => {
+                        assert_eq!(
+                            s.to_bits(),
+                            strict[lin / cols][lin % cols].to_bits(),
+                            "cell {lin}"
+                        );
+                    }
+                    other => panic!("cell {lin}: {other:?}"),
+                }
+            }
+        }
+        assert!(run.leftover.is_empty());
+        assert!(run.stop.is_none());
+        assert_eq!(run.stats.tiles_leased, 4);
+        assert_eq!(run.stats.leases_expired, 0);
+        assert_eq!(run.stats.workers_rejected, 0);
+        assert!(run.stats.workers_spawned >= 1 && run.stats.workers_spawned <= 2);
+        assert_eq!(run.stats.worker_restarts, 0);
+    }
+
+    #[test]
+    fn exhausted_fleet_returns_every_tile_as_leftover() {
+        let opts = shard_opts(Arc::new(BrokenLauncher));
+        let (committed, run, _, _) = run(&opts, |_| {});
+        assert!(committed.iter().all(Option::is_none));
+        assert_eq!(run.leftover, vec![0, 1, 2, 3]);
+        assert!(
+            run.stop.is_none(),
+            "exhaustion is not a stop: {:?}",
+            run.stop
+        );
+        // Initial fleet spawns are free; every further attempt drew
+        // from the shared budget of 4.
+        assert_eq!(run.stats.worker_restarts, 4);
+        assert_eq!(run.stats.workers_spawned, 0, "launch never succeeded");
+    }
+
+    #[test]
+    fn version_skew_rejects_typed_without_burning_restarts() {
+        let opts = shard_opts(Arc::new(ThreadLauncher));
+        let (committed, run, _, _) = run(&opts, |preamble| {
+            preamble[0] = preamble[0].replacen(
+                &format!("hello {} ", crate::worker::PROTOCOL_VERSION),
+                "hello 99 ",
+                1,
+            );
+        });
+        assert!(committed.iter().all(Option::is_none));
+        assert_eq!(run.leftover, vec![0, 1, 2, 3]);
+        assert!(run.stats.workers_rejected >= 1);
+        assert_eq!(
+            run.stats.worker_restarts, 0,
+            "a permanent rejection must not burn the restart budget"
+        );
+    }
+
+    #[test]
+    fn zero_pair_result_payloads_are_protocol_violations() {
+        let tile = PairChunk {
+            id: 0,
+            start: 4,
+            len: 3,
+        };
+        // Perfect cover commits.
+        assert!(decode_tile("3 4 s 0.5 5 q 6 s 0.25", &tile).is_some());
+        for bad in [
+            "2 4 s 0.5 5 q",          // short
+            "3 4 s 0.5 5 q 9 s 0.25", // out of range
+            "3 4 s 0.5 4 s 0.5 6 q",  // duplicate lin
+            "3 4 s 0.5 5 zz 6 q",     // malformed record
+        ] {
+            assert!(decode_tile(bad, &tile).is_none(), "{bad:?}");
+        }
+    }
+}

@@ -295,6 +295,23 @@ impl Sts {
         // fails fast, before any tile I/O.
         let sub: Option<SubExec<'_>> = match &cfg.exec {
             ExecMode::InProcess => None,
+            ExecMode::Sharded(sopts) => {
+                // Fail fast like Subprocess: the measure must be
+                // wire-describable, and the process launcher needs an
+                // actual worker binary. (Custom launchers bring their
+                // own workers.)
+                self.measure_spec().ok_or(JobError::SubprocessUnsupported)?;
+                if sopts.launcher.is_none() {
+                    let program = sopts
+                        .worker
+                        .clone()
+                        .unwrap_or_else(worker::default_worker_path);
+                    if !program.is_file() {
+                        return Err(JobError::WorkerMissing { path: program });
+                    }
+                }
+                None
+            }
             ExecMode::Subprocess(opts) => {
                 let spec = self.measure_spec().ok_or(JobError::SubprocessUnsupported)?;
                 let program = opts
@@ -314,6 +331,7 @@ impl Sts {
                         &space,
                         queries,
                         candidates,
+                        0,
                     ),
                 })
             }
@@ -326,7 +344,8 @@ impl Sts {
         let tiles: Vec<PairChunk> = space.chunks(tiling.tile_pairs).collect();
         let mut tstats = TileStats {
             tiles_total: tiles.len(),
-            stale_tmp_swept: swept,
+            stale_tmp_swept: swept.stale_tmp,
+            corrupt_swept: swept.corrupt,
             ..TileStats::default()
         };
 
@@ -341,78 +360,179 @@ impl Sts {
         let mut run_total = Duration::ZERO;
         let mut resident_fallback = 0usize; // cells pinned by Memory sources
         let mut agg_iso: Option<IsolateStats> = None;
+        let mut shard_stats = None;
 
-        for tile in &tiles {
-            let _span = trace::span("job.tiled.tile");
-            // Resume first, stopped or not: a verified tile on disk is
-            // free progress, exactly like checkpointed cells in the
-            // supervised engine.
-            match load_verified(&store, tile, &space, &prepared_q, &prepared_c) {
-                Loaded::Verified => {
+        if let ExecMode::Sharded(sopts) = &cfg.exec {
+            // ---- Phase A, sharded: resume what's on disk, deal the
+            // rest to the worker fleet under leases, spill each commit
+            // as it lands, and compute any leftovers locally. ----
+            sources = (0..tiles.len()).map(|_| TileSource::Skipped).collect();
+            let mut todo: Vec<usize> = Vec::new();
+            for (idx, tile) in tiles.iter().enumerate() {
+                match load_verified(&store, tile, &space, &prepared_q, &prepared_c) {
+                    Loaded::Verified => {
+                        tstats.max_resident_cells =
+                            tstats.max_resident_cells.max(resident_fallback + tile.len);
+                        tstats.tiles_resumed += 1;
+                        pairs_resumed += tile.len;
+                        sources[idx] = TileSource::Disk;
+                    }
+                    Loaded::Corrupt => {
+                        store.quarantine(tile.id);
+                        tstats.tiles_corrupt += 1;
+                        todo.push(idx);
+                    }
+                    Loaded::Absent => todo.push(idx),
+                }
+            }
+            let spec = self.measure_spec().ok_or(JobError::SubprocessUnsupported)?;
+            let preamble = worker::encode_preamble(
+                spec,
+                self.grid(),
+                cfg,
+                &space,
+                queries,
+                candidates,
+                sopts.hb_every,
+            );
+            let run = crate::shard::run_sharded(
+                &tiles,
+                &todo,
+                &preamble,
+                sopts,
+                &cfg.cancel,
+                cfg.budget,
+                &mut |idx, outs| {
+                    let tile = &tiles[idx];
                     tstats.max_resident_cells =
                         tstats.max_resident_cells.max(resident_fallback + tile.len);
-                    tstats.tiles_resumed += 1;
-                    pairs_resumed += tile.len;
-                    sources.push(TileSource::Disk);
+                    tstats.tiles_computed += 1;
+                    new_pairs += outs.iter().filter(|o| is_terminal(o)).count();
+                    sources[idx] =
+                        spill_tile(&store, tile, outs, &mut tstats, &mut resident_fallback);
+                },
+            );
+            let mut sstats = run.stats;
+            stop_reason = run.stop;
+            // Whatever the fleet could not finish — it was exhausted,
+            // rejected the handshake, or the run stopped — degrades to
+            // the in-process engine. A dead fleet never loses a job.
+            for idx in run.leftover {
+                let tile = &tiles[idx];
+                if stop_reason.is_none() {
+                    stop_reason = stop_check(cfg, new_pairs);
+                }
+                if stop_reason.is_some() {
+                    continue; // stays Skipped
+                }
+                tstats.max_resident_cells =
+                    tstats.max_resident_cells.max(resident_fallback + tile.len);
+                let remaining = Budget {
+                    deadline: cfg.budget.deadline,
+                    max_pairs: cfg.budget.max_pairs.map(|m| m.saturating_sub(new_pairs)),
+                };
+                let tr = self.compute_tile(
+                    tile,
+                    &space,
+                    &prepared_q,
+                    &prepared_c,
+                    cfg,
+                    None,
+                    remaining,
+                    &cell_retries,
+                    &mut agg_iso,
+                );
+                tstats.tiles_computed += 1;
+                sstats.tiles_local_fallback += 1;
+                sts_obs::static_counter!("shard.tiles.local_fallback").incr();
+                new_pairs += tr.outs.iter().filter(|o| is_terminal(o)).count();
+                pool_retries += tr.pool_retries;
+                wait_total += tr.wait;
+                run_total += tr.run;
+                if tr.stop.is_some() {
+                    stop_reason = tr.stop;
+                    resident_fallback += tile.len;
+                    sources[idx] = TileSource::Memory(tr.outs);
                     continue;
                 }
-                Loaded::Corrupt => {
-                    store.quarantine(tile.id);
-                    tstats.tiles_corrupt += 1;
+                sources[idx] =
+                    spill_tile(&store, tile, tr.outs, &mut tstats, &mut resident_fallback);
+            }
+            shard_stats = Some(sstats);
+        } else {
+            for tile in &tiles {
+                let _span = trace::span("job.tiled.tile");
+                // Resume first, stopped or not: a verified tile on disk is
+                // free progress, exactly like checkpointed cells in the
+                // supervised engine.
+                match load_verified(&store, tile, &space, &prepared_q, &prepared_c) {
+                    Loaded::Verified => {
+                        tstats.max_resident_cells =
+                            tstats.max_resident_cells.max(resident_fallback + tile.len);
+                        tstats.tiles_resumed += 1;
+                        pairs_resumed += tile.len;
+                        sources.push(TileSource::Disk);
+                        continue;
+                    }
+                    Loaded::Corrupt => {
+                        store.quarantine(tile.id);
+                        tstats.tiles_corrupt += 1;
+                    }
+                    Loaded::Absent => {}
                 }
-                Loaded::Absent => {}
-            }
 
-            if stop_reason.is_none() {
-                stop_reason = stop_check(cfg, new_pairs);
-            }
-            if stop_reason.is_some() {
-                sources.push(TileSource::Skipped);
-                continue;
-            }
+                if stop_reason.is_none() {
+                    stop_reason = stop_check(cfg, new_pairs);
+                }
+                if stop_reason.is_some() {
+                    sources.push(TileSource::Skipped);
+                    continue;
+                }
 
-            // Compute the tile on the configured engine with whatever
-            // budget is left globally (the deadline is absolute, so it
-            // carries over unchanged).
-            tstats.max_resident_cells = tstats.max_resident_cells.max(resident_fallback + tile.len);
-            let remaining = Budget {
-                deadline: cfg.budget.deadline,
-                max_pairs: cfg.budget.max_pairs.map(|m| m.saturating_sub(new_pairs)),
-            };
-            let tr = self.compute_tile(
-                tile,
-                &space,
-                &prepared_q,
-                &prepared_c,
-                cfg,
-                sub.as_ref(),
-                remaining,
-                &cell_retries,
-                &mut agg_iso,
-            );
-            tstats.tiles_computed += 1;
-            new_pairs += tr.outs.iter().filter(|o| is_terminal(o)).count();
-            pool_retries += tr.pool_retries;
-            wait_total += tr.wait;
-            run_total += tr.run;
+                // Compute the tile on the configured engine with whatever
+                // budget is left globally (the deadline is absolute, so it
+                // carries over unchanged).
+                tstats.max_resident_cells =
+                    tstats.max_resident_cells.max(resident_fallback + tile.len);
+                let remaining = Budget {
+                    deadline: cfg.budget.deadline,
+                    max_pairs: cfg.budget.max_pairs.map(|m| m.saturating_sub(new_pairs)),
+                };
+                let tr = self.compute_tile(
+                    tile,
+                    &space,
+                    &prepared_q,
+                    &prepared_c,
+                    cfg,
+                    sub.as_ref(),
+                    remaining,
+                    &cell_retries,
+                    &mut agg_iso,
+                );
+                tstats.tiles_computed += 1;
+                new_pairs += tr.outs.iter().filter(|o| is_terminal(o)).count();
+                pool_retries += tr.pool_retries;
+                wait_total += tr.wait;
+                run_total += tr.run;
 
-            if tr.stop.is_some() {
-                // Partial tiles are never spilled: a tile file always
-                // represents a *complete* slab.
-                stop_reason = tr.stop;
-                resident_fallback += tile.len;
-                sources.push(TileSource::Memory(tr.outs));
-                continue;
+                if tr.stop.is_some() {
+                    // Partial tiles are never spilled: a tile file always
+                    // represents a *complete* slab.
+                    stop_reason = tr.stop;
+                    resident_fallback += tile.len;
+                    sources.push(TileSource::Memory(tr.outs));
+                    continue;
+                }
+
+                sources.push(spill_tile(
+                    &store,
+                    tile,
+                    tr.outs,
+                    &mut tstats,
+                    &mut resident_fallback,
+                ));
             }
-
-            sources.push(spill_tile(
-                &store,
-                tile,
-                tr.outs,
-                &mut tstats,
-                &mut resident_fallback,
-            ));
-        }
+        } // end in-process / subprocess phase A
 
         // ---- Phase B: stream-merge tiles into the sink. ------------
         let merge_span = trace::span("job.tiled.merge");
@@ -551,6 +671,7 @@ impl Sts {
         stats.retries = pool_retries + cell_retries.into_inner();
         stats.isolate = agg_iso;
         stats.tiles = Some(tstats);
+        stats.shard = shard_stats;
 
         Ok(JobReport {
             batch,
@@ -827,5 +948,6 @@ fn zeroed_stats(state: JobState, pairs_total: usize) -> JobStats {
         chunk_run_total: Duration::ZERO,
         isolate: None,
         tiles: None,
+        shard: None,
     }
 }

@@ -14,6 +14,7 @@
 //!
 //! ```text
 //! supervisor → worker (preamble, then `begin`):
+//!   hello <version> <fingerprint:016x> <hb_every>
 //!   measure <full|no-noise> <sigma> <kernel> <trunc|none> <off|exact|lattice:<dt>>
 //!   grid <minx> <miny> <maxx> <maxy> <cell>
 //!   retry <max_retries> <base_ns> <cap_ns> <seed>
@@ -23,13 +24,25 @@
 //!   begin
 //! worker → supervisor:
 //!   ready
+//!   | reject version <got> <want>
+//!   | reject fingerprint <computed:016x> <claimed:016x>
 //! supervisor → worker (per chunk):
 //!   chunk <req_id> <start> <len>
-//! worker → supervisor:
+//! worker → supervisor (heartbeats only when hb_every > 0):
+//!   hb <req_id> <pairs_done>
 //!   result <req_id> <n> (<lin> s <score> | <lin> f <attempts> | <lin> p | <lin> q)*
 //! supervisor → worker (end of run):
 //!   shutdown
 //! ```
+//!
+//! The `hello` handshake makes version or corpus skew a *typed*
+//! rejection instead of undefined scoring: the worker recomputes the
+//! job fingerprint from its own decoded preamble (the same hash the
+//! checkpoint header uses) and answers `reject ...` instead of `ready`
+//! on any mismatch. Supervisors treat a rejection as permanent — the
+//! pairing of binaries is wrong, and restarting cannot fix it. A
+//! preamble without a `hello` frame is served without verification,
+//! for hand-rolled drivers.
 //!
 //! `f64`s travel as Rust's shortest round-trip decimal (the same
 //! encoding the checkpoint format relies on), so a worker-scored cell
@@ -52,6 +65,11 @@ use sts_isolate::protocol::{read_frame, write_frame, ProtocolError};
 use sts_runtime::{Fault, FaultPlan, PairSpace, RetryPolicy};
 use sts_stats::Kernel;
 use sts_traj::Trajectory;
+
+/// The wire-protocol version spoken by this build's `hello` frame. A
+/// worker answering a different version's preamble replies
+/// `reject version <got> <want>` instead of `ready`.
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// The conventional worker executable name, resolved next to the
 /// current executable (test and release binaries land in the same
@@ -95,6 +113,9 @@ fn kernel_from_token(s: &str) -> Option<Kernel> {
 /// The `spec` is the measure's pure-config construction recipe; `cfg`
 /// contributes the retry policy and fault plan the worker must apply
 /// so in-process and subprocess cells take identical code paths.
+/// `hb_every` asks the worker to emit `hb` heartbeat frames every that
+/// many scored pairs inside a chunk (0 disables them — the stdio
+/// supervisor path, whose per-chunk hard timeout covers liveness).
 pub(crate) fn encode_preamble(
     spec: &MeasureSpec,
     grid: &Grid,
@@ -102,8 +123,13 @@ pub(crate) fn encode_preamble(
     space: &PairSpace,
     queries: &[Trajectory],
     candidates: &[Trajectory],
+    hb_every: u64,
 ) -> Vec<String> {
-    let mut frames = Vec::with_capacity(5 + queries.len() + candidates.len());
+    let mut frames = Vec::with_capacity(6 + queries.len() + candidates.len());
+    let fingerprint = crate::job::job_fingerprint(grid, queries, candidates);
+    frames.push(format!(
+        "hello {PROTOCOL_VERSION} {fingerprint:016x} {hb_every}"
+    ));
     let (variant, sts_cfg) = match spec {
         MeasureSpec::Full(c) => ("full", c),
         MeasureSpec::NoNoise(c) => ("no-noise", c),
@@ -199,6 +225,7 @@ impl From<ProtocolError> for ServeError {
 /// The decoded preamble, accumulated frame by frame until `begin`.
 #[derive(Default)]
 struct JobSpec {
+    hello: Option<(u64, u64, u64)>,
     measure: Option<(StsVariant, StsConfig)>,
     grid: Option<Grid>,
     retry: Option<RetryPolicy>,
@@ -206,6 +233,11 @@ struct JobSpec {
     dims: Option<(usize, usize)>,
     queries: Vec<Option<Trajectory>>,
     candidates: Vec<Option<Trajectory>>,
+    // Shapes are recorded from the *raw decoded points*, independently
+    // of Trajectory construction, so the fingerprint check sees exactly
+    // what the supervisor hashed.
+    q_shapes: Vec<Option<crate::job::TrajShape>>,
+    c_shapes: Vec<Option<crate::job::TrajShape>>,
 }
 
 fn spec_err(msg: impl Into<String>) -> ServeError {
@@ -237,6 +269,15 @@ impl JobSpec {
     fn absorb(&mut self, frame: &str) -> Result<(), ServeError> {
         let mut fields = frame.split_whitespace();
         match fields.next().unwrap_or("") {
+            "hello" => {
+                let version: u64 = parse(&mut fields, "protocol version")?;
+                let fingerprint = fields
+                    .next()
+                    .and_then(|s| u64::from_str_radix(s, 16).ok())
+                    .ok_or_else(|| spec_err("bad job fingerprint"))?;
+                let hb_every: u64 = parse(&mut fields, "heartbeat stride")?;
+                self.hello = Some((version, fingerprint, hb_every));
+            }
             "measure" => {
                 let variant = match fields.next() {
                     Some("full") => StsVariant::Full,
@@ -311,6 +352,8 @@ impl JobSpec {
                 self.dims = Some((rows, cols));
                 self.queries = (0..rows).map(|_| None).collect();
                 self.candidates = (0..cols).map(|_| None).collect();
+                self.q_shapes = (0..rows).map(|_| None).collect();
+                self.c_shapes = (0..cols).map(|_| None).collect();
             }
             "traj" => {
                 let side = fields.next().unwrap_or("");
@@ -326,16 +369,51 @@ impl JobSpec {
                 // An unconstructible trajectory is the *pair's*
                 // problem (quarantined per cell), not the preamble's.
                 let traj = Trajectory::from_xyt(&points).ok();
-                let slot = match side {
-                    "q" => self.queries.get_mut(idx),
-                    "c" => self.candidates.get_mut(idx),
+                let shape = points.first().map(|&(x, y, t)| {
+                    let (lx, ly, lt) = points[points.len() - 1];
+                    crate::job::TrajShape {
+                        len: n as u64,
+                        first: [x, y, t],
+                        last: [lx, ly, lt],
+                    }
+                });
+                let (slot, shape_slot) = match side {
+                    "q" => (self.queries.get_mut(idx), self.q_shapes.get_mut(idx)),
+                    "c" => (self.candidates.get_mut(idx), self.c_shapes.get_mut(idx)),
                     other => return Err(spec_err(format!("unknown trajectory side `{other}`"))),
                 };
                 *slot.ok_or_else(|| spec_err("trajectory index out of dims"))? = traj;
+                if let Some(s) = shape_slot {
+                    *s = shape;
+                }
             }
             other => return Err(spec_err(format!("unknown preamble frame `{other}`"))),
         }
         Ok(())
+    }
+
+    /// The typed rejection this preamble's handshake earns, if any.
+    /// `None` means serve the job — including preambles with no
+    /// `hello` frame at all (hand-rolled drivers skip verification)
+    /// and preambles too torn to even name a grid (those fail in
+    /// [`build`](Self::build) with the specific missing frame).
+    fn handshake_rejection(&self) -> Option<String> {
+        let (version, claimed, _) = self.hello?;
+        if version != PROTOCOL_VERSION {
+            return Some(format!("reject version {version} {PROTOCOL_VERSION}"));
+        }
+        let grid = self.grid.as_ref()?;
+        self.dims?;
+        let collect = |side: &[Option<crate::job::TrajShape>]| {
+            side.iter().copied().collect::<Option<Vec<_>>>()
+        };
+        let computed = match (collect(&self.q_shapes), collect(&self.c_shapes)) {
+            (Some(qs), Some(cs)) => crate::job::fingerprint_shapes(grid, &qs, &cs),
+            // A missing trajectory frame can never hash to an honest
+            // claim; any value other than the claim rejects.
+            _ => claimed.wrapping_add(1),
+        };
+        (computed != claimed).then(|| format!("reject fingerprint {computed:016x} {claimed:016x}"))
     }
 
     fn build(self) -> Result<WorkerState, ServeError> {
@@ -366,6 +444,7 @@ impl JobSpec {
                 })
                 .collect()
         };
+        let hb_every = self.hello.map_or(0, |(_, _, hb)| hb);
         let prepared_q = prepare_side(self.queries);
         let prepared_c = prepare_side(self.candidates);
         Ok(WorkerState {
@@ -374,6 +453,7 @@ impl JobSpec {
             space: PairSpace::new(rows, cols),
             prepared_q,
             prepared_c,
+            hb_every,
         })
     }
 }
@@ -385,6 +465,7 @@ struct WorkerState {
     space: PairSpace,
     prepared_q: Vec<Option<crate::PreparedTrajectory>>,
     prepared_c: Vec<Option<crate::PreparedTrajectory>>,
+    hb_every: u64,
 }
 
 /// Runs the worker side of the protocol over the given streams until
@@ -401,6 +482,10 @@ pub fn serve<R: BufRead, W: Write>(input: &mut R, output: &mut W) -> Result<(), 
     let state = loop {
         let frame = read_frame(input)?;
         if frame == "begin" {
+            if let Some(rejection) = spec.handshake_rejection() {
+                write_frame(output, &rejection).map_err(ProtocolError::Io)?;
+                return Err(spec_err(format!("handshake failed: {rejection}")));
+            }
             break spec.build()?;
         }
         spec.absorb(&frame)?;
@@ -431,6 +516,7 @@ pub fn serve<R: BufRead, W: Write>(input: &mut R, output: &mut W) -> Result<(), 
                 }
                 let mut body = format!("result {req_id} {len}");
                 let mut garbage = false;
+                let mut pairs_done = 0u64;
                 for lin in start..start + len {
                     // A garbage-output pair corrupts the whole chunk's
                     // result frame; checked before scoring so the
@@ -453,6 +539,14 @@ pub fn serve<R: BufRead, W: Write>(input: &mut R, output: &mut W) -> Result<(), 
                     );
                     body.push(' ');
                     body.push_str(&encode_record(lin, &outcome));
+                    pairs_done += 1;
+                    // Progress heartbeats keep a long chunk's lease
+                    // alive without the coordinator guessing at
+                    // honest-but-slow scoring.
+                    if state.hb_every > 0 && pairs_done % state.hb_every == 0 {
+                        write_frame(output, &format!("hb {req_id} {pairs_done}"))
+                            .map_err(ProtocolError::Io)?;
+                    }
                 }
                 if garbage {
                     // Deliberately NOT a frame: no length prefix, and
@@ -571,6 +665,7 @@ mod tests {
             &space,
             &queries,
             &candidates,
+            0,
         );
         let frames = drive_serve(&preamble, &["chunk 7 0 4".into()]);
         assert_eq!(frames[0], "ready");
@@ -605,6 +700,7 @@ mod tests {
             &space,
             &queries,
             &candidates,
+            0,
         );
         let frames = drive_serve(&preamble, &["chunk 0 0 2".into()]);
         let cells = decode_result_payload(frames[1].strip_prefix("result 0 ").unwrap()).unwrap();
@@ -631,6 +727,7 @@ mod tests {
             &space,
             &queries,
             &candidates,
+            0,
         );
         let mut input = Vec::new();
         for frame in &preamble {
@@ -647,6 +744,98 @@ mod tests {
             matches!(read_frame(&mut r), Err(ProtocolError::Garbage { .. })),
             "garbage pair must not produce a valid frame"
         );
+    }
+
+    #[test]
+    fn version_skew_is_rejected_before_ready() {
+        let queries = vec![walker(25.0, 0.0, 4)];
+        let candidates = vec![walker(25.0, 5.0, 4)];
+        let mut preamble = encode_preamble(
+            &MeasureSpec::Full(StsConfig::default()),
+            &grid(),
+            &JobConfig::default(),
+            &PairSpace::new(1, 1),
+            &queries,
+            &candidates,
+            0,
+        );
+        // A future supervisor speaking version 99.
+        preamble[0] = preamble[0].replacen(&format!("hello {PROTOCOL_VERSION} "), "hello 99 ", 1);
+        let mut input = Vec::new();
+        for frame in &preamble {
+            write_frame(&mut input, frame).unwrap();
+        }
+        write_frame(&mut input, "begin").unwrap();
+        let mut output = Vec::new();
+        let err = serve(&mut input.as_slice(), &mut output).unwrap_err();
+        assert!(matches!(err, ServeError::Spec(_)), "{err}");
+        let mut r = output.as_slice();
+        assert_eq!(
+            read_frame(&mut r).unwrap(),
+            format!("reject version 99 {PROTOCOL_VERSION}")
+        );
+    }
+
+    #[test]
+    fn corpus_skew_is_a_fingerprint_rejection() {
+        let queries = vec![walker(25.0, 0.0, 4)];
+        let candidates = vec![walker(25.0, 5.0, 4)];
+        let mut preamble = encode_preamble(
+            &MeasureSpec::Full(StsConfig::default()),
+            &grid(),
+            &JobConfig::default(),
+            &PairSpace::new(1, 1),
+            &queries,
+            &candidates,
+            0,
+        );
+        // The corpus the worker decodes is not the corpus the
+        // supervisor hashed: nudge one endpoint coordinate.
+        let traj = preamble
+            .iter_mut()
+            .find(|f| f.starts_with("traj q 0 "))
+            .unwrap();
+        *traj = traj.replacen(" 0 25 0", " 1 25 0", 1);
+        let mut input = Vec::new();
+        for frame in &preamble {
+            write_frame(&mut input, frame).unwrap();
+        }
+        write_frame(&mut input, "begin").unwrap();
+        let mut output = Vec::new();
+        assert!(serve(&mut input.as_slice(), &mut output).is_err());
+        let mut r = output.as_slice();
+        let frame = read_frame(&mut r).unwrap();
+        assert!(
+            frame.starts_with("reject fingerprint "),
+            "expected a fingerprint rejection, got {frame:?}"
+        );
+    }
+
+    #[test]
+    fn heartbeats_pace_long_chunks_when_asked() {
+        let queries = vec![walker(25.0, 0.0, 6), walker(5.0, 0.0, 6)];
+        let candidates = vec![walker(25.0, 5.0, 6), walker(5.0, 5.0, 6)];
+        let space = PairSpace::new(2, 2);
+        let preamble = encode_preamble(
+            &MeasureSpec::Full(StsConfig::default()),
+            &grid(),
+            &JobConfig::default(),
+            &space,
+            &queries,
+            &candidates,
+            2,
+        );
+        let frames = drive_serve(&preamble, &["chunk 9 0 4".into()]);
+        assert_eq!(
+            &frames[..3],
+            &[
+                "ready".to_string(),
+                "hb 9 2".to_string(),
+                "hb 9 4".to_string()
+            ],
+            "hb_every=2 over a 4-pair chunk beats twice"
+        );
+        assert!(frames[3].starts_with("result 9 4 "));
     }
 
     #[test]

@@ -13,6 +13,11 @@
 //!   (same in-repo text style as the checkpoint and `sts-traj::io`
 //!   formats), whose length prefix makes *garbage output* a detectable
 //!   [`ProtocolError`] instead of silent corruption;
+//! * [`transport`] — the same frames over TCP loopback: a
+//!   [`FrameConn`] with socket read deadlines and an injectable
+//!   [`NetInjector`] chaos seam (drop/delay/corrupt/duplicate/
+//!   disconnect/wedge), the substrate of `sts-core`'s sharded tile
+//!   coordinator and the network-chaos suite in `sts-robust`;
 //! * [`supervise`] — a fleet of worker subprocesses dealt
 //!   [`PairChunk`](sts_runtime::PairChunk)s from a shared queue, with
 //!   **hard timeouts via kill** (upgrading the in-process watchdog,
@@ -36,6 +41,8 @@
 
 pub mod protocol;
 mod supervisor;
+pub mod transport;
 
 pub use protocol::{ProtocolError, MAX_FRAME_BYTES};
 pub use supervisor::{supervise, IsolateConfig, IsolateRun, PoisonPair, WorkerSpec};
+pub use transport::{is_timeout, FrameConn, NetDirection, NetFault, NetInjector};

@@ -131,6 +131,9 @@ pub struct IsolateRun {
     pub worker_restarts: usize,
     /// Workers killed by the supervisor (hard timeout or garbage).
     pub worker_kills: usize,
+    /// Workers that refused the job handshake with a typed `reject`
+    /// frame (protocol version or job fingerprint mismatch).
+    pub workers_rejected: usize,
     /// Protocol violations observed.
     pub protocol_errors: usize,
     /// Deepest bisection reached while attributing crashes.
@@ -160,6 +163,7 @@ struct Shared {
     workers_spawned: AtomicUsize,
     worker_restarts: AtomicUsize,
     worker_kills: AtomicUsize,
+    workers_rejected: AtomicUsize,
     protocol_errors: AtomicUsize,
     max_depth: AtomicUsize,
     req_ids: AtomicU64,
@@ -242,6 +246,15 @@ impl Worker {
         }
         match w.frames.recv_timeout(cfg.ready_timeout) {
             Ok(Ok(body)) if body == "ready" => Ok(w),
+            // A typed handshake refusal (`reject version …` /
+            // `reject fingerprint …`): the worker binary cannot serve
+            // this job, and a respawn of the same binary would refuse
+            // again — surfaced as its own exit so the slot stops
+            // instead of burning the restart budget.
+            Ok(Ok(body)) if body.starts_with("reject ") => {
+                w.kill();
+                Err(WorkerExit::Rejected)
+            }
             Ok(Ok(_)) | Ok(Err(ProtocolError::Garbage { .. })) => {
                 w.kill();
                 Err(WorkerExit::Protocol)
@@ -390,6 +403,7 @@ where
         workers_spawned: AtomicUsize::new(0),
         worker_restarts: AtomicUsize::new(0),
         worker_kills: AtomicUsize::new(0),
+        workers_rejected: AtomicUsize::new(0),
         protocol_errors: AtomicUsize::new(0),
         max_depth: AtomicUsize::new(0),
         req_ids: AtomicU64::new(0),
@@ -425,6 +439,7 @@ where
         workers_spawned: shared.workers_spawned.into_inner(),
         worker_restarts: shared.worker_restarts.into_inner(),
         worker_kills: shared.worker_kills.into_inner(),
+        workers_rejected: shared.workers_rejected.into_inner(),
         protocol_errors: shared.protocol_errors.into_inner(),
         max_bisect_depth: shared.max_depth.into_inner(),
         elapsed: started.elapsed(),
@@ -483,11 +498,22 @@ fn slot_loop(
                         ever_spawned = true;
                         worker.insert(w)
                     }
-                    Err(_exit) => {
-                        // Spawn itself failed (missing binary, fork
-                        // pressure, died in preamble). Requeue the item
-                        // untouched, charge the budget, back off.
+                    Err(exit) => {
+                        // Spawn itself failed. Requeue the item
+                        // untouched either way; what happens next
+                        // depends on whether the failure is permanent.
                         lock_unpoisoned(&shared.queue).push_front(item);
+                        if exit == WorkerExit::Rejected {
+                            // Handshake refusal: deterministic for
+                            // these binaries, so retrying cannot help.
+                            shared.workers_rejected.fetch_add(1, Ordering::Relaxed);
+                            static_counter!("isolate.workers.rejected").incr();
+                            shared.stop_and_drain(StopReason::WorkerRejected);
+                            break;
+                        }
+                        // Transient (missing binary, fork pressure,
+                        // died in preamble): charge the budget, back
+                        // off, try again.
                         if !charge_restart(shared) {
                             break;
                         }
@@ -771,6 +797,33 @@ done
         cfg.workers = 1;
         let (_cells, run) = run_matrix(2, 2, 2, &cfg);
         assert_eq!(run.stop, Some(StopReason::WorkerRestartsExhausted));
+        assert_eq!(run.pairs_completed, 0);
+        assert_eq!(run.pairs_skipped, 4);
+    }
+
+    #[test]
+    fn handshake_rejection_stops_typed_without_burning_restarts() {
+        // The worker answers `begin` with a typed reject frame — a
+        // version-skewed binary. The run must stop as WorkerRejected
+        // on the first refusal, not crash-loop through the budget.
+        let script = r#"
+while read -r len body; do
+  set -- $body
+  case "$1" in
+    begin) printf '18 reject version 1 2\n'; exit 0 ;;
+  esac
+done
+"#;
+        let mut cfg = config(WorkerSpec {
+            program: PathBuf::from("/bin/sh"),
+            args: vec!["-c".into(), script.to_string()],
+            envs: Vec::new(),
+        });
+        cfg.workers = 1;
+        let (_cells, run) = run_matrix(2, 2, 2, &cfg);
+        assert_eq!(run.stop, Some(StopReason::WorkerRejected));
+        assert_eq!(run.workers_rejected, 1);
+        assert_eq!(run.worker_restarts, 0, "rejection must not retry");
         assert_eq!(run.pairs_completed, 0);
         assert_eq!(run.pairs_skipped, 4);
     }

@@ -252,6 +252,10 @@ impl Storage for FaultyStorage {
     fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
         self.inner.create_dir_all(dir)
     }
+
+    fn modified(&self, path: &Path) -> io::Result<Option<std::time::SystemTime>> {
+        self.inner.modified(path)
+    }
 }
 
 #[cfg(test)]

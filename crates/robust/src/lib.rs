@@ -34,8 +34,10 @@
 //! clean-data invariants).
 
 pub mod disk;
+pub mod net;
 
 pub use disk::{DiskFault, DiskFaultPlan, FaultyStorage, InjectedFault};
+pub use net::{InjectedNetFault, NetChaos, NetFaultCounts, NetFaultPlan};
 
 use sts_rng::{Rng, Xoshiro256pp};
 use sts_traj::TrajPoint;

@@ -1,0 +1,317 @@
+//! Network-fault injection for the framed socket transport — the
+//! attack side of the sharded tile engine's recovery contract.
+//!
+//! The sharded coordinator (`sts_core::shard`) talks to its worker
+//! fleet through `sts_isolate::FrameConn`, which consults an optional
+//! [`NetInjector`] once per frame. [`NetChaos`] implements that seam
+//! from a seeded [`NetFaultPlan`], turning individual frames into the
+//! network failures that actually break distributed jobs:
+//!
+//! * [`NetFault::Drop`] — the frame is silently lost (a congested
+//!   switch shedding load);
+//! * [`NetFault::Delay`] — the frame arrives late (bufferbloat, a GC
+//!   pause on the peer);
+//! * [`NetFault::Corrupt`] — line noise on the wire, surfacing as a
+//!   typed garbage frame;
+//! * [`NetFault::Duplicate`] — the frame arrives twice (a retransmit
+//!   the original survived);
+//! * [`NetFault::Disconnect`] — the connection is torn down (a NAT
+//!   table eviction, a peer crash);
+//! * [`NetFault::Wedge`] — the connection goes permanently silent
+//!   without closing (the worst case: a half-open TCP session).
+//!
+//! Every decision is a pure function of `(plan.seed, frame_index,
+//! direction)`, so a chaos run is replayable from its seed alone, and
+//! every fault that fires is logged ([`NetChaos::injected`]) so suites
+//! can reconcile *injections against detections*: a fault the
+//! coordinator neither survived nor accounted for is a test failure,
+//! not a shrug.
+
+use std::sync::Mutex;
+use std::time::Duration;
+use sts_isolate::{NetDirection, NetFault, NetInjector};
+use sts_rng::{Rng, Xoshiro256pp};
+
+/// A seeded, per-frame fault schedule. Rates are per-mille and
+/// cumulative (their sum must be ≤ 1000), rolled independently per
+/// frame and direction.
+#[derive(Debug, Clone, Copy)]
+pub struct NetFaultPlan {
+    /// Seed for every per-frame decision.
+    pub seed: u64,
+    /// Per-mille of frames silently dropped.
+    pub drop_per_mille: u32,
+    /// Per-mille of frames delayed by [`delay`](Self::delay).
+    pub delay_per_mille: u32,
+    /// Per-mille of frames corrupted into line noise.
+    pub corrupt_per_mille: u32,
+    /// Per-mille of frames delivered twice.
+    pub duplicate_per_mille: u32,
+    /// Per-mille of frames that tear the connection down.
+    pub disconnect_per_mille: u32,
+    /// Per-mille of frames that wedge the connection silent.
+    pub wedge_per_mille: u32,
+    /// How late a delayed frame arrives. Keep this below half the
+    /// coordinator's lease timeout and delays are harmless by
+    /// construction — the byte-identity suites rely on that.
+    pub delay: Duration,
+}
+
+impl NetFaultPlan {
+    /// A plan that never injects — the identity seam, for
+    /// differential runs.
+    pub fn none(seed: u64) -> Self {
+        NetFaultPlan {
+            seed,
+            drop_per_mille: 0,
+            delay_per_mille: 0,
+            corrupt_per_mille: 0,
+            duplicate_per_mille: 0,
+            disconnect_per_mille: 0,
+            wedge_per_mille: 0,
+            delay: Duration::from_millis(5),
+        }
+    }
+
+    /// The fault (if any) injected on frame `index` in direction
+    /// `dir`. Pure: same plan, same frame, same answer.
+    pub fn fault_for(&self, index: u64, dir: NetDirection) -> Option<NetFault> {
+        let mut rng = self.frame_rng(index, dir);
+        let roll = rng.random_range(0u32..1000);
+        let mut acc = self.drop_per_mille;
+        if roll < acc {
+            return Some(NetFault::Drop);
+        }
+        acc += self.delay_per_mille;
+        if roll < acc {
+            return Some(NetFault::Delay(self.delay));
+        }
+        acc += self.corrupt_per_mille;
+        if roll < acc {
+            return Some(NetFault::Corrupt);
+        }
+        acc += self.duplicate_per_mille;
+        if roll < acc {
+            return Some(NetFault::Duplicate);
+        }
+        acc += self.disconnect_per_mille;
+        if roll < acc {
+            return Some(NetFault::Disconnect);
+        }
+        acc += self.wedge_per_mille;
+        if roll < acc {
+            return Some(NetFault::Wedge);
+        }
+        None
+    }
+
+    /// The per-frame generator, decorrelated between directions (the
+    /// same index must not fault identically both ways).
+    fn frame_rng(&self, index: u64, dir: NetDirection) -> Xoshiro256pp {
+        let dir_salt = match dir {
+            NetDirection::Send => 0x5E4D_u64,
+            NetDirection::Recv => 0x4ECF_u64,
+        };
+        Xoshiro256pp::seed_from_u64(
+            self.seed
+                ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ dir_salt.wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
+        )
+    }
+}
+
+/// One fault that actually fired, for post-run reconciliation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedNetFault {
+    /// 0-based per-direction frame index the fault hit.
+    pub index: u64,
+    /// Which way the frame was going.
+    pub dir: NetDirection,
+    /// What was done to it.
+    pub fault: NetFault,
+}
+
+/// Per-kind totals of fired faults — the injection side of the
+/// accounting the network-chaos suite reconciles against
+/// `ShardStats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetFaultCounts {
+    /// Frames silently dropped.
+    pub dropped: usize,
+    /// Frames delayed.
+    pub delayed: usize,
+    /// Frames corrupted into line noise.
+    pub corrupted: usize,
+    /// Frames delivered twice.
+    pub duplicated: usize,
+    /// Connections torn down.
+    pub disconnected: usize,
+    /// Connections wedged silent.
+    pub wedged: usize,
+}
+
+impl NetFaultCounts {
+    /// Faults that silence or sever a connection — each forces the
+    /// coordinator to expire a lease or restart a worker.
+    pub fn lossy(&self) -> usize {
+        self.dropped + self.disconnected + self.wedged
+    }
+
+    /// Every fault that fired.
+    pub fn total(&self) -> usize {
+        self.dropped
+            + self.delayed
+            + self.corrupted
+            + self.duplicated
+            + self.disconnected
+            + self.wedged
+    }
+}
+
+/// The ledger-keeping [`NetInjector`]: decides from a [`NetFaultPlan`]
+/// and records every fault that fires. Returning the fault *is* the
+/// injection (`FrameConn` always applies what the injector returns),
+/// so the ledger and the wire agree by construction.
+#[derive(Debug)]
+pub struct NetChaos {
+    plan: NetFaultPlan,
+    log: Mutex<Vec<InjectedNetFault>>,
+}
+
+impl NetChaos {
+    /// A ledger-keeping injector over `plan`.
+    pub fn new(plan: NetFaultPlan) -> Self {
+        NetChaos {
+            plan,
+            log: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The plan this injector decides from.
+    pub fn plan(&self) -> &NetFaultPlan {
+        &self.plan
+    }
+
+    /// Every fault that fired, in firing order.
+    pub fn injected(&self) -> Vec<InjectedNetFault> {
+        self.log.lock().unwrap().clone()
+    }
+
+    /// Per-kind totals of fired faults.
+    pub fn counts(&self) -> NetFaultCounts {
+        let mut c = NetFaultCounts::default();
+        for f in self.log.lock().unwrap().iter() {
+            match f.fault {
+                NetFault::Drop => c.dropped += 1,
+                NetFault::Delay(_) => c.delayed += 1,
+                NetFault::Corrupt => c.corrupted += 1,
+                NetFault::Duplicate => c.duplicated += 1,
+                NetFault::Disconnect => c.disconnected += 1,
+                NetFault::Wedge => c.wedged += 1,
+            }
+        }
+        c
+    }
+}
+
+impl NetInjector for NetChaos {
+    fn fault_for(&self, index: u64, dir: NetDirection) -> Option<NetFault> {
+        let fault = self.plan.fault_for(index, dir)?;
+        sts_obs::static_counter!("robust.net.injected").incr();
+        self.log
+            .lock()
+            .unwrap()
+            .push(InjectedNetFault { index, dir, fault });
+        Some(fault)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_schedule_is_deterministic_and_ladder_shaped() {
+        let plan = NetFaultPlan {
+            seed: 42,
+            drop_per_mille: 167,
+            delay_per_mille: 167,
+            corrupt_per_mille: 167,
+            duplicate_per_mille: 167,
+            disconnect_per_mille: 166,
+            wedge_per_mille: 166,
+            delay: Duration::from_millis(1),
+        };
+        let mut counts = [0usize; 6];
+        for idx in 0..6000 {
+            let a = plan.fault_for(idx, NetDirection::Send);
+            assert_eq!(
+                a,
+                plan.fault_for(idx, NetDirection::Send),
+                "frame {idx} must replay identically"
+            );
+            match a {
+                Some(NetFault::Drop) => counts[0] += 1,
+                Some(NetFault::Delay(_)) => counts[1] += 1,
+                Some(NetFault::Corrupt) => counts[2] += 1,
+                Some(NetFault::Duplicate) => counts[3] += 1,
+                Some(NetFault::Disconnect) => counts[4] += 1,
+                Some(NetFault::Wedge) => counts[5] += 1,
+                None => panic!("rates sum to 1000: every frame must fault"),
+            }
+        }
+        for (i, c) in counts.iter().enumerate() {
+            assert!(
+                (700..=1300).contains(c),
+                "fault {i} fired {c}/6000 times — ladder is skewed"
+            );
+        }
+        assert_eq!(
+            NetFaultPlan::none(9).fault_for(123, NetDirection::Recv),
+            None,
+            "the identity plan never fires"
+        );
+    }
+
+    #[test]
+    fn directions_are_decorrelated() {
+        let plan = NetFaultPlan {
+            drop_per_mille: 500,
+            ..NetFaultPlan::none(7)
+        };
+        let agree = (0..512)
+            .filter(|&i| {
+                plan.fault_for(i, NetDirection::Send) == plan.fault_for(i, NetDirection::Recv)
+            })
+            .count();
+        // Independent 50/50 rolls agree about half the time (≈256 of
+        // 512); identical schedules would agree always.
+        assert!(
+            (192..=320).contains(&agree),
+            "send/recv schedules look correlated: {agree}/512 agree"
+        );
+    }
+
+    #[test]
+    fn ledger_records_exactly_the_fired_faults() {
+        let chaos = NetChaos::new(NetFaultPlan {
+            drop_per_mille: 300,
+            corrupt_per_mille: 300,
+            ..NetFaultPlan::none(11)
+        });
+        let mut expect_fired = 0usize;
+        for idx in 0..200 {
+            for dir in [NetDirection::Send, NetDirection::Recv] {
+                if NetInjector::fault_for(&chaos, idx, dir).is_some() {
+                    expect_fired += 1;
+                }
+            }
+        }
+        let counts = chaos.counts();
+        assert_eq!(counts.total(), expect_fired);
+        assert_eq!(counts.total(), chaos.injected().len());
+        assert!(counts.dropped > 0 && counts.corrupted > 0);
+        assert_eq!(counts.delayed + counts.duplicated + counts.wedged, 0);
+        assert_eq!(counts.lossy(), counts.dropped);
+    }
+}

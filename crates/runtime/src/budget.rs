@@ -46,6 +46,12 @@ pub enum StopReason {
     /// workers kept dying faster than the job made progress, so the
     /// supervisor stopped dealing work instead of crash-looping.
     WorkerRestartsExhausted,
+    /// A worker refused the job handshake (protocol version or job
+    /// fingerprint mismatch). Unlike a crash, rejection is permanent
+    /// for the pair of binaries involved — respawning the same worker
+    /// would reject again — so the run stops immediately instead of
+    /// burning the restart budget.
+    WorkerRejected,
 }
 
 impl fmt::Display for StopReason {
@@ -55,6 +61,7 @@ impl fmt::Display for StopReason {
             StopReason::DeadlineExceeded => write!(f, "deadline exceeded"),
             StopReason::PairBudgetExhausted => write!(f, "pair budget exhausted"),
             StopReason::WorkerRestartsExhausted => write!(f, "worker restarts exhausted"),
+            StopReason::WorkerRejected => write!(f, "worker rejected the job handshake"),
         }
     }
 }

@@ -28,6 +28,10 @@ pub enum WorkerExit {
     /// The process broke the stdin/stdout protocol (garbage output,
     /// torn frame, unexpected EOF) and was discarded.
     Protocol,
+    /// The worker refused the handshake — protocol version or job
+    /// fingerprint mismatch. A rejection is permanent for the pair of
+    /// binaries involved: restarting the same worker cannot fix it.
+    Rejected,
 }
 
 impl fmt::Display for WorkerExit {
@@ -37,6 +41,7 @@ impl fmt::Display for WorkerExit {
             WorkerExit::Signal(s) => write!(f, "signal:{s}"),
             WorkerExit::HardTimeout => write!(f, "hard-timeout"),
             WorkerExit::Protocol => write!(f, "protocol"),
+            WorkerExit::Rejected => write!(f, "rejected"),
         }
     }
 }
@@ -67,6 +72,7 @@ impl FromStr for WorkerExit {
         match s {
             "hard-timeout" => Ok(WorkerExit::HardTimeout),
             "protocol" => Ok(WorkerExit::Protocol),
+            "rejected" => Ok(WorkerExit::Rejected),
             _ => Err(bad()),
         }
     }
@@ -106,6 +112,7 @@ mod tests {
             WorkerExit::Signal(9),
             WorkerExit::HardTimeout,
             WorkerExit::Protocol,
+            WorkerExit::Rejected,
         ] {
             let token = exit.to_string();
             assert!(

@@ -59,6 +59,7 @@ pub mod checkpoint;
 mod chunk;
 mod exit;
 pub mod fault;
+pub mod lease;
 pub mod pool;
 mod stats;
 pub mod store;
@@ -71,10 +72,11 @@ pub use checkpoint::{CellRecord, Checkpoint, CheckpointError, Fnv1a};
 pub use chunk::{PairChunk, PairSpace};
 pub use exit::{ParseWorkerExitError, WorkerExit};
 pub use fault::{Fault, FaultPlan};
+pub use lease::{CommitOutcome, LeaseTable};
 pub use pool::{ChunkStatus, PoolConfig, PoolRun, RetryPolicy};
-pub use stats::{IsolateStats, JobState, JobStats, TileStats};
+pub use stats::{IsolateStats, JobState, JobStats, ShardStats, TileStats};
 pub use store::{sweep_stale_tmp, FsStorage, Storage};
-pub use tile::{TileData, TileError, TileStore};
+pub use tile::{sweep_quarantine, TileData, TileError, TileStore, TileSweep};
 
 /// Number of worker threads to use for a workload with `cap` parallel
 /// units (chunks, rows, …).
@@ -103,6 +105,32 @@ pub fn thread_count(cap: usize) -> usize {
     n.min(cap.max(1))
 }
 
+/// Number of shard workers to spawn for a workload with `cap` parallel
+/// units (tiles). Mirrors [`thread_count`] exactly, but reads the
+/// `STS_WORKERS` environment variable instead: socket workers are
+/// whole processes, so operators size the fleet independently of the
+/// in-process thread pool.
+///
+/// Selection order:
+/// 1. `STS_WORKERS`, when set to an integer ≥ 1 (invalid, empty and
+///    zero values are ignored, as with `STS_THREADS`);
+/// 2. [`std::thread::available_parallelism`];
+/// 3. `1` when the platform cannot report its parallelism.
+///
+/// The result is clamped to `[1, max(cap, 1)]`.
+pub fn worker_count(cap: usize) -> usize {
+    let configured = std::env::var("STS_WORKERS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1);
+    let n = configured.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    n.min(cap.max(1))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,5 +144,28 @@ mod tests {
         // A zero cap still yields one worker (a job with no chunks
         // spawns a pool that immediately drains).
         assert_eq!(thread_count(0), 1);
+    }
+
+    #[test]
+    fn worker_count_env_override_and_fallbacks() {
+        // One test mutates the process-global variable serially;
+        // nothing else in this crate reads STS_WORKERS.
+        std::env::set_var("STS_WORKERS", "3");
+        assert_eq!(worker_count(100), 3);
+        assert_eq!(worker_count(2), 2, "cap still clamps the override");
+        // Zero is not a fleet: ignored, like STS_THREADS=0.
+        std::env::set_var("STS_WORKERS", "0");
+        assert!(worker_count(100) >= 1);
+        // Garbage is ignored, not a panic.
+        for bad in ["four", "", " ", "-2", "3.5"] {
+            std::env::set_var("STS_WORKERS", bad);
+            assert!(worker_count(100) >= 1, "invalid `{bad}` must fall back");
+        }
+        // Whitespace around a valid value is tolerated.
+        std::env::set_var("STS_WORKERS", " 5 ");
+        assert_eq!(worker_count(100), 5);
+        std::env::remove_var("STS_WORKERS");
+        assert!(worker_count(100) >= 1);
+        assert_eq!(worker_count(0), 1);
     }
 }

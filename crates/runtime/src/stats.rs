@@ -26,6 +26,10 @@ pub enum JobState {
     /// Stopped because the subprocess supervisor's worker-restart
     /// budget ran out (workers were dying faster than work completed).
     WorkersExhausted,
+    /// Stopped because a worker refused the job handshake (protocol
+    /// version or job fingerprint mismatch) — a permanent condition
+    /// for the binaries involved, surfaced instead of retried.
+    WorkerRejected,
 }
 
 impl JobState {
@@ -37,6 +41,7 @@ impl JobState {
             Some(StopReason::DeadlineExceeded) => JobState::DeadlineExceeded,
             Some(StopReason::PairBudgetExhausted) => JobState::BudgetExhausted,
             Some(StopReason::WorkerRestartsExhausted) => JobState::WorkersExhausted,
+            Some(StopReason::WorkerRejected) => JobState::WorkerRejected,
             None if any_failed => JobState::Degraded,
             None => JobState::Complete,
         }
@@ -57,6 +62,7 @@ impl fmt::Display for JobState {
             JobState::DeadlineExceeded => "deadline-exceeded",
             JobState::BudgetExhausted => "budget-exhausted",
             JobState::WorkersExhausted => "workers-exhausted",
+            JobState::WorkerRejected => "worker-rejected",
         };
         write!(f, "{s}")
     }
@@ -121,6 +127,10 @@ pub struct TileStats {
     pub spill_errors: usize,
     /// Orphaned `*.tmp` files swept from the tile directory at open.
     pub stale_tmp_swept: usize,
+    /// Aged-out `*.tile.corrupt` quarantine files swept from the tile
+    /// directory at open (the capped hygiene sweep — recent quarantines
+    /// are kept for forensics, old overflow is reclaimed).
+    pub corrupt_swept: usize,
     /// Peak number of cell records resident in memory at any moment —
     /// the honest bounded-memory claim, independent of allocator and
     /// OS noise: at most one in-flight tile plus spill-failed
@@ -144,6 +154,56 @@ impl fmt::Display for TileStats {
             self.tiles_spilled,
             self.spill_errors,
             self.max_resident_cells,
+        )
+    }
+}
+
+/// Sharded-execution accounting, present only when a job dealt its
+/// tiles to a socket-connected worker fleet (`ExecMode::Sharded` in
+/// `sts-core`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Workers the coordinator spawned over the whole run (initial
+    /// fleet plus restarts).
+    pub workers_spawned: usize,
+    /// Workers respawned after a loss (death, deadline, protocol).
+    pub worker_restarts: usize,
+    /// Workers that refused the handshake (version or fingerprint
+    /// mismatch) and were rejected with a typed error.
+    pub workers_rejected: usize,
+    /// Tile leases granted (re-leases of the same tile count again).
+    pub tiles_leased: usize,
+    /// Leases that expired — the holder died, wedged, or missed its
+    /// heartbeat deadline — and whose tile was re-dealt.
+    pub leases_expired: usize,
+    /// Results refused by the at-most-once commit gate: duplicates of
+    /// an already-committed tile or stale epochs from a superseded
+    /// lease. Refused results are discarded, never merged.
+    pub commits_refused: usize,
+    /// Garbage frames observed on worker connections (corrupt bytes
+    /// on the wire); each costs the offending worker its lease.
+    pub frames_corrupt: usize,
+    /// Tiles computed locally after the fleet was exhausted — the
+    /// graceful-degradation path (the job completes in-process instead
+    /// of failing).
+    pub tiles_local_fallback: usize,
+}
+
+impl fmt::Display for ShardStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} worker(s) spawned ({} restart(s), {} rejected), \
+             {} lease(s) ({} expired, {} commit(s) refused), \
+             {} corrupt frame(s), {} local-fallback tile(s)",
+            self.workers_spawned,
+            self.worker_restarts,
+            self.workers_rejected,
+            self.tiles_leased,
+            self.leases_expired,
+            self.commits_refused,
+            self.frames_corrupt,
+            self.tiles_local_fallback,
         )
     }
 }
@@ -198,6 +258,9 @@ pub struct JobStats {
     pub isolate: Option<IsolateStats>,
     /// Out-of-core tiling accounting; `None` for in-memory runs.
     pub tiles: Option<TileStats>,
+    /// Sharded-execution accounting; `None` unless the job dealt tiles
+    /// to a socket worker fleet.
+    pub shard: Option<ShardStats>,
 }
 
 impl JobStats {
@@ -274,6 +337,9 @@ impl fmt::Display for JobStats {
         if let Some(tiles) = &self.tiles {
             write!(f, "; tiles: {tiles}")?;
         }
+        if let Some(shard) = &self.shard {
+            write!(f, "; shard: {shard}")?;
+        }
         Ok(())
     }
 }
@@ -301,6 +367,10 @@ mod tests {
         assert_eq!(
             JobState::from_run(Some(StopReason::WorkerRestartsExhausted), true),
             JobState::WorkersExhausted
+        );
+        assert_eq!(
+            JobState::from_run(Some(StopReason::WorkerRejected), false),
+            JobState::WorkerRejected
         );
         assert!(JobState::Complete.ran_to_end());
         assert!(JobState::Degraded.ran_to_end());
@@ -330,6 +400,7 @@ mod tests {
             chunk_run_total: Duration::ZERO,
             isolate: None,
             tiles: None,
+            shard: None,
         };
         assert_eq!(s.percent_complete(), 100.0);
         s.pairs_total = 200;
@@ -361,6 +432,7 @@ mod tests {
             chunk_run_total: Duration::ZERO,
             isolate: None,
             tiles: None,
+            shard: None,
         }
     }
 
@@ -376,6 +448,7 @@ mod tests {
             JobState::DeadlineExceeded,
             JobState::BudgetExhausted,
             JobState::WorkersExhausted,
+            JobState::WorkerRejected,
         ] {
             let s = empty_stats(state);
             assert_eq!(s.percent_complete(), 100.0, "{state}");
@@ -398,5 +471,24 @@ mod tests {
         assert_eq!(s.mean_chunk_run(), Duration::from_millis(50));
         let text = s.to_string();
         assert!(text.contains("chunk wait/run 0.040s/0.200s"), "{text}");
+    }
+
+    #[test]
+    fn shard_stats_render_in_the_job_report() {
+        let mut s = empty_stats(JobState::Complete);
+        s.shard = Some(ShardStats {
+            workers_spawned: 4,
+            worker_restarts: 2,
+            workers_rejected: 1,
+            tiles_leased: 9,
+            leases_expired: 2,
+            commits_refused: 1,
+            frames_corrupt: 3,
+            tiles_local_fallback: 0,
+        });
+        let text = s.to_string();
+        assert!(text.contains("shard: 4 worker(s) spawned"), "{text}");
+        assert!(text.contains("9 lease(s) (2 expired"), "{text}");
+        assert!(text.contains("3 corrupt frame(s)"), "{text}");
     }
 }

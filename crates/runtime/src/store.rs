@@ -45,6 +45,13 @@ pub trait Storage: Send + Sync {
 
     /// Creates `dir` and any missing parents.
     fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+
+    /// Last-modified time of `path`, when the backend tracks one.
+    /// `Ok(None)` means "unknown" — age-based hygiene (quarantine
+    /// sweeps) then falls back to count-based policies only.
+    fn modified(&self, _path: &Path) -> io::Result<Option<std::time::SystemTime>> {
+        Ok(None)
+    }
 }
 
 /// The tmp-file sibling a partially completed [`Storage::write_atomic`]
@@ -107,6 +114,10 @@ impl Storage for FsStorage {
 
     fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
         fs::create_dir_all(dir)
+    }
+
+    fn modified(&self, path: &Path) -> io::Result<Option<std::time::SystemTime>> {
+        Ok(fs::metadata(path)?.modified().ok())
     }
 }
 

@@ -250,6 +250,65 @@ pub fn decode_tile(
     })
 }
 
+/// Quarantined `.tile.corrupt` files kept for forensics: the newest
+/// this many survive every sweep (unless they also age out).
+pub const CORRUPT_KEEP_MAX: usize = 8;
+
+/// Quarantined `.tile.corrupt` files older than this are swept even
+/// when the count cap has room — day-old evidence has been looked at
+/// or never will be.
+pub const CORRUPT_KEEP_AGE: std::time::Duration = std::time::Duration::from_secs(24 * 60 * 60);
+
+/// What [`TileStore::open`] cleaned out of the tile directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TileSweep {
+    /// Orphaned `*.tmp` files from interrupted spills.
+    pub stale_tmp: usize,
+    /// Aged- or counted-out `*.tile.corrupt` quarantine files.
+    pub corrupt: usize,
+}
+
+/// Sweeps quarantined `*.tile.corrupt` files beyond the retention
+/// policy: everything older than [`CORRUPT_KEEP_AGE`], and the oldest
+/// overflow beyond [`CORRUPT_KEEP_MAX`]. Files whose age the backend
+/// cannot report are treated as fresh (count cap only). Bumps the
+/// `runtime.tile.corrupt_swept` counter; individual remove failures
+/// are ignored — this is hygiene, not correctness.
+pub fn sweep_quarantine(storage: &dyn Storage, dir: &Path) -> io::Result<usize> {
+    let mut corrupt: Vec<(Option<std::time::SystemTime>, PathBuf)> = storage
+        .list(dir)?
+        .into_iter()
+        .filter(|p| {
+            p.file_name()
+                .is_some_and(|n| n.to_string_lossy().ends_with(".tile.corrupt"))
+        })
+        .map(|p| (storage.modified(&p).ok().flatten(), p))
+        .collect();
+    // Oldest first; unknown ages sort last (newest) so they are only
+    // ever count-swept, never age-swept.
+    corrupt.sort_by(|a, b| match (&a.0, &b.0) {
+        (Some(x), Some(y)) => x.cmp(y).then_with(|| a.1.cmp(&b.1)),
+        (Some(_), None) => std::cmp::Ordering::Less,
+        (None, Some(_)) => std::cmp::Ordering::Greater,
+        (None, None) => a.1.cmp(&b.1),
+    });
+    let now = std::time::SystemTime::now();
+    let overflow = corrupt.len().saturating_sub(CORRUPT_KEEP_MAX);
+    let mut swept = 0usize;
+    for (i, (mtime, path)) in corrupt.iter().enumerate() {
+        let aged_out = mtime
+            .and_then(|t| now.duration_since(t).ok())
+            .is_some_and(|age| age > CORRUPT_KEEP_AGE);
+        if (i < overflow || aged_out) && storage.remove(path).is_ok() {
+            swept += 1;
+        }
+    }
+    if swept > 0 {
+        sts_obs::static_counter!("runtime.tile.corrupt_swept").add(swept as u64);
+    }
+    Ok(swept)
+}
+
 /// A directory of tiles for one job, bound to the job's input
 /// fingerprint. All I/O goes through the injected [`Storage`].
 pub struct TileStore<'s> {
@@ -259,16 +318,21 @@ pub struct TileStore<'s> {
 }
 
 impl<'s> TileStore<'s> {
-    /// Opens (creating if needed) the tile directory and sweeps any
-    /// orphaned `*.tmp` debris from interrupted spills. Returns the
-    /// store and how many tmp files were swept.
+    /// Opens (creating if needed) the tile directory and sweeps debris:
+    /// orphaned `*.tmp` files from interrupted spills, and quarantined
+    /// `*.tile.corrupt` files beyond the retention policy
+    /// ([`CORRUPT_KEEP_MAX`] newest kept, [`CORRUPT_KEEP_AGE`] max
+    /// age). Returns the store and what was swept.
     pub fn open(
         storage: &'s dyn Storage,
         dir: &Path,
         job_fingerprint: u64,
-    ) -> io::Result<(Self, usize)> {
+    ) -> io::Result<(Self, TileSweep)> {
         storage.create_dir_all(dir)?;
-        let swept = sweep_stale_tmp(storage, dir)?;
+        let swept = TileSweep {
+            stale_tmp: sweep_stale_tmp(storage, dir)?,
+            corrupt: sweep_quarantine(storage, dir)?,
+        };
         Ok((
             TileStore {
                 storage,
@@ -472,7 +536,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("sts-tile-store-{}", std::process::id()));
         let storage = FsStorage;
         let (store, swept) = TileStore::open(&storage, &dir, 0xFEED).unwrap();
-        assert_eq!(swept, 0);
+        assert_eq!(swept, TileSweep::default());
         let tile = sample();
         store.save(&tile).unwrap();
         let back = store.load(3, 12, 6).unwrap().expect("tile present");
@@ -495,7 +559,83 @@ mod tests {
         // Stale tmp debris is swept on the next open.
         std::fs::write(dir.join("tile-000004.tmp"), b"torn").unwrap();
         let (_store2, swept2) = TileStore::open(&storage, &dir, 0xFEED).unwrap();
-        assert_eq!(swept2, 1);
+        assert_eq!(swept2.stale_tmp, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quarantine_sweep_caps_count_keeping_the_newest() {
+        let dir = std::env::temp_dir().join(format!("sts-tile-qsweep-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let storage = FsStorage;
+        // CORRUPT_KEEP_MAX + 3 quarantine files with strictly older
+        // mtimes for lower ids, plus a live tile that must survive.
+        std::fs::write(dir.join("tile-000099.tile"), b"live").unwrap();
+        let now = std::time::SystemTime::now();
+        for i in 0..CORRUPT_KEEP_MAX + 3 {
+            let path = dir.join(format!("tile-{i:06}.tile.corrupt"));
+            std::fs::write(&path, b"evidence").unwrap();
+            let age = std::time::Duration::from_secs(600 - 60 * i as u64);
+            std::fs::File::options()
+                .write(true)
+                .open(&path)
+                .unwrap()
+                .set_modified(now - age)
+                .unwrap();
+        }
+        let swept = sweep_quarantine(&storage, &dir).unwrap();
+        assert_eq!(swept, 3, "overflow beyond the cap is swept");
+        for i in 0..3 {
+            assert!(
+                !dir.join(format!("tile-{i:06}.tile.corrupt")).exists(),
+                "oldest file {i} must be swept"
+            );
+        }
+        for i in 3..CORRUPT_KEEP_MAX + 3 {
+            assert!(
+                dir.join(format!("tile-{i:06}.tile.corrupt")).exists(),
+                "newest file {i} must be kept"
+            );
+        }
+        assert!(
+            dir.join("tile-000099.tile").exists(),
+            "live tiles untouched"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quarantine_sweep_ages_out_old_evidence_and_counts() {
+        let dir = std::env::temp_dir().join(format!("sts-tile-qage-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let storage = FsStorage;
+        // Two fresh files (under the count cap) plus one backdated past
+        // the age cap: only the old one goes.
+        std::fs::write(dir.join("tile-000000.tile.corrupt"), b"old").unwrap();
+        std::fs::write(dir.join("tile-000001.tile.corrupt"), b"new").unwrap();
+        std::fs::write(dir.join("tile-000002.tile.corrupt"), b"new").unwrap();
+        std::fs::File::options()
+            .write(true)
+            .open(dir.join("tile-000000.tile.corrupt"))
+            .unwrap()
+            .set_modified(std::time::SystemTime::now() - CORRUPT_KEEP_AGE * 2)
+            .unwrap();
+        let before = sts_obs::metrics::global()
+            .snapshot()
+            .counter("runtime.tile.corrupt_swept")
+            .unwrap_or(0);
+        let (_store, swept) = TileStore::open(&storage, &dir, 0xFEED).unwrap();
+        assert_eq!(swept.corrupt, 1, "only the aged-out file is swept");
+        assert!(!dir.join("tile-000000.tile.corrupt").exists());
+        assert!(dir.join("tile-000001.tile.corrupt").exists());
+        assert!(dir.join("tile-000002.tile.corrupt").exists());
+        let after = sts_obs::metrics::global()
+            .snapshot()
+            .counter("runtime.tile.corrupt_swept")
+            .unwrap_or(0);
+        assert!(after >= before + 1, "sweep counter must advance");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

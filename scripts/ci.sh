@@ -63,6 +63,17 @@ echo "== tiles (disk chaos + SIGKILL resume; fixed seeds) =="
 run_seeded "tile chaos suite" cargo test -p sts-robust -q --offline --test tile_chaos
 run_seeded "tile crash suite" cargo test -p sts-repro -q --offline --test tile_crash
 
+# Sharded-execution gate: the network-chaos suite (seeded frame drops,
+# delays, corruption, duplicates, disconnects and wedges through the
+# injectable transport seam; byte-identical matrices and exact
+# corruption accounting across 8 seeds) and the shard crash suite —
+# real serve-tcp workers SIGKILLed mid-tile, tiles re-leased, the
+# finished matrix byte-compared against an in-process run, plus the
+# fleet-exhaustion → local-compute degradation path.
+echo "== shard (network chaos + worker SIGKILL; fixed seeds) =="
+run_seeded "network chaos suite" cargo test -p sts-robust -q --offline --test net_chaos
+run_seeded "shard crash suite" cargo test -p sts-repro -q --offline --test shard_crash
+
 # STP-cache equivalence gate: the differential suite proving the cached
 # sparse hot path equals the uncached oracle — bit-exact matrices,
 # top-k and crash/resume for exact mode, rank-preservation for lattice
@@ -112,6 +123,18 @@ if cargo run -p sts-bench --release --offline --bin perf -- --quick --json BENCH
     echo "tiles bench snapshot written to BENCH_tiles.json"
 else
     echo "tiles bench snapshot failed (non-gating); continuing"
+fi
+
+# Non-gating sharded-execution snapshot: the shard suite alone, written
+# as BENCH_shard.json — in-process tiled vs 1-worker vs 4-worker fleet
+# timings plus pairs_per_sec and the coordinator's lease ledger
+# (tiles_leased, leases_expired, tiles_local_fallback). Same
+# noisy-hardware caveat: never fails the gate.
+echo "== shard bench snapshot (non-gating) =="
+if cargo run -p sts-bench --release --offline --bin perf -- --quick --json BENCH_shard.json shard; then
+    echo "shard bench snapshot written to BENCH_shard.json"
+else
+    echo "shard bench snapshot failed (non-gating); continuing"
 fi
 
 echo "== format =="

@@ -6,6 +6,9 @@
 //! - `serve` (or no argument): speak the `sts-isolate` wire protocol on
 //!   stdin/stdout and score chunks until EOF or `shutdown`. This is the
 //!   binary [`sts_core::ExecMode::Subprocess`] jobs spawn.
+//! - `serve-tcp <addr>`: connect to the sharded coordinator at `addr`
+//!   (loopback TCP) and speak the same wire protocol over the socket.
+//!   This is the binary [`sts_core::ExecMode::Sharded`] fleets spawn.
 //! - `drive <ckpt> <seed> <out>`: run a slow, checkpointed, in-process
 //!   job over a deterministic corpus and write the final matrix bits to
 //!   `<out>`. The kill-resume chaos test SIGKILLs this mid-run, reruns
@@ -39,14 +42,15 @@ fn main() -> ExitCode {
     let argv: Vec<&str> = args.iter().map(String::as_str).collect();
     match argv.as_slice() {
         [] | ["serve"] => run_serve(),
+        ["serve-tcp", addr] => run_serve_tcp(addr),
         ["drive", ckpt, seed, out] => run_drive(ckpt, seed, out),
         ["chaos", mode, seed] => run_chaos(mode, seed),
         ["tile-drive", dir, seed, out] => run_tile_drive(dir, seed, out, false),
         ["tile-drive", dir, seed, out, "subprocess"] => run_tile_drive(dir, seed, out, true),
         _ => {
             eprintln!(
-                "usage: sts-worker [serve | drive <ckpt> <seed> <out> | chaos <mode> <seed> | \
-                 tile-drive <dir> <seed> <out> [subprocess]]"
+                "usage: sts-worker [serve | serve-tcp <addr> | drive <ckpt> <seed> <out> | \
+                 chaos <mode> <seed> | tile-drive <dir> <seed> <out> [subprocess]]"
             );
             ExitCode::from(2)
         }
@@ -60,6 +64,36 @@ fn run_serve() -> ExitCode {
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     match sts_core::serve(&mut stdin.lock(), &mut stdout.lock()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("sts-worker: {e}");
+            ExitCode::from(3)
+        }
+    }
+}
+
+/// Connect out to the sharded coordinator and serve the wire protocol
+/// over the socket until it hangs up. Same error contract as stdio
+/// serving: a protocol failure is a nonzero exit, never a fake success.
+fn run_serve_tcp(addr: &str) -> ExitCode {
+    let stream = match std::net::TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sts-worker: cannot connect to coordinator {addr}: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    let _ = stream.set_nodelay(true);
+    let writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("sts-worker: cannot clone socket: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    let mut reader = std::io::BufReader::new(stream);
+    let mut writer = writer;
+    match sts_core::serve(&mut reader, &mut writer) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("sts-worker: {e}");
