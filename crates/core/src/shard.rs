@@ -42,7 +42,7 @@
 
 use crate::batch::PairOutcome;
 use crate::worker;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::io;
 use std::net::{SocketAddr, TcpListener};
@@ -53,7 +53,8 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use sts_isolate::protocol::ProtocolError;
 use sts_isolate::{FrameConn, NetDirection, NetFault, NetInjector};
-use sts_obs::trace;
+use sts_obs::trace::{self, ClockMap};
+use sts_obs::{Snapshot, SpanRecord};
 use sts_runtime::{
     Budget, CancelToken, CommitOutcome, DecorrelatedJitter, LeaseTable, PairChunk, ShardStats,
     StopReason,
@@ -217,6 +218,42 @@ pub(crate) struct ShardRun {
     pub leftover: Vec<usize>,
     /// Why the run stopped early, if it did.
     pub stop: Option<StopReason>,
+    /// The fleet's shipped telemetry, merged coordinator-side.
+    pub telemetry: FleetTelemetry,
+}
+
+/// The fleet-wide view of worker-shipped telemetry: every connection's
+/// cumulative job-delta snapshot (latest sequence wins, so chaos drops
+/// and duplicate frames self-heal), merged unlabeled for fleet totals
+/// and per-worker-labeled for attribution. The coordinator's own
+/// `shard.pairs.committed{worker="cN"}` tally rides along, which is
+/// what lets a consumer reconcile worker-*performed* work (a worker
+/// that lost its lease still scored the pairs) against
+/// coordinator-*committed* work exactly.
+#[derive(Debug, Default, Clone)]
+pub struct FleetTelemetry {
+    /// All workers' snapshots merged (counters/histograms summed).
+    pub merged: Snapshot,
+    /// Per-worker labeled copies, merged: `name{worker="c<conn>"}`.
+    pub labeled: Snapshot,
+    /// Connections that shipped at least one snapshot.
+    pub workers: usize,
+    /// Clean final flushes observed (`bye` frames after `shutdown`).
+    pub flushes: usize,
+}
+
+/// Per-connection telemetry accumulation (keyed by connection id).
+#[derive(Default)]
+struct ConnTelemetry {
+    /// Highest `tstat` sequence absorbed; 0 = none yet.
+    stat_seq: u64,
+    /// That sequence's cumulative snapshot.
+    snapshot: Snapshot,
+    /// Highest `tspan` sequence absorbed (spans ship drained, so the
+    /// gate only rejects duplicated frames, never reorders).
+    span_seq: u64,
+    /// Pairs the coordinator committed from this connection.
+    committed_pairs: u64,
 }
 
 /// One slot's claim-serve-commit state machine outcome for a single
@@ -270,6 +307,15 @@ struct Shared<'a> {
     /// Results refused without going through the lease table (stale
     /// epochs we cannot map to a tile).
     stale_results: AtomicUsize,
+    /// Job-wide trace id forwarded in every connection's `trace` frame.
+    trace_id: u64,
+    /// The `job.shard` span id worker root spans re-parent under (0
+    /// when tracing is off — harmless, shipped roots stay roots).
+    trace_parent: u64,
+    /// Shipped telemetry per connection id.
+    telemetry: Mutex<BTreeMap<u64, ConnTelemetry>>,
+    /// Clean `bye` flushes observed.
+    flushes: AtomicUsize,
 }
 
 impl Shared<'_> {
@@ -323,6 +369,139 @@ impl Shared<'_> {
 
     fn expire(&self, pos: usize) {
         self.lt.lock().unwrap().expire(pos);
+        trace::event("shard.tile.expire", self.tile_id(pos));
+    }
+
+    /// The caller-visible tile id at queue position `pos` — the value
+    /// every `shard.tile.*` lifecycle event carries.
+    fn tile_id(&self, pos: usize) -> f64 {
+        self.tiles[self.todo[pos]].id as f64
+    }
+
+    /// Credits `pairs` committed pairs to connection `conn_id` (the
+    /// coordinator-side half of the reconciliation ledger).
+    fn credit_commit(&self, conn_id: u64, pairs: u64) {
+        sts_obs::static_counter!("shard.pairs.committed").add(pairs);
+        let mut t = self.telemetry.lock().unwrap();
+        t.entry(conn_id).or_default().committed_pairs += pairs;
+    }
+
+    /// Absorbs a `tstat <seq> <wire snapshot>` frame. `false` means
+    /// the frame is malformed (a protocol violation, not chaos — the
+    /// framing layer already filtered corrupt frames into
+    /// [`ProtocolError::Garbage`]).
+    fn absorb_tstat(&self, conn_id: u64, frame: &str) -> bool {
+        let Some(rest) = frame.strip_prefix("tstat ") else {
+            return false;
+        };
+        let (seq, payload) = match rest.split_once(' ') {
+            Some((s, p)) => (s, p),
+            None => (rest, ""),
+        };
+        let Ok(seq) = seq.parse::<u64>() else {
+            return false;
+        };
+        let Some(snapshot) = Snapshot::decode_wire(payload) else {
+            return false;
+        };
+        let mut t = self.telemetry.lock().unwrap();
+        let entry = t.entry(conn_id).or_default();
+        // Cumulative snapshots: the latest sequence is the truth, and
+        // anything older (a duplicated frame) is stale.
+        if seq > entry.stat_seq {
+            entry.stat_seq = seq;
+            entry.snapshot = snapshot;
+        }
+        true
+    }
+
+    /// Absorbs a `tspan <seq> <n> (<id> <parent> <name> <thread>
+    /// <start> <dur>)*` frame: sequence-gates against duplicates, maps
+    /// worker clocks and thread ids into coordinator ranges, and
+    /// re-emits each span through the coordinator's subscriber.
+    fn absorb_tspan(&self, conn_id: u64, clock: ClockMap, frame: &str) -> bool {
+        let mut fields = frame.split_whitespace();
+        fields.next(); // "tspan"
+        let Some(seq) = fields.next().and_then(|s| s.parse::<u64>().ok()) else {
+            return false;
+        };
+        let Some(n) = fields.next().and_then(|s| s.parse::<usize>().ok()) else {
+            return false;
+        };
+        {
+            let mut t = self.telemetry.lock().unwrap();
+            let entry = t.entry(conn_id).or_default();
+            if seq <= entry.span_seq {
+                return true; // duplicated frame; spans already emitted
+            }
+            entry.span_seq = seq;
+        }
+        for _ in 0..n {
+            fn num<'a>(fields: &mut impl Iterator<Item = &'a str>) -> Option<u64> {
+                fields.next().and_then(|s| s.parse::<u64>().ok())
+            }
+            let Some(id) = num(&mut fields) else {
+                return false;
+            };
+            let Some(parent) = num(&mut fields) else {
+                return false;
+            };
+            let Some(name) = fields.next() else {
+                return false;
+            };
+            let name = trace::intern_name(name);
+            let Some(thread) = num(&mut fields) else {
+                return false;
+            };
+            let Some(start_ns) = num(&mut fields) else {
+                return false;
+            };
+            let Some(dur_ns) = num(&mut fields) else {
+                return false;
+            };
+            trace::emit_span(&SpanRecord {
+                id,
+                parent,
+                name,
+                // Worker thread ids are per-process; shift them into a
+                // per-connection range so fleet threads stay distinct.
+                thread: ((conn_id + 1) << 16) | (thread & 0xffff),
+                start_ns: clock.to_local(start_ns),
+                dur_ns,
+            });
+        }
+        fields.next().is_none()
+    }
+
+    /// Folds every connection's accumulated telemetry into the fleet
+    /// view handed back on [`ShardRun`].
+    fn fleet_telemetry(&self) -> FleetTelemetry {
+        let t = self.telemetry.lock().unwrap();
+        let mut fleet = FleetTelemetry {
+            flushes: self.flushes.load(Ordering::SeqCst),
+            ..FleetTelemetry::default()
+        };
+        for (&conn_id, ct) in t.iter() {
+            let mut contribution = ct.snapshot.clone();
+            // In-process test workers share the coordinator's registry
+            // and may echo coordinator-side counters back; this one is
+            // authoritative coordinator-side, so theirs is dropped.
+            contribution
+                .counters
+                .retain(|(n, _)| n != "shard.pairs.committed");
+            contribution
+                .counters
+                .push(("shard.pairs.committed".to_string(), ct.committed_pairs));
+            contribution.counters.sort_by(|a, b| a.0.cmp(&b.0));
+            fleet.merged.merge(&contribution);
+            fleet
+                .labeled
+                .merge(&contribution.with_label("worker", &format!("c{conn_id}")));
+            if ct.stat_seq > 0 {
+                fleet.workers += 1;
+            }
+        }
+        fleet
     }
 }
 
@@ -339,12 +518,13 @@ pub(crate) fn run_sharded(
     budget: Budget,
     on_commit: &mut dyn FnMut(usize, Vec<PairOutcome>),
 ) -> ShardRun {
-    let _span = trace::span("job.shard");
+    let shard_span = trace::span("job.shard");
     if todo.is_empty() {
         return ShardRun {
             stats: ShardStats::default(),
             leftover: Vec::new(),
             stop: None,
+            telemetry: FleetTelemetry::default(),
         };
     }
     let launcher: Arc<dyn WorkerLauncher> = match &opts.launcher {
@@ -381,6 +561,12 @@ pub(crate) fn run_sharded(
         workers_rejected: AtomicUsize::new(0),
         frames_corrupt: AtomicUsize::new(0),
         stale_results: AtomicUsize::new(0),
+        // Process id ⊕ span id: unique across a fleet of coordinators
+        // on one host and across reruns in one process.
+        trace_id: (u64::from(std::process::id()) << 32) | (shard_span.id() & 0xffff_ffff),
+        trace_parent: shard_span.id(),
+        telemetry: Mutex::new(BTreeMap::new()),
+        flushes: AtomicUsize::new(0),
     };
 
     let (tx, rx) = mpsc::channel::<(usize, Vec<PairOutcome>)>();
@@ -433,24 +619,38 @@ pub(crate) fn run_sharded(
         commits_refused: lt.commits_refused() + shared.stale_results.load(Ordering::SeqCst),
         frames_corrupt: shared.frames_corrupt.load(Ordering::SeqCst),
         tiles_local_fallback: 0,
+        telemetry_flushes: shared.flushes.load(Ordering::SeqCst),
     };
     drop(lt);
     let leftover = (0..todo.len())
         .filter(|&pos| !shared.done[pos].load(Ordering::SeqCst))
         .map(|pos| todo[pos])
         .collect();
+    let telemetry = shared.fleet_telemetry();
     ShardRun {
         stats,
         leftover,
         stop: stop_reason,
+        telemetry,
     }
+}
+
+/// One live worker connection, as held by a slot: the framed socket,
+/// the kill handle, the connection id (telemetry attribution key and
+/// injector window), and the worker→coordinator clock mapping from the
+/// ready exchange.
+struct Worker {
+    conn: FrameConn,
+    handle: Box<dyn WorkerHandle>,
+    id: u64,
+    clock: ClockMap,
 }
 
 /// One slot: claim a tile, keep a worker alive, deal and commit, until
 /// the queue drains, the run stops, the handshake is rejected, or the
 /// restart budget retires this slot.
 fn slot_loop(shared: &Shared<'_>, slot: usize, tx: &mpsc::Sender<(usize, Vec<PairOutcome>)>) {
-    let mut live: Option<(FrameConn, Box<dyn WorkerHandle>)> = None;
+    let mut live: Option<Worker> = None;
     let mut jitter = DecorrelatedJitter::new(
         shared.opts.backoff_base,
         shared.opts.backoff_cap,
@@ -498,8 +698,9 @@ fn slot_loop(shared: &Shared<'_>, slot: usize, tx: &mpsc::Sender<(usize, Vec<Pai
                 // committed tile cannot be re-claimed.
                 break;
             };
-            let (conn, _) = live.as_mut().expect("worker ensured above");
-            if conn
+            trace::event("shard.tile.lease", shared.tile_id(pos));
+            let w = live.as_mut().expect("worker ensured above");
+            if w.conn
                 .send(&format!("chunk {epoch} {} {}", tile.start, tile.len))
                 .is_err()
             {
@@ -507,9 +708,12 @@ fn slot_loop(shared: &Shared<'_>, slot: usize, tx: &mpsc::Sender<(usize, Vec<Pai
                 shared.expire(pos);
                 continue;
             }
-            let _ = conn.set_read_deadline(Some(shared.opts.lease_timeout));
-            match wait_result(shared, conn, pos, tile, epoch) {
+            trace::event("shard.tile.deal", shared.tile_id(pos));
+            let _ = w.conn.set_read_deadline(Some(shared.opts.lease_timeout));
+            match wait_result(shared, w, pos, tile, epoch) {
                 Verdict::Committed(outs) => {
+                    shared.credit_commit(w.id, outs.len() as u64);
+                    trace::event("shard.tile.commit", shared.tile_id(pos));
                     shared.mark_done(pos);
                     let _ = tx.send((shared.todo[pos], outs));
                     break;
@@ -527,35 +731,95 @@ fn slot_loop(shared: &Shared<'_>, slot: usize, tx: &mpsc::Sender<(usize, Vec<Pai
             }
         }
     }
-    if let Some((mut conn, mut handle)) = live.take() {
-        let _ = conn.send("shutdown");
-        handle.kill();
+    if let Some(mut w) = live.take() {
+        // A graceful shutdown earns the worker one final telemetry
+        // flush: absorb tstat/tspan frames (and drain any stale
+        // leftovers) until `bye`, a bounded deadline, or a dead pipe.
+        let _ = w.conn.send("shutdown");
+        let _ = w
+            .conn
+            .set_read_deadline(Some(shared.opts.lease_timeout.min(Duration::from_secs(2))));
+        loop {
+            match w.conn.recv() {
+                Ok(f) if f.starts_with("tstat ") => {
+                    if !shared.absorb_tstat(w.id, &f) {
+                        break;
+                    }
+                }
+                Ok(f) if f.starts_with("tspan ") => {
+                    if !shared.absorb_tspan(w.id, w.clock, &f) {
+                        break;
+                    }
+                }
+                Ok(f) if f.starts_with("bye") => {
+                    shared.flushes.fetch_add(1, Ordering::SeqCst);
+                    break;
+                }
+                Ok(_) => continue, // stale hb/result frames drain here
+                Err(ProtocolError::Garbage { .. }) => {
+                    // Corruption detected here still counts: the
+                    // chaos suites reconcile garbage frames against
+                    // the injection ledger exactly, shutdown included.
+                    shared.frames_corrupt.fetch_add(1, Ordering::SeqCst);
+                    sts_obs::static_counter!("shard.frames.corrupt").incr();
+                    continue;
+                }
+                Err(_) => break,
+            }
+        }
+        w.handle.kill();
     }
 }
 
-fn teardown(live: &mut Option<(FrameConn, Box<dyn WorkerHandle>)>) {
-    if let Some((_, mut handle)) = live.take() {
-        handle.kill();
+fn teardown(live: &mut Option<Worker>) {
+    if let Some(mut w) = live.take() {
+        w.handle.kill();
     }
 }
 
 /// Reads frames until the live epoch's result arrives (commit), the
 /// deadline passes, or the connection proves unusable. Heartbeats for
 /// any epoch reset the deadline simply by being frames; results for
-/// superseded epochs are refused and skipped.
+/// superseded epochs are refused and skipped. Telemetry frames
+/// (`tstat`/`tspan`) are absorbed in passing — malformed ones are
+/// protocol violations, not chaos, and lose the worker.
 fn wait_result(
     shared: &Shared<'_>,
-    conn: &mut FrameConn,
+    w: &mut Worker,
     pos: usize,
     tile: &PairChunk,
     epoch: u64,
 ) -> Verdict {
     loop {
-        match conn.recv() {
+        match w.conn.recv() {
             Ok(frame) => {
                 let mut fields = frame.split_whitespace();
                 match fields.next() {
-                    Some("hb") => continue,
+                    Some("hb") => {
+                        // `hb <epoch> <pairs_done>` — surface progress
+                        // instead of treating the frame as opaque.
+                        let mut num = || fields.next().and_then(|s| s.parse::<u64>().ok());
+                        if let (Some(hb_epoch), Some(pairs_done)) = (num(), num()) {
+                            if hb_epoch == epoch {
+                                sts_obs::static_gauge!("shard.tile.progress")
+                                    .set(pairs_done as i64);
+                                trace::event("shard.tile.hb", shared.tile_id(pos));
+                            }
+                        }
+                        continue;
+                    }
+                    Some("tstat") => {
+                        if !shared.absorb_tstat(w.id, &frame) {
+                            return Verdict::WorkerLost;
+                        }
+                        continue;
+                    }
+                    Some("tspan") => {
+                        if !shared.absorb_tspan(w.id, w.clock, &frame) {
+                            return Verdict::WorkerLost;
+                        }
+                        continue;
+                    }
                     Some("result") => {
                         let Some(id) = fields.next().and_then(|s| s.parse::<u64>().ok()) else {
                             return Verdict::WorkerLost;
@@ -625,10 +889,11 @@ fn decode_tile(payload: &str, tile: &PairChunk) -> Option<Vec<PairOutcome>> {
 
 /// Launches one worker and walks it to `ready`: bind an ephemeral
 /// loopback listener, launch, accept within the ready deadline, send
-/// the preamble, and interpret the worker's answer.
-fn spawn_ready_worker(
-    shared: &Shared<'_>,
-) -> Result<(FrameConn, Box<dyn WorkerHandle>), SpawnError> {
+/// the preamble plus the `trace` context frame, and interpret the
+/// worker's answer. The worker's `ready <now_ns>` clock echo is paired
+/// with the coordinator's own clock at receipt to build the
+/// per-connection [`ClockMap`].
+fn spawn_ready_worker(shared: &Shared<'_>) -> Result<Worker, SpawnError> {
     let listener = TcpListener::bind(("127.0.0.1", 0)).map_err(|_| SpawnError::Failed)?;
     let addr = listener.local_addr().map_err(|_| SpawnError::Failed)?;
     listener
@@ -658,11 +923,14 @@ fn spawn_ready_worker(
         }
     };
     let _ = stream.set_nodelay(true);
+    // Connection ids are allocated unconditionally: they key telemetry
+    // attribution and span-id/thread-id remapping even when no fault
+    // injector is installed.
+    let conn_id = shared.conn_seq.fetch_add(1, Ordering::SeqCst);
     let injector = shared.opts.injector.as_ref().map(|inner| {
-        let base = shared.conn_seq.fetch_add(1, Ordering::SeqCst) * CONN_INDEX_STRIDE;
         Arc::new(OffsetInjector {
             inner: Arc::clone(inner),
-            base,
+            base: conn_id * CONN_INDEX_STRIDE,
         }) as Arc<dyn NetInjector>
     });
     let Ok(mut conn) = FrameConn::with_injector(stream, injector) else {
@@ -676,13 +944,44 @@ fn spawn_ready_worker(
             return Err(SpawnError::Failed);
         }
     }
+    // Trace context: job-wide trace id, the span the worker's root
+    // should parent under, a disjoint id window per connection, and
+    // whether spans are worth shipping at all (the coordinator is the
+    // only consumer, so its tracing switch decides).
+    let span_base = (conn_id + 1) << 32;
+    let ship_spans = u64::from(trace::tracing_enabled());
+    if conn
+        .send(&format!(
+            "trace {:016x} {} {span_base} {ship_spans}",
+            shared.trace_id, shared.trace_parent
+        ))
+        .is_err()
+    {
+        handle.kill();
+        return Err(SpawnError::Failed);
+    }
     if conn.send("begin").is_err() {
         handle.kill();
         return Err(SpawnError::Failed);
     }
     loop {
         match conn.recv() {
-            Ok(f) if f == "ready" => return Ok((conn, handle)),
+            Ok(f) if f == "ready" || f.starts_with("ready ") => {
+                // `ready <worker_now_ns>` — the clock-origin exchange.
+                // A bare `ready` (older worker) degrades to identity
+                // mapping: spans keep their worker-relative times.
+                let clock = f
+                    .strip_prefix("ready ")
+                    .and_then(|s| s.trim().parse::<u64>().ok())
+                    .map(|remote| ClockMap::from_exchange(remote, trace::now_ns()))
+                    .unwrap_or_default();
+                return Ok(Worker {
+                    conn,
+                    handle,
+                    id: conn_id,
+                    clock,
+                });
+            }
             Ok(f) if f.starts_with("reject ") => {
                 handle.kill();
                 return Err(SpawnError::Rejected);
@@ -867,6 +1166,39 @@ mod tests {
         assert_eq!(run.stats.workers_rejected, 0);
         assert!(run.stats.workers_spawned >= 1 && run.stats.workers_spawned <= 2);
         assert_eq!(run.stats.worker_restarts, 0);
+        // Fleet telemetry: every spawned worker survives a clean run
+        // and flushes on shutdown; the coordinator-authoritative commit
+        // tally covers the whole 4×4 matrix exactly.
+        assert_eq!(run.stats.telemetry_flushes, run.stats.workers_spawned);
+        assert_eq!(run.telemetry.flushes, run.stats.telemetry_flushes);
+        assert!(run.telemetry.workers >= 1);
+        assert_eq!(
+            run.telemetry.merged.counter("shard.pairs.committed"),
+            Some(16)
+        );
+        // The in-process test fleet shares this process's registry, so
+        // worker-shipped counters are a superset of the fleet's own
+        // work — exact equality needs subprocess workers (integration
+        // tests); here `>=` proves the shipping path moved real deltas.
+        assert!(
+            run.telemetry
+                .merged
+                .counter("core.pairs.scored")
+                .unwrap_or(0)
+                >= 16
+        );
+        let labeled_commits: u64 = run
+            .telemetry
+            .labeled
+            .counters
+            .iter()
+            .filter(|(n, _)| n.starts_with("shard.pairs.committed{worker="))
+            .map(|&(_, v)| v)
+            .sum();
+        assert_eq!(
+            labeled_commits, 16,
+            "per-worker attribution sums to the matrix"
+        );
     }
 
     #[test]

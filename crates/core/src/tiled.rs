@@ -361,6 +361,7 @@ impl Sts {
         let mut resident_fallback = 0usize; // cells pinned by Memory sources
         let mut agg_iso: Option<IsolateStats> = None;
         let mut shard_stats = None;
+        let mut fleet_telemetry = None;
 
         if let ExecMode::Sharded(sopts) = &cfg.exec {
             // ---- Phase A, sharded: resume what's on disk, deal the
@@ -414,6 +415,7 @@ impl Sts {
             );
             let mut sstats = run.stats;
             stop_reason = run.stop;
+            fleet_telemetry = Some(run.telemetry);
             // Whatever the fleet could not finish — it was exhausted,
             // rejected the handshake, or the run stopped — degrades to
             // the in-process engine. A dead fleet never loses a job.
@@ -445,6 +447,7 @@ impl Sts {
                 tstats.tiles_computed += 1;
                 sstats.tiles_local_fallback += 1;
                 sts_obs::static_counter!("shard.tiles.local_fallback").incr();
+                trace::event("shard.tile.fallback", tile.id as f64);
                 new_pairs += tr.outs.iter().filter(|o| is_terminal(o)).count();
                 pool_retries += tr.pool_retries;
                 wait_total += tr.wait;
@@ -673,10 +676,27 @@ impl Sts {
         stats.tiles = Some(tstats);
         stats.shard = shard_stats;
 
+        let mut telemetry = job_telemetry(metrics_base.as_ref());
+        if let (Some(t), Some(fleet)) = (telemetry.as_mut(), fleet_telemetry.as_ref()) {
+            // Fold the workers' shipped deltas into the coordinator's
+            // own registry delta: unlabeled fleet sums (so
+            // `core.pairs.scored` counts work performed anywhere in the
+            // fleet) plus per-worker labeled attribution. The
+            // coordinator's own `shard.pairs.committed` counter already
+            // covers every commit, so the fleet copy is dropped rather
+            // than double-counted.
+            let mut merged = fleet.merged.clone();
+            merged
+                .counters
+                .retain(|(n, _)| n != "shard.pairs.committed");
+            t.metrics.merge(&merged.without_zeros());
+            t.metrics.merge(&fleet.labeled.clone().without_zeros());
+        }
+
         Ok(JobReport {
             batch,
             stats,
-            telemetry: job_telemetry(metrics_base.as_ref()),
+            telemetry,
         })
     }
 

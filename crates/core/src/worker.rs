@@ -15,6 +15,7 @@
 //! ```text
 //! supervisor → worker (preamble, then `begin`):
 //!   hello <version> <fingerprint:016x> <hb_every>
+//!   trace <trace_id:016x> <parent_span> <span_base> <ship_spans>   (optional)
 //!   measure <full|no-noise> <sigma> <kernel> <trunc|none> <off|exact|lattice:<dt>>
 //!   grid <minx> <miny> <maxx> <maxy> <cell>
 //!   retry <max_retries> <base_ns> <cap_ns> <seed>
@@ -23,17 +24,36 @@
 //!   traj <q|c> <index> <npoints> (<x> <y> <t>)*
 //!   begin
 //! worker → supervisor:
-//!   ready
+//!   ready [<worker_now_ns>]          (clock origin echoed iff `trace` was sent)
 //!   | reject version <got> <want>
 //!   | reject fingerprint <computed:016x> <claimed:016x>
 //! supervisor → worker (per chunk):
 //!   chunk <req_id> <start> <len>
 //! worker → supervisor (heartbeats only when hb_every > 0):
 //!   hb <req_id> <pairs_done>
+//!   tstat <seq> (c <name> <v> | g <name> <v> | h <name> ...)*      (iff `trace` was sent)
+//!   tspan <seq> <n> (<id> <parent> <name> <thread> <start> <dur>)* (iff ship_spans)
 //!   result <req_id> <n> (<lin> s <score> | <lin> f <attempts> | <lin> p | <lin> q)*
 //! supervisor → worker (end of run):
 //!   shutdown
+//! worker → supervisor (final telemetry flush, iff `trace` was sent):
+//!   tstat ... [tspan ...] bye <trace_id:016x>
 //! ```
+//!
+//! The optional `trace` preamble frame is the **fleet telemetry
+//! handshake** (protocol v3): it hands the worker the coordinator's
+//! trace id and parent span id, a `span_base` that namespaces this
+//! connection's span ids into a disjoint range, and whether to ship
+//! spans at all. A worker that received it echoes its monotonic trace
+//! clock in `ready <now_ns>` (each process counts from its own
+//! arbitrary epoch — the coordinator turns the echo into a
+//! per-connection [`sts_obs::ClockMap`]), attaches a cumulative
+//! registry snapshot (`tstat`, latest-seq-wins so chaos drops and
+//! duplicates self-heal) and a drained span buffer (`tspan`, span ids
+//! pre-shifted by `span_base`, roots re-parented under `parent_span`)
+//! to every result, and flushes both once more before `bye` on clean
+//! exit. Without the frame the worker behaves exactly as v2: the
+//! stdio subprocess path and hand-rolled drivers see no new frames.
 //!
 //! The `hello` handshake makes version or corpus skew a *typed*
 //! rejection instead of undefined scoring: the worker recomputes the
@@ -59,17 +79,27 @@ use std::fmt;
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
 use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
 use std::time::Duration;
 use sts_geo::{BoundingBox, Grid, Point};
 use sts_isolate::protocol::{read_frame, write_frame, ProtocolError};
+use sts_obs::{trace, FanoutSubscriber, RingRecorder, Snapshot, Subscriber};
 use sts_runtime::{Fault, FaultPlan, PairSpace, RetryPolicy};
 use sts_stats::Kernel;
 use sts_traj::Trajectory;
 
 /// The wire-protocol version spoken by this build's `hello` frame. A
 /// worker answering a different version's preamble replies
-/// `reject version <got> <want>` instead of `ready`.
-pub const PROTOCOL_VERSION: u64 = 2;
+/// `reject version <got> <want>` instead of `ready`. Version 3 added
+/// the fleet telemetry handshake (`trace` preamble frame, clocked
+/// `ready`, `tstat`/`tspan`/`bye` shipping).
+pub const PROTOCOL_VERSION: u64 = 3;
+
+/// How many closed spans a worker buffers between shipping
+/// opportunities; the oldest are dropped past this (span shipping is
+/// best-effort diagnostics, memory is not allowed to grow with chunk
+/// size).
+const SPAN_BUFFER: usize = 1024;
 
 /// The conventional worker executable name, resolved next to the
 /// current executable (test and release binaries land in the same
@@ -222,10 +252,29 @@ impl From<ProtocolError> for ServeError {
     }
 }
 
+/// The fleet telemetry handshake decoded from a `trace` preamble
+/// frame (see the module docs).
+#[derive(Debug, Clone, Copy)]
+struct TraceCtx {
+    /// Coordinator-chosen id for the whole job's trace, echoed in `bye`.
+    trace_id: u64,
+    /// Coordinator span id the worker's root spans re-parent under.
+    parent_span: u64,
+    /// Added to every shipped span id — namespaces this connection's
+    /// ids into a range disjoint from the coordinator's and every
+    /// other worker's.
+    span_base: u64,
+    /// Ship `tspan` frames at all? (The coordinator turns this off
+    /// when it has no subscriber — buffering spans nobody will read
+    /// is wasted work.)
+    ship_spans: bool,
+}
+
 /// The decoded preamble, accumulated frame by frame until `begin`.
 #[derive(Default)]
 struct JobSpec {
     hello: Option<(u64, u64, u64)>,
+    trace: Option<TraceCtx>,
     measure: Option<(StsVariant, StsConfig)>,
     grid: Option<Grid>,
     retry: Option<RetryPolicy>,
@@ -277,6 +326,21 @@ impl JobSpec {
                     .ok_or_else(|| spec_err("bad job fingerprint"))?;
                 let hb_every: u64 = parse(&mut fields, "heartbeat stride")?;
                 self.hello = Some((version, fingerprint, hb_every));
+            }
+            "trace" => {
+                let trace_id = fields
+                    .next()
+                    .and_then(|s| u64::from_str_radix(s, 16).ok())
+                    .ok_or_else(|| spec_err("bad trace id"))?;
+                let parent_span: u64 = parse(&mut fields, "parent span")?;
+                let span_base: u64 = parse(&mut fields, "span base")?;
+                let ship: u64 = parse(&mut fields, "ship flag")?;
+                self.trace = Some(TraceCtx {
+                    trace_id,
+                    parent_span,
+                    span_base,
+                    ship_spans: ship != 0,
+                });
             }
             "measure" => {
                 let variant = match fields.next() {
@@ -445,6 +509,7 @@ impl JobSpec {
                 .collect()
         };
         let hb_every = self.hello.map_or(0, |(_, _, hb)| hb);
+        let trace = self.trace;
         let prepared_q = prepare_side(self.queries);
         let prepared_c = prepare_side(self.candidates);
         Ok(WorkerState {
@@ -454,6 +519,7 @@ impl JobSpec {
             prepared_q,
             prepared_c,
             hb_every,
+            trace,
         })
     }
 }
@@ -466,6 +532,7 @@ struct WorkerState {
     prepared_q: Vec<Option<crate::PreparedTrajectory>>,
     prepared_c: Vec<Option<crate::PreparedTrajectory>>,
     hb_every: u64,
+    trace: Option<TraceCtx>,
 }
 
 /// Runs the worker side of the protocol over the given streams until
@@ -478,6 +545,10 @@ struct WorkerState {
 /// makes the worker emit unframed noise instead of its chunk's result
 /// frame.
 pub fn serve<R: BufRead, W: Write>(input: &mut R, output: &mut W) -> Result<(), ServeError> {
+    // The shipping baseline: everything this process records past here
+    // is this job's work. In a real worker subprocess the registry is
+    // empty anyway; the baseline matters for in-process test workers.
+    let metrics_base = sts_obs::metrics::global().snapshot();
     let mut spec = JobSpec::default();
     let state = loop {
         let frame = read_frame(input)?;
@@ -490,7 +561,16 @@ pub fn serve<R: BufRead, W: Write>(input: &mut R, output: &mut W) -> Result<(), 
         }
         spec.absorb(&frame)?;
     };
-    write_frame(output, "ready").map_err(ProtocolError::Io)?;
+    let mut shipper = state.trace.map(|ctx| Shipper::install(ctx, metrics_base));
+    // The clock-origin exchange: a trace-aware coordinator needs this
+    // worker's monotonic epoch to map shipped timestamps into its own
+    // clock domain.
+    let ready = match state.trace {
+        Some(_) => format!("ready {}", trace::now_ns()),
+        None => "ready".to_string(),
+    };
+    write_frame(output, &ready).map_err(ProtocolError::Io)?;
+    let serve_span = trace::span_with_parent("worker.serve", 0);
 
     let retries = AtomicU64::new(0);
     // One scratch arena for the whole process, reused across chunks —
@@ -499,7 +579,15 @@ pub fn serve<R: BufRead, W: Write>(input: &mut R, output: &mut W) -> Result<(), 
     loop {
         let frame = match read_frame(input) {
             Ok(f) => f,
-            Err(ProtocolError::Eof) => return Ok(()),
+            Err(ProtocolError::Eof) => {
+                // The supervisor hung up; flush telemetry best-effort
+                // (the write side may be gone too).
+                drop(serve_span);
+                if let Some(sh) = shipper.as_mut() {
+                    let _ = sh.flush(output);
+                }
+                return Ok(());
+            }
             Err(e) => return Err(e.into()),
         };
         let mut fields = frame.split_whitespace();
@@ -514,6 +602,8 @@ pub fn serve<R: BufRead, W: Write>(input: &mut R, output: &mut W) -> Result<(), 
                         state.space.len()
                     )));
                 }
+                let chunk_span = trace::span("worker.chunk");
+                trace::event("worker.tile", req_id as f64);
                 let mut body = format!("result {req_id} {len}");
                 let mut garbage = false;
                 let mut pairs_done = 0u64;
@@ -548,6 +638,14 @@ pub fn serve<R: BufRead, W: Write>(input: &mut R, output: &mut W) -> Result<(), 
                             .map_err(ProtocolError::Io)?;
                     }
                 }
+                // Close the chunk's span *before* shipping so it rides
+                // this round's tspan, then attach telemetry ahead of
+                // the result (or the garbage noise — the corruption is
+                // the result's problem, not the snapshot's).
+                drop(chunk_span);
+                if let Some(sh) = shipper.as_mut() {
+                    sh.ship(output).map_err(ProtocolError::Io)?;
+                }
                 if garbage {
                     // Deliberately NOT a frame: no length prefix, and
                     // bytes that cannot parse as one.
@@ -559,8 +657,109 @@ pub fn serve<R: BufRead, W: Write>(input: &mut R, output: &mut W) -> Result<(), 
                     write_frame(output, &body).map_err(ProtocolError::Io)?;
                 }
             }
-            "shutdown" => return Ok(()),
+            "shutdown" => {
+                drop(serve_span);
+                if let Some(sh) = shipper.as_mut() {
+                    sh.flush(output).map_err(ProtocolError::Io)?;
+                }
+                return Ok(());
+            }
             other => return Err(spec_err(format!("unknown request frame `{other}`"))),
+        }
+    }
+}
+
+/// The worker side of telemetry shipping: owns the shipping baseline,
+/// the bounded span collector and the frame sequence counter, and
+/// restores the process's previous subscriber on drop (in-process test
+/// workers share the coordinator's subscriber slot).
+struct Shipper {
+    ctx: TraceCtx,
+    base: Snapshot,
+    seq: u64,
+    ring: Option<Arc<RingRecorder>>,
+    prev: Option<Arc<dyn Subscriber>>,
+}
+
+impl Shipper {
+    /// Starts shipping under `ctx`; when span shipping is on, installs
+    /// a bounded collector (fanned out alongside any subscriber the
+    /// process already had, so `STS_TRACE` keeps working in workers).
+    fn install(ctx: TraceCtx, base: Snapshot) -> Shipper {
+        let (ring, prev) = if ctx.ship_spans {
+            let ring = Arc::new(RingRecorder::new(SPAN_BUFFER));
+            let prev = trace::set_subscriber(ring.clone());
+            if let Some(p) = prev.clone() {
+                let fanout: Arc<dyn Subscriber> =
+                    Arc::new(FanoutSubscriber::new(vec![p, ring.clone()]));
+                trace::set_subscriber(fanout);
+            }
+            (Some(ring), prev)
+        } else {
+            (None, None)
+        };
+        Shipper {
+            ctx,
+            base,
+            seq: 0,
+            ring,
+            prev,
+        }
+    }
+
+    /// Writes one telemetry round: a cumulative `tstat` (latest wins
+    /// coordinator-side) and, when collecting, a `tspan` draining the
+    /// buffer, span ids shifted into this connection's range and roots
+    /// re-parented under the coordinator's span.
+    fn ship<W: Write>(&mut self, output: &mut W) -> std::io::Result<()> {
+        self.seq += 1;
+        let delta = sts_obs::metrics::global()
+            .snapshot()
+            .since(&self.base)
+            .without_zeros();
+        write_frame(
+            output,
+            &format!("tstat {} {}", self.seq, delta.encode_wire()),
+        )?;
+        if let Some(ring) = &self.ring {
+            let spans = ring.spans();
+            ring.clear();
+            if !spans.is_empty() {
+                let mut body = format!("tspan {} {}", self.seq, spans.len());
+                for s in &spans {
+                    let id = s.id.wrapping_add(self.ctx.span_base);
+                    let parent = if s.parent == 0 {
+                        self.ctx.parent_span
+                    } else {
+                        s.parent.wrapping_add(self.ctx.span_base)
+                    };
+                    body.push_str(&format!(
+                        " {id} {parent} {} {} {} {}",
+                        s.name, s.thread, s.start_ns, s.dur_ns
+                    ));
+                }
+                write_frame(output, &body)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The clean-exit flush: one last shipping round, then `bye`
+    /// echoing the trace id so the coordinator can count completed
+    /// flushes.
+    fn flush<W: Write>(&mut self, output: &mut W) -> std::io::Result<()> {
+        self.ship(output)?;
+        write_frame(output, &format!("bye {:016x}", self.ctx.trace_id))
+    }
+}
+
+impl Drop for Shipper {
+    fn drop(&mut self) {
+        if self.ring.is_some() {
+            trace::clear_subscriber();
+            if let Some(prev) = self.prev.take() {
+                trace::set_subscriber(prev);
+            }
         }
     }
 }
@@ -836,6 +1035,78 @@ mod tests {
             "hb_every=2 over a 4-pair chunk beats twice"
         );
         assert!(frames[3].starts_with("result 9 4 "));
+    }
+
+    #[test]
+    fn trace_handshake_ships_telemetry_and_spans() {
+        let queries = vec![walker(25.0, 0.0, 6), walker(5.0, 0.0, 6)];
+        let candidates = vec![walker(25.0, 5.0, 6), walker(5.0, 5.0, 6)];
+        let space = PairSpace::new(2, 2);
+        let mut preamble = encode_preamble(
+            &MeasureSpec::Full(StsConfig::default()),
+            &grid(),
+            &JobConfig::default(),
+            &space,
+            &queries,
+            &candidates,
+            0,
+        );
+        let span_base = 1u64 << 32;
+        preamble.insert(1, format!("trace {:016x} 42 {span_base} 1", 0xabcdu64));
+        let frames = drive_serve(&preamble, &["chunk 3 0 4".into()]);
+
+        // The clock-origin exchange rides the ready frame.
+        assert!(frames[0].starts_with("ready "), "{:?}", frames[0]);
+        let origin: u64 = frames[0].strip_prefix("ready ").unwrap().parse().unwrap();
+        assert!(origin > 0);
+
+        // One shipping round per chunk plus the shutdown flush, with
+        // increasing sequence numbers and a decodable snapshot whose
+        // pair counter covers the chunk (≥: other tests in this
+        // process may score concurrently — the registry is global).
+        let tstats: Vec<&String> = frames.iter().filter(|f| f.starts_with("tstat ")).collect();
+        assert_eq!(tstats.len(), 2, "{frames:?}");
+        assert!(tstats[0].starts_with("tstat 1 "));
+        let payload = tstats[1].strip_prefix("tstat 2").unwrap().trim_start();
+        let snap = Snapshot::decode_wire(payload).unwrap();
+        assert!(
+            snap.counter("core.pairs.scored").unwrap_or(0) >= 4,
+            "{snap:?}"
+        );
+
+        // Shipped spans are shifted into this connection's id range
+        // and roots hang under the coordinator's parent span.
+        let mut shipped: Vec<(u64, u64, String)> = Vec::new();
+        for f in frames.iter().filter(|f| f.starts_with("tspan ")) {
+            let mut fields = f.split_whitespace().skip(1);
+            let _seq: u64 = fields.next().unwrap().parse().unwrap();
+            let n: usize = fields.next().unwrap().parse().unwrap();
+            for _ in 0..n {
+                let id: u64 = fields.next().unwrap().parse().unwrap();
+                let parent: u64 = fields.next().unwrap().parse().unwrap();
+                let name = fields.next().unwrap().to_string();
+                let _thread = fields.next().unwrap();
+                let _start = fields.next().unwrap();
+                let _dur = fields.next().unwrap();
+                shipped.push((id, parent, name));
+            }
+        }
+        let chunk = shipped
+            .iter()
+            .find(|(_, _, n)| n == "worker.chunk")
+            .expect("chunk span shipped");
+        let serve_root = shipped
+            .iter()
+            .find(|(_, _, n)| n == "worker.serve")
+            .expect("serve span shipped in the final flush");
+        assert!(chunk.0 >= span_base, "id shifted: {chunk:?}");
+        assert_eq!(chunk.1, serve_root.0, "chunk nests under serve");
+        assert_eq!(serve_root.1, 42, "root re-parents under the coordinator");
+
+        // Clean exit ends with bye echoing the trace id.
+        assert_eq!(frames.last().unwrap(), &format!("bye {:016x}", 0xabcdu64));
+        // The shipper restored the subscriber slot on the way out.
+        assert!(!sts_obs::tracing_enabled());
     }
 
     #[test]

@@ -40,6 +40,7 @@
 pub mod json;
 pub mod metrics;
 pub mod process;
+pub mod timeline;
 pub mod trace;
 
 pub use metrics::{
@@ -47,8 +48,12 @@ pub use metrics::{
     Snapshot, Telemetry,
 };
 pub use process::{peak_rss_bytes, record_peak_rss};
+pub use timeline::{
+    build_timeline, parse_jsonl, stragglers, write_chrome_trace, TileLifecycle, TraceLog,
+};
 pub use trace::{
-    clear_subscriber, event, set_subscriber, span, span_with_parent, tracing_enabled, EventRecord,
+    clear_subscriber, current_span_id, emit_event, emit_span, event, intern_name, set_subscriber,
+    span, span_with_parent, tracing_enabled, ClockMap, EventRecord, FanoutSubscriber,
     JsonlSubscriber, NullSubscriber, RingRecorder, Span, SpanRecord, Subscriber,
 };
 
@@ -65,6 +70,18 @@ use std::sync::Arc;
 ///
 /// Returns `true` if a trace subscriber was installed.
 pub fn init_from_env() -> bool {
+    init_from_env_suffixed(None)
+}
+
+/// [`init_from_env`] for processes that may share their parent's
+/// environment — a file-path `STS_TRACE` gets `.<suffix>` appended.
+///
+/// [`JsonlSubscriber::to_file`] truncates, so a worker spawned by a
+/// coordinator that exports `STS_TRACE=<path>` would otherwise clobber
+/// the coordinator's trace mid-write. With a suffix (workers pass
+/// their pid) every process owns its own file; the `jsonl`/`stderr`
+/// modes are per-process already and stay untouched.
+pub fn init_from_env_suffixed(suffix: Option<&str>) -> bool {
     if let Ok(v) = std::env::var("STS_METRICS") {
         if matches!(v.trim(), "0" | "off" | "false" | "OFF" | "FALSE") {
             set_metrics_enabled(false);
@@ -79,13 +96,19 @@ pub fn init_from_env() -> bool {
     }
     let sub: Arc<dyn Subscriber> = match mode {
         "jsonl" | "stderr" | "1" => Arc::new(JsonlSubscriber::to_stderr()),
-        path => match JsonlSubscriber::to_file(std::path::Path::new(path)) {
-            Ok(s) => Arc::new(s),
-            Err(e) => {
-                eprintln!("sts-obs: cannot open STS_TRACE={path}: {e}; tracing to stderr");
-                Arc::new(JsonlSubscriber::to_stderr())
+        path => {
+            let path = match suffix {
+                Some(sfx) => format!("{path}.{sfx}"),
+                None => path.to_string(),
+            };
+            match JsonlSubscriber::to_file(std::path::Path::new(&path)) {
+                Ok(s) => Arc::new(s),
+                Err(e) => {
+                    eprintln!("sts-obs: cannot open STS_TRACE={path}: {e}; tracing to stderr");
+                    Arc::new(JsonlSubscriber::to_stderr())
+                }
             }
-        },
+        }
     };
     set_subscriber(sub);
     true

@@ -422,6 +422,154 @@ impl Snapshot {
         self
     }
 
+    /// Folds `other` into this snapshot — the fleet-merge operation
+    /// behind multi-process telemetry. Name collisions resolve by
+    /// instrument kind:
+    ///
+    /// * **counters** add (two processes each scoring N pairs merge to
+    ///   2N);
+    /// * **histograms** add bucket-wise exactly — both sides share the
+    ///   same power-of-two bucket boundaries, so merging snapshots is
+    ///   bit-identical to having recorded every sample into one
+    ///   histogram;
+    /// * **gauges** take `other`'s reading (a gauge is instantaneous;
+    ///   the later-merged reading is the fresher one).
+    ///
+    /// Names present on only one side are kept as-is. The result stays
+    /// name-ordered, so the accessor and serialization contracts hold.
+    pub fn merge(&mut self, other: &Snapshot) {
+        let mut counters: BTreeMap<String, u64> = self.counters.drain(..).collect();
+        for (n, v) in &other.counters {
+            *counters.entry(n.clone()).or_insert(0) += v;
+        }
+        self.counters = counters.into_iter().collect();
+
+        let mut gauges: BTreeMap<String, i64> = self.gauges.drain(..).collect();
+        for (n, v) in &other.gauges {
+            gauges.insert(n.clone(), *v);
+        }
+        self.gauges = gauges.into_iter().collect();
+
+        let mut histograms: BTreeMap<String, HistogramSnapshot> =
+            self.histograms.drain(..).collect();
+        for (n, h) in &other.histograms {
+            match histograms.entry(n.clone()) {
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let mine = e.get_mut();
+                    for (b, add) in mine.buckets.iter_mut().zip(h.buckets.iter()) {
+                        *b += add;
+                    }
+                    mine.count += h.count;
+                    mine.sum = mine.sum.saturating_add(h.sum);
+                }
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(h.clone());
+                }
+            }
+        }
+        self.histograms = histograms.into_iter().collect();
+    }
+
+    /// A copy with `{key="value"}` appended to every instrument name —
+    /// how a worker's shipped snapshot is attributed before merging
+    /// into the fleet view (`core.pairs.scored{worker="c3"}` next to
+    /// the unlabeled fleet sum). Name ordering is preserved: the suffix
+    /// is identical for every name, so relative order cannot change.
+    pub fn with_label(&self, key: &str, value: &str) -> Snapshot {
+        let tag = |n: &String| format!("{n}{{{key}={value:?}}}");
+        Snapshot {
+            counters: self.counters.iter().map(|(n, v)| (tag(n), *v)).collect(),
+            gauges: self.gauges.iter().map(|(n, v)| (tag(n), *v)).collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(n, h)| (tag(n), h.clone()))
+                .collect(),
+        }
+    }
+
+    /// Encodes the snapshot as one whitespace-separated wire record —
+    /// the payload a worker attaches to its result frames. Instruments
+    /// whose names contain whitespace are skipped (registry names are
+    /// static dotted identifiers; this guards hand-built snapshots).
+    ///
+    /// ```text
+    /// c <name> <total> | g <name> <value> | h <name> <count> <sum> <nb> (<idx> <count>)*
+    /// ```
+    ///
+    /// Histogram buckets travel sparsely as `(index, count)` pairs.
+    pub fn encode_wire(&self) -> String {
+        let mut out = String::new();
+        let ok = |n: &str| !n.contains(char::is_whitespace);
+        for (n, v) in self.counters.iter().filter(|(n, _)| ok(n)) {
+            out.push_str(&format!(" c {n} {v}"));
+        }
+        for (n, v) in self.gauges.iter().filter(|(n, _)| ok(n)) {
+            out.push_str(&format!(" g {n} {v}"));
+        }
+        for (n, h) in self.histograms.iter().filter(|(n, _)| ok(n)) {
+            let filled: Vec<(usize, u64)> = h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c != 0)
+                .map(|(i, &c)| (i, c))
+                .collect();
+            out.push_str(&format!(" h {n} {} {} {}", h.count, h.sum, filled.len()));
+            for (i, c) in filled {
+                out.push_str(&format!(" {i} {c}"));
+            }
+        }
+        out.trim_start().to_string()
+    }
+
+    /// Decodes an [`encode_wire`](Snapshot::encode_wire) record.
+    /// `None` on any malformed token — the caller treats the frame as
+    /// a protocol violation, not a partial snapshot.
+    pub fn decode_wire(payload: &str) -> Option<Snapshot> {
+        let mut snap = Snapshot::default();
+        let mut fields = payload.split_whitespace();
+        while let Some(kind) = fields.next() {
+            let name = fields.next()?.to_string();
+            match kind {
+                "c" => {
+                    let v: u64 = fields.next()?.parse().ok()?;
+                    snap.counters.push((name, v));
+                }
+                "g" => {
+                    let v: i64 = fields.next()?.parse().ok()?;
+                    snap.gauges.push((name, v));
+                }
+                "h" => {
+                    let count: u64 = fields.next()?.parse().ok()?;
+                    let sum: u64 = fields.next()?.parse().ok()?;
+                    let nb: usize = fields.next()?.parse().ok()?;
+                    let mut h = HistogramSnapshot {
+                        buckets: [0; HISTOGRAM_BUCKETS],
+                        count,
+                        sum,
+                    };
+                    for _ in 0..nb {
+                        let i: usize = fields.next()?.parse().ok()?;
+                        let c: u64 = fields.next()?.parse().ok()?;
+                        if i >= HISTOGRAM_BUCKETS {
+                            return None;
+                        }
+                        h.buckets[i] = c;
+                    }
+                    snap.histograms.push((name, h));
+                }
+                _ => return None,
+            }
+        }
+        // Wire order is already name-sorted per kind (snapshots are),
+        // but decoding must not trust the peer: restore the invariant.
+        snap.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        snap.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        snap.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        Some(snap)
+    }
+
     /// Serializes the snapshot as JSON lines, one instrument per line,
     /// in name order (the format is documented in `DESIGN.md` §3e):
     ///
@@ -667,5 +815,124 @@ mod tests {
         let snap = r.snapshot().without_zeros();
         assert_eq!(snap.counters.len(), 1);
         assert!(snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn merge_is_bucket_wise_exact() {
+        let _guard = serial();
+        // Recording every sample into one histogram must equal
+        // recording them split across two and merging the snapshots —
+        // both sides share the power-of-two bucket boundaries.
+        let samples = [0u64, 1, 2, 3, 5, 900, 1000, 1100, 1 << 40];
+        let whole = Histogram::default();
+        let (left, right) = (Histogram::default(), Histogram::default());
+        for (i, &v) in samples.iter().enumerate() {
+            whole.record(v);
+            if i % 2 == 0 { &left } else { &right }.record(v);
+        }
+        let mut a = Snapshot {
+            histograms: vec![("m.hist".into(), left.snapshot())],
+            ..Snapshot::default()
+        };
+        let b = Snapshot {
+            histograms: vec![("m.hist".into(), right.snapshot())],
+            ..Snapshot::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.histogram("m.hist").unwrap(), &whole.snapshot());
+    }
+
+    #[test]
+    fn merge_resolves_collisions_by_kind() {
+        let mut a = Snapshot {
+            counters: vec![("pairs".into(), 100), ("x.only_a".into(), 1)],
+            gauges: vec![("depth".into(), 5)],
+            ..Snapshot::default()
+        };
+        let b = Snapshot {
+            counters: vec![("pairs".into(), 28), ("x.only_b".into(), 2)],
+            gauges: vec![("depth".into(), 9), ("other".into(), -1)],
+            ..Snapshot::default()
+        };
+        a.merge(&b);
+        // Counters add; gauges take the merged-in (fresher) reading;
+        // one-sided names survive; name order holds.
+        assert_eq!(a.counter("pairs"), Some(128));
+        assert_eq!(a.counter("x.only_a"), Some(1));
+        assert_eq!(a.counter("x.only_b"), Some(2));
+        assert_eq!(a.gauge("depth"), Some(9));
+        assert_eq!(a.gauge("other"), Some(-1));
+        let names: Vec<&str> = a.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["pairs", "x.only_a", "x.only_b"]);
+    }
+
+    #[test]
+    fn merge_composes_with_since_deltas() {
+        let _guard = serial();
+        // The fleet-merge use: two registries' job deltas, merged,
+        // equal the sum of the work each did during the job.
+        let (ra, rb) = (Registry::new(), Registry::new());
+        ra.counter("w.pairs").add(50); // pre-job noise
+        let (base_a, base_b) = (ra.snapshot(), rb.snapshot());
+        ra.counter("w.pairs").add(30);
+        rb.counter("w.pairs").add(12);
+        rb.histogram("w.lat").record(7);
+        let mut merged = ra.snapshot().since(&base_a);
+        merged.merge(&rb.snapshot().since(&base_b));
+        assert_eq!(merged.counter("w.pairs"), Some(42));
+        assert_eq!(merged.histogram("w.lat").unwrap().count, 1);
+    }
+
+    #[test]
+    fn with_label_tags_every_name() {
+        let snap = Snapshot {
+            counters: vec![("pairs".into(), 3)],
+            gauges: vec![("depth".into(), 1)],
+            histograms: vec![("lat".into(), Histogram::default().snapshot())],
+        };
+        let tagged = snap.with_label("worker", "c2");
+        assert_eq!(tagged.counter("pairs{worker=\"c2\"}"), Some(3));
+        assert_eq!(tagged.gauge("depth{worker=\"c2\"}"), Some(1));
+        assert!(tagged.histogram("lat{worker=\"c2\"}").is_some());
+        // Labeled and unlabeled names never collide on merge.
+        let mut both = snap.clone();
+        both.merge(&tagged);
+        assert_eq!(both.counter("pairs"), Some(3));
+        assert_eq!(both.counter("pairs{worker=\"c2\"}"), Some(3));
+    }
+
+    #[test]
+    fn wire_codec_round_trips() {
+        let _guard = serial();
+        let r = Registry::new();
+        r.counter("w.pairs").add(256);
+        r.gauge("w.depth").set(-3);
+        let h = r.histogram("w.lat");
+        for v in [1u64, 1, 900, 1 << 33] {
+            h.record(v);
+        }
+        let snap = r.snapshot();
+        let wire = snap.encode_wire();
+        assert!(!wire.contains('\n'), "must fit one frame: {wire}");
+        let back = Snapshot::decode_wire(&wire).unwrap();
+        assert_eq!(back.counters, snap.counters);
+        assert_eq!(back.gauges, snap.gauges);
+        assert_eq!(back.histograms, snap.histograms);
+        // An empty snapshot round-trips through an empty payload.
+        assert_eq!(Snapshot::decode_wire("").unwrap(), Snapshot::default());
+    }
+
+    #[test]
+    fn wire_decode_rejects_malformed_payloads() {
+        for bad in [
+            "c w.pairs",          // missing value
+            "q w.pairs 1",        // unknown kind
+            "c w.pairs 1x",       // unparseable number
+            "h w.lat 1 1 2 0 1",  // fewer bucket pairs than promised
+            "h w.lat 1 1 1 99 1", // bucket index out of range
+            "g w.depth",          // truncated
+        ] {
+            assert!(Snapshot::decode_wire(bad).is_none(), "accepted: {bad}");
+        }
     }
 }

@@ -1,0 +1,467 @@
+//! Tile-lifecycle timeline reconstruction from exported trace JSONL.
+//!
+//! The sharded coordinator and its workers each export span/event
+//! records through [`crate::trace::JsonlSubscriber`]; with trace
+//! propagation the coordinator already folds shipped worker records
+//! into its own stream, so one JSONL file (or several, concatenated)
+//! describes the whole fleet. This module turns that flat record
+//! stream back into the thing an operator actually asks about: **what
+//! happened to each tile** — when it was leased, dealt to a worker,
+//! heartbeat, committed (or expired / fell back to local compute) —
+//! and which tiles were stragglers.
+//!
+//! The lifecycle vocabulary is the coordinator's `shard.tile.*` event
+//! family, each carrying the global tile index as its value:
+//!
+//! | event                 | meaning                                    |
+//! |-----------------------|--------------------------------------------|
+//! | `shard.tile.lease`    | tile leased to a worker slot               |
+//! | `shard.tile.deal`     | chunk request written to the worker        |
+//! | `shard.tile.hb`       | worker heartbeat (value-carrying progress) |
+//! | `shard.tile.commit`   | epoch-checked commit accepted              |
+//! | `shard.tile.expire`   | lease expired, tile requeued               |
+//! | `shard.tile.fallback` | computed locally after fleet degradation   |
+//!
+//! The module also writes the reconstructed stream as chrome-trace
+//! `trace_event` JSON (load it in `chrome://tracing` / Perfetto), and
+//! checks span-tree integrity (`orphan_spans`) — the acceptance probe
+//! for cross-process parenting.
+
+use crate::json::{is_valid_json, write_json_f64, write_json_str};
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+
+/// A span parsed back from JSONL — [`crate::trace::SpanRecord`] with an
+/// owned name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OwnedSpan {
+    /// Span id (remapped worker ids included).
+    pub id: u64,
+    /// Parent span id, 0 for roots.
+    pub parent: u64,
+    /// Span name.
+    pub name: String,
+    /// Recording thread id (workers are remapped into a distinct range).
+    pub thread: u64,
+    /// Start, ns in the exporting coordinator's trace clock.
+    pub start_ns: u64,
+    /// Duration in ns.
+    pub dur_ns: u64,
+}
+
+/// An event parsed back from JSONL.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OwnedEvent {
+    /// Event name.
+    pub name: String,
+    /// Enclosing span id (0 = none).
+    pub span: u64,
+    /// Recording thread id.
+    pub thread: u64,
+    /// Time, ns in the exporting coordinator's trace clock.
+    pub t_ns: u64,
+    /// Numeric payload (tile index for the `shard.tile.*` family).
+    pub value: f64,
+}
+
+/// A parsed trace log: spans + events + a count of lines that were not
+/// recognizable records (blank lines and JSONL from other writers are
+/// skipped, not fatal — timelines are a diagnostic tool).
+#[derive(Debug, Default, Clone)]
+pub struct TraceLog {
+    /// Parsed spans, input order.
+    pub spans: Vec<OwnedSpan>,
+    /// Parsed events, input order.
+    pub events: Vec<OwnedEvent>,
+    /// Non-empty lines that were not valid span/event records.
+    pub skipped: usize,
+}
+
+impl TraceLog {
+    /// Parses JSONL text, appending to this log; call once per input
+    /// file to merge coordinator + standalone-worker exports.
+    pub fn extend_from_str(&mut self, text: &str) {
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if !is_valid_json(line) {
+                self.skipped += 1;
+                continue;
+            }
+            if line.contains("\"type\":\"span\"") {
+                if let Some(s) = parse_span_line(line) {
+                    self.spans.push(s);
+                    continue;
+                }
+            } else if line.contains("\"type\":\"event\"") {
+                if let Some(e) = parse_event_line(line) {
+                    self.events.push(e);
+                    continue;
+                }
+            }
+            self.skipped += 1;
+        }
+    }
+
+    /// Span ids whose parent is neither 0 nor a span present in the
+    /// log. On a complete fleet export this must be empty: every
+    /// shipped worker span was re-parented under a coordinator span
+    /// before export, so an orphan means records were lost or the
+    /// remap is broken.
+    pub fn orphan_spans(&self) -> Vec<u64> {
+        let known: std::collections::BTreeSet<u64> = self.spans.iter().map(|s| s.id).collect();
+        self.spans
+            .iter()
+            .filter(|s| s.parent != 0 && !known.contains(&s.parent))
+            .map(|s| s.id)
+            .collect()
+    }
+}
+
+/// Parses one file's worth of JSONL into a fresh log.
+pub fn parse_jsonl(text: &str) -> TraceLog {
+    let mut log = TraceLog::default();
+    log.extend_from_str(text);
+    log
+}
+
+/// Extracts the u64 value following `"key":` in a flat JSON line.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let tag = format!("\"{key}\":");
+    let rest = &line[line.find(&tag)? + tag.len()..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts the f64 (or `null` → NaN) following `"key":`.
+fn field_f64(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\":");
+    let rest = &line[line.find(&tag)? + tag.len()..];
+    if rest.starts_with("null") {
+        return Some(f64::NAN);
+    }
+    let end = rest
+        .find(|c: char| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts the string following `"key":"` (escape-aware).
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\":\"");
+    let rest = &line[line.find(&tag)? + tag.len()..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                '/' => out.push('/'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let cp = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(cp)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+fn parse_span_line(line: &str) -> Option<OwnedSpan> {
+    Some(OwnedSpan {
+        id: field_u64(line, "id")?,
+        parent: field_u64(line, "parent")?,
+        name: field_str(line, "name")?,
+        thread: field_u64(line, "thread")?,
+        start_ns: field_u64(line, "start_ns")?,
+        dur_ns: field_u64(line, "dur_ns")?,
+    })
+}
+
+fn parse_event_line(line: &str) -> Option<OwnedEvent> {
+    Some(OwnedEvent {
+        name: field_str(line, "name")?,
+        span: field_u64(line, "span")?,
+        thread: field_u64(line, "thread")?,
+        t_ns: field_u64(line, "t_ns")?,
+        value: field_f64(line, "value")?,
+    })
+}
+
+/// One tile's reconstructed lifecycle. Repeated phases (a tile can be
+/// leased, expired and re-leased several times under chaos) keep every
+/// occurrence, in time order.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct TileLifecycle {
+    /// Global tile index.
+    pub tile: u64,
+    /// `shard.tile.lease` timestamps.
+    pub lease_ns: Vec<u64>,
+    /// `shard.tile.deal` timestamps.
+    pub deal_ns: Vec<u64>,
+    /// `shard.tile.hb` timestamps.
+    pub hb_ns: Vec<u64>,
+    /// `shard.tile.expire` timestamps.
+    pub expire_ns: Vec<u64>,
+    /// `shard.tile.commit` timestamp, if the tile committed.
+    pub commit_ns: Option<u64>,
+    /// `shard.tile.fallback` timestamp, if computed locally.
+    pub fallback_ns: Option<u64>,
+}
+
+impl TileLifecycle {
+    /// When work on the tile first started (first lease, or the
+    /// fallback instant for tiles never leased).
+    pub fn start_ns(&self) -> Option<u64> {
+        self.lease_ns.first().copied().or(self.fallback_ns)
+    }
+
+    /// When the tile reached a terminal state (commit or fallback).
+    pub fn end_ns(&self) -> Option<u64> {
+        self.commit_ns.or(self.fallback_ns)
+    }
+
+    /// Wall time from first lease to terminal state.
+    pub fn duration_ns(&self) -> Option<u64> {
+        Some(self.end_ns()?.saturating_sub(self.start_ns()?))
+    }
+
+    /// Did the tile reach a terminal state?
+    pub fn complete(&self) -> bool {
+        self.end_ns().is_some()
+    }
+}
+
+/// Folds a log's `shard.tile.*` events into per-tile lifecycles,
+/// ordered by tile index. Events with non-finite values (a `null`ed
+/// payload) are ignored.
+pub fn build_timeline(log: &TraceLog) -> Vec<TileLifecycle> {
+    let mut tiles: BTreeMap<u64, TileLifecycle> = BTreeMap::new();
+    let mut sorted: Vec<&OwnedEvent> = log
+        .events
+        .iter()
+        .filter(|e| e.name.starts_with("shard.tile.") && e.value.is_finite() && e.value >= 0.0)
+        .collect();
+    sorted.sort_by_key(|e| e.t_ns);
+    for e in sorted {
+        let tile = e.value as u64;
+        let entry = tiles.entry(tile).or_insert_with(|| TileLifecycle {
+            tile,
+            ..TileLifecycle::default()
+        });
+        match e.name.as_str() {
+            "shard.tile.lease" => entry.lease_ns.push(e.t_ns),
+            "shard.tile.deal" => entry.deal_ns.push(e.t_ns),
+            "shard.tile.hb" => entry.hb_ns.push(e.t_ns),
+            "shard.tile.expire" => entry.expire_ns.push(e.t_ns),
+            "shard.tile.commit" => entry.commit_ns = Some(e.t_ns),
+            "shard.tile.fallback" => entry.fallback_ns = Some(e.t_ns),
+            _ => {}
+        }
+    }
+    tiles.into_values().collect()
+}
+
+/// Tiles whose lease→terminal duration exceeds the `pct`-th percentile
+/// of all complete tiles' durations — the straggler report, as
+/// `(tile, duration_ns)` pairs, slowest first. `pct` is clamped to
+/// `[0, 100]`; with fewer than two complete tiles nothing can be a
+/// straggler.
+pub fn stragglers(tiles: &[TileLifecycle], pct: f64) -> Vec<(u64, u64)> {
+    let mut durations: Vec<u64> = tiles
+        .iter()
+        .filter_map(TileLifecycle::duration_ns)
+        .collect();
+    if durations.len() < 2 {
+        return Vec::new();
+    }
+    durations.sort_unstable();
+    let pct = pct.clamp(0.0, 100.0);
+    let rank = ((pct / 100.0) * (durations.len() - 1) as f64).round() as usize;
+    let threshold = durations[rank.min(durations.len() - 1)];
+    let mut out: Vec<(u64, u64)> = tiles
+        .iter()
+        .filter_map(|t| Some((t.tile, t.duration_ns()?)))
+        .filter(|&(_, d)| d > threshold)
+        .collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1));
+    out
+}
+
+/// Writes the log as one chrome-trace JSON object
+/// (`{"traceEvents":[...]}`), loadable in `chrome://tracing` or
+/// Perfetto. Spans become complete (`"ph":"X"`) events, point events
+/// become instants (`"ph":"i"`); timestamps convert from ns to the
+/// format's µs.
+pub fn write_chrome_trace(log: &TraceLog, out: &mut dyn Write) -> io::Result<()> {
+    out.write_all(b"{\"traceEvents\":[")?;
+    let mut first = true;
+    let sep = |out: &mut dyn Write, first: &mut bool| -> io::Result<()> {
+        if *first {
+            *first = false;
+            Ok(())
+        } else {
+            out.write_all(b",\n")
+        }
+    };
+    for s in &log.spans {
+        sep(out, &mut first)?;
+        let mut line = String::with_capacity(128);
+        line.push_str("{\"name\":");
+        write_json_str(&mut line, &s.name);
+        line.push_str(&format!(
+            ",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{\"id\":{},\"parent\":{}}}}}",
+            s.thread,
+            s.start_ns as f64 / 1e3,
+            s.dur_ns as f64 / 1e3,
+            s.id,
+            s.parent
+        ));
+        out.write_all(line.as_bytes())?;
+    }
+    for e in &log.events {
+        sep(out, &mut first)?;
+        let mut line = String::with_capacity(128);
+        line.push_str("{\"name\":");
+        write_json_str(&mut line, &e.name);
+        line.push_str(&format!(
+            ",\"ph\":\"i\",\"s\":\"g\",\"pid\":1,\"tid\":{},\"ts\":{},\"args\":{{\"value\":",
+            e.thread,
+            e.t_ns as f64 / 1e3
+        ));
+        write_json_f64(&mut line, e.value);
+        line.push_str("}}");
+        out.write_all(line.as_bytes())?;
+    }
+    out.write_all(b"]}\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event_line(name: &str, t_ns: u64, value: f64) -> String {
+        format!(
+            "{{\"type\":\"event\",\"name\":\"{name}\",\"span\":0,\"thread\":1,\"t_ns\":{t_ns},\"value\":{value}}}"
+        )
+    }
+
+    #[test]
+    fn parses_exported_record_shapes() {
+        let text = concat!(
+            "{\"type\":\"span\",\"name\":\"job.shard\",\"id\":7,\"parent\":0,",
+            "\"thread\":1,\"start_ns\":100,\"dur_ns\":50}\n",
+            "{\"type\":\"event\",\"name\":\"shard.tile.lease\",\"span\":7,",
+            "\"thread\":1,\"t_ns\":120,\"value\":3}\n",
+            "not json at all\n",
+            "{\"type\":\"other\",\"name\":\"x\"}\n",
+        );
+        let log = parse_jsonl(text);
+        assert_eq!(log.spans.len(), 1);
+        assert_eq!(log.events.len(), 1);
+        assert_eq!(log.skipped, 2);
+        assert_eq!(log.spans[0].name, "job.shard");
+        assert_eq!(log.spans[0].start_ns, 100);
+        assert_eq!(log.events[0].value, 3.0);
+    }
+
+    #[test]
+    fn lifecycle_folds_events_per_tile_in_time_order() {
+        let mut text = String::new();
+        // Tile 0: lease → deal → hb → expire → lease → deal → commit,
+        // deliberately shuffled in input order.
+        for (name, t) in [
+            ("shard.tile.commit", 700u64),
+            ("shard.tile.lease", 100),
+            ("shard.tile.expire", 400),
+            ("shard.tile.deal", 150),
+            ("shard.tile.lease", 500),
+            ("shard.tile.hb", 300),
+            ("shard.tile.deal", 550),
+        ] {
+            text.push_str(&event_line(name, t, 0.0));
+            text.push('\n');
+        }
+        // Tile 1 never leased, computed locally.
+        text.push_str(&event_line("shard.tile.fallback", 900, 1.0));
+        let tiles = build_timeline(&parse_jsonl(&text));
+        assert_eq!(tiles.len(), 2);
+        let t0 = &tiles[0];
+        assert_eq!(t0.tile, 0);
+        assert_eq!(t0.lease_ns, vec![100, 500]);
+        assert_eq!(t0.deal_ns, vec![150, 550]);
+        assert_eq!(t0.expire_ns, vec![400]);
+        assert_eq!(t0.commit_ns, Some(700));
+        assert_eq!(t0.duration_ns(), Some(600));
+        assert!(t0.complete());
+        let t1 = &tiles[1];
+        assert_eq!(t1.tile, 1);
+        assert!(t1.lease_ns.is_empty());
+        assert_eq!(t1.end_ns(), Some(900));
+        assert_eq!(t1.duration_ns(), Some(0));
+    }
+
+    #[test]
+    fn stragglers_flag_only_tiles_beyond_the_percentile() {
+        let mut text = String::new();
+        // Nine 100ns tiles and one 10_000ns tile.
+        for tile in 0..10u64 {
+            let start = tile * 20_000;
+            let dur = if tile == 7 { 10_000 } else { 100 };
+            text.push_str(&event_line("shard.tile.lease", start, tile as f64));
+            text.push('\n');
+            text.push_str(&event_line("shard.tile.commit", start + dur, tile as f64));
+            text.push('\n');
+        }
+        let tiles = build_timeline(&parse_jsonl(&text));
+        let slow = stragglers(&tiles, 90.0);
+        assert_eq!(slow, vec![(7, 10_000)]);
+        // Everything is ≤ the 100th percentile.
+        assert!(stragglers(&tiles, 100.0).is_empty());
+        // A single tile can't be its own straggler.
+        assert!(stragglers(&tiles[..1], 50.0).is_empty());
+    }
+
+    #[test]
+    fn orphans_are_spans_with_unknown_parents() {
+        let text = concat!(
+            "{\"type\":\"span\",\"name\":\"root\",\"id\":1,\"parent\":0,",
+            "\"thread\":1,\"start_ns\":0,\"dur_ns\":10}\n",
+            "{\"type\":\"span\",\"name\":\"child\",\"id\":2,\"parent\":1,",
+            "\"thread\":1,\"start_ns\":1,\"dur_ns\":5}\n",
+            "{\"type\":\"span\",\"name\":\"lost\",\"id\":9,\"parent\":42,",
+            "\"thread\":2,\"start_ns\":2,\"dur_ns\":3}\n",
+        );
+        assert_eq!(parse_jsonl(text).orphan_spans(), vec![9]);
+    }
+
+    #[test]
+    fn chrome_trace_output_is_valid_json() {
+        let text = concat!(
+            "{\"type\":\"span\",\"name\":\"job.shard\",\"id\":1,\"parent\":0,",
+            "\"thread\":1,\"start_ns\":1500,\"dur_ns\":2500}\n",
+            "{\"type\":\"event\",\"name\":\"shard.tile.commit\",\"span\":1,",
+            "\"thread\":1,\"t_ns\":3000,\"value\":0}\n",
+        );
+        let log = parse_jsonl(text);
+        let mut out = Vec::new();
+        write_chrome_trace(&log, &mut out).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(is_valid_json(s.trim()), "{s}");
+        assert!(s.contains("\"ph\":\"X\""));
+        assert!(s.contains("\"ph\":\"i\""));
+        assert!(s.contains("\"ts\":1.5"));
+    }
+}

@@ -243,6 +243,120 @@ pub fn event(name: &'static str, value: f64) {
     }
 }
 
+/// The innermost open span id on this thread (0 = none) — what a
+/// coordinator forwards to a remote worker as the parent for its span
+/// tree. Same semantics as [`Span::id`] on the enclosing span.
+#[inline]
+pub fn current_span_id() -> u64 {
+    CURRENT_SPAN.with(|c| c.get())
+}
+
+/// Delivers a pre-built span record to the installed subscriber, if
+/// any. This is the re-emission door for spans that were recorded in
+/// *another process* (a shipped worker span buffer): the coordinator
+/// remaps ids/clocks and replays them here so one subscriber sees the
+/// whole fleet. No-op when tracing is disabled.
+pub fn emit_span(record: &SpanRecord) {
+    if !tracing_enabled() {
+        return;
+    }
+    if let Some(sub) = subscriber() {
+        sub.on_span(record);
+    }
+}
+
+/// [`emit_span`]'s counterpart for events.
+pub fn emit_event(record: &EventRecord) {
+    if !tracing_enabled() {
+        return;
+    }
+    if let Some(sub) = subscriber() {
+        sub.on_event(record);
+    }
+}
+
+/// Interns a runtime string as a `&'static str` — span/event names in
+/// records are static, but names arriving over the wire are not.
+/// Interned names live for the process lifetime; the table holds one
+/// entry per *distinct* name, and span vocabularies are small static
+/// sets, so the leak is bounded.
+pub fn intern_name(name: &str) -> &'static str {
+    static TABLE: Mutex<Option<std::collections::BTreeSet<&'static str>>> = Mutex::new(None);
+    let mut table = TABLE.lock().unwrap();
+    let table = table.get_or_insert_with(Default::default);
+    if let Some(existing) = table.get(name) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    table.insert(leaked);
+    leaked
+}
+
+/// Maps another process's monotonic-ns trace clock onto this one.
+///
+/// Each process's [`now_ns`] counts from its own arbitrary epoch (the
+/// first call in that process), so raw worker timestamps are
+/// meaningless coordinator-side. The wire handshake has the worker
+/// report its current `now_ns` reading; the coordinator pairs it with
+/// its own reading at receipt, and the difference maps every
+/// subsequent worker timestamp into coordinator time. The mapping
+/// absorbs the network latency of the handshake leg (worker spans can
+/// appear up to one round-trip early); on loopback that skew is
+/// microseconds — fine for timelines, not for auditing causality.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClockMap {
+    /// Added to remote timestamps to land in local trace time.
+    pub offset_ns: i64,
+}
+
+impl ClockMap {
+    /// A mapping from a remote clock reading paired with the local
+    /// reading taken when it arrived.
+    pub fn from_exchange(remote_now_ns: u64, local_now_ns: u64) -> ClockMap {
+        ClockMap {
+            offset_ns: i64::try_from(local_now_ns)
+                .unwrap_or(i64::MAX)
+                .saturating_sub(i64::try_from(remote_now_ns).unwrap_or(i64::MAX)),
+        }
+    }
+
+    /// A remote timestamp in local trace time (saturating at 0).
+    pub fn to_local(&self, remote_ns: u64) -> u64 {
+        let shifted = i64::try_from(remote_ns)
+            .unwrap_or(i64::MAX)
+            .saturating_add(self.offset_ns);
+        u64::try_from(shifted).unwrap_or(0)
+    }
+}
+
+/// Fans records out to several subscribers — e.g. a [`RingRecorder`]
+/// for in-test assertions *and* a [`JsonlSubscriber`] for timeline
+/// export, simultaneously.
+pub struct FanoutSubscriber {
+    subs: Vec<Arc<dyn Subscriber>>,
+}
+
+impl FanoutSubscriber {
+    /// A fanout over `subs`, delivered in order.
+    pub fn new(subs: Vec<Arc<dyn Subscriber>>) -> Self {
+        FanoutSubscriber { subs }
+    }
+}
+
+impl Subscriber for FanoutSubscriber {
+    fn on_span(&self, span: &SpanRecord) {
+        for sub in &self.subs {
+            sub.on_span(span);
+        }
+    }
+
+    fn on_event(&self, event: &EventRecord) {
+        for sub in &self.subs {
+            sub.on_event(event);
+        }
+    }
+}
+
 /// A subscriber that receives and discards everything — the cost
 /// baseline for the overhead-guard tests (record building + dispatch,
 /// no I/O).
@@ -549,6 +663,63 @@ mod tests {
         assert!(lines[0].contains("\"type\":\"event\""), "{}", lines[0]);
         assert!(lines[1].contains("\"type\":\"span\""), "{}", lines[1]);
         assert!(lines[1].contains("\"name\":\"stage.one\""), "{}", lines[1]);
+    }
+
+    #[test]
+    fn clock_map_shifts_remote_timestamps() {
+        // Worker clock started 1000ns "after" ours: remote 50 ↔ local 1050.
+        let map = ClockMap::from_exchange(50, 1050);
+        assert_eq!(map.offset_ns, 1000);
+        assert_eq!(map.to_local(50), 1050);
+        assert_eq!(map.to_local(0), 1000);
+        // Negative offsets clamp at zero rather than wrapping.
+        let map = ClockMap::from_exchange(5000, 10);
+        assert_eq!(map.to_local(0), 0);
+        assert_eq!(map.to_local(6000), 1010);
+    }
+
+    #[test]
+    fn intern_name_dedups_to_one_static() {
+        let a = intern_name("shard.tile.lease");
+        let b = intern_name(&String::from("shard.tile.lease"));
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(a, "shard.tile.lease");
+    }
+
+    #[test]
+    fn fanout_and_emit_replay_remote_records() {
+        let _guard = serial();
+        let ring_a = Arc::new(RingRecorder::new(8));
+        let ring_b = Arc::new(RingRecorder::new(8));
+        set_subscriber(Arc::new(FanoutSubscriber::new(vec![
+            ring_a.clone(),
+            ring_b.clone(),
+        ])));
+        let shipped = SpanRecord {
+            id: (3 << 32) | 7,
+            parent: 2,
+            name: intern_name("worker.chunk"),
+            thread: 99,
+            start_ns: 123,
+            dur_ns: 456,
+        };
+        emit_span(&shipped);
+        emit_event(&EventRecord {
+            name: intern_name("worker.tile"),
+            span: shipped.id,
+            thread: 99,
+            t_ns: 150,
+            value: 4.0,
+        });
+        clear_subscriber();
+        for ring in [&ring_a, &ring_b] {
+            assert_eq!(ring.spans(), vec![shipped.clone()]);
+            assert_eq!(ring.events().len(), 1);
+            assert_eq!(ring.events()[0].span, shipped.id);
+        }
+        // Disabled tracing makes emit a no-op, like span()/event().
+        emit_span(&shipped);
+        assert!(ring_a.spans().len() == 1);
     }
 
     #[test]

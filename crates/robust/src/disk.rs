@@ -175,7 +175,27 @@ impl FaultyStorage {
     }
 
     fn record(&self, write_index: u64, path: &Path, fault: DiskFault) {
+        // Telemetry mirrors the ledger one-to-one — chaos suites
+        // reconcile the per-kind counters against `injected()` exactly.
         sts_obs::static_counter!("robust.disk.injected").incr();
+        match fault {
+            DiskFault::TornWrite => {
+                sts_obs::static_counter!("robust.disk.injected.torn").incr();
+                sts_obs::trace::event("robust.disk.torn", write_index as f64);
+            }
+            DiskFault::BitFlip => {
+                sts_obs::static_counter!("robust.disk.injected.bitflip").incr();
+                sts_obs::trace::event("robust.disk.bitflip", write_index as f64);
+            }
+            DiskFault::Enospc => {
+                sts_obs::static_counter!("robust.disk.injected.enospc").incr();
+                sts_obs::trace::event("robust.disk.enospc", write_index as f64);
+            }
+            DiskFault::StaleTmp => {
+                sts_obs::static_counter!("robust.disk.injected.stale_tmp").incr();
+                sts_obs::trace::event("robust.disk.stale_tmp", write_index as f64);
+            }
+        }
         self.log.lock().unwrap().push(InjectedFault {
             write_index,
             path: path.to_path_buf(),

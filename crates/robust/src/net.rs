@@ -217,7 +217,36 @@ impl NetChaos {
 impl NetInjector for NetChaos {
     fn fault_for(&self, index: u64, dir: NetDirection) -> Option<NetFault> {
         let fault = self.plan.fault_for(index, dir)?;
+        // Telemetry mirrors the ledger one-to-one — the chaos suites
+        // assert the two reconcile exactly, so a fault that fires
+        // without a counter increment (or vice versa) is a bug here.
         sts_obs::static_counter!("robust.net.injected").incr();
+        match fault {
+            NetFault::Drop => {
+                sts_obs::static_counter!("robust.net.injected.drop").incr();
+                sts_obs::trace::event("robust.net.drop", index as f64);
+            }
+            NetFault::Delay(_) => {
+                sts_obs::static_counter!("robust.net.injected.delay").incr();
+                sts_obs::trace::event("robust.net.delay", index as f64);
+            }
+            NetFault::Corrupt => {
+                sts_obs::static_counter!("robust.net.injected.corrupt").incr();
+                sts_obs::trace::event("robust.net.corrupt", index as f64);
+            }
+            NetFault::Duplicate => {
+                sts_obs::static_counter!("robust.net.injected.duplicate").incr();
+                sts_obs::trace::event("robust.net.duplicate", index as f64);
+            }
+            NetFault::Disconnect => {
+                sts_obs::static_counter!("robust.net.injected.disconnect").incr();
+                sts_obs::trace::event("robust.net.disconnect", index as f64);
+            }
+            NetFault::Wedge => {
+                sts_obs::static_counter!("robust.net.injected.wedge").incr();
+                sts_obs::trace::event("robust.net.wedge", index as f64);
+            }
+        }
         self.log
             .lock()
             .unwrap()

@@ -1,0 +1,282 @@
+//! Chaos observability: the fault-injection ledgers and the telemetry
+//! plane must tell the same story, end to end.
+//!
+//! A sharded job runs over a hostile transport with `telemetry: true`;
+//! afterwards the job report's merged metrics (coordinator delta plus
+//! the workers' wire-shipped snapshots) are reconciled against
+//! [`NetChaos`]'s injection ledger and the coordinator's `ShardStats`:
+//!
+//! * every injected fault kind appears in the metrics delta with
+//!   exactly the ledger's count (`robust.net.injected.*`);
+//! * detected garbage frames (`shard.frames.corrupt`) equal both the
+//!   `ShardStats` count and the ledger's recv-corruption count;
+//! * the coordinator's commit tally (`shard.pairs.committed`) equals
+//!   the pairs the fleet actually committed — matrix pairs minus
+//!   local-fallback pairs — and per-worker attribution sums to it;
+//! * on a harmless-by-construction plan (sub-lease delays only), the
+//!   fleet-summed `core.pairs.scored` equals the matrix pair count
+//!   *exactly*: real subprocess workers own their registries, so
+//!   shipped deltas are pure worker work. Under lossy chaos the same
+//!   counter is `>=` committed work (expired leases re-score).
+//!
+//! Tests serialize on one mutex: the metrics registry is process-wide
+//! and these assertions are exact deltas.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+use sts_core::{
+    default_worker_path, ExecMode, JobConfig, ShardOptions, Sts, StsConfig, TileConfig,
+};
+use sts_geo::{BoundingBox, Grid, Point};
+use sts_isolate::{NetDirection, NetFault};
+use sts_rng::{Rng, Xoshiro256pp};
+use sts_robust::{NetChaos, NetFaultPlan};
+use sts_runtime::ShardStats;
+use sts_traj::{TrajPoint, Trajectory};
+
+const N_TRAJECTORIES: usize = 16;
+const N_PAIRS: u64 = (N_TRAJECTORIES * N_TRAJECTORIES) as u64;
+const TILE_PAIRS: usize = 32;
+
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn grid() -> Grid {
+    Grid::new(
+        BoundingBox::new(Point::ORIGIN, Point::new(400.0, 200.0)),
+        8.0,
+    )
+    .unwrap()
+}
+
+fn corpus(seed: u64, n: usize) -> Vec<Trajectory> {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let y = rng.random_range(5.0..190.0);
+            let phase = rng.random_range(0.0..20.0);
+            let speed = rng.random_range(1.0..3.0);
+            Trajectory::new(
+                (0..4)
+                    .map(|i| {
+                        let t = phase + 12.0 * i as f64;
+                        TrajPoint::from_xy(speed * t, y, t)
+                    })
+                    .collect(),
+            )
+            .unwrap()
+        })
+        .collect()
+}
+
+struct TempTiles(PathBuf);
+
+impl TempTiles {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("sts-chaos-telemetry-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        TempTiles(dir)
+    }
+}
+
+impl Drop for TempTiles {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// One sharded run over `plan` with real `sts-worker serve-tcp`
+/// subprocesses and telemetry on. `None` when the worker binary is
+/// not built (the suite then skips, like the other subprocess suites).
+fn telemetry_run(
+    seed: u64,
+    plan: NetFaultPlan,
+    tag: &str,
+) -> Option<(ShardStats, Arc<NetChaos>, sts_obs::Snapshot)> {
+    let worker = default_worker_path();
+    if !worker.is_file() {
+        eprintln!(
+            "skipping chaos telemetry: worker binary not built at {}",
+            worker.display()
+        );
+        return None;
+    }
+    let sts = Sts::new(StsConfig::default(), grid());
+    let queries = corpus(0x5EA0 + seed, N_TRAJECTORIES);
+    let candidates = corpus(0xC0DE + seed, N_TRAJECTORIES);
+    let chaos = Arc::new(NetChaos::new(plan));
+    let tiles = TempTiles::new(&format!("{tag}-{seed}"));
+    let tiling = TileConfig {
+        tile_pairs: TILE_PAIRS,
+        ..TileConfig::new(&tiles.0)
+    };
+    let cfg = JobConfig {
+        telemetry: true,
+        exec: ExecMode::Sharded(ShardOptions {
+            worker: Some(worker),
+            workers: 3,
+            lease_timeout: Duration::from_millis(500),
+            ready_timeout: Duration::from_secs(5),
+            hb_every: 4,
+            restart_budget: 64,
+            backoff_base: Duration::from_micros(50),
+            backoff_cap: Duration::from_micros(500),
+            injector: Some(chaos.clone() as Arc<dyn sts_isolate::NetInjector>),
+            ..ShardOptions::default()
+        }),
+        ..JobConfig::default()
+    };
+    let (_, report) = sts
+        .similarity_matrix_tiled(&queries, &candidates, &cfg, &tiling)
+        .unwrap();
+    assert!(report.is_complete(), "seed={seed}: {report}");
+    let shard = report.stats.shard.expect("sharded job reports ShardStats");
+    let metrics = report.telemetry.expect("telemetry was requested").metrics;
+    Some((shard, chaos, metrics))
+}
+
+fn recv_corrupt(chaos: &NetChaos) -> usize {
+    chaos
+        .injected()
+        .iter()
+        .filter(|f| f.dir == NetDirection::Recv && f.fault == NetFault::Corrupt)
+        .count()
+}
+
+/// Mixed chaos: the metrics delta, the `ShardStats` counters and the
+/// injection ledger must reconcile exactly wherever the fault class
+/// admits exact accounting.
+#[test]
+fn merged_telemetry_reconciles_with_ledger_and_shard_stats() {
+    let _guard = serial();
+    let mut injected_total = 0usize;
+    for seed in 0..2 {
+        let plan = NetFaultPlan {
+            seed: 0x0E7C_4A05 ^ seed,
+            drop_per_mille: 8,
+            delay_per_mille: 10,
+            corrupt_per_mille: 8,
+            duplicate_per_mille: 8,
+            disconnect_per_mille: 5,
+            wedge_per_mille: 3,
+            delay: Duration::from_millis(5),
+        };
+        let Some((shard, chaos, metrics)) = telemetry_run(seed, plan, "mixed") else {
+            return;
+        };
+        let counts = chaos.counts();
+        injected_total += counts.total();
+        // Ledger ↔ telemetry: per-kind injection counters mirror the
+        // ledger one-to-one (absent counter == zero fired).
+        for (name, ledger) in [
+            ("robust.net.injected", counts.total()),
+            ("robust.net.injected.drop", counts.dropped),
+            ("robust.net.injected.delay", counts.delayed),
+            ("robust.net.injected.corrupt", counts.corrupted),
+            ("robust.net.injected.duplicate", counts.duplicated),
+            ("robust.net.injected.disconnect", counts.disconnected),
+            ("robust.net.injected.wedge", counts.wedged),
+        ] {
+            assert_eq!(
+                metrics.counter(name).unwrap_or(0),
+                ledger as u64,
+                "seed={seed}: {name} drifted from the injection ledger"
+            );
+        }
+        // Detection ↔ ledger ↔ stats: every recv-corruption surfaces
+        // as exactly one counted garbage frame, in both views.
+        assert_eq!(shard.frames_corrupt, recv_corrupt(&chaos), "seed={seed}");
+        assert_eq!(
+            metrics.counter("shard.frames.corrupt").unwrap_or(0),
+            shard.frames_corrupt as u64,
+            "seed={seed}: metrics and ShardStats disagree on corrupt frames"
+        );
+        // Commit accounting: the fleet committed exactly the pairs the
+        // local fallback did not, and per-worker attribution sums to
+        // the coordinator's tally.
+        let fleet_committed = N_PAIRS - (shard.tiles_local_fallback * TILE_PAIRS) as u64;
+        assert_eq!(
+            metrics.counter("shard.pairs.committed"),
+            Some(fleet_committed),
+            "seed={seed}: committed pairs must equal matrix minus fallback ({shard:?})"
+        );
+        let attributed: u64 = metrics
+            .counters
+            .iter()
+            .filter(|(n, _)| n.starts_with("shard.pairs.committed{worker="))
+            .map(|&(_, v)| v)
+            .sum();
+        assert_eq!(attributed, fleet_committed, "seed={seed}");
+        // Work performed: cumulative worker snapshots ride the wire,
+        // so a drop can eat a worker's *final* round before it dies —
+        // under lossy chaos the fleet-summed scored count is a lower
+        // bound on performed work, not an exact figure (the delay-only
+        // test below proves exactness where it is provable).
+        assert!(
+            metrics.counter("core.pairs.scored").unwrap_or(0) > 0,
+            "seed={seed}: no worker-shipped scored-pair telemetry arrived at all"
+        );
+        assert!(
+            shard.telemetry_flushes <= shard.workers_spawned,
+            "seed={seed}: more flushes than workers ({shard:?})"
+        );
+    }
+    assert!(injected_total > 0, "the chaos plans never fired");
+}
+
+/// Sub-lease delays are harmless by construction, which makes the
+/// accounting *fully* exact: no lease expires, no worker restarts, so
+/// every pair is scored exactly once somewhere in the fleet and every
+/// worker flushes cleanly at shutdown.
+#[test]
+fn harmless_chaos_makes_fleet_accounting_exact() {
+    let _guard = serial();
+    for seed in 0..2 {
+        let plan = NetFaultPlan {
+            delay_per_mille: 300,
+            delay: Duration::from_millis(5),
+            ..NetFaultPlan::none(0xDE1A_7000 ^ seed)
+        };
+        let Some((shard, chaos, metrics)) = telemetry_run(seed, plan, "delay") else {
+            return;
+        };
+        assert!(chaos.counts().delayed > 0, "seed={seed}: plan never fired");
+        assert_eq!(
+            (
+                shard.leases_expired,
+                shard.worker_restarts,
+                shard.tiles_local_fallback
+            ),
+            (0, 0, 0),
+            "seed={seed}: sub-lease delays must be invisible to recovery ({shard:?})"
+        );
+        assert_eq!(
+            metrics.counter("core.pairs.scored"),
+            Some(N_PAIRS),
+            "seed={seed}: fleet-summed scored pairs == matrix pair count"
+        );
+        assert_eq!(
+            metrics.counter("shard.pairs.committed"),
+            Some(N_PAIRS),
+            "seed={seed}"
+        );
+        let attributed: u64 = metrics
+            .counters
+            .iter()
+            .filter(|(n, _)| n.starts_with("core.pairs.scored{worker="))
+            .map(|&(_, v)| v)
+            .sum();
+        assert_eq!(
+            attributed, N_PAIRS,
+            "seed={seed}: per-worker attribution sums to the fleet total"
+        );
+        assert_eq!(
+            shard.telemetry_flushes, shard.workers_spawned,
+            "seed={seed}: every worker flushes once on a clean shutdown ({shard:?})"
+        );
+    }
+}

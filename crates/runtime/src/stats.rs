@@ -187,6 +187,10 @@ pub struct ShardStats {
     /// graceful-degradation path (the job completes in-process instead
     /// of failing).
     pub tiles_local_fallback: usize,
+    /// Clean final telemetry flushes received from shutting-down
+    /// workers (`bye` frames): `== workers alive at shutdown` on a
+    /// healthy run, fewer under chaos.
+    pub telemetry_flushes: usize,
 }
 
 impl fmt::Display for ShardStats {
@@ -195,7 +199,8 @@ impl fmt::Display for ShardStats {
             f,
             "{} worker(s) spawned ({} restart(s), {} rejected), \
              {} lease(s) ({} expired, {} commit(s) refused), \
-             {} corrupt frame(s), {} local-fallback tile(s)",
+             {} corrupt frame(s), {} local-fallback tile(s), \
+             {} telemetry flush(es)",
             self.workers_spawned,
             self.worker_restarts,
             self.workers_rejected,
@@ -204,6 +209,7 @@ impl fmt::Display for ShardStats {
             self.commits_refused,
             self.frames_corrupt,
             self.tiles_local_fallback,
+            self.telemetry_flushes,
         )
     }
 }
@@ -485,6 +491,7 @@ mod tests {
             commits_refused: 1,
             frames_corrupt: 3,
             tiles_local_fallback: 0,
+            telemetry_flushes: 2,
         });
         let text = s.to_string();
         assert!(text.contains("shard: 4 worker(s) spawned"), "{text}");

@@ -21,6 +21,20 @@ run_seeded() {
     fi
 }
 
+# Pulls every `*pairs_per_sec` extra out of a bench snapshot as
+# "suite/metric value" lines (the extras are one-per-line JSON objects,
+# so line-oriented awk is enough — no JSON parser in the image).
+bench_rates() {
+    awk '
+        /"suite":/ { suite = $2; gsub(/[",]/, "", suite) }
+        /"name": "[A-Za-z0-9_]*pairs_per_sec"/ {
+            name = $0; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+            val = $0; sub(/.*"value": /, "", val); sub(/[,}].*/, "", val)
+            print suite "/" name, val
+        }
+    ' "$1"
+}
+
 echo "== build (release, offline) =="
 cargo build --workspace --release --offline
 
@@ -136,6 +150,33 @@ if cargo run -p sts-bench --release --offline --bin perf -- --quick --json BENCH
 else
     echo "shard bench snapshot failed (non-gating); continuing"
 fi
+
+# Non-gating bench regression: every `*pairs_per_sec` extra in the
+# fresh BENCH_tier1.json / BENCH_shard.json snapshots is compared
+# against the committed baselines (`git show HEAD:<snap>`), as a delta
+# table. Throughput on shared CI hardware is noisy, so a regression
+# beyond 25% only warns — this step never fails the gate.
+echo "== bench regression vs committed baselines (non-gating) =="
+for snap in BENCH_tier1.json BENCH_shard.json; do
+    if ! baseline="$(git show "HEAD:${snap}" 2>/dev/null)"; then
+        echo "no committed baseline for ${snap}; skipping"
+        continue
+    fi
+    if [ ! -f "${snap}" ]; then
+        echo "no fresh ${snap} (snapshot step above failed); skipping"
+        continue
+    fi
+    echo "-- ${snap} --"
+    printf '  %-40s %14s %14s %9s\n' metric baseline fresh delta
+    join <(bench_rates <(printf '%s\n' "$baseline") | sort) \
+        <(bench_rates "${snap}" | sort) |
+        awk '{
+            base = $2; fresh = $3
+            delta = (base > 0) ? (fresh - base) / base * 100 : 0
+            flag = (delta < -25) ? "  <-- WARNING: >25% regression" : ""
+            printf "  %-40s %14.1f %14.1f %+8.1f%%%s\n", $1, base, fresh, delta, flag
+        }'
+done
 
 echo "== format =="
 if cargo fmt --version >/dev/null 2>&1; then

@@ -60,7 +60,14 @@ fn main() -> ExitCode {
 /// Serve the wire protocol until the supervisor hangs up. A protocol
 /// error (torn frame, dead pipe) is a nonzero exit the supervisor will
 /// see and attribute; it must not look like success.
+///
+/// `STS_TRACE`/`STS_METRICS` work here exactly as in the coordinator,
+/// with one twist: a file-path `STS_TRACE` gets `.<pid>` appended, so
+/// a worker inheriting its coordinator's environment streams its own
+/// trace JSONL to its own file (on top of whatever telemetry it ships
+/// over the wire) instead of truncating the coordinator's.
 fn run_serve() -> ExitCode {
+    sts_obs::init_from_env_suffixed(Some(&std::process::id().to_string()));
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     match sts_core::serve(&mut stdin.lock(), &mut stdout.lock()) {
@@ -76,6 +83,7 @@ fn run_serve() -> ExitCode {
 /// over the socket until it hangs up. Same error contract as stdio
 /// serving: a protocol failure is a nonzero exit, never a fake success.
 fn run_serve_tcp(addr: &str) -> ExitCode {
+    sts_obs::init_from_env_suffixed(Some(&std::process::id().to_string()));
     let stream = match std::net::TcpStream::connect(addr) {
         Ok(s) => s,
         Err(e) => {
