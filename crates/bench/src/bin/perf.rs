@@ -137,14 +137,16 @@ fn main() -> ExitCode {
 /// each tile's lease → commit walk, flag stragglers beyond the
 /// percentile threshold, and optionally write a chrome-trace JSON.
 fn run_timeline(path: &str, straggler_pct: f64, json_out: Option<&str>) -> ExitCode {
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
+    // `load_trace` fails typed on a missing, empty, record-free or
+    // mid-write-truncated file — an empty timeline report silently
+    // inverting a straggler analysis is worse than no report.
+    let log = match sts_obs::load_trace(std::path::Path::new(path)) {
+        Ok(log) => log,
         Err(e) => {
-            eprintln!("cannot read {path}: {e}");
+            eprintln!("timeline error: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let log = sts_obs::parse_jsonl(&text);
     if log.skipped > 0 {
         eprintln!(
             "warning: skipped {} non-trace line(s) in {path}",
@@ -217,6 +219,7 @@ fn print_usage() {
          perf --timeline <trace.jsonl> [--straggler-pct <p>] [--json <chrome-trace-out>]"
     );
     eprintln!(
-        "suites: similarity, grid_size, matching, stp, stp_cache, substrates, chaos, runtime, tiles"
+        "suites: similarity, grid_size, matching, stp, stp_cache, substrates, chaos, runtime, \
+         tiles, shard, serve"
     );
 }

@@ -48,6 +48,7 @@ pub fn all_suites() -> Vec<(&'static str, fn(&TimingConfig) -> PerfReport)> {
         ("runtime", runtime),
         ("tiles", tiles),
         ("shard", shard),
+        ("serve", serve),
     ]
 }
 
@@ -623,6 +624,125 @@ pub fn shard(config: &TimingConfig) -> PerfReport {
 
     PerfReport {
         suite: "shard",
+        entries,
+        extras,
+    }
+}
+
+/// The streaming co-location service: ack'd ingest and windowed-query
+/// round-trips against a live `sts-serve` instance over loopback TCP,
+/// plus the durability-path extras quoted in README §"Online serving"
+/// — ack'd ingest throughput, query latency quantiles measured
+/// client-side, and the WAL-replay recovery time for the whole
+/// ingested history.
+pub fn serve(config: &TimingConfig) -> PerfReport {
+    use sts_serve::{Ping, ServeClient, ServeOptions, Server};
+    const OBJECTS: u64 = 16;
+    let dir = std::env::temp_dir().join(format!("sts-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let h = Server::start(
+        ServeOptions::new(&dir),
+        std::sync::Arc::new(sts_runtime::FsStorage),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let mut c = ServeClient::connect(h.addr()).unwrap();
+    // Seq-indexed walk over a fixed object fleet: time advances with
+    // seq, so every generated ping is fresh and applies.
+    let ping = |seq: u64| {
+        let obj = seq % OBJECTS;
+        Ping {
+            seq,
+            obj,
+            t: seq as f64 / OBJECTS as f64,
+            x: 20.0 + (obj as f64 * 3.7 + seq as f64 * 0.01) % 60.0,
+            y: 20.0 + (obj as f64 * 5.3 + seq as f64 * 0.007) % 60.0,
+        }
+    };
+    // Warm every object past the cold-model threshold.
+    let mut seq = 0u64;
+    for _ in 0..4 * OBJECTS {
+        seq += 1;
+        c.ingest_until_acked(&ping(seq)).unwrap();
+    }
+    c.flush().unwrap();
+    let t_hi = seq as f64 / OBJECTS as f64;
+
+    let mut next = seq;
+    let entries = vec![
+        (
+            "ingest_acked".to_string(),
+            time(config, || {
+                next += 1;
+                c.ingest_until_acked(&ping(next)).unwrap()
+            }),
+        ),
+        (
+            "coloc_window_7".to_string(),
+            time(config, || c.colocate_raw(0, 1, 0.0, t_hi, 7).unwrap()),
+        ),
+        (
+            "topk_16_obj".to_string(),
+            time(config, || c.topk_raw(0, 0.0, t_hi, 5, 4).unwrap()),
+        ),
+        (
+            "hello_roundtrip".to_string(),
+            time(config, || c.hello().unwrap()),
+        ),
+    ];
+    seq = next;
+
+    let mut extras = Vec::new();
+    // Ack'd ingest throughput: a dedicated pipelined burst (send all,
+    // drain all acks), made durable before the clock stops.
+    let burst: Vec<Ping> = (1..=1024).map(|i| ping(seq + i)).collect();
+    let started = std::time::Instant::now();
+    let (ok, _busy) = c.ingest_pipelined(&burst).unwrap();
+    c.flush().unwrap();
+    let elapsed = started.elapsed().as_secs_f64();
+    if elapsed > 0.0 {
+        extras.push(("ingest_records_per_sec".to_string(), ok as f64 / elapsed));
+    }
+    // Client-observed query latency quantiles over individual
+    // round-trips (the `time` entries above report batch means, which
+    // hide the tail).
+    let mut lat_ns: Vec<f64> = (0..200)
+        .map(|i| {
+            let started = std::time::Instant::now();
+            c.colocate_raw(i % OBJECTS, (i + 1) % OBJECTS, 0.0, t_hi, 7)
+                .unwrap();
+            started.elapsed().as_nanos() as f64
+        })
+        .collect();
+    lat_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    extras.push(("query_p50_ns".to_string(), lat_ns[lat_ns.len() / 2]));
+    extras.push(("query_p99_ns".to_string(), lat_ns[lat_ns.len() * 99 / 100]));
+    drop(c);
+    h.shutdown();
+
+    // Recovery time: reopen the directory and replay the full WAL
+    // history written above (no snapshot ever ran, so this is the
+    // worst-case replay for this ingest volume).
+    let started = std::time::Instant::now();
+    let h2 = Server::start(
+        ServeOptions::new(&dir),
+        std::sync::Arc::new(sts_runtime::FsStorage),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    extras.push((
+        "recovery_replay_ms".to_string(),
+        started.elapsed().as_secs_f64() * 1e3,
+    ));
+    extras.push((
+        "recovery_replayed_records".to_string(),
+        h2.stats().get("recovered_records").unwrap_or(0) as f64,
+    ));
+    h2.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    PerfReport {
+        suite: "serve",
         entries,
         extras,
     }

@@ -22,7 +22,7 @@
 //! sound recovery is to discard the connection (which is exactly what
 //! the coordinator does — the lease has expired anyway).
 
-use crate::protocol::{read_frame, write_frame, ProtocolError};
+use crate::protocol::{read_frame_capped, write_frame, ProtocolError, MAX_FRAME_BYTES};
 use std::io::{self, BufReader, Write};
 use std::net::{Shutdown, TcpStream};
 use std::sync::Arc;
@@ -84,6 +84,7 @@ pub struct FrameConn {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     injector: Option<Arc<dyn NetInjector>>,
+    frame_cap: usize,
     sent: u64,
     received: u64,
     /// A recv-side duplicated frame waiting to be surfaced again.
@@ -102,16 +103,36 @@ impl FrameConn {
         stream: TcpStream,
         injector: Option<Arc<dyn NetInjector>>,
     ) -> io::Result<FrameConn> {
+        // Frames are request/response turns the peer blocks on; Nagle
+        // buys nothing here and costs a delayed-ACK stall per frame.
+        stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
         Ok(FrameConn {
             reader: BufReader::new(stream),
             writer,
             injector,
+            frame_cap: MAX_FRAME_BYTES,
             sent: 0,
             received: 0,
             pending: None,
             wedged: false,
         })
+    }
+
+    /// Caps inbound frames at `cap` bytes (builder style). The default
+    /// is the workspace-wide [`MAX_FRAME_BYTES`]; a streaming ingest
+    /// endpoint sets a far smaller cap so one lying length prefix
+    /// cannot balloon its memory. Over-cap frames surface as the typed
+    /// [`ProtocolError::FrameTooLarge`], after which the connection
+    /// must be dropped (the stream is mid-frame).
+    pub fn with_frame_cap(mut self, cap: usize) -> FrameConn {
+        self.frame_cap = cap;
+        self
+    }
+
+    /// The inbound frame cap in force.
+    pub fn frame_cap(&self) -> usize {
+        self.frame_cap
     }
 
     /// Arms (or disarms, with `None`) the socket read timeout. A recv
@@ -183,7 +204,7 @@ impl FrameConn {
                     "injected wedge",
                 )));
             }
-            let frame = read_frame(&mut self.reader)?;
+            let frame = read_frame_capped(&mut self.reader, self.frame_cap)?;
             let index = self.received;
             self.received += 1;
             match self.fault(index, NetDirection::Recv) {

@@ -70,7 +70,11 @@ fn cap_boundary_round_trips_and_one_past_is_garbage() {
     over.push(b'\n');
     let err = read_frame(&mut over.as_slice()).unwrap_err();
     assert!(
-        matches!(&err, ProtocolError::Garbage { message } if message.contains("exceeds")),
+        matches!(
+            &err,
+            ProtocolError::FrameTooLarge { declared, cap }
+                if *declared == MAX_FRAME_BYTES + 1 && *cap == MAX_FRAME_BYTES
+        ),
         "{err}"
     );
 }

@@ -49,7 +49,8 @@ pub use metrics::{
 };
 pub use process::{peak_rss_bytes, record_peak_rss};
 pub use timeline::{
-    build_timeline, parse_jsonl, stragglers, write_chrome_trace, TileLifecycle, TraceLog,
+    build_timeline, load_trace, parse_jsonl, stragglers, write_chrome_trace, TileLifecycle,
+    TimelineError, TraceLog,
 };
 pub use trace::{
     clear_subscriber, current_span_id, emit_event, emit_span, event, intern_name, set_subscriber,

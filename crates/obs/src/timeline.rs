@@ -127,6 +127,106 @@ pub fn parse_jsonl(text: &str) -> TraceLog {
     log
 }
 
+/// Why a trace file could not be loaded into a usable [`TraceLog`].
+///
+/// [`parse_jsonl`] itself stays lenient (skip-and-count) because
+/// merged streams legitimately contain foreign lines; this error type
+/// is for the *file* boundary, where "no file", "nothing parseable"
+/// and "cut off mid-write" deserve a hard, typed failure instead of a
+/// silently empty report.
+#[derive(Debug)]
+pub enum TimelineError {
+    /// The file could not be read at all.
+    Io {
+        /// The offending path.
+        path: String,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+    /// The file was read but contained not a single span or event
+    /// record — an empty export, or one truncated down to garbage.
+    NoRecords {
+        /// The offending path.
+        path: String,
+        /// Non-empty lines that were present but unparseable.
+        skipped: usize,
+    },
+    /// The file parsed, but its final line is an incomplete record —
+    /// the classic shape of an export killed mid-write. The intact
+    /// prefix is discarded on purpose: a timeline silently missing its
+    /// tail inverts straggler analysis.
+    Truncated {
+        /// The offending path.
+        path: String,
+        /// Records that did parse before the cut.
+        records: usize,
+    },
+}
+
+impl std::fmt::Display for TimelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TimelineError::Io { path, source } => {
+                write!(f, "cannot read trace file {path}: {source}")
+            }
+            TimelineError::NoRecords { path, skipped } => write!(
+                f,
+                "trace file {path} holds no span/event records \
+                 ({skipped} unparseable line(s)) — empty or truncated export"
+            ),
+            TimelineError::Truncated { path, records } => write!(
+                f,
+                "trace file {path} is truncated mid-record after \
+                 {records} record(s) — export was cut off while writing"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TimelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TimelineError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Loads one trace JSONL file, failing with a typed [`TimelineError`]
+/// when the file is missing, unreadable, empty of records, or
+/// truncated mid-record — the strict entry point `perf --timeline`
+/// uses, in contrast to the lenient [`parse_jsonl`].
+pub fn load_trace(path: &std::path::Path) -> Result<TraceLog, TimelineError> {
+    let display = path.display().to_string();
+    let text = std::fs::read_to_string(path).map_err(|source| TimelineError::Io {
+        path: display.clone(),
+        source,
+    })?;
+    let log = parse_jsonl(&text);
+    let records = log.spans.len() + log.events.len();
+    if records == 0 {
+        return Err(TimelineError::NoRecords {
+            path: display,
+            skipped: log.skipped,
+        });
+    }
+    // A file killed mid-write ends in a partial line: no trailing
+    // newline AND that last fragment failed to parse as a record.
+    let last_is_partial = !text.ends_with('\n')
+        && text.lines().next_back().is_some_and(|l| {
+            !l.trim().is_empty()
+                && parse_jsonl(l).spans.is_empty()
+                && parse_jsonl(l).events.is_empty()
+        });
+    if last_is_partial {
+        return Err(TimelineError::Truncated {
+            path: display,
+            records,
+        });
+    }
+    Ok(log)
+}
+
 /// Extracts the u64 value following `"key":` in a flat JSON line.
 fn field_u64(line: &str, key: &str) -> Option<u64> {
     let tag = format!("\"{key}\":");
@@ -445,6 +545,51 @@ mod tests {
             "\"thread\":2,\"start_ns\":2,\"dur_ns\":3}\n",
         );
         assert_eq!(parse_jsonl(text).orphan_spans(), vec![9]);
+    }
+
+    #[test]
+    fn load_trace_fails_typed_on_missing_empty_and_truncated_files() {
+        let dir = std::env::temp_dir().join(format!("sts-timeline-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Missing file → Io.
+        let err = load_trace(&dir.join("nope.jsonl")).unwrap_err();
+        assert!(matches!(err, TimelineError::Io { .. }), "{err}");
+
+        // Empty file → NoRecords with zero skipped.
+        let empty = dir.join("empty.jsonl");
+        std::fs::write(&empty, "").unwrap();
+        let err = load_trace(&empty).unwrap_err();
+        assert!(
+            matches!(err, TimelineError::NoRecords { skipped: 0, .. }),
+            "{err}"
+        );
+
+        // All-garbage file → NoRecords counting the junk.
+        let junk = dir.join("junk.jsonl");
+        std::fs::write(&junk, "hello\nworld\n").unwrap();
+        let err = load_trace(&junk).unwrap_err();
+        assert!(
+            matches!(err, TimelineError::NoRecords { skipped: 2, .. }),
+            "{err}"
+        );
+
+        // Good record followed by a mid-write cut → Truncated.
+        let good = event_line("shard.tile.lease", 10, 0.0);
+        let cut = dir.join("cut.jsonl");
+        std::fs::write(&cut, format!("{good}\n{}", &good[..good.len() / 2])).unwrap();
+        let err = load_trace(&cut).unwrap_err();
+        assert!(
+            matches!(err, TimelineError::Truncated { records: 1, .. }),
+            "{err}"
+        );
+
+        // Intact file → Ok.
+        let ok = dir.join("ok.jsonl");
+        std::fs::write(&ok, format!("{good}\n")).unwrap();
+        let log = load_trace(&ok).unwrap();
+        assert_eq!(log.events.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

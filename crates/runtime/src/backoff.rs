@@ -83,6 +83,42 @@ mod tests {
     }
 
     #[test]
+    fn restart_replays_the_identical_schedule_from_the_start() {
+        // A crashed-and-restarted client reconstructs its backoff from
+        // the same (base, cap, seed) triple. The replayed schedule must
+        // match the original walk element-for-element — including past
+        // the point where the first incarnation died — because chaos
+        // replays only stay reproducible if sleeps do.
+        let mk =
+            || DecorrelatedJitter::new(Duration::from_micros(25), Duration::from_millis(8), 77);
+        let mut first_life = mk();
+        let before_crash: Vec<Duration> = (0..10).map(|_| first_life.next_delay()).collect();
+        // "Restart": a brand-new instance, same constructor inputs.
+        let mut second_life = mk();
+        let replayed: Vec<Duration> = (0..40).map(|_| second_life.next_delay()).collect();
+        assert_eq!(&replayed[..10], &before_crash[..]);
+        // And a third incarnation agrees with the second beyond the
+        // first's horizon.
+        let mut third_life = mk();
+        let again: Vec<Duration> = (0..40).map(|_| third_life.next_delay()).collect();
+        assert_eq!(again, replayed);
+    }
+
+    #[test]
+    fn golden_schedule_is_pinned() {
+        // First five delays for (base=1ms, cap=1s, seed=0xD15EA5E),
+        // in nanoseconds. Any drift in the RNG stream, the draw order,
+        // or the clamping arithmetic shows up here as an exact diff.
+        let mut j =
+            DecorrelatedJitter::new(Duration::from_millis(1), Duration::from_secs(1), 0xD15EA5E);
+        let got: Vec<u64> = (0..5)
+            .map(|_| u64::try_from(j.next_delay().as_nanos()).unwrap())
+            .collect();
+        let want = [2_111_918u64, 2_101_095, 2_041_500, 5_967_984, 4_172_983];
+        assert_eq!(got, want.to_vec(), "schedule drifted: {got:?}");
+    }
+
+    #[test]
     fn delays_grow_from_the_base() {
         let mut j = DecorrelatedJitter::new(Duration::from_millis(1), Duration::from_secs(1), 3);
         let first = j.next_delay();

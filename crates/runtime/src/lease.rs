@@ -98,7 +98,15 @@ impl LeaseTable {
                     self.by_epoch.remove(&epoch);
                 }
                 let epoch = self.next_epoch;
-                self.next_epoch += 1;
+                // Epoch uniqueness is the whole at-most-once argument:
+                // a wrapped counter could resurrect a zombie's stale
+                // epoch as live. u64 exhaustion is unreachable in
+                // practice (5 GHz of grants for a century), so treat it
+                // as corruption, never wrap.
+                self.next_epoch = self
+                    .next_epoch
+                    .checked_add(1)
+                    .expect("lease epoch counter exhausted");
                 self.states[tile] = TileState::Leased { epoch };
                 self.by_epoch.insert(epoch, tile);
                 self.granted += 1;
@@ -250,6 +258,46 @@ mod tests {
         assert_eq!(t.pending(), vec![1]);
         t.force_done(1);
         assert!(t.all_done());
+    }
+
+    #[test]
+    fn double_expiry_chain_keeps_every_dead_epoch_stale() {
+        // The full zombie parade: lease → expire → re-lease → expire
+        // again → re-lease. Both dead epochs' results then arrive late,
+        // in either order, and must be refused; only the third (live)
+        // epoch commits.
+        let mut t = LeaseTable::new(1);
+        let e1 = t.lease(0).unwrap();
+        t.expire(0);
+        let e2 = t.lease(0).unwrap();
+        t.expire(0);
+        let e3 = t.lease(0).unwrap();
+        assert!(e1 < e2 && e2 < e3);
+        assert_eq!(t.tile_of(e1), None);
+        assert_eq!(t.tile_of(e2), None);
+        assert_eq!(t.tile_of(e3), Some(0));
+        // Second zombie reports first, then the first.
+        assert_eq!(t.commit(0, e2), CommitOutcome::Stale);
+        assert_eq!(t.commit(0, e1), CommitOutcome::Stale);
+        assert_eq!(t.commit(0, e3), CommitOutcome::Committed);
+        // Post-commit, the zombies retry: now Duplicate, not Stale.
+        assert_eq!(t.commit(0, e1), CommitOutcome::Duplicate);
+        assert_eq!(t.leases_granted(), 3);
+        assert_eq!(t.leases_expired(), 2);
+        assert_eq!(t.commits_refused(), 3);
+        assert!(t.all_done());
+    }
+
+    #[test]
+    #[should_panic(expected = "lease epoch counter exhausted")]
+    fn epoch_counter_exhaustion_panics_instead_of_wrapping() {
+        // A wrapped epoch counter would hand a live lease an epoch some
+        // zombie may still hold — the guard must refuse to wrap.
+        let mut t = LeaseTable::new(1);
+        t.next_epoch = u64::MAX;
+        let e = t.lease(0);
+        // Unreachable: the grant at u64::MAX must panic, not succeed.
+        assert_eq!(e, Some(u64::MAX));
     }
 
     #[test]

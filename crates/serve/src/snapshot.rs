@@ -1,0 +1,286 @@
+//! Fingerprint-verified snapshots with quarantine-and-fall-back
+//! recovery.
+//!
+//! A snapshot is the full served state ([`ServeState`]) serialized
+//! bit-exactly (floats as hex bit patterns) into `snap-<seq>.snap`,
+//! wrapped in the same header/digest/trailer armor as a WAL segment
+//! and written through the same write → read-back-verify → retry loop.
+//! Once a snapshot is verified durable, every WAL record it covers is
+//! redundant and the log is truncated — that pair is the only thing
+//! bounding recovery-replay time and disk usage on a long-running
+//! server.
+//!
+//! Recovery scans snapshots newest-first: a snapshot that fails
+//! structural or digest verification is **quarantined aside**
+//! (`.corrupt`, keep the evidence) and the next-older one is tried,
+//! degrading gracefully to an empty state plus full WAL replay. The
+//! byte-identical-recovery invariant never depends on the snapshot
+//! being recent — only on `state ∘ replay` being a pure function,
+//! which `state::tests::replay_equals_direct_application` pins.
+
+use crate::state::{ServeState, StateConfig};
+use crate::{ServeError, ServeStats};
+use std::path::{Path, PathBuf};
+use sts_runtime::{Fnv1a, Storage};
+
+const MAX_WRITE_ATTEMPTS: u32 = 64;
+
+fn snap_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("snap-{seq}.snap"))
+}
+
+fn digest_body(body: &str) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(body.as_bytes());
+    h.finish()
+}
+
+/// Serializes `state` into the on-disk snapshot format.
+fn encode(state: &ServeState) -> String {
+    let body = state.encode_snapshot_body();
+    format!("{body}end {:016x}\n", digest_body(&body))
+}
+
+/// Verifies armor and decodes the state. `Err` explains why the bytes
+/// are untrustworthy.
+fn decode(cfg: StateConfig, bytes: &[u8]) -> Result<ServeState, String> {
+    let text = std::str::from_utf8(bytes).map_err(|e| format!("not UTF-8: {e}"))?;
+    let Some(trailer_at) = text.trim_end_matches('\n').rfind('\n') else {
+        return Err("no trailer line".to_string());
+    };
+    let (body, trailer) = text.split_at(trailer_at + 1);
+    let mut t = trailer.split_whitespace();
+    if t.next() != Some("end") {
+        return Err(format!("bad trailer {trailer:?} (truncated snapshot)"));
+    }
+    let want = t
+        .next()
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .ok_or("bad trailer digest")?;
+    let got = digest_body(body);
+    if got != want {
+        return Err(format!(
+            "digest mismatch: trailer {want:016x}, body {got:016x}"
+        ));
+    }
+    ServeState::decode_snapshot_body(cfg, body)
+}
+
+/// Writes a verified-durable snapshot of `state`, then deletes all
+/// older snapshots. Returns the sequence number it covers.
+pub fn write_snapshot(
+    storage: &dyn Storage,
+    dir: &Path,
+    state: &ServeState,
+    stats: &ServeStats,
+) -> Result<u64, ServeError> {
+    storage
+        .create_dir_all(dir)
+        .map_err(|e| ServeError::Storage {
+            what: "snapshot dir",
+            attempts: 1,
+            source: e,
+        })?;
+    let seq = state.max_seq();
+    let path = snap_path(dir, seq);
+    let bytes = encode(state).into_bytes();
+    let mut last_err: Option<std::io::Error> = None;
+    let mut ok = false;
+    for _ in 1..=MAX_WRITE_ATTEMPTS {
+        match storage.write_atomic(&path, &bytes) {
+            Err(e) => {
+                stats.snapshot_write_errors(1);
+                last_err = Some(e);
+                continue;
+            }
+            Ok(()) => {}
+        }
+        match storage.read(&path) {
+            Ok(back) if back == bytes => {
+                ok = true;
+                break;
+            }
+            Ok(_) => {
+                stats.snapshot_verify_failed(1);
+                last_err = Some(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "snapshot read-back mismatch",
+                ));
+            }
+            Err(e) => {
+                stats.snapshot_verify_failed(1);
+                last_err = Some(e);
+            }
+        }
+    }
+    if !ok {
+        return Err(ServeError::Storage {
+            what: "snapshot",
+            attempts: MAX_WRITE_ATTEMPTS,
+            source: last_err.unwrap_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::Other, "unknown snapshot failure")
+            }),
+        });
+    }
+    stats.snapshots(1);
+    // Older snapshots are now strictly redundant. Failure to delete is
+    // harmless (recovery scans newest-first), so best effort.
+    if let Ok(listed) = storage.list(dir) {
+        for p in listed {
+            if let Some((s, _)) = parse_snap_name(&p) {
+                if s < seq {
+                    let _ = storage.remove(&p);
+                }
+            }
+        }
+    }
+    Ok(seq)
+}
+
+fn parse_snap_name(path: &Path) -> Option<(u64, PathBuf)> {
+    let name = path.file_name()?.to_str()?;
+    let seq = name
+        .strip_prefix("snap-")?
+        .strip_suffix(".snap")?
+        .parse()
+        .ok()?;
+    Some((seq, path.to_path_buf()))
+}
+
+/// Loads the newest snapshot that verifies, quarantining corrupt ones
+/// aside. `None` means "start empty" (no snapshot survives).
+pub fn load_latest(
+    storage: &dyn Storage,
+    dir: &Path,
+    cfg: &StateConfig,
+    stats: &ServeStats,
+) -> Option<ServeState> {
+    let mut snaps: Vec<(u64, PathBuf)> = storage
+        .list(dir)
+        .ok()?
+        .iter()
+        .filter_map(|p| parse_snap_name(p))
+        .collect();
+    snaps.sort_by_key(|&(seq, _)| std::cmp::Reverse(seq));
+    for (_, path) in snaps {
+        let bytes = match storage.read(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                quarantine(storage, &path, stats, &format!("unreadable: {e}"));
+                continue;
+            }
+        };
+        match decode(cfg.clone(), &bytes) {
+            Ok(state) => return Some(state),
+            Err(why) => quarantine(storage, &path, stats, &why),
+        }
+    }
+    None
+}
+
+fn quarantine(storage: &dyn Storage, path: &Path, stats: &ServeStats, why: &str) {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".corrupt");
+    let moved = storage.rename(path, &PathBuf::from(name)).is_ok();
+    stats.snapshot_quarantined(1);
+    sts_obs::event("serve.snapshot.quarantine", 1.0);
+    eprintln!(
+        "sts-serve: quarantined snapshot {} ({why}; moved={moved})",
+        path.display()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::Ping;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sts-serve-snap-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn walked(n: u64) -> ServeState {
+        let mut s = ServeState::new(StateConfig::default());
+        for i in 0..n {
+            s.apply(&Ping {
+                seq: i + 1,
+                obj: i % 3,
+                t: i as f64,
+                x: 10.0 + i as f64 / 2.0,
+                y: 20.0,
+            });
+        }
+        s
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_prunes_older() {
+        let dir = tmp_dir("roundtrip");
+        let storage = sts_runtime::FsStorage;
+        let stats = ServeStats::default();
+        let s10 = walked(10);
+        let seq = write_snapshot(&storage, &dir, &s10, &stats).unwrap();
+        assert_eq!(seq, 10);
+        let s25 = walked(25);
+        write_snapshot(&storage, &dir, &s25, &stats).unwrap();
+        assert!(!snap_path(&dir, 10).exists(), "older snapshot pruned");
+        let loaded = load_latest(&storage, &dir, &StateConfig::default(), &stats).unwrap();
+        assert_eq!(loaded.max_seq(), 25);
+        assert_eq!(loaded.encode_snapshot_body(), s25.encode_snapshot_body());
+        assert_eq!(stats.get("snapshots"), Some(2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_older_and_quarantines() {
+        let dir = tmp_dir("fallback");
+        let storage = sts_runtime::FsStorage;
+        let stats = ServeStats::default();
+        write_snapshot(&storage, &dir, &walked(10), &stats).unwrap();
+        // Hand-write a "newer" corrupt snapshot (pruning normally
+        // removes older ones, so plant the corruption directly).
+        let bogus = snap_path(&dir, 99);
+        std::fs::write(
+            &bogus,
+            b"stssnap 1 99 1\no 0 1 1 junk\nend 0000000000000000\n",
+        )
+        .unwrap();
+        let loaded = load_latest(&storage, &dir, &StateConfig::default(), &stats).unwrap();
+        assert_eq!(loaded.max_seq(), 10, "fell back to the verified one");
+        assert!(!bogus.exists());
+        assert!(dir.join("snap-99.snap.corrupt").exists());
+        assert_eq!(stats.get("snapshot_quarantined"), Some(1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_and_tampered_snapshots_fail_decode() {
+        let s = walked(8);
+        let full = encode(&s);
+        assert!(decode(StateConfig::default(), full.as_bytes()).is_ok());
+        let cut = &full[..full.len() - 3];
+        assert!(decode(StateConfig::default(), cut.as_bytes()).is_err());
+        let tampered = full.replacen('o', "0", 1);
+        assert!(decode(StateConfig::default(), tampered.as_bytes())
+            .unwrap_err()
+            .contains("digest"));
+        assert!(decode(StateConfig::default(), b"").is_err());
+    }
+
+    #[test]
+    fn empty_dir_loads_nothing() {
+        let dir = tmp_dir("empty");
+        let stats = ServeStats::default();
+        assert!(load_latest(
+            &sts_runtime::FsStorage,
+            &dir,
+            &StateConfig::default(),
+            &stats
+        )
+        .is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

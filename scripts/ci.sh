@@ -88,6 +88,17 @@ echo "== shard (network chaos + worker SIGKILL; fixed seeds) =="
 run_seeded "network chaos suite" cargo test -p sts-robust -q --offline --test net_chaos
 run_seeded "shard crash suite" cargo test -p sts-repro -q --offline --test shard_crash
 
+# Streaming-service gate: the serve chaos suite (send-side network
+# faults reconciled *exactly* against the server's ingest counters,
+# full-duplex survival, disk faults split into silent/honest ledgers,
+# byte-mangler fuzz of the listener) and the serve crash suite — the
+# real sts-serve binary SIGKILLed at seed-staggered moments
+# mid-ingest, restarted, resent above the durable horizon, and
+# byte-compared against an uninterrupted run across 8 seeds.
+echo "== serve (ingest chaos + SIGKILL recovery; fixed seeds) =="
+run_seeded "serve chaos suite" cargo test -p sts-robust -q --offline --test serve_chaos
+run_seeded "serve crash suite" cargo test -p sts-repro -q --offline --test serve_crash
+
 # STP-cache equivalence gate: the differential suite proving the cached
 # sparse hot path equals the uncached oracle — bit-exact matrices,
 # top-k and crash/resume for exact mode, rank-preservation for lattice
@@ -149,6 +160,19 @@ if cargo run -p sts-bench --release --offline --bin perf -- --quick --json BENCH
     echo "shard bench snapshot written to BENCH_shard.json"
 else
     echo "shard bench snapshot failed (non-gating); continuing"
+fi
+
+# Non-gating streaming-service snapshot: the serve suite alone, written
+# as BENCH_serve.json — ack'd-ingest / windowed-query / hello
+# round-trip timings against a live server on loopback, plus
+# ingest_records_per_sec, client-observed query_p50_ns / query_p99_ns,
+# and the WAL recovery-replay time. Same noisy-hardware caveat: never
+# fails the gate.
+echo "== serve bench snapshot (non-gating) =="
+if cargo run -p sts-bench --release --offline --bin perf -- --quick --json BENCH_serve.json serve; then
+    echo "serve bench snapshot written to BENCH_serve.json"
+else
+    echo "serve bench snapshot failed (non-gating); continuing"
 fi
 
 # Non-gating bench regression: every `*pairs_per_sec` extra in the

@@ -16,6 +16,9 @@
 //!   dirty real-world feeds;
 //! * [`sts_robust`] — deterministic fault injectors and the chaos
 //!   property suite attacking the pipeline above;
+//! * [`sts_serve`] — the crash-safe streaming co-location service
+//!   (WAL-backed incremental ingest, windowed queries, overload
+//!   shedding) behind the `sts-serve` binary;
 //! * [`sts_baselines`] — the comparison measures evaluated in the paper;
 //! * [`sts_eval`] — the trajectory-matching harness and the per-figure
 //!   experiment drivers.
@@ -33,5 +36,6 @@ pub use sts_rng as rng;
 pub use sts_rng::{prop_assert, prop_assert_eq};
 pub use sts_robust as robust;
 pub use sts_runtime as runtime;
+pub use sts_serve as serve;
 pub use sts_stats as stats;
 pub use sts_traj as traj;

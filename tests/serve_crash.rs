@@ -1,0 +1,253 @@
+//! SIGKILL acceptance tests for the streaming co-location service: a
+//! real process death at an arbitrary moment — mid-ingest, mid-commit,
+//! mid-snapshot-truncation — must lose nothing the server acked as
+//! durable, and after restart + client resend the served answers must
+//! be **byte-identical** to a run that was never interrupted.
+//!
+//! The victim is the real `sts-serve` binary over real TCP, killed at
+//! seed-staggered moments while a resend-until-acked client feeds it;
+//! commit, segment and snapshot intervals are shrunk so the kill
+//! schedule lands on every phase of the WAL/snapshot protocol across
+//! the 8 seeds. The disk-level chaos (torn writes, bit flips, ENOSPC)
+//! lives in `crates/robust/tests/serve_chaos.rs`; this suite is the
+//! real-SIGKILL end of the same contract.
+
+use std::io::BufRead;
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::Duration;
+use sts_rng::{Rng, Xoshiro256pp};
+use sts_runtime::FsStorage;
+use sts_serve::{Ping, ServeClient, ServeOptions, Server};
+
+const SERVE: &str = env!("CARGO_BIN_EXE_sts-serve");
+const ROUNDS: u64 = 50;
+const OBJECTS: u64 = 3;
+
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("sts-serve-crash-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn path(&self, name: &str) -> std::path::PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Seeded random-walk pings, seq 1..=ROUNDS*OBJECTS.
+fn corpus(seed: u64) -> Vec<Ping> {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x5E4E_C4A5 ^ seed);
+    let mut pos: Vec<(f64, f64)> = (0..OBJECTS)
+        .map(|_| (rng.random_range(20.0..80.0), rng.random_range(20.0..80.0)))
+        .collect();
+    let mut out = Vec::new();
+    let mut seq = 0;
+    for i in 0..ROUNDS {
+        for obj in 0..OBJECTS {
+            let p = &mut pos[obj as usize];
+            p.0 = (p.0 + rng.random_range(-3.0..3.0)).clamp(0.5, 99.5);
+            p.1 = (p.1 + rng.random_range(-3.0..3.0)).clamp(0.5, 99.5);
+            seq += 1;
+            out.push(Ping {
+                seq,
+                obj,
+                t: i as f64 * 4.0 + 0.5 * obj as f64,
+                x: p.0,
+                y: p.1,
+            });
+        }
+    }
+    out
+}
+
+/// The query set whose raw reply frames are byte-compared across runs.
+fn probe(c: &mut ServeClient) -> Vec<String> {
+    let t_hi = ROUNDS as f64 * 4.0;
+    vec![
+        c.colocate_raw(0, 1, 2.0, t_hi, 7).unwrap(),
+        c.colocate_raw(1, 2, 0.0, t_hi / 2.0, 4).unwrap(),
+        c.topk_raw(0, 1.0, t_hi, 6, 4).unwrap(),
+    ]
+}
+
+/// Spawns the real binary on an ephemeral port and parses the
+/// `listening <addr>` line it prints once bound.
+fn spawn_server(dir: &std::path::Path, extra: &[&str]) -> (Child, SocketAddr) {
+    let mut child = Command::new(SERVE)
+        .arg("--dir")
+        .arg(dir)
+        .args(extra)
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let stdout = child.stdout.take().unwrap();
+    let mut line = String::new();
+    std::io::BufReader::new(stdout)
+        .read_line(&mut line)
+        .unwrap();
+    let addr = line
+        .strip_prefix("listening ")
+        .unwrap_or_else(|| panic!("unexpected banner {line:?}"))
+        .trim()
+        .parse()
+        .unwrap();
+    (child, addr)
+}
+
+/// The tentpole acceptance test: SIGKILL the serving binary at
+/// seed-staggered moments mid-ingest, restart it on the same data
+/// directory, resend everything above the recovered durable horizon,
+/// and require the query answers to be byte-identical to an
+/// uninterrupted in-process run fed the same pings — across 8 seeds,
+/// with at least one genuine mid-stream kill and one genuinely
+/// partial recovery.
+#[test]
+fn sigkill_recovery_is_byte_identical_across_staggered_seeds() {
+    let tmp = TempDir::new("sigkill");
+    let mut killed_mid_ingest = 0u32;
+    let mut partial_recoveries = 0u32;
+    for seed in 0u64..8 {
+        let pings = corpus(seed);
+        let n = pings.len() as u64;
+
+        // Uninterrupted reference (in-process: same server code, no
+        // process to kill), its own directory.
+        let want = {
+            let h = Server::start(
+                ServeOptions::new(tmp.path(&format!("ref-{seed}"))),
+                Arc::new(FsStorage),
+                "127.0.0.1:0",
+            )
+            .unwrap();
+            let mut c = ServeClient::connect(h.addr()).unwrap();
+            for p in &pings {
+                c.ingest_until_acked(p).unwrap();
+            }
+            c.flush().unwrap();
+            let want = probe(&mut c);
+            drop(c);
+            h.shutdown();
+            want
+        };
+
+        // Victim run: tight commit/segment/snapshot intervals so the
+        // staggered kills land on every phase of the durability
+        // protocol; 1 ms apply delay widens the mid-ingest window.
+        let dir = tmp.path(&format!("victim-{seed}"));
+        let knobs: &[&str] = &[
+            "--commit-every",
+            "3",
+            "--segment-records",
+            "24",
+            "--snapshot-every",
+            "40",
+            "--ingest-delay-ms",
+            "1",
+        ];
+        let (mut child, addr) = spawn_server(&dir, knobs);
+        let killer = {
+            let delay = Duration::from_millis(20 + seed * 23);
+            std::thread::spawn(move || {
+                std::thread::sleep(delay);
+                // SIGKILL: no atexit, no flush, no cleanup.
+                let _ = child.kill();
+                child.wait().unwrap()
+            })
+        };
+        let mut fed = 0usize;
+        let mut c = ServeClient::connect(addr).unwrap();
+        for p in &pings {
+            match c.ingest_until_acked(p) {
+                Ok(_) => fed += 1,
+                Err(_) => break, // the kill landed
+            }
+        }
+        drop(c);
+        killer.join().unwrap();
+        if fed < pings.len() {
+            killed_mid_ingest += 1;
+        }
+
+        // Restart on the same directory; the hello reply names the
+        // durable horizon, the client resends everything above it.
+        let (mut child2, addr2) = spawn_server(&dir, &["--snapshot-every", "40"]);
+        let mut c = ServeClient::connect(addr2).unwrap();
+        let durable = c.hello().unwrap();
+        assert!(
+            durable <= n,
+            "seed {seed}: durable horizon {durable} beyond the corpus"
+        );
+        if durable > 0 && durable < n {
+            partial_recoveries += 1;
+        }
+        for p in pings.iter().filter(|p| p.seq > durable) {
+            c.ingest_until_acked(p).unwrap();
+        }
+        assert_eq!(c.flush().unwrap(), n, "seed {seed}: all pings durable");
+        assert_eq!(
+            probe(&mut c),
+            want,
+            "seed {seed}: crash + recovery + resend must be byte-identical \
+             to the uninterrupted run (killed after {fed}/{} pings, durable {durable})",
+            pings.len()
+        );
+        c.shutdown_server().unwrap();
+        drop(c);
+        let status = child2.wait().unwrap();
+        assert!(status.success(), "seed {seed}: clean shutdown exits zero");
+    }
+    assert!(
+        killed_mid_ingest >= 1,
+        "kill schedule never landed mid-ingest — stagger it"
+    );
+    assert!(
+        partial_recoveries >= 1,
+        "no seed recovered a genuinely partial horizon — the test is not \
+         exercising replay + resend"
+    );
+}
+
+/// A kill immediately after an explicit snapshot + truncation must
+/// recover from the snapshot alone (empty WAL) — the recovery path
+/// the periodic case only sometimes hits.
+#[test]
+fn sigkill_right_after_snapshot_recovers_from_snapshot() {
+    let tmp = TempDir::new("postsnap");
+    let pings = corpus(99);
+    let n = pings.len() as u64;
+    let dir = tmp.path("victim");
+    let (mut child, addr) = spawn_server(&dir, &["--commit-every", "4"]);
+    let mut c = ServeClient::connect(addr).unwrap();
+    for p in &pings {
+        c.ingest_until_acked(p).unwrap();
+    }
+    c.snapshot().unwrap();
+    let want = probe(&mut c);
+    drop(c);
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    let (mut child2, addr2) = spawn_server(&dir, &[]);
+    let mut c = ServeClient::connect(addr2).unwrap();
+    assert_eq!(c.hello().unwrap(), n, "snapshot covered everything");
+    assert_eq!(
+        probe(&mut c),
+        want,
+        "post-snapshot recovery is byte-identical"
+    );
+    c.shutdown_server().unwrap();
+    drop(c);
+    assert!(child2.wait().unwrap().success());
+}
